@@ -1,0 +1,51 @@
+//! Criterion benchmarks of whole-core simulation throughput: simulated
+//! instructions per wall-clock second for the base and WIB machines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wib_core::{MachineConfig, Processor, RunLimit};
+use wib_isa::asm::ProgramBuilder;
+use wib_isa::program::Program;
+use wib_isa::reg::*;
+
+fn kernel() -> Program {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(R1, 0x20_0000);
+    b.li(R4, 1_000_000);
+    b.label("loop");
+    b.lw(R2, R1, 0);
+    b.add(R3, R2, R2);
+    b.add(R5, R5, R3);
+    b.addi(R1, R1, 64);
+    b.andi(R1, R1, 0x7fff);
+    b.li(R6, 0x20_0000);
+    b.or(R1, R1, R6);
+    b.addi(R4, R4, -1);
+    b.bne(R4, R0, "loop");
+    b.halt();
+    b.finish().expect("assembles")
+}
+
+fn bench_cores(c: &mut Criterion) {
+    const INSTS: u64 = 20_000;
+    let program = kernel();
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(INSTS));
+    group.sample_size(10);
+    group.bench_function("base_8way", |b| {
+        let p = Processor::new(MachineConfig::base_8way());
+        b.iter(|| black_box(p.run_program(&program, RunLimit::instructions(INSTS))));
+    });
+    group.bench_function("wib_2k", |b| {
+        let p = Processor::new(MachineConfig::wib_2k());
+        b.iter(|| black_box(p.run_program(&program, RunLimit::instructions(INSTS))));
+    });
+    group.bench_function("conventional_2k", |b| {
+        let p = Processor::new(MachineConfig::conventional(2048));
+        b.iter(|| black_box(p.run_program(&program, RunLimit::instructions(INSTS))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cores);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Paper section 6 (future work): extending the WIB trigger beyond load
+//! misses to "other operations where latency is difficult to determine at
+//! compile time" — here, the non-pipelined FP divide (12 cycles) and
+//! square root (24 cycles).
+//!
+//! The divider-bound `applu` kernel is the interesting case: its chains
+//! stall on divides, not on memory, so the load-miss-only WIB cannot help
+//! it — the extension can.
+
+use wib_bench::{print_speedups, sweep, Runner};
+use wib_core::{MachineConfig, Processor, RunLimit};
+use wib_isa::asm::ProgramBuilder;
+use wib_isa::reg::*;
+use wib_workloads::eval_suite;
+
+/// The stress case for the extension: each non-pipelined divide feeds a
+/// long dependent chain, and the chains of many loop iterations pile into
+/// the 32-entry FP issue queue. Interleaved integer work can proceed —
+/// but only if the divide chains get out of the way.
+fn divide_chain_kernel() -> wib_isa::program::Program {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.data_f64(0x8000, &[3.0, 1.7]);
+    b.li(R1, 0x8000);
+    b.fld(F1, R1, 0);
+    b.fld(F2, R1, 8);
+    b.li(R4, 20_000);
+    b.li(R7, 0x20_0000);
+    b.label("loop");
+    b.fdiv(F3, F1, F2); // 12-cycle non-pipelined
+    for _ in 0..12 {
+        b.fadd(F3, F3, F2); // long dependent chain behind the divide
+    }
+    // Independent integer work that wants the machine's attention.
+    b.lw(R5, R7, 0);
+    b.add(R6, R6, R5);
+    b.addi(R7, R7, 64);
+    b.addi(R4, R4, -1);
+    b.bne(R4, R0, "loop");
+    b.halt();
+    b.finish().expect("assembles")
+}
+
+fn main() {
+    let runner = Runner::from_env();
+
+    let kernel = divide_chain_kernel();
+    println!("divide-chain microkernel (12 dependent FP adds behind each fdiv):");
+    for (name, cfg) in [
+        ("base", MachineConfig::base_8way()),
+        ("wib-loads", MachineConfig::wib_2k()),
+        ("wib+fp-ops", MachineConfig::wib_2k().with_long_fp_divert()),
+    ] {
+        let r = Processor::new(cfg).run_program(&kernel, RunLimit::instructions(runner.insts));
+        println!("  {name:<11} IPC {:.3}  (WIB insertions {})", r.ipc(), r.stats.wib_insertions);
+    }
+    println!();
+    let configs = vec![
+        ("base", MachineConfig::base_8way()),
+        ("wib-loads", MachineConfig::wib_2k()),
+        ("wib+fp-ops", MachineConfig::wib_2k().with_long_fp_divert()),
+    ];
+    let rows = sweep(&runner, &configs, &eval_suite());
+    let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    print_speedups(
+        "Extension: divert long FP-op chains too (speedup over base)",
+        &names,
+        &rows,
+    );
+    println!(
+        "\nexpectation: the benchmark suite is essentially unchanged (its divide \
+         chains are short, so the 12- and 24-cycle units rarely clog the queue); \
+         the microkernel above shows the extension paying off when they do — the \
+         mechanism generalizes exactly as section 6 anticipates, and nothing \
+         regresses"
+    );
+}

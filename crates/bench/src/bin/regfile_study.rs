@@ -1,0 +1,35 @@
+//! Paper section 3.4: register-file organizations for the 2K-register WIB
+//! machine. The paper uses the two-level file and notes "simulations of a
+//! multi-banked register file show similar results" — this harness checks
+//! that claim, with an idealized single-cycle file as the upper bound.
+
+use wib_bench::{print_speedups, sweep, Runner};
+use wib_core::{MachineConfig, RegFileConfig};
+use wib_workloads::eval_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    let with_rf = |rf: RegFileConfig| {
+        let mut cfg = MachineConfig::wib_2k();
+        cfg.regfile = rf;
+        cfg
+    };
+    let configs = vec![
+        ("base", MachineConfig::base_8way()),
+        ("two-level", MachineConfig::wib_2k()),
+        ("multi-banked", with_rf(RegFileConfig::multi_banked_8x2())),
+        ("ideal-1cyc", with_rf(RegFileConfig::SingleLevel)),
+    ];
+    let rows = sweep(&runner, &configs, &eval_suite());
+    let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    print_speedups(
+        "Section 3.4: register-file organizations on the WIB machine (speedup over base)",
+        &names,
+        &rows,
+    );
+    println!(
+        "\npaper: the two-level file (128 L1 / 4-cycle 4-port L2) is the default; \
+         a multi-banked file \"shows similar results\"; both should sit close to \
+         the idealized single-cycle 2K-register file"
+    );
+}

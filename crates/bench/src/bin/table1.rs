@@ -1,0 +1,129 @@
+//! Table 1: the base machine configuration.
+//!
+//! Prints the simulated machine parameters next to the paper's, so any
+//! divergence is visible at a glance.
+
+use wib_core::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::base_8way();
+    println!("== Table 1: base configuration ==");
+    let rows: Vec<(&str, String, &str)> = vec![
+        (
+            "Active List",
+            format!(
+                "{}, {} Int Regs, {} FP Regs",
+                cfg.active_list, cfg.regs_per_class, cfg.regs_per_class
+            ),
+            "128, 128 Int Regs, 128 FP Regs",
+        ),
+        (
+            "Load/Store Queue",
+            format!("{} Load, {} Store", cfg.load_queue, cfg.store_queue),
+            "64 Load, 64 Store",
+        ),
+        (
+            "Issue Queue",
+            format!("{} Integer, {} Floating Point", cfg.iq_int_size, cfg.iq_fp_size),
+            "32 Integer, 32 Floating Point",
+        ),
+        (
+            "Issue Width",
+            format!(
+                "{} ({} Integer, {} Floating Point)",
+                cfg.issue_width_int + cfg.issue_width_fp,
+                cfg.issue_width_int,
+                cfg.issue_width_fp
+            ),
+            "12 (8 Integer, 4 Floating Point)",
+        ),
+        ("Decode Width", cfg.decode_width.to_string(), "8"),
+        ("Commit Width", cfg.commit_width.to_string(), "8"),
+        ("Instruction Fetch Queue", cfg.ifq_size.to_string(), "8"),
+        (
+            "Functional Units",
+            format!(
+                "{} int ALU (1c), {} int mul ({}c), {} FP add ({}c), {} FP mul ({}c), \
+                 {} FP div (np {}c), {} FP sqrt (np {}c)",
+                cfg.fu.int_alu,
+                cfg.fu.int_mul,
+                cfg.fu.int_mul_latency,
+                cfg.fu.fp_add,
+                cfg.fu.fp_add_latency,
+                cfg.fu.fp_mul,
+                cfg.fu.fp_mul_latency,
+                cfg.fu.fp_div,
+                cfg.fu.fp_div_latency,
+                cfg.fu.fp_sqrt,
+                cfg.fu.fp_sqrt_latency
+            ),
+            "8 ALU(1c) 2 mul(7c) 4 FPadd(4c) 2 FPmul(4c) 2 FPdiv(np 12c) 2 FPsqrt(np 24c)",
+        ),
+        (
+            "Branch Prediction",
+            format!(
+                "bimodal({}) + two-level({}-bit) combined({}), spec update; BTB miss: \
+                 {}c direct / {}c other",
+                cfg.dir.bimodal_entries,
+                cfg.dir.history_bits,
+                cfg.dir.chooser_entries,
+                cfg.btb_miss_penalty_direct,
+                cfg.btb_miss_penalty_other
+            ),
+            "bimodal & 2-level combined, spec update; 2c direct / 9c other",
+        ),
+        ("Store-Wait Table", "2048 entries, cleared every 32768 cycles".to_string(), "same"),
+        (
+            "L1 Data Cache",
+            format!(
+                "{} KB, {} way, {}c",
+                cfg.mem.l1d.size_bytes / 1024,
+                cfg.mem.l1d.assoc,
+                cfg.mem.l1d.hit_latency
+            ),
+            "32 KB, 4 way, 2c",
+        ),
+        (
+            "L1 Inst Cache",
+            format!("{} KB, {} way", cfg.mem.l1i.size_bytes / 1024, cfg.mem.l1i.assoc),
+            "32 KB, 4 way",
+        ),
+        (
+            "L2 Unified Cache",
+            format!(
+                "{} KB, {} way, {}c",
+                cfg.mem.l2.size_bytes / 1024,
+                cfg.mem.l2.assoc,
+                cfg.mem.l2.hit_latency
+            ),
+            "256 KB, 4 way, 10c",
+        ),
+        ("Memory Latency", format!("{} cycles", cfg.mem.mem_latency), "250 cycles"),
+        (
+            "TLB",
+            format!(
+                "{}-entry, {}-way, {} KB page, {}c penalty",
+                cfg.dtlb_entries(),
+                cfg.mem.dtlb.assoc,
+                cfg.mem.dtlb.page_bytes / 1024,
+                cfg.mem.dtlb.miss_penalty
+            ),
+            "128-entry, 4-way, 4 KB page, 30c penalty",
+        ),
+    ];
+    println!("{:<24} | {:<78} | paper", "parameter", "this simulator");
+    println!("{}", "-".repeat(130));
+    for (k, v, p) in rows {
+        println!("{k:<24} | {v:<78} | {p}");
+    }
+}
+
+trait TlbEntries {
+    fn dtlb_entries(&self) -> u32;
+}
+
+impl TlbEntries for MachineConfig {
+    fn dtlb_entries(&self) -> u32 {
+        self.mem.dtlb.entries
+    }
+}

@@ -1,0 +1,53 @@
+//! Table 2: per-benchmark performance statistics of the base machine and
+//! the WIB machine — base IPC, branch direction prediction rate, L1D miss
+//! ratio, L2 local miss ratio, and WIB IPC, with harmonic means per suite
+//! (the paper's HMs: INT 1.00 -> 1.24, FP 1.42 -> 3.02, Olden 1.17 -> 1.61).
+
+use wib_bench::{hmean, Runner};
+use wib_core::MachineConfig;
+use wib_workloads::{eval_suite, Suite};
+
+fn main() {
+    let runner = Runner::from_env();
+    let base = MachineConfig::base_8way();
+    let wib = MachineConfig::wib_2k();
+    println!("== Table 2: benchmark performance statistics ==");
+    println!(
+        "{:>12} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "benchmark", "base IPC", "dir pred", "DL1 miss", "L2 local", "WIB IPC"
+    );
+    let mut per_suite: Vec<(Suite, Vec<f64>, Vec<f64>)> = vec![
+        (Suite::Int, vec![], vec![]),
+        (Suite::Fp, vec![], vec![]),
+        (Suite::Olden, vec![], vec![]),
+    ];
+    for w in eval_suite() {
+        let rb = runner.run(&base, &w);
+        let rw = runner.run(&wib, &w);
+        println!(
+            "{:>12} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>9.2}",
+            w.name(),
+            rb.ipc(),
+            rb.stats.branch_dir_rate(),
+            rb.stats.mem.l1d_miss_ratio(),
+            rb.stats.mem.l2_local_miss_ratio(),
+            rw.ipc()
+        );
+        for (s, bs, ws) in &mut per_suite {
+            if *s == w.suite() {
+                bs.push(rb.ipc());
+                ws.push(rw.ipc());
+            }
+        }
+    }
+    println!("{}", "-".repeat(64));
+    for (s, bs, ws) in &per_suite {
+        println!(
+            "{:>12} {:>9.2} {:>43.2}",
+            format!("HM {s}"),
+            hmean(bs),
+            hmean(ws)
+        );
+    }
+    println!("\npaper HMs: INT 1.00 -> 1.24, FP 1.42 -> 3.02, Olden 1.17 -> 1.61");
+}

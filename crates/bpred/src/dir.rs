@@ -1,0 +1,285 @@
+//! Direction prediction: bimodal + two-level adaptive, combined by a
+//! chooser, with speculative global-history update and fixup.
+
+/// Saturating 2-bit counter helpers on a `u8` in `0..=3`.
+#[inline]
+fn ctr_taken(c: u8) -> bool {
+    c >= 2
+}
+
+#[inline]
+fn ctr_update(c: u8, taken: bool) -> u8 {
+    if taken {
+        (c + 1).min(3)
+    } else {
+        c.saturating_sub(1)
+    }
+}
+
+/// Sizing of the combined predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirConfig {
+    /// Entries in the bimodal table (power of two).
+    pub bimodal_entries: u32,
+    /// Global history length in bits; the PHT has `2^history_bits` entries.
+    pub history_bits: u32,
+    /// Entries in the chooser table (power of two).
+    pub chooser_entries: u32,
+}
+
+impl DirConfig {
+    /// A 4K-bimodal / 12-bit-history / 4K-chooser predictor, in the spirit
+    /// of the paper's "bimodal & two-level adaptive combined".
+    pub fn isca2002() -> DirConfig {
+        DirConfig { bimodal_entries: 4096, history_bits: 12, chooser_entries: 4096 }
+    }
+}
+
+/// State captured at prediction time, used to train and (on a
+/// misprediction) repair the predictor when the branch resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchCheckpoint {
+    /// Global history *before* this branch's speculative update.
+    pub history: u32,
+    bimodal_idx: u32,
+    pht_idx: u32,
+    chooser_idx: u32,
+    bimodal_pred: bool,
+    twolevel_pred: bool,
+}
+
+/// The outcome of a direction prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Checkpoint to pass back to [`CombinedPredictor::resolve`].
+    pub ckpt: BranchCheckpoint,
+}
+
+/// Combined bimodal + two-level (global history) direction predictor.
+#[derive(Debug, Clone)]
+pub struct CombinedPredictor {
+    bimodal: Vec<u8>,
+    pht: Vec<u8>,
+    chooser: Vec<u8>,
+    history: u32,
+    history_mask: u32,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+impl CombinedPredictor {
+    /// Build a predictor with all counters weakly not-taken / no bias.
+    ///
+    /// # Panics
+    /// Panics if any table size is not a power of two.
+    pub fn new(cfg: DirConfig) -> CombinedPredictor {
+        assert!(cfg.bimodal_entries.is_power_of_two());
+        assert!(cfg.chooser_entries.is_power_of_two());
+        assert!(cfg.history_bits >= 1 && cfg.history_bits <= 20);
+        CombinedPredictor {
+            bimodal: vec![1; cfg.bimodal_entries as usize],
+            pht: vec![1; 1usize << cfg.history_bits],
+            chooser: vec![1; cfg.chooser_entries as usize],
+            history: 0,
+            history_mask: (1u32 << cfg.history_bits) - 1,
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn bimodal_idx(&self, pc: u32) -> u32 {
+        (pc >> 2) & (self.bimodal.len() as u32 - 1)
+    }
+
+    fn pht_idx(&self, pc: u32, history: u32) -> u32 {
+        // gshare-style hash of history with the PC.
+        (history ^ (pc >> 2)) & self.history_mask
+    }
+
+    fn chooser_idx(&self, pc: u32) -> u32 {
+        (pc >> 2) & (self.chooser.len() as u32 - 1)
+    }
+
+    /// Predict the branch at `pc` and speculatively update the global
+    /// history with the prediction.
+    pub fn predict(&mut self, pc: u32) -> Prediction {
+        self.lookups += 1;
+        let history = self.history;
+        let bimodal_idx = self.bimodal_idx(pc);
+        let pht_idx = self.pht_idx(pc, history);
+        let chooser_idx = self.chooser_idx(pc);
+        let bimodal_pred = ctr_taken(self.bimodal[bimodal_idx as usize]);
+        let twolevel_pred = ctr_taken(self.pht[pht_idx as usize]);
+        let use_twolevel = ctr_taken(self.chooser[chooser_idx as usize]);
+        let taken = if use_twolevel { twolevel_pred } else { bimodal_pred };
+        // Speculative history update (history-based fixup on mispredict).
+        self.history = ((history << 1) | taken as u32) & self.history_mask;
+        Prediction {
+            taken,
+            ckpt: BranchCheckpoint {
+                history,
+                bimodal_idx,
+                pht_idx,
+                chooser_idx,
+                bimodal_pred,
+                twolevel_pred,
+            },
+        }
+    }
+
+    /// Resolve a previously predicted branch: train the tables and, if
+    /// `actual` differs from the prediction implied by `ckpt`'s chooser
+    /// path, rewind the speculative history.
+    ///
+    /// `mispredicted` must be true iff the *direction* was wrong (the
+    /// caller also handles target mispredictions, which do not perturb the
+    /// history since the direction was right).
+    pub fn resolve(&mut self, ckpt: &BranchCheckpoint, actual: bool, mispredicted: bool) {
+        // Train both components with the actual outcome.
+        let b = &mut self.bimodal[ckpt.bimodal_idx as usize];
+        *b = ctr_update(*b, actual);
+        let p = &mut self.pht[ckpt.pht_idx as usize];
+        *p = ctr_update(*p, actual);
+        // Chooser trains toward whichever component was right (when they
+        // disagree).
+        if ckpt.bimodal_pred != ckpt.twolevel_pred {
+            let c = &mut self.chooser[ckpt.chooser_idx as usize];
+            *c = ctr_update(*c, ckpt.twolevel_pred == actual);
+        }
+        if mispredicted {
+            self.mispredicts += 1;
+            // History-based fixup: rewind to the pre-branch history and
+            // insert the true outcome. Any younger speculative bits are
+            // wrong-path and discarded with the squash.
+            self.history = ((ckpt.history << 1) | actual as u32) & self.history_mask;
+        }
+    }
+
+    /// Restore the history register to `ckpt` without training (used when
+    /// a squash originates from something other than this branch, e.g. a
+    /// load-store order violation replaying from an older instruction).
+    pub fn rewind(&mut self, ckpt: &BranchCheckpoint, actual: bool) {
+        self.history = ((ckpt.history << 1) | actual as u32) & self.history_mask;
+    }
+
+    /// The current (speculative) global history.
+    pub fn history(&self) -> u32 {
+        self.history
+    }
+
+    /// Overwrite the history register (squash recovery that replays from
+    /// an arbitrary instruction, e.g. a load-store order violation: the
+    /// core restores the history snapshot taken when that instruction was
+    /// fetched).
+    pub fn set_history(&mut self, history: u32) {
+        self.history = history & self.history_mask;
+    }
+
+    /// `(lookups, direction mispredictions)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.mispredicts)
+    }
+
+    /// Direction-prediction hit rate (1.0 when idle).
+    pub fn direction_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+
+    /// Reset statistics, keeping learned state.
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.mispredicts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred() -> CombinedPredictor {
+        CombinedPredictor::new(DirConfig::isca2002())
+    }
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = pred();
+        let pc = 0x1000;
+        let mut wrong = 0;
+        for _ in 0..100 {
+            let pr = p.predict(pc);
+            let mis = pr.taken != true;
+            if mis {
+                wrong += 1;
+            }
+            p.resolve(&pr.ckpt, true, mis);
+        }
+        assert!(wrong <= 2, "bimodal should converge quickly, got {wrong} wrong");
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut p = pred();
+        let pc = 0x2000;
+        let mut wrong_late = 0;
+        for i in 0..400 {
+            let actual = i % 2 == 0;
+            let pr = p.predict(pc);
+            let mis = pr.taken != actual;
+            if mis && i >= 200 {
+                wrong_late += 1;
+            }
+            p.resolve(&pr.ckpt, actual, mis);
+        }
+        // A 12-bit global history trivially captures period-2 patterns;
+        // bimodal alone cannot.
+        assert!(wrong_late <= 4, "two-level should capture alternation, got {wrong_late}");
+    }
+
+    #[test]
+    fn speculative_history_advances_and_repairs() {
+        let mut p = pred();
+        let h0 = p.history();
+        let pr = p.predict(0x3000);
+        assert_eq!(p.history() & 1, pr.taken as u32);
+        // Mispredict: history must rewind to checkpoint + actual bit.
+        let actual = !pr.taken;
+        p.resolve(&pr.ckpt, actual, true);
+        assert_eq!(p.history(), ((h0 << 1) | actual as u32) & 0xfff);
+    }
+
+    #[test]
+    fn nested_speculation_repair() {
+        let mut p = pred();
+        // Three in-flight branches, the middle one mispredicts.
+        let pr1 = p.predict(0x100);
+        let pr2 = p.predict(0x104);
+        let _pr3 = p.predict(0x108);
+        p.resolve(&pr1.ckpt, pr1.taken, false);
+        let actual2 = !pr2.taken;
+        p.resolve(&pr2.ckpt, actual2, true);
+        // History reflects branch1's outcome then branch2's actual only.
+        assert_eq!(p.history(), ((pr2.ckpt.history << 1) | actual2 as u32) & 0xfff);
+    }
+
+    #[test]
+    fn stats_track_rate() {
+        let mut p = pred();
+        for i in 0..10 {
+            let pr = p.predict(0x500);
+            let actual = i < 5;
+            p.resolve(&pr.ckpt, actual, pr.taken != actual);
+        }
+        let (lookups, _) = p.stats();
+        assert_eq!(lookups, 10);
+        assert!(p.direction_rate() <= 1.0);
+        p.reset_stats();
+        assert_eq!(p.stats(), (0, 0));
+        assert_eq!(p.direction_rate(), 1.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Branch-prediction substrate for the WIB simulator.
+//!
+//! Matches the paper's Table 1 front end: a **combined** bimodal +
+//! two-level adaptive direction predictor with *speculative history
+//! update* and history-based fixup on misprediction, a BTB (2-cycle
+//! penalty for direct jumps that miss, 9 cycles for others), a
+//! return-address stack with **pointer-and-data repair**, and the
+//! 2048-entry **store-wait table** cleared every 32768 cycles used for
+//! load-store wait prediction.
+//!
+//! Speculative update protocol: [`dir::CombinedPredictor::predict`]
+//! immediately shifts the *predicted* outcome into the global history and
+//! returns a [`dir::BranchCheckpoint`]. When the branch resolves, call
+//! [`dir::CombinedPredictor::resolve`] with the checkpoint and the actual
+//! outcome — counters train with the history the prediction actually used,
+//! and a misprediction rewinds the history register to the checkpoint
+//! before shifting in the true outcome.
+
+pub mod btb;
+pub mod dir;
+pub mod ras;
+pub mod storewait;
+
+pub use btb::{Btb, BtbConfig};
+pub use dir::{BranchCheckpoint, CombinedPredictor, DirConfig, Prediction};
+pub use ras::{Ras, RasCheckpoint};
+pub use storewait::StoreWaitTable;

@@ -1,0 +1,116 @@
+//! Return-address stack with pointer-and-data repair.
+//!
+//! Calls push the return address at fetch (speculatively); returns pop the
+//! predicted target. Because pushes and pops happen on the wrong path too,
+//! every branch checkpoint records the top-of-stack *pointer and the value
+//! under it* — restoring both repairs the RAS exactly for the common case
+//! of one net push/pop on the wrong path (Skadron et al.'s
+//! pointer-and-data scheme, which the paper adopts).
+
+/// Snapshot for repair: the stack pointer and the entry it points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasCheckpoint {
+    tos: usize,
+    top_value: u32,
+}
+
+/// A circular return-address stack.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u32>,
+    /// Index of the *next free* slot; the newest entry is at `tos - 1`.
+    tos: usize,
+}
+
+impl Ras {
+    /// Build an empty RAS with `entries` slots.
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Ras {
+        assert!(entries > 0);
+        Ras { stack: vec![0; entries], tos: 0 }
+    }
+
+    fn wrap(&self, i: usize) -> usize {
+        i % self.stack.len()
+    }
+
+    fn top_index(&self) -> usize {
+        self.wrap(self.tos + self.stack.len() - 1)
+    }
+
+    /// Push a return address (on a call).
+    pub fn push(&mut self, ret_addr: u32) {
+        let i = self.tos;
+        self.stack[i] = ret_addr;
+        self.tos = self.wrap(self.tos + 1);
+    }
+
+    /// Pop the predicted return target (on a return).
+    pub fn pop(&mut self) -> u32 {
+        self.tos = self.top_index();
+        self.stack[self.tos]
+    }
+
+    /// Capture the pointer-and-data checkpoint.
+    pub fn checkpoint(&self) -> RasCheckpoint {
+        RasCheckpoint { tos: self.tos, top_value: self.stack[self.top_index()] }
+    }
+
+    /// Restore a checkpoint taken earlier.
+    pub fn restore(&mut self, ckpt: &RasCheckpoint) {
+        self.tos = ckpt.tos;
+        let top = self.top_index();
+        self.stack[top] = ckpt.top_value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_behaviour() {
+        let mut r = Ras::new(8);
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.pop(), 0x200);
+        assert_eq!(r.pop(), 0x100);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), 3);
+        assert_eq!(r.pop(), 2);
+        assert_eq!(r.pop(), 3); // wrapped: oldest lost
+    }
+
+    #[test]
+    fn repair_after_wrong_path_pop() {
+        let mut r = Ras::new(8);
+        r.push(0xaaa);
+        let ckpt = r.checkpoint();
+        // Wrong path pops the entry and pushes junk over it.
+        let _ = r.pop();
+        r.push(0xbad);
+        r.restore(&ckpt);
+        assert_eq!(r.pop(), 0xaaa);
+    }
+
+    #[test]
+    fn repair_after_wrong_path_push() {
+        let mut r = Ras::new(8);
+        r.push(0x111);
+        r.push(0x222);
+        let ckpt = r.checkpoint();
+        r.push(0xdead); // wrong-path call
+        r.restore(&ckpt);
+        assert_eq!(r.pop(), 0x222);
+        assert_eq!(r.pop(), 0x111);
+    }
+}

@@ -1,0 +1,105 @@
+//! Load-store wait prediction (the 21264's store-wait table).
+//!
+//! A load that previously executed before an older, conflicting store is
+//! marked in this table; future instances of that load wait until all
+//! older stores have resolved their addresses. Per Table 1 the table has
+//! 2048 one-bit entries and is cleared every 32768 cycles so stale wait
+//! bits do not throttle the machine forever.
+
+/// The store-wait table.
+#[derive(Debug, Clone)]
+pub struct StoreWaitTable {
+    bits: Vec<bool>,
+    clear_interval: u64,
+    next_clear: u64,
+    sets: u64,
+}
+
+impl StoreWaitTable {
+    /// The paper's configuration: 2048 entries, cleared every 32768 cycles.
+    pub fn isca2002() -> StoreWaitTable {
+        StoreWaitTable::new(2048, 32768)
+    }
+
+    /// Build a table with `entries` bits cleared every `clear_interval`
+    /// cycles.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not a power of two or is zero.
+    pub fn new(entries: usize, clear_interval: u64) -> StoreWaitTable {
+        assert!(entries > 0 && entries.is_power_of_two());
+        StoreWaitTable {
+            bits: vec![false; entries],
+            clear_interval,
+            next_clear: clear_interval,
+            sets: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.bits.len() - 1)
+    }
+
+    /// Should the load at `pc` wait for older stores?
+    pub fn should_wait(&self, pc: u32) -> bool {
+        self.bits[self.index(pc)]
+    }
+
+    /// Record that the load at `pc` caused an order violation.
+    pub fn mark(&mut self, pc: u32) {
+        let idx = self.index(pc);
+        self.bits[idx] = true;
+        self.sets += 1;
+    }
+
+    /// Advance time; clears the table when the interval elapses.
+    pub fn tick(&mut self, now: u64) {
+        if now >= self.next_clear {
+            self.bits.fill(false);
+            // Skip forward in whole intervals (robust to large time jumps).
+            while self.next_clear <= now {
+                self.next_clear += self.clear_interval;
+            }
+        }
+    }
+
+    /// Number of times a bit was set.
+    pub fn marks(&self) -> u64 {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_test() {
+        let mut t = StoreWaitTable::isca2002();
+        assert!(!t.should_wait(0x400));
+        t.mark(0x400);
+        assert!(t.should_wait(0x400));
+        assert_eq!(t.marks(), 1);
+    }
+
+    #[test]
+    fn aliasing_is_possible() {
+        let mut t = StoreWaitTable::new(4, 100);
+        t.mark(0x0);
+        assert!(t.should_wait(0x10)); // (0x10>>2)&3 == 0: aliases
+    }
+
+    #[test]
+    fn periodic_clear() {
+        let mut t = StoreWaitTable::new(16, 100);
+        t.mark(0x8);
+        t.tick(99);
+        assert!(t.should_wait(0x8));
+        t.tick(100);
+        assert!(!t.should_wait(0x8));
+        // Re-mark and jump far ahead: still clears exactly once per call.
+        t.mark(0x8);
+        t.tick(1_000_000);
+        assert!(!t.should_wait(0x8));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: predictor history repair and RAS pointer-and-data
+//! recovery.
+
+use proptest::prelude::*;
+use wib_bpred::dir::{CombinedPredictor, DirConfig};
+use wib_bpred::ras::Ras;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After any interleaving of predictions, resolving a branch as
+    /// mispredicted must leave history == (checkpoint << 1) | actual,
+    /// masked — regardless of how many younger speculative bits piled up.
+    #[test]
+    fn history_fixup_is_exact(
+        pcs in prop::collection::vec(0u32..4096, 1..20),
+        mispredict_at in 0usize..19,
+        actual in any::<bool>(),
+    ) {
+        let mut p = CombinedPredictor::new(DirConfig::isca2002());
+        let mut ckpts = Vec::new();
+        for &pc in &pcs {
+            ckpts.push(p.predict(pc * 4).ckpt);
+        }
+        let i = mispredict_at % pcs.len();
+        p.resolve(&ckpts[i], actual, true);
+        let mask = (1u32 << 12) - 1;
+        prop_assert_eq!(p.history(), ((ckpts[i].history << 1) | actual as u32) & mask);
+    }
+
+    /// Training never breaks determinism: two identical predictors fed
+    /// identical streams stay identical.
+    #[test]
+    fn predictor_is_deterministic(
+        stream in prop::collection::vec((0u32..1024, any::<bool>()), 1..100)
+    ) {
+        let mut a = CombinedPredictor::new(DirConfig::isca2002());
+        let mut b = CombinedPredictor::new(DirConfig::isca2002());
+        for &(pc, outcome) in &stream {
+            let pa = a.predict(pc * 4);
+            let pb = b.predict(pc * 4);
+            prop_assert_eq!(pa.taken, pb.taken);
+            a.resolve(&pa.ckpt, outcome, pa.taken != outcome);
+            b.resolve(&pb.ckpt, outcome, pb.taken != outcome);
+        }
+        prop_assert_eq!(a.history(), b.history());
+    }
+
+    /// Pointer-and-data repair: one checkpoint undoes any single
+    /// wrong-path push or pop (the common cases the scheme targets).
+    #[test]
+    fn ras_repairs_single_perturbations(
+        pushes in prop::collection::vec(1u32..0xffff, 1..8),
+        wrong_push in any::<bool>(),
+    ) {
+        let mut ras = Ras::new(16);
+        for &v in &pushes {
+            ras.push(v);
+        }
+        let ckpt = ras.checkpoint();
+        if wrong_push {
+            ras.push(0xdead);
+        } else {
+            let _ = ras.pop();
+            ras.push(0xbeef); // overwrite what was there
+        }
+        ras.restore(&ckpt);
+        // The stack now pops the original values (up to capacity).
+        for &v in pushes.iter().rev() {
+            prop_assert_eq!(ras.pop(), v);
+        }
+    }
+}

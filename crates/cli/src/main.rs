@@ -1,0 +1,207 @@
+//! `wib-sim` — command-line front end for the WIB simulator.
+//!
+//! ```text
+//! wib-sim list                          benchmarks and machine specs
+//! wib-sim run <bench> [options]         simulate one benchmark
+//! wib-sim compare <bench> [options]     base vs WIB side by side
+//! wib-sim disasm <bench> [--limit N]    disassemble a kernel
+//! ```
+
+use std::process::ExitCode;
+use wib_core::{MachineConfig, Processor, RunLimit, WibOrganization};
+use wib_workloads::{eval_suite, test_suite, Workload};
+
+mod args;
+mod report;
+
+use args::{Args, ParseError};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  wib-sim list
+  wib-sim run <bench> [--config <spec>] [--insts N] [--warmup N] [--tiny] [--cosim] [--stats]
+  wib-sim compare <bench> [--insts N] [--warmup N] [--tiny]
+  wib-sim disasm <bench> [--limit N] [--tiny]
+  wib-sim trace <bench> [--config <spec>] [--limit N] [--tiny]
+  wib-sim exec <file.s> [--config <spec>] [--insts N] [--cosim] [--stats]
+
+machine specs for --config:
+  base            the paper's Table 1 base machine (default)
+  wib2k           32-entry issue queues + 2K-entry banked WIB
+  wib:<N>         WIB machine with an N-entry window (128..2048)
+  conv:<N>        conventional machine with an N-entry issue queue
+  pool:<S>x<B>    pool-of-blocks WIB, B blocks of S slots
+  nonbanked:<L>   non-banked WIB with an L-cycle access"
+}
+
+fn run(argv: &[String]) -> Result<(), ParseError> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "disasm" => cmd_disasm(&args),
+        "trace" => cmd_trace(&args),
+        "exec" => cmd_exec(&args),
+        other => Err(ParseError::new(format!("unknown command `{other}`"))),
+    }
+}
+
+fn find_workload(name: &str, tiny: bool) -> Result<Workload, ParseError> {
+    let pool = if tiny { test_suite() } else { eval_suite() };
+    pool.into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| ParseError::new(format!("unknown benchmark `{name}` (try `wib-sim list`)")))
+}
+
+fn parse_config(spec: &str) -> Result<MachineConfig, ParseError> {
+    let bad = |s: &str| ParseError::new(format!("bad machine spec `{s}`"));
+    if spec == "base" {
+        return Ok(MachineConfig::base_8way());
+    }
+    if spec == "wib2k" {
+        return Ok(MachineConfig::wib_2k());
+    }
+    if let Some(n) = spec.strip_prefix("wib:") {
+        let n: u32 = n.parse().map_err(|_| bad(spec))?;
+        return Ok(MachineConfig::wib_sized(n));
+    }
+    if let Some(n) = spec.strip_prefix("conv:") {
+        let n: u32 = n.parse().map_err(|_| bad(spec))?;
+        return Ok(MachineConfig::conventional(n));
+    }
+    if let Some(rest) = spec.strip_prefix("pool:") {
+        let (s, b) = rest.split_once('x').ok_or_else(|| bad(spec))?;
+        let slots: u32 = s.parse().map_err(|_| bad(spec))?;
+        let blocks: u32 = b.parse().map_err(|_| bad(spec))?;
+        return Ok(MachineConfig::wib_pool(slots, blocks));
+    }
+    if let Some(l) = spec.strip_prefix("nonbanked:") {
+        let latency: u64 = l.parse().map_err(|_| bad(spec))?;
+        return Ok(MachineConfig::wib_2k()
+            .with_wib_organization(WibOrganization::NonBanked { latency }));
+    }
+    Err(bad(spec))
+}
+
+fn cmd_list() -> Result<(), ParseError> {
+    println!("benchmarks (use --tiny for miniature test instances):");
+    for w in eval_suite() {
+        println!("  {:<10} [{}]", w.name(), w.suite());
+    }
+    println!("\nmachine specs: base, wib2k, wib:<N>, conv:<N>, pool:<S>x<B>, nonbanked:<L>");
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), ParseError> {
+    let bench = args.positional(1, "benchmark name")?;
+    let workload = find_workload(&bench, args.flag("tiny"))?;
+    let cfg = parse_config(&args.option("config").unwrap_or_else(|| "base".into()))?;
+    let mut processor = Processor::new(cfg);
+    if args.flag("cosim") {
+        processor.enable_cosim();
+    }
+    let insts = args.number("insts", 200_000)?;
+    let warmup = args.number("warmup", 200_000)?;
+    let start = std::time::Instant::now();
+    let result = processor.run_program_warmed(
+        workload.program(),
+        warmup,
+        RunLimit::instructions(insts),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    report::summary(workload.name(), &result, wall);
+    if args.flag("stats") {
+        report::detail(&result);
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), ParseError> {
+    let bench = args.positional(1, "benchmark name")?;
+    let workload = find_workload(&bench, args.flag("tiny"))?;
+    let insts = args.number("insts", 200_000)?;
+    let warmup = args.number("warmup", 200_000)?;
+    let limit = RunLimit::instructions(insts);
+    println!("{}: base vs WIB ({insts} instructions after {warmup} warm-up)\n", workload.name());
+    let base = Processor::new(MachineConfig::base_8way())
+        .run_program_warmed(workload.program(), warmup, limit);
+    let wib = Processor::new(MachineConfig::wib_2k())
+        .run_program_warmed(workload.program(), warmup, limit);
+    report::compare(&base, &wib);
+    Ok(())
+}
+
+fn cmd_exec(args: &Args) -> Result<(), ParseError> {
+    let path = args.positional(1, "assembly file")?;
+    let source = std::fs::read_to_string(&path)
+        .map_err(|e| ParseError::new(format!("cannot read `{path}`: {e}")))?;
+    let program = wib_isa::text::parse_program(&source)
+        .map_err(|e| ParseError::new(format!("{path}: {e}")))?;
+    let cfg = parse_config(&args.option("config").unwrap_or_else(|| "base".into()))?;
+    let mut processor = Processor::new(cfg);
+    if args.flag("cosim") {
+        processor.enable_cosim();
+    }
+    let insts = args.number("insts", 1_000_000)?;
+    let start = std::time::Instant::now();
+    let result = processor.run_program(&program, RunLimit::instructions(insts));
+    report::summary(&path, &result, start.elapsed().as_secs_f64());
+    if args.flag("stats") {
+        report::detail(&result);
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), ParseError> {
+    let bench = args.positional(1, "benchmark name")?;
+    let workload = find_workload(&bench, args.flag("tiny"))?;
+    let cfg = parse_config(&args.option("config").unwrap_or_else(|| "wib2k".into()))?;
+    let limit = args.number("limit", 48)? as usize;
+    let insts = args.number("insts", (limit as u64).max(1_000))?;
+    let processor = Processor::new(cfg);
+    let (result, trace) =
+        processor.run_program_traced(workload.program(), RunLimit::instructions(insts), limit);
+    println!(
+        "{}: first {} committed instructions (IPC {:.3}); columns are cycles:",
+        workload.name(),
+        trace.records().len(),
+        result.ipc()
+    );
+    print!("{trace}");
+    Ok(())
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), ParseError> {
+    let bench = args.positional(1, "benchmark name")?;
+    let workload = find_workload(&bench, args.flag("tiny"))?;
+    let limit = args.number("limit", 64)? as usize;
+    let program = workload.program();
+    println!(
+        "{}: {} instructions, {} bytes of initialized data, entry {:#x}",
+        workload.name(),
+        program.len(),
+        program.data_bytes(),
+        program.entry
+    );
+    for (addr, text) in program.disassemble().into_iter().take(limit) {
+        println!("  {addr:#010x}: {text}");
+    }
+    if program.len() > limit {
+        println!("  ... ({} more; use --limit)", program.len() - limit);
+    }
+    Ok(())
+}

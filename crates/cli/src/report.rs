@@ -1,0 +1,78 @@
+//! Result formatting for the CLI.
+
+use wib_core::RunResult;
+
+/// One-line run summary.
+pub fn summary(name: &str, r: &RunResult, wall_seconds: f64) {
+    println!(
+        "{name}: {} instructions in {} cycles -> IPC {:.3}  ({})",
+        r.stats.committed,
+        r.stats.cycles,
+        r.ipc(),
+        if r.halted { "halted" } else { "limit reached" }
+    );
+    println!(
+        "simulated at {:.2} M instructions/s of wall-clock",
+        r.stats.committed as f64 / wall_seconds / 1e6
+    );
+}
+
+/// Full statistics dump.
+pub fn detail(r: &RunResult) {
+    let s = &r.stats;
+    println!("\nfront end:");
+    println!("  fetched        {:>12}", s.fetched);
+    println!("  dispatched     {:>12}", s.dispatched);
+    println!("  issued         {:>12}", s.issued);
+    println!("branches:");
+    println!("  conditional    {:>12}", s.cond_branches);
+    println!("  dir mispredict {:>12}  ({:.2}% correct)", s.dir_mispredicts, 100.0 * s.branch_dir_rate());
+    println!("  target mispred {:>12}", s.target_mispredicts);
+    println!("  order replays  {:>12}", s.order_violations);
+    println!("memory:");
+    println!("  loads/stores   {:>12} / {}", s.committed_loads, s.committed_stores);
+    println!("  L1D miss ratio {:>11.2}%", 100.0 * s.mem.l1d_miss_ratio());
+    println!("  L2 local miss  {:>11.2}%", 100.0 * s.mem.l2_local_miss_ratio());
+    println!("  MSHR merges    {:>12}", s.mem.mshr_merges);
+    println!("window:");
+    println!("  WIB insertions {:>12}", s.wib_insertions);
+    println!("  WIB extractions{:>12}", s.wib_extractions);
+    println!("  avg trips      {:>12.2}", s.wib_avg_insertions());
+    println!("  max trips      {:>12}", s.wib_max_insertions_per_inst);
+    println!("  vector dry     {:>12}", s.wib_column_exhausted);
+    println!("  pool stalls    {:>12}", s.wib_pool_stalls);
+    println!("  RF L2 reads    {:>12}", s.rf_l2_reads);
+    println!("occupancy (sampled):");
+    println!("  active list    {}", s.occupancy_window);
+    println!("  issue queues   {}", s.occupancy_iq);
+    println!("  WIB            {}", s.occupancy_wib);
+    println!("stalls (dispatch-blocked cycles):");
+    println!("  active list    {:>12}", s.stall_active_list);
+    println!("  issue queue    {:>12}", s.stall_issue_queue);
+    println!("  LSQ            {:>12}", s.stall_lsq);
+    println!("  registers      {:>12}", s.stall_regs);
+}
+
+/// Side-by-side base vs WIB.
+pub fn compare(base: &RunResult, wib: &RunResult) {
+    println!("{:<22} {:>12} {:>12}", "", "base", "WIB");
+    let row = |k: &str, a: String, b: String| println!("{k:<22} {a:>12} {b:>12}");
+    row("IPC", format!("{:.3}", base.ipc()), format!("{:.3}", wib.ipc()));
+    row("cycles", base.stats.cycles.to_string(), wib.stats.cycles.to_string());
+    row(
+        "branch dir rate",
+        format!("{:.3}", base.stats.branch_dir_rate()),
+        format!("{:.3}", wib.stats.branch_dir_rate()),
+    );
+    row(
+        "L1D miss ratio",
+        format!("{:.3}", base.stats.mem.l1d_miss_ratio()),
+        format!("{:.3}", wib.stats.mem.l1d_miss_ratio()),
+    );
+    row(
+        "WIB insertions",
+        base.stats.wib_insertions.to_string(),
+        wib.stats.wib_insertions.to_string(),
+    );
+    println!("\nspeedup: {:.2}x", wib.ipc() / base.ipc());
+}

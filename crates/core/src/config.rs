@@ -1,0 +1,475 @@
+//! Machine configuration and the paper's preset machines.
+
+use wib_bpred::btb::BtbConfig;
+use wib_bpred::dir::DirConfig;
+use wib_mem::hier::HierConfig;
+
+/// Functional-unit counts and latencies (paper Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuConfig {
+    /// 1-cycle integer ALUs.
+    pub int_alu: u32,
+    /// Pipelined integer multipliers.
+    pub int_mul: u32,
+    /// Integer multiply latency.
+    pub int_mul_latency: u64,
+    /// Pipelined FP adders.
+    pub fp_add: u32,
+    /// FP add latency.
+    pub fp_add_latency: u64,
+    /// Pipelined FP multipliers.
+    pub fp_mul: u32,
+    /// FP multiply latency.
+    pub fp_mul_latency: u64,
+    /// Non-pipelined FP dividers.
+    pub fp_div: u32,
+    /// FP divide latency.
+    pub fp_div_latency: u64,
+    /// Non-pipelined FP square-root units.
+    pub fp_sqrt: u32,
+    /// FP square-root latency.
+    pub fp_sqrt_latency: u64,
+    /// D-cache ports (simultaneous load/store issues per cycle).
+    pub mem_ports: u32,
+}
+
+impl Default for FuConfig {
+    fn default() -> FuConfig {
+        FuConfig {
+            int_alu: 8,
+            int_mul: 2,
+            int_mul_latency: 7,
+            fp_add: 4,
+            fp_add_latency: 4,
+            fp_mul: 2,
+            fp_mul_latency: 4,
+            fp_div: 2,
+            fp_div_latency: 12,
+            fp_sqrt: 2,
+            fp_sqrt_latency: 24,
+            mem_ports: 4,
+        }
+    }
+}
+
+/// Physical register file organization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegFileConfig {
+    /// All registers readable in a single cycle (the conventional
+    /// configurations, which would not meet cycle time at large sizes —
+    /// the paper's 2K-IQ/2K comparison explicitly ignores that).
+    SingleLevel,
+    /// Two-level register file: a small first level backed by a larger
+    /// pipelined second level (Cruz et al. / Zalamea et al., as adopted by
+    /// the paper's WIB machine).
+    TwoLevel {
+        /// Registers cached in the first level (per class).
+        l1_regs: u32,
+        /// Extra cycles for an operand read that misses the first level.
+        l2_latency: u64,
+        /// Second-level read ports (per class, per cycle).
+        l2_read_ports: u32,
+    },
+    /// Multi-banked register file (Cruz et al. / Balasubramonian et al.):
+    /// registers are interleaved across banks with limited read ports per
+    /// bank; an operand read that loses the per-cycle port race is
+    /// delayed one cycle. The paper reports this alternative "shows
+    /// similar results" to the two-level file (section 3.4).
+    MultiBanked {
+        /// Number of banks (per class, power of two).
+        banks: u32,
+        /// Read ports per bank per cycle.
+        ports_per_bank: u32,
+        /// Extra cycles for a read that exceeds a bank's ports.
+        conflict_penalty: u64,
+    },
+}
+
+impl RegFileConfig {
+    /// The paper's WIB register file: 128 L1 registers, 4-cycle pipelined
+    /// L2 with 4 read ports.
+    pub fn two_level_128() -> RegFileConfig {
+        RegFileConfig::TwoLevel { l1_regs: 128, l2_latency: 4, l2_read_ports: 4 }
+    }
+
+    /// A multi-banked alternative of comparable cost: 8 banks with 2 read
+    /// ports each, 1-cycle conflict penalty.
+    pub fn multi_banked_8x2() -> RegFileConfig {
+        RegFileConfig::MultiBanked { banks: 8, ports_per_bank: 2, conflict_penalty: 1 }
+    }
+}
+
+/// Which cache level's miss signal moves dependents to the WIB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WibTrigger {
+    /// Any L1 data-cache load miss (the 21264 "load miss" signal the
+    /// paper leverages).
+    L1Miss,
+    /// Only misses that leave the chip (L2 misses).
+    L2Miss,
+}
+
+/// Physical organization of the WIB storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WibOrganization {
+    /// The paper's default: banks operating on alternate cycles, one
+    /// extraction per bank per two cycles, round-robin bank priority.
+    Banked {
+        /// Number of banks (the paper uses 2x the reinsertion width = 16).
+        banks: u32,
+    },
+    /// A monolithic WIB with a multi-cycle access; extraction happens in
+    /// full program order once per `latency` cycles (paper section 4.5).
+    NonBanked {
+        /// Access latency in cycles (the paper evaluates 4 and 6).
+        latency: u64,
+    },
+    /// Idealized single-cycle access to the whole structure (used for the
+    /// selection-policy study in section 4.4).
+    Ideal,
+    /// The paper's section 3.5 alternative: a pool of fixed-size blocks,
+    /// one chain of blocks per load miss, instructions deposited in
+    /// dependence order. Insertion fails when the pool is exhausted (the
+    /// instruction stalls in the issue queue) — the hazard that made the
+    /// paper prefer the bit-vector design.
+    PoolOfBlocks {
+        /// Instruction slots per block.
+        block_slots: u32,
+        /// Total blocks in the pool.
+        blocks: u32,
+    },
+}
+
+/// Policy for choosing among eligible instructions to reinsert (paper
+/// section 4.4). Only meaningful with [`WibOrganization::Ideal`];
+/// the banked organization implies per-bank program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Full program order among all eligible instructions (policy 2).
+    ProgramOrder,
+    /// Round-robin across completed loads, each load's instructions in
+    /// program order (policy 3).
+    RoundRobinLoads,
+    /// All instructions from the oldest completed load first (policy 4).
+    OldestLoadFirst,
+}
+
+/// Waiting-instruction-buffer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WibConfig {
+    /// Storage organization.
+    pub organization: WibOrganization,
+    /// Selection policy (used by `Ideal`; `Banked` uses per-bank program
+    /// order and `NonBanked` full program order).
+    pub policy: SelectionPolicy,
+    /// Maximum simultaneous bit-vectors (tracked outstanding load misses).
+    /// A load miss that cannot get a bit-vector leaves its dependents in
+    /// the issue queue, as on a conventional machine.
+    pub max_bit_vectors: u32,
+    /// Which miss level diverts dependents to the WIB.
+    pub trigger: WibTrigger,
+    /// The paper's section 6 extension: also divert the dependence chains
+    /// of long non-pipelined FP operations (divide, square root) — "we
+    /// believe our technique could be extended to other types of long
+    /// latency operations". Off by default (the paper evaluates load
+    /// misses only).
+    pub divert_long_fp_ops: bool,
+}
+
+impl WibConfig {
+    /// The paper's default WIB: 16 banks, unlimited bit-vectors (bounded
+    /// by the load queue), triggered by L1 load misses.
+    pub fn isca2002(load_queue: u32) -> WibConfig {
+        WibConfig {
+            organization: WibOrganization::Banked { banks: 16 },
+            policy: SelectionPolicy::ProgramOrder,
+            max_bit_vectors: load_queue,
+            trigger: WibTrigger::L1Miss,
+            divert_long_fp_ops: false,
+        }
+    }
+}
+
+/// Complete machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions renamed/dispatched per cycle (shared with WIB
+    /// reinsertion, which has priority).
+    pub decode_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Integer issue width.
+    pub issue_width_int: u32,
+    /// Floating-point issue width.
+    pub issue_width_fp: u32,
+    /// Instruction fetch queue entries.
+    pub ifq_size: u32,
+    /// Integer issue queue entries.
+    pub iq_int_size: u32,
+    /// Floating-point issue queue entries.
+    pub iq_fp_size: u32,
+    /// Active list (reorder buffer) entries. The WIB, when present, has
+    /// exactly this many entries.
+    pub active_list: u32,
+    /// Load queue entries.
+    pub load_queue: u32,
+    /// Store queue entries.
+    pub store_queue: u32,
+    /// Physical registers per class (integer and FP each).
+    pub regs_per_class: u32,
+    /// Register file organization.
+    pub regfile: RegFileConfig,
+    /// Functional units.
+    pub fu: FuConfig,
+    /// Memory hierarchy.
+    pub mem: HierConfig,
+    /// Direction predictor sizing.
+    pub dir: DirConfig,
+    /// BTB sizing.
+    pub btb: BtbConfig,
+    /// Return-address-stack entries.
+    pub ras_entries: u32,
+    /// Extra cycles charged on a branch misprediction redirect, on top of
+    /// the natural front-end refill (calibrates to the 21264's ~7-cycle
+    /// penalty).
+    pub mispredict_extra_penalty: u64,
+    /// Cycles between fetch and dispatch (the slot + rename stages).
+    pub front_end_delay: u64,
+    /// Extra fetch bubble when a taken direct jump misses the BTB.
+    pub btb_miss_penalty_direct: u64,
+    /// Extra fetch bubble for other control instructions missing the BTB.
+    pub btb_miss_penalty_other: u64,
+    /// The WIB, if this machine has one.
+    pub wib: Option<WibConfig>,
+}
+
+impl MachineConfig {
+    /// The paper's base machine (Table 1): 32-entry issue queues, 128-entry
+    /// active list, 128 registers per class, 64/64 LSQ, no WIB.
+    pub fn base_8way() -> MachineConfig {
+        MachineConfig {
+            fetch_width: 8,
+            decode_width: 8,
+            commit_width: 8,
+            issue_width_int: 8,
+            issue_width_fp: 4,
+            ifq_size: 8,
+            iq_int_size: 32,
+            iq_fp_size: 32,
+            active_list: 128,
+            load_queue: 64,
+            store_queue: 64,
+            regs_per_class: 128,
+            regfile: RegFileConfig::SingleLevel,
+            fu: FuConfig::default(),
+            mem: HierConfig::isca2002_base(),
+            dir: DirConfig::isca2002(),
+            btb: BtbConfig::isca2002(),
+            ras_entries: 32,
+            mispredict_extra_penalty: 2,
+            front_end_delay: 2,
+            btb_miss_penalty_direct: 2,
+            btb_miss_penalty_other: 9,
+            wib: None,
+        }
+    }
+
+    /// A conventional (no-WIB) machine with the given issue queue size,
+    /// scaled per the paper's limit study (section 2.2.2): for issue
+    /// queues of 32/64/128 the active list stays at 128; beyond that the
+    /// active list, register files and issue queue are all equal, and the
+    /// load/store queues are half the active list.
+    pub fn conventional(iq_size: u32) -> MachineConfig {
+        let mut cfg = MachineConfig::base_8way();
+        cfg.iq_int_size = iq_size;
+        cfg.iq_fp_size = iq_size;
+        if iq_size > 128 {
+            cfg.active_list = iq_size;
+            cfg.regs_per_class = iq_size;
+            cfg.load_queue = iq_size / 2;
+            cfg.store_queue = iq_size / 2;
+        }
+        cfg
+    }
+
+    /// The paper's headline WIB machine: 32-entry issue queues, 2K-entry
+    /// active list and WIB, 2K registers per class behind a two-level
+    /// register file (128 L1), 1K/1K load/store queues.
+    pub fn wib_2k() -> MachineConfig {
+        MachineConfig::wib_sized(2048)
+    }
+
+    /// A WIB machine with the given active-list/WIB capacity; register
+    /// files scale with it and the LSQ is half its size (paper section
+    /// 4.3). Capacities of 128..=2048 reproduce Figure 6.
+    pub fn wib_sized(window: u32) -> MachineConfig {
+        let mut cfg = MachineConfig::base_8way();
+        cfg.active_list = window;
+        cfg.regs_per_class = window.max(128);
+        cfg.load_queue = (window / 2).max(64);
+        cfg.store_queue = (window / 2).max(64);
+        cfg.regfile = RegFileConfig::two_level_128();
+        cfg.wib = Some(WibConfig::isca2002(cfg.load_queue));
+        cfg
+    }
+
+    /// The section 3.5 alternative: the WIB machine with a pool-of-blocks
+    /// buffer (`blocks` blocks of `block_slots` instructions) instead of
+    /// the bit-vector organization.
+    pub fn wib_pool(block_slots: u32, blocks: u32) -> MachineConfig {
+        MachineConfig::wib_2k()
+            .with_wib_organization(WibOrganization::PoolOfBlocks { block_slots, blocks })
+    }
+
+    /// Cap the number of WIB bit-vectors (paper Figure 5).
+    ///
+    /// # Panics
+    /// Panics if this machine has no WIB.
+    pub fn with_bit_vectors(mut self, n: u32) -> MachineConfig {
+        self.wib.as_mut().expect("machine has no WIB").max_bit_vectors = n;
+        self
+    }
+
+    /// Replace the WIB organization (paper sections 4.4/4.5).
+    ///
+    /// # Panics
+    /// Panics if this machine has no WIB.
+    pub fn with_wib_organization(mut self, org: WibOrganization) -> MachineConfig {
+        self.wib.as_mut().expect("machine has no WIB").organization = org;
+        self
+    }
+
+    /// Replace the WIB selection policy (paper section 4.4).
+    ///
+    /// # Panics
+    /// Panics if this machine has no WIB.
+    pub fn with_wib_policy(mut self, policy: SelectionPolicy) -> MachineConfig {
+        self.wib.as_mut().expect("machine has no WIB").policy = policy;
+        self
+    }
+
+    /// Enable the section 6 extension: chains of long non-pipelined FP
+    /// operations also park in the WIB.
+    ///
+    /// # Panics
+    /// Panics if this machine has no WIB.
+    pub fn with_long_fp_divert(mut self) -> MachineConfig {
+        self.wib.as_mut().expect("machine has no WIB").divert_long_fp_ops = true;
+        self
+    }
+
+    /// Set the DRAM latency (the paper's 100-cycle sensitivity study).
+    pub fn with_memory_latency(mut self, cycles: u64) -> MachineConfig {
+        self.mem.mem_latency = cycles;
+        self
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.active_list == 0 || !self.active_list.is_power_of_two() {
+            return Err(format!("active list must be a power of two, got {}", self.active_list));
+        }
+        if self.regs_per_class < 64 {
+            return Err("need at least 64 physical registers per class".to_string());
+        }
+        if let RegFileConfig::TwoLevel { l1_regs, .. } = self.regfile {
+            if l1_regs == 0 {
+                return Err("two-level register file needs a nonzero L1".to_string());
+            }
+        }
+        if let Some(wib) = &self.wib {
+            if wib.max_bit_vectors == 0 {
+                return Err("WIB needs at least one bit-vector".to_string());
+            }
+            match wib.organization {
+                WibOrganization::Banked { banks }
+                    if (banks == 0 || !self.active_list.is_multiple_of(banks)) => {
+                        return Err(format!(
+                            "WIB banks ({banks}) must divide the active list ({})",
+                            self.active_list
+                        ));
+                    }
+                WibOrganization::PoolOfBlocks { block_slots, blocks }
+                    if (block_slots == 0 || blocks == 0) => {
+                        return Err("pool-of-blocks WIB needs nonzero geometry".to_string());
+                    }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        MachineConfig::base_8way().validate().unwrap();
+        MachineConfig::wib_2k().validate().unwrap();
+        for iq in [32, 64, 128, 256, 512, 1024, 2048, 4096] {
+            MachineConfig::conventional(iq).validate().unwrap();
+        }
+        for w in [128, 256, 512, 1024, 2048] {
+            MachineConfig::wib_sized(w).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn limit_study_scaling_rules() {
+        let small = MachineConfig::conventional(64);
+        assert_eq!(small.active_list, 128);
+        assert_eq!(small.load_queue, 64);
+        let big = MachineConfig::conventional(1024);
+        assert_eq!(big.active_list, 1024);
+        assert_eq!(big.regs_per_class, 1024);
+        assert_eq!(big.load_queue, 512);
+    }
+
+    #[test]
+    fn wib_preset_matches_paper() {
+        let cfg = MachineConfig::wib_2k();
+        assert_eq!(cfg.active_list, 2048);
+        assert_eq!(cfg.iq_int_size, 32);
+        assert_eq!(cfg.load_queue, 1024);
+        assert_eq!(cfg.regfile, RegFileConfig::two_level_128());
+        let wib = cfg.wib.unwrap();
+        assert_eq!(wib.organization, WibOrganization::Banked { banks: 16 });
+        assert_eq!(wib.max_bit_vectors, 1024);
+    }
+
+    #[test]
+    fn builders_modify_wib() {
+        let cfg = MachineConfig::wib_2k().with_bit_vectors(16);
+        assert_eq!(cfg.wib.as_ref().unwrap().max_bit_vectors, 16);
+        let cfg = cfg.with_wib_organization(WibOrganization::NonBanked { latency: 4 });
+        assert_eq!(
+            cfg.wib.as_ref().unwrap().organization,
+            WibOrganization::NonBanked { latency: 4 }
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = MachineConfig::base_8way();
+        cfg.active_list = 100; // not a power of two
+        assert!(cfg.validate().is_err());
+        let cfg = MachineConfig::wib_2k().with_bit_vectors(0);
+        assert!(cfg.validate().is_err());
+        let mut cfg = MachineConfig::wib_2k();
+        cfg.wib.as_mut().unwrap().organization = WibOrganization::Banked { banks: 24 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn memory_latency_override() {
+        let cfg = MachineConfig::base_8way().with_memory_latency(100);
+        assert_eq!(cfg.mem.mem_latency, 100);
+    }
+}

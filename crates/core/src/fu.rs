@@ -1,0 +1,146 @@
+//! Functional-unit pool: per-cycle issue slots for pipelined units and
+//! busy tracking for the non-pipelined FP divide / square-root units.
+
+use crate::config::FuConfig;
+use wib_isa::inst::FuKind;
+
+/// Tracks functional-unit availability cycle by cycle.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    cfg: FuConfig,
+    // Per-cycle issue counters (pipelined units accept one op per cycle).
+    int_alu_used: u32,
+    int_mul_used: u32,
+    fp_add_used: u32,
+    fp_mul_used: u32,
+    mem_used: u32,
+    // Non-pipelined units: busy-until cycle per unit instance.
+    fp_div_busy: Vec<u64>,
+    fp_sqrt_busy: Vec<u64>,
+}
+
+impl FuPool {
+    /// Build a pool from the configuration.
+    pub fn new(cfg: FuConfig) -> FuPool {
+        FuPool {
+            fp_div_busy: vec![0; cfg.fp_div as usize],
+            fp_sqrt_busy: vec![0; cfg.fp_sqrt as usize],
+            cfg,
+            int_alu_used: 0,
+            int_mul_used: 0,
+            fp_add_used: 0,
+            fp_mul_used: 0,
+            mem_used: 0,
+        }
+    }
+
+    /// Reset the per-cycle issue counters. Call once at the start of each
+    /// cycle's select phase.
+    pub fn begin_cycle(&mut self) {
+        self.int_alu_used = 0;
+        self.int_mul_used = 0;
+        self.fp_add_used = 0;
+        self.fp_mul_used = 0;
+        self.mem_used = 0;
+    }
+
+    /// Try to claim a unit of `kind` at cycle `now`; returns the execute
+    /// latency on success. Memory operations claim a D-cache port and the
+    /// returned latency covers address generation only (the cache access
+    /// is modeled separately).
+    pub fn try_issue(&mut self, kind: FuKind, now: u64) -> Option<u64> {
+        match kind {
+            FuKind::IntAlu => {
+                claim(&mut self.int_alu_used, self.cfg.int_alu).then_some(1)
+            }
+            FuKind::IntMul => {
+                claim(&mut self.int_mul_used, self.cfg.int_mul).then_some(self.cfg.int_mul_latency)
+            }
+            FuKind::FpAdd => {
+                claim(&mut self.fp_add_used, self.cfg.fp_add).then_some(self.cfg.fp_add_latency)
+            }
+            FuKind::FpMul => {
+                claim(&mut self.fp_mul_used, self.cfg.fp_mul).then_some(self.cfg.fp_mul_latency)
+            }
+            FuKind::FpDiv => {
+                claim_nonpipelined(&mut self.fp_div_busy, now, self.cfg.fp_div_latency)
+            }
+            FuKind::FpSqrt => {
+                claim_nonpipelined(&mut self.fp_sqrt_busy, now, self.cfg.fp_sqrt_latency)
+            }
+            FuKind::Mem => claim(&mut self.mem_used, self.cfg.mem_ports).then_some(1),
+        }
+    }
+}
+
+fn claim(used: &mut u32, limit: u32) -> bool {
+    if *used < limit {
+        *used += 1;
+        true
+    } else {
+        false
+    }
+}
+
+fn claim_nonpipelined(busy: &mut [u64], now: u64, latency: u64) -> Option<u64> {
+    let unit = busy.iter_mut().find(|b| **b <= now)?;
+    *unit = now + latency;
+    Some(latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> FuPool {
+        FuPool::new(FuConfig::default())
+    }
+
+    #[test]
+    fn pipelined_per_cycle_limits() {
+        let mut p = pool();
+        p.begin_cycle();
+        for _ in 0..8 {
+            assert_eq!(p.try_issue(FuKind::IntAlu, 0), Some(1));
+        }
+        assert_eq!(p.try_issue(FuKind::IntAlu, 0), None);
+        p.begin_cycle();
+        assert_eq!(p.try_issue(FuKind::IntAlu, 1), Some(1));
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        let mut p = pool();
+        p.begin_cycle();
+        assert_eq!(p.try_issue(FuKind::IntMul, 0), Some(7));
+        assert_eq!(p.try_issue(FuKind::FpAdd, 0), Some(4));
+        assert_eq!(p.try_issue(FuKind::FpMul, 0), Some(4));
+        assert_eq!(p.try_issue(FuKind::FpDiv, 0), Some(12));
+        assert_eq!(p.try_issue(FuKind::FpSqrt, 0), Some(24));
+        assert_eq!(p.try_issue(FuKind::Mem, 0), Some(1));
+    }
+
+    #[test]
+    fn nonpipelined_units_stay_busy() {
+        let mut p = pool();
+        p.begin_cycle();
+        // Two dividers: third divide in the same window must wait.
+        assert!(p.try_issue(FuKind::FpDiv, 0).is_some());
+        assert!(p.try_issue(FuKind::FpDiv, 0).is_some());
+        assert!(p.try_issue(FuKind::FpDiv, 0).is_none());
+        p.begin_cycle();
+        assert!(p.try_issue(FuKind::FpDiv, 5).is_none()); // still busy
+        p.begin_cycle();
+        assert!(p.try_issue(FuKind::FpDiv, 12).is_some()); // freed
+    }
+
+    #[test]
+    fn mem_ports_limit() {
+        let mut p = pool();
+        p.begin_cycle();
+        for _ in 0..4 {
+            assert!(p.try_issue(FuKind::Mem, 0).is_some());
+        }
+        assert!(p.try_issue(FuKind::Mem, 0).is_none());
+    }
+}

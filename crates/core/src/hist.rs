@@ -1,0 +1,119 @@
+//! Small fixed-bucket histograms for occupancy and latency statistics.
+
+use std::fmt;
+
+/// A histogram over `0..=max` with unit-width buckets (values above `max`
+/// clamp into the last bucket).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// A histogram with buckets for `0..=max`.
+    pub fn new(max: usize) -> Histogram {
+        Histogram { buckets: vec![0; max + 1], count: 0, sum: 0, max_seen: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample observed (unclamped).
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of the samples
+    /// are `<= v` (clamped values report the last bucket).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (v, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= threshold {
+                return v as u64;
+            }
+        }
+        (self.buckets.len() - 1) as u64
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p90={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let mut h = Histogram::new(10);
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert!((h.mean() - 4.5).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 9);
+        assert_eq!(h.max(), 9);
+    }
+
+    #[test]
+    fn clamping_preserves_mean_and_max() {
+        let mut h = Histogram::new(4);
+        h.record(100);
+        assert_eq!(h.buckets()[4], 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new(4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.to_string().contains("n=0"));
+    }
+}

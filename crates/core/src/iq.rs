@@ -1,0 +1,298 @@
+//! Event-driven issue queue with wakeup-select and WIB pretend-ready
+//! support.
+//!
+//! Entries do not poll their operands: the processor subscribes pending
+//! operands to the producing physical register and calls
+//! [`IssueQueue::satisfy`] when the register becomes ready (true wakeup)
+//! or gains a wait bit (pretend-ready wakeup, which routes the consumer to
+//! the WIB). Entries whose operands are all satisfied sit in an age-ordered
+//! ready set that select logic walks oldest-first.
+
+use crate::types::{PhysReg, Seq, SrcRef};
+use std::collections::{BTreeSet, HashMap};
+use wib_isa::reg::RegClass;
+
+/// Per-operand wakeup status inside the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcStatus {
+    /// Value available.
+    Ready,
+    /// Producer chain hangs off an outstanding load miss (wait bit):
+    /// satisfied for *pretend-ready* selection.
+    Wait,
+    /// Still waiting for a broadcast.
+    Pending,
+}
+
+/// One issue-queue entry.
+#[derive(Debug, Clone)]
+pub struct IqEntry {
+    /// Source operands (None = no operand in that slot).
+    pub srcs: [Option<(SrcRef, SrcStatus)>; 2],
+    pending: u8,
+}
+
+impl IqEntry {
+    /// Build an entry from operand references and initial statuses.
+    pub fn new(srcs: [Option<(SrcRef, SrcStatus)>; 2]) -> IqEntry {
+        let pending = srcs
+            .iter()
+            .flatten()
+            .filter(|(_, s)| *s == SrcStatus::Pending)
+            .count() as u8;
+        IqEntry { srcs, pending }
+    }
+
+    /// True when no operand is still pending.
+    pub fn is_satisfied(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// True when satisfied and at least one operand rides a wait bit.
+    pub fn is_pretend(&self) -> bool {
+        self.is_satisfied()
+            && self.srcs.iter().flatten().any(|(_, s)| *s == SrcStatus::Wait)
+    }
+}
+
+/// An age-ordered issue queue.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    capacity: usize,
+    entries: HashMap<Seq, IqEntry>,
+    ready: BTreeSet<Seq>,
+}
+
+impl IssueQueue {
+    /// An empty queue with `capacity` entries.
+    pub fn new(capacity: usize) -> IssueQueue {
+        IssueQueue { capacity, entries: HashMap::new(), ready: BTreeSet::new() }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no instructions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free slots (0 when at or beyond nominal capacity — the queue can
+    /// briefly hold one overflow entry, see [`IssueQueue::insert_overflow`]).
+    pub fn free_slots(&self) -> usize {
+        self.capacity.saturating_sub(self.entries.len())
+    }
+
+    /// True if an instruction with this sequence number is resident.
+    pub fn contains(&self, seq: Seq) -> bool {
+        self.entries.contains_key(&seq)
+    }
+
+    /// Insert a dispatched (or WIB-reinserted) instruction.
+    ///
+    /// # Panics
+    /// Panics if the queue is full or `seq` is already present.
+    pub fn insert(&mut self, seq: Seq, entry: IqEntry) {
+        assert!(self.entries.len() < self.capacity, "issue queue overflow");
+        self.insert_unchecked(seq, entry);
+    }
+
+    /// Insert past nominal capacity (at most one extra entry). Reserved
+    /// for the forward-progress guarantee: the oldest in-flight
+    /// instruction can always reenter the queue from the WIB — all its
+    /// elders have committed, so it issues (and frees the slot) at once.
+    ///
+    /// # Panics
+    /// Panics if the queue already holds an overflow entry or `seq` is
+    /// already present.
+    pub fn insert_overflow(&mut self, seq: Seq, entry: IqEntry) {
+        assert!(self.entries.len() <= self.capacity, "double overflow");
+        self.insert_unchecked(seq, entry);
+    }
+
+    fn insert_unchecked(&mut self, seq: Seq, entry: IqEntry) {
+        if entry.is_satisfied() {
+            self.ready.insert(seq);
+        }
+        let prev = self.entries.insert(seq, entry);
+        assert!(prev.is_none(), "duplicate issue-queue entry {seq}");
+    }
+
+    /// Wake operand `preg` of instruction `seq`: a broadcast arrived
+    /// (`status` = `Ready`) or the producer moved to the WIB
+    /// (`status` = `Wait`). Returns true if the instruction was found.
+    pub fn satisfy(&mut self, seq: Seq, preg: PhysReg, class: RegClass, status: SrcStatus) -> bool {
+        let Some(entry) = self.entries.get_mut(&seq) else {
+            return false;
+        };
+        let mut hit = false;
+        for src in entry.srcs.iter_mut().flatten() {
+            if src.0.preg == preg && src.0.class == class && src.1 == SrcStatus::Pending {
+                src.1 = status;
+                entry.pending -= 1;
+                hit = true;
+            }
+        }
+        if hit && entry.pending == 0 {
+            self.ready.insert(seq);
+        }
+        hit
+    }
+
+    /// Ready instructions, oldest first.
+    pub fn ready_seqs(&self) -> impl Iterator<Item = Seq> + '_ {
+        self.ready.iter().copied()
+    }
+
+    /// Immutable view of an entry.
+    pub fn entry(&self, seq: Seq) -> Option<&IqEntry> {
+        self.entries.get(&seq)
+    }
+
+    /// Remove an instruction (issued, moved to the WIB, or squashed).
+    /// Returns its entry if present.
+    pub fn remove(&mut self, seq: Seq) -> Option<IqEntry> {
+        self.ready.remove(&seq);
+        self.entries.remove(&seq)
+    }
+
+    /// Diagnostic: snapshot of every entry, oldest first.
+    #[doc(hidden)]
+    pub fn dump(&self) -> Vec<(Seq, IqEntry)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(s, e)| (*s, e.clone())).collect();
+        v.sort_by_key(|(s, _)| *s);
+        v
+    }
+
+    /// Demote an operand that validation found neither ready nor waiting
+    /// (its producer was reinserted from the WIB and has not executed
+    /// yet). The entry leaves the ready set; the caller must re-subscribe
+    /// it to the producing register.
+    pub fn demote(&mut self, seq: Seq, preg: PhysReg, class: RegClass) {
+        if let Some(entry) = self.entries.get_mut(&seq) {
+            for src in entry.srcs.iter_mut().flatten() {
+                if src.0.preg == preg && src.0.class == class && src.1 != SrcStatus::Pending {
+                    src.1 = SrcStatus::Pending;
+                    entry.pending += 1;
+                }
+            }
+            if entry.pending > 0 {
+                self.ready.remove(&seq);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(p: u16) -> SrcRef {
+        SrcRef { class: RegClass::Int, preg: PhysReg(p) }
+    }
+
+    #[test]
+    fn ready_on_insert_when_satisfied() {
+        let mut q = IssueQueue::new(4);
+        q.insert(1, IqEntry::new([Some((src(5), SrcStatus::Ready)), None]));
+        assert_eq!(q.ready_seqs().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn wakeup_ordering_is_by_age() {
+        let mut q = IssueQueue::new(4);
+        q.insert(9, IqEntry::new([Some((src(1), SrcStatus::Pending)), None]));
+        q.insert(3, IqEntry::new([Some((src(1), SrcStatus::Pending)), None]));
+        assert!(q.ready_seqs().next().is_none());
+        assert!(q.satisfy(9, PhysReg(1), RegClass::Int, SrcStatus::Ready));
+        assert!(q.satisfy(3, PhysReg(1), RegClass::Int, SrcStatus::Ready));
+        assert_eq!(q.ready_seqs().collect::<Vec<_>>(), vec![3, 9]);
+    }
+
+    #[test]
+    fn both_operands_must_arrive() {
+        let mut q = IssueQueue::new(4);
+        q.insert(
+            1,
+            IqEntry::new([
+                Some((src(1), SrcStatus::Pending)),
+                Some((src(2), SrcStatus::Pending)),
+            ]),
+        );
+        q.satisfy(1, PhysReg(1), RegClass::Int, SrcStatus::Ready);
+        assert!(q.ready_seqs().next().is_none());
+        q.satisfy(1, PhysReg(2), RegClass::Int, SrcStatus::Ready);
+        assert_eq!(q.ready_seqs().count(), 1);
+    }
+
+    #[test]
+    fn pretend_ready_via_wait() {
+        let mut q = IssueQueue::new(4);
+        q.insert(
+            1,
+            IqEntry::new([
+                Some((src(1), SrcStatus::Ready)),
+                Some((src(2), SrcStatus::Pending)),
+            ]),
+        );
+        q.satisfy(1, PhysReg(2), RegClass::Int, SrcStatus::Wait);
+        let e = q.entry(1).unwrap();
+        assert!(e.is_satisfied() && e.is_pretend());
+    }
+
+    #[test]
+    fn same_register_both_operands() {
+        let mut q = IssueQueue::new(4);
+        q.insert(
+            1,
+            IqEntry::new([
+                Some((src(7), SrcStatus::Pending)),
+                Some((src(7), SrcStatus::Pending)),
+            ]),
+        );
+        // One broadcast satisfies both.
+        q.satisfy(1, PhysReg(7), RegClass::Int, SrcStatus::Ready);
+        assert!(q.entry(1).unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn class_mismatch_is_not_satisfied() {
+        let mut q = IssueQueue::new(4);
+        q.insert(1, IqEntry::new([Some((src(7), SrcStatus::Pending)), None]));
+        assert!(!q.satisfy(1, PhysReg(7), RegClass::Fp, SrcStatus::Ready));
+        assert!(!q.entry(1).unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn demote_returns_to_pending() {
+        let mut q = IssueQueue::new(4);
+        q.insert(1, IqEntry::new([Some((src(7), SrcStatus::Wait)), None]));
+        assert_eq!(q.ready_seqs().count(), 1);
+        q.demote(1, PhysReg(7), RegClass::Int);
+        assert_eq!(q.ready_seqs().count(), 0);
+        q.satisfy(1, PhysReg(7), RegClass::Int, SrcStatus::Ready);
+        assert_eq!(q.ready_seqs().count(), 1);
+    }
+
+    #[test]
+    fn capacity_and_removal() {
+        let mut q = IssueQueue::new(2);
+        q.insert(1, IqEntry::new([None, None]));
+        q.insert(2, IqEntry::new([None, None]));
+        assert_eq!(q.free_slots(), 0);
+        assert!(q.remove(1).is_some());
+        assert!(q.remove(1).is_none());
+        assert_eq!(q.free_slots(), 1);
+        assert!(q.contains(2) && !q.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut q = IssueQueue::new(1);
+        q.insert(1, IqEntry::new([None, None]));
+        q.insert(2, IqEntry::new([None, None]));
+    }
+}

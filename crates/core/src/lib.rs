@@ -1,0 +1,64 @@
+//! The out-of-order core with the ISCA 2002 **Waiting Instruction Buffer**
+//! (Lebeck, Koppanalil, Li, Patwardhan, Rotenberg: *A Large, Fast
+//! Instruction Window for Tolerating Cache Misses*).
+//!
+//! The headline idea: keep the cycle-critical issue queue small (32
+//! entries) and move every instruction that directly or transitively
+//! depends on a load cache miss into a large (2K-entry) WIB, reinserting
+//! the chain when the miss completes. Dependents are found by reusing the
+//! issue queue's own select logic: a register whose producer chain hangs
+//! off a miss carries a *wait bit*, instructions whose remaining operands
+//! are ready become **pretend ready**, issue normally, and are diverted
+//! into the WIB instead of a functional unit.
+//!
+//! # Quick start
+//!
+//! ```
+//! use wib_core::{MachineConfig, Processor, RunLimit};
+//! use wib_isa::asm::ProgramBuilder;
+//! use wib_isa::reg::*;
+//!
+//! let mut b = ProgramBuilder::new(0x1000);
+//! b.li(R1, 1000);
+//! b.label("loop");
+//! b.addi(R1, R1, -1);
+//! b.bne(R1, R0, "loop");
+//! b.halt();
+//! let prog = b.finish()?;
+//!
+//! let base = Processor::new(MachineConfig::base_8way());
+//! let result = base.run_program(&prog, RunLimit::instructions(10_000));
+//! println!("IPC = {:.2}", result.ipc());
+//! # Ok::<(), wib_isa::asm::AsmError>(())
+//! ```
+//!
+//! The paper's machines are presets: [`MachineConfig::base_8way`] (Table
+//! 1), [`MachineConfig::wib_2k`] (the 2K-entry WIB machine with a
+//! two-level register file), [`MachineConfig::conventional`] (the limit
+//! study's scaled issue queues), and [`MachineConfig::wib_sized`] (Figure
+//! 6 capacities). WIB design parameters — bit-vector budget (Figure 5),
+//! banked vs. multicycle non-banked organization (Figure 7), selection
+//! policy (section 4.4) — are all configurable through
+//! [`config::WibConfig`].
+
+pub mod config;
+pub mod fu;
+pub mod hist;
+pub mod iq;
+pub mod lsq;
+pub mod processor;
+pub mod regfile;
+pub mod rename;
+pub mod rob;
+pub mod stats;
+pub mod types;
+pub mod wib;
+pub mod trace;
+pub mod wib_pool;
+pub mod window;
+
+pub use config::{
+    MachineConfig, RegFileConfig, SelectionPolicy, WibConfig, WibOrganization, WibTrigger,
+};
+pub use processor::{Processor, RunLimit, RunResult};
+pub use stats::SimStats;

@@ -1,0 +1,368 @@
+//! Load and store queues: speculative load execution, store-to-load
+//! forwarding, and load-store order-violation detection.
+//!
+//! Loads execute as soon as their address is known (gated by the
+//! store-wait predictor); a store that later resolves its address and
+//! finds a younger, already-executed, overlapping load raises an order
+//! violation, squashing from that load (the 21264 replay trap the paper's
+//! base machine models).
+
+use crate::types::Seq;
+use std::collections::VecDeque;
+
+/// Byte range `[addr, addr + width)` overlap test, wrap-free (kernel data
+/// never straddles the top of the address space).
+fn overlaps(a: u32, aw: u32, b: u32, bw: u32) -> bool {
+    let (a, aw, b, bw) = (a as u64, aw as u64, b as u64, bw as u64);
+    a < b + bw && b < a + aw
+}
+
+/// True if store `[sa, sa+sw)` fully covers load `[la, la+lw)`.
+fn covers(sa: u32, sw: u32, la: u32, lw: u32) -> bool {
+    let (sa, sw, la, lw) = (sa as u64, sw as u64, la as u64, lw as u64);
+    sa <= la && la + lw <= sa + sw
+}
+
+/// A store-queue entry.
+///
+/// Address generation is decoupled from the data (as on the 21264): the
+/// store issues as soon as its base register is ready, resolving the
+/// address for dependence checking; the data may arrive much later.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreEntry {
+    /// Owning instruction.
+    pub seq: Seq,
+    /// Effective address, once the store has executed (agen).
+    pub addr: Option<u32>,
+    /// Access width in bytes.
+    pub width: u32,
+    /// Store data (valid once `data_ready`).
+    pub data: u64,
+    /// True once the data operand has been captured.
+    pub data_ready: bool,
+}
+
+/// A load-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadEntry {
+    /// Owning instruction.
+    pub seq: Seq,
+    /// Effective address, once the load has executed.
+    pub addr: Option<u32>,
+    /// Access width in bytes.
+    pub width: u32,
+}
+
+/// What the store queue says about a load about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// No older overlapping store in the queue: read memory.
+    FromMemory,
+    /// Fully covered by this older store's data: `(store seq, value bits)`
+    /// — the value is already shifted/masked for the load.
+    Forward(Seq, u64),
+    /// An older overlapping store exists but cannot forward (partial
+    /// coverage): the load must wait until that store commits.
+    BlockedOn(Seq),
+}
+
+/// The combined load/store queues.
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueue {
+    loads: VecDeque<LoadEntry>,
+    stores: VecDeque<StoreEntry>,
+    lq_capacity: usize,
+    sq_capacity: usize,
+}
+
+impl LoadStoreQueue {
+    /// Empty queues with the given capacities.
+    pub fn new(lq_capacity: usize, sq_capacity: usize) -> LoadStoreQueue {
+        LoadStoreQueue {
+            loads: VecDeque::new(),
+            stores: VecDeque::new(),
+            lq_capacity,
+            sq_capacity,
+        }
+    }
+
+    /// Free load-queue slots.
+    pub fn lq_free(&self) -> usize {
+        self.lq_capacity - self.loads.len()
+    }
+
+    /// Free store-queue slots.
+    pub fn sq_free(&self) -> usize {
+        self.sq_capacity - self.stores.len()
+    }
+
+    /// Allocate a load-queue entry at dispatch (program order).
+    ///
+    /// # Panics
+    /// Panics if the load queue is full or allocation is out of order.
+    pub fn push_load(&mut self, seq: Seq, width: u32) {
+        assert!(self.loads.len() < self.lq_capacity, "load queue overflow");
+        debug_assert!(self.loads.back().is_none_or(|l| l.seq < seq));
+        self.loads.push_back(LoadEntry { seq, addr: None, width });
+    }
+
+    /// Allocate a store-queue entry at dispatch (program order).
+    ///
+    /// # Panics
+    /// Panics if the store queue is full or allocation is out of order.
+    pub fn push_store(&mut self, seq: Seq, width: u32) {
+        assert!(self.stores.len() < self.sq_capacity, "store queue overflow");
+        debug_assert!(self.stores.back().is_none_or(|s| s.seq < seq));
+        self.stores
+            .push_back(StoreEntry { seq, addr: None, width, data: 0, data_ready: false });
+    }
+
+    /// Record a load's effective address (at execute).
+    pub fn set_load_addr(&mut self, seq: Seq, addr: u32) {
+        let e = self
+            .loads
+            .iter_mut()
+            .find(|l| l.seq == seq)
+            .expect("load not in queue");
+        e.addr = Some(addr);
+    }
+
+    /// Record a store's effective address (at agen). Returns the oldest
+    /// *younger* load that already executed and overlaps — an order
+    /// violation the core must squash from.
+    pub fn set_store_addr(&mut self, seq: Seq, addr: u32) -> Option<Seq> {
+        let e = self
+            .stores
+            .iter_mut()
+            .find(|s| s.seq == seq)
+            .expect("store not in queue");
+        e.addr = Some(addr);
+        let width = e.width;
+        self.loads
+            .iter()
+            .filter(|l| l.seq > seq)
+            .filter_map(|l| l.addr.map(|la| (l.seq, la, l.width)))
+            .find(|&(_, la, lw)| overlaps(addr, width, la, lw))
+            .map(|(s, _, _)| s)
+    }
+
+    /// Record a store's data once the data operand is produced.
+    pub fn set_store_data(&mut self, seq: Seq, data: u64) {
+        let e = self
+            .stores
+            .iter_mut()
+            .find(|s| s.seq == seq)
+            .expect("store not in queue");
+        e.data = data;
+        e.data_ready = true;
+    }
+
+    /// Ask the store queue how the load `seq` at `addr` should obtain its
+    /// value. Scans older stores youngest-first.
+    pub fn forward_for_load(&self, seq: Seq, addr: u32, width: u32) -> ForwardResult {
+        for s in self.stores.iter().rev().filter(|s| s.seq < seq) {
+            let Some(sa) = s.addr else {
+                // Unresolved older store: speculate past it (the violation
+                // check catches a real conflict later).
+                continue;
+            };
+            if !overlaps(sa, s.width, addr, width) {
+                continue;
+            }
+            if covers(sa, s.width, addr, width) && s.data_ready {
+                let shift = (addr - sa) * 8;
+                let bits = s.data >> shift;
+                let bits = if width >= 8 { bits } else { bits & ((1u64 << (width * 8)) - 1) };
+                return ForwardResult::Forward(s.seq, bits);
+            }
+            // Partial coverage, or the data has not been produced yet.
+            return ForwardResult::BlockedOn(s.seq);
+        }
+        ForwardResult::FromMemory
+    }
+
+    /// True if every store older than `seq` has resolved its address
+    /// (store-wait gating for loads the predictor marks).
+    pub fn older_stores_resolved(&self, seq: Seq) -> bool {
+        self.stores.iter().all(|s| s.seq >= seq || s.addr.is_some())
+    }
+
+    /// True if the store `seq` is still in the queue (i.e. not committed).
+    pub fn store_in_flight(&self, seq: Seq) -> bool {
+        self.stores.iter().any(|s| s.seq == seq)
+    }
+
+    /// Release the head load at commit.
+    pub fn pop_load(&mut self, seq: Seq) {
+        match self.loads.front() {
+            Some(l) if l.seq == seq => {
+                self.loads.pop_front();
+            }
+            other => panic!("commit of load {seq} but LQ head is {other:?}"),
+        }
+    }
+
+    /// Release the head store at commit, returning its address/data for
+    /// the architectural write.
+    ///
+    /// # Panics
+    /// Panics if `seq` is not the head store or its data never arrived
+    /// (commit requires a completed store).
+    pub fn pop_store(&mut self, seq: Seq) -> StoreEntry {
+        match self.stores.front() {
+            Some(s) if s.seq == seq => {
+                assert!(s.data_ready, "committing store {seq} without data");
+                self.stores.pop_front().expect("nonempty")
+            }
+            other => panic!("commit of store {seq} but SQ head is {other:?}"),
+        }
+    }
+
+    /// Remove all entries with `seq >= from` (squash).
+    pub fn squash_from(&mut self, from: Seq) {
+        while self.loads.back().is_some_and(|l| l.seq >= from) {
+            self.loads.pop_back();
+        }
+        while self.stores.back().is_some_and(|s| s.seq >= from) {
+            self.stores.pop_back();
+        }
+    }
+
+    /// Loads currently resident (diagnostics).
+    pub fn loads(&self) -> impl Iterator<Item = &LoadEntry> {
+        self.loads.iter()
+    }
+
+    /// Stores currently resident (diagnostics).
+    pub fn stores(&self) -> impl Iterator<Item = &StoreEntry> {
+        self.stores.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_math() {
+        assert!(overlaps(100, 4, 100, 4));
+        assert!(overlaps(100, 4, 103, 1));
+        assert!(!overlaps(100, 4, 104, 4));
+        assert!(overlaps(100, 8, 104, 4));
+        assert!(covers(100, 8, 104, 4));
+        assert!(!covers(104, 4, 100, 8));
+    }
+
+    #[test]
+    fn forwarding_full_coverage() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4);
+        q.push_load(2, 4);
+        assert!(q.set_store_addr(1, 0x100).is_none());
+        q.set_store_data(1, 0xdead_beef);
+        assert_eq!(q.forward_for_load(2, 0x100, 4), ForwardResult::Forward(1, 0xdead_beef));
+    }
+
+    #[test]
+    fn forwarding_subword_extract() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 8);
+        q.push_load(2, 1);
+        q.set_store_addr(1, 0x100);
+        q.set_store_data(1, 0x0807_0605_0403_0201);
+        // Byte at offset 3 of the 8-byte store.
+        assert_eq!(q.forward_for_load(2, 0x103, 1), ForwardResult::Forward(1, 0x04));
+    }
+
+    #[test]
+    fn partial_coverage_blocks() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 1);
+        q.push_load(2, 4);
+        q.set_store_addr(1, 0x102);
+        q.set_store_data(1, 0xff);
+        assert_eq!(q.forward_for_load(2, 0x100, 4), ForwardResult::BlockedOn(1));
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4);
+        q.push_store(2, 4);
+        q.push_load(3, 4);
+        q.set_store_addr(1, 0x100);
+        q.set_store_data(1, 0x1111_1111);
+        q.set_store_addr(2, 0x100);
+        q.set_store_data(2, 0x2222_2222);
+        assert_eq!(q.forward_for_load(3, 0x100, 4), ForwardResult::Forward(2, 0x2222_2222));
+    }
+
+    #[test]
+    fn younger_stores_ignored() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_load(1, 4);
+        q.push_store(2, 4);
+        q.set_store_addr(2, 0x100);
+        q.set_store_data(2, 0x9999_9999);
+        assert_eq!(q.forward_for_load(1, 0x100, 4), ForwardResult::FromMemory);
+    }
+
+    #[test]
+    fn violation_detection_picks_oldest_younger_load() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4);
+        q.push_load(2, 4);
+        q.push_load(3, 4);
+        q.set_load_addr(2, 0x100);
+        q.set_load_addr(3, 0x100);
+        assert_eq!(q.set_store_addr(1, 0x100), Some(2));
+    }
+
+    #[test]
+    fn no_violation_when_loads_unexecuted_or_disjoint() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4);
+        q.push_load(2, 4);
+        q.push_load(3, 4);
+        q.set_load_addr(3, 0x200); // disjoint
+        assert_eq!(q.set_store_addr(1, 0x100), None);
+    }
+
+    #[test]
+    fn store_wait_gating() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4);
+        q.push_load(2, 4);
+        assert!(!q.older_stores_resolved(2));
+        q.set_store_addr(1, 0x500);
+        q.set_store_data(1, 1);
+        assert!(q.older_stores_resolved(2));
+    }
+
+    #[test]
+    fn commit_and_squash() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4);
+        q.push_load(2, 4);
+        q.push_store(3, 4);
+        q.push_load(4, 4);
+        q.squash_from(3);
+        assert_eq!(q.lq_free(), 7);
+        assert_eq!(q.sq_free(), 7);
+        q.set_store_addr(1, 0x10);
+        q.set_store_data(1, 7);
+        let s = q.pop_store(1);
+        assert_eq!((s.addr, s.data), (Some(0x10), 7));
+        q.pop_load(2);
+        assert_eq!(q.lq_free(), 8);
+        assert!(!q.store_in_flight(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn lq_overflow_panics() {
+        let mut q = LoadStoreQueue::new(1, 1);
+        q.push_load(1, 4);
+        q.push_load(2, 4);
+    }
+}

@@ -1,0 +1,1589 @@
+//! The out-of-order core: a 7-stage, 8-wide pipeline loosely modeled on
+//! the Alpha 21264 (paper Table 1), with an optional Waiting Instruction
+//! Buffer.
+//!
+//! The model is **execution-driven**: values live in the physical register
+//! files and are computed in dataflow order by the execute stage; stores
+//! update architectural memory at commit; loads execute speculatively with
+//! store-queue forwarding and order-violation replay. Wrong-path
+//! instructions after a branch misprediction are genuinely fetched,
+//! renamed and executed until the branch resolves.
+//!
+//! An optional co-simulation checker retires a reference interpreter in
+//! lockstep with commit and cross-checks every PC and destination value —
+//! the integration test suite runs every configuration with it enabled.
+
+use crate::config::{MachineConfig, RegFileConfig, WibTrigger};
+use crate::fu::FuPool;
+use crate::iq::{IqEntry, IssueQueue, SrcStatus};
+use crate::lsq::{ForwardResult, LoadStoreQueue};
+use crate::regfile::{RegFile, RegTiming};
+use crate::rename::RenameMap;
+use crate::rob::{ActiveList, BranchInfo, RobEntry};
+use crate::stats::SimStats;
+use crate::trace::{InstTrace, Trace};
+use crate::types::{PhysReg, Seq, SrcRef};
+use crate::window::Window;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use wib_bpred::btb::Btb;
+use wib_bpred::dir::CombinedPredictor;
+use wib_bpred::ras::Ras;
+use wib_bpred::storewait::StoreWaitTable;
+use wib_isa::exec;
+use wib_isa::inst::Inst;
+use wib_isa::interp::Interpreter;
+use wib_isa::mem::{Memory, PagedMemory};
+use wib_isa::program::Program;
+use wib_isa::reg::{ArchReg, RegClass, NUM_ARCH_REGS};
+use wib_mem::cache::AccessKind;
+use wib_mem::hier::MemoryHierarchy;
+
+/// How long to run the detailed simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimit {
+    max_insts: u64,
+    max_cycles: u64,
+}
+
+impl RunLimit {
+    /// Stop after `n` committed instructions (or `halt`, whichever is
+    /// first). A generous cycle backstop prevents runaway simulations.
+    pub fn instructions(n: u64) -> RunLimit {
+        RunLimit { max_insts: n, max_cycles: n.saturating_mul(1000).max(1_000_000) }
+    }
+
+    /// Stop after `n` cycles (or `halt`).
+    pub fn cycles(n: u64) -> RunLimit {
+        RunLimit { max_insts: u64::MAX, max_cycles: n }
+    }
+}
+
+/// Outcome of a detailed-simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Accumulated statistics.
+    pub stats: SimStats,
+    /// True if the program executed `halt`.
+    pub halted: bool,
+}
+
+impl RunResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// A configured processor, ready to run programs.
+///
+/// Each [`Processor::run_program`] call simulates from a cold (or warmed)
+/// machine state; the `Processor` itself is reusable.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    cfg: MachineConfig,
+    cosim: bool,
+}
+
+impl Processor {
+    /// Build a processor.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`MachineConfig::validate`].
+    pub fn new(cfg: MachineConfig) -> Processor {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine configuration: {e}");
+        }
+        Processor { cfg, cosim: false }
+    }
+
+    /// The configuration this processor was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Enable the co-simulation checker: every committed instruction is
+    /// cross-checked against the reference interpreter.
+    ///
+    /// # Panics (during runs)
+    /// A run panics if the pipeline ever diverges from the interpreter —
+    /// that is a simulator bug, not a user error.
+    pub fn enable_cosim(&mut self) -> &mut Self {
+        self.cosim = true;
+        self
+    }
+
+    /// Run `program` from reset until `halt` or the limit.
+    pub fn run_program(&self, program: &Program, limit: RunLimit) -> RunResult {
+        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        engine.run(limit)
+    }
+
+    /// Fast-forward `warmup` instructions on the reference interpreter
+    /// (warming caches, TLBs and predictors are left cold), then run the
+    /// detailed simulation from that architectural state — the paper's
+    /// skip-then-measure methodology.
+    pub fn run_program_warmed(&self, program: &Program, warmup: u64, limit: RunLimit) -> RunResult {
+        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        engine.warm_up(warmup);
+        engine.run(limit)
+    }
+
+    /// Run with pipeline tracing: the lifecycle (fetch / dispatch / issue
+    /// / complete / retire cycles, WIB trips) of the first
+    /// `trace_capacity` committed instructions is captured alongside the
+    /// normal result.
+    pub fn run_program_traced(
+        &self,
+        program: &Program,
+        limit: RunLimit,
+        trace_capacity: usize,
+    ) -> (RunResult, Trace) {
+        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        engine.trace = Some(Trace::new(trace_capacity));
+        let result = engine.run(limit);
+        (result, engine.trace.take().expect("installed above"))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Non-load instruction finishes execution.
+    Complete(Seq),
+    /// Load address generation done: access the D-cache / store queue.
+    LoadAddr(Seq),
+    /// Load data arrives.
+    LoadData(Seq),
+}
+
+#[derive(Debug, Clone)]
+struct Fetched {
+    pc: u32,
+    inst: Inst,
+    ready_at: u64,
+    fetched_at: u64,
+    branch: Option<BranchInfo>,
+    hist_before: u32,
+    ras_before: wib_bpred::ras::RasCheckpoint,
+}
+
+/// Cycles a committed-store retry or forwarding hit takes to deliver data.
+const FORWARD_LATENCY: u64 = 2;
+
+/// Commit inactivity threshold for the deadlock watchdog.
+const WATCHDOG_CYCLES: u64 = 200_000;
+
+struct Engine<'c> {
+    cfg: &'c MachineConfig,
+    now: u64,
+    mem: PagedMemory,
+    hier: MemoryHierarchy,
+    dir: CombinedPredictor,
+    btb: Btb,
+    ras: Ras,
+    storewait: StoreWaitTable,
+    rename: RenameMap,
+    rf_int: RegFile,
+    rf_fp: RegFile,
+    iq_int: IssueQueue,
+    iq_fp: IssueQueue,
+    lsq: LoadStoreQueue,
+    rob: ActiveList,
+    fu: FuPool,
+    wib: Option<Window>,
+    events: BTreeMap<u64, Vec<Event>>,
+    fetch_pc: u32,
+    fetch_resume_at: u64,
+    fetch_halted: bool,
+    ifq: VecDeque<Fetched>,
+    pending_load_values: HashMap<Seq, u64>,
+    /// Loads blocked on a partially overlapping older store: retried when
+    /// that store commits.
+    blocked_loads: Vec<(Seq, Seq)>,
+    halted: bool,
+    stats: SimStats,
+    checker: Option<Interpreter>,
+    trace: Option<Trace>,
+    last_commit_cycle: u64,
+}
+
+impl<'c> Engine<'c> {
+    fn new(cfg: &'c MachineConfig, program: &Program, cosim: bool) -> Engine<'c> {
+        let mut mem = PagedMemory::new();
+        program.load_into(&mut mem);
+        let rf_timing = match cfg.regfile {
+            RegFileConfig::SingleLevel => RegTiming::Flat,
+            RegFileConfig::TwoLevel { l1_regs, l2_latency, .. } => {
+                RegTiming::TwoLevel { l1_regs: l1_regs as usize, l2_latency }
+            }
+            RegFileConfig::MultiBanked { banks, ports_per_bank, conflict_penalty } => {
+                RegTiming::Banked {
+                    banks: banks as usize,
+                    ports: ports_per_bank,
+                    conflict_penalty,
+                }
+            }
+        };
+        let wib = cfg.wib.as_ref().map(|w| {
+            Window::new(
+                cfg.active_list as usize,
+                w.organization,
+                w.policy,
+                w.max_bit_vectors as usize,
+            )
+        });
+        Engine {
+            cfg,
+            now: 0,
+            mem,
+            hier: MemoryHierarchy::new(cfg.mem.clone()),
+            dir: CombinedPredictor::new(cfg.dir.clone()),
+            btb: Btb::new(cfg.btb),
+            ras: Ras::new(cfg.ras_entries as usize),
+            storewait: StoreWaitTable::isca2002(),
+            rename: RenameMap::new(),
+            rf_int: RegFile::new(cfg.regs_per_class as usize, 32, rf_timing),
+            rf_fp: RegFile::new(cfg.regs_per_class as usize, 32, rf_timing),
+            iq_int: IssueQueue::new(cfg.iq_int_size as usize),
+            iq_fp: IssueQueue::new(cfg.iq_fp_size as usize),
+            lsq: LoadStoreQueue::new(cfg.load_queue as usize, cfg.store_queue as usize),
+            rob: ActiveList::new(cfg.active_list as usize),
+            fu: FuPool::new(cfg.fu.clone()),
+            wib,
+            events: BTreeMap::new(),
+            fetch_pc: program.entry,
+            fetch_resume_at: 0,
+            fetch_halted: false,
+            ifq: VecDeque::new(),
+            pending_load_values: HashMap::new(),
+            blocked_loads: Vec::new(),
+            halted: false,
+            stats: SimStats::default(),
+            checker: cosim.then(|| Interpreter::new(program)),
+            trace: None,
+            last_commit_cycle: 0,
+        }
+    }
+
+    /// Fast-forward on the interpreter, warming caches/TLBs, then seed the
+    /// detailed machine from the resulting architectural state.
+    fn warm_up(&mut self, instructions: u64) {
+        let snapshot = Program {
+            code_base: 0,
+            code: Vec::new(),
+            data: Vec::new(),
+            entry: self.fetch_pc,
+        };
+        let mut interp = match self.checker.take() {
+            Some(i) => i,
+            None => {
+                // Build a throwaway interpreter over a copy of memory.
+                let mut i = Interpreter::new(&snapshot);
+                *i.memory_mut() = self.mem.clone();
+                i
+            }
+        };
+        for _ in 0..instructions {
+            if interp.is_halted() {
+                break;
+            }
+            let info = interp.step().expect("warm-up hit an invalid instruction");
+            self.hier.warm_inst(info.pc);
+            if let Some(m) = info.mem {
+                let kind = if m.is_store { AccessKind::Write } else { AccessKind::Read };
+                self.hier.warm_data(m.addr, kind);
+            }
+        }
+        self.hier.reset_stats();
+        // Seed architectural state.
+        self.mem = interp.memory().clone();
+        self.fetch_pc = interp.pc();
+        for flat in 0..NUM_ARCH_REGS as u8 {
+            let r = ArchReg::from_flat(flat);
+            let p = self.rename.lookup(r);
+            let bits = interp.reg_bits(r);
+            match r.class() {
+                RegClass::Int => self.rf_int.poke(p, bits),
+                RegClass::Fp => self.rf_fp.poke(p, bits),
+            }
+        }
+        if self.checker.is_some() || interp.retired() > 0 {
+            self.checker = self.checker.take().or(Some(interp.clone()));
+        }
+        // If cosim was enabled, keep the advanced interpreter as checker.
+        if self.checker.is_some() {
+            self.checker = Some(interp);
+        }
+    }
+
+    fn rf(&self, class: RegClass) -> &RegFile {
+        match class {
+            RegClass::Int => &self.rf_int,
+            RegClass::Fp => &self.rf_fp,
+        }
+    }
+
+    fn rf_mut(&mut self, class: RegClass) -> &mut RegFile {
+        match class {
+            RegClass::Int => &mut self.rf_int,
+            RegClass::Fp => &mut self.rf_fp,
+        }
+    }
+
+    fn iq_for(&mut self, inst: &Inst) -> &mut IssueQueue {
+        if inst.is_fp_queue() {
+            &mut self.iq_fp
+        } else {
+            &mut self.iq_int
+        }
+    }
+
+    fn schedule(&mut self, at: u64, ev: Event) {
+        debug_assert!(at > self.now);
+        self.events.entry(at).or_default().push(ev);
+    }
+
+    /// Raw bits of a source operand (0 for absent operands).
+    fn src_value(&self, src: Option<SrcRef>) -> u64 {
+        match src {
+            Some(s) => self.rf(s.class).value(s.preg),
+            None => 0,
+        }
+    }
+
+    /// Needs an issue-queue entry at dispatch? `nop`, `halt` and direct
+    /// jumps complete in the front end.
+    fn needs_iq(inst: &Inst) -> bool {
+        use wib_isa::inst::Opcode::*;
+        !matches!(inst.op, Nop | Halt | J | Jal)
+    }
+
+    /// The operands the issue queue tracks for wakeup. Stores issue on
+    /// their base register alone (address generation is decoupled from
+    /// the data operand, as on the 21264).
+    fn tracked_srcs(inst: &Inst, srcs: &[Option<SrcRef>; 2]) -> [Option<SrcRef>; 2] {
+        if inst.is_store() {
+            [srcs[0], None]
+        } else {
+            *srcs
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn do_fetch(&mut self) {
+        if self.fetch_halted || self.now < self.fetch_resume_at {
+            return;
+        }
+        if self.ifq.len() >= self.cfg.ifq_size as usize {
+            return;
+        }
+        // One I-cache access per fetch group; a miss stalls fetch until
+        // the line arrives.
+        let hit_latency = self.cfg.mem.l1i.hit_latency;
+        let ready = self.hier.inst_fetch(self.fetch_pc, self.now);
+        if ready > self.now + hit_latency {
+            self.fetch_resume_at = ready;
+            return;
+        }
+        let dispatch_at = self.now + self.cfg.front_end_delay;
+        for _ in 0..self.cfg.fetch_width {
+            if self.ifq.len() >= self.cfg.ifq_size as usize {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let word = self.mem.read_u32(pc);
+            // Wrong-path fetches can land in data; treat undecodable words
+            // as nops (they are squashed before commit on a correct run).
+            let inst = Inst::decode(word).unwrap_or(Inst::NOP);
+            self.stats.fetched += 1;
+            let hist_before = self.dir.history();
+            let ras_before = self.ras.checkpoint();
+            let mut branch = None;
+            let mut next_pc = pc.wrapping_add(4);
+            let mut bubble = 0u64;
+            let mut stop = false;
+
+            if inst.is_cond_branch() {
+                self.stats.dir_lookups += 1;
+                let pr = self.dir.predict(pc);
+                let mut pred_next = pc.wrapping_add(4);
+                if pr.taken {
+                    let target = exec::control_target(&inst, pc, 0);
+                    if self.btb.lookup(pc).is_none() {
+                        bubble = self.cfg.btb_miss_penalty_direct;
+                    }
+                    self.btb.update(pc, target);
+                    pred_next = target;
+                    stop = true;
+                }
+                branch = Some(BranchInfo {
+                    pred_taken: pr.taken,
+                    pred_next,
+                    dir_ckpt: Some(pr.ckpt),
+                    ras_after: self.ras.checkpoint(),
+                });
+                next_pc = pred_next;
+            } else if inst.is_jump_direct() {
+                let target = exec::control_target(&inst, pc, 0);
+                if self.btb.lookup(pc).is_none() {
+                    bubble = self.cfg.btb_miss_penalty_direct;
+                }
+                self.btb.update(pc, target);
+                if inst.is_call() {
+                    self.ras.push(pc.wrapping_add(4));
+                }
+                branch = Some(BranchInfo {
+                    pred_taken: true,
+                    pred_next: target,
+                    dir_ckpt: None,
+                    ras_after: self.ras.checkpoint(),
+                });
+                next_pc = target;
+                stop = true;
+            } else if inst.is_jump_indirect() {
+                let target = if inst.is_return() {
+                    self.ras.pop()
+                } else {
+                    match self.btb.lookup(pc) {
+                        Some(t) => t,
+                        None => {
+                            bubble = self.cfg.btb_miss_penalty_other;
+                            pc.wrapping_add(4) // will almost surely mispredict
+                        }
+                    }
+                };
+                if inst.is_call() {
+                    self.ras.push(pc.wrapping_add(4));
+                }
+                branch = Some(BranchInfo {
+                    pred_taken: true,
+                    pred_next: target,
+                    dir_ckpt: None,
+                    ras_after: self.ras.checkpoint(),
+                });
+                next_pc = target;
+                stop = true;
+            }
+
+            self.ifq.push_back(Fetched {
+                pc,
+                inst,
+                ready_at: dispatch_at,
+                fetched_at: self.now,
+                branch,
+                hist_before,
+                ras_before,
+            });
+            self.fetch_pc = next_pc;
+            if inst.is_halt() {
+                self.fetch_halted = true;
+                break;
+            }
+            if stop {
+                if bubble > 0 {
+                    self.fetch_resume_at = self.now + 1 + bubble;
+                }
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (WIB reinsertion has priority for the shared bandwidth)
+    // ------------------------------------------------------------------
+
+    fn evaluate_srcs(&mut self, seq: Seq, srcs: &[Option<SrcRef>; 2]) -> [Option<(SrcRef, SrcStatus)>; 2] {
+        let mut out = [None, None];
+        for (slot, src) in srcs.iter().enumerate() {
+            let Some(s) = *src else { continue };
+            let status = if self.rf(s.class).is_ready(s.preg) {
+                SrcStatus::Ready
+            } else if self.rf(s.class).wait_column(s.preg).is_some() {
+                SrcStatus::Wait
+            } else {
+                self.rf_mut(s.class).subscribe(s.preg, seq);
+                SrcStatus::Pending
+            };
+            out[slot] = Some((s, status));
+        }
+        out
+    }
+
+    /// Reinsert a WIB instruction into its issue queue; false if full.
+    fn try_reinsert(&mut self, seq: Seq) -> bool {
+        let Some(e) = self.rob.get(seq) else {
+            debug_assert!(false, "WIB held a dead instruction");
+            return false;
+        };
+        let inst = e.inst;
+        let srcs = e.srcs;
+        let dest = e.dest;
+        let overflow = self.iq_for(&inst).free_slots() == 0;
+        if overflow && self.rob.head().map(|h| h.seq) != Some(seq) {
+            return false;
+        }
+        let tracked = Engine::tracked_srcs(&inst, &srcs);
+        let entry = IqEntry::new(self.evaluate_srcs(seq, &tracked));
+        if overflow {
+            // Forward-progress guarantee: the oldest in-flight instruction
+            // may always reenter — its elders have committed, so its
+            // operands are ready and it issues immediately.
+            self.iq_for(&inst).insert_overflow(seq, entry);
+        } else {
+            self.iq_for(&inst).insert(seq, entry);
+        }
+        if let Some((arch, p, _)) = dest {
+            // The destination no longer hangs off a column; consumers that
+            // latched `Wait` re-pend via select-time validation.
+            self.rf_mut(arch.class()).clear_wait(p);
+        }
+        let e = self.rob.get_mut(seq).expect("checked above");
+        e.in_wib = false;
+        self.stats.wib_extractions += 1;
+        true
+    }
+
+    fn do_dispatch(&mut self) {
+        let mut budget = self.cfg.decode_width as usize;
+        // Forward-progress guarantee: a parked, eligible ROB head is
+        // reinserted first, ahead of the regular extraction order (it may
+        // use the issue queue's overflow slot — see `try_reinsert`).
+        let head_parked = self
+            .rob
+            .head()
+            .filter(|h| h.in_wib)
+            .map(|h| (h.seq, h.slot));
+        if let Some((hseq, hslot)) = head_parked {
+            if let Some(mut wib) = self.wib.take() {
+                if wib.eligible_slot(hslot) && self.try_reinsert(hseq) {
+                    wib.take_slot(hslot);
+                    budget -= 1;
+                }
+                self.wib = Some(wib);
+            }
+        }
+        // WIB reinsertion next (paper: dispatch logic gives reinserted
+        // instructions priority over newly fetched ones).
+        if let Some(mut wib) = self.wib.take() {
+            let n = wib.extract(self.now, budget, |seq, _slot| self.try_reinsert(seq));
+            self.wib = Some(wib);
+            budget -= n;
+        }
+
+        while budget > 0 {
+            let Some(front) = self.ifq.front() else { break };
+            if front.ready_at > self.now {
+                break;
+            }
+            let inst = front.inst;
+            if self.rob.free_slots() == 0 {
+                self.stats.stall_active_list += 1;
+                break;
+            }
+            // While instructions are parked in the WIB, hold one issue
+            // queue slot in reserve for reinsertion: if newly fetched
+            // instructions (necessarily younger, possibly dependent on
+            // the parked chain) could fill the queue completely, the
+            // oldest parked instruction might never get back in.
+            let reserve = match &self.wib {
+                Some(w) if w.resident() > 0 => 1,
+                _ => 0,
+            };
+            if Engine::needs_iq(&inst) && self.iq_for(&inst).free_slots() <= reserve {
+                self.stats.stall_issue_queue += 1;
+                break;
+            }
+            if (inst.is_load() && self.lsq.lq_free() == 0)
+                || (inst.is_store() && self.lsq.sq_free() == 0)
+            {
+                self.stats.stall_lsq += 1;
+                break;
+            }
+            if let Some(d) = inst.dest() {
+                if self.rf(d.class()).free_count() == 0 {
+                    self.stats.stall_regs += 1;
+                    break;
+                }
+            }
+
+            let f = self.ifq.pop_front().expect("peeked above");
+            let seq = self.rob.next_seq();
+            let slot = self.rob.next_slot();
+            let [s1, s2] = f.inst.sources();
+            let to_ref = |r: Option<ArchReg>, this: &Engine| {
+                r.map(|r| SrcRef { class: r.class(), preg: this.rename.lookup(r) })
+            };
+            let srcs = [to_ref(s1, self), to_ref(s2, self)];
+            let dest = f.inst.dest().map(|arch| {
+                let p = self.rf_mut(arch.class()).alloc().expect("checked free_count");
+                let prev = self.rename.rename(arch, p);
+                (arch, p, prev)
+            });
+            let mut entry = RobEntry {
+                seq,
+                slot,
+                pc: f.pc,
+                inst: f.inst,
+                srcs,
+                dest,
+                completed: false,
+                issued: false,
+                in_wib: false,
+                wib_trips: 0,
+                miss_column: None,
+                in_lq: f.inst.is_load(),
+                in_sq: f.inst.is_store(),
+                dir_wrong: false,
+                branch: f.branch,
+                cycle_fetch: f.fetched_at,
+                cycle_dispatch: self.now,
+                cycle_issue: 0,
+                cycle_complete: 0,
+                hist_before: f.hist_before,
+                ras_before: f.ras_before,
+            };
+            if f.inst.is_load() {
+                self.lsq.push_load(seq, f.inst.mem_width());
+            } else if f.inst.is_store() {
+                self.lsq.push_store(seq, f.inst.mem_width());
+            }
+            if Engine::needs_iq(&f.inst) {
+                let tracked = Engine::tracked_srcs(&f.inst, &srcs);
+                let iq_entry = IqEntry::new(self.evaluate_srcs(seq, &tracked));
+                self.iq_for(&f.inst).insert(seq, iq_entry);
+            } else {
+                // nop/halt/j complete in the front end; jal also links.
+                entry.completed = true;
+                entry.cycle_complete = self.now;
+                if let Some((arch, p, _)) = entry.dest {
+                    let link = exec::alu_result(&f.inst, 0, 0, f.pc).expect("jal links");
+                    self.writeback(arch.class(), p, link);
+                }
+            }
+            self.rob.push(entry);
+            self.stats.dispatched += 1;
+            budget -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    /// Broadcast a produced value: mark ready and wake subscribed
+    /// consumers in both issue queues. Consumers that are not issue-queue
+    /// entries are stores waiting for their data operand (agen done, data
+    /// outstanding).
+    fn writeback(&mut self, class: RegClass, p: PhysReg, value: u64) {
+        let woken = self.rf_mut(class).write(p, value);
+        for seq in woken {
+            if self.iq_int.satisfy(seq, p, class, SrcStatus::Ready)
+                || self.iq_fp.satisfy(seq, p, class, SrcStatus::Ready)
+            {
+                continue;
+            }
+            self.complete_store_data(seq, p, class, value);
+        }
+    }
+
+    /// A store subscribed for its data operand: capture the value and
+    /// mark the store complete.
+    fn complete_store_data(&mut self, seq: Seq, p: PhysReg, class: RegClass, value: u64) {
+        let Some(e) = self.rob.get(seq) else { return };
+        if !e.inst.is_store() || e.completed {
+            return;
+        }
+        if !e.srcs[1].is_some_and(|s| s.preg == p && s.class == class) {
+            return;
+        }
+        self.lsq.set_store_data(seq, value);
+        {
+            let e = self.rob.get_mut(seq).expect("live");
+            e.completed = true;
+            e.cycle_complete = self.now;
+        }
+        // Loads that found this store's data missing can retry.
+        self.retry_loads_blocked_on(seq);
+    }
+
+    /// Retry loads that were blocked on store `store_seq` (its data
+    /// arrived or it committed).
+    fn retry_loads_blocked_on(&mut self, store_seq: Seq) {
+        let mut unblocked = Vec::new();
+        self.blocked_loads.retain(|&(l, s)| {
+            if s == store_seq {
+                unblocked.push(l);
+                false
+            } else {
+                true
+            }
+        });
+        for load_seq in unblocked {
+            let Some(le) = self.rob.get(load_seq) else { continue };
+            let width = le.inst.mem_width();
+            let addr = self
+                .lsq
+                .loads()
+                .find(|l| l.seq == load_seq)
+                .and_then(|l| l.addr)
+                .expect("blocked load has an address");
+            self.try_load_data(load_seq, addr, width);
+        }
+    }
+
+    /// Deliver pretend-ready wakeups for `woken` subscribers of `(class,
+    /// p)`; non-issue-queue subscribers (store-data waiters) are
+    /// re-subscribed — they need the real value, not the wait bit.
+    fn wake_as_wait(&mut self, woken: Vec<Seq>, p: PhysReg, class: RegClass) {
+        for c in woken {
+            if self.iq_int.satisfy(c, p, class, SrcStatus::Wait)
+                || self.iq_fp.satisfy(c, p, class, SrcStatus::Wait)
+            {
+                continue;
+            }
+            if self.rob.get(c).is_some() {
+                self.rf_mut(class).subscribe(p, c);
+            }
+        }
+    }
+
+    /// Move a pretend-ready instruction from its issue queue to the WIB.
+    /// Returns false when the buffer refused it (pool-of-blocks
+    /// exhaustion): the instruction stays in its issue queue and the
+    /// issue slot is wasted, as the paper's section 3.5 anticipates.
+    fn move_to_wib(&mut self, seq: Seq, column: crate::types::ColumnId) -> bool {
+        let e = self.rob.get(seq).expect("live instruction");
+        let slot = e.slot;
+        let inst = e.inst;
+        let dest = e.dest;
+        if !self.wib.as_mut().expect("WIB configured").insert(slot, seq, column) {
+            return false;
+        }
+        let e = self.rob.get_mut(seq).expect("live instruction");
+        e.in_wib = true;
+        e.wib_trips += 1;
+        self.iq_for(&inst).remove(seq);
+        self.stats.wib_insertions += 1;
+        if let Some((arch, p, _)) = dest {
+            let woken = self.rf_mut(arch.class()).set_wait(p, column);
+            self.wake_as_wait(woken, p, arch.class());
+        }
+        true
+    }
+
+    fn do_issue(&mut self) {
+        self.fu.begin_cycle();
+        self.rf_int.begin_cycle();
+        self.rf_fp.begin_cycle();
+        let l2_ports = match self.cfg.regfile {
+            RegFileConfig::TwoLevel { l2_read_ports, .. } => l2_read_ports as usize,
+            _ => usize::MAX,
+        };
+        let mut l2_reads = [0usize; 2]; // per class
+        for fp_queue in [false, true] {
+            let width = if fp_queue {
+                self.cfg.issue_width_fp
+            } else {
+                self.cfg.issue_width_int
+            } as usize;
+            let mut budget = width;
+            let candidates: Vec<Seq> = {
+                let iq = if fp_queue { &self.iq_fp } else { &self.iq_int };
+                iq.ready_seqs().take(64).collect()
+            };
+            for seq in candidates {
+                if budget == 0 {
+                    break;
+                }
+                let Some(e) = self.rob.get(seq) else {
+                    // Should have been removed at squash.
+                    debug_assert!(false, "dead instruction in issue queue");
+                    continue;
+                };
+                let inst = e.inst;
+                let pc = e.pc;
+                // Validate the *tracked* operands (stores issue on their
+                // base register alone) against the register files.
+                let srcs = Engine::tracked_srcs(&inst, &e.srcs);
+                let mut wait_col = None;
+                let mut invalid = false;
+                for s in srcs.iter().flatten() {
+                    if self.rf(s.class).is_ready(s.preg) {
+                        continue;
+                    }
+                    match self.rf(s.class).wait_column(s.preg) {
+                        Some(col) => {
+                            if wait_col.is_none() {
+                                // Fixed operand ordering picks the first
+                                // waiting operand's load (paper 3.3).
+                                wait_col = Some(col);
+                            }
+                        }
+                        None => {
+                            // Producer was reinserted from the WIB but has
+                            // not executed: go back to pending.
+                            let iq = if fp_queue { &mut self.iq_fp } else { &mut self.iq_int };
+                            iq.demote(seq, s.preg, s.class);
+                            self.rf_mut(s.class).subscribe(s.preg, seq);
+                            invalid = true;
+                        }
+                    }
+                }
+                if invalid {
+                    continue;
+                }
+                if let Some(col) = wait_col {
+                    if self.wib.is_some() {
+                        // Pretend-ready: consumes an issue slot, then parks
+                        // in the WIB instead of a functional unit.
+                        if !self.move_to_wib(seq, col) {
+                            // Pool exhaustion: fall back to a conventional
+                            // stall — wait in the queue for the *actual*
+                            // value, so parked chains can still drain into
+                            // the issue queue (otherwise the full queue and
+                            // the full pool deadlock each other, the
+                            // hazard paper section 3.5 raises).
+                            self.stats.wib_pool_stalls += 1;
+                            for s in srcs.iter().flatten() {
+                                if !self.rf(s.class).is_ready(s.preg) {
+                                    let iq = if fp_queue {
+                                        &mut self.iq_fp
+                                    } else {
+                                        &mut self.iq_int
+                                    };
+                                    iq.demote(seq, s.preg, s.class);
+                                    self.rf_mut(s.class).subscribe(s.preg, seq);
+                                }
+                            }
+                        }
+                        budget -= 1;
+                        continue;
+                    }
+                    // No WIB: wait bits are never set, unreachable.
+                    unreachable!("wait bit without a WIB");
+                }
+
+                // Store-wait gating: marked loads wait for older stores'
+                // addresses.
+                if inst.is_load()
+                    && self.storewait.should_wait(pc)
+                    && !self.lsq.older_stores_resolved(seq)
+                {
+                    continue;
+                }
+
+                // Two-level register file: budget L2 read ports.
+                let mut l2_needed = [0usize; 2];
+                for s in srcs.iter().flatten() {
+                    if self.rf(s.class).needs_l2_read(s.preg) {
+                        l2_needed[s.class as usize] += 1;
+                    }
+                }
+                if l2_reads[0] + l2_needed[0] > l2_ports || l2_reads[1] + l2_needed[1] > l2_ports {
+                    continue;
+                }
+
+                // Functional unit / memory port.
+                let Some(latency) = self.fu.try_issue(inst.fu_kind(), self.now) else {
+                    continue;
+                };
+
+                // Commit to the issue: charge register-read penalties.
+                let mut rf_penalty = 0;
+                for s in srcs.iter().flatten() {
+                    let p = self.rf_mut(s.class).read_penalty(s.preg);
+                    rf_penalty = rf_penalty.max(p);
+                }
+                l2_reads[0] += l2_needed[0];
+                l2_reads[1] += l2_needed[1];
+                self.stats.rf_l2_reads += (l2_needed[0] + l2_needed[1]) as u64;
+
+                let iq = if fp_queue { &mut self.iq_fp } else { &mut self.iq_int };
+                iq.remove(seq);
+                {
+                    let e = self.rob.get_mut(seq).expect("live");
+                    e.issued = true;
+                    e.cycle_issue = self.now;
+                }
+                self.stats.issued += 1;
+                let exec_start = self.now + 1 + rf_penalty; // register read
+                if inst.is_load() {
+                    self.schedule(exec_start + 1, Event::LoadAddr(seq));
+                } else {
+                    self.schedule(exec_start + latency, Event::Complete(seq));
+                    // Section 6 extension: treat long non-pipelined FP ops
+                    // like misses and park their dependence chains.
+                    if self.cfg.wib.as_ref().is_some_and(|w| w.divert_long_fp_ops)
+                        && matches!(
+                            inst.fu_kind(),
+                            wib_isa::inst::FuKind::FpDiv | wib_isa::inst::FuKind::FpSqrt
+                        )
+                    {
+                        self.divert_chain_to_wib(seq);
+                    }
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execute-completion events
+    // ------------------------------------------------------------------
+
+    fn drain_events(&mut self) {
+        while let Some((&at, _)) = self.events.iter().next() {
+            if at > self.now {
+                break;
+            }
+            let batch = self.events.remove(&at).expect("present");
+            for ev in batch {
+                match ev {
+                    Event::Complete(seq) => self.handle_complete(seq),
+                    Event::LoadAddr(seq) => self.handle_load_addr(seq),
+                    Event::LoadData(seq) => self.handle_load_data(seq),
+                }
+            }
+        }
+    }
+
+    fn handle_complete(&mut self, seq: Seq) {
+        let Some(e) = self.rob.get(seq) else { return };
+        let inst = e.inst;
+        let pc = e.pc;
+        let srcs = e.srcs;
+        let dest = e.dest;
+        let branch = e.branch;
+        let a = self.src_value(srcs[0]);
+        let b = self.src_value(srcs[1]);
+
+        if inst.is_cond_branch() {
+            let taken = exec::branch_taken(&inst, a, b);
+            let actual_next = if taken {
+                exec::control_target(&inst, pc, a)
+            } else {
+                pc.wrapping_add(4)
+            };
+            let bi = branch.expect("branch info recorded at fetch");
+            let dir_wrong = taken != bi.pred_taken;
+            self.dir.resolve(&bi.dir_ckpt.expect("cond"), taken, dir_wrong);
+            if taken {
+                self.btb.update(pc, actual_next);
+            }
+            {
+                let e = self.rob.get_mut(seq).expect("live");
+                e.completed = true;
+                e.cycle_complete = self.now;
+                e.dir_wrong = dir_wrong;
+            }
+            if actual_next != bi.pred_next {
+                self.squash_redirect(seq, actual_next, &bi, dir_wrong);
+            }
+        } else if inst.is_jump_indirect() {
+            let actual_next = exec::control_target(&inst, pc, a);
+            if let Some((arch, p, _)) = dest {
+                let link = exec::alu_result(&inst, a, b, pc).expect("jalr links");
+                self.writeback(arch.class(), p, link);
+            }
+            self.btb.update(pc, actual_next);
+            {
+                let e = self.rob.get_mut(seq).expect("live");
+                e.completed = true;
+                e.cycle_complete = self.now;
+            }
+            let bi = branch.expect("branch info recorded at fetch");
+            if actual_next != bi.pred_next {
+                self.stats.target_mispredicts += 1;
+                self.squash_redirect(seq, actual_next, &bi, false);
+            }
+        } else if inst.is_store() {
+            // Address generation is decoupled from data: the store issued
+            // on its base operand alone. Capture the data now if it is
+            // ready, otherwise subscribe and complete on its writeback.
+            let addr = exec::effective_address(&inst, a);
+            let violation = self.lsq.set_store_addr(seq, addr);
+            match srcs[1] {
+                None => {
+                    self.lsq.set_store_data(seq, 0); // r0 data
+                    let e = self.rob.get_mut(seq).expect("live");
+                    e.completed = true;
+                    e.cycle_complete = self.now;
+                }
+                Some(s) if self.rf(s.class).is_ready(s.preg) => {
+                    self.lsq.set_store_data(seq, b);
+                    let e = self.rob.get_mut(seq).expect("live");
+                    e.completed = true;
+                    e.cycle_complete = self.now;
+                }
+                Some(s) => {
+                    self.rf_mut(s.class).subscribe(s.preg, seq);
+                }
+            }
+            if let Some(load_seq) = violation {
+                self.handle_order_violation(load_seq);
+            }
+        } else {
+            let result = exec::alu_result(&inst, a, b, pc);
+            let e = self.rob.get_mut(seq).expect("live");
+            e.completed = true;
+            e.cycle_complete = self.now;
+            let column = e.miss_column; // long-FP-op diversion, if enabled
+            if let (Some((arch, p, _)), Some(v)) = (dest, result) {
+                self.writeback(arch.class(), p, v);
+            }
+            if let Some(col) = column {
+                self.wib.as_mut().expect("column implies WIB").column_completed(col);
+            }
+        }
+    }
+
+    fn handle_load_addr(&mut self, seq: Seq) {
+        let Some(e) = self.rob.get(seq) else { return };
+        let inst = e.inst;
+        let a = self.src_value(e.srcs[0]);
+        let addr = exec::effective_address(&inst, a);
+        self.lsq.set_load_addr(seq, addr);
+        self.try_load_data(seq, addr, inst.mem_width());
+    }
+
+    fn try_load_data(&mut self, seq: Seq, addr: u32, width: u32) {
+        match self.lsq.forward_for_load(seq, addr, width) {
+            ForwardResult::Forward(_, bits) => {
+                self.pending_load_values.insert(seq, bits);
+                self.schedule(self.now + FORWARD_LATENCY, Event::LoadData(seq));
+            }
+            ForwardResult::BlockedOn(store_seq) => {
+                self.blocked_loads.push((seq, store_seq));
+                // A load stalled behind a store is another operation of
+                // unknown latency: divert its dependence chain to the WIB
+                // exactly like a cache miss (the paper's section 3.2
+                // extension), otherwise dependents can clog the issue
+                // queue and block the very reinsertion that would unclog
+                // it.
+                self.divert_chain_to_wib(seq);
+            }
+            ForwardResult::FromMemory => {
+                let access = self.hier.data_access(addr, AccessKind::Read, self.now);
+                let value = self.mem.read_bits(addr, width);
+                self.pending_load_values.insert(seq, value);
+                self.schedule(access.ready_at.max(self.now + 1), Event::LoadData(seq));
+                // The "load miss" signal is latency-based, like the
+                // 21264's: any load whose data will not arrive within the
+                // trigger level's hit time diverts its dependence chain to
+                // the WIB. (A load merged into an outstanding line fill
+                // "hits" in the tag array but still waits out the fill.)
+                let latency = access.ready_at.saturating_sub(self.now);
+                let missed = match self.cfg.wib.as_ref().map(|w| w.trigger) {
+                    Some(WibTrigger::L1Miss) => latency > self.cfg.mem.l1d.hit_latency,
+                    Some(WibTrigger::L2Miss) => latency > self.cfg.mem.l2.hit_latency,
+                    None => false,
+                };
+                if missed {
+                    self.divert_chain_to_wib(seq);
+                }
+            }
+        }
+    }
+
+    /// Allocate a bit-vector column for load `seq` and set the wait bit on
+    /// its destination so the dependence chain drains into the WIB. No-op
+    /// without a WIB, without a destination, if the load already has a
+    /// column (a blocked load that retried), or when the column budget is
+    /// exhausted (dependents then stall conventionally, as the paper's
+    /// limited-bit-vector study models).
+    fn divert_chain_to_wib(&mut self, seq: Seq) {
+        let Some(wib) = self.wib.as_mut() else { return };
+        let Some(e) = self.rob.get(seq) else { return };
+        if e.miss_column.is_some() {
+            return;
+        }
+        let Some((arch, p, _)) = e.dest else { return };
+        let Some(col) = wib.allocate_column(seq) else {
+            self.stats.wib_column_exhausted += 1;
+            return;
+        };
+        self.rob.get_mut(seq).expect("live").miss_column = Some(col);
+        let woken = self.rf_mut(arch.class()).set_wait(p, col);
+        self.wake_as_wait(woken, p, arch.class());
+    }
+
+    fn handle_load_data(&mut self, seq: Seq) {
+        let Some(value) = self.pending_load_values.remove(&seq) else { return };
+        let Some(e) = self.rob.get_mut(seq) else { return };
+        e.completed = true;
+        e.cycle_complete = self.now;
+        let dest = e.dest;
+        let column = e.miss_column;
+        if let Some((arch, p, _)) = dest {
+            self.writeback(arch.class(), p, value);
+        }
+        if let Some(col) = column {
+            self.wib.as_mut().expect("column implies WIB").column_completed(col);
+        }
+    }
+
+    fn handle_order_violation(&mut self, load_seq: Seq) {
+        let Some(load) = self.rob.get(load_seq) else { return };
+        let pc = load.pc;
+        let hist = load.hist_before;
+        let ras = load.ras_before;
+        self.stats.order_violations += 1;
+        self.storewait.mark(pc);
+        self.squash_from(load_seq, pc, 0);
+        self.dir.set_history(hist);
+        self.ras.restore(&ras);
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    fn squash_redirect(&mut self, branch_seq: Seq, target: u32, bi: &BranchInfo, _dir: bool) {
+        self.squash_from(branch_seq + 1, target, self.cfg.mispredict_extra_penalty);
+        self.ras.restore(&bi.ras_after);
+        // Direction history was repaired by `resolve`.
+    }
+
+    /// Remove every instruction with `seq >= from` and refetch at
+    /// `new_pc` after `extra_penalty` bubbles. Predictor/RAS repair is the
+    /// caller's responsibility (it differs by cause).
+    fn squash_from(&mut self, from: Seq, new_pc: u32, extra_penalty: u64) {
+        let mut squashed_cols = Vec::new();
+        let mut undo: Vec<RobEntry> = Vec::new();
+        self.rob.squash_from(from, |e| undo.push(e));
+        for e in undo {
+            if !e.issued || e.in_wib {
+                // May be in an issue queue or the WIB.
+                self.iq_int.remove(e.seq);
+                self.iq_fp.remove(e.seq);
+            }
+            if e.in_wib {
+                self.wib.as_mut().expect("WIB entry implies WIB").squash_slot(e.slot);
+            }
+            if let Some(col) = e.miss_column {
+                squashed_cols.push((col, e.seq));
+            }
+            if let Some((arch, p, prev)) = e.dest {
+                self.rename.restore(arch, prev);
+                self.rf_mut(arch.class()).release(p);
+            }
+        }
+        if let Some(wib) = self.wib.as_mut() {
+            for (col, load_seq) in squashed_cols {
+                wib.squash_column(col, load_seq);
+            }
+        }
+        self.lsq.squash_from(from);
+        self.pending_load_values.retain(|&s, _| s < from);
+        self.blocked_loads.retain(|&(l, _)| l < from);
+        self.ifq.clear();
+        self.fetch_halted = false;
+        self.fetch_pc = new_pc;
+        self.fetch_resume_at = self.now + 1 + extra_penalty;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn do_commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.head() else { break };
+            if !head.completed {
+                break;
+            }
+            let e = self.rob.pop_head();
+            self.last_commit_cycle = self.now;
+
+            // Co-simulation: the reference interpreter retires in
+            // lockstep.
+            if let Some(mut checker) = self.checker.take() {
+                assert_eq!(
+                    e.pc,
+                    checker.pc(),
+                    "cosim divergence at seq {}: pipeline commits pc {:#x} ({}), reference \
+                     expects pc {:#x}",
+                    e.seq,
+                    e.pc,
+                    e.inst,
+                    checker.pc()
+                );
+                checker.step().expect("reference interpreter faulted");
+                if let Some((arch, p, _)) = e.dest {
+                    let got = self.rf(arch.class()).value(p);
+                    let want = checker.reg_bits(arch);
+                    assert_eq!(
+                        got, want,
+                        "cosim divergence at pc {:#x} ({}): {} = {:#x}, reference says {:#x}",
+                        e.pc, e.inst, arch, got, want
+                    );
+                }
+                self.checker = Some(checker);
+            }
+
+            if e.inst.is_store() {
+                let s = self.lsq.pop_store(e.seq);
+                let addr = s.addr.expect("committed store has an address");
+                self.mem.write_bits(addr, s.width, s.data);
+                // Timing: the write drains through the D-cache from the
+                // write buffer; commit does not stall on it.
+                self.hier.data_access(addr, AccessKind::Write, self.now);
+                self.stats.committed_stores += 1;
+                // Loads blocked on this store can retry against memory.
+                self.retry_loads_blocked_on(e.seq);
+            } else if e.inst.is_load() {
+                self.lsq.pop_load(e.seq);
+                self.stats.committed_loads += 1;
+            }
+
+            if let Some((_, _, prev)) = e.dest {
+                let class = e.dest.expect("checked").0.class();
+                self.rf_mut(class).release(prev);
+            }
+            if e.inst.is_cond_branch() {
+                self.stats.cond_branches += 1;
+                if e.dir_wrong {
+                    self.stats.dir_mispredicts += 1;
+                }
+            }
+            if e.wib_trips > 0 {
+                self.stats.wib_touched_insts += 1;
+                self.stats.wib_insertions_committed += e.wib_trips as u64;
+                self.stats.wib_max_insertions_per_inst =
+                    self.stats.wib_max_insertions_per_inst.max(e.wib_trips as u64);
+            }
+            if let Some(trace) = &mut self.trace {
+                trace.push(InstTrace {
+                    seq: e.seq,
+                    pc: e.pc,
+                    text: e.inst.to_string(),
+                    fetch: e.cycle_fetch,
+                    dispatch: e.cycle_dispatch,
+                    issue: e.cycle_issue,
+                    complete: e.cycle_complete,
+                    commit: self.now,
+                    wib_trips: e.wib_trips,
+                });
+            }
+            self.stats.committed += 1;
+            if e.inst.is_halt() {
+                self.halted = true;
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    fn step(&mut self) {
+        if std::env::var("WIB_TRACE").is_ok() && self.now == 20_000 {
+            eprintln!("cyc {}: iqi={} iqf={} rob={} wib={:?}", self.now, self.iq_int.len(), self.iq_fp.len(), self.rob.len(), self.wib.as_ref().map(Window::resident));
+            for (name, q) in [("int", &self.iq_int), ("fp", &self.iq_fp)] {
+                for (seq, e) in q.dump().into_iter().take(40) {
+                    let rob = self.rob.get(seq);
+                    eprintln!("  {name} {seq} {:?} sat={} pret={} srcs={:?} rf={:?}", rob.map(|r| r.inst.to_string()), e.is_satisfied(), e.is_pretend(), e.srcs,
+                        e.srcs.iter().flatten().map(|(s,_)| (self.rf(s.class).is_ready(s.preg), self.rf(s.class).wait_column(s.preg))).collect::<Vec<_>>());
+                }
+            }
+        }
+        self.storewait.tick(self.now);
+        self.do_commit();
+        if self.halted {
+            return;
+        }
+        self.drain_events();
+        self.do_dispatch();
+        self.do_issue();
+        self.do_fetch();
+        if self.now.is_multiple_of(crate::stats::OCCUPANCY_SAMPLE_PERIOD) {
+            self.stats.occupancy_window.record(self.rob.len() as u64);
+            self.stats
+                .occupancy_iq
+                .record((self.iq_int.len() + self.iq_fp.len()) as u64);
+            self.stats
+                .occupancy_wib
+                .record(self.wib.as_ref().map_or(0, |w| w.resident() as u64));
+        }
+        self.now += 1;
+        if self.now - self.last_commit_cycle > WATCHDOG_CYCLES {
+            self.watchdog_panic();
+        }
+    }
+
+    fn watchdog_panic(&self) -> ! {
+        let head = self.rob.head();
+        panic!(
+            "no commit for {WATCHDOG_CYCLES} cycles at cycle {}: head={:?} pc={:#x?} \
+             completed={:?} issued={:?} in_wib={:?}, iq_int={}, iq_fp={}, rob={}, \
+             wib_resident={:?}, events={}, fetch_pc={:#x}",
+            self.now,
+            head.map(|e| e.inst.to_string()),
+            head.map(|e| e.pc),
+            head.map(|e| e.completed),
+            head.map(|e| e.issued),
+            head.map(|e| e.in_wib),
+            self.iq_int.len(),
+            self.iq_fp.len(),
+            self.rob.len(),
+            self.wib.as_ref().map(Window::resident),
+            self.events.len(),
+            self.fetch_pc,
+        );
+    }
+
+    fn run(&mut self, limit: RunLimit) -> RunResult {
+        self.last_commit_cycle = self.now;
+        while !self.halted
+            && self.stats.committed < limit.max_insts
+            && self.stats.cycles < limit.max_cycles
+        {
+            self.step();
+            self.stats.cycles += 1;
+        }
+        self.stats.mem = self.hier.stats();
+        self.stats.rf_l2_reads = self.rf_int.l2_reads + self.rf_fp.l2_reads;
+        if let Some(w) = &self.wib {
+            let ws = w.stats();
+            self.stats.wib_insertions = ws.insertions;
+            self.stats.wib_pool_stalls = self.stats.wib_pool_stalls.max(w.insert_failures());
+        }
+        RunResult { stats: self.stats.clone(), halted: self.halted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wib_isa::asm::ProgramBuilder;
+    use wib_isa::reg::*;
+
+    fn run_cosim(cfg: MachineConfig, prog: &Program, n: u64) -> RunResult {
+        let mut p = Processor::new(cfg);
+        p.enable_cosim();
+        p.run_program(prog, RunLimit::instructions(n))
+    }
+
+    fn sum_loop() -> Program {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 100);
+        b.li(R2, 0);
+        b.label("loop");
+        b.add(R2, R2, R1);
+        b.addi(R1, R1, -1);
+        b.bne(R1, R0, "loop");
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn base_machine_runs_simple_loop() {
+        let r = run_cosim(MachineConfig::base_8way(), &sum_loop(), 10_000);
+        assert!(r.halted);
+        assert!(r.stats.committed > 300);
+        assert!(r.ipc() > 0.5, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn wib_machine_runs_simple_loop() {
+        let r = run_cosim(MachineConfig::wib_2k(), &sum_loop(), 10_000);
+        assert!(r.halted);
+    }
+
+    #[test]
+    fn store_load_forwarding_is_correct() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 0x8000);
+        b.li(R2, 1234);
+        b.sw(R2, R1, 0);
+        b.lw(R3, R1, 0); // must forward from the store
+        b.add(R4, R3, R3);
+        b.sw(R4, R1, 4);
+        b.lw(R5, R1, 4);
+        b.halt();
+        let r = run_cosim(MachineConfig::base_8way(), &b.finish().unwrap(), 1000);
+        assert!(r.halted);
+    }
+
+    #[test]
+    fn pointer_chase_with_misses() {
+        // A short linked list spread across cache lines.
+        let mut b = ProgramBuilder::new(0x1000);
+        let nodes = 64u32;
+        let base = 0x10_0000u32;
+        let stride = 4096 + 64; // new page + new line every hop
+        let addrs: Vec<u32> = (0..nodes).map(|i| base + i * stride).collect();
+        for i in 0..nodes as usize {
+            let next = if i + 1 < nodes as usize { addrs[i + 1] } else { 0 };
+            b.data_u32(addrs[i], &[next, i as u32]);
+        }
+        b.li(R1, addrs[0]);
+        b.li(R3, 0);
+        b.label("walk");
+        b.lw(R2, R1, 4); // payload
+        b.add(R3, R3, R2);
+        b.lw(R1, R1, 0); // next pointer (dependent miss)
+        b.bne(R1, R0, "walk");
+        b.halt();
+        let prog = b.finish().unwrap();
+        let base_r = run_cosim(MachineConfig::base_8way(), &prog, 10_000);
+        let wib_r = run_cosim(MachineConfig::wib_2k(), &prog, 10_000);
+        assert!(base_r.halted && wib_r.halted);
+        assert_eq!(base_r.stats.committed, wib_r.stats.committed);
+    }
+
+    #[test]
+    fn wib_actually_engages_on_independent_misses() {
+        // Independent streaming loads with dependent consumers: the WIB
+        // should capture the consumers and expose miss parallelism.
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 0x20_0000);
+        b.li(R4, 256); // iterations
+        b.li(R5, 0);
+        b.label("loop");
+        b.lw(R2, R1, 0); // miss
+        b.add(R3, R2, R2); // dependent
+        b.add(R5, R5, R3); // dependent chain
+        b.addi(R1, R1, 4096); // next page
+        b.addi(R4, R4, -1);
+        b.bne(R4, R0, "loop");
+        b.halt();
+        let prog = b.finish().unwrap();
+        let wib_r = run_cosim(MachineConfig::wib_2k(), &prog, 10_000);
+        assert!(wib_r.halted);
+        assert!(wib_r.stats.wib_insertions > 0, "WIB never used");
+        let base_r = run_cosim(MachineConfig::base_8way(), &prog, 10_000);
+        assert!(
+            wib_r.ipc() > base_r.ipc(),
+            "WIB {} should beat base {} on this kernel",
+            wib_r.ipc(),
+            base_r.ipc()
+        );
+    }
+
+    #[test]
+    fn function_calls_exercise_ras() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R10, 50);
+        b.li(R11, 0);
+        b.label("loop");
+        b.jal("leaf");
+        b.addi(R10, R10, -1);
+        b.bne(R10, R0, "loop");
+        b.halt();
+        b.label("leaf");
+        b.addi(R11, R11, 3);
+        b.ret();
+        let r = run_cosim(MachineConfig::base_8way(), &b.finish().unwrap(), 10_000);
+        assert!(r.halted);
+    }
+
+    #[test]
+    fn branchy_code_with_mispredictions() {
+        // Data-dependent branches on a pseudo-random sequence (LCG).
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 12345); // lcg state
+        b.li(R2, 200); // iterations
+        b.li(R3, 0);
+        b.li(R7, 1103515245 & 0xffff);
+        b.label("loop");
+        b.mul(R1, R1, R7);
+        b.addi(R1, R1, 12345);
+        b.andi(R4, R1, 1);
+        b.beq(R4, R0, "even");
+        b.addi(R3, R3, 1);
+        b.j("next");
+        b.label("even");
+        b.addi(R3, R3, 2);
+        b.label("next");
+        b.addi(R2, R2, -1);
+        b.bne(R2, R0, "loop");
+        b.halt();
+        let r = run_cosim(MachineConfig::base_8way(), &b.finish().unwrap(), 10_000);
+        assert!(r.halted);
+        assert!(r.stats.cond_branches >= 400);
+        assert!(r.stats.dir_mispredicts > 0, "LCG parity should mispredict sometimes");
+    }
+
+    #[test]
+    fn order_violation_replay() {
+        // A store whose address depends on a long chain, followed closely
+        // by a load to the same address: the load speculates ahead and
+        // must replay.
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R9, 0x8000);
+        b.li(R8, 77);
+        b.li(R7, 40); // iterations
+        b.label("loop");
+        // Slow chain feeding the store address.
+        b.mul(R1, R9, R8);
+        b.mul(R1, R1, R8);
+        b.sub(R1, R1, R1); // becomes 0
+        b.add(R1, R1, R9); // = 0x8000, slowly
+        b.sw(R8, R1, 0); // store to 0x8000
+        b.lw(R2, R9, 0); // load from 0x8000 executes first
+        b.add(R3, R3, R2);
+        b.addi(R7, R7, -1);
+        b.bne(R7, R0, "loop");
+        b.halt();
+        let r = run_cosim(MachineConfig::base_8way(), &b.finish().unwrap(), 10_000);
+        assert!(r.halted);
+        assert!(r.stats.order_violations > 0, "expected at least one replay");
+    }
+
+    #[test]
+    fn fp_workload_runs() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.data_f64(0x8000, &[1.0, 2.0, 3.0, 4.0]);
+        b.li(R1, 0x8000);
+        b.li(R2, 100);
+        b.fld(F1, R1, 0);
+        b.fld(F2, R1, 8);
+        b.label("loop");
+        b.fmul(F3, F1, F2);
+        b.fadd(F1, F3, F2);
+        b.fdiv(F4, F1, F2);
+        b.fsqrt(F5, F4);
+        b.addi(R2, R2, -1);
+        b.bne(R2, R0, "loop");
+        b.fsd(F5, R1, 16);
+        b.halt();
+        let r = run_cosim(MachineConfig::base_8way(), &b.finish().unwrap(), 10_000);
+        assert!(r.halted);
+    }
+
+    #[test]
+    fn limits_stop_runaway_programs() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.label("spin");
+        b.addi(R1, R1, 1);
+        b.j("spin");
+        let prog = b.finish().unwrap();
+        let p = Processor::new(MachineConfig::base_8way());
+        let r = p.run_program(&prog, RunLimit::instructions(5_000));
+        assert!(!r.halted);
+        assert!(r.stats.committed >= 5_000);
+        let r = p.run_program(&prog, RunLimit::cycles(1_000));
+        assert_eq!(r.stats.cycles, 1_000);
+    }
+
+    #[test]
+    fn warmed_run_matches_architecture() {
+        let prog = sum_loop();
+        let mut p = Processor::new(MachineConfig::base_8way());
+        p.enable_cosim();
+        let r = p.run_program_warmed(&prog, 50, RunLimit::instructions(10_000));
+        assert!(r.halted);
+        // 50 instructions were skipped; the detailed run commits the rest.
+        assert!(r.stats.committed < 400);
+    }
+
+    #[test]
+    fn conventional_large_iq_runs() {
+        let r = run_cosim(MachineConfig::conventional(256), &sum_loop(), 10_000);
+        assert!(r.halted);
+    }
+}

@@ -1,0 +1,406 @@
+//! Physical register files with readiness, WIB wait bits, consumer
+//! subscription lists, and the two-level timing model.
+//!
+//! One `RegFile` exists per register class (integer / floating point).
+//! Besides the value and ready bit, every physical register carries the
+//! WIB's **wait bit**: `Some(column)` means the value will be produced
+//! (transitively) by the outstanding load miss tracked by that bit-vector
+//! column, so consumers are "pretend ready" and belong in the WIB.
+
+use crate::types::{ColumnId, PhysReg, Seq};
+use std::collections::BTreeSet;
+
+/// Timing state for the two-level register file: which physical registers
+/// currently live in the small first level.
+#[derive(Debug, Clone)]
+struct L1Tracker {
+    capacity: usize,
+    in_l1: Vec<bool>,
+    last_use: Vec<u64>,
+    lru: BTreeSet<(u64, u16)>,
+    tick: u64,
+}
+
+impl L1Tracker {
+    fn new(capacity: usize, regs: usize) -> L1Tracker {
+        let mut t = L1Tracker {
+            capacity,
+            in_l1: vec![false; regs],
+            last_use: vec![0; regs],
+            lru: BTreeSet::new(),
+            tick: 0,
+        };
+        // The architectural registers start in the first level.
+        for r in 0..capacity.min(regs) {
+            t.insert(r as u16);
+        }
+        t
+    }
+
+    fn touch(&mut self, r: u16) {
+        self.tick += 1;
+        let i = r as usize;
+        if self.in_l1[i] {
+            self.lru.remove(&(self.last_use[i], r));
+        }
+        self.last_use[i] = self.tick;
+        self.lru.insert((self.tick, r));
+        self.in_l1[i] = true;
+    }
+
+    /// Insert `r` into the L1, evicting the LRU register if full.
+    fn insert(&mut self, r: u16) {
+        if !self.in_l1[r as usize] && self.lru.len() >= self.capacity {
+            if let Some(&(t, victim)) = self.lru.iter().next() {
+                self.lru.remove(&(t, victim));
+                self.in_l1[victim as usize] = false;
+            }
+        }
+        self.touch(r);
+    }
+
+    fn contains(&self, r: u16) -> bool {
+        self.in_l1[r as usize]
+    }
+}
+
+/// Read-timing organization of a physical register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegTiming {
+    /// Every read is single-cycle.
+    Flat,
+    /// Two-level: reads outside the small first level pay `l2_latency`
+    /// (the port budget is enforced by the issue logic).
+    TwoLevel {
+        /// First-level capacity.
+        l1_regs: usize,
+        /// Extra read latency on a first-level miss.
+        l2_latency: u64,
+    },
+    /// Multi-banked: each bank serves `ports` reads per cycle; excess
+    /// reads pay `conflict_penalty`.
+    Banked {
+        /// Number of banks (power of two).
+        banks: usize,
+        /// Read ports per bank per cycle.
+        ports: u32,
+        /// Extra latency on a port conflict.
+        conflict_penalty: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Timing {
+    Flat,
+    TwoLevel { l1: L1Tracker, l2_latency: u64 },
+    Banked { banks: usize, ports: u32, conflict_penalty: u64, used: Vec<u32> },
+}
+
+/// One class's physical register file.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    values: Vec<u64>,
+    ready: Vec<bool>,
+    wait: Vec<Option<ColumnId>>,
+    consumers: Vec<Vec<Seq>>,
+    free: Vec<u16>,
+    timing: Timing,
+    /// Second-level reads performed (two-level organization).
+    pub l2_reads: u64,
+    /// Bank port conflicts (multi-banked organization).
+    pub bank_conflicts: u64,
+}
+
+impl RegFile {
+    /// Build a file of `size` physical registers, the first `arch` of
+    /// which hold committed architectural state (ready, value 0) and the
+    /// rest of which are free.
+    ///
+    /// # Panics
+    /// Panics if `size < arch` or a banked organization has zero banks.
+    pub fn new(size: usize, arch: usize, timing: RegTiming) -> RegFile {
+        assert!(size >= arch, "need at least {arch} physical registers");
+        let timing = match timing {
+            RegTiming::Flat => Timing::Flat,
+            RegTiming::TwoLevel { l1_regs, l2_latency } => {
+                Timing::TwoLevel { l1: L1Tracker::new(l1_regs, size), l2_latency }
+            }
+            RegTiming::Banked { banks, ports, conflict_penalty } => {
+                assert!(banks > 0);
+                Timing::Banked { banks, ports, conflict_penalty, used: vec![0; banks] }
+            }
+        };
+        RegFile {
+            values: vec![0; size],
+            ready: (0..size).map(|i| i < arch).collect(),
+            wait: vec![None; size],
+            consumers: vec![Vec::new(); size],
+            free: (arch..size).rev().map(|i| i as u16).collect(),
+            timing,
+            l2_reads: 0,
+            bank_conflicts: 0,
+        }
+    }
+
+    /// Reset per-cycle port accounting (multi-banked organization). Call
+    /// once at the start of each issue phase.
+    pub fn begin_cycle(&mut self) {
+        if let Timing::Banked { used, .. } = &mut self.timing {
+            used.fill(0);
+        }
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocate a physical register for a new rename; `None` when the free
+    /// list is empty (dispatch must stall).
+    pub fn alloc(&mut self) -> Option<PhysReg> {
+        let r = self.free.pop()?;
+        let i = r as usize;
+        self.values[i] = 0;
+        self.ready[i] = false;
+        self.wait[i] = None;
+        self.consumers[i].clear();
+        Some(PhysReg(r))
+    }
+
+    /// Return a register to the free list (commit frees the previous
+    /// mapping; squash frees the new one).
+    pub fn release(&mut self, r: PhysReg) {
+        debug_assert!(!self.free.contains(&r.0), "double free of {r}");
+        self.wait[r.0 as usize] = None;
+        self.consumers[r.0 as usize].clear();
+        self.free.push(r.0);
+    }
+
+    /// Raw value bits (only meaningful once ready).
+    pub fn value(&self, r: PhysReg) -> u64 {
+        self.values[r.0 as usize]
+    }
+
+    /// True once the producer has written back.
+    pub fn is_ready(&self, r: PhysReg) -> bool {
+        self.ready[r.0 as usize]
+    }
+
+    /// The WIB column this register waits on, if its producer chain hangs
+    /// off an outstanding load miss.
+    pub fn wait_column(&self, r: PhysReg) -> Option<ColumnId> {
+        self.wait[r.0 as usize]
+    }
+
+    /// Mark `r` produced with `value`; clears any wait bit. Returns the
+    /// consumers subscribed for wakeup.
+    pub fn write(&mut self, r: PhysReg, value: u64) -> Vec<Seq> {
+        let i = r.0 as usize;
+        self.values[i] = value;
+        self.ready[i] = true;
+        self.wait[i] = None;
+        if let Timing::TwoLevel { l1, .. } = &mut self.timing {
+            l1.insert(r.0);
+        }
+        std::mem::take(&mut self.consumers[i])
+    }
+
+    /// Force a committed architectural value (used when seeding the
+    /// machine from a warmed-up interpreter state).
+    pub fn poke(&mut self, r: PhysReg, value: u64) {
+        self.values[r.0 as usize] = value;
+        self.ready[r.0 as usize] = true;
+    }
+
+    /// Set the WIB wait bit: the value of `r` will arrive when `column`'s
+    /// load completes. Returns subscribed consumers, which become
+    /// pretend-ready.
+    pub fn set_wait(&mut self, r: PhysReg, column: ColumnId) -> Vec<Seq> {
+        let i = r.0 as usize;
+        debug_assert!(!self.ready[i], "wait bit on a ready register");
+        self.wait[i] = Some(column);
+        std::mem::take(&mut self.consumers[i])
+    }
+
+    /// Clear the wait bit without producing a value (the owner was
+    /// reinserted from the WIB and will execute normally).
+    pub fn clear_wait(&mut self, r: PhysReg) {
+        self.wait[r.0 as usize] = None;
+    }
+
+    /// Subscribe instruction `seq` to wake when `r` becomes ready or gains
+    /// a wait bit.
+    pub fn subscribe(&mut self, r: PhysReg, seq: Seq) {
+        self.consumers[r.0 as usize].push(seq);
+    }
+
+    /// Extra cycles to read `r`: a two-level file promotes the register
+    /// into the first level; a banked file consumes one of the bank's
+    /// per-cycle ports. Call once per operand actually issued.
+    pub fn read_penalty(&mut self, r: PhysReg) -> u64 {
+        match &mut self.timing {
+            Timing::Flat => 0,
+            Timing::TwoLevel { l1, l2_latency } => {
+                if l1.contains(r.0) {
+                    l1.touch(r.0);
+                    0
+                } else {
+                    self.l2_reads += 1;
+                    l1.insert(r.0);
+                    *l2_latency
+                }
+            }
+            Timing::Banked { banks, ports, conflict_penalty, used } => {
+                let bank = r.0 as usize % *banks;
+                if used[bank] < *ports {
+                    used[bank] += 1;
+                    0
+                } else {
+                    self.bank_conflicts += 1;
+                    *conflict_penalty
+                }
+            }
+        }
+    }
+
+    /// Would reading `r` hit the two-level file's second level? (No state
+    /// change; used to budget L2 read ports before committing to an
+    /// issue. Banked conflicts are charged as latency instead.)
+    pub fn needs_l2_read(&self, r: PhysReg) -> bool {
+        match &self.timing {
+            Timing::TwoLevel { l1, .. } => !l1.contains(r.0),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state() {
+        let rf = RegFile::new(128, 32, RegTiming::Flat);
+        assert_eq!(rf.free_count(), 96);
+        assert!(rf.is_ready(PhysReg(0)));
+        assert!(!rf.is_ready(PhysReg(32)));
+    }
+
+    #[test]
+    fn alloc_release_round_trip() {
+        let mut rf = RegFile::new(40, 32, RegTiming::Flat);
+        let mut got = Vec::new();
+        while let Some(r) = rf.alloc() {
+            got.push(r);
+        }
+        assert_eq!(got.len(), 8);
+        assert_eq!(rf.free_count(), 0);
+        for r in got {
+            rf.release(r);
+        }
+        assert_eq!(rf.free_count(), 8);
+    }
+
+    #[test]
+    fn write_wakes_consumers() {
+        let mut rf = RegFile::new(64, 32, RegTiming::Flat);
+        let r = rf.alloc().unwrap();
+        rf.subscribe(r, 100);
+        rf.subscribe(r, 101);
+        let woken = rf.write(r, 42);
+        assert_eq!(woken, vec![100, 101]);
+        assert!(rf.is_ready(r));
+        assert_eq!(rf.value(r), 42);
+        // Consumers were drained.
+        assert!(rf.write(r, 43).is_empty());
+    }
+
+    #[test]
+    fn wait_bits() {
+        let mut rf = RegFile::new(64, 32, RegTiming::Flat);
+        let r = rf.alloc().unwrap();
+        rf.subscribe(r, 7);
+        let woken = rf.set_wait(r, 3);
+        assert_eq!(woken, vec![7]);
+        assert_eq!(rf.wait_column(r), Some(3));
+        assert!(!rf.is_ready(r));
+        rf.clear_wait(r);
+        assert_eq!(rf.wait_column(r), None);
+        // Writing clears wait too.
+        rf.set_wait(r, 4);
+        rf.write(r, 1);
+        assert_eq!(rf.wait_column(r), None);
+    }
+
+    #[test]
+    fn alloc_resets_state() {
+        let mut rf = RegFile::new(34, 32, RegTiming::Flat);
+        let r = rf.alloc().unwrap();
+        rf.write(r, 9);
+        rf.release(r);
+        let r2 = rf.alloc().unwrap();
+        // Might be a different register, but if recycled it must be clean.
+        if r2 == r {
+            assert!(!rf.is_ready(r2));
+            assert_eq!(rf.wait_column(r2), None);
+        }
+    }
+
+    #[test]
+    fn two_level_penalties() {
+        // 4 registers in L1, 4-cycle L2.
+        let mut rf = RegFile::new(64, 32, RegTiming::TwoLevel { l1_regs: 4, l2_latency: 4 });
+        // Arch regs 0..4 seeded into L1.
+        assert_eq!(rf.read_penalty(PhysReg(0)), 0);
+        // Reg 10 is not in L1: first read pays, second is free.
+        assert!(rf.needs_l2_read(PhysReg(10)));
+        assert_eq!(rf.read_penalty(PhysReg(10)), 4);
+        assert_eq!(rf.read_penalty(PhysReg(10)), 0);
+        assert_eq!(rf.l2_reads, 1);
+    }
+
+    #[test]
+    fn two_level_eviction_is_lru() {
+        let mut rf = RegFile::new(64, 32, RegTiming::TwoLevel { l1_regs: 2, l2_latency: 4 });
+        // Capacity 2: after touching 3 distinct regs, the least recent
+        // falls out.
+        rf.read_penalty(PhysReg(40)); // L1: {40, ...}
+        rf.read_penalty(PhysReg(41));
+        rf.read_penalty(PhysReg(40)); // refresh 40
+        rf.read_penalty(PhysReg(42)); // evicts 41
+        assert!(!rf.needs_l2_read(PhysReg(40)));
+        assert!(rf.needs_l2_read(PhysReg(41)));
+        assert!(!rf.needs_l2_read(PhysReg(42)));
+    }
+
+    #[test]
+    fn banked_port_conflicts() {
+        let timing = RegTiming::Banked { banks: 2, ports: 1, conflict_penalty: 1 };
+        let mut rf = RegFile::new(64, 32, timing);
+        rf.begin_cycle();
+        // Regs 0 and 2 share bank 0; the second read this cycle conflicts.
+        assert_eq!(rf.read_penalty(PhysReg(0)), 0);
+        assert_eq!(rf.read_penalty(PhysReg(2)), 1);
+        // Bank 1 is untouched.
+        assert_eq!(rf.read_penalty(PhysReg(1)), 0);
+        assert_eq!(rf.bank_conflicts, 1);
+        // Fresh cycle: ports reset.
+        rf.begin_cycle();
+        assert_eq!(rf.read_penalty(PhysReg(0)), 0);
+    }
+
+    #[test]
+    fn banked_file_never_needs_l2_budget() {
+        let timing = RegTiming::Banked { banks: 4, ports: 2, conflict_penalty: 1 };
+        let rf = RegFile::new(64, 32, timing);
+        assert!(!rf.needs_l2_read(PhysReg(50)));
+    }
+
+    #[test]
+    fn writes_promote_into_l1() {
+        let mut rf = RegFile::new(64, 32, RegTiming::TwoLevel { l1_regs: 2, l2_latency: 4 });
+        let r = rf.alloc().unwrap();
+        rf.write(r, 5);
+        assert_eq!(rf.read_penalty(r), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Register rename map: architectural register -> physical register.
+//!
+//! Misprediction recovery does not checkpoint the map; the active list is
+//! walked youngest-first and each squashed instruction's previous mapping
+//! is reinstated (every [`crate::rob::RobEntry`] records it).
+
+use crate::types::PhysReg;
+use wib_isa::reg::{ArchReg, NUM_ARCH_REGS};
+
+/// The speculative rename map.
+#[derive(Debug, Clone)]
+pub struct RenameMap {
+    map: [PhysReg; NUM_ARCH_REGS],
+}
+
+impl RenameMap {
+    /// Identity map: architectural register `i` of each class maps to
+    /// physical register `i` of that class's file.
+    pub fn new() -> RenameMap {
+        let mut map = [PhysReg(0); NUM_ARCH_REGS];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = PhysReg((i % 32) as u16);
+        }
+        RenameMap { map }
+    }
+
+    /// Current physical register for `r`.
+    pub fn lookup(&self, r: ArchReg) -> PhysReg {
+        self.map[r.flat() as usize]
+    }
+
+    /// Redirect `r` to `p`, returning the previous mapping.
+    pub fn rename(&mut self, r: ArchReg, p: PhysReg) -> PhysReg {
+        std::mem::replace(&mut self.map[r.flat() as usize], p)
+    }
+
+    /// Undo a rename during squash recovery.
+    pub fn restore(&mut self, r: ArchReg, prev: PhysReg) {
+        self.map[r.flat() as usize] = prev;
+    }
+}
+
+impl Default for RenameMap {
+    fn default() -> Self {
+        RenameMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wib_isa::reg;
+
+    #[test]
+    fn identity_start() {
+        let m = RenameMap::new();
+        assert_eq!(m.lookup(reg::R5), PhysReg(5));
+        assert_eq!(m.lookup(reg::F5), PhysReg(5)); // fp file, same index
+        assert_eq!(m.lookup(reg::R31), PhysReg(31));
+    }
+
+    #[test]
+    fn rename_and_restore() {
+        let mut m = RenameMap::new();
+        let prev = m.rename(reg::R3, PhysReg(77));
+        assert_eq!(prev, PhysReg(3));
+        assert_eq!(m.lookup(reg::R3), PhysReg(77));
+        m.restore(reg::R3, prev);
+        assert_eq!(m.lookup(reg::R3), PhysReg(3));
+    }
+
+    #[test]
+    fn classes_do_not_alias() {
+        let mut m = RenameMap::new();
+        m.rename(reg::R4, PhysReg(90));
+        assert_eq!(m.lookup(reg::F4), PhysReg(4));
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulation statistics.
+
+use crate::hist::Histogram;
+use wib_mem::hier::HierStats;
+
+/// Counters accumulated over a detailed-simulation run.
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed (architecturally retired).
+    pub committed: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed conditional branches.
+    pub cond_branches: u64,
+    /// Conditional branches whose *direction* was mispredicted.
+    pub dir_mispredicts: u64,
+    /// Control transfers whose target was mispredicted (direction right).
+    pub target_mispredicts: u64,
+    /// Squashes triggered by load-store order violations.
+    pub order_violations: u64,
+    /// Instructions fetched (wrong path included).
+    pub fetched: u64,
+    /// Instructions dispatched into the window (wrong path included).
+    pub dispatched: u64,
+    /// Instructions issued to functional units (wrong path included).
+    pub issued: u64,
+    /// Instructions moved into the WIB (an instruction recycling through
+    /// the WIB counts once per trip).
+    pub wib_insertions: u64,
+    /// Instructions reinserted from the WIB into the issue queue.
+    pub wib_extractions: u64,
+    /// Largest number of WIB trips made by any single committed
+    /// instruction.
+    pub wib_max_insertions_per_inst: u64,
+    /// Committed instructions that made at least one WIB trip.
+    pub wib_touched_insts: u64,
+    /// Total WIB trips summed over committed instructions (for the
+    /// average-insertions statistic the paper quotes for mgrid).
+    pub wib_insertions_committed: u64,
+    /// Loads that missed in the L1 D-cache but could not get a bit-vector
+    /// (bit-vector limit reached) and so stalled conventionally.
+    pub wib_column_exhausted: u64,
+    /// Pool-of-blocks organization only: pretend-ready selections that
+    /// found the pool full and wasted the issue slot (paper section 3.5's
+    /// hazard).
+    pub wib_pool_stalls: u64,
+    /// Cycles dispatch was blocked because the active list was full.
+    pub stall_active_list: u64,
+    /// Cycles dispatch was blocked because an issue queue was full.
+    pub stall_issue_queue: u64,
+    /// Cycles dispatch was blocked on a full load/store queue.
+    pub stall_lsq: u64,
+    /// Cycles dispatch was blocked because no physical register was free.
+    pub stall_regs: u64,
+    /// Second-level register-file reads (two-level register file only).
+    pub rf_l2_reads: u64,
+    /// Memory-hierarchy statistics.
+    pub mem: HierStats,
+    /// Branch direction lookups at fetch.
+    pub dir_lookups: u64,
+    /// Active-list occupancy, sampled every [`OCCUPANCY_SAMPLE_PERIOD`]
+    /// cycles.
+    pub occupancy_window: Histogram,
+    /// Combined issue-queue occupancy, sampled alongside.
+    pub occupancy_iq: Histogram,
+    /// WIB residency, sampled alongside.
+    pub occupancy_wib: Histogram,
+}
+
+/// Cycles between occupancy samples (cheap enough to always collect).
+pub const OCCUPANCY_SAMPLE_PERIOD: u64 = 16;
+
+impl Default for SimStats {
+    fn default() -> SimStats {
+        SimStats {
+            cycles: 0,
+            committed: 0,
+            committed_loads: 0,
+            committed_stores: 0,
+            cond_branches: 0,
+            dir_mispredicts: 0,
+            target_mispredicts: 0,
+            order_violations: 0,
+            fetched: 0,
+            dispatched: 0,
+            issued: 0,
+            wib_insertions: 0,
+            wib_extractions: 0,
+            wib_max_insertions_per_inst: 0,
+            wib_touched_insts: 0,
+            wib_insertions_committed: 0,
+            wib_column_exhausted: 0,
+            wib_pool_stalls: 0,
+            stall_active_list: 0,
+            stall_issue_queue: 0,
+            stall_lsq: 0,
+            stall_regs: 0,
+            rf_l2_reads: 0,
+            mem: HierStats::default(),
+            dir_lookups: 0,
+            occupancy_window: Histogram::new(2048),
+            occupancy_iq: Histogram::new(80),
+            occupancy_wib: Histogram::new(2048),
+        }
+    }
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of conditional-branch directions predicted correctly.
+    pub fn branch_dir_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            1.0
+        } else {
+            1.0 - self.dir_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Mean WIB trips per committed instruction that entered the WIB at
+    /// least once.
+    pub fn wib_avg_insertions(&self) -> f64 {
+        if self.wib_touched_insts == 0 {
+            0.0
+        } else {
+            self.wib_insertions_committed as f64 / self.wib_touched_insts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.branch_dir_rate(), 1.0);
+        s.cycles = 100;
+        s.committed = 250;
+        s.cond_branches = 10;
+        s.dir_mispredicts = 1;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.branch_dir_rate() - 0.9).abs() < 1e-12);
+        s.wib_touched_insts = 4;
+        s.wib_insertions_committed = 10;
+        assert!((s.wib_avg_insertions() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-instruction pipeline tracing.
+//!
+//! When enabled (see [`crate::Processor::run_program_traced`]), the engine
+//! records the cycle at which every *committed* instruction passed each
+//! pipeline milestone, plus its WIB trips — enough to render a
+//! pipeview-style timeline and to see chains parking and reinserting.
+
+use std::fmt;
+
+/// Lifecycle of one committed instruction.
+#[derive(Debug, Clone)]
+pub struct InstTrace {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Fetch PC.
+    pub pc: u32,
+    /// Disassembled text.
+    pub text: String,
+    /// Cycle fetched.
+    pub fetch: u64,
+    /// Cycle renamed/dispatched into the window.
+    pub dispatch: u64,
+    /// Cycle issued to a functional unit (0 = completed in the front end).
+    pub issue: u64,
+    /// Cycle the result was produced.
+    pub complete: u64,
+    /// Cycle committed.
+    pub commit: u64,
+    /// Trips through the WIB.
+    pub wib_trips: u32,
+}
+
+/// A bounded log of committed-instruction lifecycles.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<InstTrace>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// A trace that keeps the first `capacity` committed instructions.
+    pub fn new(capacity: usize) -> Trace {
+        Trace { records: Vec::new(), capacity }
+    }
+
+    /// Record one commit (ignored once full).
+    pub fn push(&mut self, record: InstTrace) {
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        }
+    }
+
+    /// Records collected so far.
+    pub fn records(&self) -> &[InstTrace] {
+        &self.records
+    }
+
+    /// True once `capacity` records have been collected.
+    pub fn is_full(&self) -> bool {
+        self.records.len() >= self.capacity
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Render a compact timeline: one instruction per row, with the
+    /// cycles of each milestone (F fetch, D dispatch, I issue, C complete,
+    /// R retire) and the WIB trip count.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>10}  {:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5}",
+            "seq", "pc", "instruction", "F", "D", "I", "C", "R", "WIB"
+        )?;
+        for r in &self.records {
+            writeln!(
+                f,
+                "{:>6} {:>#10x}  {:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5}",
+                r.seq,
+                r.pc,
+                r.text,
+                r.fetch,
+                r.dispatch,
+                if r.issue == 0 { "-".to_string() } else { r.issue.to_string() },
+                r.complete,
+                r.commit,
+                if r.wib_trips == 0 { "".to_string() } else { format!("x{}", r.wib_trips) },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64) -> InstTrace {
+        InstTrace {
+            seq,
+            pc: 0x1000,
+            text: "add r1, r2, r3".into(),
+            fetch: 1,
+            dispatch: 3,
+            issue: 4,
+            complete: 5,
+            commit: 6,
+            wib_trips: 2,
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut t = Trace::new(2);
+        for s in 0..5 {
+            t.push(record(s));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert!(t.is_full());
+        assert_eq!(t.records()[1].seq, 1);
+    }
+
+    #[test]
+    fn display_contains_milestones() {
+        let mut t = Trace::new(4);
+        t.push(record(7));
+        let s = t.to_string();
+        assert!(s.contains("add r1, r2, r3"));
+        assert!(s.contains("x2"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Small identifier types used throughout the pipeline.
+
+use std::fmt;
+
+/// A physical register: a class-local index into one of the two physical
+/// register files (integer or floating point). The class travels with the
+/// architectural register it renames, so `PhysReg` itself is just an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysReg(pub u16);
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Global dynamic-instruction sequence number. Monotonically increasing
+/// over all dispatched instructions (wrong-path included) and **never
+/// reused**, even after a squash — stale completion events identify dead
+/// instructions by failing to find their sequence number in the active
+/// list.
+pub type Seq = u64;
+
+/// A source operand reference: which register file, which register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcRef {
+    /// Register class (selects the physical file).
+    pub class: wib_isa::reg::RegClass,
+    /// Physical register within that file.
+    pub preg: PhysReg,
+}
+
+/// Index of a bit-vector column in the WIB (one per tracked load miss).
+pub type ColumnId = u16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_reg_display_and_order() {
+        assert_eq!(PhysReg(7).to_string(), "p7");
+        assert!(PhysReg(3) < PhysReg(4));
+    }
+}

@@ -1,0 +1,740 @@
+//! The Waiting Instruction Buffer (paper section 3.3).
+//!
+//! One WIB entry per active-list entry, allocated in program order (the
+//! entry index is the active-list slot). Load misses allocate **bit-vector
+//! columns**; an instruction moved to the WIB sets its bit in the column
+//! of the first outstanding load it waits on. When a miss completes, its
+//! column becomes *eligible* and entries drain back to the issue queue:
+//!
+//! - [`WibOrganization::Banked`]: banks take turns by cycle parity, each
+//!   extracting at most one instruction per two-cycle access, in per-bank
+//!   program order, with the paper's round-robin bank priority (a bank
+//!   that had a candidate but could not reinsert keeps highest priority —
+//!   the livelock-avoidance rule of section 3.3.1).
+//! - [`WibOrganization::NonBanked`]: one whole-structure access every
+//!   `latency` cycles, full program order (section 4.5).
+//! - [`WibOrganization::Ideal`]: single-cycle access, used to study the
+//!   selection policies of section 4.4.
+
+use crate::config::{SelectionPolicy, WibOrganization};
+use crate::types::{ColumnId, Seq};
+use std::collections::BTreeSet;
+
+/// A bit-vector column: the dependents of one outstanding load miss.
+#[derive(Debug, Clone)]
+struct Column {
+    in_use: bool,
+    completed: bool,
+    count: usize,
+    load_seq: Seq,
+    bits: Vec<u64>,
+    /// Eligible entries in program order (populated at completion; used
+    /// by the per-column selection policies).
+    eligible: BTreeSet<(Seq, usize)>,
+}
+
+impl Column {
+    fn new(words: usize) -> Column {
+        Column {
+            in_use: false,
+            completed: false,
+            count: 0,
+            load_seq: 0,
+            bits: vec![0; words],
+            eligible: BTreeSet::new(),
+        }
+    }
+
+    fn set_bit(&mut self, slot: usize) {
+        let (w, b) = (slot / 64, slot % 64);
+        debug_assert_eq!(self.bits[w] & (1 << b), 0);
+        self.bits[w] |= 1 << b;
+        self.count += 1;
+    }
+
+    fn clear_bit(&mut self, slot: usize) {
+        let (w, b) = (slot / 64, slot % 64);
+        debug_assert_ne!(self.bits[w] & (1 << b), 0);
+        self.bits[w] &= !(1 << b);
+        self.count -= 1;
+    }
+
+    fn slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, bits)| {
+            let mut bits = *bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + b)
+            })
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ExtractState {
+    /// Per-bank eligible sets + per-parity bank priority order.
+    Banked { sets: Vec<BTreeSet<(Seq, usize)>>, priority: [Vec<usize>; 2] },
+    /// One global eligible set in program order.
+    Global { eligible: BTreeSet<(Seq, usize)> },
+    /// Per-column draining: `(load_seq, column)` of completed columns.
+    ByColumn { completed: BTreeSet<(Seq, ColumnId)>, rr_cursor: usize },
+}
+
+/// Aggregate WIB counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WibStats {
+    /// Instructions inserted (one per trip).
+    pub insertions: u64,
+    /// Instructions reinserted into the issue queue.
+    pub extractions: u64,
+    /// Load misses that wanted a column when none was free.
+    pub column_exhausted: u64,
+    /// Columns allocated.
+    pub columns_allocated: u64,
+}
+
+/// The Waiting Instruction Buffer.
+#[derive(Debug, Clone)]
+pub struct Wib {
+    size: usize,
+    banks: usize,
+    organization: WibOrganization,
+    policy: SelectionPolicy,
+    max_columns: usize,
+    entry_valid: Vec<bool>,
+    entry_col: Vec<ColumnId>,
+    entry_seq: Vec<Seq>,
+    columns: Vec<Column>,
+    free_cols: Vec<ColumnId>,
+    completed_cols: usize,
+    resident: usize,
+    extract: ExtractState,
+    stats: WibStats,
+}
+
+impl Wib {
+    /// Build an empty WIB with `size` entries (== active-list size).
+    ///
+    /// # Panics
+    /// Panics if a banked organization's bank count does not divide
+    /// `size`, or `max_columns` is zero.
+    pub fn new(
+        size: usize,
+        organization: WibOrganization,
+        policy: SelectionPolicy,
+        max_columns: usize,
+    ) -> Wib {
+        assert!(max_columns > 0);
+        let banks = match organization {
+            WibOrganization::Banked { banks } => {
+                assert!(banks > 0 && size.is_multiple_of(banks as usize));
+                banks as usize
+            }
+            _ => 1,
+        };
+        let extract = match organization {
+            WibOrganization::Banked { .. } => ExtractState::Banked {
+                sets: vec![BTreeSet::new(); banks],
+                // Even banks work even cycles, odd banks odd cycles.
+                priority: [
+                    (0..banks).filter(|b| b % 2 == 0).collect(),
+                    (0..banks).filter(|b| b % 2 == 1).collect(),
+                ],
+            },
+            WibOrganization::NonBanked { .. } => {
+                ExtractState::Global { eligible: BTreeSet::new() }
+            }
+            WibOrganization::Ideal => match policy {
+                SelectionPolicy::ProgramOrder => {
+                    ExtractState::Global { eligible: BTreeSet::new() }
+                }
+                _ => ExtractState::ByColumn { completed: BTreeSet::new(), rr_cursor: 0 },
+            },
+            WibOrganization::PoolOfBlocks { .. } => {
+                panic!("pool-of-blocks organization is implemented by PoolWib, not Wib")
+            }
+        };
+        Wib {
+            size,
+            banks,
+            organization,
+            policy,
+            max_columns,
+            entry_valid: vec![false; size],
+            entry_col: vec![0; size],
+            entry_seq: vec![0; size],
+            columns: Vec::new(),
+            free_cols: Vec::new(),
+            completed_cols: 0,
+            resident: 0,
+            extract,
+            stats: WibStats::default(),
+        }
+    }
+
+    /// Entries currently parked.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> WibStats {
+        self.stats
+    }
+
+    /// Capacity (== active-list size).
+    pub fn capacity(&self) -> usize {
+        self.size
+    }
+
+    /// Diagnostic: the column a parked slot waits on, as
+    /// `(column, completed, bits_remaining)`.
+    pub fn slot_column_state(&self, slot: usize) -> Option<(ColumnId, bool, usize)> {
+        if !self.entry_valid[slot] {
+            return None;
+        }
+        let c = self.entry_col[slot];
+        let col = &self.columns[c as usize];
+        Some((c, col.completed, col.count))
+    }
+
+    /// True on cycles where this organization performs an access.
+    pub fn access_cycle(&self, now: u64) -> bool {
+        match self.organization {
+            WibOrganization::Banked { .. }
+            | WibOrganization::Ideal
+            | WibOrganization::PoolOfBlocks { .. } => true,
+            WibOrganization::NonBanked { latency } => now.is_multiple_of(latency),
+        }
+    }
+
+    /// Allocate a bit-vector column for the load miss `load_seq`.
+    /// Returns `None` when the configured column budget is exhausted — the
+    /// load's dependents then stay in the issue queue conventionally.
+    pub fn allocate_column(&mut self, load_seq: Seq) -> Option<ColumnId> {
+        let id = match self.free_cols.pop() {
+            Some(id) => id,
+            None if self.columns.len() < self.max_columns => {
+                let id = self.columns.len() as ColumnId;
+                self.columns.push(Column::new(self.size.div_ceil(64)));
+                id
+            }
+            None => {
+                self.stats.column_exhausted += 1;
+                return None;
+            }
+        };
+        let col = &mut self.columns[id as usize];
+        debug_assert!(!col.in_use && col.count == 0);
+        col.in_use = true;
+        col.completed = false;
+        col.load_seq = load_seq;
+        self.stats.columns_allocated += 1;
+        Some(id)
+    }
+
+    /// Park instruction (`seq`, active-list `slot`) in the WIB, waiting on
+    /// `column`.
+    ///
+    /// The column may already be completed (mid-drain): an instruction
+    /// whose wait bit references a load that just finished still parks in
+    /// that load's bit-vector and is picked up by a subsequent access —
+    /// this is the instruction-recycling behaviour the paper measures
+    /// (section 4.1's insertion counts).
+    ///
+    /// # Panics
+    /// Panics if the slot is already occupied or the column is free.
+    pub fn insert(&mut self, slot: usize, seq: Seq, column: ColumnId) {
+        assert!(!self.entry_valid[slot], "WIB slot {slot} already occupied");
+        let col = &mut self.columns[column as usize];
+        assert!(col.in_use, "insert into a free column");
+        col.set_bit(slot);
+        let completed = col.completed;
+        self.entry_valid[slot] = true;
+        self.entry_col[slot] = column;
+        self.entry_seq[slot] = seq;
+        self.resident += 1;
+        self.stats.insertions += 1;
+        if completed {
+            match &mut self.extract {
+                ExtractState::Banked { sets, .. } => {
+                    sets[slot % self.banks].insert((seq, slot));
+                }
+                ExtractState::Global { eligible } => {
+                    eligible.insert((seq, slot));
+                }
+                ExtractState::ByColumn { .. } => {
+                    self.columns[column as usize].eligible.insert((seq, slot));
+                }
+            }
+        }
+    }
+
+    /// True if `slot` currently holds a parked instruction.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.entry_valid[slot]
+    }
+
+    /// The load miss completed: its dependents become eligible for
+    /// reinsertion.
+    pub fn column_completed(&mut self, column: ColumnId) {
+        let col = &mut self.columns[column as usize];
+        debug_assert!(col.in_use && !col.completed);
+        col.completed = true;
+        self.completed_cols += 1;
+        if col.count == 0 {
+            self.free_column(column);
+            return;
+        }
+        let entries: Vec<(Seq, usize)> = {
+            let col = &self.columns[column as usize];
+            col.slots().map(|s| (self.entry_seq[s], s)).collect()
+        };
+        match &mut self.extract {
+            ExtractState::Banked { sets, .. } => {
+                for (seq, slot) in entries {
+                    sets[slot % self.banks].insert((seq, slot));
+                }
+            }
+            ExtractState::Global { eligible } => {
+                eligible.extend(entries);
+            }
+            ExtractState::ByColumn { completed, .. } => {
+                let col = &mut self.columns[column as usize];
+                col.eligible.extend(entries);
+                completed.insert((col.load_seq, column));
+            }
+        }
+    }
+
+    fn free_column(&mut self, column: ColumnId) {
+        let col = &mut self.columns[column as usize];
+        debug_assert!(col.in_use && col.count == 0);
+        debug_assert!(col.bits.iter().all(|w| *w == 0));
+        if col.completed {
+            self.completed_cols -= 1;
+            if let ExtractState::ByColumn { completed, .. } = &mut self.extract {
+                completed.remove(&(col.load_seq, column));
+            }
+        }
+        col.in_use = false;
+        col.completed = false;
+        col.eligible.clear();
+        self.free_cols.push(column);
+    }
+
+    /// Detach the instruction at `slot` (it was reinserted or squashed).
+    fn detach(&mut self, slot: usize) {
+        debug_assert!(self.entry_valid[slot]);
+        let column = self.entry_col[slot];
+        let seq = self.entry_seq[slot];
+        self.entry_valid[slot] = false;
+        self.resident -= 1;
+        let completed = {
+            let col = &mut self.columns[column as usize];
+            col.clear_bit(slot);
+            col.completed
+        };
+        if completed {
+            match &mut self.extract {
+                ExtractState::Banked { sets, .. } => {
+                    sets[slot % self.banks].remove(&(seq, slot));
+                }
+                ExtractState::Global { eligible } => {
+                    eligible.remove(&(seq, slot));
+                }
+                ExtractState::ByColumn { .. } => {
+                    self.columns[column as usize].eligible.remove(&(seq, slot));
+                }
+            }
+        }
+        if completed && self.columns[column as usize].count == 0 {
+            self.free_column(column);
+        }
+    }
+
+    /// Squash: remove the parked instruction at `slot` if present.
+    pub fn squash_slot(&mut self, slot: usize) {
+        if self.entry_valid[slot] {
+            self.detach(slot);
+        }
+    }
+
+    /// True if the instruction at `slot` is parked and its miss has
+    /// completed (it could be extracted).
+    pub fn eligible_slot(&self, slot: usize) -> bool {
+        self.entry_valid[slot] && self.columns[self.entry_col[slot] as usize].completed
+    }
+
+    /// Forcibly extract a specific slot (the forward-progress path for a
+    /// parked ROB head). The caller must have checked
+    /// [`Wib::eligible_slot`].
+    pub fn take_slot(&mut self, slot: usize) {
+        debug_assert!(self.eligible_slot(slot));
+        self.detach(slot);
+        self.stats.extractions += 1;
+    }
+
+    /// Free the column of a squashed load (identified by `load_seq`). All
+    /// of the column's dependents are younger than the load, so the squash
+    /// has already detached them. A column that fully drained before the
+    /// squash may have been freed — and even reallocated to a different
+    /// load — so the call is a no-op unless `load_seq` still owns it.
+    ///
+    /// # Panics
+    /// Panics if the owned column still has parked dependents.
+    pub fn squash_column(&mut self, column: ColumnId, load_seq: Seq) {
+        let col = &self.columns[column as usize];
+        if !col.in_use || col.load_seq != load_seq {
+            return;
+        }
+        assert_eq!(col.count, 0, "squashed load's column still has dependents");
+        self.free_column(column);
+    }
+
+    /// Extract up to `budget` eligible instructions this cycle, oldest
+    /// first per the configured organization/policy. `accept(seq, slot)`
+    /// reinserts into the issue queue and returns false when it cannot
+    /// (queue full / dispatch bandwidth consumed) — extraction then stops
+    /// and, for the banked organization, the refused bank keeps priority.
+    pub fn extract<F: FnMut(Seq, usize) -> bool>(
+        &mut self,
+        now: u64,
+        budget: usize,
+        mut accept: F,
+    ) -> usize {
+        if self.completed_cols == 0 || budget == 0 || !self.access_cycle(now) {
+            return 0;
+        }
+        let taken = match &self.extract {
+            ExtractState::Banked { .. } => self.extract_banked(now, budget, &mut accept),
+            ExtractState::Global { .. } => self.extract_global(budget, &mut accept),
+            ExtractState::ByColumn { .. } => self.extract_by_column(budget, &mut accept),
+        };
+        self.stats.extractions += taken as u64;
+        taken
+    }
+
+    fn extract_banked<F: FnMut(Seq, usize) -> bool>(
+        &mut self,
+        now: u64,
+        budget: usize,
+        accept: &mut F,
+    ) -> usize {
+        let parity = (now % 2) as usize;
+        let order = match &self.extract {
+            ExtractState::Banked { priority, .. } => priority[parity].clone(),
+            _ => unreachable!(),
+        };
+        let mut taken = 0;
+        let mut demoted = Vec::new(); // banks that inserted or were empty
+        let mut kept = Vec::new(); // banks that stalled or were not tried
+        for (i, bank) in order.iter().copied().enumerate() {
+            if taken >= budget {
+                kept.extend_from_slice(&order[i..]);
+                break;
+            }
+            let candidate = match &self.extract {
+                ExtractState::Banked { sets, .. } => sets[bank].iter().next().copied(),
+                _ => unreachable!(),
+            };
+            match candidate {
+                None => demoted.push(bank),
+                Some((seq, slot)) => {
+                    if accept(seq, slot) {
+                        self.detach(slot);
+                        taken += 1;
+                        demoted.push(bank);
+                    } else {
+                        // This bank's issue queue is full: the bank stalls
+                        // and keeps its priority; other banks may still
+                        // reinsert (e.g. into the other issue queue).
+                        kept.push(bank);
+                    }
+                }
+            }
+        }
+        if let ExtractState::Banked { priority, .. } = &mut self.extract {
+            kept.extend(demoted);
+            priority[parity] = kept;
+        }
+        taken
+    }
+
+    fn extract_global<F: FnMut(Seq, usize) -> bool>(
+        &mut self,
+        budget: usize,
+        accept: &mut F,
+    ) -> usize {
+        let mut taken = 0;
+        while taken < budget {
+            let Some((seq, slot)) = (match &self.extract {
+                ExtractState::Global { eligible } => eligible.iter().next().copied(),
+                _ => unreachable!(),
+            }) else {
+                break;
+            };
+            if !accept(seq, slot) {
+                break;
+            }
+            self.detach(slot);
+            taken += 1;
+        }
+        taken
+    }
+
+    fn extract_by_column<F: FnMut(Seq, usize) -> bool>(
+        &mut self,
+        budget: usize,
+        accept: &mut F,
+    ) -> usize {
+        let mut taken = 0;
+        while taken < budget {
+            let cols: Vec<ColumnId> = match &self.extract {
+                ExtractState::ByColumn { completed, .. } => {
+                    completed.iter().map(|&(_, c)| c).collect()
+                }
+                _ => unreachable!(),
+            };
+            // Columns whose entries all drained free themselves, so any
+            // listed column has at least one eligible entry.
+            if cols.is_empty() {
+                break;
+            }
+            let column = match self.policy {
+                SelectionPolicy::OldestLoadFirst | SelectionPolicy::ProgramOrder => cols[0],
+                SelectionPolicy::RoundRobinLoads => {
+                    let cursor = match &mut self.extract {
+                        ExtractState::ByColumn { rr_cursor, .. } => {
+                            let c = *rr_cursor % cols.len();
+                            *rr_cursor = (*rr_cursor + 1) % cols.len().max(1);
+                            c
+                        }
+                        _ => unreachable!(),
+                    };
+                    cols[cursor]
+                }
+            };
+            let Some(&(seq, slot)) = self.columns[column as usize].eligible.iter().next() else {
+                break;
+            };
+            if !accept(seq, slot) {
+                break;
+            }
+            self.detach(slot);
+            taken += 1;
+        }
+        taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banked(size: usize) -> Wib {
+        Wib::new(size, WibOrganization::Banked { banks: 16 }, SelectionPolicy::ProgramOrder, 64)
+    }
+
+    fn drain(w: &mut Wib, now: u64, budget: usize) -> Vec<(Seq, usize)> {
+        let mut got = Vec::new();
+        w.extract(now, budget, |seq, slot| {
+            got.push((seq, slot));
+            true
+        });
+        got
+    }
+
+    #[test]
+    fn insert_complete_extract_round_trip() {
+        let mut w = banked(128);
+        let col = w.allocate_column(10).unwrap();
+        w.insert(11 % 128, 11, col);
+        w.insert(12 % 128, 12, col);
+        assert_eq!(w.resident(), 2);
+        // Nothing eligible before completion.
+        assert!(drain(&mut w, 0, 8).is_empty());
+        w.column_completed(col);
+        let mut got = Vec::new();
+        for cycle in 0..4 {
+            got.extend(drain(&mut w, cycle, 8));
+        }
+        got.sort();
+        assert_eq!(got, vec![(11, 11), (12, 12)]);
+        assert_eq!(w.resident(), 0);
+        // Column was freed for reuse.
+        assert!(w.allocate_column(20).is_some());
+    }
+
+    #[test]
+    fn banked_extracts_one_per_bank_per_access() {
+        let mut w = banked(128);
+        let col = w.allocate_column(0).unwrap();
+        // Two instructions in the same (even) bank 0: slots 0 and 16.
+        w.insert(0, 100, col);
+        w.insert(16, 116, col);
+        w.column_completed(col);
+        // One even-cycle access extracts only the older one from bank 0.
+        let got = drain(&mut w, 0, 8);
+        assert_eq!(got, vec![(100, 0)]);
+        // Odd cycle: odd banks only — bank 0 is not active.
+        assert!(drain(&mut w, 1, 8).is_empty());
+        // Next even cycle gets the second.
+        assert_eq!(drain(&mut w, 2, 8), vec![(116, 16)]);
+    }
+
+    #[test]
+    fn banked_parity_separates_banks() {
+        let mut w = banked(128);
+        let col = w.allocate_column(0).unwrap();
+        w.insert(1, 1, col); // bank 1 (odd)
+        w.insert(2, 2, col); // bank 2 (even)
+        w.column_completed(col);
+        assert_eq!(drain(&mut w, 0, 8), vec![(2, 2)]);
+        assert_eq!(drain(&mut w, 1, 8), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn refused_bank_keeps_priority() {
+        let mut w = banked(128);
+        let col = w.allocate_column(0).unwrap();
+        w.insert(0, 100, col); // bank 0
+        w.insert(2, 102, col); // bank 2
+        w.column_completed(col);
+        // Refuse everything: nothing extracted, banks unchanged.
+        let n = w.extract(0, 8, |_, _| false);
+        assert_eq!(n, 0);
+        assert_eq!(w.resident(), 2);
+        // Accept now: bank 0 (refused, highest priority) goes first.
+        let got = drain(&mut w, 2, 1);
+        assert_eq!(got, vec![(100, 0)]);
+    }
+
+    #[test]
+    fn column_budget_enforced() {
+        let mut w = Wib::new(64, WibOrganization::Ideal, SelectionPolicy::ProgramOrder, 2);
+        assert!(w.allocate_column(1).is_some());
+        assert!(w.allocate_column(2).is_some());
+        assert!(w.allocate_column(3).is_none());
+        assert_eq!(w.stats().column_exhausted, 1);
+    }
+
+    #[test]
+    fn squash_clears_bits_and_frees_column() {
+        let mut w = banked(128);
+        let col = w.allocate_column(5).unwrap();
+        w.insert(6, 6, col);
+        w.insert(7, 7, col);
+        w.squash_slot(6);
+        w.squash_slot(7);
+        w.squash_slot(8); // not resident: no-op
+        assert_eq!(w.resident(), 0);
+        w.squash_column(col, 5);
+        // Column reusable.
+        let col2 = w.allocate_column(9).unwrap();
+        assert_eq!(col2, col);
+    }
+
+    #[test]
+    fn squash_of_eligible_entry_removes_from_sets() {
+        let mut w = banked(128);
+        let col = w.allocate_column(1).unwrap();
+        w.insert(3, 3, col);
+        w.column_completed(col);
+        w.squash_slot(3);
+        assert!(drain(&mut w, 1, 8).is_empty());
+        assert_eq!(w.resident(), 0);
+    }
+
+    #[test]
+    fn nonbanked_access_cadence() {
+        let mut w = Wib::new(
+            64,
+            WibOrganization::NonBanked { latency: 4 },
+            SelectionPolicy::ProgramOrder,
+            8,
+        );
+        let col = w.allocate_column(0).unwrap();
+        for s in 1..=9 {
+            w.insert(s as usize, s, col);
+        }
+        w.column_completed(col);
+        // Only cycles divisible by 4 access; program order; 8 per access.
+        assert!(drain(&mut w, 1, 8).is_empty());
+        let got = drain(&mut w, 4, 8);
+        assert_eq!(got.len(), 8);
+        assert_eq!(got[0], (1, 1));
+        assert_eq!(drain(&mut w, 8, 8), vec![(9, 9)]);
+    }
+
+    #[test]
+    fn ideal_program_order_is_global_oldest_first() {
+        let mut w = Wib::new(64, WibOrganization::Ideal, SelectionPolicy::ProgramOrder, 8);
+        let c1 = w.allocate_column(1).unwrap();
+        let c2 = w.allocate_column(2).unwrap();
+        w.insert(10, 10, c1);
+        w.insert(5, 5, c2);
+        w.column_completed(c1);
+        w.column_completed(c2);
+        let got = drain(&mut w, 0, 8);
+        assert_eq!(got, vec![(5, 5), (10, 10)]);
+    }
+
+    #[test]
+    fn oldest_load_first_drains_by_column() {
+        let mut w = Wib::new(64, WibOrganization::Ideal, SelectionPolicy::OldestLoadFirst, 8);
+        let c_old = w.allocate_column(1).unwrap();
+        let c_new = w.allocate_column(2).unwrap();
+        // Older load's dependents are *younger* instructions here.
+        w.insert(20, 20, c_old);
+        w.insert(21, 21, c_old);
+        w.insert(10, 10, c_new);
+        w.column_completed(c_new);
+        w.column_completed(c_old);
+        let got = drain(&mut w, 0, 8);
+        // All of the oldest load's instructions first, then the newer's.
+        assert_eq!(got, vec![(20, 20), (21, 21), (10, 10)]);
+    }
+
+    #[test]
+    fn round_robin_alternates_columns() {
+        let mut w = Wib::new(64, WibOrganization::Ideal, SelectionPolicy::RoundRobinLoads, 8);
+        let c1 = w.allocate_column(1).unwrap();
+        let c2 = w.allocate_column(2).unwrap();
+        w.insert(10, 10, c1);
+        w.insert(11, 11, c1);
+        w.insert(20, 20, c2);
+        w.insert(21, 21, c2);
+        w.column_completed(c1);
+        w.column_completed(c2);
+        let got = drain(&mut w, 0, 4);
+        // One from each load in turn.
+        assert_eq!(got, vec![(10, 10), (20, 20), (11, 11), (21, 21)]);
+    }
+
+    #[test]
+    fn empty_completed_column_frees_immediately() {
+        let mut w = banked(128);
+        let col = w.allocate_column(3).unwrap();
+        w.column_completed(col);
+        let col2 = w.allocate_column(4).unwrap();
+        assert_eq!(col, col2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut w = banked(128);
+        let col = w.allocate_column(0).unwrap();
+        w.insert(1, 1, col);
+        w.column_completed(col);
+        drain(&mut w, 1, 8);
+        let s = w.stats();
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.extractions, 1);
+        assert_eq!(s.columns_allocated, 1);
+    }
+}

@@ -1,0 +1,420 @@
+//! The pool-of-blocks WIB — the alternative organization of paper
+//! section 3.5.
+//!
+//! Instead of one WIB entry per active-list slot plus per-load
+//! bit-vectors, a load miss grabs a free fixed-size **block** from a pool
+//! and dependent instructions are deposited into it in arrival
+//! (dependence-chain) order; long chains link additional blocks. On
+//! completion the whole chain reinserts.
+//!
+//! The paper flags this design's drawbacks, which this model reproduces:
+//!
+//! - blocks can run out (`insert` fails and the instruction stalls in the
+//!   issue queue — the deadlock hazard the paper worries about is blunted
+//!   here because wait bits clear when chains drain),
+//! - squashing has no program order to lean on, so it must hunt entries
+//!   down chain by chain (we keep a location index; the hardware cost is
+//!   the point the paper makes against the design).
+
+use crate::types::{ColumnId, Seq};
+use crate::wib::WibStats;
+use std::collections::HashMap;
+
+/// Configuration of the block pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Instruction slots per block.
+    pub block_slots: u32,
+    /// Total blocks in the pool.
+    pub blocks: u32,
+}
+
+impl PoolConfig {
+    /// A pool with the same total capacity as a 2K-entry WIB: 256 blocks
+    /// of 8 slots.
+    pub fn capacity_2k() -> PoolConfig {
+        PoolConfig { block_slots: 8, blocks: 256 }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Block {
+    /// `(seq, active-list slot)` in deposit order; `None` = extracted or
+    /// squashed.
+    entries: Vec<Option<(Seq, usize)>>,
+    live: usize,
+    next: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct Chain {
+    in_use: bool,
+    completed: bool,
+    load_seq: Seq,
+    head: Option<u32>,
+    tail: Option<u32>,
+    live: usize,
+}
+
+/// The pool-of-blocks waiting instruction buffer.
+#[derive(Debug, Clone)]
+pub struct PoolWib {
+    cfg: PoolConfig,
+    blocks: Vec<Block>,
+    free_blocks: Vec<u32>,
+    chains: Vec<Chain>,
+    free_chains: Vec<ColumnId>,
+    /// Active-list slot -> (chain, block, index) for squash.
+    locations: HashMap<usize, (ColumnId, u32, usize)>,
+    completed_chains: Vec<ColumnId>, // drain FIFO, oldest completion first
+    stats: WibStats,
+    /// Times an insertion failed because the pool was exhausted.
+    pub insert_failures: u64,
+}
+
+impl PoolWib {
+    /// Build an empty pool.
+    ///
+    /// # Panics
+    /// Panics on a zero-sized pool.
+    pub fn new(cfg: PoolConfig) -> PoolWib {
+        assert!(cfg.block_slots > 0 && cfg.blocks > 0);
+        PoolWib {
+            blocks: vec![Block::default(); cfg.blocks as usize],
+            free_blocks: (0..cfg.blocks).rev().collect(),
+            chains: Vec::new(),
+            free_chains: Vec::new(),
+            locations: HashMap::new(),
+            completed_chains: Vec::new(),
+            cfg,
+            stats: WibStats::default(),
+            insert_failures: 0,
+        }
+    }
+
+    /// Parked instructions.
+    pub fn resident(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Aggregate statistics (shared shape with the bit-vector WIB).
+    pub fn stats(&self) -> WibStats {
+        self.stats
+    }
+
+    /// Start a chain for load miss `load_seq`. Chains are bookkeeping
+    /// only (the scarce resource is blocks), so this always succeeds.
+    pub fn allocate_column(&mut self, load_seq: Seq) -> Option<ColumnId> {
+        let id = match self.free_chains.pop() {
+            Some(id) => id,
+            None => {
+                let id = self.chains.len() as ColumnId;
+                self.chains.push(Chain {
+                    in_use: false,
+                    completed: false,
+                    load_seq: 0,
+                    head: None,
+                    tail: None,
+                    live: 0,
+                });
+                id
+            }
+        };
+        let c = &mut self.chains[id as usize];
+        debug_assert!(!c.in_use);
+        *c = Chain { in_use: true, completed: false, load_seq, head: None, tail: None, live: 0 };
+        self.stats.columns_allocated += 1;
+        Some(id)
+    }
+
+    /// Deposit `(slot, seq)` into `chain`. Returns false when the pool
+    /// has no room (the instruction must stall in the issue queue).
+    pub fn insert(&mut self, slot: usize, seq: Seq, chain: ColumnId) -> bool {
+        debug_assert!(!self.locations.contains_key(&slot), "slot parked twice");
+        let c = &mut self.chains[chain as usize];
+        debug_assert!(c.in_use);
+        // Find room in the tail block or grab a fresh block.
+        let block_id = match c.tail {
+            Some(b) if self.blocks[b as usize].entries.len() < self.cfg.block_slots as usize => b,
+            _ => {
+                let Some(b) = self.free_blocks.pop() else {
+                    self.insert_failures += 1;
+                    return false;
+                };
+                self.blocks[b as usize] = Block::default();
+                match c.tail {
+                    Some(t) => self.blocks[t as usize].next = Some(b),
+                    None => c.head = Some(b),
+                }
+                c.tail = Some(b);
+                b
+            }
+        };
+        let c = &mut self.chains[chain as usize];
+        c.live += 1;
+        let block = &mut self.blocks[block_id as usize];
+        let index = block.entries.len();
+        block.entries.push(Some((seq, slot)));
+        block.live += 1;
+        self.locations.insert(slot, (chain, block_id, index));
+        self.stats.insertions += 1;
+        true
+    }
+
+    /// True if `slot` currently holds a parked instruction.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.locations.contains_key(&slot)
+    }
+
+    /// The load completed: its chain becomes drainable.
+    pub fn column_completed(&mut self, chain: ColumnId) {
+        let c = &mut self.chains[chain as usize];
+        debug_assert!(c.in_use && !c.completed);
+        c.completed = true;
+        if c.live == 0 {
+            self.free_chain(chain);
+        } else {
+            self.completed_chains.push(chain);
+        }
+    }
+
+    fn free_chain(&mut self, chain: ColumnId) {
+        let c = &mut self.chains[chain as usize];
+        debug_assert!(c.in_use && c.live == 0);
+        // Release any blocks still linked.
+        let mut b = c.head;
+        c.head = None;
+        c.tail = None;
+        c.in_use = false;
+        c.completed = false;
+        while let Some(id) = b {
+            b = self.blocks[id as usize].next;
+            self.blocks[id as usize] = Block::default();
+            self.free_blocks.push(id);
+        }
+        self.completed_chains.retain(|&x| x != chain);
+        self.free_chains.push(chain);
+    }
+
+    /// Squash the instruction at `slot`, if parked.
+    pub fn squash_slot(&mut self, slot: usize) {
+        let Some((chain, block, index)) = self.locations.remove(&slot) else { return };
+        let blk = &mut self.blocks[block as usize];
+        blk.entries[index] = None;
+        blk.live -= 1;
+        let c = &mut self.chains[chain as usize];
+        c.live -= 1;
+        if c.completed && c.live == 0 {
+            self.free_chain(chain);
+        }
+    }
+
+    /// Free the chain of a squashed load (no-op unless `load_seq` still
+    /// owns it — mirrors [`crate::wib::Wib::squash_column`]).
+    pub fn squash_column(&mut self, chain: ColumnId, load_seq: Seq) {
+        let c = &self.chains[chain as usize];
+        if !c.in_use || c.load_seq != load_seq {
+            return;
+        }
+        assert_eq!(c.live, 0, "squashed load's chain still has dependents");
+        self.free_chain(chain);
+    }
+
+    /// Extract up to `budget` instructions in deposit order, oldest
+    /// completed chain first ("when the load completes, all the
+    /// instructions in the block are reinserted").
+    pub fn extract<F: FnMut(Seq, usize) -> bool>(&mut self, budget: usize, mut accept: F) -> usize {
+        let mut taken = 0;
+        'outer: while taken < budget {
+            let Some(&chain) = self.completed_chains.first() else { break };
+            // Walk the chain's blocks for the first live entry.
+            let mut b = self.chains[chain as usize].head;
+            let mut found = None;
+            while let Some(id) = b {
+                if let Some(i) =
+                    self.blocks[id as usize].entries.iter().position(Option::is_some)
+                {
+                    found = Some((id, i));
+                    break;
+                }
+                b = self.blocks[id as usize].next;
+            }
+            let Some((block, index)) = found else {
+                // Fully drained chain (entries squashed).
+                if self.chains[chain as usize].live == 0 {
+                    self.free_chain(chain);
+                    continue;
+                }
+                debug_assert!(false, "live count and blocks disagree");
+                break;
+            };
+            let (seq, slot) = self.blocks[block as usize].entries[index].expect("found live");
+            if !accept(seq, slot) {
+                break 'outer;
+            }
+            self.locations.remove(&slot);
+            let blk = &mut self.blocks[block as usize];
+            blk.entries[index] = None;
+            blk.live -= 1;
+            let c = &mut self.chains[chain as usize];
+            c.live -= 1;
+            taken += 1;
+            self.stats.extractions += 1;
+            if c.live == 0 {
+                self.free_chain(chain);
+            }
+        }
+        taken
+    }
+
+    /// Free blocks remaining.
+    pub fn free_blocks(&self) -> usize {
+        self.free_blocks.len()
+    }
+
+    /// True if the instruction at `slot` is parked and its chain's load
+    /// has completed.
+    pub fn eligible_slot(&self, slot: usize) -> bool {
+        self.locations
+            .get(&slot)
+            .is_some_and(|&(chain, _, _)| self.chains[chain as usize].completed)
+    }
+
+    /// Forcibly extract a specific slot (the forward-progress path for a
+    /// parked ROB head). The caller must have checked
+    /// [`PoolWib::eligible_slot`].
+    pub fn take_slot(&mut self, slot: usize) {
+        debug_assert!(self.eligible_slot(slot));
+        let (chain, block, index) = self.locations.remove(&slot).expect("eligible");
+        let blk = &mut self.blocks[block as usize];
+        blk.entries[index] = None;
+        blk.live -= 1;
+        let c = &mut self.chains[chain as usize];
+        c.live -= 1;
+        self.stats.extractions += 1;
+        if c.live == 0 {
+            self.free_chain(chain);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(blocks: u32, slots: u32) -> PoolWib {
+        PoolWib::new(PoolConfig { block_slots: slots, blocks })
+    }
+
+    fn drain(p: &mut PoolWib, budget: usize) -> Vec<(Seq, usize)> {
+        let mut got = Vec::new();
+        p.extract(budget, |seq, slot| {
+            got.push((seq, slot));
+            true
+        });
+        got
+    }
+
+    #[test]
+    fn deposit_order_extraction() {
+        let mut p = pool(4, 2);
+        let c = p.allocate_column(1).unwrap();
+        p.insert(10, 100, c);
+        p.insert(11, 101, c);
+        p.insert(12, 102, c); // spills into a second block
+        assert_eq!(p.resident(), 3);
+        assert!(drain(&mut p, 8).is_empty()); // not completed yet
+        p.column_completed(c);
+        assert_eq!(drain(&mut p, 8), vec![(100, 10), (101, 11), (102, 12)]);
+        assert_eq!(p.resident(), 0);
+        assert_eq!(p.free_blocks(), 4);
+    }
+
+    #[test]
+    fn pool_exhaustion_fails_insert() {
+        let mut p = pool(2, 1);
+        let c1 = p.allocate_column(1).unwrap();
+        let c2 = p.allocate_column(2).unwrap();
+        assert!(p.insert(0, 10, c1));
+        assert!(p.insert(1, 11, c2));
+        assert!(!p.insert(2, 12, c1), "pool should be exhausted");
+        assert_eq!(p.insert_failures, 1);
+        // Draining c1 frees its block for reuse.
+        p.column_completed(c1);
+        drain(&mut p, 8);
+        assert!(p.insert(2, 12, c2));
+    }
+
+    #[test]
+    fn chains_drain_oldest_completion_first() {
+        let mut p = pool(8, 2);
+        let c1 = p.allocate_column(1).unwrap();
+        let c2 = p.allocate_column(2).unwrap();
+        p.insert(0, 10, c1);
+        p.insert(1, 20, c2);
+        p.column_completed(c2); // completes first
+        p.column_completed(c1);
+        assert_eq!(drain(&mut p, 8), vec![(20, 1), (10, 0)]);
+    }
+
+    #[test]
+    fn squash_mid_chain() {
+        let mut p = pool(8, 2);
+        let c = p.allocate_column(1).unwrap();
+        p.insert(0, 10, c);
+        p.insert(1, 11, c);
+        p.insert(2, 12, c);
+        p.squash_slot(1);
+        p.squash_slot(7); // absent: no-op
+        p.column_completed(c);
+        assert_eq!(drain(&mut p, 8), vec![(10, 0), (12, 2)]);
+    }
+
+    #[test]
+    fn squash_column_owner_checked() {
+        let mut p = pool(8, 2);
+        let c = p.allocate_column(5).unwrap();
+        p.insert(0, 6, c);
+        p.squash_slot(0);
+        p.squash_column(c, 99); // wrong owner: no-op
+        p.squash_column(c, 5); // frees
+        let c2 = p.allocate_column(7).unwrap();
+        assert_eq!(c2, c);
+    }
+
+    #[test]
+    fn refused_extraction_stops_cleanly() {
+        let mut p = pool(8, 4);
+        let c = p.allocate_column(1).unwrap();
+        p.insert(0, 10, c);
+        p.insert(1, 11, c);
+        p.column_completed(c);
+        let n = p.extract(8, |_, _| false);
+        assert_eq!(n, 0);
+        assert_eq!(p.resident(), 2); // nothing lost
+        assert_eq!(drain(&mut p, 8).len(), 2);
+    }
+
+    #[test]
+    fn empty_completed_chain_frees_immediately() {
+        let mut p = pool(2, 2);
+        let c = p.allocate_column(1).unwrap();
+        p.column_completed(c);
+        let c2 = p.allocate_column(2).unwrap();
+        assert_eq!(c, c2);
+        assert_eq!(p.free_blocks(), 2);
+    }
+
+    #[test]
+    fn budget_respected_across_chains() {
+        let mut p = pool(8, 2);
+        let c1 = p.allocate_column(1).unwrap();
+        for s in 0..5usize {
+            p.insert(s, 100 + s as u64, c1);
+        }
+        p.column_completed(c1);
+        assert_eq!(drain(&mut p, 3).len(), 3);
+        assert_eq!(p.resident(), 2);
+        assert_eq!(drain(&mut p, 3).len(), 2);
+    }
+}

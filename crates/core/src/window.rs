@@ -1,0 +1,176 @@
+//! Dispatcher over the two waiting-instruction-buffer implementations:
+//! the paper's bit-vector WIB (section 3.3) and the pool-of-blocks
+//! alternative (section 3.5).
+
+use crate::config::{SelectionPolicy, WibOrganization};
+use crate::types::{ColumnId, Seq};
+use crate::wib::{Wib, WibStats};
+use crate::wib_pool::{PoolConfig, PoolWib};
+
+/// A waiting instruction buffer of either organization.
+#[derive(Debug, Clone)]
+pub enum Window {
+    /// Bit-vector WIB (banked / non-banked / ideal).
+    BitVector(Wib),
+    /// Pool-of-blocks WIB.
+    Pool(PoolWib),
+}
+
+impl Window {
+    /// Build the implementation matching `organization`.
+    pub fn new(
+        size: usize,
+        organization: WibOrganization,
+        policy: SelectionPolicy,
+        max_columns: usize,
+    ) -> Window {
+        match organization {
+            WibOrganization::PoolOfBlocks { block_slots, blocks } => {
+                Window::Pool(PoolWib::new(PoolConfig { block_slots, blocks }))
+            }
+            _ => Window::BitVector(Wib::new(size, organization, policy, max_columns)),
+        }
+    }
+
+    /// Track a new outstanding load miss; `None` when the budget is
+    /// exhausted (bit-vector organization only).
+    pub fn allocate_column(&mut self, load_seq: Seq) -> Option<ColumnId> {
+        match self {
+            Window::BitVector(w) => w.allocate_column(load_seq),
+            Window::Pool(p) => p.allocate_column(load_seq),
+        }
+    }
+
+    /// Park `(slot, seq)` against `column`. Returns false when there is
+    /// no room (pool organization only) — the instruction must stay in
+    /// its issue queue.
+    pub fn insert(&mut self, slot: usize, seq: Seq, column: ColumnId) -> bool {
+        match self {
+            Window::BitVector(w) => {
+                w.insert(slot, seq, column);
+                true
+            }
+            Window::Pool(p) => p.insert(slot, seq, column),
+        }
+    }
+
+    /// The tracked miss completed.
+    pub fn column_completed(&mut self, column: ColumnId) {
+        match self {
+            Window::BitVector(w) => w.column_completed(column),
+            Window::Pool(p) => p.column_completed(column),
+        }
+    }
+
+    /// Squash the instruction at `slot`, if parked.
+    pub fn squash_slot(&mut self, slot: usize) {
+        match self {
+            Window::BitVector(w) => w.squash_slot(slot),
+            Window::Pool(p) => p.squash_slot(slot),
+        }
+    }
+
+    /// Free a squashed load's column (owner-checked).
+    pub fn squash_column(&mut self, column: ColumnId, load_seq: Seq) {
+        match self {
+            Window::BitVector(w) => w.squash_column(column, load_seq),
+            Window::Pool(p) => p.squash_column(column, load_seq),
+        }
+    }
+
+    /// Extract up to `budget` eligible instructions this cycle.
+    pub fn extract<F: FnMut(Seq, usize) -> bool>(
+        &mut self,
+        now: u64,
+        budget: usize,
+        accept: F,
+    ) -> usize {
+        match self {
+            Window::BitVector(w) => w.extract(now, budget, accept),
+            Window::Pool(p) => p.extract(budget, accept),
+        }
+    }
+
+    /// True if `slot` is parked and extractable.
+    pub fn eligible_slot(&self, slot: usize) -> bool {
+        match self {
+            Window::BitVector(w) => w.eligible_slot(slot),
+            Window::Pool(p) => p.eligible_slot(slot),
+        }
+    }
+
+    /// Forcibly extract `slot` (caller checked [`Window::eligible_slot`]).
+    pub fn take_slot(&mut self, slot: usize) {
+        match self {
+            Window::BitVector(w) => w.take_slot(slot),
+            Window::Pool(p) => p.take_slot(slot),
+        }
+    }
+
+    /// Parked instructions.
+    pub fn resident(&self) -> usize {
+        match self {
+            Window::BitVector(w) => w.resident(),
+            Window::Pool(p) => p.resident(),
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> WibStats {
+        match self {
+            Window::BitVector(w) => w.stats(),
+            Window::Pool(p) => p.stats(),
+        }
+    }
+
+    /// Failed pool insertions (0 for the bit-vector organization).
+    pub fn insert_failures(&self) -> u64 {
+        match self {
+            Window::BitVector(_) => 0,
+            Window::Pool(p) => p.insert_failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_round_trip_both_kinds() {
+        for org in [
+            WibOrganization::Banked { banks: 16 },
+            WibOrganization::PoolOfBlocks { block_slots: 4, blocks: 8 },
+        ] {
+            let mut w = Window::new(128, org, SelectionPolicy::ProgramOrder, 8);
+            let col = w.allocate_column(1).expect("column");
+            assert!(w.insert(5, 6, col));
+            assert_eq!(w.resident(), 1);
+            w.column_completed(col);
+            let mut got = Vec::new();
+            for cycle in 0..4 {
+                w.extract(cycle, 8, |seq, slot| {
+                    got.push((seq, slot));
+                    true
+                });
+            }
+            assert_eq!(got, vec![(6, 5)]);
+            assert_eq!(w.stats().insertions, 1);
+            assert_eq!(w.insert_failures(), 0);
+        }
+    }
+
+    #[test]
+    fn pool_failure_surfaces_through_dispatch() {
+        let mut w = Window::new(
+            128,
+            WibOrganization::PoolOfBlocks { block_slots: 1, blocks: 1 },
+            SelectionPolicy::ProgramOrder,
+            8,
+        );
+        let c = w.allocate_column(1).expect("column");
+        assert!(w.insert(0, 10, c));
+        assert!(!w.insert(1, 11, c));
+        assert_eq!(w.insert_failures(), 1);
+    }
+}

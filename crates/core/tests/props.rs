@@ -1,0 +1,331 @@
+//! Property tests on the core's standalone structures: load-store queue
+//! forwarding against a byte-level reference, and WIB bookkeeping
+//! against a set model.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wib_core::lsq::{ForwardResult, LoadStoreQueue};
+use wib_core::wib::Wib;
+use wib_core::wib_pool::{PoolConfig, PoolWib};
+use wib_core::{SelectionPolicy, WibOrganization};
+
+// ---------------------------------------------------------------------
+// LSQ forwarding vs. a byte-level reference
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Store { addr: u32, width: u32, data: u64 },
+    Load { addr: u32, width: u32 },
+}
+
+fn arb_width() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![1u32, 4, 8])
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<MemOp>> {
+    prop::collection::vec(
+        (0u32..64, arb_width(), any::<u64>(), any::<bool>()).prop_map(
+            |(slot, width, data, is_store)| {
+                let addr = 0x1000 + slot * 4; // overlapping little region
+                if is_store {
+                    MemOp::Store { addr, width, data }
+                } else {
+                    MemOp::Load { addr, width }
+                }
+            },
+        ),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every `Forward` result must equal a byte-level replay of all older
+    /// stores over background memory; `FromMemory` must mean no older
+    /// in-queue store wrote any of the load's bytes.
+    #[test]
+    fn forwarding_matches_byte_level_reference(ops in arb_ops()) {
+        let mut lsq = LoadStoreQueue::new(64, 64);
+        // Reference memory: byte -> value written by the *youngest* older
+        // store (None = untouched background).
+        let mut shadow: Vec<(u64, u32, u32, u64)> = Vec::new(); // (seq, addr, width, data)
+        for (i, op) in ops.iter().enumerate() {
+            let seq = i as u64;
+            match *op {
+                MemOp::Store { addr, width, data } => {
+                    lsq.push_store(seq, width);
+                    lsq.set_store_addr(seq, addr);
+                    lsq.set_store_data(seq, data);
+                    shadow.push((seq, addr, width, data));
+                }
+                MemOp::Load { addr, width } => {
+                    lsq.push_load(seq, width);
+                    lsq.set_load_addr(seq, addr);
+                    // Byte-level reference resolution.
+                    let mut bytes: Vec<Option<u8>> = vec![None; width as usize];
+                    for &(_, sa, sw, sd) in shadow.iter() {
+                        for k in 0..width {
+                            let a = addr + k;
+                            if a >= sa && a < sa + sw {
+                                bytes[k as usize] = Some((sd >> ((a - sa) * 8)) as u8);
+                            }
+                        }
+                    }
+                    match lsq.forward_for_load(seq, addr, width) {
+                        ForwardResult::Forward(_, value) => {
+                            // Full coverage by queue stores; value must match.
+                            for (k, b) in bytes.iter().enumerate() {
+                                let expected = b.expect("forward implies full coverage");
+                                let got = (value >> (k * 8)) as u8;
+                                prop_assert_eq!(got, expected, "byte {} of load @{:#x}", k, addr);
+                            }
+                        }
+                        ForwardResult::FromMemory => {
+                            prop_assert!(
+                                bytes.iter().all(|b| b.is_none()),
+                                "FromMemory but an older store overlaps"
+                            );
+                        }
+                        ForwardResult::BlockedOn(s) => {
+                            // Blocking store must actually overlap.
+                            let blocker = shadow.iter().find(|&&(q, ..)| q == s);
+                            prop_assert!(blocker.is_some());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Squashing from any point leaves exactly the older entries.
+    #[test]
+    fn squash_is_a_clean_suffix_removal(
+        n_stores in 1usize..20,
+        n_loads in 1usize..20,
+        cut in 0u64..40,
+    ) {
+        let mut lsq = LoadStoreQueue::new(64, 64);
+        let mut seq = 0u64;
+        for _ in 0..n_stores {
+            lsq.push_store(seq, 4);
+            seq += 2;
+        }
+        for _ in 0..n_loads {
+            lsq.push_load(seq, 4);
+            seq += 2;
+        }
+        lsq.squash_from(cut);
+        prop_assert!(lsq.stores().all(|s| s.seq < cut));
+        prop_assert!(lsq.loads().all(|l| l.seq < cut));
+    }
+}
+
+// ---------------------------------------------------------------------
+// WIB vs. a set model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum WibOp {
+    AllocColumn,
+    Insert { slot: usize },
+    CompleteOldestColumn,
+    Extract { budget: usize },
+    SquashSlot { slot: usize },
+}
+
+fn arb_wib_ops() -> impl Strategy<Value = Vec<WibOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(WibOp::AllocColumn),
+            (0usize..64).prop_map(|slot| WibOp::Insert { slot }),
+            Just(WibOp::CompleteOldestColumn),
+            (1usize..8).prop_map(|budget| WibOp::Extract { budget }),
+            (0usize..64).prop_map(|slot| WibOp::SquashSlot { slot }),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Model: the set of resident slots must track exactly; extraction
+    /// only yields slots whose column completed; nothing is lost or
+    /// duplicated.
+    #[test]
+    fn wib_tracks_a_reference_set_model(ops in arb_wib_ops()) {
+        let mut wib = Wib::new(64, WibOrganization::Ideal, SelectionPolicy::ProgramOrder, 8);
+        let mut open_cols: Vec<u16> = Vec::new(); // not yet completed
+        let mut resident: HashSet<usize> = HashSet::new();
+        let mut eligible: HashSet<usize> = HashSet::new();
+        let mut slot_col: std::collections::HashMap<usize, u16> = Default::default();
+        let mut next_seq = 0u64;
+        let mut load_seq = 1_000_000u64;
+
+        for op in ops {
+            match op {
+                WibOp::AllocColumn => {
+                    load_seq += 1;
+                    if let Some(c) = wib.allocate_column(load_seq) {
+                        open_cols.push(c);
+                    }
+                }
+                WibOp::Insert { slot } => {
+                    if resident.contains(&slot) || open_cols.is_empty() {
+                        continue;
+                    }
+                    let col = *open_cols.last().expect("nonempty");
+                    next_seq += 1;
+                    wib.insert(slot, next_seq, col);
+                    resident.insert(slot);
+                    slot_col.insert(slot, col);
+                }
+                WibOp::CompleteOldestColumn => {
+                    if open_cols.is_empty() {
+                        continue;
+                    }
+                    let col = open_cols.remove(0);
+                    wib.column_completed(col);
+                    for (&slot, &c) in &slot_col {
+                        if c == col && resident.contains(&slot) {
+                            eligible.insert(slot);
+                        }
+                    }
+                }
+                WibOp::Extract { budget } => {
+                    let mut got = Vec::new();
+                    wib.extract(0, budget, |_, slot| {
+                        got.push(slot);
+                        true
+                    });
+                    prop_assert!(got.len() <= budget);
+                    for slot in got {
+                        prop_assert!(
+                            eligible.remove(&slot),
+                            "extracted slot {} was not eligible", slot
+                        );
+                        resident.remove(&slot);
+                        slot_col.remove(&slot);
+                    }
+                }
+                WibOp::SquashSlot { slot } => {
+                    wib.squash_slot(slot);
+                    resident.remove(&slot);
+                    eligible.remove(&slot);
+                    slot_col.remove(&slot);
+                }
+            }
+            prop_assert_eq!(wib.resident(), resident.len(), "resident count diverged");
+        }
+        // Drain: everything eligible must eventually come out.
+        let mut drained = HashSet::new();
+        loop {
+            let mut got = Vec::new();
+            wib.extract(0, 8, |_, slot| {
+                got.push(slot);
+                true
+            });
+            if got.is_empty() {
+                break;
+            }
+            drained.extend(got);
+        }
+        prop_assert_eq!(&drained, &eligible, "drain mismatch");
+    }
+
+    /// The pool-of-blocks buffer tracks the same set model; insertions may
+    /// be refused (pool exhaustion) but must never lose or duplicate
+    /// entries, and blocks must all return to the free list.
+    #[test]
+    fn pool_wib_tracks_a_reference_set_model(ops in arb_wib_ops()) {
+        let mut pool = PoolWib::new(PoolConfig { block_slots: 2, blocks: 8 });
+        let total_blocks = pool.free_blocks();
+        let mut open_cols: Vec<u16> = Vec::new();
+        let mut resident: HashSet<usize> = HashSet::new();
+        let mut eligible: HashSet<usize> = HashSet::new();
+        let mut slot_col: std::collections::HashMap<usize, u16> = Default::default();
+        let mut next_seq = 0u64;
+        let mut load_seq = 1_000_000u64;
+
+        for op in ops {
+            match op {
+                WibOp::AllocColumn => {
+                    load_seq += 1;
+                    let c = pool.allocate_column(load_seq).expect("chains are unbounded");
+                    open_cols.push(c);
+                }
+                WibOp::Insert { slot } => {
+                    if resident.contains(&slot) || open_cols.is_empty() {
+                        continue;
+                    }
+                    let col = *open_cols.last().expect("nonempty");
+                    next_seq += 1;
+                    if pool.insert(slot, next_seq, col) {
+                        resident.insert(slot);
+                        slot_col.insert(slot, col);
+                    }
+                }
+                WibOp::CompleteOldestColumn => {
+                    if open_cols.is_empty() {
+                        continue;
+                    }
+                    let col = open_cols.remove(0);
+                    pool.column_completed(col);
+                    for (&slot, &c) in &slot_col {
+                        if c == col && resident.contains(&slot) {
+                            eligible.insert(slot);
+                        }
+                    }
+                }
+                WibOp::Extract { budget } => {
+                    let mut got = Vec::new();
+                    pool.extract(budget, |_, slot| {
+                        got.push(slot);
+                        true
+                    });
+                    prop_assert!(got.len() <= budget);
+                    for slot in got {
+                        prop_assert!(
+                            eligible.remove(&slot),
+                            "extracted slot {} was not eligible", slot
+                        );
+                        resident.remove(&slot);
+                        slot_col.remove(&slot);
+                    }
+                }
+                WibOp::SquashSlot { slot } => {
+                    pool.squash_slot(slot);
+                    resident.remove(&slot);
+                    eligible.remove(&slot);
+                    slot_col.remove(&slot);
+                }
+            }
+            prop_assert_eq!(pool.resident(), resident.len(), "resident count diverged");
+        }
+        loop {
+            let mut got = Vec::new();
+            pool.extract(8, |_, slot| {
+                got.push(slot);
+                true
+            });
+            if got.is_empty() {
+                break;
+            }
+            for slot in got {
+                prop_assert!(eligible.remove(&slot));
+            }
+        }
+        prop_assert!(eligible.is_empty(), "eligible entries never drained");
+        // Squash everything still parked; all blocks must come home.
+        let parked: Vec<usize> = resident.iter().copied().collect();
+        for slot in parked {
+            pool.squash_slot(slot);
+        }
+        for c in open_cols {
+            pool.column_completed(c);
+        }
+        prop_assert_eq!(pool.free_blocks(), total_blocks, "leaked blocks");
+    }
+}

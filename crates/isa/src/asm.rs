@@ -1,0 +1,516 @@
+//! A small label-resolving assembler.
+//!
+//! [`ProgramBuilder`] is the API the workload generators use to emit
+//! machine code: one method per mnemonic, string labels with forward
+//! references, and helpers for laying out initialized data.
+//!
+//! ```
+//! use wib_isa::asm::ProgramBuilder;
+//! use wib_isa::reg::*;
+//!
+//! let mut b = ProgramBuilder::new(0x1000);
+//! b.li(R1, 10);
+//! b.label("top");
+//! b.addi(R1, R1, -1);
+//! b.bne(R1, R0, "top");
+//! b.halt();
+//! let prog = b.finish()?;
+//! assert_eq!(prog.len(), 4); // small `li` is a single addi
+//! # Ok::<(), wib_isa::asm::AsmError>(())
+//! ```
+
+use crate::inst::{Inst, Opcode};
+use crate::program::Program;
+use crate::reg::{ArchReg, RegClass};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced when finishing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is out of the 16-bit instruction-offset range.
+    BranchOutOfRange { label: String, offset: i64 },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range (offset {offset} instructions)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    Branch16,
+    Jump26,
+}
+
+/// Incrementally builds a [`Program`].
+///
+/// Register arguments are checked for the correct class at emit time
+/// (`debug_assert`), catching kernel-generator bugs early.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    code_base: u32,
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String, FixupKind)>,
+    data: Vec<(u32, Vec<u8>)>,
+    error: Option<AsmError>,
+}
+
+impl ProgramBuilder {
+    /// Start a program whose first instruction lives at `code_base`
+    /// (must be 4-byte aligned).
+    ///
+    /// # Panics
+    /// Panics if `code_base` is not 4-byte aligned.
+    pub fn new(code_base: u32) -> ProgramBuilder {
+        assert_eq!(code_base % 4, 0, "code base must be word aligned");
+        ProgramBuilder {
+            code_base,
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Define `name` at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.insts.len()).is_some() {
+            self.error.get_or_insert(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    /// Address the next emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.code_base + 4 * self.insts.len() as u32
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Append a raw decoded instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Add an initialized data segment.
+    pub fn data_bytes(&mut self, base: u32, bytes: &[u8]) -> &mut Self {
+        self.data.push((base, bytes.to_vec()));
+        self
+    }
+
+    /// Add initialized little-endian `u32` data.
+    pub fn data_u32(&mut self, base: u32, words: &[u32]) -> &mut Self {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.data.push((base, bytes));
+        self
+    }
+
+    /// Add initialized `f64` data.
+    pub fn data_f64(&mut self, base: u32, values: &[f64]) -> &mut Self {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        self.data.push((base, bytes));
+        self
+    }
+
+    /// Resolve all labels and produce the program.
+    ///
+    /// # Errors
+    /// Returns an error for undefined or duplicate labels and for branch
+    /// targets out of encoding range.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        for (at, label, kind) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            // Offsets are in instructions relative to pc + 4.
+            let offset = target as i64 - (*at as i64 + 1);
+            let fits = match kind {
+                FixupKind::Branch16 => offset >= i16::MIN as i64 && offset <= i16::MAX as i64,
+                FixupKind::Jump26 => (-(1 << 25)..(1 << 25)).contains(&offset),
+            };
+            if !fits {
+                return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
+            }
+            self.insts[*at].imm = offset as i32;
+        }
+        Ok(Program {
+            code_base: self.code_base,
+            code: self.insts.iter().map(Inst::encode).collect(),
+            data: self.data,
+            entry: self.code_base,
+        })
+    }
+
+    fn rrr(&mut self, op: Opcode, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.emit(Inst { op, rd: rd.index(), rs1: rs1.index(), rs2: rs2.index(), imm: 0 })
+    }
+
+    fn rri(&mut self, op: Opcode, rd: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
+        self.emit(Inst { op, rd: rd.index(), rs1: rs1.index(), rs2: 0, imm })
+    }
+
+    fn branch(&mut self, op: Opcode, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.to_string(), FixupKind::Branch16));
+        // Branch compares rs1 (rs1 field) with rs2 (rd field).
+        self.emit(Inst { op, rd: rs2.index(), rs1: rs1.index(), rs2: 0, imm: 0 })
+    }
+}
+
+macro_rules! rrr_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident [$c:ident]),* $(,)?) => {
+        impl ProgramBuilder {
+            $($(#[$doc])*
+            pub fn $name(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+                debug_assert!(rd.class() == RegClass::$c && rs1.class() == RegClass::$c
+                    && rs2.class() == RegClass::$c, "wrong register class for {}", stringify!($name));
+                self.rrr(Opcode::$op, rd, rs1, rs2)
+            })*
+        }
+    };
+}
+
+rrr_ops! {
+    /// `rd = rs1 + rs2` (wrapping).
+    add => Add [Int],
+    /// `rd = rs1 - rs2` (wrapping).
+    sub => Sub [Int],
+    /// `rd = rs1 * rs2` (low 32 bits).
+    mul => Mul [Int],
+    /// Bitwise AND.
+    and => And [Int],
+    /// Bitwise OR.
+    or => Or [Int],
+    /// Bitwise XOR.
+    xor => Xor [Int],
+    /// Logical left shift by `rs2 & 31`.
+    sll => Sll [Int],
+    /// Logical right shift by `rs2 & 31`.
+    srl => Srl [Int],
+    /// Arithmetic right shift by `rs2 & 31`.
+    sra => Sra [Int],
+    /// Signed set-less-than.
+    slt => Slt [Int],
+    /// Unsigned set-less-than.
+    sltu => Sltu [Int],
+    /// FP add.
+    fadd => Fadd [Fp],
+    /// FP subtract.
+    fsub => Fsub [Fp],
+    /// FP multiply.
+    fmul => Fmul [Fp],
+    /// FP divide.
+    fdiv => Fdiv [Fp],
+}
+
+macro_rules! rri_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $($(#[$doc])*
+            pub fn $name(&mut self, rd: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
+                debug_assert!(rd.class() == RegClass::Int && rs1.class() == RegClass::Int,
+                    "wrong register class for {}", stringify!($name));
+                self.rri(Opcode::$op, rd, rs1, imm)
+            })*
+        }
+    };
+}
+
+rri_ops! {
+    /// `rd = rs1 + imm` (wrapping).
+    addi => Addi,
+    /// `rd = rs1 & zext(imm16)`.
+    andi => Andi,
+    /// `rd = rs1 | zext(imm16)`.
+    ori => Ori,
+    /// `rd = rs1 ^ zext(imm16)`.
+    xori => Xori,
+    /// Signed set-less-than immediate.
+    slti => Slti,
+    /// Left shift by constant.
+    slli => Slli,
+    /// Logical right shift by constant.
+    srli => Srli,
+    /// Arithmetic right shift by constant.
+    srai => Srai,
+}
+
+impl ProgramBuilder {
+    /// `rd = imm16 << 16`.
+    pub fn lui(&mut self, rd: ArchReg, imm16: u32) -> &mut Self {
+        debug_assert!(imm16 <= 0xffff);
+        self.rri(Opcode::Lui, rd, ArchReg::ZERO, imm16 as i32)
+    }
+
+    /// Load a full 32-bit constant (`lui` + `ori`, or a single `addi` when
+    /// the value fits in a signed 16-bit immediate).
+    pub fn li(&mut self, rd: ArchReg, value: u32) -> &mut Self {
+        let v = value as i32;
+        if (i16::MIN as i32..=i16::MAX as i32).contains(&v) {
+            return self.addi(rd, ArchReg::ZERO, v);
+        }
+        self.lui(rd, value >> 16);
+        if value & 0xffff != 0 {
+            self.ori(rd, rd, (value & 0xffff) as i32);
+        }
+        self
+    }
+
+    /// Copy an integer register.
+    pub fn mv(&mut self, rd: ArchReg, rs: ArchReg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// Load word: `rd = mem32[rs1 + imm]`.
+    pub fn lw(&mut self, rd: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
+        debug_assert!(rd.class() == RegClass::Int && rs1.class() == RegClass::Int);
+        self.rri(Opcode::Lw, rd, rs1, imm)
+    }
+
+    /// Load byte unsigned: `rd = zext(mem8[rs1 + imm])`.
+    pub fn lbu(&mut self, rd: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
+        debug_assert!(rd.class() == RegClass::Int && rs1.class() == RegClass::Int);
+        self.rri(Opcode::Lbu, rd, rs1, imm)
+    }
+
+    /// Store word: `mem32[rs1 + imm] = rdata`.
+    pub fn sw(&mut self, rdata: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
+        debug_assert!(rdata.class() == RegClass::Int && rs1.class() == RegClass::Int);
+        self.rri(Opcode::Sw, rdata, rs1, imm)
+    }
+
+    /// Store byte: `mem8[rs1 + imm] = rdata & 0xff`.
+    pub fn sb(&mut self, rdata: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
+        debug_assert!(rdata.class() == RegClass::Int && rs1.class() == RegClass::Int);
+        self.rri(Opcode::Sb, rdata, rs1, imm)
+    }
+
+    /// Load FP double: `fd = mem64[rs1 + imm]`.
+    pub fn fld(&mut self, fd: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
+        debug_assert!(fd.class() == RegClass::Fp && rs1.class() == RegClass::Int);
+        self.rri(Opcode::Fld, fd, rs1, imm)
+    }
+
+    /// Store FP double: `mem64[rs1 + imm] = fdata`.
+    pub fn fsd(&mut self, fdata: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
+        debug_assert!(fdata.class() == RegClass::Fp && rs1.class() == RegClass::Int);
+        self.rri(Opcode::Fsd, fdata, rs1, imm)
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Beq, rs1, rs2, label)
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Bne, rs1, rs2, label)
+    }
+
+    /// Branch if signed less-than.
+    pub fn blt(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Blt, rs1, rs2, label)
+    }
+
+    /// Branch if signed greater-or-equal.
+    pub fn bge(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Bge, rs1, rs2, label)
+    }
+
+    /// Unconditional direct jump.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.to_string(), FixupKind::Jump26));
+        self.emit(Inst { op: Opcode::J, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+    }
+
+    /// Call: jump and link `r31`.
+    pub fn jal(&mut self, label: &str) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.to_string(), FixupKind::Jump26));
+        self.emit(Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+    }
+
+    /// Indirect jump to `rs1`.
+    pub fn jr(&mut self, rs1: ArchReg) -> &mut Self {
+        debug_assert!(rs1.class() == RegClass::Int);
+        self.emit(Inst { op: Opcode::Jr, rd: 0, rs1: rs1.index(), rs2: 0, imm: 0 })
+    }
+
+    /// Return: `jr r31`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.jr(crate::reg::RA)
+    }
+
+    /// Indirect call: jump to `rs1`, link into `rd`.
+    pub fn jalr(&mut self, rd: ArchReg, rs1: ArchReg) -> &mut Self {
+        debug_assert!(rd.class() == RegClass::Int && rs1.class() == RegClass::Int);
+        self.emit(Inst { op: Opcode::Jalr, rd: rd.index(), rs1: rs1.index(), rs2: 0, imm: 0 })
+    }
+
+    /// FP square root.
+    pub fn fsqrt(&mut self, fd: ArchReg, fs: ArchReg) -> &mut Self {
+        debug_assert!(fd.class() == RegClass::Fp && fs.class() == RegClass::Fp);
+        self.rri(Opcode::Fsqrt, fd, fs, 0)
+    }
+
+    /// FP negate.
+    pub fn fneg(&mut self, fd: ArchReg, fs: ArchReg) -> &mut Self {
+        debug_assert!(fd.class() == RegClass::Fp && fs.class() == RegClass::Fp);
+        self.rri(Opcode::Fneg, fd, fs, 0)
+    }
+
+    /// FP register copy.
+    pub fn fmov(&mut self, fd: ArchReg, fs: ArchReg) -> &mut Self {
+        debug_assert!(fd.class() == RegClass::Fp && fs.class() == RegClass::Fp);
+        self.rri(Opcode::Fmov, fd, fs, 0)
+    }
+
+    /// Convert integer to FP: `fd = (f64) rs1`.
+    pub fn cvtif(&mut self, fd: ArchReg, rs1: ArchReg) -> &mut Self {
+        debug_assert!(fd.class() == RegClass::Fp && rs1.class() == RegClass::Int);
+        self.rri(Opcode::Cvtif, fd, rs1, 0)
+    }
+
+    /// Convert FP to integer (truncating): `rd = (i32) fs1`.
+    pub fn cvtfi(&mut self, rd: ArchReg, fs1: ArchReg) -> &mut Self {
+        debug_assert!(rd.class() == RegClass::Int && fs1.class() == RegClass::Fp);
+        self.rri(Opcode::Cvtfi, rd, fs1, 0)
+    }
+
+    /// FP compare equal into an integer register.
+    pub fn feq(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        debug_assert!(rd.class() == RegClass::Int);
+        self.emit(Inst { op: Opcode::Feq, rd: rd.index(), rs1: fs1.index(), rs2: fs2.index(), imm: 0 })
+    }
+
+    /// FP compare less-than into an integer register.
+    pub fn flt(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        debug_assert!(rd.class() == RegClass::Int);
+        self.emit(Inst { op: Opcode::Flt, rd: rd.index(), rs1: fs1.index(), rs2: fs2.index(), imm: 0 })
+    }
+
+    /// FP compare less-or-equal into an integer register.
+    pub fn fle(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        debug_assert!(rd.class() == RegClass::Int);
+        self.emit(Inst { op: Opcode::Fle, rd: rd.index(), rs1: fs1.index(), rs2: fs2.index(), imm: 0 })
+    }
+
+    /// No-operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::NOP)
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst { op: Opcode::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::*;
+
+    #[test]
+    fn backward_and_forward_branches() {
+        let mut b = ProgramBuilder::new(0);
+        b.label("start");
+        b.beq(R1, R0, "end"); // forward
+        b.addi(R1, R1, -1);
+        b.j("start"); // backward
+        b.label("end");
+        b.halt();
+        let p = b.finish().unwrap();
+        let beq = Inst::decode(p.code[0]).unwrap();
+        assert_eq!(beq.imm, 2); // skips 2 instructions
+        let j = Inst::decode(p.code[2]).unwrap();
+        assert_eq!(j.imm, -3);
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut b = ProgramBuilder::new(0);
+        b.j("nowhere");
+        assert_eq!(b.finish().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut b = ProgramBuilder::new(0);
+        b.label("x");
+        b.nop();
+        b.label("x");
+        assert_eq!(b.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn li_expansion() {
+        let mut b = ProgramBuilder::new(0);
+        b.li(R1, 7); // addi
+        b.li(R2, 0x12340000); // lui only
+        b.li(R3, 0x12345678); // lui + ori
+        let p = b.finish().unwrap();
+        assert_eq!(p.len(), 4);
+        let i0 = Inst::decode(p.code[0]).unwrap();
+        assert_eq!((i0.op, i0.imm), (Opcode::Addi, 7));
+        assert_eq!(Inst::decode(p.code[1]).unwrap().op, Opcode::Lui);
+        assert_eq!(Inst::decode(p.code[3]).unwrap().op, Opcode::Ori);
+    }
+
+    #[test]
+    fn store_encodes_data_in_rd_field() {
+        let mut b = ProgramBuilder::new(0);
+        b.sw(R5, R6, 12);
+        let p = b.finish().unwrap();
+        let i = Inst::decode(p.code[0]).unwrap();
+        assert_eq!((i.rd, i.rs1, i.imm), (5, 6, 12));
+    }
+
+    #[test]
+    fn data_helpers() {
+        let mut b = ProgramBuilder::new(0);
+        b.nop();
+        b.data_u32(0x100, &[1, 2]);
+        b.data_f64(0x200, &[1.5]);
+        b.data_bytes(0x300, &[9]);
+        let p = b.finish().unwrap();
+        assert_eq!(p.data.len(), 3);
+        assert_eq!(p.data_bytes(), 8 + 8 + 1);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new(0x1000);
+        assert_eq!(b.here(), 0x1000);
+        b.nop().nop();
+        assert_eq!(b.here(), 0x1008);
+        assert_eq!(b.len(), 2);
+    }
+}

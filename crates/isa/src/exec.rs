@@ -1,0 +1,215 @@
+//! Single source of truth for instruction semantics.
+//!
+//! Both the reference interpreter ([`crate::interp`]) and the detailed
+//! pipeline model evaluate instruction results through these functions, so
+//! architectural co-simulation cannot diverge on arithmetic: any mismatch
+//! found by the integration tests is a genuine pipeline-bookkeeping bug
+//! (forwarding, renaming, squash, ordering).
+//!
+//! Values are carried as raw `u64` bits: integer results occupy the low 32
+//! bits (zero-extended); floating-point results are `f64::to_bits`.
+
+use crate::inst::{Inst, Opcode};
+
+/// Interpret raw operand bits as a 32-bit unsigned integer.
+#[inline]
+pub fn as_u32(bits: u64) -> u32 {
+    bits as u32
+}
+
+/// Interpret raw operand bits as an `f64`.
+#[inline]
+pub fn as_f64(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+/// Pack a 32-bit integer result into raw bits.
+#[inline]
+pub fn from_u32(v: u32) -> u64 {
+    v as u64
+}
+
+/// Pack an `f64` result into raw bits.
+#[inline]
+pub fn from_f64(v: f64) -> u64 {
+    v.to_bits()
+}
+
+/// Compute the result of a non-memory, non-control instruction.
+///
+/// `a` and `b` are the raw bits of the first and second source operands
+/// (zero where the instruction has fewer sources). For `jal`/`jalr` the
+/// result is the return address, so `pc` is required.
+///
+/// Returns `None` for instructions that produce no register value.
+pub fn alu_result(inst: &Inst, a: u64, b: u64, pc: u32) -> Option<u64> {
+    use Opcode::*;
+    let ia = as_u32(a);
+    let ib = as_u32(b);
+    let fa = as_f64(a);
+    let fb = as_f64(b);
+    let imm = inst.imm;
+    let r = match inst.op {
+        Add => from_u32(ia.wrapping_add(ib)),
+        Sub => from_u32(ia.wrapping_sub(ib)),
+        Mul => from_u32(ia.wrapping_mul(ib)),
+        And => from_u32(ia & ib),
+        Or => from_u32(ia | ib),
+        Xor => from_u32(ia ^ ib),
+        Sll => from_u32(ia.wrapping_shl(ib & 31)),
+        Srl => from_u32(ia.wrapping_shr(ib & 31)),
+        Sra => from_u32(((ia as i32).wrapping_shr(ib & 31)) as u32),
+        Slt => from_u32(((ia as i32) < (ib as i32)) as u32),
+        Sltu => from_u32((ia < ib) as u32),
+        Addi => from_u32(ia.wrapping_add(imm as u32)),
+        Andi => from_u32(ia & (imm as u32 & 0xffff)),
+        Ori => from_u32(ia | (imm as u32 & 0xffff)),
+        Xori => from_u32(ia ^ (imm as u32 & 0xffff)),
+        Slti => from_u32(((ia as i32) < imm) as u32),
+        Slli => from_u32(ia.wrapping_shl(imm as u32 & 31)),
+        Srli => from_u32(ia.wrapping_shr(imm as u32 & 31)),
+        Srai => from_u32(((ia as i32).wrapping_shr(imm as u32 & 31)) as u32),
+        Lui => from_u32((imm as u32 & 0xffff) << 16),
+        Jal | Jalr => from_u32(pc.wrapping_add(4)),
+        Fadd => from_f64(fa + fb),
+        Fsub => from_f64(fa - fb),
+        Fmul => from_f64(fa * fb),
+        Fdiv => from_f64(fa / fb),
+        Fsqrt => from_f64(fa.sqrt()),
+        Fneg => from_f64(-fa),
+        Fmov => from_f64(fa),
+        Cvtif => from_f64(ia as i32 as f64),
+        Cvtfi => from_u32(fa as i64 as u32),
+        Feq => from_u32((fa == fb) as u32),
+        Flt => from_u32((fa < fb) as u32),
+        Fle => from_u32((fa <= fb) as u32),
+        Nop | Halt | Lw | Lbu | Sw | Sb | Fld | Fsd | Beq | Bne | Blt | Bge | J | Jr => {
+            return None
+        }
+    };
+    Some(r)
+}
+
+/// Evaluate a conditional branch: `a`/`b` are the raw bits of the two
+/// compared integer registers (`rs1`, `rd` fields).
+///
+/// # Panics
+/// Panics if `inst` is not a conditional branch.
+pub fn branch_taken(inst: &Inst, a: u64, b: u64) -> bool {
+    let ia = as_u32(a);
+    let ib = as_u32(b);
+    match inst.op {
+        Opcode::Beq => ia == ib,
+        Opcode::Bne => ia != ib,
+        Opcode::Blt => (ia as i32) < (ib as i32),
+        Opcode::Bge => (ia as i32) >= (ib as i32),
+        _ => panic!("branch_taken on non-branch {:?}", inst.op),
+    }
+}
+
+/// Effective address of a memory operation (`rs1 + imm`).
+#[inline]
+pub fn effective_address(inst: &Inst, base_bits: u64) -> u32 {
+    as_u32(base_bits).wrapping_add(inst.imm as u32)
+}
+
+/// The target of a control-transfer instruction.
+///
+/// `a` is the raw bits of `rs1` (for indirect jumps). For conditional
+/// branches this is the *taken* target.
+///
+/// # Panics
+/// Panics if `inst` is not a control instruction.
+pub fn control_target(inst: &Inst, pc: u32, a: u64) -> u32 {
+    if inst.is_jump_indirect() {
+        as_u32(a) & !3
+    } else if inst.is_jump_direct() || inst.is_cond_branch() {
+        pc.wrapping_add(4).wrapping_add((inst.imm as u32).wrapping_mul(4))
+    } else {
+        panic!("control_target on non-control {:?}", inst.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(op: Opcode) -> Inst {
+        Inst { op, rd: 1, rs1: 2, rs2: 3, imm: 0 }
+    }
+
+    #[test]
+    fn integer_wrapping() {
+        let r = alu_result(&inst(Opcode::Add), from_u32(u32::MAX), from_u32(1), 0).unwrap();
+        assert_eq!(as_u32(r), 0);
+        let r = alu_result(&inst(Opcode::Mul), from_u32(1 << 31), from_u32(2), 0).unwrap();
+        assert_eq!(as_u32(r), 0);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compares() {
+        let minus1 = from_u32(-1i32 as u32);
+        let one = from_u32(1);
+        let slt = alu_result(&inst(Opcode::Slt), minus1, one, 0).unwrap();
+        assert_eq!(as_u32(slt), 1);
+        let sltu = alu_result(&inst(Opcode::Sltu), minus1, one, 0).unwrap();
+        assert_eq!(as_u32(sltu), 0);
+    }
+
+    #[test]
+    fn shift_amounts_masked() {
+        let r = alu_result(&inst(Opcode::Sll), from_u32(1), from_u32(33), 0).unwrap();
+        assert_eq!(as_u32(r), 2);
+        let sra = Inst { op: Opcode::Srai, rd: 1, rs1: 2, rs2: 0, imm: 4 };
+        let r = alu_result(&sra, from_u32(0x8000_0000), 0, 0).unwrap();
+        assert_eq!(as_u32(r), 0xf800_0000);
+    }
+
+    #[test]
+    fn lui_builds_upper_bits() {
+        let lui = Inst { op: Opcode::Lui, rd: 1, rs1: 0, rs2: 0, imm: 0x1234 };
+        assert_eq!(as_u32(alu_result(&lui, 0, 0, 0).unwrap()), 0x1234_0000);
+    }
+
+    #[test]
+    fn fp_ops() {
+        let r = alu_result(&inst(Opcode::Fadd), from_f64(1.5), from_f64(2.25), 0).unwrap();
+        assert_eq!(as_f64(r), 3.75);
+        let r = alu_result(&inst(Opcode::Fsqrt), from_f64(9.0), 0, 0).unwrap();
+        assert_eq!(as_f64(r), 3.0);
+        let r = alu_result(&inst(Opcode::Cvtif), from_u32(-3i32 as u32), 0, 0).unwrap();
+        assert_eq!(as_f64(r), -3.0);
+        let r = alu_result(&inst(Opcode::Cvtfi), from_f64(-3.7), 0, 0).unwrap();
+        assert_eq!(as_u32(r) as i32, -3);
+    }
+
+    #[test]
+    fn branches() {
+        assert!(branch_taken(&inst(Opcode::Beq), from_u32(4), from_u32(4)));
+        assert!(!branch_taken(&inst(Opcode::Bne), from_u32(4), from_u32(4)));
+        assert!(branch_taken(&inst(Opcode::Blt), from_u32(-5i32 as u32), from_u32(3)));
+        assert!(branch_taken(&inst(Opcode::Bge), from_u32(3), from_u32(3)));
+    }
+
+    #[test]
+    fn targets() {
+        let b = Inst { op: Opcode::Beq, rd: 0, rs1: 0, rs2: 0, imm: -2 };
+        assert_eq!(control_target(&b, 100, 0), 100 + 4 - 8);
+        let j = Inst { op: Opcode::J, rd: 0, rs1: 0, rs2: 0, imm: 10 };
+        assert_eq!(control_target(&j, 0, 0), 44);
+        let jr = Inst { op: Opcode::Jr, rd: 0, rs1: 31, rs2: 0, imm: 0 };
+        assert_eq!(control_target(&jr, 0, from_u32(0x2002)), 0x2000);
+    }
+
+    #[test]
+    fn return_address() {
+        let jal = Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: 5 };
+        assert_eq!(as_u32(alu_result(&jal, 0, 0, 0x1000).unwrap()), 0x1004);
+    }
+
+    #[test]
+    fn effective_addresses_wrap() {
+        let lw = Inst { op: Opcode::Lw, rd: 1, rs1: 2, rs2: 0, imm: -4 };
+        assert_eq!(effective_address(&lw, from_u32(0)), u32::MAX - 3);
+    }
+}

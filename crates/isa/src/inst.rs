@@ -1,0 +1,449 @@
+//! Instruction formats, opcodes and binary encoding.
+//!
+//! Every instruction is one 32-bit word:
+//!
+//! ```text
+//!  31      26 25   21 20   16 15   11 10        0
+//! +----------+-------+-------+-------+-----------+
+//! |  opcode  |  rd   |  rs1  |  rs2  |  (unused) |   R-type
+//! +----------+-------+-------+-------+-----------+
+//! |  opcode  |  rd   |  rs1  |      imm16        |   I-type (signed)
+//! +----------+-------+-------+-------------------+
+//! |  opcode  |           off26 (signed)          |   J-type
+//! +----------+-----------------------------------+
+//! ```
+//!
+//! Conditional branches are I-type; the 16-bit immediate is a signed
+//! *instruction* offset relative to `pc + 4`. `j`/`jal` carry a signed
+//! 26-bit instruction offset relative to `pc + 4`.
+
+use crate::reg::{ArchReg, RegClass};
+use std::fmt;
+
+/// Functional-unit class an instruction executes on (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// 1-cycle integer ALU (8 units).
+    IntAlu,
+    /// 7-cycle pipelined integer multiplier (2 units).
+    IntMul,
+    /// 4-cycle pipelined FP adder (4 units).
+    FpAdd,
+    /// 4-cycle pipelined FP multiplier (2 units).
+    FpMul,
+    /// 12-cycle non-pipelined FP divider (2 units).
+    FpDiv,
+    /// 24-cycle non-pipelined FP square-root unit (2 units).
+    FpSqrt,
+    /// Load/store pipeline (address generation + D-cache port).
+    Mem,
+}
+
+macro_rules! opcodes {
+    ($($name:ident = $code:expr),* $(,)?) => {
+        /// Operation codes. Discriminants are the binary encoding's opcode field.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $(#[allow(missing_docs)] $name = $code,)*
+        }
+
+        impl Opcode {
+            /// Decode an opcode field value.
+            pub fn from_code(code: u8) -> Option<Opcode> {
+                match code {
+                    $($code => Some(Opcode::$name),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    Nop = 0,
+    Halt = 1,
+    // Integer register-register ALU.
+    Add = 2, Sub = 3, Mul = 4, And = 5, Or = 6, Xor = 7,
+    Sll = 8, Srl = 9, Sra = 10, Slt = 11, Sltu = 12,
+    // Integer register-immediate ALU.
+    Addi = 16, Andi = 17, Ori = 18, Xori = 19, Slti = 20,
+    Slli = 21, Srli = 22, Srai = 23, Lui = 24,
+    // Memory.
+    Lw = 28, Lbu = 29, Sw = 30, Sb = 31, Fld = 32, Fsd = 33,
+    // Control.
+    Beq = 36, Bne = 37, Blt = 38, Bge = 39,
+    J = 42, Jal = 43, Jr = 44, Jalr = 45,
+    // Floating point.
+    Fadd = 48, Fsub = 49, Fmul = 50, Fdiv = 51, Fsqrt = 52, Fneg = 53,
+    Cvtif = 54, Cvtfi = 55, Feq = 56, Flt = 57, Fle = 58, Fmov = 59,
+}
+
+impl Opcode {
+    /// The functional unit class this opcode issues to.
+    pub fn fu_kind(self) -> FuKind {
+        use Opcode::*;
+        match self {
+            Mul => FuKind::IntMul,
+            Fadd | Fsub | Fneg | Cvtif | Cvtfi | Feq | Flt | Fle | Fmov => FuKind::FpAdd,
+            Fmul => FuKind::FpMul,
+            Fdiv => FuKind::FpDiv,
+            Fsqrt => FuKind::FpSqrt,
+            Lw | Lbu | Sw | Sb | Fld | Fsd => FuKind::Mem,
+            _ => FuKind::IntAlu,
+        }
+    }
+}
+
+/// A decoded instruction.
+///
+/// `rd`, `rs1`, `rs2` are class-local indices (`0..32`); the class of each
+/// field is implied by the opcode (see [`Inst::dest`] and [`Inst::sources`]).
+/// `imm` holds the sign-extended immediate (I-type) or jump offset (J-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register field.
+    pub rd: u8,
+    /// First source register field.
+    pub rs1: u8,
+    /// Second source register field.
+    pub rs2: u8,
+    /// Immediate / offset (sign-extended).
+    pub imm: i32,
+}
+
+impl Inst {
+    /// A canonical `nop`.
+    pub const NOP: Inst = Inst { op: Opcode::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 };
+
+    /// Encode into a 32-bit instruction word.
+    ///
+    /// # Panics
+    /// Panics if a register field is out of range or the immediate does not
+    /// fit its field (16 bits for I-type, 26 bits for J-type). The assembler
+    /// validates offsets before calling this.
+    pub fn encode(&self) -> u32 {
+        assert!(self.rd < 32 && self.rs1 < 32 && self.rs2 < 32, "register field out of range");
+        let op = (self.op as u32) << 26;
+        if self.is_jump_direct() {
+            assert!(
+                self.imm >= -(1 << 25) && self.imm < (1 << 25),
+                "jump offset {} out of 26-bit range",
+                self.imm
+            );
+            return op | ((self.imm as u32) & 0x03ff_ffff);
+        }
+        let base = op | ((self.rd as u32) << 21) | ((self.rs1 as u32) << 16);
+        if self.uses_imm() {
+            assert!(
+                self.imm >= i16::MIN as i32 && self.imm <= u16::MAX as i32,
+                "immediate {} out of 16-bit range",
+                self.imm
+            );
+            base | ((self.imm as u32) & 0xffff)
+        } else {
+            base | ((self.rs2 as u32) << 11)
+        }
+    }
+
+    /// Decode a 32-bit instruction word. Returns `None` for an invalid
+    /// opcode field (the pipeline treats undecodable words as `nop`s, which
+    /// matters on wrong-path fetches into data).
+    pub fn decode(word: u32) -> Option<Inst> {
+        let op = Opcode::from_code((word >> 26) as u8)?;
+        let mut inst = Inst { op, rd: 0, rs1: 0, rs2: 0, imm: 0 };
+        if inst.is_jump_direct() {
+            // Sign-extend the 26-bit offset.
+            let off = (word & 0x03ff_ffff) as i32;
+            inst.imm = (off << 6) >> 6;
+            return Some(inst);
+        }
+        inst.rd = ((word >> 21) & 0x1f) as u8;
+        inst.rs1 = ((word >> 16) & 0x1f) as u8;
+        if inst.uses_imm() {
+            inst.imm = (word & 0xffff) as u16 as i16 as i32;
+        } else {
+            inst.rs2 = ((word >> 11) & 0x1f) as u8;
+        }
+        Some(inst)
+    }
+
+    /// True if the encoding uses the 16-bit immediate field (I-type).
+    pub fn uses_imm(&self) -> bool {
+        use Opcode::*;
+        matches!(
+            self.op,
+            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai | Lui
+                | Lw | Lbu | Sw | Sb | Fld | Fsd
+                | Beq | Bne | Blt | Bge | Jalr
+        )
+    }
+
+    /// True for `j`/`jal` (26-bit direct jumps).
+    pub fn is_jump_direct(&self) -> bool {
+        matches!(self.op, Opcode::J | Opcode::Jal)
+    }
+
+    /// True for `jr`/`jalr` (register-indirect jumps).
+    pub fn is_jump_indirect(&self) -> bool {
+        matches!(self.op, Opcode::Jr | Opcode::Jalr)
+    }
+
+    /// True for conditional branches.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.op, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// True for any control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        self.is_cond_branch() || self.is_jump_direct() || self.is_jump_indirect()
+    }
+
+    /// True for subroutine calls (they push the return address on the RAS).
+    pub fn is_call(&self) -> bool {
+        matches!(self.op, Opcode::Jal | Opcode::Jalr)
+    }
+
+    /// True for subroutine returns (`jr r31`); they pop the RAS.
+    pub fn is_return(&self) -> bool {
+        self.op == Opcode::Jr && self.rs1 == 31
+    }
+
+    /// True for loads (int or fp).
+    pub fn is_load(&self) -> bool {
+        matches!(self.op, Opcode::Lw | Opcode::Lbu | Opcode::Fld)
+    }
+
+    /// True for stores (int or fp).
+    pub fn is_store(&self) -> bool {
+        matches!(self.op, Opcode::Sw | Opcode::Sb | Opcode::Fsd)
+    }
+
+    /// True for any memory operation.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Access width in bytes for memory operations, 0 otherwise.
+    pub fn mem_width(&self) -> u32 {
+        match self.op {
+            Opcode::Lbu | Opcode::Sb => 1,
+            Opcode::Lw | Opcode::Sw => 4,
+            Opcode::Fld | Opcode::Fsd => 8,
+            _ => 0,
+        }
+    }
+
+    /// True for `halt`.
+    pub fn is_halt(&self) -> bool {
+        self.op == Opcode::Halt
+    }
+
+    /// The functional unit class this instruction issues to.
+    pub fn fu_kind(&self) -> FuKind {
+        self.op.fu_kind()
+    }
+
+    /// True if this instruction dispatches to the floating-point issue
+    /// queue (by FU class), per the paper's split int/fp queues.
+    pub fn is_fp_queue(&self) -> bool {
+        matches!(
+            self.fu_kind(),
+            FuKind::FpAdd | FuKind::FpMul | FuKind::FpDiv | FuKind::FpSqrt
+        )
+    }
+
+    /// The architectural destination register, if any.
+    pub fn dest(&self) -> Option<ArchReg> {
+        use Opcode::*;
+        let reg = match self.op {
+            Nop | Halt | Sw | Sb | Fsd | Beq | Bne | Blt | Bge | J | Jr => return None,
+            Jal => ArchReg::int(31),
+            Jalr => ArchReg::int(self.rd),
+            Fld | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Cvtif | Fmov => ArchReg::fp(self.rd),
+            Cvtfi | Feq | Flt | Fle => ArchReg::int(self.rd),
+            _ => ArchReg::int(self.rd),
+        };
+        if reg.is_zero() {
+            None // writes to r0 are discarded
+        } else {
+            Some(reg)
+        }
+    }
+
+    /// The architectural source registers (up to two).
+    pub fn sources(&self) -> [Option<ArchReg>; 2] {
+        use Opcode::*;
+        fn nz(r: ArchReg) -> Option<ArchReg> {
+            // r0 reads are free: treat as no dependence.
+            if r.is_zero() {
+                None
+            } else {
+                Some(r)
+            }
+        }
+        let int1 = nz(ArchReg::int(self.rs1));
+        let int2 = nz(ArchReg::int(self.rs2));
+        let fp1 = Some(ArchReg::fp(self.rs1));
+        let fp2 = Some(ArchReg::fp(self.rs2));
+        match self.op {
+            Nop | Halt | J | Jal | Lui => [None, None],
+            Add | Sub | Mul | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu => [int1, int2],
+            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai => [int1, None],
+            Lw | Lbu | Fld => [int1, None],
+            // Stores: rs1 is the base address, rd field holds the data reg.
+            Sw | Sb => [int1, nz(ArchReg::int(self.rd))],
+            Fsd => [int1, Some(ArchReg::fp(self.rd))],
+            Beq | Bne | Blt | Bge => [int1, nz(ArchReg::int(self.rd))],
+            Jr | Jalr => [int1, None],
+            Fadd | Fsub | Fmul | Fdiv | Feq | Flt | Fle => [fp1, fp2],
+            Fsqrt | Fneg | Fmov => [fp1, None],
+            Cvtif => [int1, None],
+            Cvtfi => [fp1, None],
+        }
+    }
+
+    /// The register class of the value a memory op moves, for loads/stores.
+    pub fn mem_class(&self) -> Option<RegClass> {
+        match self.op {
+            Opcode::Lw | Opcode::Lbu | Opcode::Sw | Opcode::Sb => Some(RegClass::Int),
+            Opcode::Fld | Opcode::Fsd => Some(RegClass::Fp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        let o = format!("{:?}", self.op).to_lowercase();
+        match self.op {
+            Nop | Halt => write!(f, "{o}"),
+            J | Jal => write!(f, "{o} {:+}", self.imm),
+            Jr => write!(f, "{o} r{}", self.rs1),
+            Jalr => write!(f, "{o} r{}, r{}", self.rd, self.rs1),
+            Beq | Bne | Blt | Bge => write!(f, "{o} r{}, r{}, {:+}", self.rs1, self.rd, self.imm),
+            Lw | Lbu => write!(f, "{o} r{}, {}(r{})", self.rd, self.imm, self.rs1),
+            Fld => write!(f, "{o} f{}, {}(r{})", self.rd, self.imm, self.rs1),
+            Sw | Sb => write!(f, "{o} r{}, {}(r{})", self.rd, self.imm, self.rs1),
+            Fsd => write!(f, "{o} f{}, {}(r{})", self.rd, self.imm, self.rs1),
+            Lui => write!(f, "{o} r{}, {:#x}", self.rd, self.imm),
+            _ if self.uses_imm() => write!(f, "{o} r{}, r{}, {}", self.rd, self.rs1, self.imm),
+            Fadd | Fsub | Fmul | Fdiv => {
+                write!(f, "{o} f{}, f{}, f{}", self.rd, self.rs1, self.rs2)
+            }
+            Fsqrt | Fneg | Fmov => write!(f, "{o} f{}, f{}", self.rd, self.rs1),
+            Cvtif => write!(f, "{o} f{}, r{}", self.rd, self.rs1),
+            Cvtfi => write!(f, "{o} r{}, f{}", self.rd, self.rs1),
+            Feq | Flt | Fle => write!(f, "{o} r{}, f{}, f{}", self.rd, self.rs1, self.rs2),
+            _ => write!(f, "{o} r{}, r{}, r{}", self.rd, self.rs1, self.rs2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    fn all_opcodes() -> Vec<Opcode> {
+        (0u8..64).filter_map(Opcode::from_code).collect()
+    }
+
+    #[test]
+    fn opcode_round_trip() {
+        for op in all_opcodes() {
+            assert_eq!(Opcode::from_code(op as u8), Some(op));
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_ops() {
+        for op in all_opcodes() {
+            let mut inst = Inst { op, rd: 3, rs1: 7, rs2: 11, imm: -12 };
+            if inst.uses_imm() {
+                inst.rs2 = 0;
+            } else {
+                inst.imm = 0; // R-type has no immediate field
+            }
+            if inst.is_jump_direct() {
+                inst.rd = 0;
+                inst.rs1 = 0;
+                inst.rs2 = 0;
+                inst.imm = -123456;
+            }
+            let decoded = Inst::decode(inst.encode()).expect("decodes");
+            assert_eq!(decoded, inst, "round trip failed for {op:?}");
+        }
+    }
+
+    #[test]
+    fn immediate_sign_extension() {
+        let inst = Inst { op: Opcode::Addi, rd: 1, rs1: 2, rs2: 0, imm: -1 };
+        let decoded = Inst::decode(inst.encode()).unwrap();
+        assert_eq!(decoded.imm, -1);
+        let inst = Inst { op: Opcode::Addi, rd: 1, rs1: 2, rs2: 0, imm: 0x7fff };
+        assert_eq!(Inst::decode(inst.encode()).unwrap().imm, 0x7fff);
+    }
+
+    #[test]
+    fn jump_offset_sign_extension() {
+        let inst = Inst { op: Opcode::J, rd: 0, rs1: 0, rs2: 0, imm: -(1 << 25) };
+        assert_eq!(Inst::decode(inst.encode()).unwrap().imm, -(1 << 25));
+        let inst = Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: (1 << 25) - 1 };
+        assert_eq!(Inst::decode(inst.encode()).unwrap().imm, (1 << 25) - 1);
+    }
+
+    #[test]
+    fn invalid_opcode_decodes_to_none() {
+        assert!(Inst::decode(0xffff_ffff).is_none());
+        assert!(Inst::decode(63 << 26).is_none());
+    }
+
+    #[test]
+    fn zero_register_writes_discarded() {
+        let inst = Inst { op: Opcode::Add, rd: 0, rs1: 1, rs2: 2, imm: 0 };
+        assert_eq!(inst.dest(), None);
+    }
+
+    #[test]
+    fn store_sources_include_data_register() {
+        let sw = Inst { op: Opcode::Sw, rd: 5, rs1: 6, rs2: 0, imm: 8 };
+        assert_eq!(sw.sources(), [Some(reg::R6), Some(reg::R5)]);
+        let fsd = Inst { op: Opcode::Fsd, rd: 2, rs1: 6, rs2: 0, imm: 8 };
+        assert_eq!(fsd.sources(), [Some(reg::R6), Some(reg::F2)]);
+    }
+
+    #[test]
+    fn fp_zero_register_is_a_real_dependence() {
+        // Only integer r0 is hardwired; f0 is a normal register.
+        let fadd = Inst { op: Opcode::Fadd, rd: 1, rs1: 0, rs2: 0, imm: 0 };
+        assert_eq!(fadd.sources(), [Some(reg::F0), Some(reg::F0)]);
+        assert_eq!(fadd.dest(), Some(reg::F1));
+    }
+
+    #[test]
+    fn classification() {
+        let jr_ra = Inst { op: Opcode::Jr, rd: 0, rs1: 31, rs2: 0, imm: 0 };
+        assert!(jr_ra.is_return() && jr_ra.is_jump_indirect() && !jr_ra.is_call());
+        let jal = Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: 4 };
+        assert!(jal.is_call() && jal.is_jump_direct());
+        assert_eq!(jal.dest(), Some(reg::RA));
+        let fld = Inst { op: Opcode::Fld, rd: 1, rs1: 2, rs2: 0, imm: 0 };
+        assert!(fld.is_load() && fld.is_mem() && !fld.is_fp_queue());
+        assert_eq!(fld.mem_width(), 8);
+        let fdiv = Inst { op: Opcode::Fdiv, rd: 1, rs1: 2, rs2: 3, imm: 0 };
+        assert_eq!(fdiv.fu_kind(), FuKind::FpDiv);
+        assert!(fdiv.is_fp_queue());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let inst = Inst { op: Opcode::Lw, rd: 4, rs1: 5, rs2: 0, imm: -16 };
+        assert_eq!(inst.to_string(), "lw r4, -16(r5)");
+        let b = Inst { op: Opcode::Bne, rd: 2, rs1: 1, rs2: 0, imm: -3 };
+        assert_eq!(b.to_string(), "bne r1, r2, -3");
+    }
+}

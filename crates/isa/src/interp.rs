@@ -1,0 +1,367 @@
+//! Architectural reference interpreter.
+//!
+//! Executes programs one instruction at a time with no timing model. The
+//! detailed pipeline simulator is validated against this interpreter: both
+//! must commit the identical sequence of architectural register and memory
+//! updates (co-simulation).
+
+use crate::exec;
+use crate::inst::Inst;
+use crate::mem::{Memory, PagedMemory};
+use crate::program::Program;
+use crate::reg::{ArchReg, RegClass, NUM_FP_REGS, NUM_INT_REGS};
+use std::fmt;
+
+/// Why the interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` instruction was executed.
+    Halted,
+    /// The instruction budget given to [`Interpreter::run`] was exhausted.
+    BudgetExhausted,
+}
+
+/// Errors during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The word at `pc` does not decode to a valid instruction.
+    InvalidInstruction {
+        /// Faulting program counter.
+        pc: u32,
+        /// The undecodable word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::InvalidInstruction { pc, word } => {
+                write!(f, "invalid instruction {word:#010x} at pc {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A memory access performed by one interpreted instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u32,
+    /// Access width in bytes (1, 4 or 8).
+    pub width: u32,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// What one [`Interpreter::step`] did (used for cache warm-up and tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// PC of the executed instruction.
+    pub pc: u32,
+    /// Memory access performed, if the instruction was a load or store.
+    pub mem: Option<MemAccess>,
+}
+
+/// The architectural state and stepping engine.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    pc: u32,
+    int_regs: [u32; NUM_INT_REGS],
+    fp_regs: [f64; NUM_FP_REGS],
+    mem: PagedMemory,
+    halted: bool,
+    retired: u64,
+}
+
+impl Interpreter {
+    /// Load `program` into a fresh memory and set the PC to its entry.
+    pub fn new(program: &Program) -> Interpreter {
+        let mut mem = PagedMemory::new();
+        program.load_into(&mut mem);
+        Interpreter {
+            pc: program.entry,
+            int_regs: [0; NUM_INT_REGS],
+            fp_regs: [0.0; NUM_FP_REGS],
+            mem,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// True once a `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions retired so far (`halt` included).
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Read an integer register.
+    ///
+    /// # Panics
+    /// Panics if `r` is not an integer register.
+    pub fn int_reg(&self, r: ArchReg) -> u32 {
+        assert_eq!(r.class(), RegClass::Int);
+        self.int_regs[r.index() as usize]
+    }
+
+    /// Read a floating-point register.
+    ///
+    /// # Panics
+    /// Panics if `r` is not a floating-point register.
+    pub fn fp_reg(&self, r: ArchReg) -> f64 {
+        assert_eq!(r.class(), RegClass::Fp);
+        self.fp_regs[r.index() as usize]
+    }
+
+    /// Raw bits of any architectural register (used by co-simulation).
+    pub fn reg_bits(&self, r: ArchReg) -> u64 {
+        match r.class() {
+            RegClass::Int => self.int_regs[r.index() as usize] as u64,
+            RegClass::Fp => self.fp_regs[r.index() as usize].to_bits(),
+        }
+    }
+
+    /// The backing memory.
+    pub fn memory(&self) -> &PagedMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the backing memory (for test setup).
+    pub fn memory_mut(&mut self) -> &mut PagedMemory {
+        &mut self.mem
+    }
+
+    fn read_src(&self, r: Option<ArchReg>) -> u64 {
+        match r {
+            Some(r) => self.reg_bits(r),
+            None => 0,
+        }
+    }
+
+    fn write_dest(&mut self, r: ArchReg, bits: u64) {
+        match r.class() {
+            RegClass::Int => self.int_regs[r.index() as usize] = bits as u32,
+            RegClass::Fp => self.fp_regs[r.index() as usize] = f64::from_bits(bits),
+        }
+    }
+
+    /// Execute one instruction and report what it did.
+    ///
+    /// Does nothing once halted (and reports no memory access).
+    ///
+    /// # Errors
+    /// Returns [`InterpError::InvalidInstruction`] if the PC points at a
+    /// word that does not decode.
+    pub fn step(&mut self) -> Result<StepInfo, InterpError> {
+        let pc = self.pc;
+        if self.halted {
+            return Ok(StepInfo { pc, mem: None });
+        }
+        let word = self.mem.read_u32(self.pc);
+        let inst = Inst::decode(word)
+            .ok_or(InterpError::InvalidInstruction { pc: self.pc, word })?;
+        let [s1, s2] = inst.sources();
+        let a = self.read_src(s1);
+        let b = self.read_src(s2);
+        let mut next_pc = pc.wrapping_add(4);
+        let mut mem_access = None;
+
+        if inst.is_halt() {
+            self.halted = true;
+        } else if inst.is_cond_branch() {
+            if exec::branch_taken(&inst, a, b) {
+                next_pc = exec::control_target(&inst, pc, a);
+            }
+        } else if inst.is_control() {
+            next_pc = exec::control_target(&inst, pc, a);
+            if let Some(dest) = inst.dest() {
+                let link = exec::alu_result(&inst, a, b, pc).expect("calls link");
+                self.write_dest(dest, link);
+            }
+        } else if inst.is_load() {
+            let addr = exec::effective_address(&inst, a);
+            let bits = self.mem.read_bits(addr, inst.mem_width());
+            if let Some(dest) = inst.dest() {
+                self.write_dest(dest, bits);
+            }
+            mem_access = Some(MemAccess { addr, width: inst.mem_width(), is_store: false });
+        } else if inst.is_store() {
+            let addr = exec::effective_address(&inst, a);
+            self.mem.write_bits(addr, inst.mem_width(), b);
+            mem_access = Some(MemAccess { addr, width: inst.mem_width(), is_store: true });
+        } else if let Some(result) = exec::alu_result(&inst, a, b, pc) {
+            if let Some(dest) = inst.dest() {
+                self.write_dest(dest, result);
+            }
+        }
+
+        self.pc = next_pc;
+        self.retired += 1;
+        Ok(StepInfo { pc, mem: mem_access })
+    }
+
+    /// Run until `halt` or until `budget` instructions have retired.
+    ///
+    /// # Errors
+    /// Propagates [`InterpError`] from [`Interpreter::step`].
+    pub fn run(&mut self, budget: u64) -> Result<StopReason, InterpError> {
+        for _ in 0..budget {
+            if self.halted {
+                return Ok(StopReason::Halted);
+            }
+            self.step()?;
+        }
+        Ok(if self.halted { StopReason::Halted } else { StopReason::BudgetExhausted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::reg::*;
+
+    fn run(b: ProgramBuilder) -> Interpreter {
+        let p = b.finish().unwrap();
+        let mut i = Interpreter::new(&p);
+        assert_eq!(i.run(100_000).unwrap(), StopReason::Halted);
+        i
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 10);
+        b.li(R2, 0);
+        b.label("loop");
+        b.add(R2, R2, R1);
+        b.addi(R1, R1, -1);
+        b.bne(R1, R0, "loop");
+        b.halt();
+        let i = run(b);
+        assert_eq!(i.int_reg(R2), 55);
+        assert_eq!(i.int_reg(R1), 0);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 0x8000);
+        b.li(R2, 0xdead);
+        b.sw(R2, R1, 0);
+        b.lw(R3, R1, 0);
+        b.sb(R2, R1, 8);
+        b.lbu(R4, R1, 8);
+        b.halt();
+        let i = run(b);
+        assert_eq!(i.int_reg(R3), 0xdead);
+        assert_eq!(i.int_reg(R4), 0xad);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.data_f64(0x8000, &[2.0, 8.0]);
+        b.li(R1, 0x8000);
+        b.fld(F1, R1, 0);
+        b.fld(F2, R1, 8);
+        b.fmul(F3, F1, F2); // 16
+        b.fsqrt(F4, F3); // 4
+        b.fadd(F5, F4, F1); // 6
+        b.fsd(F5, R1, 16);
+        b.fld(F6, R1, 16);
+        b.cvtfi(R2, F6);
+        b.halt();
+        let i = run(b);
+        assert_eq!(i.fp_reg(F5), 6.0);
+        assert_eq!(i.int_reg(R2), 6);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 1);
+        b.jal("func");
+        b.addi(R1, R1, 100); // executed after return
+        b.halt();
+        b.label("func");
+        b.addi(R1, R1, 10);
+        b.ret();
+        let i = run(b);
+        assert_eq!(i.int_reg(R1), 111);
+    }
+
+    #[test]
+    fn indirect_jump_table() {
+        let mut b = ProgramBuilder::new(0x1000);
+        // Jump through a register to a computed target.
+        b.li(R2, 0);
+        b.li(R1, 0); // patched below via label math: use data table instead
+        // Store the address of "target" into memory, load and jr.
+        b.li(R3, 0x9000);
+        b.lw(R4, R3, 0);
+        b.jr(R4);
+        b.addi(R2, R2, 1); // skipped
+        b.label("target");
+        b.addi(R2, R2, 2);
+        b.halt();
+        let p = {
+            let mut p = b.finish().unwrap();
+            // Find "target" address: instruction index 8 in stream? Compute from
+            // disassembly: locate the `addi r2, r2, +2`.
+            let target = p
+                .disassemble()
+                .iter()
+                .find(|(_, t)| t == "addi r2, r2, 2")
+                .map(|(a, _)| *a)
+                .unwrap();
+            p.data.push((0x9000, target.to_le_bytes().to_vec()));
+            p
+        };
+        let mut i = Interpreter::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.int_reg(R2), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let mut b = ProgramBuilder::new(0);
+        b.label("spin");
+        b.j("spin");
+        let p = b.finish().unwrap();
+        let mut i = Interpreter::new(&p);
+        assert_eq!(i.run(10).unwrap(), StopReason::BudgetExhausted);
+        assert_eq!(i.retired(), 10);
+        assert!(!i.is_halted());
+    }
+
+    #[test]
+    fn r0_is_immutable() {
+        let mut b = ProgramBuilder::new(0);
+        b.addi(R0, R0, 99);
+        b.halt();
+        let i = run(b);
+        assert_eq!(i.int_reg(R0), 0);
+    }
+
+    #[test]
+    fn invalid_instruction_reported() {
+        let p = Program { code_base: 0, code: vec![0xffff_ffff], data: vec![], entry: 0 };
+        let mut i = Interpreter::new(&p);
+        assert_eq!(
+            i.step().unwrap_err(),
+            InterpError::InvalidInstruction { pc: 0, word: 0xffff_ffff }
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! A minimal 32-bit RISC instruction set used by the WIB simulator.
+//!
+//! The ISA is deliberately small (a DLX/MIPS-style load-store machine with
+//! 32 integer and 32 floating-point registers) but complete enough to write
+//! the pointer-chasing, streaming and branchy kernels that the ISCA 2002
+//! WIB paper evaluates. The crate provides:
+//!
+//! - [`Opcode`] / [`Inst`]: decoded instruction form with binary
+//!   encode/decode ([`Inst::encode`], [`Inst::decode`]),
+//! - [`exec`]: the single source of truth for ALU semantics, shared by the
+//!   reference interpreter and the detailed pipeline model so that
+//!   co-simulation agrees by construction,
+//! - [`asm::ProgramBuilder`]: a label-resolving assembler used by the
+//!   workload generators,
+//! - [`interp::Interpreter`]: an architectural reference interpreter used
+//!   as the oracle in co-simulation tests.
+//!
+//! # Example
+//!
+//! ```
+//! use wib_isa::asm::ProgramBuilder;
+//! use wib_isa::interp::Interpreter;
+//! use wib_isa::reg;
+//!
+//! let mut b = ProgramBuilder::new(0x1000);
+//! b.addi(reg::R1, reg::R0, 5);
+//! b.addi(reg::R2, reg::R0, 0);
+//! b.label("loop");
+//! b.add(reg::R2, reg::R2, reg::R1);
+//! b.addi(reg::R1, reg::R1, -1);
+//! b.bne(reg::R1, reg::R0, "loop");
+//! b.halt();
+//! let prog = b.finish().unwrap();
+//!
+//! let mut interp = Interpreter::new(&prog);
+//! interp.run(1_000).unwrap();
+//! assert_eq!(interp.int_reg(reg::R2), 15); // 5+4+3+2+1
+//! ```
+
+pub mod asm;
+pub mod exec;
+pub mod inst;
+pub mod interp;
+pub mod mem;
+pub mod program;
+pub mod text;
+pub mod reg;
+
+pub use inst::{FuKind, Inst, Opcode};
+pub use program::Program;
+pub use reg::ArchReg;

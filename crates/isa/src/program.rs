@@ -1,0 +1,124 @@
+//! Linked program images: code plus initialized data segments.
+
+use crate::inst::Inst;
+use crate::mem::Memory;
+
+/// A fully linked program: encoded code at `code_base` plus any number of
+/// initialized data segments, ready to be loaded into a [`Memory`].
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Address of the first instruction word.
+    pub code_base: u32,
+    /// Encoded instruction words, contiguous from `code_base`.
+    pub code: Vec<u32>,
+    /// Initialized data segments `(start_address, bytes)`.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Entry point (defaults to `code_base`).
+    pub entry: u32,
+}
+
+impl Program {
+    /// Load code and data into `mem`.
+    pub fn load_into<M: Memory>(&self, mem: &mut M) {
+        for (i, word) in self.code.iter().enumerate() {
+            mem.write_u32(self.code_base.wrapping_add(4 * i as u32), *word);
+        }
+        for (base, bytes) in &self.data {
+            for (i, b) in bytes.iter().enumerate() {
+                mem.write_u8(base.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Number of instructions in the code segment.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if the program has no code.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// One past the last code address.
+    pub fn code_end(&self) -> u32 {
+        self.code_base.wrapping_add(4 * self.code.len() as u32)
+    }
+
+    /// Decode the instruction at `pc`, if it falls inside the code segment.
+    pub fn decode_at(&self, pc: u32) -> Option<Inst> {
+        if pc < self.code_base || pc >= self.code_end() || !pc.is_multiple_of(4) {
+            return None;
+        }
+        Inst::decode(self.code[((pc - self.code_base) / 4) as usize])
+    }
+
+    /// Disassemble the whole code segment, one `(addr, text)` pair per word.
+    pub fn disassemble(&self) -> Vec<(u32, String)> {
+        self.code
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let addr = self.code_base + 4 * i as u32;
+                let text = match Inst::decode(*w) {
+                    Some(inst) => inst.to_string(),
+                    None => format!(".word {w:#010x}"),
+                };
+                (addr, text)
+            })
+            .collect()
+    }
+
+    /// Total bytes of initialized data.
+    pub fn data_bytes(&self) -> usize {
+        self.data.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+    use crate::mem::PagedMemory;
+
+    fn tiny() -> Program {
+        Program {
+            code_base: 0x1000,
+            code: vec![
+                Inst { op: Opcode::Addi, rd: 1, rs1: 0, rs2: 0, imm: 7 }.encode(),
+                Inst { op: Opcode::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 }.encode(),
+            ],
+            data: vec![(0x8000, vec![1, 2, 3])],
+            entry: 0x1000,
+        }
+    }
+
+    #[test]
+    fn load_and_decode() {
+        let p = tiny();
+        let mut m = PagedMemory::new();
+        p.load_into(&mut m);
+        assert_eq!(Inst::decode(m.read_u32(0x1000)).unwrap().op, Opcode::Addi);
+        assert_eq!(m.read_u8(0x8002), 3);
+        assert_eq!(p.decode_at(0x1004).unwrap().op, Opcode::Halt);
+        assert!(p.decode_at(0x1008).is_none());
+        assert!(p.decode_at(0x0ffc).is_none());
+        assert!(p.decode_at(0x1002).is_none());
+    }
+
+    #[test]
+    fn geometry() {
+        let p = tiny();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.code_end(), 0x1008);
+        assert_eq!(p.data_bytes(), 3);
+    }
+
+    #[test]
+    fn disassembly() {
+        let d = tiny().disassemble();
+        assert_eq!(d[0], (0x1000, "addi r1, r0, 7".to_string()));
+        assert_eq!(d[1].1, "halt");
+    }
+}

@@ -1,0 +1,182 @@
+//! Architectural registers.
+//!
+//! The machine has 32 integer registers (`r0`..`r31`, with `r0` hardwired
+//! to zero) and 32 floating-point registers (`f0`..`f31`). Internally a
+//! register is a flat index `0..64` so the rename machinery can treat both
+//! classes uniformly.
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total architectural registers across both classes.
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// Register class: integer or floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer register file (32-bit values).
+    Int,
+    /// Floating-point register file (64-bit IEEE values).
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register: a flat index over both register classes.
+///
+/// Indices `0..32` name integer registers, `32..64` floating-point
+/// registers. Use [`ArchReg::int`] / [`ArchReg::fp`] to construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The hardwired-zero integer register `r0`.
+    pub const ZERO: ArchReg = ArchReg(0);
+
+    /// Integer register `r{i}`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 32`.
+    pub const fn int(i: u8) -> ArchReg {
+        assert!(i < NUM_INT_REGS as u8);
+        ArchReg(i)
+    }
+
+    /// Floating-point register `f{i}`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 32`.
+    pub const fn fp(i: u8) -> ArchReg {
+        assert!(i < NUM_FP_REGS as u8);
+        ArchReg(NUM_INT_REGS as u8 + i)
+    }
+
+    /// Reconstruct from a flat index (`0..64`).
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    pub const fn from_flat(i: u8) -> ArchReg {
+        assert!(i < NUM_ARCH_REGS as u8);
+        ArchReg(i)
+    }
+
+    /// The flat index (`0..64`).
+    pub const fn flat(self) -> u8 {
+        self.0
+    }
+
+    /// The register class this register belongs to.
+    pub const fn class(self) -> RegClass {
+        if self.0 < NUM_INT_REGS as u8 {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// The class-local index (`0..32`).
+    pub const fn index(self) -> u8 {
+        self.0 % NUM_INT_REGS as u8
+    }
+
+    /// True for `r0`, whose value is always zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.index()),
+            RegClass::Fp => write!(f, "f{}", self.index()),
+        }
+    }
+}
+
+macro_rules! int_regs {
+    ($($name:ident = $i:expr),* $(,)?) => {
+        $(#[doc = concat!("Integer register `r", stringify!($i), "`.")]
+          pub const $name: ArchReg = ArchReg::int($i);)*
+    };
+}
+
+macro_rules! fp_regs {
+    ($($name:ident = $i:expr),* $(,)?) => {
+        $(#[doc = concat!("Floating-point register `f", stringify!($i), "`.")]
+          pub const $name: ArchReg = ArchReg::fp($i);)*
+    };
+}
+
+int_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+    R29 = 29, R30 = 30, R31 = 31,
+}
+
+fp_regs! {
+    F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+    F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14,
+    F15 = 15, F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20, F21 = 21,
+    F22 = 22, F23 = 23, F24 = 24, F25 = 25, F26 = 26, F27 = 27, F28 = 28,
+    F29 = 29, F30 = 30, F31 = 31,
+}
+
+/// Conventional stack pointer (`r30`).
+pub const SP: ArchReg = R30;
+/// Conventional return-address register (`r31`), the target of `jal`.
+pub const RA: ArchReg = R31;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_round_trip() {
+        for i in 0..NUM_ARCH_REGS as u8 {
+            let r = ArchReg::from_flat(i);
+            assert_eq!(r.flat(), i);
+        }
+    }
+
+    #[test]
+    fn classes_and_indices() {
+        assert_eq!(ArchReg::int(5).class(), RegClass::Int);
+        assert_eq!(ArchReg::fp(5).class(), RegClass::Fp);
+        assert_eq!(ArchReg::fp(5).index(), 5);
+        assert_eq!(ArchReg::fp(5).flat(), 37);
+        assert_eq!(ArchReg::int(31).index(), 31);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(ArchReg::ZERO.is_zero());
+        assert!(!R1.is_zero());
+        assert!(!F0.is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(R3.to_string(), "r3");
+        assert_eq!(F7.to_string(), "f7");
+        assert_eq!(RA.to_string(), "r31");
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+}

@@ -1,0 +1,540 @@
+//! A textual assembler: parse assembly source into a [`Program`].
+//!
+//! The syntax mirrors the disassembler's output plus a few directives:
+//!
+//! ```text
+//! # comments run to end of line (';' works too)
+//! .org 0x1000            # code base (default 0x1000)
+//!
+//! start:
+//!     li   r1, 0x20000   # pseudo: expands to lui/ori or addi
+//!     lw   r2, 8(r1)     # loads/stores use offset(base)
+//!     addi r2, r2, 1
+//!     sw   r2, 8(r1)
+//!     bne  r2, r0, start
+//!     halt
+//!
+//! .data 0x20000          # switch to a data segment at the address
+//!     .u32  1, 2, 3
+//!     .f64  1.5, -2.0
+//!     .byte 0xff, 7
+//!     .zero 64           # 64 zero bytes
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use wib_isa::text::parse_program;
+//! use wib_isa::interp::Interpreter;
+//!
+//! let program = parse_program("
+//!     li r1, 10
+//! top:
+//!     addi r2, r2, 3
+//!     addi r1, r1, -1
+//!     bne r1, r0, top
+//!     halt
+//! ")?;
+//! let mut interp = Interpreter::new(&program);
+//! interp.run(1000).unwrap();
+//! assert_eq!(interp.int_reg(wib_isa::reg::R2), 30);
+//! # Ok::<(), wib_isa::text::TextAsmError>(())
+//! ```
+
+use crate::asm::ProgramBuilder;
+use crate::program::Program;
+use crate::reg::ArchReg;
+use std::fmt;
+
+/// A parse or assembly failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> TextAsmError {
+    TextAsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, TextAsmError> {
+    let t = tok.trim();
+    match t {
+        "sp" => return Ok(crate::reg::SP),
+        "ra" => return Ok(crate::reg::RA),
+        "zero" => return Ok(ArchReg::ZERO),
+        _ => {}
+    }
+    let (class, num) = t
+        .split_at_checked(1)
+        .ok_or_else(|| err(line, format!("expected a register, got `{t}`")))?;
+    let idx: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("expected a register, got `{t}`")))?;
+    if idx >= 32 {
+        return Err(err(line, format!("register index out of range in `{t}`")));
+    }
+    match class {
+        "r" => Ok(ArchReg::int(idx)),
+        "f" => Ok(ArchReg::fp(idx)),
+        _ => Err(err(line, format!("expected a register, got `{t}`"))),
+    }
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, TextAsmError> {
+    let t = tok.trim().replace('_', "");
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest.to_string()),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    }
+    .map_err(|_| err(line, format!("expected a number, got `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// `offset(base)` operand of loads/stores.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, ArchReg), TextAsmError> {
+    let t = tok.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `offset(base)`, got `{t}`")))?;
+    if !t.ends_with(')') {
+        return Err(err(line, format!("expected `offset(base)`, got `{t}`")));
+    }
+    let off = if open == 0 { 0 } else { parse_int(&t[..open], line)? as i32 };
+    let base = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((off, base))
+}
+
+/// Strip comments, returning the significant text.
+fn significant(line: &str) -> &str {
+    let end = line.find(['#', ';']).unwrap_or(line.len());
+    line[..end].trim()
+}
+
+enum Section {
+    Code,
+    Data { base: u32, bytes: Vec<u8> },
+}
+
+/// Parse assembly source into a linked [`Program`].
+///
+/// # Errors
+/// Returns the first syntax, operand, or label error with its line number.
+pub fn parse_program(source: &str) -> Result<Program, TextAsmError> {
+    // Scan for an `.org` before building (the builder is constructed with
+    // its code base).
+    let mut org: u32 = 0x1000;
+    for (i, raw) in source.lines().enumerate() {
+        let line = significant(raw);
+        if let Some(rest) = line.strip_prefix(".org") {
+            org = parse_int(rest, i + 1)? as u32;
+            break;
+        }
+        if !line.is_empty() && !line.starts_with('.') {
+            break; // code began without .org
+        }
+    }
+    let mut b = ProgramBuilder::new(org);
+    let mut section = Section::Code;
+    let mut data_segments: Vec<(u32, Vec<u8>)> = Vec::new();
+
+    for (i, raw) in source.lines().enumerate() {
+        let ln = i + 1;
+        let mut line = significant(raw);
+        if line.is_empty() {
+            continue;
+        }
+        // Labels (possibly followed by an instruction on the same line).
+        while let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(ln, format!("bad label `{label}`")));
+            }
+            if !matches!(section, Section::Code) {
+                return Err(err(ln, "labels are only allowed in code"));
+            }
+            b.label(label);
+            line = rest[1..].trim();
+            if line.is_empty() {
+                break;
+            }
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = line.strip_prefix(".data") {
+            if let Section::Data { base, bytes } = section {
+                data_segments.push((base, bytes));
+            }
+            section = Section::Data { base: parse_int(rest, ln)? as u32, bytes: Vec::new() };
+            continue;
+        }
+        if line.starts_with(".org") {
+            continue; // handled in the pre-scan
+        }
+        if let Section::Data { bytes, .. } = &mut section {
+            let (dir, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            match dir {
+                ".u32" => {
+                    for tok in rest.split(',') {
+                        bytes.extend_from_slice(&(parse_int(tok, ln)? as u32).to_le_bytes());
+                    }
+                }
+                ".f64" => {
+                    for tok in rest.split(',') {
+                        let v: f64 = tok
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(ln, format!("expected a float, got `{tok}`")))?;
+                        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+                ".byte" => {
+                    for tok in rest.split(',') {
+                        bytes.push(parse_int(tok, ln)? as u8);
+                    }
+                }
+                ".zero" => {
+                    let n = parse_int(rest, ln)? as usize;
+                    bytes.extend(std::iter::repeat_n(0u8, n));
+                }
+                other => return Err(err(ln, format!("unknown data directive `{other}`"))),
+            }
+            continue;
+        }
+
+        // An instruction.
+        let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let ops: Vec<&str> = if rest.trim().is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        emit(&mut b, mnemonic, &ops, ln)?;
+    }
+    if let Section::Data { base, bytes } = section {
+        data_segments.push((base, bytes));
+    }
+    let mut program = b
+        .finish()
+        .map_err(|e| err(0, format!("link error: {e}")))?;
+    program.data.extend(data_segments);
+    Ok(program)
+}
+
+fn emit(
+    b: &mut ProgramBuilder,
+    mnemonic: &str,
+    ops: &[&str],
+    ln: usize,
+) -> Result<(), TextAsmError> {
+    let argc = |n: usize| -> Result<(), TextAsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(ln, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+    let reg = |k: usize| parse_reg(ops[k], ln);
+    let imm = |k: usize| parse_int(ops[k], ln).map(|v| v as i32);
+
+    match mnemonic {
+        "nop" => {
+            argc(0)?;
+            b.nop();
+        }
+        "halt" => {
+            argc(0)?;
+            b.halt();
+        }
+        "add" | "sub" | "mul" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
+        | "fadd" | "fsub" | "fmul" | "fdiv" => {
+            argc(3)?;
+            let (d, a, c) = (reg(0)?, reg(1)?, reg(2)?);
+            match mnemonic {
+                "add" => b.add(d, a, c),
+                "sub" => b.sub(d, a, c),
+                "mul" => b.mul(d, a, c),
+                "and" => b.and(d, a, c),
+                "or" => b.or(d, a, c),
+                "xor" => b.xor(d, a, c),
+                "sll" => b.sll(d, a, c),
+                "srl" => b.srl(d, a, c),
+                "sra" => b.sra(d, a, c),
+                "slt" => b.slt(d, a, c),
+                "sltu" => b.sltu(d, a, c),
+                "fadd" => b.fadd(d, a, c),
+                "fsub" => b.fsub(d, a, c),
+                "fmul" => b.fmul(d, a, c),
+                _ => b.fdiv(d, a, c),
+            };
+        }
+        "addi" | "andi" | "ori" | "xori" | "slti" | "slli" | "srli" | "srai" => {
+            argc(3)?;
+            let (d, a, v) = (reg(0)?, reg(1)?, imm(2)?);
+            match mnemonic {
+                "addi" => b.addi(d, a, v),
+                "andi" => b.andi(d, a, v),
+                "ori" => b.ori(d, a, v),
+                "xori" => b.xori(d, a, v),
+                "slti" => b.slti(d, a, v),
+                "slli" => b.slli(d, a, v),
+                "srli" => b.srli(d, a, v),
+                _ => b.srai(d, a, v),
+            };
+        }
+        "li" => {
+            argc(2)?;
+            let d = reg(0)?;
+            b.li(d, parse_int(ops[1], ln)? as u32);
+        }
+        "lui" => {
+            argc(2)?;
+            let d = reg(0)?;
+            b.lui(d, parse_int(ops[1], ln)? as u32);
+        }
+        "mv" => {
+            argc(2)?;
+            b.mv(reg(0)?, reg(1)?);
+        }
+        "lw" | "lbu" | "fld" => {
+            argc(2)?;
+            let d = reg(0)?;
+            let (off, base) = parse_mem_operand(ops[1], ln)?;
+            match mnemonic {
+                "lw" => b.lw(d, base, off),
+                "lbu" => b.lbu(d, base, off),
+                _ => b.fld(d, base, off),
+            };
+        }
+        "sw" | "sb" | "fsd" => {
+            argc(2)?;
+            let s = reg(0)?;
+            let (off, base) = parse_mem_operand(ops[1], ln)?;
+            match mnemonic {
+                "sw" => b.sw(s, base, off),
+                "sb" => b.sb(s, base, off),
+                _ => b.fsd(s, base, off),
+            };
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            argc(3)?;
+            let (a, c) = (reg(0)?, reg(1)?);
+            let target = ops[2];
+            match mnemonic {
+                "beq" => b.beq(a, c, target),
+                "bne" => b.bne(a, c, target),
+                "blt" => b.blt(a, c, target),
+                _ => b.bge(a, c, target),
+            };
+        }
+        "j" => {
+            argc(1)?;
+            b.j(ops[0]);
+        }
+        "jal" => {
+            argc(1)?;
+            b.jal(ops[0]);
+        }
+        "jr" => {
+            argc(1)?;
+            b.jr(reg(0)?);
+        }
+        "jalr" => {
+            argc(2)?;
+            b.jalr(reg(0)?, reg(1)?);
+        }
+        "ret" => {
+            argc(0)?;
+            b.ret();
+        }
+        "fsqrt" => {
+            argc(2)?;
+            b.fsqrt(reg(0)?, reg(1)?);
+        }
+        "fneg" => {
+            argc(2)?;
+            b.fneg(reg(0)?, reg(1)?);
+        }
+        "fmov" => {
+            argc(2)?;
+            b.fmov(reg(0)?, reg(1)?);
+        }
+        "cvtif" => {
+            argc(2)?;
+            b.cvtif(reg(0)?, reg(1)?);
+        }
+        "cvtfi" => {
+            argc(2)?;
+            b.cvtfi(reg(0)?, reg(1)?);
+        }
+        "feq" | "flt" | "fle" => {
+            argc(3)?;
+            let (d, a, c) = (reg(0)?, reg(1)?, reg(2)?);
+            match mnemonic {
+                "feq" => b.feq(d, a, c),
+                "flt" => b.flt(d, a, c),
+                _ => b.fle(d, a, c),
+            };
+        }
+        other => return Err(err(ln, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::reg::*;
+
+    fn run(src: &str) -> Interpreter {
+        let p = parse_program(src).expect("parses");
+        let mut i = Interpreter::new(&p);
+        i.run(100_000).expect("runs");
+        i
+    }
+
+    #[test]
+    fn loop_with_labels() {
+        let i = run("
+            li r1, 5
+        top: addi r2, r2, 10
+            addi r1, r1, -1
+            bne r1, r0, top
+            halt
+        ");
+        assert_eq!(i.int_reg(R2), 50);
+    }
+
+    #[test]
+    fn memory_and_data_sections() {
+        let i = run("
+            .org 0x2000
+            li r1, 0x9000
+            lw r2, 4(r1)
+            addi r2, r2, 1
+            sw r2, (r1)
+            lw r3, (r1)
+            halt
+            .data 0x9000
+            .u32 0, 41
+        ");
+        assert_eq!(i.int_reg(R3), 42);
+    }
+
+    #[test]
+    fn fp_and_directives() {
+        let i = run("
+            li r1, 0x9000
+            fld f1, (r1)
+            fld f2, 8(r1)
+            fmul f3, f1, f2
+            cvtfi r2, f3
+            halt
+            .data 0x9000
+            .f64 2.5, 4.0
+        ");
+        assert_eq!(i.int_reg(R2), 10);
+    }
+
+    #[test]
+    fn calls_and_aliases() {
+        let i = run("
+            li sp, 0xf000
+            jal leaf
+            addi r2, r2, 1
+            halt
+        leaf:
+            addi r2, r2, 10
+            ret
+        ");
+        assert_eq!(i.int_reg(R2), 11);
+    }
+
+    #[test]
+    fn byte_and_zero_directives() {
+        let i = run("
+            li r1, 0x9000
+            lbu r2, 3(r1)
+            lbu r3, 4(r1)
+            halt
+            .data 0x9000
+            .byte 1, 2, 3, 0xff
+            .zero 4
+        ");
+        assert_eq!(i.int_reg(R2), 0xff);
+        assert_eq!(i.int_reg(R3), 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let i = run("
+            # a comment
+            li r1, 7   ; trailing comment
+            halt
+        ");
+        assert_eq!(i.int_reg(R1), 7);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_program("addi r1, r2\n").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+
+        let e = parse_program("addi r1, r2, banana\n").unwrap_err();
+        assert!(e.message.contains("banana"));
+
+        let e = parse_program("lw r1, r2\n").unwrap_err();
+        assert!(e.message.contains("offset(base)"));
+
+        let e = parse_program("add r97, r1, r2\n").unwrap_err();
+        assert!(e.message.contains("r97"));
+
+        let e = parse_program("j nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn round_trips_with_the_disassembler() {
+        // Disassembled text of simple instructions reparses to identical
+        // words.
+        let src = "
+            addi r1, r0, 7
+            add r2, r1, r1
+            lw r3, -16(r2)
+            fadd f1, f2, f3
+            halt
+        ";
+        let p1 = parse_program(src).unwrap();
+        let text: String = p1
+            .disassemble()
+            .iter()
+            .map(|(_, t)| format!("{t}\n"))
+            .collect();
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p1.code, p2.code);
+    }
+}

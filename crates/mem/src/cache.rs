@@ -1,0 +1,337 @@
+//! Set-associative cache timing model.
+//!
+//! Tags only — architectural data lives elsewhere. Write-back,
+//! write-allocate, true-LRU replacement (the associativities here are
+//! small, so a monotonic-counter LRU is exact and cheap).
+
+use std::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name used in stats dumps (e.g. `"L1D"`).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Ways per set.
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Hit latency in cycles (load-to-use).
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// A 32 KB, 4-way, 64 B-line, 2-cycle cache (the paper's L1).
+    pub fn l1_32k(name: &str) -> CacheConfig {
+        CacheConfig {
+            name: name.to_string(),
+            size_bytes: 32 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency: 2,
+        }
+    }
+
+    /// A 256 KB, 4-way, 64 B-line, 10-cycle unified cache (the paper's L2).
+    pub fn l2_256k() -> CacheConfig {
+        CacheConfig {
+            name: "L2".to_string(),
+            size_bytes: 256 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency: 10,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u32 {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+}
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load or instruction fetch.
+    Read,
+    /// A store (marks the line dirty).
+    Write,
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (line not present).
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Misses per access (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%), {} writebacks",
+            self.accesses,
+            self.misses,
+            100.0 * self.miss_ratio(),
+            self.writebacks
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    lru: u64,
+}
+
+/// The outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Line-aligned address of a dirty line evicted to make room.
+    pub evicted_dirty: Option<u32>,
+}
+
+/// A set-associative, write-back, write-allocate cache (timing only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    set_shift: u32,
+    set_mask: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    ///
+    /// # Panics
+    /// Panics unless line size, set count and associativity are powers of
+    /// two and the geometry divides evenly.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.assoc >= 1);
+        let sets = cfg.num_sets();
+        assert!(sets >= 1 && sets.is_power_of_two(), "set count must be a power of two");
+        assert_eq!(sets * cfg.assoc * cfg.line_bytes, cfg.size_bytes, "geometry must divide");
+        Cache {
+            lines: vec![Line::default(); (sets * cfg.assoc) as usize],
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            cfg,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (used after cache warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Line-aligned address for `addr`.
+    pub fn line_addr(&self, addr: u32) -> u32 {
+        addr & !(self.cfg.line_bytes - 1)
+    }
+
+    fn set_of(&self, addr: u32) -> u32 {
+        (addr >> self.set_shift) & self.set_mask
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr >> self.set_shift >> self.set_mask.count_ones()
+    }
+
+    fn set_range(&self, set: u32) -> std::ops::Range<usize> {
+        let start = (set * self.cfg.assoc) as usize;
+        start..start + self.cfg.assoc as usize
+    }
+
+    /// True if the line containing `addr` is present (no state change).
+    pub fn probe(&self, addr: u32) -> bool {
+        let tag = self.tag_of(addr);
+        self.lines[self.set_range(self.set_of(addr))]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Access the line containing `addr`, allocating on miss.
+    pub fn access(&mut self, addr: u32, kind: AccessKind) -> AccessOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let range = self.set_range(set);
+        let tick = self.tick;
+
+        // Hit?
+        if let Some(line) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.lru = tick;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            return AccessOutcome { hit: true, evicted_dirty: None };
+        }
+
+        // Miss: pick the invalid or least-recently-used way.
+        self.stats.misses += 1;
+        let victim_idx = self.lines[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("assoc >= 1");
+        let num_sets_bits = self.set_mask.count_ones();
+        let victim = &mut self.lines[range.start + victim_idx];
+        let evicted_dirty = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Some(((victim.tag << num_sets_bits) | set) << self.set_shift)
+        } else {
+            None
+        };
+        *victim = Line { valid: true, dirty: kind == AccessKind::Write, tag, lru: tick };
+        AccessOutcome { hit: false, evicted_dirty }
+    }
+
+    /// Invalidate every line (no writebacks are modeled).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 16B lines = 64 bytes.
+        Cache::new(CacheConfig {
+            name: "tiny".into(),
+            size_bytes: 64,
+            assoc: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, AccessKind::Read).hit);
+        assert!(c.access(0x10f, AccessKind::Read).hit); // same line
+        assert!(!c.access(0x110, AccessKind::Read).hit); // next line, other set
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut c = tiny();
+        // Three conflicting lines in set 0 (stride = 32 bytes for 2 sets x 16B).
+        c.access(0x000, AccessKind::Read);
+        c.access(0x020, AccessKind::Read);
+        c.access(0x000, AccessKind::Read); // touch A so B is LRU
+        c.access(0x040, AccessKind::Read); // evicts B
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x020));
+        assert!(c.probe(0x040));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Write);
+        c.access(0x020, AccessKind::Read);
+        let out = c.access(0x040, AccessKind::Read); // evicts dirty 0x000
+        assert_eq!(out.evicted_dirty, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+        // Clean eviction reports none.
+        let out = c.access(0x060, AccessKind::Read);
+        assert_eq!(out.evicted_dirty, None);
+    }
+
+    #[test]
+    fn writeback_address_reconstruction() {
+        let mut c = tiny();
+        // Set 1 line (addr bit 4 set), dirty.
+        c.access(0x0190, AccessKind::Write);
+        c.access(0x0030, AccessKind::Read);
+        let out = c.access(0x0050, AccessKind::Write);
+        // The evicted line must be the 0x190 line, exactly aligned.
+        assert_eq!(out.evicted_dirty, Some(0x0190));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Read);
+        let before = c.stats();
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x400));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Write);
+        c.flush();
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn paper_geometries() {
+        let l1 = CacheConfig::l1_32k("L1D");
+        assert_eq!(l1.num_sets(), 128);
+        let l2 = CacheConfig::l2_256k();
+        assert_eq!(l2.num_sets(), 1024);
+        let _ = Cache::new(l1);
+        let _ = Cache::new(l2);
+    }
+
+    #[test]
+    fn stats_display_and_ratio() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Read);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        assert!(c.stats().to_string().contains("50.00%"));
+        c.reset_stats();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Memory-system *timing* models for the WIB simulator.
+//!
+//! Architectural data lives in `wib_isa::mem::PagedMemory`; this crate
+//! models only *when* an access completes:
+//!
+//! - [`cache::Cache`]: set-associative, write-back/write-allocate, LRU,
+//!   timing-only (tags, no data).
+//! - [`tlb::Tlb`]: translation lookaside buffer with a fixed miss penalty.
+//! - [`hier::MemoryHierarchy`]: the paper's L1I/L1D/L2/DRAM stack with
+//!   MSHR-style merging of outstanding misses to the same line, so
+//!   memory-level parallelism behaves like real hardware.
+//!
+//! The paper's base machine (Table 1): 32 KB 4-way L1s with 2-cycle
+//! latency, a 256 KB 4-way unified L2 at 10 cycles, 250-cycle DRAM, and a
+//! 128-entry 4-way TLB with a 30-cycle miss penalty — see
+//! [`hier::HierConfig::isca2002_base`].
+
+pub mod cache;
+pub mod hier;
+pub mod tlb;
+
+pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
+pub use hier::{DataAccess, HierConfig, MemoryHierarchy};
+pub use tlb::{Tlb, TlbConfig};

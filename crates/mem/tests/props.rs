@@ -1,0 +1,92 @@
+//! Property tests: the set-associative cache against a naive reference
+//! model (per-set LRU lists).
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use wib_mem::cache::{AccessKind, Cache, CacheConfig};
+
+/// Naive reference: per-set LRU list of (tag, dirty).
+struct RefCache {
+    sets: Vec<VecDeque<(u32, bool)>>,
+    assoc: usize,
+    line: u32,
+    num_sets: u32,
+}
+
+impl RefCache {
+    fn new(num_sets: u32, assoc: usize, line: u32) -> RefCache {
+        RefCache { sets: vec![VecDeque::new(); num_sets as usize], assoc, line, num_sets }
+    }
+
+    fn access(&mut self, addr: u32, write: bool) -> (bool, Option<u32>) {
+        let line_addr = addr / self.line;
+        let set = (line_addr % self.num_sets) as usize;
+        let tag = line_addr / self.num_sets;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = s.remove(pos).expect("present");
+            s.push_front((t, d || write));
+            return (true, None);
+        }
+        let mut evicted = None;
+        if s.len() == self.assoc {
+            let (t, d) = s.pop_back().expect("full");
+            if d {
+                evicted = Some((t * self.num_sets + set as u32) * self.line);
+            }
+        }
+        s.push_front((tag, write));
+        (false, evicted)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        ops in prop::collection::vec((0u32..0x4000, any::<bool>()), 1..400)
+    ) {
+        let cfg = CacheConfig {
+            name: "t".into(),
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(16, 2, 16);
+        for (addr, write) in ops {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let out = cache.access(addr, kind);
+            let (ref_hit, ref_evicted) = reference.access(addr, write);
+            prop_assert_eq!(out.hit, ref_hit, "hit mismatch at {:#x}", addr);
+            prop_assert_eq!(out.evicted_dirty, ref_evicted, "writeback mismatch at {:#x}", addr);
+        }
+    }
+
+    #[test]
+    fn probe_agrees_with_access_history(
+        ops in prop::collection::vec(0u32..0x1000, 1..100),
+        probe_addr in 0u32..0x1000,
+    ) {
+        let cfg = CacheConfig {
+            name: "t".into(),
+            size_bytes: 256,
+            assoc: 4,
+            line_bytes: 32,
+            hit_latency: 1,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(2, 4, 32);
+        for addr in ops {
+            cache.access(addr, AccessKind::Read);
+            reference.access(addr, false);
+        }
+        let line_addr = probe_addr / 32;
+        let set = (line_addr % 2) as usize;
+        let tag = line_addr / 2;
+        let expected = reference.sets[set].iter().any(|&(t, _)| t == tag);
+        prop_assert_eq!(cache.probe(probe_addr), expected);
+    }
+}

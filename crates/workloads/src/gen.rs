@@ -1,0 +1,96 @@
+//! Shared helpers for the kernel generators: a simulated-heap bump
+//! allocator and deterministic pseudo-random data.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Base of the simulated heap (code sits at 0x1000, stacks below
+/// 0x0010_0000).
+pub const HEAP_BASE: u32 = 0x0010_0000;
+
+/// Top of the simulated stack region.
+pub const STACK_TOP: u32 = 0x000f_0000;
+
+/// A bump allocator over the simulated address space.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    next: u32,
+}
+
+impl Heap {
+    /// Start allocating at [`HEAP_BASE`].
+    pub fn new() -> Heap {
+        Heap { next: HEAP_BASE }
+    }
+
+    /// Allocate `bytes` aligned to `align` (a power of two).
+    pub fn alloc(&mut self, bytes: u32, align: u32) -> u32 {
+        debug_assert!(align.is_power_of_two());
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + bytes;
+        base
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> u32 {
+        self.next - HEAP_BASE
+    }
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Heap::new()
+    }
+}
+
+/// Deterministic RNG for data generation (fixed per-kernel seeds keep the
+/// experiments reproducible run to run).
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random permutation of `0..n` (used to scatter linked structures in
+/// memory the way long-running allocation does in the originals).
+pub fn permutation(rng: &mut StdRng, n: usize) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_alignment() {
+        let mut h = Heap::new();
+        let a = h.alloc(10, 8);
+        assert_eq!(a % 8, 0);
+        let b = h.alloc(4, 64);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+        assert!(h.used() > 0);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut r = rng(42);
+        let p = permutation(&mut r, 100);
+        let mut seen = vec![false; 100];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: u32 = rng(7).random();
+        let b: u32 = rng(7).random();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Synthetic stand-ins for the ISCA 2002 WIB paper's benchmarks.
+//!
+//! The paper evaluates SPEC CINT2000, SPEC CFP2000 and Olden binaries
+//! compiled for Alpha. Those binaries (and the SPEC inputs) cannot be
+//! redistributed, so this crate provides one synthetic kernel per
+//! benchmark, each engineered to land in the same *memory-behaviour
+//! regime* as its namesake (the property the WIB result actually depends
+//! on): working-set size relative to the 32 KB L1 / 256 KB L2, dependent
+//! vs. independent miss structure, branch predictability, and
+//! integer/floating-point mix. See `DESIGN.md` for the substitution
+//! rationale and per-kernel intent.
+//!
+//! - [`suite::int`]: `bzip2 gcc gzip parser perlbmk vortex vpr` — branchy
+//!   integer code, moderate miss ratios.
+//! - [`suite::fp`]: `applu art facerec galgel mgrid swim wupwise` —
+//!   streaming loops with abundant memory-level parallelism.
+//! - [`suite::olden`]: `em3d mst perimeter treeadd` — linked data
+//!   structures with dependent (pointer-chasing) misses.
+//!
+//! Every kernel is parameterized by size; [`eval_suite`] returns the
+//! paper-scale instances the experiment harnesses run, [`test_suite`]
+//! returns miniatures for fast co-simulation testing.
+
+pub mod gen;
+pub mod suite;
+
+use wib_isa::program::Program;
+
+/// Which benchmark suite a workload models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CINT2000 stand-ins.
+    Int,
+    /// SPEC CFP2000 stand-ins.
+    Fp,
+    /// Olden stand-ins.
+    Olden,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Int => write!(f, "SPEC INT"),
+            Suite::Fp => write!(f, "SPEC FP"),
+            Suite::Olden => write!(f, "Olden"),
+        }
+    }
+}
+
+/// A named, fully built benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    suite: Suite,
+    program: Program,
+}
+
+impl Workload {
+    /// Wrap a built program.
+    pub fn new(name: impl Into<String>, suite: Suite, program: Program) -> Workload {
+        Workload { name: name.into(), suite, program }
+    }
+
+    /// Benchmark name (matches the paper's tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which suite this belongs to.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Borrow the program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Clone the program out (convenience for runners that want
+    /// ownership).
+    pub fn build(&self) -> Program {
+        self.program.clone()
+    }
+}
+
+/// The full 18-kernel suite at evaluation scale (the sizes the experiment
+/// harnesses use). Order matches the paper's tables: INT, FP, Olden.
+pub fn eval_suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.extend(suite::int::eval());
+    v.extend(suite::fp::eval());
+    v.extend(suite::olden::eval());
+    v
+}
+
+/// Miniature instances of all kernels for fast (co-simulated) testing.
+pub fn test_suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.extend(suite::int::tiny());
+    v.extend(suite::fp::tiny());
+    v.extend(suite::olden::tiny());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_composition() {
+        let all = eval_suite();
+        assert_eq!(all.len(), 18);
+        assert_eq!(all.iter().filter(|w| w.suite() == Suite::Int).count(), 7);
+        assert_eq!(all.iter().filter(|w| w.suite() == Suite::Fp).count(), 7);
+        assert_eq!(all.iter().filter(|w| w.suite() == Suite::Olden).count(), 4);
+        let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        for expected in [
+            "bzip2", "gcc", "gzip", "parser", "perlbmk", "vortex", "vpr", "applu", "art",
+            "facerec", "galgel", "mgrid", "swim", "wupwise", "em3d", "mst", "perimeter",
+            "treeadd",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn tiny_suite_matches_names() {
+        let tiny = test_suite();
+        let full = eval_suite();
+        assert_eq!(tiny.len(), full.len());
+        for (t, f) in tiny.iter().zip(full.iter()) {
+            assert_eq!(t.name(), f.name());
+            assert_eq!(t.suite(), f.suite());
+        }
+    }
+
+    #[test]
+    fn programs_are_nonempty_and_loadable() {
+        for w in test_suite() {
+            assert!(!w.program().is_empty(), "{} has no code", w.name());
+            let p = w.build();
+            assert_eq!(p.code.len(), w.program().code.len());
+        }
+    }
+}

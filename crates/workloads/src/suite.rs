@@ -1,0 +1,6 @@
+//! The three benchmark suites. Each submodule exposes one constructor per
+//! kernel (parameterized by size) plus `eval()` / `tiny()` collections.
+
+pub mod fp;
+pub mod int;
+pub mod olden;

@@ -1,0 +1,467 @@
+//! SPEC CFP2000 stand-ins: streaming floating-point loops whose working
+//! sets dwarf the 256 KB L2, giving the abundant memory-level parallelism
+//! that makes the FP suite the WIB's best case (+84% average in the
+//! paper).
+
+use crate::gen::{rng, Heap};
+use crate::{Suite, Workload};
+use rand::RngExt;
+use wib_isa::asm::ProgramBuilder;
+use wib_isa::reg::*;
+
+fn f64_block(r: &mut rand::rngs::StdRng, n: u32, lo: f64, hi: f64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(8 * n as usize);
+    for _ in 0..n {
+        v.extend_from_slice(&r.random_range(lo..hi).to_bits().to_le_bytes());
+    }
+    v
+}
+
+/// `swim`: shallow-water update. The velocity/output arrays are grid
+/// planes that stay L2-resident across the sweep; the pressure array
+/// streams from memory — a mix of short L2 stalls and true DRAM misses,
+/// like the original's 1335x1335 grids against a 256 KB L2.
+pub fn swim(n_elems: u32, iters: u32) -> Workload {
+    // Resident plane: 4K f64 = 32 KB per array; three planes plus the
+    // active pressure slice fit comfortably in the 256 KB L2.
+    let resident = 4_096u32.min(n_elems);
+    assert!(n_elems.is_multiple_of(resident), "stream must be a multiple of the plane");
+    let mut r = rng(0x5717);
+    let mut heap = Heap::new();
+    let u = heap.alloc(8 * resident, 64);
+    let v = heap.alloc(8 * resident, 64);
+    let unew = heap.alloc(8 * resident, 64);
+    let p = heap.alloc(8 * (n_elems + 1), 64);
+
+    let mut b = ProgramBuilder::new(0x1000);
+    b.data_bytes(u, &f64_block(&mut r, resident, 0.0, 1.0));
+    b.data_bytes(v, &f64_block(&mut r, resident, 0.0, 1.0));
+    b.data_bytes(p, &f64_block(&mut r, n_elems + 1, 0.0, 1.0));
+    b.data_f64(0x8000, &[0.25]); // tdts8 constant
+    b.li(R10, 0x8000);
+    b.fld(F9, R10, 0);
+    // Each pressure slice is consumed `REUSE` times: the first pass
+    // streams it from DRAM, later passes find it in the L2 — this sets
+    // the DRAM-bound share of execution (and thus the WIB's headroom) to
+    // roughly the original's.
+    const REUSE: u32 = 6;
+    b.li(R20, iters as i32 as u32);
+    b.label("iter");
+    b.li(R3, p);
+    b.li(R6, n_elems / resident); // slices
+    b.label("slice");
+    b.li(R7, REUSE as i32 as u32);
+    b.label("reuse");
+    b.mv(R8, R3); // rewind to slice start
+    b.li(R1, u);
+    b.li(R2, v);
+    b.li(R4, unew);
+    b.li(R5, resident);
+    b.label("cell");
+    b.fld(F1, R1, 0); // u[i] (L2 resident)
+    b.fld(F2, R2, 0); // v[i] (L2 resident)
+    b.fld(F3, R8, 0); // p[i] (streams on the slice's first pass)
+    b.fld(F4, R8, 8); // p[i+1]
+    b.fsub(F5, F3, F4);
+    b.fmul(F5, F5, F9);
+    b.fadd(F6, F1, F2);
+    b.fadd(F6, F6, F5);
+    b.fsd(F6, R4, 0);
+    b.addi(R1, R1, 8);
+    b.addi(R2, R2, 8);
+    b.addi(R8, R8, 8);
+    b.addi(R4, R4, 8);
+    b.addi(R5, R5, -1);
+    b.bne(R5, R0, "cell");
+    b.addi(R7, R7, -1);
+    b.bne(R7, R0, "reuse");
+    b.mv(R3, R8); // advance to the next slice
+    b.addi(R6, R6, -1);
+    b.bne(R6, R0, "slice");
+    b.addi(R20, R20, -1);
+    b.bne(R20, R0, "iter");
+    b.halt();
+    Workload::new("swim", Suite::Fp, b.finish().expect("swim assembles"))
+}
+
+/// `art`: neural-network F1 pass — long dot products over weight rows
+/// streaming from memory into a serial accumulation chain. The paper's
+/// most WIB-friendly benchmark (base IPC 0.42, speedup > 2).
+pub fn art(vec_len: u32, f2_units: u32, iters: u32) -> Workload {
+    let mut r = rng(0xa127);
+    let mut heap = Heap::new();
+    let x = heap.alloc(8 * vec_len, 64);
+    // Weight rows are sparse (every other f64 slot used), doubling the
+    // miss density of the stream — art's F1 layer has the worst cache
+    // behaviour of the suite (paper: 35% L1D miss ratio, base IPC 0.42).
+    let w = heap.alloc(16 * vec_len * f2_units, 64);
+
+    let mut b = ProgramBuilder::new(0x1000);
+    b.data_bytes(x, &f64_block(&mut r, vec_len, 0.0, 1.0));
+    b.data_bytes(w, &f64_block(&mut r, 2 * vec_len * f2_units, -1.0, 1.0));
+    b.li(R20, iters as i32 as u32);
+    b.label("iter");
+    b.li(R1, w);
+    b.li(R6, f2_units);
+    b.label("unit");
+    b.li(R2, x);
+    b.li(R5, vec_len / 2);
+    b.cvtif(F10, R0); // acc0 = 0
+    b.cvtif(F11, R0); // acc1 = 0 (two-way unrolled accumulation)
+    b.label("dot");
+    b.fld(F1, R1, 0); // weight (streaming miss)
+    b.fld(F2, R2, 0); // input
+    b.fmul(F3, F1, F2);
+    b.fadd(F10, F10, F3);
+    b.fld(F4, R1, 16); // next sparse weight slot
+    b.fld(F5, R2, 8);
+    b.fmul(F6, F4, F5);
+    b.fadd(F11, F11, F6);
+    b.addi(R1, R1, 32); // sparse row: every other slot, two per trip
+    b.addi(R2, R2, 16);
+    b.addi(R5, R5, -1);
+    b.bne(R5, R0, "dot");
+    b.fadd(F10, F10, F11);
+    b.addi(R6, R6, -1);
+    b.bne(R6, R0, "unit");
+    b.addi(R20, R20, -1);
+    b.bne(R20, R0, "iter");
+    b.halt();
+    Workload::new("art", Suite::Fp, b.finish().expect("art assembles"))
+}
+
+/// `mgrid`: 7-point stencil relaxation over a 3D grid. Each output sums
+/// several input loads at plane/row strides — instructions wait on more
+/// than one outstanding miss, triggering the WIB recycling the paper
+/// analyzes for mgrid (section 4.1).
+pub fn mgrid(dim: u32, iters: u32) -> Workload {
+    let n = dim;
+    let plane = n * n;
+    let total = n * n * n;
+    let mut r = rng(0x369d);
+    let mut heap = Heap::new();
+    let src = heap.alloc(8 * total, 64);
+    let dst = heap.alloc(8 * total, 64);
+
+    let mut b = ProgramBuilder::new(0x1000);
+    b.data_bytes(src, &f64_block(&mut r, total, 0.0, 1.0));
+    b.data_f64(0x8000, &[0.5, 0.125]);
+    b.li(R10, 0x8000);
+    b.fld(F8, R10, 0); // center weight
+    b.fld(F9, R10, 8); // neighbor weight
+    b.li(R20, iters as i32 as u32);
+    let row = 8 * n as i32;
+    let pl = 8 * plane as i32;
+    // Interior cells only, processed in slices that are relaxed REUSE
+    // times each (multigrid smooths each level several times; only the
+    // first smoothing pass streams the planes from DRAM).
+    const REUSE: u32 = 6;
+    let raw_interior = total - 2 * plane - 2 * n - 2;
+    let slice = 1_024u32.min(raw_interior);
+    let interior = raw_interior / slice * slice;
+    b.label("iter");
+    b.li(R1, src + (plane + n + 1) * 8);
+    b.li(R2, dst + (plane + n + 1) * 8);
+    b.li(R6, interior / slice);
+    b.label("slice");
+    b.li(R7, REUSE as i32 as u32);
+    b.label("reuse");
+    b.mv(R3, R1); // rewind src to slice start
+    b.mv(R4, R2); // rewind dst
+    b.li(R5, slice);
+    b.label("cell");
+    b.fld(F1, R3, 0);
+    b.fmul(F10, F1, F8);
+    b.fld(F2, R3, -8);
+    b.fld(F3, R3, 8);
+    b.fadd(F2, F2, F3);
+    b.fld(F4, R3, -row);
+    b.fld(F5, R3, row);
+    b.fadd(F4, F4, F5);
+    b.fld(F6, R3, -pl); // far plane: distinct miss stream
+    b.fld(F7, R3, pl); // far plane: distinct miss stream
+    b.fadd(F6, F6, F7);
+    b.fadd(F2, F2, F4);
+    b.fadd(F2, F2, F6);
+    b.fmul(F2, F2, F9);
+    b.fadd(F10, F10, F2);
+    b.fsd(F10, R4, 0);
+    b.addi(R3, R3, 8);
+    b.addi(R4, R4, 8);
+    b.addi(R5, R5, -1);
+    b.bne(R5, R0, "cell");
+    b.addi(R7, R7, -1);
+    b.bne(R7, R0, "reuse");
+    b.mv(R1, R3); // next slice
+    b.mv(R2, R4);
+    b.addi(R6, R6, -1);
+    b.bne(R6, R0, "slice");
+    b.addi(R20, R20, -1);
+    b.bne(R20, R0, "iter");
+    b.halt();
+    Workload::new("mgrid", Suite::Fp, b.finish().expect("mgrid assembles"))
+}
+
+/// `applu`: SSOR-style sweep with a divide per element. The working set
+/// is L2-resident, so the kernel is bound by the two non-pipelined FP
+/// dividers rather than by memory — SPEC applu's regime (base IPC 4.17 in
+/// the paper, essentially no WIB gain).
+pub fn applu(n_elems: u32, iters: u32) -> Workload {
+    let mut r = rng(0xab91);
+    let mut heap = Heap::new();
+    let a = heap.alloc(8 * n_elems, 64);
+    let c = heap.alloc(8 * n_elems, 64);
+    let out = heap.alloc(8 * n_elems, 64);
+
+    let mut b = ProgramBuilder::new(0x1000);
+    b.data_bytes(a, &f64_block(&mut r, n_elems, 0.5, 2.0));
+    b.data_bytes(c, &f64_block(&mut r, n_elems, 1.0, 3.0));
+    b.data_f64(0x8000, &[1.5]);
+    b.li(R10, 0x8000);
+    b.fld(F9, R10, 0);
+    b.li(R20, iters as i32 as u32);
+    b.label("iter");
+    b.li(R1, a);
+    b.li(R2, c);
+    b.li(R3, out);
+    b.li(R5, n_elems);
+    b.label("cell");
+    b.fld(F1, R1, 0);
+    b.fld(F2, R2, 0);
+    b.fmul(F3, F1, F2);
+    b.fadd(F4, F2, F9);
+    b.fdiv(F5, F3, F4); // 12-cycle non-pipelined divide
+    b.fsd(F5, R3, 0);
+    b.addi(R1, R1, 8);
+    b.addi(R2, R2, 8);
+    b.addi(R3, R3, 8);
+    b.addi(R5, R5, -1);
+    b.bne(R5, R0, "cell");
+    b.addi(R20, R20, -1);
+    b.bne(R20, R0, "iter");
+    b.halt();
+    Workload::new("applu", Suite::Fp, b.finish().expect("applu assembles"))
+}
+
+/// `facerec`: correlation pass walking a 2D image in *column* order —
+/// every access lands on a new cache line (and frequently a new page),
+/// stressing the TLB the way facerec's gallery search does. Each column
+/// is correlated against a few probe vectors, so revisits hit the L2.
+pub fn facerec(rows: u32, cols: u32, iters: u32) -> Workload {
+    const REUSE: u32 = 4;
+    let total = rows * cols;
+    let mut r = rng(0xface);
+    let mut heap = Heap::new();
+    let img = heap.alloc(8 * total, 64);
+    let probe = heap.alloc(8 * rows, 64);
+
+    let row_bytes = 8 * cols;
+    let mut b = ProgramBuilder::new(0x1000);
+    b.data_bytes(img, &f64_block(&mut r, total, 0.0, 1.0));
+    b.data_bytes(probe, &f64_block(&mut r, rows, 0.0, 1.0));
+    b.li(R20, iters as i32 as u32);
+    b.label("iter");
+    b.li(R6, cols);
+    b.li(R1, img);
+    b.label("col");
+    b.li(R8, REUSE as i32 as u32);
+    b.label("reuse");
+    b.mv(R2, R1); // walk down this column
+    b.li(R3, probe);
+    b.li(R5, rows);
+    b.cvtif(F10, R0);
+    b.label("row");
+    b.fld(F1, R2, 0); // column stride: new line every access
+    b.fld(F2, R3, 0);
+    b.fmul(F3, F1, F2);
+    b.fadd(F10, F10, F3);
+    b.li(R7, row_bytes);
+    b.add(R2, R2, R7);
+    b.addi(R3, R3, 8);
+    b.addi(R5, R5, -1);
+    b.bne(R5, R0, "row");
+    b.addi(R8, R8, -1);
+    b.bne(R8, R0, "reuse");
+    b.addi(R1, R1, 8); // next column
+    b.addi(R6, R6, -1);
+    b.bne(R6, R0, "col");
+    b.addi(R20, R20, -1);
+    b.bne(R20, R0, "iter");
+    b.halt();
+    Workload::new("facerec", Suite::Fp, b.finish().expect("facerec assembles"))
+}
+
+/// `galgel`: dense matrix-vector products from a Galerkin iteration. Each
+/// matrix row participates in several inner products (the method reuses
+/// the operator), so only the first visit to a row streams from DRAM.
+pub fn galgel(n: u32, iters: u32) -> Workload {
+    const REUSE: u32 = 8;
+    let mut r = rng(0x9a19e1);
+    let mut heap = Heap::new();
+    let mat = heap.alloc(8 * n * n, 64);
+    let x = heap.alloc(8 * n, 64);
+    let y = heap.alloc(8 * n, 64);
+
+    let mut b = ProgramBuilder::new(0x1000);
+    b.data_bytes(mat, &f64_block(&mut r, n * n, -1.0, 1.0));
+    b.data_bytes(x, &f64_block(&mut r, n, 0.0, 1.0));
+    b.li(R20, iters as i32 as u32);
+    b.label("iter");
+    b.li(R1, mat);
+    b.li(R4, y);
+    b.li(R6, n);
+    b.label("rowloop");
+    b.li(R7, REUSE as i32 as u32);
+    b.label("reuse");
+    b.mv(R8, R1); // rewind to row start
+    b.li(R2, x);
+    b.li(R5, n);
+    b.cvtif(F10, R0);
+    b.label("dot");
+    b.fld(F1, R8, 0);
+    b.fld(F2, R2, 0);
+    b.fmul(F3, F1, F2);
+    b.fadd(F10, F10, F3);
+    b.addi(R8, R8, 8);
+    b.addi(R2, R2, 8);
+    b.addi(R5, R5, -1);
+    b.bne(R5, R0, "dot");
+    b.addi(R7, R7, -1);
+    b.bne(R7, R0, "reuse");
+    b.mv(R1, R8); // next row
+    b.fsd(F10, R4, 0);
+    b.addi(R4, R4, 8);
+    b.addi(R6, R6, -1);
+    b.bne(R6, R0, "rowloop");
+    b.addi(R20, R20, -1);
+    b.bne(R20, R0, "iter");
+    b.halt();
+    Workload::new("galgel", Suite::Fp, b.finish().expect("galgel assembles"))
+}
+
+/// `wupwise`: complex AXPY (`z = a*x + y` over interleaved re/im pairs) —
+/// the `x`/`z` operands stay L2-resident while `y` streams, and the high
+/// arithmetic intensity (8 FP ops per pair) hides most of the stall time:
+/// the smallest (but still real) WIB gain of the suite.
+pub fn wupwise(n_pairs: u32, iters: u32) -> Workload {
+    let resident = 512u32.min(n_pairs); // 8 KB slices of complex pairs
+    assert!(n_pairs.is_multiple_of(resident));
+    let mut r = rng(0x3373);
+    let mut heap = Heap::new();
+    let x = heap.alloc(16 * resident, 64);
+    let z = heap.alloc(16 * resident, 64);
+    let y = heap.alloc(16 * n_pairs, 64);
+
+    let mut b = ProgramBuilder::new(0x1000);
+    b.data_bytes(x, &f64_block(&mut r, 2 * resident, -1.0, 1.0));
+    b.data_bytes(y, &f64_block(&mut r, 2 * n_pairs, -1.0, 1.0));
+    b.data_f64(0x8000, &[0.8, 0.6]); // a = 0.8 + 0.6i
+    b.li(R10, 0x8000);
+    b.fld(F8, R10, 0); // a.re
+    b.fld(F9, R10, 8); // a.im
+    const REUSE: u32 = 16;
+    b.li(R20, iters as i32 as u32);
+    b.label("iter");
+    b.li(R2, y);
+    b.li(R6, n_pairs / resident);
+    b.label("chunk");
+    b.li(R7, REUSE as i32 as u32);
+    b.label("reuse");
+    b.mv(R9, R2); // rewind the y slice
+    b.li(R1, x);
+    b.li(R3, z);
+    b.li(R5, resident);
+    b.label("cell");
+    b.fld(F1, R1, 0); // x.re
+    b.fld(F2, R1, 8); // x.im
+    b.fld(F3, R9, 0); // y.re (streams on first pass)
+    b.fld(F4, R9, 8); // y.im
+    // z.re = a.re*x.re - a.im*x.im + y.re
+    b.fmul(F5, F8, F1);
+    b.fmul(F6, F9, F2);
+    b.fsub(F5, F5, F6);
+    b.fadd(F5, F5, F3);
+    // z.im = a.re*x.im + a.im*x.re + y.im
+    b.fmul(F6, F8, F2);
+    b.fmul(F7, F9, F1);
+    b.fadd(F6, F6, F7);
+    b.fadd(F6, F6, F4);
+    b.fsd(F5, R3, 0);
+    b.fsd(F6, R3, 8);
+    b.addi(R1, R1, 16);
+    b.addi(R9, R9, 16);
+    b.addi(R3, R3, 16);
+    b.addi(R5, R5, -1);
+    b.bne(R5, R0, "cell");
+    b.addi(R7, R7, -1);
+    b.bne(R7, R0, "reuse");
+    b.mv(R2, R9); // next y slice
+    b.addi(R6, R6, -1);
+    b.bne(R6, R0, "chunk");
+    b.addi(R20, R20, -1);
+    b.bne(R20, R0, "iter");
+    b.halt();
+    Workload::new("wupwise", Suite::Fp, b.finish().expect("wupwise assembles"))
+}
+
+/// Paper-scale instances.
+pub fn eval() -> Vec<Workload> {
+    vec![
+        applu(8_192, 120),          // L2-resident, divider-bound
+        art(65_536, 4, 2),          // 8 MB sparse weights, serial chains
+        facerec(512, 512, 8),       // 2 MB image, column walks
+        galgel(768, 3),             // 4.5 MB matrix
+        mgrid(64, 4),               // two 2 MB grids, 7-point stencil
+        swim(262_144, 4),           // resident planes + 2 MB pressure stream
+        wupwise(131_072, 4),        // resident x/z + streaming y
+    ]
+}
+
+/// Miniatures for fast co-simulated tests.
+pub fn tiny() -> Vec<Workload> {
+    vec![
+        applu(128, 2),
+        art(64, 2, 2),
+        facerec(16, 16, 2),
+        galgel(16, 2),
+        mgrid(8, 2),
+        swim(128, 2),
+        wupwise(64, 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wib_isa::interp::{Interpreter, StopReason};
+
+    #[test]
+    fn all_tiny_fp_kernels_halt() {
+        for w in tiny() {
+            let mut i = Interpreter::new(w.program());
+            let stop = i.run(500_000).expect("valid code");
+            assert_eq!(stop, StopReason::Halted, "{} did not halt", w.name());
+        }
+    }
+
+    #[test]
+    fn galgel_matvec_matches_reference() {
+        let n = 8u32;
+        let w = galgel(n, 1);
+        let mut i = Interpreter::new(w.program());
+        i.run(100_000).unwrap();
+        // Recompute in Rust from the same seed.
+        let mut r = rng(0x9a19e1);
+        let mat: Vec<f64> = (0..n * n).map(|_| r.random_range(-1.0..1.0)).collect();
+        let x: Vec<f64> = (0..n).map(|_| r.random_range(0.0..1.0)).collect();
+        let y0: f64 = (0..n as usize).map(|j| mat[j] * x[j]).sum();
+        // y[0] lives right after mat and x in the heap.
+        let mut heap = Heap::new();
+        let _ = heap.alloc(8 * n * n, 64);
+        let _ = heap.alloc(8 * n, 64);
+        let y_addr = heap.alloc(8 * n, 64);
+        use wib_isa::mem::Memory;
+        let got = f64::from_bits(i.memory().read_u64(y_addr));
+        assert!((got - y0).abs() < 1e-9, "got {got}, want {y0}");
+    }
+}

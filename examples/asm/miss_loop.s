@@ -1,0 +1,18 @@
+# A page-striding load loop: every load misses to DRAM, the dependent
+# adds chase it. Run on the base and WIB machines to see the window
+# effect:
+#
+#   wib-sim exec examples/asm/miss_loop.s --config base  --stats
+#   wib-sim exec examples/asm/miss_loop.s --config wib2k --stats
+
+.org 0x1000
+        li   r1, 0x200000      # array base
+        li   r4, 5000          # iterations
+loop:
+        lw   r2, (r1)          # DRAM miss
+        add  r3, r2, r2        # dependent
+        add  r5, r5, r3        # dependent
+        addi r1, r1, 4096      # next page (independent misses)
+        addi r4, r4, -1
+        bne  r4, r0, loop
+        halt

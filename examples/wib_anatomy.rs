@@ -1,0 +1,69 @@
+//! A look inside the WIB: recycling, organizations and selection
+//! policies on the stencil kernel (`mgrid`) whose instructions wait on
+//! more than one outstanding miss — the case the paper's section 4.4
+//! dissects.
+//!
+//! ```sh
+//! cargo run --release --example wib_anatomy
+//! ```
+
+use wib::core::{MachineConfig, Processor, RunLimit, SelectionPolicy, WibOrganization};
+use wib::workloads::suite::fp;
+
+fn main() {
+    let workload = fp::mgrid(32, 8);
+    let limit = RunLimit::instructions(150_000);
+    let run = |cfg: MachineConfig| {
+        Processor::new(cfg).run_program_warmed(workload.program(), 100_000, limit)
+    };
+
+    let base = run(MachineConfig::base_8way());
+    println!("mgrid stencil, base machine: IPC {:.3}\n", base.ipc());
+
+    println!(
+        "{:<28} {:>7} {:>9} {:>11} {:>9}",
+        "WIB variant", "IPC", "speedup", "avg trips", "max trips"
+    );
+    let variants: Vec<(&str, MachineConfig)> = vec![
+        ("banked (16 banks)", MachineConfig::wib_2k()),
+        (
+            "non-banked, 4-cycle",
+            MachineConfig::wib_2k().with_wib_organization(WibOrganization::NonBanked { latency: 4 }),
+        ),
+        (
+            "ideal, program order",
+            MachineConfig::wib_2k()
+                .with_wib_organization(WibOrganization::Ideal)
+                .with_wib_policy(SelectionPolicy::ProgramOrder),
+        ),
+        (
+            "ideal, round-robin loads",
+            MachineConfig::wib_2k()
+                .with_wib_organization(WibOrganization::Ideal)
+                .with_wib_policy(SelectionPolicy::RoundRobinLoads),
+        ),
+        (
+            "ideal, oldest load first",
+            MachineConfig::wib_2k()
+                .with_wib_organization(WibOrganization::Ideal)
+                .with_wib_policy(SelectionPolicy::OldestLoadFirst),
+        ),
+    ];
+    for (name, cfg) in variants {
+        let r = run(cfg);
+        println!(
+            "{:<28} {:>7.3} {:>8.2}x {:>11.2} {:>9}",
+            name,
+            r.ipc(),
+            r.ipc() / base.ipc(),
+            r.stats.wib_avg_insertions(),
+            r.stats.wib_max_insertions_per_inst
+        );
+    }
+    println!(
+        "\n'trips' = times a single instruction entered the WIB. A stencil output \
+         waits on several loads, so it can park, reinsert when the first miss \
+         returns, and immediately park again on the next — the recycling the \
+         paper measures on mgrid (average ~4, max 280 with the banked scheme)."
+    );
+}

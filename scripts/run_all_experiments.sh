@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure into results/ (see EXPERIMENTS.md).
+# Protocol knobs: WIB_WARMUP, WIB_INSTS (defaults 200k/200k), WIB_QUICK=1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+bins=(table1 table2 fig1 fig4 fig5 fig6 fig7 policies sensitivity \
+      ablation regfile_study extension validate)
+for b in "${bins[@]}"; do
+    echo "== $b =="
+    cargo run --release -p wib-bench --bin "$b" > "results/$b.txt"
+    tail -n 6 "results/$b.txt"
+done
+echo "done; outputs in results/"
