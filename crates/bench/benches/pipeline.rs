@@ -1,8 +1,10 @@
-//! Criterion benchmarks of whole-core simulation throughput: simulated
-//! instructions per wall-clock second for the base and WIB machines.
+//! Whole-core simulation throughput: simulated instructions per
+//! wall-clock second for the base and WIB machines. Uses the in-repo
+//! `timer` harness (no external bench framework) so everything builds
+//! offline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use wib_bench::timer::Harness;
 use wib_core::{MachineConfig, Processor, RunLimit};
 use wib_isa::asm::ProgramBuilder;
 use wib_isa::program::Program;
@@ -26,26 +28,25 @@ fn kernel() -> Program {
     b.finish().expect("assembles")
 }
 
-fn bench_cores(c: &mut Criterion) {
+fn main() {
     const INSTS: u64 = 20_000;
+    let h = Harness::from_env();
     let program = kernel();
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Elements(INSTS));
-    group.sample_size(10);
-    group.bench_function("base_8way", |b| {
-        let p = Processor::new(MachineConfig::base_8way());
-        b.iter(|| black_box(p.run_program(&program, RunLimit::instructions(INSTS))));
-    });
-    group.bench_function("wib_2k", |b| {
-        let p = Processor::new(MachineConfig::wib_2k());
-        b.iter(|| black_box(p.run_program(&program, RunLimit::instructions(INSTS))));
-    });
-    group.bench_function("conventional_2k", |b| {
-        let p = Processor::new(MachineConfig::conventional(2048));
-        b.iter(|| black_box(p.run_program(&program, RunLimit::instructions(INSTS))));
-    });
-    group.finish();
+    for (name, cfg) in [
+        ("pipeline/base_8way", MachineConfig::base_8way()),
+        ("pipeline/wib_2k", MachineConfig::wib_2k()),
+        (
+            "pipeline/conventional_2k",
+            MachineConfig::conventional(2048),
+        ),
+    ] {
+        let p = Processor::new(cfg);
+        let secs = h.bench(name, || {
+            black_box(p.run_program(&program, RunLimit::instructions(INSTS)));
+        });
+        println!(
+            "{name:<40} {:>10.2} M simulated insts/s",
+            INSTS as f64 / secs / 1e6
+        );
+    }
 }
-
-criterion_group!(benches, bench_cores);
-criterion_main!(benches);

@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks of the simulator's hot structures: cache
-//! access, TLB translation, branch prediction, WIB insert/extract cycles,
-//! issue-queue wakeup, and LSQ forwarding.
+//! Micro-benchmarks of the simulator's hot structures: cache access, TLB
+//! translation, branch prediction, WIB insert/extract cycles, issue-queue
+//! wakeup, and LSQ forwarding. Uses the in-repo `timer` harness (no
+//! external bench framework) so everything builds offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wib_bench::timer::Harness;
 use wib_bpred::dir::{CombinedPredictor, DirConfig};
 use wib_core::iq::{IqEntry, IssueQueue, SrcStatus};
 use wib_core::lsq::LoadStoreQueue;
@@ -14,105 +15,110 @@ use wib_isa::reg::RegClass;
 use wib_mem::cache::{AccessKind, Cache, CacheConfig};
 use wib_mem::tlb::{Tlb, TlbConfig};
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/l1d_hit_stream", |b| {
+fn bench_cache(h: &Harness) {
+    {
         let mut cache = Cache::new(CacheConfig::l1_32k("L1D"));
         // Warm one line.
         cache.access(0x1000, AccessKind::Read);
-        b.iter(|| black_box(cache.access(black_box(0x1000), AccessKind::Read)));
-    });
-    c.bench_function("cache/l1d_miss_stream", |b| {
+        h.bench("cache/l1d_hit_stream", || {
+            black_box(cache.access(black_box(0x1000), AccessKind::Read));
+        });
+    }
+    {
         let mut cache = Cache::new(CacheConfig::l1_32k("L1D"));
         let mut addr = 0u32;
-        b.iter(|| {
+        h.bench("cache/l1d_miss_stream", || {
             addr = addr.wrapping_add(64);
-            black_box(cache.access(black_box(addr), AccessKind::Read))
+            black_box(cache.access(black_box(addr), AccessKind::Read));
         });
+    }
+}
+
+fn bench_tlb(h: &Harness) {
+    let mut tlb = Tlb::new(TlbConfig::isca2002());
+    tlb.translate(0x5000);
+    h.bench("tlb/hit", || {
+        black_box(tlb.translate(black_box(0x5000)));
     });
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    c.bench_function("tlb/hit", |b| {
-        let mut tlb = Tlb::new(TlbConfig::isca2002());
-        tlb.translate(0x5000);
-        b.iter(|| black_box(tlb.translate(black_box(0x5000))));
+fn bench_predictor(h: &Harness) {
+    let mut p = CombinedPredictor::new(DirConfig::isca2002());
+    let mut i = 0u32;
+    h.bench("bpred/predict_resolve", || {
+        i = i.wrapping_add(4);
+        let pr = p.predict(black_box(i & 0xfffc));
+        p.resolve(&pr.ckpt, i & 8 != 0, false);
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    c.bench_function("bpred/predict_resolve", |b| {
-        let mut p = CombinedPredictor::new(DirConfig::isca2002());
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(4);
-            let pr = p.predict(black_box(i & 0xfffc));
-            p.resolve(&pr.ckpt, i & 8 != 0, false);
-        });
-    });
-}
-
-fn bench_wib(c: &mut Criterion) {
-    c.bench_function("wib/insert_complete_extract", |b| {
-        let mut wib =
-            Wib::new(2048, WibOrganization::Banked { banks: 16 }, SelectionPolicy::ProgramOrder, 64);
-        let mut seq = 0u64;
-        b.iter(|| {
-            let col = wib.allocate_column(seq).expect("column available");
-            for k in 0..8usize {
-                wib.insert((seq as usize + k + 1) % 2048, seq + 1 + k as u64, col);
-            }
-            wib.column_completed(col);
-            let mut cycle = 0;
-            while wib.resident() > 0 {
-                wib.extract(cycle, 8, |_, _| true);
-                cycle += 1;
-            }
-            seq += 64;
-        });
-    });
-}
-
-fn bench_iq(c: &mut Criterion) {
-    c.bench_function("iq/insert_wake_remove", |b| {
-        let mut iq = IssueQueue::new(32);
-        let src = SrcRef { class: RegClass::Int, preg: PhysReg(5) };
-        let mut seq = 0u64;
-        b.iter(|| {
-            for k in 0..8 {
-                iq.insert(seq + k, IqEntry::new([Some((src, SrcStatus::Pending)), None]));
-            }
-            for k in 0..8 {
-                iq.satisfy(seq + k, PhysReg(5), RegClass::Int, SrcStatus::Ready);
-            }
-            let ready: Vec<u64> = iq.ready_seqs().collect();
-            for s in ready {
-                iq.remove(s);
-            }
-            seq += 8;
-        });
-    });
-}
-
-fn bench_lsq(c: &mut Criterion) {
-    c.bench_function("lsq/forward_search", |b| {
-        let mut lsq = LoadStoreQueue::new(64, 64);
-        for s in 0..32u64 {
-            lsq.push_store(s, 4);
-            lsq.set_store_addr(s, 0x1000 + (s as u32) * 8);
-            lsq.set_store_data(s, s);
+fn bench_wib(h: &Harness) {
+    let mut wib = Wib::new(
+        2048,
+        WibOrganization::Banked { banks: 16 },
+        SelectionPolicy::ProgramOrder,
+        64,
+    );
+    let mut seq = 0u64;
+    h.bench("wib/insert_complete_extract", || {
+        let col = wib.allocate_column(seq).expect("column available");
+        for k in 0..8usize {
+            wib.insert((seq as usize + k + 1) % 2048, seq + 1 + k as u64, col);
         }
-        lsq.push_load(100, 4);
-        b.iter(|| black_box(lsq.forward_for_load(100, black_box(0x1008), 4)));
+        wib.column_completed(col);
+        let mut cycle = 0;
+        while wib.resident() > 0 {
+            wib.extract(cycle, 8, |_, _| true);
+            cycle += 1;
+        }
+        seq += 64;
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_tlb,
-    bench_predictor,
-    bench_wib,
-    bench_iq,
-    bench_lsq
-);
-criterion_main!(benches);
+fn bench_iq(h: &Harness) {
+    let mut iq = IssueQueue::new(32);
+    let src = SrcRef {
+        class: RegClass::Int,
+        preg: PhysReg(5),
+    };
+    let mut seq = 0u64;
+    h.bench("iq/insert_wake_remove", || {
+        for k in 0..8 {
+            iq.insert(
+                seq + k,
+                IqEntry::new([Some((src, SrcStatus::Pending)), None]),
+            );
+        }
+        for k in 0..8 {
+            iq.satisfy(seq + k, PhysReg(5), RegClass::Int, SrcStatus::Ready);
+        }
+        let ready: Vec<u64> = iq.ready_seqs().collect();
+        for s in ready {
+            iq.remove(s);
+        }
+        seq += 8;
+    });
+}
+
+fn bench_lsq(h: &Harness) {
+    let mut lsq = LoadStoreQueue::new(64, 64);
+    for s in 0..32u64 {
+        lsq.push_store(s, 4);
+        lsq.set_store_addr(s, 0x1000 + (s as u32) * 8);
+        lsq.set_store_data(s, s);
+    }
+    lsq.push_load(100, 4);
+    h.bench("lsq/forward_search", || {
+        black_box(lsq.forward_for_load(100, black_box(0x1008), 4));
+    });
+}
+
+fn main() {
+    let h = Harness::from_env();
+    bench_cache(&h);
+    bench_tlb(&h);
+    bench_predictor(&h);
+    bench_wib(&h);
+    bench_iq(&h);
+    bench_lsq(&h);
+}

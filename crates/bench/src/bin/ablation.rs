@@ -7,7 +7,7 @@
 //! issue slots and stall in the queue — the failure mode (along with
 //! squash complexity) that made the paper choose bit-vectors.
 
-use wib_bench::{print_speedups, sweep, Runner};
+use wib_bench::{emit_results_json, print_speedups, sweep, Runner};
 use wib_core::MachineConfig;
 use wib_workloads::eval_suite;
 
@@ -22,13 +22,17 @@ fn main() {
     ];
     let rows = sweep(&runner, &configs, &eval_suite());
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    emit_results_json("ablation", &runner, &names, &rows);
     print_speedups(
         "Ablation: bit-vector WIB vs pool-of-blocks (speedup over base)",
         &names,
         &rows,
     );
     println!("\npool stalls (pretend-ready selections refused for lack of a free block):");
-    println!("{:>12} {:>12} {:>12} {:>12}", "benchmark", "pool 256x8", "pool 64x8", "pool 16x8");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "pool 256x8", "pool 64x8", "pool 16x8"
+    );
     for row in &rows {
         print!("{:>12}", row.name);
         for r in &row.results[2..] {

@@ -1,0 +1,57 @@
+//! Machine-readable benchmark summary: runs every workload on the base
+//! and WIB machines and writes `BENCH_wib.json` — per-workload IPC,
+//! speedup and simulator wall-clock throughput — for dashboards and
+//! regression tracking. The output directory is `$WIB_RESULTS_DIR`
+//! (default `results`).
+
+use wib_bench::Runner;
+use wib_core::{Json, MachineConfig};
+use wib_workloads::eval_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    let base = MachineConfig::base_8way();
+    let wib = MachineConfig::wib_2k();
+    let mut workloads = Vec::new();
+    let mut total_insts = 0u64;
+    let mut total_wall = 0.0f64;
+    for w in eval_suite() {
+        let t = std::time::Instant::now();
+        let rb = runner.run(&base, &w);
+        let rw = runner.run(&wib, &w);
+        let wall = t.elapsed().as_secs_f64();
+        let simulated = rb.stats.committed + rw.stats.committed;
+        total_insts += simulated;
+        total_wall += wall;
+        let minsts = simulated as f64 / wall / 1e6;
+        eprintln!(
+            "  {:<10} base {:.3}  wib {:.3}  ({:.1} Minsts/s)",
+            w.name(),
+            rb.ipc(),
+            rw.ipc(),
+            minsts
+        );
+        workloads.push(
+            Json::obj()
+                .field("name", w.name())
+                .field("suite", w.suite().to_string())
+                .field("base_ipc", rb.ipc())
+                .field("wib_ipc", rw.ipc())
+                .field("speedup", rw.ipc() / rb.ipc())
+                .field("sim_minsts_per_s", minsts),
+        );
+    }
+    let doc = Json::obj()
+        .field("schema", "wib-sim/bench-v1")
+        .field("warmup", runner.warmup)
+        .field("insts", runner.insts)
+        .field("total_simulated_insts", total_insts)
+        .field("total_wall_seconds", total_wall)
+        .field("sim_minsts_per_s", total_insts as f64 / total_wall / 1e6)
+        .field("workloads", workloads);
+    let dir = std::env::var("WIB_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let path = format!("{dir}/BENCH_wib.json");
+    std::fs::write(&path, doc.pretty()).expect("write benchmark summary");
+    println!("wrote {path}");
+}

@@ -7,7 +7,7 @@
 //! stall on divides, not on memory, so the load-miss-only WIB cannot help
 //! it — the extension can.
 
-use wib_bench::{print_speedups, sweep, Runner};
+use wib_bench::{emit_results_json, print_speedups, sweep, Runner};
 use wib_core::{MachineConfig, Processor, RunLimit};
 use wib_isa::asm::ProgramBuilder;
 use wib_isa::reg::*;
@@ -51,7 +51,11 @@ fn main() {
         ("wib+fp-ops", MachineConfig::wib_2k().with_long_fp_divert()),
     ] {
         let r = Processor::new(cfg).run_program(&kernel, RunLimit::instructions(runner.insts));
-        println!("  {name:<11} IPC {:.3}  (WIB insertions {})", r.ipc(), r.stats.wib_insertions);
+        println!(
+            "  {name:<11} IPC {:.3}  (WIB insertions {})",
+            r.ipc(),
+            r.stats.wib_insertions
+        );
     }
     println!();
     let configs = vec![
@@ -61,6 +65,7 @@ fn main() {
     ];
     let rows = sweep(&runner, &configs, &eval_suite());
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    emit_results_json("extension", &runner, &names, &rows);
     print_speedups(
         "Extension: divert long FP-op chains too (speedup over base)",
         &names,

@@ -11,7 +11,7 @@
 //! `mst` is the exception that keeps scaling; FP benchmarks gain the
 //! most (`art` > 5x).
 
-use wib_bench::{print_speedups, print_suite_bars, sweep, Runner};
+use wib_bench::{emit_results_json, print_speedups, print_suite_bars, sweep, Runner};
 use wib_core::MachineConfig;
 use wib_workloads::eval_suite;
 
@@ -22,10 +22,13 @@ fn main() {
         .iter()
         .map(|&s| (s.to_string(), MachineConfig::conventional(s)))
         .collect();
-    let named: Vec<(&str, MachineConfig)> =
-        configs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
+    let named: Vec<(&str, MachineConfig)> = configs
+        .iter()
+        .map(|(n, c)| (n.as_str(), c.clone()))
+        .collect();
     let rows = sweep(&runner, &named, &eval_suite());
     let names: Vec<&str> = named.iter().map(|(n, _)| *n).collect();
+    emit_results_json("fig1", &runner, &names, &rows);
     print_speedups(
         "Figure 1: conventional window-size limit study (speedup over 32-entry IQ)",
         &names,

@@ -11,7 +11,9 @@
 //! Paper averages: WIB gains 20% (INT), 84% (FP), 50% (Olden); the 2K
 //! issue queue reaches 35% / 140% / 103%.
 
-use wib_bench::{print_speedups, print_suite_bars, suite_speedups, sweep, Runner};
+use wib_bench::{
+    emit_results_json, print_speedups, print_suite_bars, suite_speedups, sweep, Runner,
+};
 use wib_core::MachineConfig;
 use wib_workloads::eval_suite;
 
@@ -28,7 +30,12 @@ fn main() {
     ];
     let rows = sweep(&runner, &configs, &eval_suite());
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
-    print_speedups("Figure 4: WIB performance (speedup over 32-IQ/128)", &names, &rows);
+    emit_results_json("fig4", &runner, &names, &rows);
+    print_speedups(
+        "Figure 4: WIB performance (speedup over 32-IQ/128)",
+        &names,
+        &rows,
+    );
     print_suite_bars(&names, &rows);
     println!("\npaper suite averages (speedup over base):");
     println!("  32-IQ/2K : modest gains (active list alone is not the bottleneck fix)");

@@ -7,7 +7,7 @@
 //! INT 20%, FP 84%, Olden 50%. The FP suite suffers most from the cap —
 //! it lives on memory-level parallelism.
 
-use wib_bench::{print_speedups, print_suite_bars, sweep, Runner};
+use wib_bench::{emit_results_json, print_speedups, print_suite_bars, sweep, Runner};
 use wib_core::MachineConfig;
 use wib_workloads::eval_suite;
 
@@ -22,6 +22,7 @@ fn main() {
     ];
     let rows = sweep(&runner, &configs, &eval_suite());
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    emit_results_json("fig5", &runner, &names, &rows);
     print_speedups(
         "Figure 5: limited bit-vectors (WIB speedup over base, by bit-vector budget)",
         &names,

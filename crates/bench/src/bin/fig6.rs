@@ -6,7 +6,7 @@
 //! and a 256-entry WIB 9% / 26% / 14% — all better uses of area than
 //! doubling the L1 data cache (see the `sensitivity` harness).
 
-use wib_bench::{print_speedups, sweep, Runner};
+use wib_bench::{emit_results_json, print_speedups, sweep, Runner};
 use wib_core::MachineConfig;
 use wib_workloads::eval_suite;
 
@@ -28,6 +28,7 @@ fn main() {
     }
     let rows = sweep(&runner, &configs, &eval_suite());
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    emit_results_json("fig6", &runner, &names, &rows);
     print_speedups(
         "Figure 6: WIB capacity (speedup over base; 64 bit-vectors)",
         &names,

@@ -7,7 +7,7 @@
 //! the banked scheme — evidence that pipelining the WIB access is
 //! unnecessary and richer selection policies are affordable.
 
-use wib_bench::{print_speedups, print_suite_bars, sweep, Runner};
+use wib_bench::{emit_results_json, print_speedups, print_suite_bars, sweep, Runner};
 use wib_core::{MachineConfig, WibOrganization};
 use wib_workloads::eval_suite;
 
@@ -29,6 +29,7 @@ fn main() {
     ];
     let rows = sweep(&runner, &configs, &eval_suite());
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    emit_results_json("fig7", &runner, &names, &rows);
     print_speedups(
         "Figure 7: banked vs non-banked multicycle WIB (speedup over base)",
         &names,

@@ -11,7 +11,7 @@
 //! 2-4 because better schedules cut its WIB recycling (insertions per
 //! instruction drop from ~4 average / 280 max to ~1 average / 9 max).
 
-use wib_bench::{print_speedups, sweep, Runner};
+use wib_bench::{emit_results_json, print_speedups, sweep, Runner};
 use wib_core::{MachineConfig, SelectionPolicy, WibOrganization};
 use wib_workloads::eval_suite;
 
@@ -31,6 +31,7 @@ fn main() {
     ];
     let rows = sweep(&runner, &configs, &eval_suite());
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    emit_results_json("policies", &runner, &names, &rows);
     print_speedups(
         "Section 4.4: selection policies (speedup over base; ideal 1-cycle WIB)",
         &names,

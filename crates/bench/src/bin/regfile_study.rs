@@ -3,7 +3,7 @@
 //! multi-banked register file show similar results" — this harness checks
 //! that claim, with an idealized single-cycle file as the upper bound.
 
-use wib_bench::{print_speedups, sweep, Runner};
+use wib_bench::{emit_results_json, print_speedups, sweep, Runner};
 use wib_core::{MachineConfig, RegFileConfig};
 use wib_workloads::eval_suite;
 
@@ -22,6 +22,7 @@ fn main() {
     ];
     let rows = sweep(&runner, &configs, &eval_suite());
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    emit_results_json("regfile_study", &runner, &names, &rows);
     print_speedups(
         "Section 3.4: register-file organizations on the WIB machine (speedup over base)",
         &names,

@@ -8,7 +8,7 @@
 //!   under 2% improvement except vortex's 9% — the WIB is the better use
 //!   of area).
 
-use wib_bench::{suite_speedups, sweep, Runner};
+use wib_bench::{emit_results_json, suite_speedups, sweep, Runner};
 use wib_core::MachineConfig;
 use wib_workloads::eval_suite;
 
@@ -19,10 +19,19 @@ fn main() {
     // --- Memory latency study -------------------------------------------
     for latency in [250u64, 100] {
         let configs = vec![
-            ("base", MachineConfig::base_8way().with_memory_latency(latency)),
+            (
+                "base",
+                MachineConfig::base_8way().with_memory_latency(latency),
+            ),
             ("wib", MachineConfig::wib_2k().with_memory_latency(latency)),
         ];
         let rows = sweep(&runner, &configs, &suite);
+        emit_results_json(
+            &format!("sensitivity_latency{latency}"),
+            &runner,
+            &["base", "wib"],
+            &rows,
+        );
         let s = suite_speedups(&rows, 1);
         println!(
             "memory latency {latency:>3}: WIB speedup INT {:.2}, FP {:.2}, Olden {:.2}",
@@ -41,6 +50,12 @@ fn main() {
         ("wib-1MB", big_l2(MachineConfig::wib_2k())),
     ];
     let rows = sweep(&runner, &configs, &suite);
+    emit_results_json(
+        "sensitivity_l2_1mb",
+        &runner,
+        &["base-1MB", "wib-1MB"],
+        &rows,
+    );
     let s = suite_speedups(&rows, 1);
     println!(
         "1 MB L2: WIB speedup INT {:.2}, FP {:.2}, Olden {:.2}",
@@ -59,6 +74,12 @@ fn main() {
         ("wib", MachineConfig::wib_2k()),
     ];
     let rows = sweep(&runner, &configs, &suite);
+    emit_results_json(
+        "sensitivity_l1d_64k",
+        &runner,
+        &["base-32K", "base-64K", "wib"],
+        &rows,
+    );
     let s64 = suite_speedups(&rows, 1);
     let swib = suite_speedups(&rows, 2);
     println!(

@@ -24,7 +24,10 @@ fn main() {
         ),
         (
             "Issue Queue",
-            format!("{} Integer, {} Floating Point", cfg.iq_int_size, cfg.iq_fp_size),
+            format!(
+                "{} Integer, {} Floating Point",
+                cfg.iq_int_size, cfg.iq_fp_size
+            ),
             "32 Integer, 32 Floating Point",
         ),
         (
@@ -72,7 +75,11 @@ fn main() {
             ),
             "bimodal & 2-level combined, spec update; 2c direct / 9c other",
         ),
-        ("Store-Wait Table", "2048 entries, cleared every 32768 cycles".to_string(), "same"),
+        (
+            "Store-Wait Table",
+            "2048 entries, cleared every 32768 cycles".to_string(),
+            "same",
+        ),
         (
             "L1 Data Cache",
             format!(
@@ -85,7 +92,11 @@ fn main() {
         ),
         (
             "L1 Inst Cache",
-            format!("{} KB, {} way", cfg.mem.l1i.size_bytes / 1024, cfg.mem.l1i.assoc),
+            format!(
+                "{} KB, {} way",
+                cfg.mem.l1i.size_bytes / 1024,
+                cfg.mem.l1i.assoc
+            ),
             "32 KB, 4 way",
         ),
         (
@@ -98,7 +109,11 @@ fn main() {
             ),
             "256 KB, 4 way, 10c",
         ),
-        ("Memory Latency", format!("{} cycles", cfg.mem.mem_latency), "250 cycles"),
+        (
+            "Memory Latency",
+            format!("{} cycles", cfg.mem.mem_latency),
+            "250 cycles",
+        ),
         (
             "TLB",
             format!(

@@ -14,8 +14,10 @@
 //!   paper measures 100M).
 //! - `WIB_QUICK=1`: 20k/20k smoke-test mode (used by integration tests).
 
-use wib_core::{MachineConfig, Processor, RunLimit, RunResult};
+use wib_core::{Json, MachineConfig, Processor, RunLimit, RunResult};
 use wib_workloads::{Suite, Workload};
+
+pub mod timer;
 
 /// Executes workloads under a consistent warm-up/measurement protocol.
 #[derive(Debug, Clone, Copy)]
@@ -30,12 +32,21 @@ impl Runner {
     /// Read the protocol from the environment (see module docs).
     pub fn from_env() -> Runner {
         let get = |k: &str, d: u64| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         if std::env::var("WIB_QUICK").is_ok() {
-            return Runner { warmup: 20_000, insts: 20_000 };
+            return Runner {
+                warmup: 20_000,
+                insts: 20_000,
+            };
         }
-        Runner { warmup: get("WIB_WARMUP", 200_000), insts: get("WIB_INSTS", 200_000) }
+        Runner {
+            warmup: get("WIB_WARMUP", 200_000),
+            insts: get("WIB_INSTS", 200_000),
+        }
     }
 
     /// Run one workload on one machine.
@@ -103,7 +114,12 @@ pub fn sweep(
             ipcs.push(r.ipc());
             results.push(r);
         }
-        rows.push(Row { name: w.name().to_string(), suite: w.suite(), ipcs, results });
+        rows.push(Row {
+            name: w.name().to_string(),
+            suite: w.suite(),
+            ipcs,
+            results,
+        });
     }
     rows
 }
@@ -162,6 +178,59 @@ pub fn print_suite_bars(config_names: &[&str], rows: &[Row]) {
     }
 }
 
+/// Machine-readable form of an experiment's sweep: one record per
+/// benchmark with per-configuration IPC, cycles, committed instructions
+/// and the CPI stack, plus speedups over the first configuration.
+pub fn rows_to_json(experiment: &str, runner: &Runner, names: &[&str], rows: &[Row]) -> Json {
+    let mut out = Vec::new();
+    for row in rows {
+        let mut per_config = Json::obj();
+        for (i, name) in names.iter().enumerate() {
+            let r = &row.results[i];
+            per_config.set(
+                name,
+                Json::obj()
+                    .field("ipc", r.ipc())
+                    .field("cycles", r.stats.cycles)
+                    .field("committed", r.stats.committed)
+                    .field("cpi_stack", r.stats.cpi.to_json()),
+            );
+        }
+        let mut speedups = Json::obj();
+        for (i, name) in names.iter().enumerate().skip(1) {
+            speedups.set(name, row.ipcs[i] / row.ipcs[0]);
+        }
+        out.push(
+            Json::obj()
+                .field("benchmark", row.name.as_str())
+                .field("suite", row.suite.to_string())
+                .field("configs", per_config)
+                .field("speedup", speedups),
+        );
+    }
+    Json::obj()
+        .field("schema", "wib-sim/experiment-v1")
+        .field("experiment", experiment)
+        .field("warmup", runner.warmup)
+        .field("insts", runner.insts)
+        .field("rows", out)
+}
+
+/// Write an experiment's sweep as `$WIB_RESULTS_DIR/<experiment>.json`.
+/// A silent no-op when `WIB_RESULTS_DIR` is unset, so the text harnesses
+/// behave exactly as before unless the experiment driver opts in.
+pub fn emit_results_json(experiment: &str, runner: &Runner, names: &[&str], rows: &[Row]) {
+    let Ok(dir) = std::env::var("WIB_RESULTS_DIR") else {
+        return;
+    };
+    let doc = rows_to_json(experiment, runner, names, rows);
+    let path = format!("{dir}/{experiment}.json");
+    match std::fs::write(&path, doc.pretty()) {
+        Ok(()) => eprintln!("  wrote {path}"),
+        Err(e) => eprintln!("  warning: cannot write {path}: {e}"),
+    }
+}
+
 /// Per-suite average speedups of config `idx` relative to config 0.
 pub fn suite_speedups(rows: &[Row], idx: usize) -> [(Suite, f64); 3] {
     let mut out = [(Suite::Int, 0.0), (Suite::Fp, 0.0), (Suite::Olden, 0.0)];
@@ -193,7 +262,10 @@ mod tests {
 
     #[test]
     fn env_defaults() {
-        let r = Runner { warmup: 1, insts: 2 };
+        let r = Runner {
+            warmup: 1,
+            insts: 2,
+        };
         assert_eq!((r.warmup, r.insts), (1, 2));
         let r = Runner::from_env();
         assert!(r.insts > 0 && r.warmup > 0);

@@ -1,0 +1,122 @@
+//! A small wall-clock micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the benches cannot use
+//! criterion; this module provides the small subset actually needed:
+//! warm-up, automatic iteration-count calibration, and a median-of-batches
+//! time per iteration, printed one line per benchmark.
+//!
+//! `WIB_QUICK=1` shrinks the measurement budget so the bench binaries can
+//! double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// Measurement protocol for one bench binary.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Wall-clock budget per benchmark (split across batches).
+    pub budget: Duration,
+    /// Number of timed batches (the median batch is reported).
+    pub batches: usize,
+}
+
+impl Harness {
+    /// Default protocol: ~300 ms per benchmark, 5 batches (20 ms and 3
+    /// batches under `WIB_QUICK=1`).
+    pub fn from_env() -> Harness {
+        if std::env::var("WIB_QUICK").is_ok() {
+            Harness {
+                budget: Duration::from_millis(20),
+                batches: 3,
+            }
+        } else {
+            Harness {
+                budget: Duration::from_millis(300),
+                batches: 5,
+            }
+        }
+    }
+
+    /// Time `f`, printing `name`, the median time per iteration, and the
+    /// iterations per second. Returns the median seconds per iteration.
+    pub fn bench<F: FnMut()>(&self, name: &str, mut f: F) -> f64 {
+        // Calibrate: run until ~10% of the budget is spent to pick an
+        // iteration count per batch, warming caches along the way.
+        let calibration = self.budget / 10;
+        let start = Instant::now();
+        let mut calib_iters = 0u64;
+        while start.elapsed() < calibration || calib_iters < 1 {
+            f();
+            calib_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / calib_iters as f64;
+        let batch_budget = self.budget.as_secs_f64() * 0.9 / self.batches as f64;
+        let iters = ((batch_budget / per_iter) as u64).max(1);
+
+        let mut batch_secs: Vec<f64> = (0..self.batches)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        batch_secs.sort_by(f64::total_cmp);
+        let median = batch_secs[batch_secs.len() / 2];
+        println!(
+            "{name:<40} {:>12}   {:>14}/s",
+            fmt_time(median),
+            fmt_count(1.0 / median)
+        );
+        median
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn fmt_count(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let h = Harness {
+            budget: Duration::from_millis(5),
+            batches: 3,
+        };
+        let mut x = 0u64;
+        let t = h.bench("noop", || x = x.wrapping_add(1));
+        assert!(t > 0.0);
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("us"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with("s"));
+        assert!(fmt_count(2e6).ends_with("M"));
+        assert!(fmt_count(2e3).ends_with("k"));
+    }
+}

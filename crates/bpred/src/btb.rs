@@ -17,7 +17,10 @@ pub struct BtbConfig {
 impl BtbConfig {
     /// 512 sets x 4 ways = 2048 entries.
     pub fn isca2002() -> BtbConfig {
-        BtbConfig { sets: 512, assoc: 4 }
+        BtbConfig {
+            sets: 512,
+            assoc: 4,
+        }
     }
 }
 
@@ -103,7 +106,12 @@ impl Btb {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
             .expect("assoc >= 1");
-        *victim = Entry { valid: true, tag, target, lru: tick };
+        *victim = Entry {
+            valid: true,
+            tag,
+            target,
+            lru: tick,
+        };
     }
 
     /// `(lookups, hits)`.

@@ -31,7 +31,11 @@ impl DirConfig {
     /// A 4K-bimodal / 12-bit-history / 4K-chooser predictor, in the spirit
     /// of the paper's "bimodal & two-level adaptive combined".
     pub fn isca2002() -> DirConfig {
-        DirConfig { bimodal_entries: 4096, history_bits: 12, chooser_entries: 4096 }
+        DirConfig {
+            bimodal_entries: 4096,
+            history_bits: 12,
+            chooser_entries: 4096,
+        }
     }
 }
 
@@ -113,7 +117,11 @@ impl CombinedPredictor {
         let bimodal_pred = ctr_taken(self.bimodal[bimodal_idx as usize]);
         let twolevel_pred = ctr_taken(self.pht[pht_idx as usize]);
         let use_twolevel = ctr_taken(self.chooser[chooser_idx as usize]);
-        let taken = if use_twolevel { twolevel_pred } else { bimodal_pred };
+        let taken = if use_twolevel {
+            twolevel_pred
+        } else {
+            bimodal_pred
+        };
         // Speculative history update (history-based fixup on mispredict).
         self.history = ((history << 1) | taken as u32) & self.history_mask;
         Prediction {
@@ -219,7 +227,10 @@ mod tests {
             }
             p.resolve(&pr.ckpt, true, mis);
         }
-        assert!(wrong <= 2, "bimodal should converge quickly, got {wrong} wrong");
+        assert!(
+            wrong <= 2,
+            "bimodal should converge quickly, got {wrong} wrong"
+        );
     }
 
     #[test]
@@ -238,7 +249,10 @@ mod tests {
         }
         // A 12-bit global history trivially captures period-2 patterns;
         // bimodal alone cannot.
-        assert!(wrong_late <= 4, "two-level should capture alternation, got {wrong_late}");
+        assert!(
+            wrong_late <= 4,
+            "two-level should capture alternation, got {wrong_late}"
+        );
     }
 
     #[test]
@@ -264,7 +278,10 @@ mod tests {
         let actual2 = !pr2.taken;
         p.resolve(&pr2.ckpt, actual2, true);
         // History reflects branch1's outcome then branch2's actual only.
-        assert_eq!(p.history(), ((pr2.ckpt.history << 1) | actual2 as u32) & 0xfff);
+        assert_eq!(
+            p.history(),
+            ((pr2.ckpt.history << 1) | actual2 as u32) & 0xfff
+        );
     }
 
     #[test]

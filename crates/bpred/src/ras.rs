@@ -29,7 +29,10 @@ impl Ras {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> Ras {
         assert!(entries > 0);
-        Ras { stack: vec![0; entries], tos: 0 }
+        Ras {
+            stack: vec![0; entries],
+            tos: 0,
+        }
     }
 
     fn wrap(&self, i: usize) -> usize {
@@ -55,7 +58,10 @@ impl Ras {
 
     /// Capture the pointer-and-data checkpoint.
     pub fn checkpoint(&self) -> RasCheckpoint {
-        RasCheckpoint { tos: self.tos, top_value: self.stack[self.top_index()] }
+        RasCheckpoint {
+            tos: self.tos,
+            top_value: self.stack[self.top_index()],
+        }
     }
 
     /// Restore a checkpoint taken earlier.

@@ -1,22 +1,23 @@
-//! Property tests: predictor history repair and RAS pointer-and-data
-//! recovery.
+//! Randomized property tests: predictor history repair and RAS
+//! pointer-and-data recovery, driven by fixed seeds so the suite runs
+//! fully offline and reproduces exactly.
 
-use proptest::prelude::*;
 use wib_bpred::dir::{CombinedPredictor, DirConfig};
 use wib_bpred::ras::Ras;
+use wib_rng::StdRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// After any interleaving of predictions, resolving a branch as
+/// mispredicted must leave history == (checkpoint << 1) | actual,
+/// masked — regardless of how many younger speculative bits piled up.
+#[test]
+fn history_fixup_is_exact() {
+    let mut r = StdRng::seed_from_u64(0xb9ed_0001);
+    for _ in 0..256 {
+        let n = r.random_range(1..20usize);
+        let pcs: Vec<u32> = (0..n).map(|_| r.random_range(0u32..4096)).collect();
+        let mispredict_at: usize = r.random_range(0..19);
+        let actual: bool = r.random();
 
-    /// After any interleaving of predictions, resolving a branch as
-    /// mispredicted must leave history == (checkpoint << 1) | actual,
-    /// masked — regardless of how many younger speculative bits piled up.
-    #[test]
-    fn history_fixup_is_exact(
-        pcs in prop::collection::vec(0u32..4096, 1..20),
-        mispredict_at in 0usize..19,
-        actual in any::<bool>(),
-    ) {
         let mut p = CombinedPredictor::new(DirConfig::isca2002());
         let mut ckpts = Vec::new();
         for &pc in &pcs {
@@ -25,34 +26,47 @@ proptest! {
         let i = mispredict_at % pcs.len();
         p.resolve(&ckpts[i], actual, true);
         let mask = (1u32 << 12) - 1;
-        prop_assert_eq!(p.history(), ((ckpts[i].history << 1) | actual as u32) & mask);
+        assert_eq!(
+            p.history(),
+            ((ckpts[i].history << 1) | actual as u32) & mask
+        );
     }
+}
 
-    /// Training never breaks determinism: two identical predictors fed
-    /// identical streams stay identical.
-    #[test]
-    fn predictor_is_deterministic(
-        stream in prop::collection::vec((0u32..1024, any::<bool>()), 1..100)
-    ) {
+/// Training never breaks determinism: two identical predictors fed
+/// identical streams stay identical.
+#[test]
+fn predictor_is_deterministic() {
+    let mut r = StdRng::seed_from_u64(0xb9ed_0002);
+    for _ in 0..256 {
+        let n = r.random_range(1..100usize);
+        let stream: Vec<(u32, bool)> = (0..n)
+            .map(|_| (r.random_range(0u32..1024), r.random()))
+            .collect();
+
         let mut a = CombinedPredictor::new(DirConfig::isca2002());
         let mut b = CombinedPredictor::new(DirConfig::isca2002());
         for &(pc, outcome) in &stream {
             let pa = a.predict(pc * 4);
             let pb = b.predict(pc * 4);
-            prop_assert_eq!(pa.taken, pb.taken);
+            assert_eq!(pa.taken, pb.taken);
             a.resolve(&pa.ckpt, outcome, pa.taken != outcome);
             b.resolve(&pb.ckpt, outcome, pb.taken != outcome);
         }
-        prop_assert_eq!(a.history(), b.history());
+        assert_eq!(a.history(), b.history());
     }
+}
 
-    /// Pointer-and-data repair: one checkpoint undoes any single
-    /// wrong-path push or pop (the common cases the scheme targets).
-    #[test]
-    fn ras_repairs_single_perturbations(
-        pushes in prop::collection::vec(1u32..0xffff, 1..8),
-        wrong_push in any::<bool>(),
-    ) {
+/// Pointer-and-data repair: one checkpoint undoes any single wrong-path
+/// push or pop (the common cases the scheme targets).
+#[test]
+fn ras_repairs_single_perturbations() {
+    let mut r = StdRng::seed_from_u64(0xb9ed_0003);
+    for _ in 0..256 {
+        let n = r.random_range(1..8usize);
+        let pushes: Vec<u32> = (0..n).map(|_| r.random_range(1u32..0xffff)).collect();
+        let wrong_push: bool = r.random();
+
         let mut ras = Ras::new(16);
         for &v in &pushes {
             ras.push(v);
@@ -67,7 +81,7 @@ proptest! {
         ras.restore(&ckpt);
         // The stack now pops the original values (up to capacity).
         for &v in pushes.iter().rev() {
-            prop_assert_eq!(ras.pop(), v);
+            assert_eq!(ras.pop(), v);
         }
     }
 }

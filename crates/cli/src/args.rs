@@ -32,8 +32,16 @@ pub struct Args {
     flags: Vec<String>,
 }
 
-const FLAGS: &[&str] = &["tiny", "cosim", "stats"];
-const OPTIONS: &[&str] = &["config", "insts", "warmup", "limit"];
+const FLAGS: &[&str] = &["tiny", "cosim", "stats", "cpi-stack", "tail"];
+const OPTIONS: &[&str] = &[
+    "config",
+    "insts",
+    "warmup",
+    "limit",
+    "stats-json",
+    "events",
+    "epoch",
+];
 
 impl Args {
     /// Parse `argv` (without the program name).

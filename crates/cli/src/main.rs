@@ -8,8 +8,11 @@
 //! ```
 
 use std::process::ExitCode;
-use wib_core::{MachineConfig, Processor, RunLimit, WibOrganization};
+use wib_core::{Json, MachineConfig, Processor, RunLimit, RunResult, TextSink, WibOrganization};
 use wib_workloads::{eval_suite, test_suite, Workload};
+
+/// Line budget for `--events` logs (~60 bytes/line, so tens of MB).
+const EVENT_LOG_MAX_LINES: u64 = 1_000_000;
 
 mod args;
 mod report;
@@ -33,10 +36,17 @@ fn usage() -> &'static str {
     "usage:
   wib-sim list
   wib-sim run <bench> [--config <spec>] [--insts N] [--warmup N] [--tiny] [--cosim] [--stats]
+                      [--cpi-stack] [--stats-json <path>] [--events <path>] [--epoch N]
   wib-sim compare <bench> [--insts N] [--warmup N] [--tiny]
   wib-sim disasm <bench> [--limit N] [--tiny]
-  wib-sim trace <bench> [--config <spec>] [--limit N] [--tiny]
-  wib-sim exec <file.s> [--config <spec>] [--insts N] [--cosim] [--stats]
+  wib-sim trace <bench> [--config <spec>] [--limit N] [--tail] [--tiny]
+  wib-sim exec <file.s> [--config <spec>] [--insts N] [--cosim] [--stats] [--cpi-stack]
+
+observability:
+  --cpi-stack          print the commit-slot CPI stack (categories sum to cycles)
+  --stats-json <path>  write the full statistics (CPI stack, interval series, ...) as JSON
+  --events <path>      write a pipeview-style pipeline event log
+  --epoch N            interval time-series sample period in cycles (default 10000)
 
 machine specs for --config:
   base            the paper's Table 1 base machine (default)
@@ -91,8 +101,9 @@ fn parse_config(spec: &str) -> Result<MachineConfig, ParseError> {
     }
     if let Some(l) = spec.strip_prefix("nonbanked:") {
         let latency: u64 = l.parse().map_err(|_| bad(spec))?;
-        return Ok(MachineConfig::wib_2k()
-            .with_wib_organization(WibOrganization::NonBanked { latency }));
+        return Ok(
+            MachineConfig::wib_2k().with_wib_organization(WibOrganization::NonBanked { latency })
+        );
     }
     Err(bad(spec))
 }
@@ -109,25 +120,78 @@ fn cmd_list() -> Result<(), ParseError> {
 fn cmd_run(args: &Args) -> Result<(), ParseError> {
     let bench = args.positional(1, "benchmark name")?;
     let workload = find_workload(&bench, args.flag("tiny"))?;
-    let cfg = parse_config(&args.option("config").unwrap_or_else(|| "base".into()))?;
+    let spec = args.option("config").unwrap_or_else(|| "base".into());
+    let mut cfg = parse_config(&spec)?;
+    if args.option("epoch").is_some() {
+        let epoch = args.number("epoch", 0)?;
+        if epoch == 0 {
+            return Err(ParseError::new("--epoch must be at least 1 cycle"));
+        }
+        cfg = cfg.with_stats_epoch(epoch);
+    }
     let mut processor = Processor::new(cfg);
     if args.flag("cosim") {
         processor.enable_cosim();
     }
     let insts = args.number("insts", 200_000)?;
     let warmup = args.number("warmup", 200_000)?;
+    let limit = RunLimit::instructions(insts);
     let start = std::time::Instant::now();
-    let result = processor.run_program_warmed(
-        workload.program(),
-        warmup,
-        RunLimit::instructions(insts),
-    );
+    let result = match args.option("events") {
+        Some(path) => {
+            let mut sink = TextSink::new(EVENT_LOG_MAX_LINES);
+            let r =
+                processor.run_program_warmed_observed(workload.program(), warmup, limit, &mut sink);
+            write_file(&path, &sink.into_text())?;
+            r
+        }
+        None => processor.run_program_warmed(workload.program(), warmup, limit),
+    };
     let wall = start.elapsed().as_secs_f64();
     report::summary(workload.name(), &result, wall);
     if args.flag("stats") {
         report::detail(&result);
     }
+    if args.flag("cpi-stack") {
+        report::cpi_stack(&result);
+    }
+    if let Some(path) = args.option("stats-json") {
+        write_stats_json(&path, workload.name(), &spec, insts, warmup, &result, wall)?;
+    }
     Ok(())
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), ParseError> {
+    std::fs::write(path, contents)
+        .map_err(|e| ParseError::new(format!("cannot write `{path}`: {e}")))
+}
+
+/// Compose and write the `wib-sim/run-v1` JSON document.
+#[allow(clippy::too_many_arguments)]
+fn write_stats_json(
+    path: &str,
+    bench: &str,
+    spec: &str,
+    insts: u64,
+    warmup: u64,
+    result: &RunResult,
+    wall: f64,
+) -> Result<(), ParseError> {
+    let doc = Json::obj()
+        .field("schema", "wib-sim/run-v1")
+        .field("benchmark", bench)
+        .field("config", spec)
+        .field("insts", insts)
+        .field("warmup", warmup)
+        .field("halted", result.halted)
+        .field("ipc", result.ipc())
+        .field("wall_seconds", wall)
+        .field(
+            "sim_minsts_per_s",
+            result.stats.committed as f64 / wall / 1e6,
+        )
+        .field("stats", result.stats.to_json());
+    write_file(path, &doc.pretty())
 }
 
 fn cmd_compare(args: &Args) -> Result<(), ParseError> {
@@ -136,11 +200,20 @@ fn cmd_compare(args: &Args) -> Result<(), ParseError> {
     let insts = args.number("insts", 200_000)?;
     let warmup = args.number("warmup", 200_000)?;
     let limit = RunLimit::instructions(insts);
-    println!("{}: base vs WIB ({insts} instructions after {warmup} warm-up)\n", workload.name());
-    let base = Processor::new(MachineConfig::base_8way())
-        .run_program_warmed(workload.program(), warmup, limit);
-    let wib = Processor::new(MachineConfig::wib_2k())
-        .run_program_warmed(workload.program(), warmup, limit);
+    println!(
+        "{}: base vs WIB ({insts} instructions after {warmup} warm-up)\n",
+        workload.name()
+    );
+    let base = Processor::new(MachineConfig::base_8way()).run_program_warmed(
+        workload.program(),
+        warmup,
+        limit,
+    );
+    let wib = Processor::new(MachineConfig::wib_2k()).run_program_warmed(
+        workload.program(),
+        warmup,
+        limit,
+    );
     report::compare(&base, &wib);
     Ok(())
 }
@@ -151,7 +224,8 @@ fn cmd_exec(args: &Args) -> Result<(), ParseError> {
         .map_err(|e| ParseError::new(format!("cannot read `{path}`: {e}")))?;
     let program = wib_isa::text::parse_program(&source)
         .map_err(|e| ParseError::new(format!("{path}: {e}")))?;
-    let cfg = parse_config(&args.option("config").unwrap_or_else(|| "base".into()))?;
+    let spec = args.option("config").unwrap_or_else(|| "base".into());
+    let cfg = parse_config(&spec)?;
     let mut processor = Processor::new(cfg);
     if args.flag("cosim") {
         processor.enable_cosim();
@@ -159,9 +233,16 @@ fn cmd_exec(args: &Args) -> Result<(), ParseError> {
     let insts = args.number("insts", 1_000_000)?;
     let start = std::time::Instant::now();
     let result = processor.run_program(&program, RunLimit::instructions(insts));
-    report::summary(&path, &result, start.elapsed().as_secs_f64());
+    let wall = start.elapsed().as_secs_f64();
+    report::summary(&path, &result, wall);
     if args.flag("stats") {
         report::detail(&result);
+    }
+    if args.flag("cpi-stack") {
+        report::cpi_stack(&result);
+    }
+    if let Some(out) = args.option("stats-json") {
+        write_stats_json(&out, &path, &spec, insts, 0, &result, wall)?;
     }
     Ok(())
 }
@@ -173,12 +254,17 @@ fn cmd_trace(args: &Args) -> Result<(), ParseError> {
     let limit = args.number("limit", 48)? as usize;
     let insts = args.number("insts", (limit as u64).max(1_000))?;
     let processor = Processor::new(cfg);
-    let (result, trace) =
-        processor.run_program_traced(workload.program(), RunLimit::instructions(insts), limit);
+    let run_limit = RunLimit::instructions(insts);
+    let (result, trace) = if args.flag("tail") {
+        processor.run_program_traced_tail(workload.program(), run_limit, limit)
+    } else {
+        processor.run_program_traced(workload.program(), run_limit, limit)
+    };
     println!(
-        "{}: first {} committed instructions (IPC {:.3}); columns are cycles:",
+        "{}: {} {} committed instructions (IPC {:.3}); columns are cycles:",
         workload.name(),
-        trace.records().len(),
+        if args.flag("tail") { "last" } else { "first" },
+        trace.len(),
         result.ipc()
     );
     print!("{trace}");

@@ -26,13 +26,23 @@ pub fn detail(r: &RunResult) {
     println!("  issued         {:>12}", s.issued);
     println!("branches:");
     println!("  conditional    {:>12}", s.cond_branches);
-    println!("  dir mispredict {:>12}  ({:.2}% correct)", s.dir_mispredicts, 100.0 * s.branch_dir_rate());
+    println!(
+        "  dir mispredict {:>12}  ({:.2}% correct)",
+        s.dir_mispredicts,
+        100.0 * s.branch_dir_rate()
+    );
     println!("  target mispred {:>12}", s.target_mispredicts);
     println!("  order replays  {:>12}", s.order_violations);
     println!("memory:");
-    println!("  loads/stores   {:>12} / {}", s.committed_loads, s.committed_stores);
+    println!(
+        "  loads/stores   {:>12} / {}",
+        s.committed_loads, s.committed_stores
+    );
     println!("  L1D miss ratio {:>11.2}%", 100.0 * s.mem.l1d_miss_ratio());
-    println!("  L2 local miss  {:>11.2}%", 100.0 * s.mem.l2_local_miss_ratio());
+    println!(
+        "  L2 local miss  {:>11.2}%",
+        100.0 * s.mem.l2_local_miss_ratio()
+    );
     println!("  MSHR merges    {:>12}", s.mem.mshr_merges);
     println!("window:");
     println!("  WIB insertions {:>12}", s.wib_insertions);
@@ -53,12 +63,30 @@ pub fn detail(r: &RunResult) {
     println!("  registers      {:>12}", s.stall_regs);
 }
 
+/// The CPI stack: every cycle attributed to one category.
+pub fn cpi_stack(r: &RunResult) {
+    println!(
+        "\ncpi stack ({} cycles, CPI {:.4}):",
+        r.stats.cycles,
+        1.0 / r.ipc().max(f64::MIN_POSITIVE)
+    );
+    print!("{}", r.stats.cpi.display_with(r.stats.committed));
+}
+
 /// Side-by-side base vs WIB.
 pub fn compare(base: &RunResult, wib: &RunResult) {
     println!("{:<22} {:>12} {:>12}", "", "base", "WIB");
     let row = |k: &str, a: String, b: String| println!("{k:<22} {a:>12} {b:>12}");
-    row("IPC", format!("{:.3}", base.ipc()), format!("{:.3}", wib.ipc()));
-    row("cycles", base.stats.cycles.to_string(), wib.stats.cycles.to_string());
+    row(
+        "IPC",
+        format!("{:.3}", base.ipc()),
+        format!("{:.3}", wib.ipc()),
+    );
+    row(
+        "cycles",
+        base.stats.cycles.to_string(),
+        wib.stats.cycles.to_string(),
+    );
     row(
         "branch dir rate",
         format!("{:.3}", base.stats.branch_dir_rate()),

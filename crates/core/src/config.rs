@@ -89,13 +89,21 @@ impl RegFileConfig {
     /// The paper's WIB register file: 128 L1 registers, 4-cycle pipelined
     /// L2 with 4 read ports.
     pub fn two_level_128() -> RegFileConfig {
-        RegFileConfig::TwoLevel { l1_regs: 128, l2_latency: 4, l2_read_ports: 4 }
+        RegFileConfig::TwoLevel {
+            l1_regs: 128,
+            l2_latency: 4,
+            l2_read_ports: 4,
+        }
     }
 
     /// A multi-banked alternative of comparable cost: 8 banks with 2 read
     /// ports each, 1-cycle conflict penalty.
     pub fn multi_banked_8x2() -> RegFileConfig {
-        RegFileConfig::MultiBanked { banks: 8, ports_per_bank: 2, conflict_penalty: 1 }
+        RegFileConfig::MultiBanked {
+            banks: 8,
+            ports_per_bank: 2,
+            conflict_penalty: 1,
+        }
     }
 }
 
@@ -243,6 +251,9 @@ pub struct MachineConfig {
     pub btb_miss_penalty_other: u64,
     /// The WIB, if this machine has one.
     pub wib: Option<WibConfig>,
+    /// Epoch length (cycles) of the interval time-series in
+    /// [`crate::SimStats::intervals`].
+    pub stats_epoch: u64,
 }
 
 impl MachineConfig {
@@ -273,6 +284,7 @@ impl MachineConfig {
             btb_miss_penalty_direct: 2,
             btb_miss_penalty_other: 9,
             wib: None,
+            stats_epoch: crate::stats::DEFAULT_INTERVAL_EPOCH,
         }
     }
 
@@ -319,8 +331,10 @@ impl MachineConfig {
     /// buffer (`blocks` blocks of `block_slots` instructions) instead of
     /// the bit-vector organization.
     pub fn wib_pool(block_slots: u32, blocks: u32) -> MachineConfig {
-        MachineConfig::wib_2k()
-            .with_wib_organization(WibOrganization::PoolOfBlocks { block_slots, blocks })
+        MachineConfig::wib_2k().with_wib_organization(WibOrganization::PoolOfBlocks {
+            block_slots,
+            blocks,
+        })
     }
 
     /// Cap the number of WIB bit-vectors (paper Figure 5).
@@ -328,7 +342,10 @@ impl MachineConfig {
     /// # Panics
     /// Panics if this machine has no WIB.
     pub fn with_bit_vectors(mut self, n: u32) -> MachineConfig {
-        self.wib.as_mut().expect("machine has no WIB").max_bit_vectors = n;
+        self.wib
+            .as_mut()
+            .expect("machine has no WIB")
+            .max_bit_vectors = n;
         self
     }
 
@@ -356,7 +373,10 @@ impl MachineConfig {
     /// # Panics
     /// Panics if this machine has no WIB.
     pub fn with_long_fp_divert(mut self) -> MachineConfig {
-        self.wib.as_mut().expect("machine has no WIB").divert_long_fp_ops = true;
+        self.wib
+            .as_mut()
+            .expect("machine has no WIB")
+            .divert_long_fp_ops = true;
         self
     }
 
@@ -366,16 +386,28 @@ impl MachineConfig {
         self
     }
 
+    /// Set the interval time-series epoch (cycles per sample).
+    pub fn with_stats_epoch(mut self, cycles: u64) -> MachineConfig {
+        self.stats_epoch = cycles;
+        self
+    }
+
     /// Validate internal consistency.
     ///
     /// # Errors
     /// Returns a human-readable description of the first inconsistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.active_list == 0 || !self.active_list.is_power_of_two() {
-            return Err(format!("active list must be a power of two, got {}", self.active_list));
+            return Err(format!(
+                "active list must be a power of two, got {}",
+                self.active_list
+            ));
         }
         if self.regs_per_class < 64 {
             return Err("need at least 64 physical registers per class".to_string());
+        }
+        if self.stats_epoch == 0 {
+            return Err("stats_epoch must be at least one cycle".to_string());
         }
         if let RegFileConfig::TwoLevel { l1_regs, .. } = self.regfile {
             if l1_regs == 0 {
@@ -388,16 +420,19 @@ impl MachineConfig {
             }
             match wib.organization {
                 WibOrganization::Banked { banks }
-                    if (banks == 0 || !self.active_list.is_multiple_of(banks)) => {
-                        return Err(format!(
-                            "WIB banks ({banks}) must divide the active list ({})",
-                            self.active_list
-                        ));
-                    }
-                WibOrganization::PoolOfBlocks { block_slots, blocks }
-                    if (block_slots == 0 || blocks == 0) => {
-                        return Err("pool-of-blocks WIB needs nonzero geometry".to_string());
-                    }
+                    if (banks == 0 || !self.active_list.is_multiple_of(banks)) =>
+                {
+                    return Err(format!(
+                        "WIB banks ({banks}) must divide the active list ({})",
+                        self.active_list
+                    ));
+                }
+                WibOrganization::PoolOfBlocks {
+                    block_slots,
+                    blocks,
+                } if (block_slots == 0 || blocks == 0) => {
+                    return Err("pool-of-blocks WIB needs nonzero geometry".to_string());
+                }
                 _ => {}
             }
         }

@@ -1,0 +1,196 @@
+//! CPI-stack accounting: every simulated cycle is attributed to exactly
+//! one mutually exclusive category, so the categories sum to the cycle
+//! count and `category / committed` terms stack to the measured CPI.
+//!
+//! The attribution is commit-slot based, in priority order:
+//!
+//! 1. **base** — at least one instruction committed this cycle;
+//! 2. **branch-recovery** — the active list is empty and we are inside
+//!    the refetch shadow of a squash (misprediction or order violation);
+//! 3. **front-end** — the active list is empty for any other reason
+//!    (I-cache misses, fetch/decode delay);
+//! 4. **l2-miss** / **l1d-miss** — the oldest instruction is an
+//!    uncompleted load whose data is coming from DRAM (respectively the
+//!    L2), the classic memory stall of the paper's motivation;
+//! 5. **iq-full** / **active-list-full** / **lsq-full** / **regs-full** —
+//!    nothing committed and dispatch was blocked on that resource;
+//! 6. **exec** — everything else: dataflow, functional-unit and issue
+//!    bandwidth latency.
+
+use crate::json::Json;
+use std::fmt;
+
+/// Mutually exclusive cycle categories, in display order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpiCategory {
+    /// At least one commit this cycle.
+    Base,
+    /// Empty window: fetch/decode refill (not squash recovery).
+    FrontEnd,
+    /// Empty window inside a squash's refetch shadow.
+    BranchRecovery,
+    /// Head is a load waiting on an L1D miss that hit in the L2.
+    L1dMiss,
+    /// Head is a load waiting on a miss serviced by DRAM.
+    L2Miss,
+    /// No commit; dispatch blocked on a full issue queue.
+    IqFull,
+    /// No commit; dispatch blocked on a full active list.
+    ActiveListFull,
+    /// No commit; dispatch blocked on a full load/store queue.
+    LsqFull,
+    /// No commit; dispatch blocked with no free physical register.
+    RegsFull,
+    /// Everything else (dataflow / FU / issue-bandwidth latency).
+    Exec,
+}
+
+/// All categories, in display order.
+pub const CPI_CATEGORIES: [CpiCategory; 10] = [
+    CpiCategory::Base,
+    CpiCategory::FrontEnd,
+    CpiCategory::BranchRecovery,
+    CpiCategory::L1dMiss,
+    CpiCategory::L2Miss,
+    CpiCategory::IqFull,
+    CpiCategory::ActiveListFull,
+    CpiCategory::LsqFull,
+    CpiCategory::RegsFull,
+    CpiCategory::Exec,
+];
+
+impl CpiCategory {
+    /// Stable machine-readable name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            CpiCategory::Base => "base",
+            CpiCategory::FrontEnd => "front_end",
+            CpiCategory::BranchRecovery => "branch_recovery",
+            CpiCategory::L1dMiss => "l1d_miss",
+            CpiCategory::L2Miss => "l2_miss",
+            CpiCategory::IqFull => "iq_full",
+            CpiCategory::ActiveListFull => "active_list_full",
+            CpiCategory::LsqFull => "lsq_full",
+            CpiCategory::RegsFull => "regs_full",
+            CpiCategory::Exec => "exec",
+        }
+    }
+}
+
+/// Per-category cycle counts. [`CpiStack::total`] equals the simulated
+/// cycle count by construction (one attribution per cycle).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    counts: [u64; CPI_CATEGORIES.len()],
+}
+
+impl CpiStack {
+    /// Attribute one cycle.
+    pub fn add(&mut self, cat: CpiCategory) {
+        self.counts[cat as usize] += 1;
+    }
+
+    /// Cycles attributed to `cat`.
+    pub fn get(&self, cat: CpiCategory) -> u64 {
+        self.counts[cat as usize]
+    }
+
+    /// Total attributed cycles (equals the simulated cycle count).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(category, cycles)` rows in display order.
+    pub fn rows(&self) -> impl Iterator<Item = (CpiCategory, u64)> + '_ {
+        CPI_CATEGORIES.iter().map(|&c| (c, self.get(c)))
+    }
+
+    /// Ordered `{category: cycles}` object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (cat, n) in self.rows() {
+            obj.set(cat.name(), n);
+        }
+        obj
+    }
+}
+
+impl fmt::Display for CpiStack {
+    /// A table of cycles and share per category, plus per-instruction CPI
+    /// contributions when `committed` is supplied via
+    /// [`CpiStack::display_with`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(1);
+        for (cat, n) in self.rows() {
+            writeln!(
+                f,
+                "  {:<18} {:>12}  {:>6.2}%",
+                cat.name(),
+                n,
+                100.0 * n as f64 / total as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl CpiStack {
+    /// Render the stack with per-instruction CPI contributions.
+    pub fn display_with(&self, committed: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.total().max(1);
+        for (cat, n) in self.rows() {
+            let cpi = if committed == 0 {
+                0.0
+            } else {
+                n as f64 / committed as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>12}  {:>6.2}%  cpi {:.4}",
+                cat.name(),
+                n,
+                100.0 * n as f64 / total as f64,
+                cpi
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_sum() {
+        let mut s = CpiStack::default();
+        s.add(CpiCategory::Base);
+        s.add(CpiCategory::Base);
+        s.add(CpiCategory::L2Miss);
+        assert_eq!(s.get(CpiCategory::Base), 2);
+        assert_eq!(s.get(CpiCategory::L2Miss), 1);
+        assert_eq!(s.get(CpiCategory::Exec), 0);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn json_has_every_category_in_order() {
+        let s = CpiStack::default();
+        let j = s.to_json();
+        let names: Vec<&str> = CPI_CATEGORIES.iter().map(|c| c.name()).collect();
+        assert_eq!(j.keys(), names);
+    }
+
+    #[test]
+    fn display_mentions_each_category() {
+        let mut s = CpiStack::default();
+        s.add(CpiCategory::IqFull);
+        let text = s.display_with(10);
+        for cat in CPI_CATEGORIES {
+            assert!(text.contains(cat.name()), "missing {}", cat.name());
+        }
+        assert!(s.to_string().contains("iq_full"));
+    }
+}

@@ -50,9 +50,7 @@ impl FuPool {
     /// is modeled separately).
     pub fn try_issue(&mut self, kind: FuKind, now: u64) -> Option<u64> {
         match kind {
-            FuKind::IntAlu => {
-                claim(&mut self.int_alu_used, self.cfg.int_alu).then_some(1)
-            }
+            FuKind::IntAlu => claim(&mut self.int_alu_used, self.cfg.int_alu).then_some(1),
             FuKind::IntMul => {
                 claim(&mut self.int_mul_used, self.cfg.int_mul).then_some(self.cfg.int_mul_latency)
             }

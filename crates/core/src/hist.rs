@@ -15,7 +15,12 @@ pub struct Histogram {
 impl Histogram {
     /// A histogram with buckets for `0..=max`.
     pub fn new(max: usize) -> Histogram {
-        Histogram { buckets: vec![0; max + 1], count: 0, sum: 0, max_seen: 0 }
+        Histogram {
+            buckets: vec![0; max + 1],
+            count: 0,
+            sum: 0,
+            max_seen: 0,
+        }
     }
 
     /// Record one sample.
@@ -66,6 +71,26 @@ impl Histogram {
     /// Raw bucket counts.
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
+    }
+
+    /// Summary plus the non-zero buckets as `[value, count]` pairs (the
+    /// full bucket array is mostly zeros at these sizes).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let nonzero: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(v, &n)| Json::Arr(vec![Json::U64(v as u64), Json::U64(n)]))
+            .collect();
+        Json::obj()
+            .field("count", self.count)
+            .field("mean", self.mean())
+            .field("p50", self.quantile(0.5))
+            .field("p90", self.quantile(0.9))
+            .field("max", self.max())
+            .field("buckets", Json::Arr(nonzero))
     }
 }
 

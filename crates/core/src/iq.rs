@@ -51,7 +51,11 @@ impl IqEntry {
     /// True when satisfied and at least one operand rides a wait bit.
     pub fn is_pretend(&self) -> bool {
         self.is_satisfied()
-            && self.srcs.iter().flatten().any(|(_, s)| *s == SrcStatus::Wait)
+            && self
+                .srcs
+                .iter()
+                .flatten()
+                .any(|(_, s)| *s == SrcStatus::Wait)
     }
 }
 
@@ -66,7 +70,11 @@ pub struct IssueQueue {
 impl IssueQueue {
     /// An empty queue with `capacity` entries.
     pub fn new(capacity: usize) -> IssueQueue {
-        IssueQueue { capacity, entries: HashMap::new(), ready: BTreeSet::new() }
+        IssueQueue {
+            capacity,
+            entries: HashMap::new(),
+            ready: BTreeSet::new(),
+        }
     }
 
     /// Entries currently resident.
@@ -190,7 +198,10 @@ mod tests {
     use super::*;
 
     fn src(p: u16) -> SrcRef {
-        SrcRef { class: RegClass::Int, preg: PhysReg(p) }
+        SrcRef {
+            class: RegClass::Int,
+            preg: PhysReg(p),
+        }
     }
 
     #[test]

@@ -42,23 +42,32 @@
 //! [`config::WibConfig`].
 
 pub mod config;
+pub mod cpi;
+pub mod events;
 pub mod fu;
 pub mod hist;
 pub mod iq;
+pub mod json;
 pub mod lsq;
 pub mod processor;
 pub mod regfile;
 pub mod rename;
 pub mod rob;
 pub mod stats;
+pub mod trace;
 pub mod types;
 pub mod wib;
-pub mod trace;
 pub mod wib_pool;
 pub mod window;
 
 pub use config::{
     MachineConfig, RegFileConfig, SelectionPolicy, WibConfig, WibOrganization, WibTrigger,
 };
+pub use cpi::{CpiCategory, CpiStack, CPI_CATEGORIES};
+pub use events::{
+    format_event, BoundedSink, CountingSink, EventKind, EventSink, PipeEvent, TextSink, EVENT_KINDS,
+};
+pub use json::Json;
 pub use processor::{Processor, RunLimit, RunResult};
-pub use stats::SimStats;
+pub use rob::MissKind;
+pub use stats::{IntervalSample, SimStats};

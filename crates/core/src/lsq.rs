@@ -103,7 +103,11 @@ impl LoadStoreQueue {
     pub fn push_load(&mut self, seq: Seq, width: u32) {
         assert!(self.loads.len() < self.lq_capacity, "load queue overflow");
         debug_assert!(self.loads.back().is_none_or(|l| l.seq < seq));
-        self.loads.push_back(LoadEntry { seq, addr: None, width });
+        self.loads.push_back(LoadEntry {
+            seq,
+            addr: None,
+            width,
+        });
     }
 
     /// Allocate a store-queue entry at dispatch (program order).
@@ -113,8 +117,13 @@ impl LoadStoreQueue {
     pub fn push_store(&mut self, seq: Seq, width: u32) {
         assert!(self.stores.len() < self.sq_capacity, "store queue overflow");
         debug_assert!(self.stores.back().is_none_or(|s| s.seq < seq));
-        self.stores
-            .push_back(StoreEntry { seq, addr: None, width, data: 0, data_ready: false });
+        self.stores.push_back(StoreEntry {
+            seq,
+            addr: None,
+            width,
+            data: 0,
+            data_ready: false,
+        });
     }
 
     /// Record a load's effective address (at execute).
@@ -172,7 +181,11 @@ impl LoadStoreQueue {
             if covers(sa, s.width, addr, width) && s.data_ready {
                 let shift = (addr - sa) * 8;
                 let bits = s.data >> shift;
-                let bits = if width >= 8 { bits } else { bits & ((1u64 << (width * 8)) - 1) };
+                let bits = if width >= 8 {
+                    bits
+                } else {
+                    bits & ((1u64 << (width * 8)) - 1)
+                };
                 return ForwardResult::Forward(s.seq, bits);
             }
             // Partial coverage, or the data has not been produced yet.
@@ -260,7 +273,10 @@ mod tests {
         q.push_load(2, 4);
         assert!(q.set_store_addr(1, 0x100).is_none());
         q.set_store_data(1, 0xdead_beef);
-        assert_eq!(q.forward_for_load(2, 0x100, 4), ForwardResult::Forward(1, 0xdead_beef));
+        assert_eq!(
+            q.forward_for_load(2, 0x100, 4),
+            ForwardResult::Forward(1, 0xdead_beef)
+        );
     }
 
     #[test]
@@ -271,7 +287,10 @@ mod tests {
         q.set_store_addr(1, 0x100);
         q.set_store_data(1, 0x0807_0605_0403_0201);
         // Byte at offset 3 of the 8-byte store.
-        assert_eq!(q.forward_for_load(2, 0x103, 1), ForwardResult::Forward(1, 0x04));
+        assert_eq!(
+            q.forward_for_load(2, 0x103, 1),
+            ForwardResult::Forward(1, 0x04)
+        );
     }
 
     #[test]
@@ -294,7 +313,10 @@ mod tests {
         q.set_store_data(1, 0x1111_1111);
         q.set_store_addr(2, 0x100);
         q.set_store_data(2, 0x2222_2222);
-        assert_eq!(q.forward_for_load(3, 0x100, 4), ForwardResult::Forward(2, 0x2222_2222));
+        assert_eq!(
+            q.forward_for_load(3, 0x100, 4),
+            ForwardResult::Forward(2, 0x2222_2222)
+        );
     }
 
     #[test]

@@ -13,14 +13,16 @@
 //! lockstep with commit and cross-checks every PC and destination value —
 //! the integration test suite runs every configuration with it enabled.
 
-use crate::config::{MachineConfig, RegFileConfig, WibTrigger};
+use crate::config::{MachineConfig, RegFileConfig, WibOrganization, WibTrigger};
+use crate::cpi::CpiCategory;
+use crate::events::{EventSink, PipeEvent};
 use crate::fu::FuPool;
 use crate::iq::{IqEntry, IssueQueue, SrcStatus};
 use crate::lsq::{ForwardResult, LoadStoreQueue};
 use crate::regfile::{RegFile, RegTiming};
 use crate::rename::RenameMap;
-use crate::rob::{ActiveList, BranchInfo, RobEntry};
-use crate::stats::SimStats;
+use crate::rob::{ActiveList, BranchInfo, MissKind, RobEntry};
+use crate::stats::{IntervalSample, SimStats};
 use crate::trace::{InstTrace, Trace};
 use crate::types::{PhysReg, Seq, SrcRef};
 use crate::window::Window;
@@ -49,12 +51,18 @@ impl RunLimit {
     /// Stop after `n` committed instructions (or `halt`, whichever is
     /// first). A generous cycle backstop prevents runaway simulations.
     pub fn instructions(n: u64) -> RunLimit {
-        RunLimit { max_insts: n, max_cycles: n.saturating_mul(1000).max(1_000_000) }
+        RunLimit {
+            max_insts: n,
+            max_cycles: n.saturating_mul(1000).max(1_000_000),
+        }
     }
 
     /// Stop after `n` cycles (or `halt`).
     pub fn cycles(n: u64) -> RunLimit {
-        RunLimit { max_insts: u64::MAX, max_cycles: n }
+        RunLimit {
+            max_insts: u64::MAX,
+            max_cycles: n,
+        }
     }
 }
 
@@ -138,10 +146,59 @@ impl Processor {
         limit: RunLimit,
         trace_capacity: usize,
     ) -> (RunResult, Trace) {
+        self.run_program_with_trace(program, limit, Trace::new(trace_capacity))
+    }
+
+    /// Like [`Processor::run_program_traced`], but the trace is a ring
+    /// buffer keeping the *last* `trace_capacity` committed instructions.
+    pub fn run_program_traced_tail(
+        &self,
+        program: &Program,
+        limit: RunLimit,
+        trace_capacity: usize,
+    ) -> (RunResult, Trace) {
+        self.run_program_with_trace(program, limit, Trace::new_tail(trace_capacity))
+    }
+
+    fn run_program_with_trace(
+        &self,
+        program: &Program,
+        limit: RunLimit,
+        trace: Trace,
+    ) -> (RunResult, Trace) {
         let mut engine = Engine::new(&self.cfg, program, self.cosim);
-        engine.trace = Some(Trace::new(trace_capacity));
+        engine.trace = Some(trace);
         let result = engine.run(limit);
         (result, engine.trace.take().expect("installed above"))
+    }
+
+    /// Run with a pipeline event sink attached: every fetch, dispatch,
+    /// issue, WIB insert/extract, completion, commit, squash and cache
+    /// miss is reported to `sink` (see [`crate::events`]).
+    pub fn run_program_observed(
+        &self,
+        program: &Program,
+        limit: RunLimit,
+        sink: &mut dyn EventSink,
+    ) -> RunResult {
+        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        engine.sink = Some(sink);
+        engine.run(limit)
+    }
+
+    /// [`Processor::run_program_warmed`] with a pipeline event sink
+    /// attached (warm-up itself emits no events).
+    pub fn run_program_warmed_observed(
+        &self,
+        program: &Program,
+        warmup: u64,
+        limit: RunLimit,
+        sink: &mut dyn EventSink,
+    ) -> RunResult {
+        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        engine.warm_up(warmup);
+        engine.sink = Some(sink);
+        engine.run(limit)
     }
 }
 
@@ -203,6 +260,14 @@ struct Engine<'c> {
     stats: SimStats,
     checker: Option<Interpreter>,
     trace: Option<Trace>,
+    /// Optional pipeline event stream (observability layer).
+    sink: Option<&'c mut dyn EventSink>,
+    /// CPI-stack bookkeeping: the resource that blocked dispatch this
+    /// cycle, the cycle branch-recovery redirect ends, and the commit
+    /// count at the last interval-sample boundary.
+    dispatch_block: Option<CpiCategory>,
+    recovery_until: u64,
+    interval_committed_mark: u64,
     last_commit_cycle: u64,
 }
 
@@ -212,16 +277,23 @@ impl<'c> Engine<'c> {
         program.load_into(&mut mem);
         let rf_timing = match cfg.regfile {
             RegFileConfig::SingleLevel => RegTiming::Flat,
-            RegFileConfig::TwoLevel { l1_regs, l2_latency, .. } => {
-                RegTiming::TwoLevel { l1_regs: l1_regs as usize, l2_latency }
-            }
-            RegFileConfig::MultiBanked { banks, ports_per_bank, conflict_penalty } => {
-                RegTiming::Banked {
-                    banks: banks as usize,
-                    ports: ports_per_bank,
-                    conflict_penalty,
-                }
-            }
+            RegFileConfig::TwoLevel {
+                l1_regs,
+                l2_latency,
+                ..
+            } => RegTiming::TwoLevel {
+                l1_regs: l1_regs as usize,
+                l2_latency,
+            },
+            RegFileConfig::MultiBanked {
+                banks,
+                ports_per_bank,
+                conflict_penalty,
+            } => RegTiming::Banked {
+                banks: banks as usize,
+                ports: ports_per_bank,
+                conflict_penalty,
+            },
         };
         let wib = cfg.wib.as_ref().map(|w| {
             Window::new(
@@ -257,10 +329,34 @@ impl<'c> Engine<'c> {
             pending_load_values: HashMap::new(),
             blocked_loads: Vec::new(),
             halted: false,
-            stats: SimStats::default(),
+            stats: SimStats {
+                interval_epoch: cfg.stats_epoch,
+                ..SimStats::default()
+            },
             checker: cosim.then(|| Interpreter::new(program)),
             trace: None,
+            sink: None,
+            dispatch_block: None,
+            recovery_until: 0,
+            interval_committed_mark: 0,
             last_commit_cycle: 0,
+        }
+    }
+
+    /// Report a pipeline event to the attached sink, if any.
+    #[inline]
+    fn emit(&mut self, ev: PipeEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(self.now, &ev);
+        }
+    }
+
+    /// The WIB bank an active-list slot maps to (0 for non-banked
+    /// organizations; mirrors the `slot % banks` mapping in `wib.rs`).
+    fn wib_bank(&self, slot: usize) -> u32 {
+        match self.cfg.wib.as_ref().map(|w| w.organization) {
+            Some(WibOrganization::Banked { banks }) => (slot % banks as usize) as u32,
+            _ => 0,
         }
     }
 
@@ -289,7 +385,11 @@ impl<'c> Engine<'c> {
             let info = interp.step().expect("warm-up hit an invalid instruction");
             self.hier.warm_inst(info.pc);
             if let Some(m) = info.mem {
-                let kind = if m.is_store { AccessKind::Write } else { AccessKind::Read };
+                let kind = if m.is_store {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 self.hier.warm_data(m.addr, kind);
             }
         }
@@ -398,6 +498,7 @@ impl<'c> Engine<'c> {
             // as nops (they are squashed before commit on a correct run).
             let inst = Inst::decode(word).unwrap_or(Inst::NOP);
             self.stats.fetched += 1;
+            self.emit(PipeEvent::Fetch { pc });
             let hist_before = self.dir.history();
             let ras_before = self.ras.checkpoint();
             let mut branch = None;
@@ -494,7 +595,11 @@ impl<'c> Engine<'c> {
     // Dispatch (WIB reinsertion has priority for the shared bandwidth)
     // ------------------------------------------------------------------
 
-    fn evaluate_srcs(&mut self, seq: Seq, srcs: &[Option<SrcRef>; 2]) -> [Option<(SrcRef, SrcStatus)>; 2] {
+    fn evaluate_srcs(
+        &mut self,
+        seq: Seq,
+        srcs: &[Option<SrcRef>; 2],
+    ) -> [Option<(SrcRef, SrcStatus)>; 2] {
         let mut out = [None, None];
         for (slot, src) in srcs.iter().enumerate() {
             let Some(s) = *src else { continue };
@@ -541,7 +646,12 @@ impl<'c> Engine<'c> {
         }
         let e = self.rob.get_mut(seq).expect("checked above");
         e.in_wib = false;
+        let slot = e.slot;
         self.stats.wib_extractions += 1;
+        self.emit(PipeEvent::WibExtract {
+            seq,
+            bank: self.wib_bank(slot),
+        });
         true
     }
 
@@ -580,6 +690,7 @@ impl<'c> Engine<'c> {
             let inst = front.inst;
             if self.rob.free_slots() == 0 {
                 self.stats.stall_active_list += 1;
+                self.dispatch_block = Some(CpiCategory::ActiveListFull);
                 break;
             }
             // While instructions are parked in the WIB, hold one issue
@@ -593,17 +704,20 @@ impl<'c> Engine<'c> {
             };
             if Engine::needs_iq(&inst) && self.iq_for(&inst).free_slots() <= reserve {
                 self.stats.stall_issue_queue += 1;
+                self.dispatch_block = Some(CpiCategory::IqFull);
                 break;
             }
             if (inst.is_load() && self.lsq.lq_free() == 0)
                 || (inst.is_store() && self.lsq.sq_free() == 0)
             {
                 self.stats.stall_lsq += 1;
+                self.dispatch_block = Some(CpiCategory::LsqFull);
                 break;
             }
             if let Some(d) = inst.dest() {
                 if self.rf(d.class()).free_count() == 0 {
                     self.stats.stall_regs += 1;
+                    self.dispatch_block = Some(CpiCategory::RegsFull);
                     break;
                 }
             }
@@ -613,11 +727,17 @@ impl<'c> Engine<'c> {
             let slot = self.rob.next_slot();
             let [s1, s2] = f.inst.sources();
             let to_ref = |r: Option<ArchReg>, this: &Engine| {
-                r.map(|r| SrcRef { class: r.class(), preg: this.rename.lookup(r) })
+                r.map(|r| SrcRef {
+                    class: r.class(),
+                    preg: this.rename.lookup(r),
+                })
             };
             let srcs = [to_ref(s1, self), to_ref(s2, self)];
             let dest = f.inst.dest().map(|arch| {
-                let p = self.rf_mut(arch.class()).alloc().expect("checked free_count");
+                let p = self
+                    .rf_mut(arch.class())
+                    .alloc()
+                    .expect("checked free_count");
                 let prev = self.rename.rename(arch, p);
                 (arch, p, prev)
             });
@@ -633,6 +753,7 @@ impl<'c> Engine<'c> {
                 in_wib: false,
                 wib_trips: 0,
                 miss_column: None,
+                miss_kind: None,
                 in_lq: f.inst.is_load(),
                 in_sq: f.inst.is_store(),
                 dir_wrong: false,
@@ -662,8 +783,17 @@ impl<'c> Engine<'c> {
                     self.writeback(arch.class(), p, link);
                 }
             }
+            let front_end_complete = entry.completed;
             self.rob.push(entry);
             self.stats.dispatched += 1;
+            self.emit(PipeEvent::Dispatch {
+                seq,
+                pc: f.pc,
+                inst: f.inst,
+            });
+            if front_end_complete {
+                self.emit(PipeEvent::Complete { seq });
+            }
             budget -= 1;
         }
     }
@@ -704,6 +834,7 @@ impl<'c> Engine<'c> {
             e.completed = true;
             e.cycle_complete = self.now;
         }
+        self.emit(PipeEvent::Complete { seq });
         // Loads that found this store's data missing can retry.
         self.retry_loads_blocked_on(seq);
     }
@@ -721,7 +852,9 @@ impl<'c> Engine<'c> {
             }
         });
         for load_seq in unblocked {
-            let Some(le) = self.rob.get(load_seq) else { continue };
+            let Some(le) = self.rob.get(load_seq) else {
+                continue;
+            };
             let width = le.inst.mem_width();
             let addr = self
                 .lsq
@@ -758,7 +891,12 @@ impl<'c> Engine<'c> {
         let slot = e.slot;
         let inst = e.inst;
         let dest = e.dest;
-        if !self.wib.as_mut().expect("WIB configured").insert(slot, seq, column) {
+        if !self
+            .wib
+            .as_mut()
+            .expect("WIB configured")
+            .insert(slot, seq, column)
+        {
             return false;
         }
         let e = self.rob.get_mut(seq).expect("live instruction");
@@ -766,6 +904,10 @@ impl<'c> Engine<'c> {
         e.wib_trips += 1;
         self.iq_for(&inst).remove(seq);
         self.stats.wib_insertions += 1;
+        self.emit(PipeEvent::WibInsert {
+            seq,
+            bank: self.wib_bank(slot),
+        });
         if let Some((arch, p, _)) = dest {
             let woken = self.rf_mut(arch.class()).set_wait(p, column);
             self.wake_as_wait(woken, p, arch.class());
@@ -824,7 +966,11 @@ impl<'c> Engine<'c> {
                         None => {
                             // Producer was reinserted from the WIB but has
                             // not executed: go back to pending.
-                            let iq = if fp_queue { &mut self.iq_fp } else { &mut self.iq_int };
+                            let iq = if fp_queue {
+                                &mut self.iq_fp
+                            } else {
+                                &mut self.iq_int
+                            };
                             iq.demote(seq, s.preg, s.class);
                             self.rf_mut(s.class).subscribe(s.preg, seq);
                             invalid = true;
@@ -900,7 +1046,11 @@ impl<'c> Engine<'c> {
                 l2_reads[1] += l2_needed[1];
                 self.stats.rf_l2_reads += (l2_needed[0] + l2_needed[1]) as u64;
 
-                let iq = if fp_queue { &mut self.iq_fp } else { &mut self.iq_int };
+                let iq = if fp_queue {
+                    &mut self.iq_fp
+                } else {
+                    &mut self.iq_int
+                };
                 iq.remove(seq);
                 {
                     let e = self.rob.get_mut(seq).expect("live");
@@ -908,6 +1058,7 @@ impl<'c> Engine<'c> {
                     e.cycle_issue = self.now;
                 }
                 self.stats.issued += 1;
+                self.emit(PipeEvent::Issue { seq });
                 let exec_start = self.now + 1 + rf_penalty; // register read
                 if inst.is_load() {
                     self.schedule(exec_start + 1, Event::LoadAddr(seq));
@@ -968,7 +1119,8 @@ impl<'c> Engine<'c> {
             };
             let bi = branch.expect("branch info recorded at fetch");
             let dir_wrong = taken != bi.pred_taken;
-            self.dir.resolve(&bi.dir_ckpt.expect("cond"), taken, dir_wrong);
+            self.dir
+                .resolve(&bi.dir_ckpt.expect("cond"), taken, dir_wrong);
             if taken {
                 self.btb.update(pc, actual_next);
             }
@@ -978,6 +1130,7 @@ impl<'c> Engine<'c> {
                 e.cycle_complete = self.now;
                 e.dir_wrong = dir_wrong;
             }
+            self.emit(PipeEvent::Complete { seq });
             if actual_next != bi.pred_next {
                 self.squash_redirect(seq, actual_next, &bi, dir_wrong);
             }
@@ -993,6 +1146,7 @@ impl<'c> Engine<'c> {
                 e.completed = true;
                 e.cycle_complete = self.now;
             }
+            self.emit(PipeEvent::Complete { seq });
             let bi = branch.expect("branch info recorded at fetch");
             if actual_next != bi.pred_next {
                 self.stats.target_mispredicts += 1;
@@ -1010,12 +1164,14 @@ impl<'c> Engine<'c> {
                     let e = self.rob.get_mut(seq).expect("live");
                     e.completed = true;
                     e.cycle_complete = self.now;
+                    self.emit(PipeEvent::Complete { seq });
                 }
                 Some(s) if self.rf(s.class).is_ready(s.preg) => {
                     self.lsq.set_store_data(seq, b);
                     let e = self.rob.get_mut(seq).expect("live");
                     e.completed = true;
                     e.cycle_complete = self.now;
+                    self.emit(PipeEvent::Complete { seq });
                 }
                 Some(s) => {
                     self.rf_mut(s.class).subscribe(s.preg, seq);
@@ -1030,11 +1186,15 @@ impl<'c> Engine<'c> {
             e.completed = true;
             e.cycle_complete = self.now;
             let column = e.miss_column; // long-FP-op diversion, if enabled
+            self.emit(PipeEvent::Complete { seq });
             if let (Some((arch, p, _)), Some(v)) = (dest, result) {
                 self.writeback(arch.class(), p, v);
             }
             if let Some(col) = column {
-                self.wib.as_mut().expect("column implies WIB").column_completed(col);
+                self.wib
+                    .as_mut()
+                    .expect("column implies WIB")
+                    .column_completed(col);
             }
         }
     }
@@ -1075,6 +1235,29 @@ impl<'c> Engine<'c> {
                 // the WIB. (A load merged into an outstanding line fill
                 // "hits" in the tag array but still waits out the fill.)
                 let latency = access.ready_at.saturating_sub(self.now);
+                // CPI-stack attribution (independent of the WIB trigger):
+                // classify anything slower than an L1D hit as a miss and
+                // record the deepest level it had to wait on.
+                if latency > self.cfg.mem.l1d.hit_latency {
+                    let kind = if access.to_memory || access.mshr_merged {
+                        MissKind::Dram
+                    } else {
+                        MissKind::L2Hit
+                    };
+                    if let Some(e) = self.rob.get_mut(seq) {
+                        if e.miss_kind.is_none() {
+                            e.miss_kind = Some(kind);
+                        }
+                    }
+                    self.emit(PipeEvent::MissStart {
+                        seq,
+                        addr,
+                        to_dram: kind == MissKind::Dram,
+                    });
+                    if access.mshr_merged {
+                        self.emit(PipeEvent::MshrMerge { addr });
+                    }
+                }
                 let missed = match self.cfg.wib.as_ref().map(|w| w.trigger) {
                     Some(WibTrigger::L1Miss) => latency > self.cfg.mem.l1d.hit_latency,
                     Some(WibTrigger::L2Miss) => latency > self.cfg.mem.l2.hit_latency,
@@ -1110,22 +1293,36 @@ impl<'c> Engine<'c> {
     }
 
     fn handle_load_data(&mut self, seq: Seq) {
-        let Some(value) = self.pending_load_values.remove(&seq) else { return };
-        let Some(e) = self.rob.get_mut(seq) else { return };
+        let Some(value) = self.pending_load_values.remove(&seq) else {
+            return;
+        };
+        let Some(e) = self.rob.get_mut(seq) else {
+            return;
+        };
         e.completed = true;
         e.cycle_complete = self.now;
         let dest = e.dest;
         let column = e.miss_column;
+        let was_miss = e.miss_kind.is_some();
+        self.emit(PipeEvent::Complete { seq });
+        if was_miss {
+            self.emit(PipeEvent::MissFinish { seq });
+        }
         if let Some((arch, p, _)) = dest {
             self.writeback(arch.class(), p, value);
         }
         if let Some(col) = column {
-            self.wib.as_mut().expect("column implies WIB").column_completed(col);
+            self.wib
+                .as_mut()
+                .expect("column implies WIB")
+                .column_completed(col);
         }
     }
 
     fn handle_order_violation(&mut self, load_seq: Seq) {
-        let Some(load) = self.rob.get(load_seq) else { return };
+        let Some(load) = self.rob.get(load_seq) else {
+            return;
+        };
         let pc = load.pc;
         let hist = load.hist_before;
         let ras = load.ras_before;
@@ -1153,6 +1350,10 @@ impl<'c> Engine<'c> {
         let mut squashed_cols = Vec::new();
         let mut undo: Vec<RobEntry> = Vec::new();
         self.rob.squash_from(from, |e| undo.push(e));
+        self.emit(PipeEvent::Squash {
+            from_seq: from,
+            count: undo.len() as u64,
+        });
         for e in undo {
             if !e.issued || e.in_wib {
                 // May be in an issue queue or the WIB.
@@ -1160,7 +1361,10 @@ impl<'c> Engine<'c> {
                 self.iq_fp.remove(e.seq);
             }
             if e.in_wib {
-                self.wib.as_mut().expect("WIB entry implies WIB").squash_slot(e.slot);
+                self.wib
+                    .as_mut()
+                    .expect("WIB entry implies WIB")
+                    .squash_slot(e.slot);
             }
             if let Some(col) = e.miss_column {
                 squashed_cols.push((col, e.seq));
@@ -1182,6 +1386,9 @@ impl<'c> Engine<'c> {
         self.fetch_halted = false;
         self.fetch_pc = new_pc;
         self.fetch_resume_at = self.now + 1 + extra_penalty;
+        // CPI stack: while the refilled front end is still in flight the
+        // empty window is charged to branch recovery, not fetch supply.
+        self.recovery_until = self.fetch_resume_at + self.cfg.front_end_delay;
     }
 
     // ------------------------------------------------------------------
@@ -1251,8 +1458,10 @@ impl<'c> Engine<'c> {
             if e.wib_trips > 0 {
                 self.stats.wib_touched_insts += 1;
                 self.stats.wib_insertions_committed += e.wib_trips as u64;
-                self.stats.wib_max_insertions_per_inst =
-                    self.stats.wib_max_insertions_per_inst.max(e.wib_trips as u64);
+                self.stats.wib_max_insertions_per_inst = self
+                    .stats
+                    .wib_max_insertions_per_inst
+                    .max(e.wib_trips as u64);
             }
             if let Some(trace) = &mut self.trace {
                 trace.push(InstTrace {
@@ -1261,13 +1470,17 @@ impl<'c> Engine<'c> {
                     text: e.inst.to_string(),
                     fetch: e.cycle_fetch,
                     dispatch: e.cycle_dispatch,
-                    issue: e.cycle_issue,
+                    issue: e.issued.then_some(e.cycle_issue),
                     complete: e.cycle_complete,
                     commit: self.now,
                     wib_trips: e.wib_trips,
                 });
             }
             self.stats.committed += 1;
+            self.emit(PipeEvent::Commit {
+                seq: e.seq,
+                pc: e.pc,
+            });
             if e.inst.is_halt() {
                 self.halted = true;
                 break;
@@ -1281,25 +1494,53 @@ impl<'c> Engine<'c> {
 
     fn step(&mut self) {
         if std::env::var("WIB_TRACE").is_ok() && self.now == 20_000 {
-            eprintln!("cyc {}: iqi={} iqf={} rob={} wib={:?}", self.now, self.iq_int.len(), self.iq_fp.len(), self.rob.len(), self.wib.as_ref().map(Window::resident));
+            eprintln!(
+                "cyc {}: iqi={} iqf={} rob={} wib={:?}",
+                self.now,
+                self.iq_int.len(),
+                self.iq_fp.len(),
+                self.rob.len(),
+                self.wib.as_ref().map(Window::resident)
+            );
             for (name, q) in [("int", &self.iq_int), ("fp", &self.iq_fp)] {
                 for (seq, e) in q.dump().into_iter().take(40) {
                     let rob = self.rob.get(seq);
-                    eprintln!("  {name} {seq} {:?} sat={} pret={} srcs={:?} rf={:?}", rob.map(|r| r.inst.to_string()), e.is_satisfied(), e.is_pretend(), e.srcs,
-                        e.srcs.iter().flatten().map(|(s,_)| (self.rf(s.class).is_ready(s.preg), self.rf(s.class).wait_column(s.preg))).collect::<Vec<_>>());
+                    eprintln!(
+                        "  {name} {seq} {:?} sat={} pret={} srcs={:?} rf={:?}",
+                        rob.map(|r| r.inst.to_string()),
+                        e.is_satisfied(),
+                        e.is_pretend(),
+                        e.srcs,
+                        e.srcs
+                            .iter()
+                            .flatten()
+                            .map(|(s, _)| (
+                                self.rf(s.class).is_ready(s.preg),
+                                self.rf(s.class).wait_column(s.preg)
+                            ))
+                            .collect::<Vec<_>>()
+                    );
                 }
             }
         }
+        let committed_before = self.stats.committed;
         self.storewait.tick(self.now);
         self.do_commit();
         if self.halted {
+            // The halt itself retired this cycle: useful work.
+            self.stats.cpi.add(CpiCategory::Base);
             return;
         }
         self.drain_events();
+        self.dispatch_block = None;
         self.do_dispatch();
         self.do_issue();
         self.do_fetch();
-        if self.now.is_multiple_of(crate::stats::OCCUPANCY_SAMPLE_PERIOD) {
+        self.attribute_cycle(committed_before);
+        if self
+            .now
+            .is_multiple_of(crate::stats::OCCUPANCY_SAMPLE_PERIOD)
+        {
             self.stats.occupancy_window.record(self.rob.len() as u64);
             self.stats
                 .occupancy_iq
@@ -1312,6 +1553,63 @@ impl<'c> Engine<'c> {
         if self.now - self.last_commit_cycle > WATCHDOG_CYCLES {
             self.watchdog_panic();
         }
+    }
+
+    /// Charge this cycle to exactly one CPI-stack category. Called once
+    /// per non-halting [`Engine::step`]; together with the halt cycle's
+    /// `Base` charge this makes the stack sum exactly to the cycle count.
+    ///
+    /// Priority order (first match wins):
+    /// 1. at least one instruction committed → `Base`
+    /// 2. empty window → `BranchRecovery` while a squash redirect is
+    ///    still refilling the front end, else `FrontEnd`
+    /// 3. the window head is an incomplete load miss → `L1dMiss`/`L2Miss`
+    /// 4. dispatch stopped on a full resource → that resource's category
+    /// 5. otherwise → `Exec` (dependence/latency/issue-bandwidth limits)
+    fn attribute_cycle(&mut self, committed_before: u64) {
+        let cat = if self.stats.committed > committed_before {
+            CpiCategory::Base
+        } else if self.rob.is_empty() {
+            if self.now < self.recovery_until {
+                CpiCategory::BranchRecovery
+            } else {
+                CpiCategory::FrontEnd
+            }
+        } else if let Some(kind) = self
+            .rob
+            .head()
+            .filter(|h| !h.completed)
+            .and_then(|h| h.miss_kind)
+        {
+            match kind {
+                MissKind::L2Hit => CpiCategory::L1dMiss,
+                MissKind::Dram => CpiCategory::L2Miss,
+            }
+        } else if let Some(block) = self.dispatch_block {
+            block
+        } else {
+            CpiCategory::Exec
+        };
+        self.stats.cpi.add(cat);
+    }
+
+    /// Close an interval: record one [`IntervalSample`] covering the last
+    /// `stats_epoch` cycles.
+    fn sample_interval(&mut self) {
+        let epoch = self.cfg.stats_epoch.max(1);
+        let committed = self.stats.committed - self.interval_committed_mark;
+        self.interval_committed_mark = self.stats.committed;
+        let sample = IntervalSample {
+            cycle: self.stats.cycles,
+            committed,
+            ipc: committed as f64 / epoch as f64,
+            window_occupancy: self.rob.len() as u64,
+            iq_occupancy: (self.iq_int.len() + self.iq_fp.len()) as u64,
+            wib_resident: self.wib.as_ref().map_or(0, |w| w.resident() as u64),
+            wib_columns_in_use: self.wib.as_ref().map_or(0, |w| w.columns_in_use() as u64),
+            outstanding_misses: self.hier.inflight_fills(self.now) as u64,
+        };
+        self.stats.intervals.push(sample);
     }
 
     fn watchdog_panic(&self) -> ! {
@@ -1337,12 +1635,16 @@ impl<'c> Engine<'c> {
 
     fn run(&mut self, limit: RunLimit) -> RunResult {
         self.last_commit_cycle = self.now;
+        let epoch = self.cfg.stats_epoch.max(1);
         while !self.halted
             && self.stats.committed < limit.max_insts
             && self.stats.cycles < limit.max_cycles
         {
             self.step();
             self.stats.cycles += 1;
+            if self.stats.cycles.is_multiple_of(epoch) {
+                self.sample_interval();
+            }
         }
         self.stats.mem = self.hier.stats();
         self.stats.rf_l2_reads = self.rf_int.l2_reads + self.rf_fp.l2_reads;
@@ -1351,7 +1653,10 @@ impl<'c> Engine<'c> {
             self.stats.wib_insertions = ws.insertions;
             self.stats.wib_pool_stalls = self.stats.wib_pool_stalls.max(w.insert_failures());
         }
-        RunResult { stats: self.stats.clone(), halted: self.halted }
+        RunResult {
+            stats: self.stats.clone(),
+            halted: self.halted,
+        }
     }
 }
 
@@ -1417,7 +1722,11 @@ mod tests {
         let stride = 4096 + 64; // new page + new line every hop
         let addrs: Vec<u32> = (0..nodes).map(|i| base + i * stride).collect();
         for i in 0..nodes as usize {
-            let next = if i + 1 < nodes as usize { addrs[i + 1] } else { 0 };
+            let next = if i + 1 < nodes as usize {
+                addrs[i + 1]
+            } else {
+                0
+            };
             b.data_u32(addrs[i], &[next, i as u32]);
         }
         b.li(R1, addrs[0]);
@@ -1505,7 +1814,10 @@ mod tests {
         let r = run_cosim(MachineConfig::base_8way(), &b.finish().unwrap(), 10_000);
         assert!(r.halted);
         assert!(r.stats.cond_branches >= 400);
-        assert!(r.stats.dir_mispredicts > 0, "LCG parity should mispredict sometimes");
+        assert!(
+            r.stats.dir_mispredicts > 0,
+            "LCG parity should mispredict sometimes"
+        );
     }
 
     #[test]

@@ -92,8 +92,16 @@ pub enum RegTiming {
 #[derive(Debug, Clone)]
 enum Timing {
     Flat,
-    TwoLevel { l1: L1Tracker, l2_latency: u64 },
-    Banked { banks: usize, ports: u32, conflict_penalty: u64, used: Vec<u32> },
+    TwoLevel {
+        l1: L1Tracker,
+        l2_latency: u64,
+    },
+    Banked {
+        banks: usize,
+        ports: u32,
+        conflict_penalty: u64,
+        used: Vec<u32>,
+    },
 }
 
 /// One class's physical register file.
@@ -122,12 +130,25 @@ impl RegFile {
         assert!(size >= arch, "need at least {arch} physical registers");
         let timing = match timing {
             RegTiming::Flat => Timing::Flat,
-            RegTiming::TwoLevel { l1_regs, l2_latency } => {
-                Timing::TwoLevel { l1: L1Tracker::new(l1_regs, size), l2_latency }
-            }
-            RegTiming::Banked { banks, ports, conflict_penalty } => {
+            RegTiming::TwoLevel {
+                l1_regs,
+                l2_latency,
+            } => Timing::TwoLevel {
+                l1: L1Tracker::new(l1_regs, size),
+                l2_latency,
+            },
+            RegTiming::Banked {
+                banks,
+                ports,
+                conflict_penalty,
+            } => {
                 assert!(banks > 0);
-                Timing::Banked { banks, ports, conflict_penalty, used: vec![0; banks] }
+                Timing::Banked {
+                    banks,
+                    ports,
+                    conflict_penalty,
+                    used: vec![0; banks],
+                }
             }
         };
         RegFile {
@@ -250,7 +271,12 @@ impl RegFile {
                     *l2_latency
                 }
             }
-            Timing::Banked { banks, ports, conflict_penalty, used } => {
+            Timing::Banked {
+                banks,
+                ports,
+                conflict_penalty,
+                used,
+            } => {
                 let bank = r.0 as usize % *banks;
                 if used[bank] < *ports {
                     used[bank] += 1;
@@ -349,7 +375,14 @@ mod tests {
     #[test]
     fn two_level_penalties() {
         // 4 registers in L1, 4-cycle L2.
-        let mut rf = RegFile::new(64, 32, RegTiming::TwoLevel { l1_regs: 4, l2_latency: 4 });
+        let mut rf = RegFile::new(
+            64,
+            32,
+            RegTiming::TwoLevel {
+                l1_regs: 4,
+                l2_latency: 4,
+            },
+        );
         // Arch regs 0..4 seeded into L1.
         assert_eq!(rf.read_penalty(PhysReg(0)), 0);
         // Reg 10 is not in L1: first read pays, second is free.
@@ -361,7 +394,14 @@ mod tests {
 
     #[test]
     fn two_level_eviction_is_lru() {
-        let mut rf = RegFile::new(64, 32, RegTiming::TwoLevel { l1_regs: 2, l2_latency: 4 });
+        let mut rf = RegFile::new(
+            64,
+            32,
+            RegTiming::TwoLevel {
+                l1_regs: 2,
+                l2_latency: 4,
+            },
+        );
         // Capacity 2: after touching 3 distinct regs, the least recent
         // falls out.
         rf.read_penalty(PhysReg(40)); // L1: {40, ...}
@@ -375,7 +415,11 @@ mod tests {
 
     #[test]
     fn banked_port_conflicts() {
-        let timing = RegTiming::Banked { banks: 2, ports: 1, conflict_penalty: 1 };
+        let timing = RegTiming::Banked {
+            banks: 2,
+            ports: 1,
+            conflict_penalty: 1,
+        };
         let mut rf = RegFile::new(64, 32, timing);
         rf.begin_cycle();
         // Regs 0 and 2 share bank 0; the second read this cycle conflicts.
@@ -391,14 +435,25 @@ mod tests {
 
     #[test]
     fn banked_file_never_needs_l2_budget() {
-        let timing = RegTiming::Banked { banks: 4, ports: 2, conflict_penalty: 1 };
+        let timing = RegTiming::Banked {
+            banks: 4,
+            ports: 2,
+            conflict_penalty: 1,
+        };
         let rf = RegFile::new(64, 32, timing);
         assert!(!rf.needs_l2_read(PhysReg(50)));
     }
 
     #[test]
     fn writes_promote_into_l1() {
-        let mut rf = RegFile::new(64, 32, RegTiming::TwoLevel { l1_regs: 2, l2_latency: 4 });
+        let mut rf = RegFile::new(
+            64,
+            32,
+            RegTiming::TwoLevel {
+                l1_regs: 2,
+                l2_latency: 4,
+            },
+        );
         let r = rf.alloc().unwrap();
         rf.write(r, 5);
         assert_eq!(rf.read_penalty(r), 0);

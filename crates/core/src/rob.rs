@@ -28,6 +28,15 @@ pub struct BranchInfo {
     pub ras_after: RasCheckpoint,
 }
 
+/// Where a load miss was serviced from (commit-slot CPI attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissKind {
+    /// Missed the L1D, hit in the L2.
+    L2Hit,
+    /// Missed the L2 (or merged into an outstanding fill): DRAM latency.
+    Dram,
+}
+
 /// One in-flight instruction.
 #[derive(Debug, Clone)]
 pub struct RobEntry {
@@ -54,6 +63,10 @@ pub struct RobEntry {
     pub wib_trips: u32,
     /// For loads: the bit-vector column allocated for this load's miss.
     pub miss_column: Option<ColumnId>,
+    /// For loads: the deepest hierarchy level this load's data came from
+    /// (set when the access outlasted the L1D hit latency; fuels the CPI
+    /// stack's memory categories).
+    pub miss_kind: Option<MissKind>,
     /// Occupies a load-queue entry.
     pub in_lq: bool,
     /// Occupies a store-queue entry.
@@ -90,7 +103,12 @@ pub struct ActiveList {
 impl ActiveList {
     /// An empty active list with `size` slots.
     pub fn new(size: usize) -> ActiveList {
-        ActiveList { entries: VecDeque::with_capacity(size), size, head_slot: 0, next_seq: 0 }
+        ActiveList {
+            entries: VecDeque::with_capacity(size),
+            size,
+            head_slot: 0,
+            next_seq: 0,
+        }
     }
 
     /// Capacity in entries.
@@ -164,7 +182,10 @@ impl ActiveList {
     /// # Panics
     /// Panics if empty.
     pub fn pop_head(&mut self) -> RobEntry {
-        let e = self.entries.pop_front().expect("pop from empty active list");
+        let e = self
+            .entries
+            .pop_front()
+            .expect("pop from empty active list");
         self.head_slot = (self.head_slot + 1) % self.size;
         e
     }
@@ -202,6 +223,7 @@ mod tests {
             in_wib: false,
             wib_trips: 0,
             miss_column: None,
+            miss_kind: None,
             in_lq: false,
             in_sq: false,
             dir_wrong: false,

@@ -1,7 +1,46 @@
 //! Simulation statistics.
 
+use crate::cpi::CpiStack;
 use crate::hist::Histogram;
+use crate::json::Json;
 use wib_mem::hier::HierStats;
+
+/// One epoch of the interval time-series (see [`SimStats::intervals`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalSample {
+    /// Cycle count at the end of this epoch.
+    pub cycle: u64,
+    /// Instructions committed during this epoch.
+    pub committed: u64,
+    /// IPC over this epoch alone.
+    pub ipc: f64,
+    /// Active-list occupancy at the sample point.
+    pub window_occupancy: u64,
+    /// Combined issue-queue occupancy at the sample point.
+    pub iq_occupancy: u64,
+    /// Instructions parked in the WIB at the sample point.
+    pub wib_resident: u64,
+    /// WIB bit-vector columns (or pool chains) in use at the sample
+    /// point.
+    pub wib_columns_in_use: u64,
+    /// Cache-line fills outstanding at the sample point.
+    pub outstanding_misses: u64,
+}
+
+impl IntervalSample {
+    /// Ordered JSON object (one row of the `intervals` array).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("cycle", self.cycle)
+            .field("committed", self.committed)
+            .field("ipc", self.ipc)
+            .field("window_occupancy", self.window_occupancy)
+            .field("iq_occupancy", self.iq_occupancy)
+            .field("wib_resident", self.wib_resident)
+            .field("wib_columns_in_use", self.wib_columns_in_use)
+            .field("outstanding_misses", self.outstanding_misses)
+    }
+}
 
 /// Counters accumulated over a detailed-simulation run.
 #[derive(Debug, Clone)]
@@ -69,6 +108,15 @@ pub struct SimStats {
     pub occupancy_iq: Histogram,
     /// WIB residency, sampled alongside.
     pub occupancy_wib: Histogram,
+    /// Per-cycle commit-slot attribution; sums exactly to [`cycles`].
+    ///
+    /// [`cycles`]: SimStats::cycles
+    pub cpi: CpiStack,
+    /// Epoch length (cycles) of the interval time-series.
+    pub interval_epoch: u64,
+    /// One sample per completed epoch: `intervals.len() == cycles /
+    /// interval_epoch` exactly.
+    pub intervals: Vec<IntervalSample>,
 }
 
 /// Cycles between occupancy samples (cheap enough to always collect).
@@ -105,9 +153,15 @@ impl Default for SimStats {
             occupancy_window: Histogram::new(2048),
             occupancy_iq: Histogram::new(80),
             occupancy_wib: Histogram::new(2048),
+            cpi: CpiStack::default(),
+            interval_epoch: DEFAULT_INTERVAL_EPOCH,
+            intervals: Vec::new(),
         }
     }
 }
+
+/// Default interval-series epoch, in cycles.
+pub const DEFAULT_INTERVAL_EPOCH: u64 = 10_000;
 
 impl SimStats {
     /// Committed instructions per cycle.
@@ -136,6 +190,63 @@ impl SimStats {
         } else {
             self.wib_insertions_committed as f64 / self.wib_touched_insts as f64
         }
+    }
+
+    /// The full statistics block as an ordered JSON object (the
+    /// `"stats"` section of the CLI's `--stats-json` document).
+    pub fn to_json(&self) -> Json {
+        let mem = Json::obj()
+            .field("data_accesses", self.mem.data_accesses)
+            .field("l1d_misses", self.mem.l1d_misses)
+            .field("l2_accesses", self.mem.l2_accesses)
+            .field("l2_misses", self.mem.l2_misses)
+            .field("mshr_merges", self.mem.mshr_merges)
+            .field("l1d_miss_ratio", self.mem.l1d_miss_ratio())
+            .field("l2_local_miss_ratio", self.mem.l2_local_miss_ratio());
+        let stalls = Json::obj()
+            .field("active_list", self.stall_active_list)
+            .field("issue_queue", self.stall_issue_queue)
+            .field("lsq", self.stall_lsq)
+            .field("regs", self.stall_regs);
+        let wib = Json::obj()
+            .field("insertions", self.wib_insertions)
+            .field("extractions", self.wib_extractions)
+            .field("touched_insts", self.wib_touched_insts)
+            .field("insertions_committed", self.wib_insertions_committed)
+            .field("max_insertions_per_inst", self.wib_max_insertions_per_inst)
+            .field("avg_insertions", self.wib_avg_insertions())
+            .field("column_exhausted", self.wib_column_exhausted)
+            .field("pool_stalls", self.wib_pool_stalls);
+        let occupancy = Json::obj()
+            .field("window", self.occupancy_window.to_json())
+            .field("issue_queues", self.occupancy_iq.to_json())
+            .field("wib", self.occupancy_wib.to_json());
+        Json::obj()
+            .field("cycles", self.cycles)
+            .field("committed", self.committed)
+            .field("ipc", self.ipc())
+            .field("fetched", self.fetched)
+            .field("dispatched", self.dispatched)
+            .field("issued", self.issued)
+            .field("committed_loads", self.committed_loads)
+            .field("committed_stores", self.committed_stores)
+            .field("cond_branches", self.cond_branches)
+            .field("dir_mispredicts", self.dir_mispredicts)
+            .field("branch_dir_rate", self.branch_dir_rate())
+            .field("target_mispredicts", self.target_mispredicts)
+            .field("order_violations", self.order_violations)
+            .field("dir_lookups", self.dir_lookups)
+            .field("rf_l2_reads", self.rf_l2_reads)
+            .field("mem", mem)
+            .field("stalls", stalls)
+            .field("wib", wib)
+            .field("occupancy", occupancy)
+            .field("cpi_stack", self.cpi.to_json())
+            .field("interval_epoch", self.interval_epoch)
+            .field(
+                "intervals",
+                Json::Arr(self.intervals.iter().map(IntervalSample::to_json).collect()),
+            )
     }
 }
 

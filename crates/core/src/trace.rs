@@ -4,7 +4,12 @@
 //! records the cycle at which every *committed* instruction passed each
 //! pipeline milestone, plus its WIB trips — enough to render a
 //! pipeview-style timeline and to see chains parking and reinserting.
+//!
+//! Two capture modes: keep the **first** `capacity` commits (startup
+//! behavior), or keep the **last** `capacity` as a ring buffer (steady
+//! state / end-of-run behavior; see [`Trace::new_tail`]).
 
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Lifecycle of one committed instruction.
@@ -20,8 +25,9 @@ pub struct InstTrace {
     pub fetch: u64,
     /// Cycle renamed/dispatched into the window.
     pub dispatch: u64,
-    /// Cycle issued to a functional unit (0 = completed in the front end).
-    pub issue: u64,
+    /// Cycle issued to a functional unit (`None` = completed in the
+    /// front end and never occupied an issue queue).
+    pub issue: Option<u64>,
     /// Cycle the result was produced.
     pub complete: u64,
     /// Cycle committed.
@@ -30,34 +36,99 @@ pub struct InstTrace {
     pub wib_trips: u32,
 }
 
+/// Which end of the run a bounded trace keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceMode {
+    /// Keep the first `capacity` commits, ignore the rest.
+    Head,
+    /// Ring buffer: keep the most recent `capacity` commits.
+    Tail,
+}
+
 /// A bounded log of committed-instruction lifecycles.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Trace {
-    records: Vec<InstTrace>,
+    records: VecDeque<InstTrace>,
     capacity: usize,
+    mode: TraceMode,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::new(0)
+    }
 }
 
 impl Trace {
     /// A trace that keeps the first `capacity` committed instructions.
     pub fn new(capacity: usize) -> Trace {
-        Trace { records: Vec::new(), capacity }
-    }
-
-    /// Record one commit (ignored once full).
-    pub fn push(&mut self, record: InstTrace) {
-        if self.records.len() < self.capacity {
-            self.records.push(record);
+        Trace {
+            records: VecDeque::new(),
+            capacity,
+            mode: TraceMode::Head,
+            dropped: 0,
         }
     }
 
-    /// Records collected so far.
-    pub fn records(&self) -> &[InstTrace] {
-        &self.records
+    /// A trace that keeps the *last* `capacity` committed instructions
+    /// (older records are evicted as newer ones arrive).
+    pub fn new_tail(capacity: usize) -> Trace {
+        Trace {
+            records: VecDeque::new(),
+            capacity,
+            mode: TraceMode::Tail,
+            dropped: 0,
+        }
+    }
+
+    /// Record one commit.
+    pub fn push(&mut self, record: InstTrace) {
+        match self.mode {
+            TraceMode::Head => {
+                if self.records.len() < self.capacity {
+                    self.records.push_back(record);
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            TraceMode::Tail => {
+                if self.capacity == 0 {
+                    self.dropped += 1;
+                    return;
+                }
+                if self.records.len() == self.capacity {
+                    self.records.pop_front();
+                    self.dropped += 1;
+                }
+                self.records.push_back(record);
+            }
+        }
+    }
+
+    /// Records collected so far, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &InstTrace> {
+        self.records.iter()
+    }
+
+    /// Number of records retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
     }
 
     /// True once `capacity` records have been collected.
     pub fn is_full(&self) -> bool {
         self.records.len() >= self.capacity
+    }
+
+    /// Commits not retained (ignored in head mode, evicted in tail mode).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -80,10 +151,17 @@ impl fmt::Display for Trace {
                 r.text,
                 r.fetch,
                 r.dispatch,
-                if r.issue == 0 { "-".to_string() } else { r.issue.to_string() },
+                match r.issue {
+                    None => "-".to_string(),
+                    Some(c) => c.to_string(),
+                },
                 r.complete,
                 r.commit,
-                if r.wib_trips == 0 { "".to_string() } else { format!("x{}", r.wib_trips) },
+                if r.wib_trips == 0 {
+                    "".to_string()
+                } else {
+                    format!("x{}", r.wib_trips)
+                },
             )?;
         }
         Ok(())
@@ -101,7 +179,7 @@ mod tests {
             text: "add r1, r2, r3".into(),
             fetch: 1,
             dispatch: 3,
-            issue: 4,
+            issue: Some(4),
             complete: 5,
             commit: 6,
             wib_trips: 2,
@@ -109,22 +187,52 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_respected() {
+    fn head_mode_keeps_the_first_records() {
         let mut t = Trace::new(2);
         for s in 0..5 {
             t.push(record(s));
         }
-        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.len(), 2);
         assert!(t.is_full());
-        assert_eq!(t.records()[1].seq, 1);
+        assert_eq!(t.dropped(), 3);
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn tail_mode_keeps_the_last_records() {
+        let mut t = Trace::new_tail(3);
+        for s in 0..10 {
+            t.push(record(s));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
     }
 
     #[test]
     fn display_contains_milestones() {
         let mut t = Trace::new(4);
         t.push(record(7));
+        let mut front_end = record(8);
+        front_end.issue = None;
+        front_end.wib_trips = 0;
+        t.push(front_end);
         let s = t.to_string();
         assert!(s.contains("add r1, r2, r3"));
         assert!(s.contains("x2"));
+        assert!(
+            s.contains(" - "),
+            "front-end completion renders as `-`:\n{s}"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_safe() {
+        let mut t = Trace::new_tail(0);
+        t.push(record(1));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
     }
 }

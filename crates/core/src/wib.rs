@@ -77,11 +77,17 @@ impl Column {
 #[derive(Debug, Clone)]
 enum ExtractState {
     /// Per-bank eligible sets + per-parity bank priority order.
-    Banked { sets: Vec<BTreeSet<(Seq, usize)>>, priority: [Vec<usize>; 2] },
+    Banked {
+        sets: Vec<BTreeSet<(Seq, usize)>>,
+        priority: [Vec<usize>; 2],
+    },
     /// One global eligible set in program order.
     Global { eligible: BTreeSet<(Seq, usize)> },
     /// Per-column draining: `(load_seq, column)` of completed columns.
-    ByColumn { completed: BTreeSet<(Seq, ColumnId)>, rr_cursor: usize },
+    ByColumn {
+        completed: BTreeSet<(Seq, ColumnId)>,
+        rr_cursor: usize,
+    },
 }
 
 /// Aggregate WIB counters.
@@ -145,14 +151,17 @@ impl Wib {
                     (0..banks).filter(|b| b % 2 == 1).collect(),
                 ],
             },
-            WibOrganization::NonBanked { .. } => {
-                ExtractState::Global { eligible: BTreeSet::new() }
-            }
+            WibOrganization::NonBanked { .. } => ExtractState::Global {
+                eligible: BTreeSet::new(),
+            },
             WibOrganization::Ideal => match policy {
-                SelectionPolicy::ProgramOrder => {
-                    ExtractState::Global { eligible: BTreeSet::new() }
-                }
-                _ => ExtractState::ByColumn { completed: BTreeSet::new(), rr_cursor: 0 },
+                SelectionPolicy::ProgramOrder => ExtractState::Global {
+                    eligible: BTreeSet::new(),
+                },
+                _ => ExtractState::ByColumn {
+                    completed: BTreeSet::new(),
+                    rr_cursor: 0,
+                },
             },
             WibOrganization::PoolOfBlocks { .. } => {
                 panic!("pool-of-blocks organization is implemented by PoolWib, not Wib")
@@ -189,6 +198,11 @@ impl Wib {
     /// Capacity (== active-list size).
     pub fn capacity(&self) -> usize {
         self.size
+    }
+
+    /// Bit-vector columns currently tracking an outstanding load.
+    pub fn columns_in_use(&self) -> usize {
+        self.columns.iter().filter(|c| c.in_use).count()
     }
 
     /// Diagnostic: the column a parked slot waits on, as
@@ -537,7 +551,12 @@ mod tests {
     use super::*;
 
     fn banked(size: usize) -> Wib {
-        Wib::new(size, WibOrganization::Banked { banks: 16 }, SelectionPolicy::ProgramOrder, 64)
+        Wib::new(
+            size,
+            WibOrganization::Banked { banks: 16 },
+            SelectionPolicy::ProgramOrder,
+            64,
+        )
     }
 
     fn drain(w: &mut Wib, now: u64, budget: usize) -> Vec<(Seq, usize)> {
@@ -686,7 +705,12 @@ mod tests {
 
     #[test]
     fn oldest_load_first_drains_by_column() {
-        let mut w = Wib::new(64, WibOrganization::Ideal, SelectionPolicy::OldestLoadFirst, 8);
+        let mut w = Wib::new(
+            64,
+            WibOrganization::Ideal,
+            SelectionPolicy::OldestLoadFirst,
+            8,
+        );
         let c_old = w.allocate_column(1).unwrap();
         let c_new = w.allocate_column(2).unwrap();
         // Older load's dependents are *younger* instructions here.
@@ -702,7 +726,12 @@ mod tests {
 
     #[test]
     fn round_robin_alternates_columns() {
-        let mut w = Wib::new(64, WibOrganization::Ideal, SelectionPolicy::RoundRobinLoads, 8);
+        let mut w = Wib::new(
+            64,
+            WibOrganization::Ideal,
+            SelectionPolicy::RoundRobinLoads,
+            8,
+        );
         let c1 = w.allocate_column(1).unwrap();
         let c2 = w.allocate_column(2).unwrap();
         w.insert(10, 10, c1);

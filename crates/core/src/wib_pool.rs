@@ -33,7 +33,10 @@ impl PoolConfig {
     /// A pool with the same total capacity as a 2K-entry WIB: 256 blocks
     /// of 8 slots.
     pub fn capacity_2k() -> PoolConfig {
-        PoolConfig { block_slots: 8, blocks: 256 }
+        PoolConfig {
+            block_slots: 8,
+            blocks: 256,
+        }
     }
 }
 
@@ -97,6 +100,11 @@ impl PoolWib {
         self.locations.len()
     }
 
+    /// Chains currently tracking an outstanding load.
+    pub fn columns_in_use(&self) -> usize {
+        self.chains.iter().filter(|c| c.in_use).count()
+    }
+
     /// Aggregate statistics (shared shape with the bit-vector WIB).
     pub fn stats(&self) -> WibStats {
         self.stats
@@ -122,7 +130,14 @@ impl PoolWib {
         };
         let c = &mut self.chains[id as usize];
         debug_assert!(!c.in_use);
-        *c = Chain { in_use: true, completed: false, load_seq, head: None, tail: None, live: 0 };
+        *c = Chain {
+            in_use: true,
+            completed: false,
+            load_seq,
+            head: None,
+            tail: None,
+            live: 0,
+        };
         self.stats.columns_allocated += 1;
         Some(id)
     }
@@ -198,7 +213,9 @@ impl PoolWib {
 
     /// Squash the instruction at `slot`, if parked.
     pub fn squash_slot(&mut self, slot: usize) {
-        let Some((chain, block, index)) = self.locations.remove(&slot) else { return };
+        let Some((chain, block, index)) = self.locations.remove(&slot) else {
+            return;
+        };
         let blk = &mut self.blocks[block as usize];
         blk.entries[index] = None;
         blk.live -= 1;
@@ -226,13 +243,17 @@ impl PoolWib {
     pub fn extract<F: FnMut(Seq, usize) -> bool>(&mut self, budget: usize, mut accept: F) -> usize {
         let mut taken = 0;
         'outer: while taken < budget {
-            let Some(&chain) = self.completed_chains.first() else { break };
+            let Some(&chain) = self.completed_chains.first() else {
+                break;
+            };
             // Walk the chain's blocks for the first live entry.
             let mut b = self.chains[chain as usize].head;
             let mut found = None;
             while let Some(id) = b {
-                if let Some(i) =
-                    self.blocks[id as usize].entries.iter().position(Option::is_some)
+                if let Some(i) = self.blocks[id as usize]
+                    .entries
+                    .iter()
+                    .position(Option::is_some)
                 {
                     found = Some((id, i));
                     break;
@@ -303,7 +324,10 @@ mod tests {
     use super::*;
 
     fn pool(blocks: u32, slots: u32) -> PoolWib {
-        PoolWib::new(PoolConfig { block_slots: slots, blocks })
+        PoolWib::new(PoolConfig {
+            block_slots: slots,
+            blocks,
+        })
     }
 
     fn drain(p: &mut PoolWib, budget: usize) -> Vec<(Seq, usize)> {

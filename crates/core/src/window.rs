@@ -25,9 +25,13 @@ impl Window {
         max_columns: usize,
     ) -> Window {
         match organization {
-            WibOrganization::PoolOfBlocks { block_slots, blocks } => {
-                Window::Pool(PoolWib::new(PoolConfig { block_slots, blocks }))
-            }
+            WibOrganization::PoolOfBlocks {
+                block_slots,
+                blocks,
+            } => Window::Pool(PoolWib::new(PoolConfig {
+                block_slots,
+                blocks,
+            })),
             _ => Window::BitVector(Wib::new(size, organization, policy, max_columns)),
         }
     }
@@ -115,6 +119,14 @@ impl Window {
         }
     }
 
+    /// Bit-vector columns (or pool chains) tracking an outstanding load.
+    pub fn columns_in_use(&self) -> usize {
+        match self {
+            Window::BitVector(w) => w.columns_in_use(),
+            Window::Pool(p) => p.columns_in_use(),
+        }
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> WibStats {
         match self {
@@ -140,7 +152,10 @@ mod tests {
     fn dispatch_round_trip_both_kinds() {
         for org in [
             WibOrganization::Banked { banks: 16 },
-            WibOrganization::PoolOfBlocks { block_slots: 4, blocks: 8 },
+            WibOrganization::PoolOfBlocks {
+                block_slots: 4,
+                blocks: 8,
+            },
         ] {
             let mut w = Window::new(128, org, SelectionPolicy::ProgramOrder, 8);
             let col = w.allocate_column(1).expect("column");
@@ -164,7 +179,10 @@ mod tests {
     fn pool_failure_surfaces_through_dispatch() {
         let mut w = Window::new(
             128,
-            WibOrganization::PoolOfBlocks { block_slots: 1, blocks: 1 },
+            WibOrganization::PoolOfBlocks {
+                block_slots: 1,
+                blocks: 1,
+            },
             SelectionPolicy::ProgramOrder,
             8,
         );

@@ -1,13 +1,14 @@
-//! Property tests on the core's standalone structures: load-store queue
-//! forwarding against a byte-level reference, and WIB bookkeeping
-//! against a set model.
+//! Randomized property tests on the core's standalone structures:
+//! load-store queue forwarding against a byte-level reference, and WIB
+//! bookkeeping against a set model. Fixed seeds keep the suite
+//! deterministic and fully offline.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use wib_core::lsq::{ForwardResult, LoadStoreQueue};
 use wib_core::wib::Wib;
 use wib_core::wib_pool::{PoolConfig, PoolWib};
 use wib_core::{SelectionPolicy, WibOrganization};
+use wib_rng::StdRng;
 
 // ---------------------------------------------------------------------
 // LSQ forwarding vs. a byte-level reference
@@ -19,34 +20,34 @@ enum MemOp {
     Load { addr: u32, width: u32 },
 }
 
-fn arb_width() -> impl Strategy<Value = u32> {
-    prop::sample::select(vec![1u32, 4, 8])
-}
-
-fn arb_ops() -> impl Strategy<Value = Vec<MemOp>> {
-    prop::collection::vec(
-        (0u32..64, arb_width(), any::<u64>(), any::<bool>()).prop_map(
-            |(slot, width, data, is_store)| {
-                let addr = 0x1000 + slot * 4; // overlapping little region
-                if is_store {
-                    MemOp::Store { addr, width, data }
-                } else {
-                    MemOp::Load { addr, width }
+fn random_ops(r: &mut StdRng) -> Vec<MemOp> {
+    let n = r.random_range(1..40usize);
+    (0..n)
+        .map(|_| {
+            let slot: u32 = r.random_range(0..64);
+            let width = [1u32, 4, 8][r.random_range(0..3usize)];
+            let addr = 0x1000 + slot * 4; // overlapping little region
+            if r.random() {
+                MemOp::Store {
+                    addr,
+                    width,
+                    data: r.random(),
                 }
-            },
-        ),
-        1..40,
-    )
+            } else {
+                MemOp::Load { addr, width }
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Every `Forward` result must equal a byte-level replay of all older
-    /// stores over background memory; `FromMemory` must mean no older
-    /// in-queue store wrote any of the load's bytes.
-    #[test]
-    fn forwarding_matches_byte_level_reference(ops in arb_ops()) {
+/// Every `Forward` result must equal a byte-level replay of all older
+/// stores over background memory; `FromMemory` must mean no older
+/// in-queue store wrote any of the load's bytes.
+#[test]
+fn forwarding_matches_byte_level_reference() {
+    let mut r = StdRng::seed_from_u64(0xc04e_0001);
+    for _ in 0..256 {
+        let ops = random_ops(&mut r);
         let mut lsq = LoadStoreQueue::new(64, 64);
         // Reference memory: byte -> value written by the *youngest* older
         // store (None = untouched background).
@@ -79,11 +80,11 @@ proptest! {
                             for (k, b) in bytes.iter().enumerate() {
                                 let expected = b.expect("forward implies full coverage");
                                 let got = (value >> (k * 8)) as u8;
-                                prop_assert_eq!(got, expected, "byte {} of load @{:#x}", k, addr);
+                                assert_eq!(got, expected, "byte {k} of load @{addr:#x}");
                             }
                         }
                         ForwardResult::FromMemory => {
-                            prop_assert!(
+                            assert!(
                                 bytes.iter().all(|b| b.is_none()),
                                 "FromMemory but an older store overlaps"
                             );
@@ -91,21 +92,23 @@ proptest! {
                         ForwardResult::BlockedOn(s) => {
                             // Blocking store must actually overlap.
                             let blocker = shadow.iter().find(|&&(q, ..)| q == s);
-                            prop_assert!(blocker.is_some());
+                            assert!(blocker.is_some());
                         }
                     }
                 }
             }
         }
     }
+}
 
-    /// Squashing from any point leaves exactly the older entries.
-    #[test]
-    fn squash_is_a_clean_suffix_removal(
-        n_stores in 1usize..20,
-        n_loads in 1usize..20,
-        cut in 0u64..40,
-    ) {
+/// Squashing from any point leaves exactly the older entries.
+#[test]
+fn squash_is_a_clean_suffix_removal() {
+    let mut r = StdRng::seed_from_u64(0xc04e_0002);
+    for _ in 0..256 {
+        let n_stores = r.random_range(1..20usize);
+        let n_loads = r.random_range(1..20usize);
+        let cut: u64 = r.random_range(0..40);
         let mut lsq = LoadStoreQueue::new(64, 64);
         let mut seq = 0u64;
         for _ in 0..n_stores {
@@ -117,8 +120,8 @@ proptest! {
             seq += 2;
         }
         lsq.squash_from(cut);
-        prop_assert!(lsq.stores().all(|s| s.seq < cut));
-        prop_assert!(lsq.loads().all(|l| l.seq < cut));
+        assert!(lsq.stores().all(|s| s.seq < cut));
+        assert!(lsq.loads().all(|l| l.seq < cut));
     }
 }
 
@@ -135,27 +138,32 @@ enum WibOp {
     SquashSlot { slot: usize },
 }
 
-fn arb_wib_ops() -> impl Strategy<Value = Vec<WibOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            Just(WibOp::AllocColumn),
-            (0usize..64).prop_map(|slot| WibOp::Insert { slot }),
-            Just(WibOp::CompleteOldestColumn),
-            (1usize..8).prop_map(|budget| WibOp::Extract { budget }),
-            (0usize..64).prop_map(|slot| WibOp::SquashSlot { slot }),
-        ],
-        1..120,
-    )
+fn random_wib_ops(r: &mut StdRng) -> Vec<WibOp> {
+    let n = r.random_range(1..120usize);
+    (0..n)
+        .map(|_| match r.random_range(0..5u32) {
+            0 => WibOp::AllocColumn,
+            1 => WibOp::Insert {
+                slot: r.random_range(0..64),
+            },
+            2 => WibOp::CompleteOldestColumn,
+            3 => WibOp::Extract {
+                budget: r.random_range(1..8),
+            },
+            _ => WibOp::SquashSlot {
+                slot: r.random_range(0..64),
+            },
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Model: the set of resident slots must track exactly; extraction
-    /// only yields slots whose column completed; nothing is lost or
-    /// duplicated.
-    #[test]
-    fn wib_tracks_a_reference_set_model(ops in arb_wib_ops()) {
+/// Model: the set of resident slots must track exactly; extraction only
+/// yields slots whose column completed; nothing is lost or duplicated.
+#[test]
+fn wib_tracks_a_reference_set_model() {
+    let mut r = StdRng::seed_from_u64(0xc04e_0003);
+    for _ in 0..256 {
+        let ops = random_wib_ops(&mut r);
         let mut wib = Wib::new(64, WibOrganization::Ideal, SelectionPolicy::ProgramOrder, 8);
         let mut open_cols: Vec<u16> = Vec::new(); // not yet completed
         let mut resident: HashSet<usize> = HashSet::new();
@@ -200,11 +208,11 @@ proptest! {
                         got.push(slot);
                         true
                     });
-                    prop_assert!(got.len() <= budget);
+                    assert!(got.len() <= budget);
                     for slot in got {
-                        prop_assert!(
+                        assert!(
                             eligible.remove(&slot),
-                            "extracted slot {} was not eligible", slot
+                            "extracted slot {slot} was not eligible"
                         );
                         resident.remove(&slot);
                         slot_col.remove(&slot);
@@ -217,7 +225,7 @@ proptest! {
                     slot_col.remove(&slot);
                 }
             }
-            prop_assert_eq!(wib.resident(), resident.len(), "resident count diverged");
+            assert_eq!(wib.resident(), resident.len(), "resident count diverged");
         }
         // Drain: everything eligible must eventually come out.
         let mut drained = HashSet::new();
@@ -232,15 +240,22 @@ proptest! {
             }
             drained.extend(got);
         }
-        prop_assert_eq!(&drained, &eligible, "drain mismatch");
+        assert_eq!(&drained, &eligible, "drain mismatch");
     }
+}
 
-    /// The pool-of-blocks buffer tracks the same set model; insertions may
-    /// be refused (pool exhaustion) but must never lose or duplicate
-    /// entries, and blocks must all return to the free list.
-    #[test]
-    fn pool_wib_tracks_a_reference_set_model(ops in arb_wib_ops()) {
-        let mut pool = PoolWib::new(PoolConfig { block_slots: 2, blocks: 8 });
+/// The pool-of-blocks buffer tracks the same set model; insertions may
+/// be refused (pool exhaustion) but must never lose or duplicate
+/// entries, and blocks must all return to the free list.
+#[test]
+fn pool_wib_tracks_a_reference_set_model() {
+    let mut r = StdRng::seed_from_u64(0xc04e_0004);
+    for _ in 0..256 {
+        let ops = random_wib_ops(&mut r);
+        let mut pool = PoolWib::new(PoolConfig {
+            block_slots: 2,
+            blocks: 8,
+        });
         let total_blocks = pool.free_blocks();
         let mut open_cols: Vec<u16> = Vec::new();
         let mut resident: HashSet<usize> = HashSet::new();
@@ -253,7 +268,9 @@ proptest! {
             match op {
                 WibOp::AllocColumn => {
                     load_seq += 1;
-                    let c = pool.allocate_column(load_seq).expect("chains are unbounded");
+                    let c = pool
+                        .allocate_column(load_seq)
+                        .expect("chains are unbounded");
                     open_cols.push(c);
                 }
                 WibOp::Insert { slot } => {
@@ -285,11 +302,11 @@ proptest! {
                         got.push(slot);
                         true
                     });
-                    prop_assert!(got.len() <= budget);
+                    assert!(got.len() <= budget);
                     for slot in got {
-                        prop_assert!(
+                        assert!(
                             eligible.remove(&slot),
-                            "extracted slot {} was not eligible", slot
+                            "extracted slot {slot} was not eligible"
                         );
                         resident.remove(&slot);
                         slot_col.remove(&slot);
@@ -302,7 +319,7 @@ proptest! {
                     slot_col.remove(&slot);
                 }
             }
-            prop_assert_eq!(pool.resident(), resident.len(), "resident count diverged");
+            assert_eq!(pool.resident(), resident.len(), "resident count diverged");
         }
         loop {
             let mut got = Vec::new();
@@ -314,10 +331,10 @@ proptest! {
                 break;
             }
             for slot in got {
-                prop_assert!(eligible.remove(&slot));
+                assert!(eligible.remove(&slot));
             }
         }
-        prop_assert!(eligible.is_empty(), "eligible entries never drained");
+        assert!(eligible.is_empty(), "eligible entries never drained");
         // Squash everything still parked; all blocks must come home.
         let parked: Vec<usize> = resident.iter().copied().collect();
         for slot in parked {
@@ -326,6 +343,6 @@ proptest! {
         for c in open_cols {
             pool.column_completed(c);
         }
-        prop_assert_eq!(pool.free_blocks(), total_blocks, "leaked blocks");
+        assert_eq!(pool.free_blocks(), total_blocks, "leaked blocks");
     }
 }

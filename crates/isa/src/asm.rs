@@ -42,7 +42,10 @@ impl fmt::Display for AsmError {
             AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
             AsmError::BranchOutOfRange { label, offset } => {
-                write!(f, "branch to `{label}` out of range (offset {offset} instructions)")
+                write!(
+                    f,
+                    "branch to `{label}` out of range (offset {offset} instructions)"
+                )
             }
         }
     }
@@ -90,8 +93,13 @@ impl ProgramBuilder {
 
     /// Define `name` at the current position.
     pub fn label(&mut self, name: &str) -> &mut Self {
-        if self.labels.insert(name.to_string(), self.insts.len()).is_some() {
-            self.error.get_or_insert(AsmError::DuplicateLabel(name.to_string()));
+        if self
+            .labels
+            .insert(name.to_string(), self.insts.len())
+            .is_some()
+        {
+            self.error
+                .get_or_insert(AsmError::DuplicateLabel(name.to_string()));
         }
         self
     }
@@ -132,7 +140,10 @@ impl ProgramBuilder {
 
     /// Add initialized `f64` data.
     pub fn data_f64(&mut self, base: u32, values: &[f64]) -> &mut Self {
-        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bytes: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         self.data.push((base, bytes));
         self
     }
@@ -158,7 +169,10 @@ impl ProgramBuilder {
                 FixupKind::Jump26 => (-(1 << 25)..(1 << 25)).contains(&offset),
             };
             if !fits {
-                return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
+                return Err(AsmError::BranchOutOfRange {
+                    label: label.clone(),
+                    offset,
+                });
             }
             self.insts[*at].imm = offset as i32;
         }
@@ -171,17 +185,36 @@ impl ProgramBuilder {
     }
 
     fn rrr(&mut self, op: Opcode, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.emit(Inst { op, rd: rd.index(), rs1: rs1.index(), rs2: rs2.index(), imm: 0 })
+        self.emit(Inst {
+            op,
+            rd: rd.index(),
+            rs1: rs1.index(),
+            rs2: rs2.index(),
+            imm: 0,
+        })
     }
 
     fn rri(&mut self, op: Opcode, rd: ArchReg, rs1: ArchReg, imm: i32) -> &mut Self {
-        self.emit(Inst { op, rd: rd.index(), rs1: rs1.index(), rs2: 0, imm })
+        self.emit(Inst {
+            op,
+            rd: rd.index(),
+            rs1: rs1.index(),
+            rs2: 0,
+            imm,
+        })
     }
 
     fn branch(&mut self, op: Opcode, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
-        self.fixups.push((self.insts.len(), label.to_string(), FixupKind::Branch16));
+        self.fixups
+            .push((self.insts.len(), label.to_string(), FixupKind::Branch16));
         // Branch compares rs1 (rs1 field) with rs2 (rd field).
-        self.emit(Inst { op, rd: rs2.index(), rs1: rs1.index(), rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op,
+            rd: rs2.index(),
+            rs1: rs1.index(),
+            rs2: 0,
+            imm: 0,
+        })
     }
 }
 
@@ -347,20 +380,40 @@ impl ProgramBuilder {
 
     /// Unconditional direct jump.
     pub fn j(&mut self, label: &str) -> &mut Self {
-        self.fixups.push((self.insts.len(), label.to_string(), FixupKind::Jump26));
-        self.emit(Inst { op: Opcode::J, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+        self.fixups
+            .push((self.insts.len(), label.to_string(), FixupKind::Jump26));
+        self.emit(Inst {
+            op: Opcode::J,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Call: jump and link `r31`.
     pub fn jal(&mut self, label: &str) -> &mut Self {
-        self.fixups.push((self.insts.len(), label.to_string(), FixupKind::Jump26));
-        self.emit(Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+        self.fixups
+            .push((self.insts.len(), label.to_string(), FixupKind::Jump26));
+        self.emit(Inst {
+            op: Opcode::Jal,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Indirect jump to `rs1`.
     pub fn jr(&mut self, rs1: ArchReg) -> &mut Self {
         debug_assert!(rs1.class() == RegClass::Int);
-        self.emit(Inst { op: Opcode::Jr, rd: 0, rs1: rs1.index(), rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Jr,
+            rd: 0,
+            rs1: rs1.index(),
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Return: `jr r31`.
@@ -371,7 +424,13 @@ impl ProgramBuilder {
     /// Indirect call: jump to `rs1`, link into `rd`.
     pub fn jalr(&mut self, rd: ArchReg, rs1: ArchReg) -> &mut Self {
         debug_assert!(rd.class() == RegClass::Int && rs1.class() == RegClass::Int);
-        self.emit(Inst { op: Opcode::Jalr, rd: rd.index(), rs1: rs1.index(), rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Jalr,
+            rd: rd.index(),
+            rs1: rs1.index(),
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// FP square root.
@@ -407,19 +466,37 @@ impl ProgramBuilder {
     /// FP compare equal into an integer register.
     pub fn feq(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
         debug_assert!(rd.class() == RegClass::Int);
-        self.emit(Inst { op: Opcode::Feq, rd: rd.index(), rs1: fs1.index(), rs2: fs2.index(), imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Feq,
+            rd: rd.index(),
+            rs1: fs1.index(),
+            rs2: fs2.index(),
+            imm: 0,
+        })
     }
 
     /// FP compare less-than into an integer register.
     pub fn flt(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
         debug_assert!(rd.class() == RegClass::Int);
-        self.emit(Inst { op: Opcode::Flt, rd: rd.index(), rs1: fs1.index(), rs2: fs2.index(), imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Flt,
+            rd: rd.index(),
+            rs1: fs1.index(),
+            rs2: fs2.index(),
+            imm: 0,
+        })
     }
 
     /// FP compare less-or-equal into an integer register.
     pub fn fle(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
         debug_assert!(rd.class() == RegClass::Int);
-        self.emit(Inst { op: Opcode::Fle, rd: rd.index(), rs1: fs1.index(), rs2: fs2.index(), imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Fle,
+            rd: rd.index(),
+            rs1: fs1.index(),
+            rs2: fs2.index(),
+            imm: 0,
+        })
     }
 
     /// No-operation.
@@ -429,7 +506,13 @@ impl ProgramBuilder {
 
     /// Stop the machine.
     pub fn halt(&mut self) -> &mut Self {
-        self.emit(Inst { op: Opcode::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Halt,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 }
 
@@ -458,7 +541,10 @@ mod tests {
     fn undefined_label_errors() {
         let mut b = ProgramBuilder::new(0);
         b.j("nowhere");
-        assert_eq!(b.finish().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
     }
 
     #[test]
@@ -467,7 +553,10 @@ mod tests {
         b.label("x");
         b.nop();
         b.label("x");
-        assert_eq!(b.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

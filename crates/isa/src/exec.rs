@@ -124,7 +124,8 @@ pub fn control_target(inst: &Inst, pc: u32, a: u64) -> u32 {
     if inst.is_jump_indirect() {
         as_u32(a) & !3
     } else if inst.is_jump_direct() || inst.is_cond_branch() {
-        pc.wrapping_add(4).wrapping_add((inst.imm as u32).wrapping_mul(4))
+        pc.wrapping_add(4)
+            .wrapping_add((inst.imm as u32).wrapping_mul(4))
     } else {
         panic!("control_target on non-control {:?}", inst.op)
     }
@@ -135,7 +136,13 @@ mod tests {
     use super::*;
 
     fn inst(op: Opcode) -> Inst {
-        Inst { op, rd: 1, rs1: 2, rs2: 3, imm: 0 }
+        Inst {
+            op,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+            imm: 0,
+        }
     }
 
     #[test]
@@ -160,14 +167,26 @@ mod tests {
     fn shift_amounts_masked() {
         let r = alu_result(&inst(Opcode::Sll), from_u32(1), from_u32(33), 0).unwrap();
         assert_eq!(as_u32(r), 2);
-        let sra = Inst { op: Opcode::Srai, rd: 1, rs1: 2, rs2: 0, imm: 4 };
+        let sra = Inst {
+            op: Opcode::Srai,
+            rd: 1,
+            rs1: 2,
+            rs2: 0,
+            imm: 4,
+        };
         let r = alu_result(&sra, from_u32(0x8000_0000), 0, 0).unwrap();
         assert_eq!(as_u32(r), 0xf800_0000);
     }
 
     #[test]
     fn lui_builds_upper_bits() {
-        let lui = Inst { op: Opcode::Lui, rd: 1, rs1: 0, rs2: 0, imm: 0x1234 };
+        let lui = Inst {
+            op: Opcode::Lui,
+            rd: 1,
+            rs1: 0,
+            rs2: 0,
+            imm: 0x1234,
+        };
         assert_eq!(as_u32(alu_result(&lui, 0, 0, 0).unwrap()), 0x1234_0000);
     }
 
@@ -187,29 +206,63 @@ mod tests {
     fn branches() {
         assert!(branch_taken(&inst(Opcode::Beq), from_u32(4), from_u32(4)));
         assert!(!branch_taken(&inst(Opcode::Bne), from_u32(4), from_u32(4)));
-        assert!(branch_taken(&inst(Opcode::Blt), from_u32(-5i32 as u32), from_u32(3)));
+        assert!(branch_taken(
+            &inst(Opcode::Blt),
+            from_u32(-5i32 as u32),
+            from_u32(3)
+        ));
         assert!(branch_taken(&inst(Opcode::Bge), from_u32(3), from_u32(3)));
     }
 
     #[test]
     fn targets() {
-        let b = Inst { op: Opcode::Beq, rd: 0, rs1: 0, rs2: 0, imm: -2 };
+        let b = Inst {
+            op: Opcode::Beq,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: -2,
+        };
         assert_eq!(control_target(&b, 100, 0), 100 + 4 - 8);
-        let j = Inst { op: Opcode::J, rd: 0, rs1: 0, rs2: 0, imm: 10 };
+        let j = Inst {
+            op: Opcode::J,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 10,
+        };
         assert_eq!(control_target(&j, 0, 0), 44);
-        let jr = Inst { op: Opcode::Jr, rd: 0, rs1: 31, rs2: 0, imm: 0 };
+        let jr = Inst {
+            op: Opcode::Jr,
+            rd: 0,
+            rs1: 31,
+            rs2: 0,
+            imm: 0,
+        };
         assert_eq!(control_target(&jr, 0, from_u32(0x2002)), 0x2000);
     }
 
     #[test]
     fn return_address() {
-        let jal = Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: 5 };
+        let jal = Inst {
+            op: Opcode::Jal,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 5,
+        };
         assert_eq!(as_u32(alu_result(&jal, 0, 0, 0x1000).unwrap()), 0x1004);
     }
 
     #[test]
     fn effective_addresses_wrap() {
-        let lw = Inst { op: Opcode::Lw, rd: 1, rs1: 2, rs2: 0, imm: -4 };
+        let lw = Inst {
+            op: Opcode::Lw,
+            rd: 1,
+            rs1: 2,
+            rs2: 0,
+            imm: -4,
+        };
         assert_eq!(effective_address(&lw, from_u32(0)), u32::MAX - 3);
     }
 }

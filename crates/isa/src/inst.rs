@@ -116,7 +116,13 @@ pub struct Inst {
 
 impl Inst {
     /// A canonical `nop`.
-    pub const NOP: Inst = Inst { op: Opcode::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 };
+    pub const NOP: Inst = Inst {
+        op: Opcode::Nop,
+        rd: 0,
+        rs1: 0,
+        rs2: 0,
+        imm: 0,
+    };
 
     /// Encode into a 32-bit instruction word.
     ///
@@ -125,7 +131,10 @@ impl Inst {
     /// fit its field (16 bits for I-type, 26 bits for J-type). The assembler
     /// validates offsets before calling this.
     pub fn encode(&self) -> u32 {
-        assert!(self.rd < 32 && self.rs1 < 32 && self.rs2 < 32, "register field out of range");
+        assert!(
+            self.rd < 32 && self.rs1 < 32 && self.rs2 < 32,
+            "register field out of range"
+        );
         let op = (self.op as u32) << 26;
         if self.is_jump_direct() {
             assert!(
@@ -153,7 +162,13 @@ impl Inst {
     /// matters on wrong-path fetches into data).
     pub fn decode(word: u32) -> Option<Inst> {
         let op = Opcode::from_code((word >> 26) as u8)?;
-        let mut inst = Inst { op, rd: 0, rs1: 0, rs2: 0, imm: 0 };
+        let mut inst = Inst {
+            op,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        };
         if inst.is_jump_direct() {
             // Sign-extend the 26-bit offset.
             let off = (word & 0x03ff_ffff) as i32;
@@ -175,9 +190,25 @@ impl Inst {
         use Opcode::*;
         matches!(
             self.op,
-            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai | Lui
-                | Lw | Lbu | Sw | Sb | Fld | Fsd
-                | Beq | Bne | Blt | Bge | Jalr
+            Addi | Andi
+                | Ori
+                | Xori
+                | Slti
+                | Slli
+                | Srli
+                | Srai
+                | Lui
+                | Lw
+                | Lbu
+                | Sw
+                | Sb
+                | Fld
+                | Fsd
+                | Beq
+                | Bne
+                | Blt
+                | Bge
+                | Jalr
         )
     }
 
@@ -193,7 +224,10 @@ impl Inst {
 
     /// True for conditional branches.
     pub fn is_cond_branch(&self) -> bool {
-        matches!(self.op, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+        matches!(
+            self.op,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge
+        )
     }
 
     /// True for any control-transfer instruction.
@@ -362,7 +396,13 @@ mod tests {
     #[test]
     fn encode_decode_round_trip_all_ops() {
         for op in all_opcodes() {
-            let mut inst = Inst { op, rd: 3, rs1: 7, rs2: 11, imm: -12 };
+            let mut inst = Inst {
+                op,
+                rd: 3,
+                rs1: 7,
+                rs2: 11,
+                imm: -12,
+            };
             if inst.uses_imm() {
                 inst.rs2 = 0;
             } else {
@@ -381,18 +421,42 @@ mod tests {
 
     #[test]
     fn immediate_sign_extension() {
-        let inst = Inst { op: Opcode::Addi, rd: 1, rs1: 2, rs2: 0, imm: -1 };
+        let inst = Inst {
+            op: Opcode::Addi,
+            rd: 1,
+            rs1: 2,
+            rs2: 0,
+            imm: -1,
+        };
         let decoded = Inst::decode(inst.encode()).unwrap();
         assert_eq!(decoded.imm, -1);
-        let inst = Inst { op: Opcode::Addi, rd: 1, rs1: 2, rs2: 0, imm: 0x7fff };
+        let inst = Inst {
+            op: Opcode::Addi,
+            rd: 1,
+            rs1: 2,
+            rs2: 0,
+            imm: 0x7fff,
+        };
         assert_eq!(Inst::decode(inst.encode()).unwrap().imm, 0x7fff);
     }
 
     #[test]
     fn jump_offset_sign_extension() {
-        let inst = Inst { op: Opcode::J, rd: 0, rs1: 0, rs2: 0, imm: -(1 << 25) };
+        let inst = Inst {
+            op: Opcode::J,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: -(1 << 25),
+        };
         assert_eq!(Inst::decode(inst.encode()).unwrap().imm, -(1 << 25));
-        let inst = Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: (1 << 25) - 1 };
+        let inst = Inst {
+            op: Opcode::Jal,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: (1 << 25) - 1,
+        };
         assert_eq!(Inst::decode(inst.encode()).unwrap().imm, (1 << 25) - 1);
     }
 
@@ -404,46 +468,106 @@ mod tests {
 
     #[test]
     fn zero_register_writes_discarded() {
-        let inst = Inst { op: Opcode::Add, rd: 0, rs1: 1, rs2: 2, imm: 0 };
+        let inst = Inst {
+            op: Opcode::Add,
+            rd: 0,
+            rs1: 1,
+            rs2: 2,
+            imm: 0,
+        };
         assert_eq!(inst.dest(), None);
     }
 
     #[test]
     fn store_sources_include_data_register() {
-        let sw = Inst { op: Opcode::Sw, rd: 5, rs1: 6, rs2: 0, imm: 8 };
+        let sw = Inst {
+            op: Opcode::Sw,
+            rd: 5,
+            rs1: 6,
+            rs2: 0,
+            imm: 8,
+        };
         assert_eq!(sw.sources(), [Some(reg::R6), Some(reg::R5)]);
-        let fsd = Inst { op: Opcode::Fsd, rd: 2, rs1: 6, rs2: 0, imm: 8 };
+        let fsd = Inst {
+            op: Opcode::Fsd,
+            rd: 2,
+            rs1: 6,
+            rs2: 0,
+            imm: 8,
+        };
         assert_eq!(fsd.sources(), [Some(reg::R6), Some(reg::F2)]);
     }
 
     #[test]
     fn fp_zero_register_is_a_real_dependence() {
         // Only integer r0 is hardwired; f0 is a normal register.
-        let fadd = Inst { op: Opcode::Fadd, rd: 1, rs1: 0, rs2: 0, imm: 0 };
+        let fadd = Inst {
+            op: Opcode::Fadd,
+            rd: 1,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        };
         assert_eq!(fadd.sources(), [Some(reg::F0), Some(reg::F0)]);
         assert_eq!(fadd.dest(), Some(reg::F1));
     }
 
     #[test]
     fn classification() {
-        let jr_ra = Inst { op: Opcode::Jr, rd: 0, rs1: 31, rs2: 0, imm: 0 };
+        let jr_ra = Inst {
+            op: Opcode::Jr,
+            rd: 0,
+            rs1: 31,
+            rs2: 0,
+            imm: 0,
+        };
         assert!(jr_ra.is_return() && jr_ra.is_jump_indirect() && !jr_ra.is_call());
-        let jal = Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: 4 };
+        let jal = Inst {
+            op: Opcode::Jal,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 4,
+        };
         assert!(jal.is_call() && jal.is_jump_direct());
         assert_eq!(jal.dest(), Some(reg::RA));
-        let fld = Inst { op: Opcode::Fld, rd: 1, rs1: 2, rs2: 0, imm: 0 };
+        let fld = Inst {
+            op: Opcode::Fld,
+            rd: 1,
+            rs1: 2,
+            rs2: 0,
+            imm: 0,
+        };
         assert!(fld.is_load() && fld.is_mem() && !fld.is_fp_queue());
         assert_eq!(fld.mem_width(), 8);
-        let fdiv = Inst { op: Opcode::Fdiv, rd: 1, rs1: 2, rs2: 3, imm: 0 };
+        let fdiv = Inst {
+            op: Opcode::Fdiv,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+            imm: 0,
+        };
         assert_eq!(fdiv.fu_kind(), FuKind::FpDiv);
         assert!(fdiv.is_fp_queue());
     }
 
     #[test]
     fn display_smoke() {
-        let inst = Inst { op: Opcode::Lw, rd: 4, rs1: 5, rs2: 0, imm: -16 };
+        let inst = Inst {
+            op: Opcode::Lw,
+            rd: 4,
+            rs1: 5,
+            rs2: 0,
+            imm: -16,
+        };
         assert_eq!(inst.to_string(), "lw r4, -16(r5)");
-        let b = Inst { op: Opcode::Bne, rd: 2, rs1: 1, rs2: 0, imm: -3 };
+        let b = Inst {
+            op: Opcode::Bne,
+            rd: 2,
+            rs1: 1,
+            rs2: 0,
+            imm: -3,
+        };
         assert_eq!(b.to_string(), "bne r1, r2, -3");
     }
 }

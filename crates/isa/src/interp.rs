@@ -169,8 +169,8 @@ impl Interpreter {
             return Ok(StepInfo { pc, mem: None });
         }
         let word = self.mem.read_u32(self.pc);
-        let inst = Inst::decode(word)
-            .ok_or(InterpError::InvalidInstruction { pc: self.pc, word })?;
+        let inst =
+            Inst::decode(word).ok_or(InterpError::InvalidInstruction { pc: self.pc, word })?;
         let [s1, s2] = inst.sources();
         let a = self.read_src(s1);
         let b = self.read_src(s2);
@@ -195,11 +195,19 @@ impl Interpreter {
             if let Some(dest) = inst.dest() {
                 self.write_dest(dest, bits);
             }
-            mem_access = Some(MemAccess { addr, width: inst.mem_width(), is_store: false });
+            mem_access = Some(MemAccess {
+                addr,
+                width: inst.mem_width(),
+                is_store: false,
+            });
         } else if inst.is_store() {
             let addr = exec::effective_address(&inst, a);
             self.mem.write_bits(addr, inst.mem_width(), b);
-            mem_access = Some(MemAccess { addr, width: inst.mem_width(), is_store: true });
+            mem_access = Some(MemAccess {
+                addr,
+                width: inst.mem_width(),
+                is_store: true,
+            });
         } else if let Some(result) = exec::alu_result(&inst, a, b, pc) {
             if let Some(dest) = inst.dest() {
                 self.write_dest(dest, result);
@@ -208,7 +216,10 @@ impl Interpreter {
 
         self.pc = next_pc;
         self.retired += 1;
-        Ok(StepInfo { pc, mem: mem_access })
+        Ok(StepInfo {
+            pc,
+            mem: mem_access,
+        })
     }
 
     /// Run until `halt` or until `budget` instructions have retired.
@@ -222,7 +233,11 @@ impl Interpreter {
             }
             self.step()?;
         }
-        Ok(if self.halted { StopReason::Halted } else { StopReason::BudgetExhausted })
+        Ok(if self.halted {
+            StopReason::Halted
+        } else {
+            StopReason::BudgetExhausted
+        })
     }
 }
 
@@ -308,7 +323,7 @@ mod tests {
         // Jump through a register to a computed target.
         b.li(R2, 0);
         b.li(R1, 0); // patched below via label math: use data table instead
-        // Store the address of "target" into memory, load and jr.
+                     // Store the address of "target" into memory, load and jr.
         b.li(R3, 0x9000);
         b.lw(R4, R3, 0);
         b.jr(R4);
@@ -357,11 +372,19 @@ mod tests {
 
     #[test]
     fn invalid_instruction_reported() {
-        let p = Program { code_base: 0, code: vec![0xffff_ffff], data: vec![], entry: 0 };
+        let p = Program {
+            code_base: 0,
+            code: vec![0xffff_ffff],
+            data: vec![],
+            entry: 0,
+        };
         let mut i = Interpreter::new(&p);
         assert_eq!(
             i.step().unwrap_err(),
-            InterpError::InvalidInstruction { pc: 0, word: 0xffff_ffff }
+            InterpError::InvalidInstruction {
+                pc: 0,
+                word: 0xffff_ffff
+            }
         );
     }
 }

@@ -43,8 +43,8 @@ pub mod inst;
 pub mod interp;
 pub mod mem;
 pub mod program;
-pub mod text;
 pub mod reg;
+pub mod text;
 
 pub use inst::{FuKind, Inst, Opcode};
 pub use program::Program;

@@ -85,8 +85,22 @@ mod tests {
         Program {
             code_base: 0x1000,
             code: vec![
-                Inst { op: Opcode::Addi, rd: 1, rs1: 0, rs2: 0, imm: 7 }.encode(),
-                Inst { op: Opcode::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 }.encode(),
+                Inst {
+                    op: Opcode::Addi,
+                    rd: 1,
+                    rs1: 0,
+                    rs2: 0,
+                    imm: 7,
+                }
+                .encode(),
+                Inst {
+                    op: Opcode::Halt,
+                    rd: 0,
+                    rs1: 0,
+                    rs2: 0,
+                    imm: 0,
+                }
+                .encode(),
             ],
             data: vec![(0x8000, vec![1, 2, 3])],
             entry: 0x1000,

@@ -64,7 +64,10 @@ impl fmt::Display for TextAsmError {
 impl std::error::Error for TextAsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> TextAsmError {
-    TextAsmError { line, message: message.into() }
+    TextAsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, TextAsmError> {
@@ -115,7 +118,11 @@ fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, ArchReg), TextAsmEr
     if !t.ends_with(')') {
         return Err(err(line, format!("expected `offset(base)`, got `{t}`")));
     }
-    let off = if open == 0 { 0 } else { parse_int(&t[..open], line)? as i32 };
+    let off = if open == 0 {
+        0
+    } else {
+        parse_int(&t[..open], line)? as i32
+    };
     let base = parse_reg(&t[open + 1..t.len() - 1], line)?;
     Ok((off, base))
 }
@@ -184,7 +191,10 @@ pub fn parse_program(source: &str) -> Result<Program, TextAsmError> {
             if let Section::Data { base, bytes } = section {
                 data_segments.push((base, bytes));
             }
-            section = Section::Data { base: parse_int(rest, ln)? as u32, bytes: Vec::new() };
+            section = Section::Data {
+                base: parse_int(rest, ln)? as u32,
+                bytes: Vec::new(),
+            };
             continue;
         }
         if line.starts_with(".org") {
@@ -233,9 +243,7 @@ pub fn parse_program(source: &str) -> Result<Program, TextAsmError> {
     if let Section::Data { base, bytes } = section {
         data_segments.push((base, bytes));
     }
-    let mut program = b
-        .finish()
-        .map_err(|e| err(0, format!("link error: {e}")))?;
+    let mut program = b.finish().map_err(|e| err(0, format!("link error: {e}")))?;
     program.data.extend(data_segments);
     Ok(program)
 }
@@ -250,7 +258,10 @@ fn emit(
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(ln, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+            Err(err(
+                ln,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
         }
     };
     let reg = |k: usize| parse_reg(ops[k], ln);

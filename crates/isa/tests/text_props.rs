@@ -1,91 +1,115 @@
-//! Property tests: the textual assembler round-trips the disassembler's
-//! output for arbitrary (non-control) instructions, and random source
-//! never panics the parser.
+//! Randomized property tests: the textual assembler round-trips the
+//! disassembler's output for arbitrary (non-control) instructions, and
+//! random source never panics the parser. Fixed seeds keep the suite
+//! deterministic and offline.
 
-use proptest::prelude::*;
 use wib_isa::inst::{Inst, Opcode};
 use wib_isa::text::parse_program;
+use wib_rng::StdRng;
 
-fn arb_straightline_inst() -> impl Strategy<Value = Inst> {
-    // Everything except control flow (whose disassembly prints raw
-    // offsets, not labels) and nop/halt handled separately.
-    let ops = vec![
-        Opcode::Add,
-        Opcode::Sub,
-        Opcode::Mul,
-        Opcode::And,
-        Opcode::Or,
-        Opcode::Xor,
-        Opcode::Sll,
-        Opcode::Srl,
-        Opcode::Sra,
-        Opcode::Slt,
-        Opcode::Sltu,
-        Opcode::Addi,
-        Opcode::Slti,
-        Opcode::Slli,
-        Opcode::Srli,
-        Opcode::Srai,
-        Opcode::Lw,
-        Opcode::Lbu,
-        Opcode::Sw,
-        Opcode::Sb,
-        Opcode::Fld,
-        Opcode::Fsd,
-        Opcode::Fadd,
-        Opcode::Fsub,
-        Opcode::Fmul,
-        Opcode::Fdiv,
-        Opcode::Fsqrt,
-        Opcode::Fneg,
-        Opcode::Fmov,
-        Opcode::Cvtif,
-        Opcode::Cvtfi,
-        Opcode::Feq,
-        Opcode::Flt,
-        Opcode::Fle,
-    ];
-    (prop::sample::select(ops), 0u8..32, 0u8..32, 0u8..32, any::<i16>()).prop_map(
-        |(op, rd, rs1, rs2, imm)| {
-            let mut inst = Inst { op, rd, rs1, rs2, imm: imm as i32 };
-            if inst.uses_imm() {
-                inst.rs2 = 0;
-            } else {
-                inst.imm = 0;
-            }
-            // Single-source instructions leave the rs2 field zero (the
-            // canonical encoding the assembler produces).
-            if matches!(op, Opcode::Fsqrt | Opcode::Fneg | Opcode::Fmov | Opcode::Cvtif
-                | Opcode::Cvtfi)
-            {
-                inst.rs2 = 0;
-            }
-            inst
-        },
-    )
+// Everything except control flow (whose disassembly prints raw offsets,
+// not labels) and nop/halt handled separately.
+const STRAIGHTLINE: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Sll,
+    Opcode::Srl,
+    Opcode::Sra,
+    Opcode::Slt,
+    Opcode::Sltu,
+    Opcode::Addi,
+    Opcode::Slti,
+    Opcode::Slli,
+    Opcode::Srli,
+    Opcode::Srai,
+    Opcode::Lw,
+    Opcode::Lbu,
+    Opcode::Sw,
+    Opcode::Sb,
+    Opcode::Fld,
+    Opcode::Fsd,
+    Opcode::Fadd,
+    Opcode::Fsub,
+    Opcode::Fmul,
+    Opcode::Fdiv,
+    Opcode::Fsqrt,
+    Opcode::Fneg,
+    Opcode::Fmov,
+    Opcode::Cvtif,
+    Opcode::Cvtfi,
+    Opcode::Feq,
+    Opcode::Flt,
+    Opcode::Fle,
+];
+
+fn random_straightline_inst(r: &mut StdRng) -> Inst {
+    let op = STRAIGHTLINE[r.random_range(0..STRAIGHTLINE.len())];
+    let (rd, rs1, rs2) = (
+        r.random_range(0u8..32),
+        r.random_range(0u8..32),
+        r.random_range(0u8..32),
+    );
+    let imm: i16 = r.random();
+    let mut inst = Inst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm: imm as i32,
+    };
+    if inst.uses_imm() {
+        inst.rs2 = 0;
+    } else {
+        inst.imm = 0;
+    }
+    // Single-source instructions leave the rs2 field zero (the canonical
+    // encoding the assembler produces).
+    if matches!(
+        op,
+        Opcode::Fsqrt | Opcode::Fneg | Opcode::Fmov | Opcode::Cvtif | Opcode::Cvtfi
+    ) {
+        inst.rs2 = 0;
+    }
+    inst
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// disassemble -> parse -> encode is the identity on straight-line
-    /// instructions.
-    #[test]
-    fn disassembly_reparses_identically(insts in prop::collection::vec(arb_straightline_inst(), 1..20)) {
-        let source: String = insts
-            .iter()
-            .map(|i| format!("{i}\n"))
-            .collect();
+/// disassemble -> parse -> encode is the identity on straight-line
+/// instructions.
+#[test]
+fn disassembly_reparses_identically() {
+    let mut r = StdRng::seed_from_u64(0x7e27_0001);
+    for _ in 0..256 {
+        let n = r.random_range(1..20);
+        let insts: Vec<Inst> = (0..n).map(|_| random_straightline_inst(&mut r)).collect();
+        let source: String = insts.iter().map(|i| format!("{i}\n")).collect();
         let program = parse_program(&source).expect("disassembly is valid assembly");
-        prop_assert_eq!(program.code.len(), insts.len());
+        assert_eq!(program.code.len(), insts.len());
         for (word, inst) in program.code.iter().zip(&insts) {
-            prop_assert_eq!(*word, inst.encode(), "mismatch for `{}`", inst);
+            assert_eq!(*word, inst.encode(), "mismatch for `{inst}`");
         }
     }
+}
 
-    /// Arbitrary text never panics the parser (errors are fine).
-    #[test]
-    fn parser_never_panics(src in "[ -~\n]{0,200}") {
+/// Arbitrary text never panics the parser (errors are fine).
+#[test]
+fn parser_never_panics() {
+    let mut r = StdRng::seed_from_u64(0x7e27_0002);
+    for _ in 0..512 {
+        let len = r.random_range(0..200usize);
+        let src: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline — the space the parser sees.
+                if r.random_range(0..12) == 0 {
+                    '\n'
+                } else {
+                    r.random_range(0x20u8..0x7f) as char
+                }
+            })
+            .collect();
         let _ = parse_program(&src);
     }
 }

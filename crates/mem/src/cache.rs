@@ -129,11 +129,21 @@ impl Cache {
     /// Panics unless line size, set count and associativity are powers of
     /// two and the geometry divides evenly.
     pub fn new(cfg: CacheConfig) -> Cache {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.assoc >= 1);
         let sets = cfg.num_sets();
-        assert!(sets >= 1 && sets.is_power_of_two(), "set count must be a power of two");
-        assert_eq!(sets * cfg.assoc * cfg.line_bytes, cfg.size_bytes, "geometry must divide");
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        assert_eq!(
+            sets * cfg.assoc * cfg.line_bytes,
+            cfg.size_bytes,
+            "geometry must divide"
+        );
         Cache {
             lines: vec![Line::default(); (sets * cfg.assoc) as usize],
             set_shift: cfg.line_bytes.trailing_zeros(),
@@ -203,7 +213,10 @@ impl Cache {
             if kind == AccessKind::Write {
                 line.dirty = true;
             }
-            return AccessOutcome { hit: true, evicted_dirty: None };
+            return AccessOutcome {
+                hit: true,
+                evicted_dirty: None,
+            };
         }
 
         // Miss: pick the invalid or least-recently-used way.
@@ -222,8 +235,16 @@ impl Cache {
         } else {
             None
         };
-        *victim = Line { valid: true, dirty: kind == AccessKind::Write, tag, lru: tick };
-        AccessOutcome { hit: false, evicted_dirty }
+        *victim = Line {
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            tag,
+            lru: tick,
+        };
+        AccessOutcome {
+            hit: false,
+            evicted_dirty,
+        }
     }
 
     /// Invalidate every line (no writebacks are modeled).

@@ -54,6 +54,10 @@ pub struct DataAccess {
     pub l1_hit: bool,
     /// Whether the line had to go to DRAM (L2 miss, not merged).
     pub to_memory: bool,
+    /// Whether the miss merged into an already outstanding line fill
+    /// (MSHR hit: no new memory transaction, but the access still waits
+    /// out the fill).
+    pub mshr_merged: bool,
 }
 
 impl DataAccess {
@@ -193,6 +197,7 @@ impl MemoryHierarchy {
         let line = self.l1d.line_addr(addr);
         let l1 = self.l1d.access(addr, kind);
         let mut to_memory = false;
+        let mut mshr_merged = false;
         let base_ready = if l1.hit {
             now + self.l1d.config().hit_latency
         } else {
@@ -209,6 +214,7 @@ impl MemoryHierarchy {
                         self.stats.mshr_merges += 1;
                         self.stats.l2_misses -= 1; // merged, not a new transaction
                         self.stats.l2_accesses -= 1;
+                        mshr_merged = true;
                         *ready
                     }
                     None => {
@@ -223,7 +229,12 @@ impl MemoryHierarchy {
         // Even an L1 "hit" on a line still in flight waits for the fill.
         let merged = self.inflight.get(&line).copied().unwrap_or(0);
         let ready_at = base_ready.max(merged) + tlb_extra;
-        DataAccess { ready_at, l1_hit: l1.hit, to_memory }
+        DataAccess {
+            ready_at,
+            l1_hit: l1.hit,
+            to_memory,
+            mshr_merged,
+        }
     }
 
     /// Warm the data-side hierarchy with `addr` without collecting stats

@@ -22,7 +22,12 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// The paper's TLB: 128 entries, 4-way, 4 KB pages, 30-cycle penalty.
     pub fn isca2002() -> TlbConfig {
-        TlbConfig { entries: 128, assoc: 4, page_bytes: 4096, miss_penalty: 30 }
+        TlbConfig {
+            entries: 128,
+            assoc: 4,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        }
     }
 }
 
@@ -47,7 +52,10 @@ impl Tlb {
             line_bytes: cfg.page_bytes,
             hit_latency: 0,
         };
-        Tlb { inner: Cache::new(cache_cfg), miss_penalty: cfg.miss_penalty }
+        Tlb {
+            inner: Cache::new(cache_cfg),
+            miss_penalty: cfg.miss_penalty,
+        }
     }
 
     /// Translate `addr`: returns the extra cycles charged (0 on hit).
@@ -96,7 +104,12 @@ mod tests {
 
     #[test]
     fn capacity_eviction() {
-        let cfg = TlbConfig { entries: 4, assoc: 4, page_bytes: 4096, miss_penalty: 30 };
+        let cfg = TlbConfig {
+            entries: 4,
+            assoc: 4,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        };
         let mut t = Tlb::new(cfg);
         for p in 0..5u32 {
             t.translate(p * 4096);

@@ -1,9 +1,10 @@
-//! Property tests: the set-associative cache against a naive reference
-//! model (per-set LRU lists).
+//! Randomized property tests: the set-associative cache against a naive
+//! reference model (per-set LRU lists), driven by fixed-seed random op
+//! streams so the suite is deterministic and fully offline.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use wib_mem::cache::{AccessKind, Cache, CacheConfig};
+use wib_rng::StdRng;
 
 /// Naive reference: per-set LRU list of (tag, dirty).
 struct RefCache {
@@ -15,7 +16,12 @@ struct RefCache {
 
 impl RefCache {
     fn new(num_sets: u32, assoc: usize, line: u32) -> RefCache {
-        RefCache { sets: vec![VecDeque::new(); num_sets as usize], assoc, line, num_sets }
+        RefCache {
+            sets: vec![VecDeque::new(); num_sets as usize],
+            assoc,
+            line,
+            num_sets,
+        }
     }
 
     fn access(&mut self, addr: u32, write: bool) -> (bool, Option<u32>) {
@@ -40,13 +46,10 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cache_matches_reference_lru(
-        ops in prop::collection::vec((0u32..0x4000, any::<bool>()), 1..400)
-    ) {
+#[test]
+fn cache_matches_reference_lru() {
+    let mut r = StdRng::seed_from_u64(0xca_c4e_0001);
+    for _ in 0..128 {
         let cfg = CacheConfig {
             name: "t".into(),
             size_bytes: 512,
@@ -56,20 +59,30 @@ proptest! {
         };
         let mut cache = Cache::new(cfg);
         let mut reference = RefCache::new(16, 2, 16);
-        for (addr, write) in ops {
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let n = r.random_range(1..400);
+        for _ in 0..n {
+            let addr: u32 = r.random_range(0..0x4000);
+            let write: bool = r.random();
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let out = cache.access(addr, kind);
             let (ref_hit, ref_evicted) = reference.access(addr, write);
-            prop_assert_eq!(out.hit, ref_hit, "hit mismatch at {:#x}", addr);
-            prop_assert_eq!(out.evicted_dirty, ref_evicted, "writeback mismatch at {:#x}", addr);
+            assert_eq!(out.hit, ref_hit, "hit mismatch at {addr:#x}");
+            assert_eq!(
+                out.evicted_dirty, ref_evicted,
+                "writeback mismatch at {addr:#x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn probe_agrees_with_access_history(
-        ops in prop::collection::vec(0u32..0x1000, 1..100),
-        probe_addr in 0u32..0x1000,
-    ) {
+#[test]
+fn probe_agrees_with_access_history() {
+    let mut r = StdRng::seed_from_u64(0xca_c4e_0002);
+    for _ in 0..128 {
         let cfg = CacheConfig {
             name: "t".into(),
             size_bytes: 256,
@@ -79,14 +92,17 @@ proptest! {
         };
         let mut cache = Cache::new(cfg);
         let mut reference = RefCache::new(2, 4, 32);
-        for addr in ops {
+        let n = r.random_range(1..100);
+        for _ in 0..n {
+            let addr: u32 = r.random_range(0..0x1000);
             cache.access(addr, AccessKind::Read);
             reference.access(addr, false);
         }
+        let probe_addr: u32 = r.random_range(0..0x1000);
         let line_addr = probe_addr / 32;
         let set = (line_addr % 2) as usize;
         let tag = line_addr / 2;
         let expected = reference.sets[set].iter().any(|&(t, _)| t == tag);
-        prop_assert_eq!(cache.probe(probe_addr), expected);
+        assert_eq!(cache.probe(probe_addr), expected);
     }
 }

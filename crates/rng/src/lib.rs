@@ -1,0 +1,231 @@
+//! A small, dependency-free, deterministic PRNG.
+//!
+//! The simulator must build and test fully offline, so it cannot pull the
+//! `rand` crate from a registry. This crate provides the subset of the
+//! `rand` API the repository actually uses — [`StdRng::seed_from_u64`],
+//! [`StdRng::random`], and [`StdRng::random_range`] — over a fixed,
+//! documented generator (xoshiro256** seeded through SplitMix64), so
+//! workload data generation is reproducible run to run and machine to
+//! machine.
+//!
+//! The statistical requirements here are mild (scattering linked
+//! structures, filling arrays with noise, fuzzing instruction sequences);
+//! xoshiro256** comfortably exceeds them.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// `rand`-compatible module path: `wib_rng::rngs::StdRng`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+impl StdRng {
+    /// Seed the generator. Equal seeds give equal streams forever.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 expansion of the seed, as the xoshiro authors
+        // recommend (avoids the all-zero state and decorrelates nearby
+        // seeds).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly random value of `T` (integers over their full range,
+    /// `bool` fair, `f64` in `[0, 1)`).
+    pub fn random<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value from `range` (half-open `lo..hi` or
+    /// inclusive `lo..=hi`, integer or `f64`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform integer in `[0, bound)` by rejection (unbiased).
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Lemire-style rejection on the top of the range.
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Types [`StdRng::random`] can produce.
+pub trait Sample {
+    /// Draw one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    fn sample(rng: &mut StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges [`StdRng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u: f64 = rng.random();
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let u: f64 = rng.random();
+        lo + u * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u32 = r.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = r.random_range(-100..100);
+            assert!((-100..100).contains(&w));
+            let x: usize = r.random_range(0..=5);
+            assert!(x <= 5);
+            let f: f64 = r.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let g: f64 = r.random_range(0.5f64..=1.5);
+            assert!((0.5..=1.5).contains(&g));
+        }
+    }
+
+    #[test]
+    fn ranges_reach_both_ends() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_floats_are_uniformish() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_fair_enough() {
+        let mut r = StdRng::seed_from_u64(4);
+        let heads = (0..10_000).filter(|_| r.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "{heads} heads");
+    }
+}

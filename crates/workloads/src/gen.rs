@@ -1,8 +1,7 @@
 //! Shared helpers for the kernel generators: a simulated-heap bump
 //! allocator and deterministic pseudo-random data.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use wib_rng::StdRng;
 
 /// Base of the simulated heap (code sits at 0x1000, stacks below
 /// 0x0010_0000).

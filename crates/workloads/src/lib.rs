@@ -58,7 +58,11 @@ pub struct Workload {
 impl Workload {
     /// Wrap a built program.
     pub fn new(name: impl Into<String>, suite: Suite, program: Program) -> Workload {
-        Workload { name: name.into(), suite, program }
+        Workload {
+            name: name.into(),
+            suite,
+            program,
+        }
     }
 
     /// Benchmark name (matches the paper's tables).
@@ -115,8 +119,23 @@ mod tests {
         assert_eq!(all.iter().filter(|w| w.suite() == Suite::Olden).count(), 4);
         let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
         for expected in [
-            "bzip2", "gcc", "gzip", "parser", "perlbmk", "vortex", "vpr", "applu", "art",
-            "facerec", "galgel", "mgrid", "swim", "wupwise", "em3d", "mst", "perimeter",
+            "bzip2",
+            "gcc",
+            "gzip",
+            "parser",
+            "perlbmk",
+            "vortex",
+            "vpr",
+            "applu",
+            "art",
+            "facerec",
+            "galgel",
+            "mgrid",
+            "swim",
+            "wupwise",
+            "em3d",
+            "mst",
+            "perimeter",
             "treeadd",
         ] {
             assert!(names.contains(&expected), "missing {expected}");

@@ -5,11 +5,11 @@
 
 use crate::gen::{rng, Heap};
 use crate::{Suite, Workload};
-use rand::RngExt;
 use wib_isa::asm::ProgramBuilder;
 use wib_isa::reg::*;
+use wib_rng::StdRng;
 
-fn f64_block(r: &mut rand::rngs::StdRng, n: u32, lo: f64, hi: f64) -> Vec<u8> {
+fn f64_block(r: &mut StdRng, n: u32, lo: f64, hi: f64) -> Vec<u8> {
     let mut v = Vec::with_capacity(8 * n as usize);
     for _ in 0..n {
         v.extend_from_slice(&r.random_range(lo..hi).to_bits().to_le_bytes());
@@ -25,7 +25,10 @@ pub fn swim(n_elems: u32, iters: u32) -> Workload {
     // Resident plane: 4K f64 = 32 KB per array; three planes plus the
     // active pressure slice fit comfortably in the 256 KB L2.
     let resident = 4_096u32.min(n_elems);
-    assert!(n_elems.is_multiple_of(resident), "stream must be a multiple of the plane");
+    assert!(
+        n_elems.is_multiple_of(resident),
+        "stream must be a multiple of the plane"
+    );
     let mut r = rng(0x5717);
     let mut heap = Heap::new();
     let u = heap.alloc(8 * resident, 64);
@@ -376,7 +379,7 @@ pub fn wupwise(n_pairs: u32, iters: u32) -> Workload {
     b.fld(F2, R1, 8); // x.im
     b.fld(F3, R9, 0); // y.re (streams on first pass)
     b.fld(F4, R9, 8); // y.im
-    // z.re = a.re*x.re - a.im*x.im + y.re
+                      // z.re = a.re*x.re - a.im*x.im + y.re
     b.fmul(F5, F8, F1);
     b.fmul(F6, F9, F2);
     b.fsub(F5, F5, F6);
@@ -407,13 +410,13 @@ pub fn wupwise(n_pairs: u32, iters: u32) -> Workload {
 /// Paper-scale instances.
 pub fn eval() -> Vec<Workload> {
     vec![
-        applu(8_192, 120),          // L2-resident, divider-bound
-        art(65_536, 4, 2),          // 8 MB sparse weights, serial chains
-        facerec(512, 512, 8),       // 2 MB image, column walks
-        galgel(768, 3),             // 4.5 MB matrix
-        mgrid(64, 4),               // two 2 MB grids, 7-point stencil
-        swim(262_144, 4),           // resident planes + 2 MB pressure stream
-        wupwise(131_072, 4),        // resident x/z + streaming y
+        applu(8_192, 120),    // L2-resident, divider-bound
+        art(65_536, 4, 2),    // 8 MB sparse weights, serial chains
+        facerec(512, 512, 8), // 2 MB image, column walks
+        galgel(768, 3),       // 4.5 MB matrix
+        mgrid(64, 4),         // two 2 MB grids, 7-point stencil
+        swim(262_144, 4),     // resident planes + 2 MB pressure stream
+        wupwise(131_072, 4),  // resident x/z + streaming y
     ]
 }
 

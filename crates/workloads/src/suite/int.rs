@@ -4,11 +4,11 @@
 
 use crate::gen::{permutation, rng, Heap};
 use crate::{Suite, Workload};
-use rand::RngExt;
 use wib_isa::asm::ProgramBuilder;
 use wib_isa::reg::*;
+use wib_rng::StdRng;
 
-fn byte_block(r: &mut rand::rngs::StdRng, n: u32) -> Vec<u8> {
+fn byte_block(r: &mut StdRng, n: u32) -> Vec<u8> {
     (0..n).map(|_| r.random()).collect()
 }
 
@@ -256,7 +256,7 @@ pub fn parser(dict_words: u32, lookups: u32) -> Workload {
     b.mul(R2, R2, R4);
     b.li(R4, 0x00ff_ffff);
     b.and(R2, R2, R4); // key
-    // bucket = key % buckets (power of two)
+                       // bucket = key % buckets (power of two)
     b.li(R4, 2_048 - 1);
     b.and(R5, R2, R4);
     b.slli(R5, R5, 2);
@@ -298,8 +298,8 @@ pub fn perlbmk(ops: u32) -> Workload {
     b.li(R21, 0); // vm accumulator
     b.li(R16, stack);
     b.li(R15, 0); // vm pc
-    // The dispatch table is patched with the final handler addresses as
-    // initialized data after assembly (see below).
+                  // The dispatch table is patched with the final handler addresses as
+                  // initialized data after assembly (see below).
     b.li(R6, table);
     b.label("vm_loop");
     // op = bytecode[pc & (len-1)]
@@ -547,13 +547,13 @@ pub fn vpr(grid_dim: u32, moves: u32) -> Workload {
 /// Paper-scale instances.
 pub fn eval() -> Vec<Workload> {
     vec![
-        bzip2(1 << 20, 2),        // 1 MB block
-        gcc(65_536, 6),           // 2 MB of IR records
-        gzip(262_144, 2),         // 256 KB input + tables
+        bzip2(1 << 20, 2),       // 1 MB block
+        gcc(65_536, 6),          // 2 MB of IR records
+        gzip(262_144, 2),        // 256 KB input + tables
         parser(8_192, 200_000),  // 512 KB dictionary, hot core
-        perlbmk(220_000),         // interpreter ops
-        vortex(32_768, 120_000),  // 3 MB database
-        vpr(512, 120_000),        // 1 MB grid
+        perlbmk(220_000),        // interpreter ops
+        vortex(32_768, 120_000), // 3 MB database
+        vpr(512, 120_000),       // 1 MB grid
     ]
 }
 

@@ -11,7 +11,6 @@
 
 use crate::gen::{rng, Heap, STACK_TOP};
 use crate::{Suite, Workload};
-use rand::RngExt;
 use wib_isa::asm::ProgramBuilder;
 use wib_isa::reg::*;
 
@@ -94,7 +93,11 @@ pub fn treeadd(levels: u32, repeats: u32) -> Workload {
     b.addi(SP, SP, 16);
     b.ret();
 
-    Workload::new("treeadd", Suite::Olden, b.finish().expect("treeadd assembles"))
+    Workload::new(
+        "treeadd",
+        Suite::Olden,
+        b.finish().expect("treeadd assembles"),
+    )
 }
 
 /// `perimeter`: recursive quadtree traversal.
@@ -205,7 +208,11 @@ pub fn perimeter(max_nodes: u32, repeats: u32) -> Workload {
     b.addi(SP, SP, 16);
     b.ret();
 
-    Workload::new("perimeter", Suite::Olden, b.finish().expect("perimeter assembles"))
+    Workload::new(
+        "perimeter",
+        Suite::Olden,
+        b.finish().expect("perimeter assembles"),
+    )
 }
 
 /// `mst`: per-vertex hash-table scan for the minimum-weight edge.
@@ -331,7 +338,10 @@ pub fn em3d(nodes: u32, arity: u32, iters: u32) -> Workload {
     const BLOCK: u32 = 512;
     const REFINE: u32 = 3;
     let block = BLOCK.min(nodes);
-    assert!(nodes.is_multiple_of(block), "node count must be a multiple of the block");
+    assert!(
+        nodes.is_multiple_of(block),
+        "node count must be a multiple of the block"
+    );
     let mut b = ProgramBuilder::new(0x1000);
     b.data_bytes(region, &data);
     b.li(R20, iters as i32 as u32);
@@ -381,7 +391,12 @@ pub fn eval() -> Vec<Workload> {
 
 /// Miniatures for fast co-simulated tests.
 pub fn tiny() -> Vec<Workload> {
-    vec![em3d(64, 4, 2), mst(16, 4, 8, 2), perimeter(64, 2), treeadd(6, 2)]
+    vec![
+        em3d(64, 4, 2),
+        mst(16, 4, 8, 2),
+        perimeter(64, 2),
+        treeadd(6, 2),
+    ]
 }
 
 #[cfg(test)]
@@ -392,7 +407,12 @@ mod tests {
     fn runs_to_halt(w: &Workload, budget: u64) -> Interpreter {
         let mut i = Interpreter::new(w.program());
         let stop = i.run(budget).expect("no invalid instructions");
-        assert_eq!(stop, StopReason::Halted, "{} did not halt in {budget}", w.name());
+        assert_eq!(
+            stop,
+            StopReason::Halted,
+            "{} did not halt in {budget}",
+            w.name()
+        );
         i
     }
 

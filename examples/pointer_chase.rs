@@ -19,17 +19,30 @@ fn main() {
     println!("treeadd (2^14-1 nodes, DFS layout, pointer chasing):\n");
     println!("conventional window-size sweep (the limit-study view):");
     for iq in [32u32, 128, 512, 2048] {
-        let r = Processor::new(MachineConfig::conventional(iq))
-            .run_program_warmed(workload.program(), 100_000, limit);
+        let r = Processor::new(MachineConfig::conventional(iq)).run_program_warmed(
+            workload.program(),
+            100_000,
+            limit,
+        );
         println!("  {iq:>5}-entry issue queue: IPC {:.3}", r.ipc());
     }
 
-    let base = Processor::new(MachineConfig::base_8way())
-        .run_program_warmed(workload.program(), 100_000, limit);
-    let wib = Processor::new(MachineConfig::wib_2k())
-        .run_program_warmed(workload.program(), 100_000, limit);
-    println!("\nbase: IPC {:.3}   WIB: IPC {:.3}   speedup {:.2}x", base.ipc(), wib.ipc(),
-        wib.ipc() / base.ipc());
+    let base = Processor::new(MachineConfig::base_8way()).run_program_warmed(
+        workload.program(),
+        100_000,
+        limit,
+    );
+    let wib = Processor::new(MachineConfig::wib_2k()).run_program_warmed(
+        workload.program(),
+        100_000,
+        limit,
+    );
+    println!(
+        "\nbase: IPC {:.3}   WIB: IPC {:.3}   speedup {:.2}x",
+        base.ipc(),
+        wib.ipc(),
+        wib.ipc() / base.ipc()
+    );
     println!(
         "\ndependent chains limit everyone: the right subtree pointers miss, and \
          no window can start the next hop before the previous one returns — the \

@@ -31,7 +31,11 @@ fn main() {
     let wib = Processor::new(MachineConfig::wib_2k()).run_program(&program, limit);
 
     println!("base machine (32-entry issue queue, 128-entry window):");
-    println!("  IPC = {:.3} over {} cycles", base.ipc(), base.stats.cycles);
+    println!(
+        "  IPC = {:.3} over {} cycles",
+        base.ipc(),
+        base.stats.cycles
+    );
     println!("WIB machine (same issue queue + 2K-entry waiting instruction buffer):");
     println!("  IPC = {:.3} over {} cycles", wib.ipc(), wib.stats.cycles);
     println!(

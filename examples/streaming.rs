@@ -17,8 +17,11 @@ fn main() {
     let workload = fp::art(16_384, 4, 4);
     let limit = RunLimit::instructions(100_000);
 
-    let base = Processor::new(MachineConfig::base_8way())
-        .run_program_warmed(workload.program(), 100_000, limit);
+    let base = Processor::new(MachineConfig::base_8way()).run_program_warmed(
+        workload.program(),
+        100_000,
+        limit,
+    );
     println!("art-like streaming kernel:");
     println!(
         "  base: IPC {:.3} (L1D miss ratio {:.1}%)",

@@ -28,7 +28,8 @@ fn main() {
         ("banked (16 banks)", MachineConfig::wib_2k()),
         (
             "non-banked, 4-cycle",
-            MachineConfig::wib_2k().with_wib_organization(WibOrganization::NonBanked { latency: 4 }),
+            MachineConfig::wib_2k()
+                .with_wib_organization(WibOrganization::NonBanked { latency: 4 }),
         ),
         (
             "ideal, program order",

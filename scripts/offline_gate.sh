@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass with no network access and
+# no tools beyond the baked-in Rust toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+echo "== build (release, all crates) =="
+cargo build --release --workspace --offline
+echo "== tests =="
+cargo test -q --workspace --offline
+echo "== formatting =="
+cargo fmt --all --check
+echo "offline gate passed"

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Regenerate every paper table/figure into results/ (see EXPERIMENTS.md).
 # Protocol knobs: WIB_WARMUP, WIB_INSTS (defaults 200k/200k), WIB_QUICK=1.
+#
+# Alongside each harness's text table, a machine-readable
+# results/<experiment>.json is emitted (WIB_RESULTS_DIR routes the JSON
+# output), and bench_json writes the top-level results/BENCH_wib.json
+# summary (per-workload IPC + simulator throughput).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
+export WIB_RESULTS_DIR="${WIB_RESULTS_DIR:-results}"
 bins=(table1 table2 fig1 fig4 fig5 fig6 fig7 policies sensitivity \
       ablation regfile_study extension validate)
 for b in "${bins[@]}"; do
@@ -11,4 +17,6 @@ for b in "${bins[@]}"; do
     cargo run --release -p wib-bench --bin "$b" > "results/$b.txt"
     tail -n 6 "results/$b.txt"
 done
-echo "done; outputs in results/"
+echo "== bench_json =="
+cargo run --release -p wib-bench --bin bench_json
+echo "done; outputs in results/ (text tables + *.json)"

@@ -15,10 +15,13 @@ fn suite_speedup(suite: Suite) -> f64 {
     let mut speedups = Vec::new();
     for w in eval_suite().iter().filter(|w| w.suite() == suite) {
         let limit = RunLimit::instructions(100_000);
-        let base = Processor::new(MachineConfig::base_8way())
-            .run_program_warmed(w.program(), 100_000, limit);
-        let wib = Processor::new(MachineConfig::wib_2k())
-            .run_program_warmed(w.program(), 100_000, limit);
+        let base = Processor::new(MachineConfig::base_8way()).run_program_warmed(
+            w.program(),
+            100_000,
+            limit,
+        );
+        let wib =
+            Processor::new(MachineConfig::wib_2k()).run_program_warmed(w.program(), 100_000, limit);
         speedups.push(wib.ipc() / base.ipc());
     }
     speedups.iter().sum::<f64>() / speedups.len() as f64
@@ -29,7 +32,10 @@ fn suite_speedup(suite: Suite) -> f64 {
 fn int_suite_average_matches_paper_band() {
     let s = suite_speedup(Suite::Int);
     // Paper: +20%. Accept 1.05..1.45.
-    assert!((1.05..1.45).contains(&s), "INT average speedup {s:.2} left the paper band");
+    assert!(
+        (1.05..1.45).contains(&s),
+        "INT average speedup {s:.2} left the paper band"
+    );
 }
 
 #[test]
@@ -37,7 +43,10 @@ fn int_suite_average_matches_paper_band() {
 fn fp_suite_average_matches_paper_band() {
     let s = suite_speedup(Suite::Fp);
     // Paper: +84%. Accept 1.5..2.4.
-    assert!((1.5..2.4).contains(&s), "FP average speedup {s:.2} left the paper band");
+    assert!(
+        (1.5..2.4).contains(&s),
+        "FP average speedup {s:.2} left the paper band"
+    );
 }
 
 #[test]
@@ -45,19 +54,25 @@ fn fp_suite_average_matches_paper_band() {
 fn olden_suite_average_matches_paper_band() {
     let s = suite_speedup(Suite::Olden);
     // Paper: +50%. Accept 1.3..2.1.
-    assert!((1.3..2.1).contains(&s), "Olden average speedup {s:.2} left the paper band");
+    assert!(
+        (1.3..2.1).contains(&s),
+        "Olden average speedup {s:.2} left the paper band"
+    );
 }
 
 #[test]
 #[ignore = "evaluation-scale; run with --ignored"]
 fn art_is_the_wib_headliner() {
     // The paper's most WIB-friendly benchmark must exceed 2x here too.
-    let w = eval_suite().into_iter().find(|w| w.name() == "art").expect("art exists");
+    let w = eval_suite()
+        .into_iter()
+        .find(|w| w.name() == "art")
+        .expect("art exists");
     let limit = RunLimit::instructions(100_000);
-    let base = Processor::new(MachineConfig::base_8way())
-        .run_program_warmed(w.program(), 100_000, limit);
-    let wib = Processor::new(MachineConfig::wib_2k())
-        .run_program_warmed(w.program(), 100_000, limit);
+    let base =
+        Processor::new(MachineConfig::base_8way()).run_program_warmed(w.program(), 100_000, limit);
+    let wib =
+        Processor::new(MachineConfig::wib_2k()).run_program_warmed(w.program(), 100_000, limit);
     let s = wib.ipc() / base.ipc();
     assert!(s > 2.0, "art should exceed 2x (paper ~3.9x), got {s:.2}");
 }

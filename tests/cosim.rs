@@ -3,13 +3,12 @@
 //! values — on every kernel and machine configuration, including randomly
 //! generated programs (fuzzing the rename/forward/squash machinery).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use wib::core::{MachineConfig, Processor, RunLimit, SelectionPolicy, WibOrganization};
 use wib::isa::asm::ProgramBuilder;
 use wib::isa::program::Program;
 use wib::isa::reg::*;
 use wib::workloads::test_suite;
+use wib_rng::StdRng;
 
 fn cosim(cfg: MachineConfig, program: &Program, insts: u64) -> wib::core::RunResult {
     let mut p = Processor::new(cfg);
@@ -43,14 +42,22 @@ fn all_kernels_on_scaled_conventional_machine() {
 #[test]
 fn all_kernels_on_small_wib_machine() {
     for w in test_suite() {
-        cosim(MachineConfig::wib_sized(128).with_bit_vectors(4), w.program(), 15_000);
+        cosim(
+            MachineConfig::wib_sized(128).with_bit_vectors(4),
+            w.program(),
+            15_000,
+        );
     }
 }
 
 #[test]
 fn all_kernels_with_long_fp_op_diversion() {
     for w in test_suite() {
-        cosim(MachineConfig::wib_2k().with_long_fp_divert(), w.program(), 15_000);
+        cosim(
+            MachineConfig::wib_2k().with_long_fp_divert(),
+            w.program(),
+            15_000,
+        );
     }
 }
 
@@ -72,8 +79,8 @@ fn all_kernels_on_starved_pool_wib() {
 
 #[test]
 fn all_kernels_on_nonbanked_wib() {
-    let cfg = MachineConfig::wib_2k()
-        .with_wib_organization(WibOrganization::NonBanked { latency: 6 });
+    let cfg =
+        MachineConfig::wib_2k().with_wib_organization(WibOrganization::NonBanked { latency: 6 });
     for w in test_suite() {
         cosim(cfg.clone(), w.program(), 15_000);
     }
@@ -109,11 +116,11 @@ fn random_program(seed: u64) -> Program {
     let mut b = ProgramBuilder::new(0x1000);
     let int_regs = [R1, R2, R3, R4, R5, R6, R7, R8];
     let fp_regs = [F1, F2, F3, F4, F5, F6];
-    let mut pick = |r: &mut StdRng, pool: &[ArchReg]| pool[r.random_range(0..pool.len())];
+    let pick = |r: &mut StdRng, pool: &[ArchReg]| pool[r.random_range(0..pool.len())];
 
     b.li(R16, SCRATCH);
     b.li(R15, 8); // loop counter
-    // Seed some registers.
+                  // Seed some registers.
     for (i, reg) in int_regs.iter().enumerate() {
         b.li(*reg, (seed as u32).wrapping_mul(i as u32 + 3) & 0xffff);
     }
@@ -130,8 +137,11 @@ fn random_program(seed: u64) -> Program {
         }
         match r.random_range(0..10) {
             0 => {
-                let (d, a, c) =
-                    (pick(&mut r, &int_regs), pick(&mut r, &int_regs), pick(&mut r, &int_regs));
+                let (d, a, c) = (
+                    pick(&mut r, &int_regs),
+                    pick(&mut r, &int_regs),
+                    pick(&mut r, &int_regs),
+                );
                 match r.random_range(0..5) {
                     0 => b.add(d, a, c),
                     1 => b.sub(d, a, c),
@@ -155,8 +165,11 @@ fn random_program(seed: u64) -> Program {
                 b.sw(s, R16, r.random_range(0..1020) & !3);
             }
             4 => {
-                let (d, a, c) =
-                    (pick(&mut r, &fp_regs), pick(&mut r, &fp_regs), pick(&mut r, &fp_regs));
+                let (d, a, c) = (
+                    pick(&mut r, &fp_regs),
+                    pick(&mut r, &fp_regs),
+                    pick(&mut r, &fp_regs),
+                );
                 match r.random_range(0..4) {
                     0 => b.fadd(d, a, c),
                     1 => b.fsub(d, a, c),
@@ -219,7 +232,10 @@ fn random_programs_cosimulate_on_all_machines() {
         let base = cosim(MachineConfig::base_8way(), &program, 50_000);
         let wib = cosim(MachineConfig::wib_2k(), &program, 50_000);
         let conv = cosim(MachineConfig::conventional(256), &program, 50_000);
-        assert!(base.halted && wib.halted && conv.halted, "seed {seed} did not halt");
+        assert!(
+            base.halted && wib.halted && conv.halted,
+            "seed {seed} did not halt"
+        );
         assert_eq!(
             base.stats.committed, wib.stats.committed,
             "seed {seed}: commit counts diverge"

@@ -6,7 +6,9 @@ use wib::core::{MachineConfig, Processor, RunLimit, WibOrganization};
 use wib::workloads::suite::{fp, olden};
 
 fn ipc(cfg: MachineConfig, program: &wib::isa::program::Program, insts: u64) -> f64 {
-    Processor::new(cfg).run_program(program, RunLimit::instructions(insts)).ipc()
+    Processor::new(cfg)
+        .run_program(program, RunLimit::instructions(insts))
+        .ipc()
 }
 
 /// A memory-parallel kernel big enough to overwhelm the caches even in
@@ -44,7 +46,10 @@ fn figure4_wib_captures_most_of_the_large_window() {
     let base = ipc(MachineConfig::base_8way(), &p, 15_000);
     let big_iq = ipc(MachineConfig::conventional(2048), &p, 15_000);
     let wib = ipc(MachineConfig::wib_2k(), &p, 15_000);
-    assert!(wib > base * 1.5, "WIB should clearly beat base: {base} vs {wib}");
+    assert!(
+        wib > base * 1.5,
+        "WIB should clearly beat base: {base} vs {wib}"
+    );
     assert!(
         wib > 0.5 * big_iq,
         "WIB should capture a significant fraction of 2K-IQ: {wib} vs {big_iq}"
@@ -67,7 +72,10 @@ fn figure6_capacity_scales() {
     let p = mlp_kernel();
     let small = ipc(MachineConfig::wib_sized(128), &p, 15_000);
     let large = ipc(MachineConfig::wib_sized(2048), &p, 15_000);
-    assert!(large >= small * 0.95, "2K WIB should not lose to 128: {small} vs {large}");
+    assert!(
+        large >= small * 0.95,
+        "2K WIB should not lose to 128: {small} vs {large}"
+    );
 }
 
 #[test]
@@ -75,8 +83,8 @@ fn figure7_nonbanked_is_close_to_banked() {
     let w = olden::em3d(256, 4, 3);
     let banked = ipc(MachineConfig::wib_2k(), w.program(), 20_000);
     for latency in [4u64, 6] {
-        let cfg = MachineConfig::wib_2k()
-            .with_wib_organization(WibOrganization::NonBanked { latency });
+        let cfg =
+            MachineConfig::wib_2k().with_wib_organization(WibOrganization::NonBanked { latency });
         let non = ipc(cfg, w.program(), 20_000);
         // The paper: "only slight reductions in performance".
         assert!(
@@ -104,7 +112,11 @@ fn recycling_statistics_are_collected() {
 fn sensitivity_shorter_memory_latency_shrinks_the_gain() {
     let p = mlp_kernel();
     let speedup_at = |lat: u64| {
-        let base = ipc(MachineConfig::base_8way().with_memory_latency(lat), &p, 15_000);
+        let base = ipc(
+            MachineConfig::base_8way().with_memory_latency(lat),
+            &p,
+            15_000,
+        );
         let wib = ipc(MachineConfig::wib_2k().with_memory_latency(lat), &p, 15_000);
         wib / base
     };
@@ -133,7 +145,12 @@ fn table2_statistics_are_sane() {
         let r = Processor::new(MachineConfig::base_8way())
             .run_program(w.program(), RunLimit::instructions(10_000));
         let s = &r.stats;
-        assert!(s.ipc() > 0.0 && s.ipc() <= 8.0, "{}: ipc {}", w.name(), s.ipc());
+        assert!(
+            s.ipc() > 0.0 && s.ipc() <= 8.0,
+            "{}: ipc {}",
+            w.name(),
+            s.ipc()
+        );
         let rate = s.branch_dir_rate();
         assert!((0.0..=1.0).contains(&rate), "{}: dir rate {rate}", w.name());
         assert!(s.mem.l1d_miss_ratio() <= 1.0);

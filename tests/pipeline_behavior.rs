@@ -65,12 +65,18 @@ fn indirect_jumps_mispredict_on_changing_targets() {
     let mut p = b.finish().unwrap();
     let dis = p.disassemble();
     let addr_of = |needle: &str| {
-        dis.iter().find(|(_, t)| t == needle).map(|(a, _)| *a).expect("instruction present")
+        dis.iter()
+            .find(|(_, t)| t == needle)
+            .map(|(a, _)| *a)
+            .expect("instruction present")
     };
     // blockA starts at the first `addi r3, r3, 1`, blockB at `addi r4...`.
     let block_a = addr_of("addi r3, r3, 1");
     let block_b = addr_of("addi r4, r4, 1");
-    p.data.push((0x9000, [block_a.to_le_bytes(), block_b.to_le_bytes()].concat()));
+    p.data.push((
+        0x9000,
+        [block_a.to_le_bytes(), block_b.to_le_bytes()].concat(),
+    ));
     let r = run(MachineConfig::base_8way(), &p, 50_000);
     assert!(r.halted);
     assert!(
@@ -92,7 +98,10 @@ fn two_level_register_file_costs_little() {
     let mut cfg = MachineConfig::wib_2k();
     cfg.regfile = RegFileConfig::SingleLevel;
     let single = run(cfg, w.program(), 20_000);
-    assert!(two_level.stats.rf_l2_reads > 0, "two-level file never touched its L2");
+    assert!(
+        two_level.stats.rf_l2_reads > 0,
+        "two-level file never touched its L2"
+    );
     assert_eq!(single.stats.rf_l2_reads, 0);
     let ratio = single.ipc() / two_level.ipc();
     assert!(
@@ -139,7 +148,10 @@ fn store_wait_training_reduces_replays() {
     b.halt();
     let r = run(MachineConfig::base_8way(), &b.finish().unwrap(), 20_000);
     assert!(r.halted);
-    assert!(r.stats.order_violations >= 1, "expected an initial violation");
+    assert!(
+        r.stats.order_violations >= 1,
+        "expected an initial violation"
+    );
     // 400 iterations but far fewer replays: the predictor learned.
     assert!(
         r.stats.order_violations < 40,
@@ -154,23 +166,26 @@ fn store_wait_training_reduces_replays() {
 fn trace_lifecycles_are_ordered() {
     let w = wib::workloads::suite::olden::em3d(64, 4, 2);
     let p = Processor::new(MachineConfig::wib_2k());
-    let (result, trace) =
-        p.run_program_traced(w.program(), RunLimit::instructions(5_000), 256);
+    let (result, trace) = p.run_program_traced(w.program(), RunLimit::instructions(5_000), 256);
     assert!(result.stats.committed >= 256);
-    assert_eq!(trace.records().len(), 256);
+    assert_eq!(trace.len(), 256);
     let mut prev_commit = 0;
     for r in trace.records() {
         assert!(r.fetch <= r.dispatch, "{}: fetch after dispatch", r.seq);
-        assert!(r.dispatch <= r.complete, "{}: dispatch after complete", r.seq);
-        if r.issue != 0 {
-            assert!(r.dispatch <= r.issue && r.issue <= r.complete);
+        assert!(
+            r.dispatch <= r.complete,
+            "{}: dispatch after complete",
+            r.seq
+        );
+        if let Some(issue) = r.issue {
+            assert!(r.dispatch <= issue && issue <= r.complete);
         }
         assert!(r.complete <= r.commit, "{}: complete after commit", r.seq);
         assert!(r.commit >= prev_commit, "commit order must be monotonic");
         prev_commit = r.commit;
     }
     // On this pointer-chasing kernel some instructions must have parked.
-    assert!(trace.records().iter().any(|r| r.wib_trips > 0));
+    assert!(trace.records().any(|r| r.wib_trips > 0));
 }
 
 /// Occupancy histograms distinguish the small window from the WIB window.
@@ -189,7 +204,10 @@ fn occupancy_statistics_show_the_window_difference() {
         wib.stats.occupancy_window.mean(),
         base.stats.occupancy_window.mean()
     );
-    assert!(wib.stats.occupancy_wib.max() > 0, "WIB residency never sampled");
+    assert!(
+        wib.stats.occupancy_wib.max() > 0,
+        "WIB residency never sampled"
+    );
 }
 
 /// Different commit widths change little on serial code but the machine
@@ -211,7 +229,11 @@ fn commit_width_parameter_is_respected() {
     let wide = run(MachineConfig::base_8way(), &p, 20_000);
     let one = run(narrow, &p, 20_000);
     // A 1-wide commit caps IPC at 1.
-    assert!(one.ipc() <= 1.0 + 1e-9, "1-wide commit exceeded IPC 1: {}", one.ipc());
+    assert!(
+        one.ipc() <= 1.0 + 1e-9,
+        "1-wide commit exceeded IPC 1: {}",
+        one.ipc()
+    );
     assert!(wide.ipc() > one.ipc());
 }
 

@@ -21,7 +21,11 @@ fn dependent_misses_serialize_at_dram_latency() {
     // Each node on its own page: every hop is a TLB miss + DRAM miss.
     let base = 0x40_0000u32;
     for i in 0..hops {
-        let next = if i + 1 < hops { base + (i + 1) * 4096 } else { 0 };
+        let next = if i + 1 < hops {
+            base + (i + 1) * 4096
+        } else {
+            0
+        };
         b.data_u32(base + i * 4096, &[next]);
     }
     b.li(R1, base);
@@ -127,7 +131,11 @@ fn nonpipelined_dividers_throttle() {
         "eight divides on two non-pipelined units need 4 rounds: {}",
         r.stats.cycles
     );
-    assert!(r.stats.cycles < data_ready as u64 + 150, "{}", r.stats.cycles);
+    assert!(
+        r.stats.cycles < data_ready as u64 + 150,
+        "{}",
+        r.stats.cycles
+    );
 }
 
 /// A branch whose direction is data-random mispredicts often and each
@@ -203,5 +211,8 @@ fn l2_latency_sits_between_l1_and_dram() {
         l1.stats.cycles,
         l2.stats.cycles
     );
-    assert!(l2.stats.mem.l2_local_miss_ratio() < 0.25, "128KB set should live in L2");
+    assert!(
+        l2.stats.mem.l2_local_miss_ratio() < 0.25,
+        "128KB set should live in L2"
+    );
 }
