@@ -3,27 +3,28 @@
 //! speedup and simulator wall-clock throughput — for dashboards and
 //! regression tracking. The output directory is `$WIB_RESULTS_DIR`
 //! (default `results`).
+//!
+//! Workloads are fanned across `WIB_THREADS` workers (the base/WIB pair
+//! of one workload stays on one worker so its throughput number reflects
+//! a single thread); the JSON is assembled in suite order, so output is
+//! identical for any thread count apart from the wall-clock fields.
 
-use wib_bench::Runner;
-use wib_core::{Json, MachineConfig};
+use wib_bench::{parallel, Runner};
+use wib_core::{Json, MachineConfig, RunResult};
 use wib_workloads::eval_suite;
 
 fn main() {
     let runner = Runner::from_env();
     let base = MachineConfig::base_8way();
     let wib = MachineConfig::wib_2k();
-    let mut workloads = Vec::new();
-    let mut total_insts = 0u64;
-    let mut total_wall = 0.0f64;
-    for w in eval_suite() {
+    let suite = eval_suite();
+    let sweep_start = std::time::Instant::now();
+    let measured: Vec<(RunResult, RunResult, f64)> = parallel::parallel_map(&suite, |_, w| {
         let t = std::time::Instant::now();
-        let rb = runner.run(&base, &w);
-        let rw = runner.run(&wib, &w);
+        let rb = runner.run(&base, w);
+        let rw = runner.run(&wib, w);
         let wall = t.elapsed().as_secs_f64();
-        let simulated = rb.stats.committed + rw.stats.committed;
-        total_insts += simulated;
-        total_wall += wall;
-        let minsts = simulated as f64 / wall / 1e6;
+        let minsts = (rb.stats.committed + rw.stats.committed) as f64 / wall / 1e6;
         eprintln!(
             "  {:<10} base {:.3}  wib {:.3}  ({:.1} Minsts/s)",
             w.name(),
@@ -31,6 +32,16 @@ fn main() {
             rw.ipc(),
             minsts
         );
+        (rb, rw, wall)
+    });
+    let sweep_wall = sweep_start.elapsed().as_secs_f64();
+    let mut workloads = Vec::new();
+    let mut total_insts = 0u64;
+    let mut total_cpu = 0.0f64;
+    for (w, (rb, rw, wall)) in suite.iter().zip(&measured) {
+        let simulated = rb.stats.committed + rw.stats.committed;
+        total_insts += simulated;
+        total_cpu += wall;
         workloads.push(
             Json::obj()
                 .field("name", w.name())
@@ -38,16 +49,21 @@ fn main() {
                 .field("base_ipc", rb.ipc())
                 .field("wib_ipc", rw.ipc())
                 .field("speedup", rw.ipc() / rb.ipc())
-                .field("sim_minsts_per_s", minsts),
+                .field("sim_minsts_per_s", simulated as f64 / wall / 1e6),
         );
     }
     let doc = Json::obj()
         .field("schema", "wib-sim/bench-v1")
         .field("warmup", runner.warmup)
         .field("insts", runner.insts)
+        .field("threads", parallel::worker_threads() as u64)
         .field("total_simulated_insts", total_insts)
-        .field("total_wall_seconds", total_wall)
-        .field("sim_minsts_per_s", total_insts as f64 / total_wall / 1e6)
+        // Summed per-worker time: a thread-count-independent measure of
+        // simulator speed (the regression gate compares this).
+        .field("total_cpu_seconds", total_cpu)
+        .field("total_wall_seconds", sweep_wall)
+        .field("sim_minsts_per_s", total_insts as f64 / total_cpu / 1e6)
+        .field("sweep_minsts_per_s", total_insts as f64 / sweep_wall / 1e6)
         .field("workloads", workloads);
     let dir = std::env::var("WIB_RESULTS_DIR").unwrap_or_else(|_| "results".into());
     std::fs::create_dir_all(&dir).expect("create results directory");

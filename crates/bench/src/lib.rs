@@ -13,10 +13,14 @@
 //! - `WIB_INSTS`: detailed instructions per run (default 200,000; the
 //!   paper measures 100M).
 //! - `WIB_QUICK=1`: 20k/20k smoke-test mode (used by integration tests).
+//! - `WIB_THREADS`: sweep worker threads (default: available parallelism;
+//!   `1` forces the serial path). Results are merged in input order, so
+//!   output is identical for any thread count.
 
 use wib_core::{Json, MachineConfig, Processor, RunLimit, RunResult};
 use wib_workloads::{Suite, Workload};
 
+pub mod parallel;
 pub mod timer;
 
 /// Executes workloads under a consistent warm-up/measurement protocol.
@@ -90,38 +94,52 @@ pub struct Row {
     pub results: Vec<RunResult>,
 }
 
-/// Run `workloads` x `configs` and collect IPC rows. `progress` prints a
-/// line per run to stderr so long sweeps are watchable.
+/// Run `workloads` x `configs` and collect IPC rows. Points are fanned
+/// across `WIB_THREADS` scoped workers (one independent `Processor` per
+/// run) and reassembled in input order, so the rows — and any JSON
+/// derived from them — are identical to a serial sweep. A line per run is
+/// printed to stderr so long sweeps are watchable (line *order* follows
+/// completion and may interleave across threads).
 pub fn sweep(
     runner: &Runner,
     configs: &[(&str, MachineConfig)],
     workloads: &[Workload],
 ) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let mut ipcs = Vec::new();
-        let mut results = Vec::new();
-        for (cname, cfg) in configs {
-            let t = std::time::Instant::now();
-            let r = runner.run(cfg, w);
-            eprintln!(
-                "  [{}] {} ipc={:.3} ({:.1}s)",
-                cname,
-                w.name(),
-                r.ipc(),
-                t.elapsed().as_secs_f64()
-            );
-            ipcs.push(r.ipc());
-            results.push(r);
-        }
-        rows.push(Row {
-            name: w.name().to_string(),
-            suite: w.suite(),
-            ipcs,
-            results,
-        });
-    }
-    rows
+    let points: Vec<(usize, usize)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| (0..configs.len()).map(move |ci| (wi, ci)))
+        .collect();
+    let results = parallel::parallel_map(&points, |_, &(wi, ci)| {
+        let (cname, cfg) = &configs[ci];
+        let w = &workloads[wi];
+        let t = std::time::Instant::now();
+        let r = runner.run(cfg, w);
+        eprintln!(
+            "  [{}] {} ipc={:.3} ({:.1}s)",
+            cname,
+            w.name(),
+            r.ipc(),
+            t.elapsed().as_secs_f64()
+        );
+        r
+    });
+    let mut results = results.into_iter();
+    workloads
+        .iter()
+        .map(|w| {
+            let results: Vec<RunResult> = (0..configs.len())
+                .map(|_| results.next().expect("one result per point"))
+                .collect();
+            let ipcs = results.iter().map(RunResult::ipc).collect();
+            Row {
+                name: w.name().to_string(),
+                suite: w.suite(),
+                ipcs,
+                results,
+            }
+        })
+        .collect()
 }
 
 /// Print a per-benchmark speedup table (each config's IPC over the first

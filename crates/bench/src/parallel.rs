@@ -1,0 +1,105 @@
+//! Work-stealing parallel map for experiment sweeps.
+//!
+//! Every (benchmark, configuration) point of a sweep is an independent
+//! simulation — each worker owns its `Processor` — so the experiment
+//! harnesses fan the points across scoped threads and reassemble results
+//! **in input order**, making the merged output bit-identical to a serial
+//! run regardless of thread count or scheduling.
+//!
+//! The thread count comes from `WIB_THREADS`, defaulting to the machine's
+//! available parallelism. `WIB_THREADS=1` forces the serial path (used by
+//! tests that compare serial and parallel output).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads for a sweep: `WIB_THREADS` if set (minimum 1), else
+/// [`std::thread::available_parallelism`].
+pub fn worker_threads() -> usize {
+    std::env::var("WIB_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Apply `f` to every item on a pool of scoped worker threads and return
+/// the results in input order.
+///
+/// Items are claimed dynamically (an atomic cursor), so long and short
+/// simulations load-balance; determinism is unaffected because results
+/// are placed by input index, not completion order.
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = worker_threads().min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        got.push((i, f(i, &items[i])));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(&[7], |_, &x| x + 1), vec![8]);
+    }
+}

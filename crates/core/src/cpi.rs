@@ -90,6 +90,12 @@ impl CpiStack {
         self.counts[cat as usize] += 1;
     }
 
+    /// Attribute `n` cycles at once (bulk path for fast-forwarded stall
+    /// stretches that all share one category).
+    pub fn add_n(&mut self, cat: CpiCategory, n: u64) {
+        self.counts[cat as usize] += n;
+    }
+
     /// Cycles attributed to `cat`.
     pub fn get(&self, cat: CpiCategory) -> u64 {
         self.counts[cat as usize]

@@ -32,6 +32,19 @@ impl Histogram {
         self.max_seen = self.max_seen.max(value);
     }
 
+    /// Record `n` identical samples (bulk path for fast-forwarded cycles,
+    /// where the sampled value is provably constant).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += value * n;
+        self.max_seen = self.max_seen.max(value);
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count

@@ -7,9 +7,19 @@
 //! or gains a wait bit (pretend-ready wakeup, which routes the consumer to
 //! the WIB). Entries whose operands are all satisfied sit in an age-ordered
 //! ready set that select logic walks oldest-first.
+//!
+//! # Storage
+//!
+//! The queue is a fixed-capacity **slot arena**: entries live in
+//! pre-allocated slots handed out from a free list, a fixed-size
+//! open-addressing table maps sequence numbers to slots, and the ready set
+//! is an intrusive doubly-linked list threaded through the slots in age
+//! (sequence-number) order. After construction no operation allocates, so
+//! the per-cycle wakeup/select loop is allocation-free in steady state
+//! (see `docs/perf.md`); the selection semantics — oldest satisfied entry
+//! first — are identical to the original map + ordered-set implementation.
 
 use crate::types::{PhysReg, Seq, SrcRef};
-use std::collections::{BTreeSet, HashMap};
 use wib_isa::reg::RegClass;
 
 /// Per-operand wakeup status inside the queue.
@@ -25,7 +35,7 @@ pub enum SrcStatus {
 }
 
 /// One issue-queue entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct IqEntry {
     /// Source operands (None = no operand in that slot).
     pub srcs: [Option<(SrcRef, SrcStatus)>; 2],
@@ -59,43 +69,169 @@ impl IqEntry {
     }
 }
 
+/// Sentinel for "no slot" in the intrusive links and the index table.
+const NIL: u32 = u32::MAX;
+
+/// One arena slot: the entry plus its intrusive ready-list links.
+#[derive(Debug, Clone)]
+struct Slot {
+    seq: Seq,
+    entry: IqEntry,
+    ready_prev: u32,
+    ready_next: u32,
+    ready: bool,
+    occupied: bool,
+}
+
+impl Slot {
+    fn vacant() -> Slot {
+        Slot {
+            seq: 0,
+            entry: IqEntry::new([None, None]),
+            ready_prev: NIL,
+            ready_next: NIL,
+            ready: false,
+            occupied: false,
+        }
+    }
+}
+
+/// Fixed-size open-addressing `Seq -> slot` map: linear probing with
+/// backward-shift deletion (no tombstones), sized to at most 50% load so
+/// probe chains stay short. Never allocates after construction.
+#[derive(Debug, Clone)]
+struct SeqIndex {
+    /// `(seq, slot)`; `slot == NIL` marks an empty cell.
+    table: Vec<(Seq, u32)>,
+    mask: usize,
+}
+
+impl SeqIndex {
+    fn new(slots: usize) -> SeqIndex {
+        let size = (slots * 2).next_power_of_two().max(8);
+        SeqIndex {
+            table: vec![(0, NIL); size],
+            mask: size - 1,
+        }
+    }
+
+    #[inline]
+    fn home(&self, seq: Seq) -> usize {
+        // Fibonacci hashing: multiply spreads consecutive seqs, the high
+        // bits feed the table index.
+        (seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & self.mask
+    }
+
+    fn insert(&mut self, seq: Seq, slot: u32) {
+        let mut i = self.home(seq);
+        while self.table[i].1 != NIL {
+            debug_assert_ne!(self.table[i].0, seq, "duplicate key {seq}");
+            i = (i + 1) & self.mask;
+        }
+        self.table[i] = (seq, slot);
+    }
+
+    fn get(&self, seq: Seq) -> Option<u32> {
+        let mut i = self.home(seq);
+        loop {
+            let (s, slot) = self.table[i];
+            if slot == NIL {
+                return None;
+            }
+            if s == seq {
+                return Some(slot);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn remove(&mut self, seq: Seq) -> Option<u32> {
+        let mut i = self.home(seq);
+        loop {
+            let (s, slot) = self.table[i];
+            if slot == NIL {
+                return None;
+            }
+            if s == seq {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        let removed = self.table[i].1;
+        // Backward-shift deletion: pull displaced entries into the hole so
+        // every probe chain stays contiguous.
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            if self.table[j].1 == NIL {
+                break;
+            }
+            let k = self.home(self.table[j].0);
+            // Move `j` into the hole unless its home lies cyclically in
+            // (i, j] — in that case the entry is already on its shortest
+            // reachable position.
+            let stuck = if j > i {
+                k > i && k <= j
+            } else {
+                k > i || k <= j
+            };
+            if !stuck {
+                self.table[i] = self.table[j];
+                i = j;
+            }
+        }
+        self.table[i].1 = NIL;
+        Some(removed)
+    }
+}
+
 /// An age-ordered issue queue.
 #[derive(Debug, Clone)]
 pub struct IssueQueue {
     capacity: usize,
-    entries: HashMap<Seq, IqEntry>,
-    ready: BTreeSet<Seq>,
+    len: usize,
+    /// `capacity + 1` slots: one extra for the overflow entry.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    index: SeqIndex,
+    ready_head: u32,
+    ready_tail: u32,
 }
 
 impl IssueQueue {
     /// An empty queue with `capacity` entries.
     pub fn new(capacity: usize) -> IssueQueue {
+        let arena = capacity + 1; // one overflow slot
         IssueQueue {
             capacity,
-            entries: HashMap::new(),
-            ready: BTreeSet::new(),
+            len: 0,
+            slots: vec![Slot::vacant(); arena],
+            free: (0..arena as u32).rev().collect(),
+            index: SeqIndex::new(arena),
+            ready_head: NIL,
+            ready_tail: NIL,
         }
     }
 
     /// Entries currently resident.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when no instructions are queued.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Free slots (0 when at or beyond nominal capacity — the queue can
     /// briefly hold one overflow entry, see [`IssueQueue::insert_overflow`]).
     pub fn free_slots(&self) -> usize {
-        self.capacity.saturating_sub(self.entries.len())
+        self.capacity.saturating_sub(self.len)
     }
 
     /// True if an instruction with this sequence number is resident.
     pub fn contains(&self, seq: Seq) -> bool {
-        self.entries.contains_key(&seq)
+        self.index.get(seq).is_some()
     }
 
     /// Insert a dispatched (or WIB-reinserted) instruction.
@@ -103,7 +239,7 @@ impl IssueQueue {
     /// # Panics
     /// Panics if the queue is full or `seq` is already present.
     pub fn insert(&mut self, seq: Seq, entry: IqEntry) {
-        assert!(self.entries.len() < self.capacity, "issue queue overflow");
+        assert!(self.len < self.capacity, "issue queue overflow");
         self.insert_unchecked(seq, entry);
     }
 
@@ -116,25 +252,84 @@ impl IssueQueue {
     /// Panics if the queue already holds an overflow entry or `seq` is
     /// already present.
     pub fn insert_overflow(&mut self, seq: Seq, entry: IqEntry) {
-        assert!(self.entries.len() <= self.capacity, "double overflow");
+        assert!(self.len <= self.capacity, "double overflow");
         self.insert_unchecked(seq, entry);
     }
 
     fn insert_unchecked(&mut self, seq: Seq, entry: IqEntry) {
-        if entry.is_satisfied() {
-            self.ready.insert(seq);
+        assert!(
+            self.index.get(seq).is_none(),
+            "duplicate issue-queue entry {seq}"
+        );
+        let id = self.free.pop().expect("arena slot available") as usize;
+        let ready = entry.is_satisfied();
+        let s = &mut self.slots[id];
+        s.seq = seq;
+        s.entry = entry;
+        s.occupied = true;
+        self.index.insert(seq, id as u32);
+        self.len += 1;
+        if ready {
+            self.ready_link(id as u32);
         }
-        let prev = self.entries.insert(seq, entry);
-        assert!(prev.is_none(), "duplicate issue-queue entry {seq}");
+    }
+
+    /// Link `id` into the ready list, keeping it sorted by age. Newly
+    /// satisfied instructions are usually the youngest resident, so the
+    /// backward walk from the tail is O(1) in the common case.
+    fn ready_link(&mut self, id: u32) {
+        let seq = self.slots[id as usize].seq;
+        debug_assert!(!self.slots[id as usize].ready);
+        let mut after = self.ready_tail;
+        while after != NIL && self.slots[after as usize].seq > seq {
+            after = self.slots[after as usize].ready_prev;
+        }
+        let next = match after {
+            NIL => self.ready_head,
+            a => self.slots[a as usize].ready_next,
+        };
+        {
+            let s = &mut self.slots[id as usize];
+            s.ready = true;
+            s.ready_prev = after;
+            s.ready_next = next;
+        }
+        match after {
+            NIL => self.ready_head = id,
+            a => self.slots[a as usize].ready_next = id,
+        }
+        match next {
+            NIL => self.ready_tail = id,
+            n => self.slots[n as usize].ready_prev = id,
+        }
+    }
+
+    /// Unlink `id` from the ready list (O(1)).
+    fn ready_unlink(&mut self, id: u32) {
+        let (prev, next) = {
+            let s = &mut self.slots[id as usize];
+            debug_assert!(s.ready);
+            s.ready = false;
+            (s.ready_prev, s.ready_next)
+        };
+        match prev {
+            NIL => self.ready_head = next,
+            p => self.slots[p as usize].ready_next = next,
+        }
+        match next {
+            NIL => self.ready_tail = prev,
+            n => self.slots[n as usize].ready_prev = prev,
+        }
     }
 
     /// Wake operand `preg` of instruction `seq`: a broadcast arrived
     /// (`status` = `Ready`) or the producer moved to the WIB
     /// (`status` = `Wait`). Returns true if the instruction was found.
     pub fn satisfy(&mut self, seq: Seq, preg: PhysReg, class: RegClass, status: SrcStatus) -> bool {
-        let Some(entry) = self.entries.get_mut(&seq) else {
+        let Some(id) = self.index.get(seq) else {
             return false;
         };
+        let entry = &mut self.slots[id as usize].entry;
         let mut hit = false;
         for src in entry.srcs.iter_mut().flatten() {
             if src.0.preg == preg && src.0.class == class && src.1 == SrcStatus::Pending {
@@ -144,32 +339,53 @@ impl IssueQueue {
             }
         }
         if hit && entry.pending == 0 {
-            self.ready.insert(seq);
+            self.ready_link(id);
         }
         hit
     }
 
+    /// True if at least one instruction is selectable this cycle.
+    pub fn has_ready(&self) -> bool {
+        self.ready_head != NIL
+    }
+
     /// Ready instructions, oldest first.
     pub fn ready_seqs(&self) -> impl Iterator<Item = Seq> + '_ {
-        self.ready.iter().copied()
+        ReadyIter {
+            q: self,
+            cursor: self.ready_head,
+        }
     }
 
     /// Immutable view of an entry.
     pub fn entry(&self, seq: Seq) -> Option<&IqEntry> {
-        self.entries.get(&seq)
+        self.index.get(seq).map(|id| &self.slots[id as usize].entry)
     }
 
     /// Remove an instruction (issued, moved to the WIB, or squashed).
     /// Returns its entry if present.
     pub fn remove(&mut self, seq: Seq) -> Option<IqEntry> {
-        self.ready.remove(&seq);
-        self.entries.remove(&seq)
+        let id = self.index.remove(seq)?;
+        if self.slots[id as usize].ready {
+            self.ready_unlink(id);
+        }
+        let s = &mut self.slots[id as usize];
+        debug_assert!(s.occupied);
+        s.occupied = false;
+        self.free.push(id);
+        self.len -= 1;
+        Some(s.entry)
     }
 
-    /// Diagnostic: snapshot of every entry, oldest first.
+    /// Diagnostic: borrowed snapshot of every entry, oldest first.
     #[doc(hidden)]
-    pub fn dump(&self) -> Vec<(Seq, IqEntry)> {
-        let mut v: Vec<_> = self.entries.iter().map(|(s, e)| (*s, e.clone())).collect();
+    pub fn dump(&self) -> Vec<(Seq, &IqEntry)> {
+        let mut v: Vec<_> = self
+            .slots
+            .iter()
+            .filter(|s| s.occupied)
+            .map(|s| (s.seq, &s.entry))
+            .collect();
         v.sort_by_key(|(s, _)| *s);
         v
     }
@@ -179,17 +395,37 @@ impl IssueQueue {
     /// yet). The entry leaves the ready set; the caller must re-subscribe
     /// it to the producing register.
     pub fn demote(&mut self, seq: Seq, preg: PhysReg, class: RegClass) {
-        if let Some(entry) = self.entries.get_mut(&seq) {
-            for src in entry.srcs.iter_mut().flatten() {
-                if src.0.preg == preg && src.0.class == class && src.1 != SrcStatus::Pending {
-                    src.1 = SrcStatus::Pending;
-                    entry.pending += 1;
-                }
-            }
-            if entry.pending > 0 {
-                self.ready.remove(&seq);
+        let Some(id) = self.index.get(seq) else {
+            return;
+        };
+        let entry = &mut self.slots[id as usize].entry;
+        for src in entry.srcs.iter_mut().flatten() {
+            if src.0.preg == preg && src.0.class == class && src.1 != SrcStatus::Pending {
+                src.1 = SrcStatus::Pending;
+                entry.pending += 1;
             }
         }
+        if entry.pending > 0 && self.slots[id as usize].ready {
+            self.ready_unlink(id);
+        }
+    }
+}
+
+struct ReadyIter<'a> {
+    q: &'a IssueQueue,
+    cursor: u32,
+}
+
+impl Iterator for ReadyIter<'_> {
+    type Item = Seq;
+
+    fn next(&mut self) -> Option<Seq> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let s = &self.q.slots[self.cursor as usize];
+        self.cursor = s.ready_next;
+        Some(s.seq)
     }
 }
 
@@ -305,5 +541,48 @@ mod tests {
         let mut q = IssueQueue::new(1);
         q.insert(1, IqEntry::new([None, None]));
         q.insert(2, IqEntry::new([None, None]));
+    }
+
+    #[test]
+    fn overflow_slot_holds_one_extra_entry() {
+        let mut q = IssueQueue::new(2);
+        q.insert(5, IqEntry::new([None, None]));
+        q.insert(6, IqEntry::new([None, None]));
+        assert_eq!(q.free_slots(), 0);
+        q.insert_overflow(4, IqEntry::new([None, None]));
+        assert_eq!(q.len(), 3);
+        // Oldest first even though the overflow entry arrived last.
+        assert_eq!(q.ready_seqs().collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert!(q.remove(4).is_some());
+        assert_eq!(q.free_slots(), 0);
+    }
+
+    #[test]
+    fn ready_order_survives_interleaved_removal() {
+        let mut q = IssueQueue::new(8);
+        for seq in [12, 3, 9, 7, 1] {
+            q.insert(seq, IqEntry::new([None, None]));
+        }
+        assert_eq!(q.ready_seqs().collect::<Vec<_>>(), vec![1, 3, 7, 9, 12]);
+        q.remove(7);
+        q.remove(1);
+        assert_eq!(q.ready_seqs().collect::<Vec<_>>(), vec![3, 9, 12]);
+        q.insert(5, IqEntry::new([None, None]));
+        assert_eq!(q.ready_seqs().collect::<Vec<_>>(), vec![3, 5, 9, 12]);
+    }
+
+    #[test]
+    fn slots_recycle_without_growth() {
+        let mut q = IssueQueue::new(4);
+        for round in 0..100u64 {
+            for k in 0..4 {
+                q.insert(round * 4 + k, IqEntry::new([None, None]));
+            }
+            assert_eq!(q.free_slots(), 0);
+            for k in 0..4 {
+                assert!(q.remove(round * 4 + k).is_some());
+            }
+            assert!(q.is_empty());
+        }
     }
 }

@@ -26,7 +26,8 @@ use crate::stats::{IntervalSample, SimStats};
 use crate::trace::{InstTrace, Trace};
 use crate::types::{PhysReg, Seq, SrcRef};
 use crate::window::Window;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use wib_bpred::btb::Btb;
 use wib_bpred::dir::CombinedPredictor;
 use wib_bpred::ras::Ras;
@@ -40,6 +41,7 @@ use wib_isa::reg::{ArchReg, RegClass, NUM_ARCH_REGS};
 use wib_mem::cache::AccessKind;
 use wib_mem::hier::MemoryHierarchy;
 
+// TEMPORARY profiling scaffolding (removed before commit).
 /// How long to run the detailed simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLimit {
@@ -223,6 +225,38 @@ struct Fetched {
     ras_before: wib_bpred::ras::RasCheckpoint,
 }
 
+/// One scheduled pipeline event. Orders by `(at, order)` where `order` is
+/// a monotone insertion counter, so a min-heap pops events in exactly the
+/// sequence the old `BTreeMap<u64, Vec<Event>>` produced (ascending cycle,
+/// insertion order within a cycle) without allocating a map node and a
+/// vector per busy cycle.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    at: u64,
+    order: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Scheduled) -> bool {
+        self.at == other.at && self.order == other.order
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Scheduled) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Scheduled) -> std::cmp::Ordering {
+        (self.at, self.order).cmp(&(other.at, other.order))
+    }
+}
+
 /// Cycles a committed-store retry or forwarding hit takes to deliver data.
 const FORWARD_LATENCY: u64 = 2;
 
@@ -247,7 +281,8 @@ struct Engine<'c> {
     rob: ActiveList,
     fu: FuPool,
     wib: Option<Window>,
-    events: BTreeMap<u64, Vec<Event>>,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    event_order: u64,
     fetch_pc: u32,
     fetch_resume_at: u64,
     fetch_halted: bool,
@@ -269,6 +304,22 @@ struct Engine<'c> {
     recovery_until: u64,
     interval_committed_mark: u64,
     last_commit_cycle: u64,
+    /// `WIB_TRACE` was set at construction. Hoisted so the cycle loop
+    /// never touches the environment (an `env::var` per cycle locks and
+    /// allocates).
+    debug_trace: bool,
+    /// Reusable per-cycle scratch buffers (taken with `mem::take`, used,
+    /// cleared and put back) so the steady-state cycle loop performs no
+    /// heap allocation. The three wakeup buffers are distinct because the
+    /// deepest synchronous chain nests them: `writeback` →
+    /// `complete_store_data` → `retry_loads_blocked_on` →
+    /// `try_load_data` → `divert_chain_to_wib` → `wake_as_wait`.
+    scratch_candidates: Vec<Seq>,
+    scratch_woken_wb: Vec<Seq>,
+    scratch_woken_wait: Vec<Seq>,
+    scratch_unblocked: Vec<Seq>,
+    scratch_undo: Vec<RobEntry>,
+    scratch_cols: Vec<(crate::types::ColumnId, Seq)>,
 }
 
 impl<'c> Engine<'c> {
@@ -321,7 +372,8 @@ impl<'c> Engine<'c> {
             rob: ActiveList::new(cfg.active_list as usize),
             fu: FuPool::new(cfg.fu.clone()),
             wib,
-            events: BTreeMap::new(),
+            events: BinaryHeap::with_capacity(256),
+            event_order: 0,
             fetch_pc: program.entry,
             fetch_resume_at: 0,
             fetch_halted: false,
@@ -340,6 +392,13 @@ impl<'c> Engine<'c> {
             recovery_until: 0,
             interval_committed_mark: 0,
             last_commit_cycle: 0,
+            debug_trace: std::env::var("WIB_TRACE").is_ok(),
+            scratch_candidates: Vec::with_capacity(64),
+            scratch_woken_wb: Vec::with_capacity(32),
+            scratch_woken_wait: Vec::with_capacity(32),
+            scratch_unblocked: Vec::with_capacity(16),
+            scratch_undo: Vec::with_capacity(cfg.active_list as usize),
+            scratch_cols: Vec::with_capacity(16),
         }
     }
 
@@ -437,9 +496,22 @@ impl<'c> Engine<'c> {
         }
     }
 
+    fn iq_for_ref(&self, inst: &Inst) -> &IssueQueue {
+        if inst.is_fp_queue() {
+            &self.iq_fp
+        } else {
+            &self.iq_int
+        }
+    }
+
     fn schedule(&mut self, at: u64, ev: Event) {
         debug_assert!(at > self.now);
-        self.events.entry(at).or_default().push(ev);
+        self.event_order += 1;
+        self.events.push(Reverse(Scheduled {
+            at,
+            order: self.event_order,
+            ev,
+        }));
     }
 
     /// Raw bits of a source operand (0 for absent operands).
@@ -655,6 +727,54 @@ impl<'c> Engine<'c> {
         true
     }
 
+    /// Would dispatching `inst` (the IFQ front) stall, and on which full
+    /// resource? `None` means dispatch can proceed. Shared between
+    /// [`Engine::do_dispatch`] and the quiescence check in
+    /// [`Engine::try_skip`] so the two can never disagree on what blocks a
+    /// cycle.
+    fn dispatch_stall_category(&self, inst: &Inst) -> Option<CpiCategory> {
+        if self.rob.free_slots() == 0 {
+            return Some(CpiCategory::ActiveListFull);
+        }
+        // While instructions are parked in the WIB, hold one issue queue
+        // slot in reserve for reinsertion: if newly fetched instructions
+        // (necessarily younger, possibly dependent on the parked chain)
+        // could fill the queue completely, the oldest parked instruction
+        // might never get back in.
+        let reserve = match &self.wib {
+            Some(w) if w.resident() > 0 => 1,
+            _ => 0,
+        };
+        if Engine::needs_iq(inst) && self.iq_for_ref(inst).free_slots() <= reserve {
+            return Some(CpiCategory::IqFull);
+        }
+        if (inst.is_load() && self.lsq.lq_free() == 0)
+            || (inst.is_store() && self.lsq.sq_free() == 0)
+        {
+            return Some(CpiCategory::LsqFull);
+        }
+        if let Some(d) = inst.dest() {
+            if self.rf(d.class()).free_count() == 0 {
+                return Some(CpiCategory::RegsFull);
+            }
+        }
+        None
+    }
+
+    /// Charge `n` cycles of dispatch stall to `cat`'s counter and record
+    /// it as this cycle's block for CPI attribution.
+    fn charge_dispatch_stall(&mut self, cat: CpiCategory, n: u64) {
+        let counter = match cat {
+            CpiCategory::ActiveListFull => &mut self.stats.stall_active_list,
+            CpiCategory::IqFull => &mut self.stats.stall_issue_queue,
+            CpiCategory::LsqFull => &mut self.stats.stall_lsq,
+            CpiCategory::RegsFull => &mut self.stats.stall_regs,
+            _ => unreachable!("dispatch only stalls on resource categories"),
+        };
+        *counter += n;
+        self.dispatch_block = Some(cat);
+    }
+
     fn do_dispatch(&mut self) {
         let mut budget = self.cfg.decode_width as usize;
         // Forward-progress guarantee: a parked, eligible ROB head is
@@ -688,38 +808,9 @@ impl<'c> Engine<'c> {
                 break;
             }
             let inst = front.inst;
-            if self.rob.free_slots() == 0 {
-                self.stats.stall_active_list += 1;
-                self.dispatch_block = Some(CpiCategory::ActiveListFull);
+            if let Some(cat) = self.dispatch_stall_category(&inst) {
+                self.charge_dispatch_stall(cat, 1);
                 break;
-            }
-            // While instructions are parked in the WIB, hold one issue
-            // queue slot in reserve for reinsertion: if newly fetched
-            // instructions (necessarily younger, possibly dependent on
-            // the parked chain) could fill the queue completely, the
-            // oldest parked instruction might never get back in.
-            let reserve = match &self.wib {
-                Some(w) if w.resident() > 0 => 1,
-                _ => 0,
-            };
-            if Engine::needs_iq(&inst) && self.iq_for(&inst).free_slots() <= reserve {
-                self.stats.stall_issue_queue += 1;
-                self.dispatch_block = Some(CpiCategory::IqFull);
-                break;
-            }
-            if (inst.is_load() && self.lsq.lq_free() == 0)
-                || (inst.is_store() && self.lsq.sq_free() == 0)
-            {
-                self.stats.stall_lsq += 1;
-                self.dispatch_block = Some(CpiCategory::LsqFull);
-                break;
-            }
-            if let Some(d) = inst.dest() {
-                if self.rf(d.class()).free_count() == 0 {
-                    self.stats.stall_regs += 1;
-                    self.dispatch_block = Some(CpiCategory::RegsFull);
-                    break;
-                }
             }
 
             let f = self.ifq.pop_front().expect("peeked above");
@@ -807,8 +898,10 @@ impl<'c> Engine<'c> {
     /// entries are stores waiting for their data operand (agen done, data
     /// outstanding).
     fn writeback(&mut self, class: RegClass, p: PhysReg, value: u64) {
-        let woken = self.rf_mut(class).write(p, value);
-        for seq in woken {
+        let mut woken = std::mem::take(&mut self.scratch_woken_wb);
+        debug_assert!(woken.is_empty());
+        self.rf_mut(class).write_into(p, value, &mut woken);
+        for &seq in &woken {
             if self.iq_int.satisfy(seq, p, class, SrcStatus::Ready)
                 || self.iq_fp.satisfy(seq, p, class, SrcStatus::Ready)
             {
@@ -816,6 +909,8 @@ impl<'c> Engine<'c> {
             }
             self.complete_store_data(seq, p, class, value);
         }
+        woken.clear();
+        self.scratch_woken_wb = woken;
     }
 
     /// A store subscribed for its data operand: capture the value and
@@ -842,16 +937,20 @@ impl<'c> Engine<'c> {
     /// Retry loads that were blocked on store `store_seq` (its data
     /// arrived or it committed).
     fn retry_loads_blocked_on(&mut self, store_seq: Seq) {
-        let mut unblocked = Vec::new();
-        self.blocked_loads.retain(|&(l, s)| {
-            if s == store_seq {
-                unblocked.push(l);
-                false
-            } else {
-                true
-            }
-        });
-        for load_seq in unblocked {
+        let mut unblocked = std::mem::take(&mut self.scratch_unblocked);
+        debug_assert!(unblocked.is_empty());
+        {
+            let unblocked = &mut unblocked;
+            self.blocked_loads.retain(|&(l, s)| {
+                if s == store_seq {
+                    unblocked.push(l);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for &load_seq in &unblocked {
             let Some(le) = self.rob.get(load_seq) else {
                 continue;
             };
@@ -864,13 +963,15 @@ impl<'c> Engine<'c> {
                 .expect("blocked load has an address");
             self.try_load_data(load_seq, addr, width);
         }
+        unblocked.clear();
+        self.scratch_unblocked = unblocked;
     }
 
     /// Deliver pretend-ready wakeups for `woken` subscribers of `(class,
     /// p)`; non-issue-queue subscribers (store-data waiters) are
     /// re-subscribed — they need the real value, not the wait bit.
-    fn wake_as_wait(&mut self, woken: Vec<Seq>, p: PhysReg, class: RegClass) {
-        for c in woken {
+    fn wake_as_wait(&mut self, woken: &[Seq], p: PhysReg, class: RegClass) {
+        for &c in woken {
             if self.iq_int.satisfy(c, p, class, SrcStatus::Wait)
                 || self.iq_fp.satisfy(c, p, class, SrcStatus::Wait)
             {
@@ -880,6 +981,17 @@ impl<'c> Engine<'c> {
                 self.rf_mut(class).subscribe(p, c);
             }
         }
+    }
+
+    /// Set the wait bit on `(class, p)` and deliver the pretend-ready
+    /// wakeups through the reusable wait-wakeup scratch buffer.
+    fn set_wait_and_wake(&mut self, class: RegClass, p: PhysReg, column: crate::types::ColumnId) {
+        let mut woken = std::mem::take(&mut self.scratch_woken_wait);
+        debug_assert!(woken.is_empty());
+        self.rf_mut(class).set_wait_into(p, column, &mut woken);
+        self.wake_as_wait(&woken, p, class);
+        woken.clear();
+        self.scratch_woken_wait = woken;
     }
 
     /// Move a pretend-ready instruction from its issue queue to the WIB.
@@ -909,8 +1021,7 @@ impl<'c> Engine<'c> {
             bank: self.wib_bank(slot),
         });
         if let Some((arch, p, _)) = dest {
-            let woken = self.rf_mut(arch.class()).set_wait(p, column);
-            self.wake_as_wait(woken, p, arch.class());
+            self.set_wait_and_wake(arch.class(), p, column);
         }
         true
     }
@@ -931,11 +1042,16 @@ impl<'c> Engine<'c> {
                 self.cfg.issue_width_int
             } as usize;
             let mut budget = width;
-            let candidates: Vec<Seq> = {
+            // Snapshot the ready set into the reusable candidate buffer:
+            // wakeups fired while issuing (e.g. a WIB insertion setting a
+            // wait bit) must not make *new* entries selectable this cycle.
+            let mut candidates = std::mem::take(&mut self.scratch_candidates);
+            debug_assert!(candidates.is_empty());
+            {
                 let iq = if fp_queue { &self.iq_fp } else { &self.iq_int };
-                iq.ready_seqs().take(64).collect()
-            };
-            for seq in candidates {
+                candidates.extend(iq.ready_seqs().take(64));
+            }
+            for &seq in &candidates {
                 if budget == 0 {
                     break;
                 }
@@ -1077,6 +1193,8 @@ impl<'c> Engine<'c> {
                 }
                 budget -= 1;
             }
+            candidates.clear();
+            self.scratch_candidates = candidates;
         }
     }
 
@@ -1085,17 +1203,15 @@ impl<'c> Engine<'c> {
     // ------------------------------------------------------------------
 
     fn drain_events(&mut self) {
-        while let Some((&at, _)) = self.events.iter().next() {
-            if at > self.now {
+        while let Some(Reverse(next)) = self.events.peek() {
+            if next.at > self.now {
                 break;
             }
-            let batch = self.events.remove(&at).expect("present");
-            for ev in batch {
-                match ev {
-                    Event::Complete(seq) => self.handle_complete(seq),
-                    Event::LoadAddr(seq) => self.handle_load_addr(seq),
-                    Event::LoadData(seq) => self.handle_load_data(seq),
-                }
+            let Reverse(s) = self.events.pop().expect("peeked");
+            match s.ev {
+                Event::Complete(seq) => self.handle_complete(seq),
+                Event::LoadAddr(seq) => self.handle_load_addr(seq),
+                Event::LoadData(seq) => self.handle_load_data(seq),
             }
         }
     }
@@ -1288,8 +1404,7 @@ impl<'c> Engine<'c> {
             return;
         };
         self.rob.get_mut(seq).expect("live").miss_column = Some(col);
-        let woken = self.rf_mut(arch.class()).set_wait(p, col);
-        self.wake_as_wait(woken, p, arch.class());
+        self.set_wait_and_wake(arch.class(), p, col);
     }
 
     fn handle_load_data(&mut self, seq: Seq) {
@@ -1347,14 +1462,18 @@ impl<'c> Engine<'c> {
     /// `new_pc` after `extra_penalty` bubbles. Predictor/RAS repair is the
     /// caller's responsibility (it differs by cause).
     fn squash_from(&mut self, from: Seq, new_pc: u32, extra_penalty: u64) {
-        let mut squashed_cols = Vec::new();
-        let mut undo: Vec<RobEntry> = Vec::new();
-        self.rob.squash_from(from, |e| undo.push(e));
+        let mut squashed_cols = std::mem::take(&mut self.scratch_cols);
+        let mut undo = std::mem::take(&mut self.scratch_undo);
+        debug_assert!(squashed_cols.is_empty() && undo.is_empty());
+        {
+            let undo = &mut undo;
+            self.rob.squash_from(from, |e| undo.push(e));
+        }
         self.emit(PipeEvent::Squash {
             from_seq: from,
             count: undo.len() as u64,
         });
-        for e in undo {
+        for e in undo.drain(..) {
             if !e.issued || e.in_wib {
                 // May be in an issue queue or the WIB.
                 self.iq_int.remove(e.seq);
@@ -1375,10 +1494,13 @@ impl<'c> Engine<'c> {
             }
         }
         if let Some(wib) = self.wib.as_mut() {
-            for (col, load_seq) in squashed_cols {
+            for &(col, load_seq) in &squashed_cols {
                 wib.squash_column(col, load_seq);
             }
         }
+        squashed_cols.clear();
+        self.scratch_cols = squashed_cols;
+        self.scratch_undo = undo;
         self.lsq.squash_from(from);
         self.pending_load_values.retain(|&s, _| s < from);
         self.blocked_loads.retain(|&(l, _)| l < from);
@@ -1492,8 +1614,124 @@ impl<'c> Engine<'c> {
     // Main loop
     // ------------------------------------------------------------------
 
+    /// Fast-forward through provably idle stall cycles.
+    ///
+    /// When the machine is *quiescent* — the window head is incomplete
+    /// (typically parked under a cache miss), no completion event is due
+    /// before some future cycle, no issue-queue entry is selectable, the
+    /// WIB has nothing extractable, and fetch/dispatch are idle or blocked
+    /// on a full resource — every stage of [`Engine::step`] is a no-op
+    /// except the per-cycle bookkeeping (CPI attribution, stall counters,
+    /// occupancy samples), and nothing can change machine state before the
+    /// next scheduled event. Those cycles are all identical, so this
+    /// routine applies their bookkeeping in bulk and jumps `now` forward.
+    /// The statistics are bit-identical to stepping cycle by cycle (the
+    /// golden cycle-identity fixtures pin the equivalence down); only wall
+    /// clock changes. On miss-dominated workloads — the regime the paper
+    /// targets — this skips the bulk of all simulated cycles.
+    ///
+    /// Returns the cycles consumed; 0 means "run this cycle normally".
+    /// The skip never crosses a boundary something else observes cycle by
+    /// cycle: the next event time, fetch resume, IFQ-front readiness, the
+    /// watchdog deadline, the run limit (`budget`), or a stats-epoch
+    /// boundary (the run loop samples an interval exactly there).
+    fn try_skip(&mut self, budget: u64) -> u64 {
+        if self.debug_trace || self.halted {
+            return 0;
+        }
+        // Commit is blocked on an incomplete head (which also means the
+        // window is nonempty and no halt can retire mid-skip).
+        let Some(head) = self.rob.head() else {
+            return 0;
+        };
+        if head.completed {
+            return 0;
+        }
+        let head_miss = head.miss_kind;
+        // No event due this cycle; with *no* event pending at all the
+        // machine is wedged, which the watchdog should report normally.
+        let Some(Reverse(next_ev)) = self.events.peek() else {
+            return 0;
+        };
+        if next_ev.at <= self.now {
+            return 0;
+        }
+        let mut cap = next_ev.at - self.now;
+        // Issue is a no-op: nothing selectable, nothing extractable.
+        if self.iq_int.has_ready() || self.iq_fp.has_ready() {
+            return 0;
+        }
+        if self.wib.as_ref().is_some_and(|w| !w.quiescent()) {
+            return 0;
+        }
+        // Fetch idle: halted, IFQ full, or waiting out an I-miss/redirect
+        // bubble (then skip at most up to the resume cycle).
+        if !self.fetch_halted && self.ifq.len() < self.cfg.ifq_size as usize {
+            if self.fetch_resume_at <= self.now {
+                return 0;
+            }
+            cap = cap.min(self.fetch_resume_at - self.now);
+        }
+        // Dispatch idle (IFQ empty, or its front still in the front-end
+        // pipe) or parked on one full resource for the whole stretch.
+        let mut stall = None;
+        match self.ifq.front() {
+            None => {}
+            Some(f) if f.ready_at > self.now => cap = cap.min(f.ready_at - self.now),
+            Some(f) => {
+                let inst = f.inst;
+                match self.dispatch_stall_category(&inst) {
+                    Some(cat) => stall = Some(cat),
+                    // Dispatch would make progress: not quiescent.
+                    None => return 0,
+                }
+            }
+        }
+        // Never skip past the watchdog deadline; the normal path panics
+        // there with full diagnostics.
+        cap = cap.min((self.last_commit_cycle + WATCHDOG_CYCLES).saturating_sub(self.now));
+        // Stop exactly on run-limit and stats-epoch boundaries.
+        cap = cap.min(budget);
+        let epoch = self.cfg.stats_epoch.max(1);
+        cap = cap.min(epoch - self.stats.cycles % epoch);
+        if cap <= 1 {
+            return 0;
+        }
+        let k = cap;
+
+        // Replicate the k skipped cycles' bookkeeping on the frozen state.
+        self.dispatch_block = None;
+        if let Some(cat) = stall {
+            self.charge_dispatch_stall(cat, k);
+        }
+        let cat = match head_miss {
+            Some(MissKind::L2Hit) => CpiCategory::L1dMiss,
+            Some(MissKind::Dram) => CpiCategory::L2Miss,
+            None => stall.unwrap_or(CpiCategory::Exec),
+        };
+        self.stats.cpi.add_n(cat, k);
+        let occ = crate::stats::OCCUPANCY_SAMPLE_PERIOD;
+        let first = self.now.next_multiple_of(occ);
+        if first < self.now + k {
+            let n = (self.now + k - 1 - first) / occ + 1;
+            self.stats
+                .occupancy_window
+                .record_n(self.rob.len() as u64, n);
+            self.stats
+                .occupancy_iq
+                .record_n((self.iq_int.len() + self.iq_fp.len()) as u64, n);
+            self.stats
+                .occupancy_wib
+                .record_n(self.wib.as_ref().map_or(0, |w| w.resident() as u64), n);
+        }
+        // `storewait.tick` needs no catch-up: it clears in whole intervals
+        // on its next call, and no store-order marks can land mid-skip.
+        self.now += k;
+        k
+    }
+
     fn step(&mut self) {
-        if std::env::var("WIB_TRACE").is_ok() && self.now == 20_000 {
+        if self.debug_trace && self.now == 20_000 {
             eprintln!(
                 "cyc {}: iqi={} iqf={} rob={} wib={:?}",
                 self.now,
@@ -1640,8 +1878,11 @@ impl<'c> Engine<'c> {
             && self.stats.committed < limit.max_insts
             && self.stats.cycles < limit.max_cycles
         {
-            self.step();
-            self.stats.cycles += 1;
+            let skipped = self.try_skip(limit.max_cycles - self.stats.cycles);
+            if skipped == 0 {
+                self.step();
+            }
+            self.stats.cycles += skipped.max(1);
             if self.stats.cycles.is_multiple_of(epoch) {
                 self.sample_interval();
             }

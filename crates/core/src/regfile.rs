@@ -8,17 +8,29 @@
 //! column, so consumers are "pretend ready" and belong in the WIB.
 
 use crate::types::{ColumnId, PhysReg, Seq};
-use std::collections::BTreeSet;
 
-/// Timing state for the two-level register file: which physical registers
-/// currently live in the small first level.
+/// Null link in the [`L1Tracker`]'s intrusive LRU list.
+const LRU_NIL: u16 = u16::MAX;
+
+/// Recency tracker for the two-level register file's first level.
+///
+/// An intrusive doubly-linked list threaded through per-register link
+/// arrays keeps strict LRU order with O(1), allocation-free `touch` —
+/// this sits on the per-operand issue path, where the ordered-set
+/// representation it replaced allocated tree nodes on every access.
 #[derive(Debug, Clone)]
 struct L1Tracker {
     capacity: usize,
     in_l1: Vec<bool>,
-    last_use: Vec<u64>,
-    lru: BTreeSet<(u64, u16)>,
-    tick: u64,
+    /// Next register toward the MRU end (`LRU_NIL` at the head).
+    prev: Vec<u16>,
+    /// Next register toward the LRU end (`LRU_NIL` at the tail).
+    next: Vec<u16>,
+    /// Most recently used register.
+    head: u16,
+    /// Least recently used register (the eviction victim).
+    tail: u16,
+    len: usize,
 }
 
 impl L1Tracker {
@@ -26,9 +38,11 @@ impl L1Tracker {
         let mut t = L1Tracker {
             capacity,
             in_l1: vec![false; regs],
-            last_use: vec![0; regs],
-            lru: BTreeSet::new(),
-            tick: 0,
+            prev: vec![LRU_NIL; regs],
+            next: vec![LRU_NIL; regs],
+            head: LRU_NIL,
+            tail: LRU_NIL,
+            len: 0,
         };
         // The architectural registers start in the first level.
         for r in 0..capacity.min(regs) {
@@ -37,24 +51,43 @@ impl L1Tracker {
         t
     }
 
+    fn unlink(&mut self, r: u16) {
+        let (p, n) = (self.prev[r as usize], self.next[r as usize]);
+        match p {
+            LRU_NIL => self.head = n,
+            _ => self.next[p as usize] = n,
+        }
+        match n {
+            LRU_NIL => self.tail = p,
+            _ => self.prev[n as usize] = p,
+        }
+    }
+
     fn touch(&mut self, r: u16) {
-        self.tick += 1;
         let i = r as usize;
         if self.in_l1[i] {
-            self.lru.remove(&(self.last_use[i], r));
+            self.unlink(r);
+        } else {
+            self.in_l1[i] = true;
+            self.len += 1;
         }
-        self.last_use[i] = self.tick;
-        self.lru.insert((self.tick, r));
-        self.in_l1[i] = true;
+        self.prev[i] = LRU_NIL;
+        self.next[i] = self.head;
+        match self.head {
+            LRU_NIL => self.tail = r,
+            h => self.prev[h as usize] = r,
+        }
+        self.head = r;
     }
 
     /// Insert `r` into the L1, evicting the LRU register if full.
     fn insert(&mut self, r: u16) {
-        if !self.in_l1[r as usize] && self.lru.len() >= self.capacity {
-            if let Some(&(t, victim)) = self.lru.iter().next() {
-                self.lru.remove(&(t, victim));
-                self.in_l1[victim as usize] = false;
-            }
+        if !self.in_l1[r as usize] && self.len >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, LRU_NIL);
+            self.unlink(victim);
+            self.in_l1[victim as usize] = false;
+            self.len -= 1;
         }
         self.touch(r);
     }
@@ -213,9 +246,11 @@ impl RegFile {
         self.wait[r.0 as usize]
     }
 
-    /// Mark `r` produced with `value`; clears any wait bit. Returns the
-    /// consumers subscribed for wakeup.
-    pub fn write(&mut self, r: PhysReg, value: u64) -> Vec<Seq> {
+    /// Mark `r` produced with `value`; clears any wait bit. Drains the
+    /// subscribed consumers into `woken` (appending), keeping the
+    /// register's subscription list allocated for reuse — the hot
+    /// writeback path runs allocation-free this way.
+    pub fn write_into(&mut self, r: PhysReg, value: u64, woken: &mut Vec<Seq>) {
         let i = r.0 as usize;
         self.values[i] = value;
         self.ready[i] = true;
@@ -223,7 +258,15 @@ impl RegFile {
         if let Timing::TwoLevel { l1, .. } = &mut self.timing {
             l1.insert(r.0);
         }
-        std::mem::take(&mut self.consumers[i])
+        woken.append(&mut self.consumers[i]);
+    }
+
+    /// Convenience wrapper around [`RegFile::write_into`] returning the
+    /// woken consumers as a fresh vector.
+    pub fn write(&mut self, r: PhysReg, value: u64) -> Vec<Seq> {
+        let mut woken = Vec::new();
+        self.write_into(r, value, &mut woken);
+        woken
     }
 
     /// Force a committed architectural value (used when seeding the
@@ -234,13 +277,22 @@ impl RegFile {
     }
 
     /// Set the WIB wait bit: the value of `r` will arrive when `column`'s
-    /// load completes. Returns subscribed consumers, which become
-    /// pretend-ready.
-    pub fn set_wait(&mut self, r: PhysReg, column: ColumnId) -> Vec<Seq> {
+    /// load completes. Drains the subscribed consumers — which become
+    /// pretend-ready — into `woken` (appending), keeping the subscription
+    /// list allocated for reuse.
+    pub fn set_wait_into(&mut self, r: PhysReg, column: ColumnId, woken: &mut Vec<Seq>) {
         let i = r.0 as usize;
         debug_assert!(!self.ready[i], "wait bit on a ready register");
         self.wait[i] = Some(column);
-        std::mem::take(&mut self.consumers[i])
+        woken.append(&mut self.consumers[i]);
+    }
+
+    /// Convenience wrapper around [`RegFile::set_wait_into`] returning the
+    /// woken consumers as a fresh vector.
+    pub fn set_wait(&mut self, r: PhysReg, column: ColumnId) -> Vec<Seq> {
+        let mut woken = Vec::new();
+        self.set_wait_into(r, column, &mut woken);
+        woken
     }
 
     /// Clear the wait bit without producing a value (the owner was

@@ -95,6 +95,11 @@ pub struct RobEntry {
 #[derive(Debug, Clone)]
 pub struct ActiveList {
     entries: VecDeque<RobEntry>,
+    /// Parallel ring of the entries' sequence numbers. Lookups binary
+    /// search this dense 8-byte-per-entry ring instead of striding over
+    /// the (much larger) `RobEntry` structs — the whole ring stays
+    /// cache-resident even for a 2048-entry window.
+    seqs: VecDeque<Seq>,
     size: usize,
     head_slot: usize,
     next_seq: Seq,
@@ -105,6 +110,7 @@ impl ActiveList {
     pub fn new(size: usize) -> ActiveList {
         ActiveList {
             entries: VecDeque::with_capacity(size),
+            seqs: VecDeque::with_capacity(size),
             size,
             head_slot: 0,
             next_seq: 0,
@@ -150,6 +156,7 @@ impl ActiveList {
         assert!(self.free_slots() > 0, "active list overflow");
         assert_eq!(entry.seq, self.next_seq, "out-of-order dispatch");
         assert_eq!(entry.slot, self.next_slot(), "slot mismatch");
+        self.seqs.push_back(entry.seq);
         self.entries.push_back(entry);
         self.next_seq += 1;
     }
@@ -157,8 +164,28 @@ impl ActiveList {
     fn index_of(&self, seq: Seq) -> Option<usize> {
         // Sequence numbers are strictly increasing but *not* contiguous:
         // a squash removes a tail range while later dispatches continue
-        // with fresh numbers.
-        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+        // with fresh numbers. Gaps only ever push an entry *left* of its
+        // no-squash position, so `seq - head_seq` bounds the search from
+        // above.
+        let &head = self.seqs.front()?;
+        if seq < head {
+            return None;
+        }
+        let hi = (((seq - head) as usize) + 1).min(self.seqs.len());
+        // Common case: no squash gap in range — the entry sits exactly at
+        // its dense offset.
+        if self.seqs[hi - 1] == seq {
+            return Some(hi - 1);
+        }
+        let (front, back) = self.seqs.as_slices();
+        if hi <= front.len() {
+            front[..hi].binary_search(&seq).ok()
+        } else {
+            match back[..hi - front.len()].binary_search(&seq) {
+                Ok(i) => Some(front.len() + i),
+                Err(_) => front[..front.len()].binary_search(&seq).ok(),
+            }
+        }
     }
 
     /// The oldest in-flight instruction.
@@ -186,6 +213,7 @@ impl ActiveList {
             .entries
             .pop_front()
             .expect("pop from empty active list");
+        self.seqs.pop_front();
         self.head_slot = (self.head_slot + 1) % self.size;
         e
     }
@@ -195,6 +223,7 @@ impl ActiveList {
     /// numbers are *not* reused; slots are.
     pub fn squash_from<F: FnMut(RobEntry)>(&mut self, from: Seq, mut undo: F) {
         while self.entries.back().is_some_and(|e| e.seq >= from) {
+            self.seqs.pop_back();
             undo(self.entries.pop_back().expect("nonempty"));
         }
     }

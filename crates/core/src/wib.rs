@@ -18,7 +18,8 @@
 
 use crate::config::{SelectionPolicy, WibOrganization};
 use crate::types::{ColumnId, Seq};
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// A bit-vector column: the dependents of one outstanding load miss.
 #[derive(Debug, Clone)]
@@ -74,15 +75,48 @@ impl Column {
     }
 }
 
+/// A lazy-deletion eligible queue: a binary min-heap of `(seq, slot)`.
+/// Detach never removes from the heap; instead, entries are validated
+/// against the live WIB state at pop/peek time and stale ones discarded.
+/// Duplicates are harmless — a re-parked `(seq, slot)` pushes a copy with
+/// an identical key, so selecting either is the same selection — and
+/// squashed seqs are never reused, so their copies always fail the
+/// validity check. This keeps the hot insert/extract path free of the
+/// per-node allocation and rebalancing a `BTreeSet` would do.
+type EligibleHeap = BinaryHeap<Reverse<(Seq, usize)>>;
+
+/// Discard stale heap tops; return the oldest genuinely eligible entry.
+/// An entry is live when its slot is still parked with the same seq *and*
+/// its column has completed (a re-parked slot waiting on a fresh miss is
+/// not eligible yet; its new copy is pushed when that column completes).
+fn peek_eligible(
+    heap: &mut EligibleHeap,
+    entry_valid: &[bool],
+    entry_seq: &[Seq],
+    entry_col: &[ColumnId],
+    columns: &[Column],
+) -> Option<(Seq, usize)> {
+    while let Some(&Reverse((seq, slot))) = heap.peek() {
+        if entry_valid[slot]
+            && entry_seq[slot] == seq
+            && columns[entry_col[slot] as usize].completed
+        {
+            return Some((seq, slot));
+        }
+        heap.pop();
+    }
+    None
+}
+
 #[derive(Debug, Clone)]
 enum ExtractState {
-    /// Per-bank eligible sets + per-parity bank priority order.
+    /// Per-bank eligible queues + per-parity bank priority order.
     Banked {
-        sets: Vec<BTreeSet<(Seq, usize)>>,
+        sets: Vec<EligibleHeap>,
         priority: [Vec<usize>; 2],
     },
-    /// One global eligible set in program order.
-    Global { eligible: BTreeSet<(Seq, usize)> },
+    /// One global eligible queue in program order.
+    Global { eligible: EligibleHeap },
     /// Per-column draining: `(load_seq, column)` of completed columns.
     ByColumn {
         completed: BTreeSet<(Seq, ColumnId)>,
@@ -120,6 +154,13 @@ pub struct Wib {
     resident: usize,
     extract: ExtractState,
     stats: WibStats,
+    /// Reusable scratch for [`Wib::column_completed`] (slot harvesting)
+    /// and [`Wib::extract_banked`] (priority rebuild). Taken with
+    /// `mem::take`, cleared, refilled and put back, so the steady-state
+    /// extraction path never allocates.
+    scratch_entries: Vec<(Seq, usize)>,
+    scratch_kept: Vec<usize>,
+    scratch_demoted: Vec<usize>,
 }
 
 impl Wib {
@@ -144,7 +185,7 @@ impl Wib {
         };
         let extract = match organization {
             WibOrganization::Banked { .. } => ExtractState::Banked {
-                sets: vec![BTreeSet::new(); banks],
+                sets: vec![EligibleHeap::new(); banks],
                 // Even banks work even cycles, odd banks odd cycles.
                 priority: [
                     (0..banks).filter(|b| b % 2 == 0).collect(),
@@ -152,11 +193,11 @@ impl Wib {
                 ],
             },
             WibOrganization::NonBanked { .. } => ExtractState::Global {
-                eligible: BTreeSet::new(),
+                eligible: EligibleHeap::new(),
             },
             WibOrganization::Ideal => match policy {
                 SelectionPolicy::ProgramOrder => ExtractState::Global {
-                    eligible: BTreeSet::new(),
+                    eligible: EligibleHeap::new(),
                 },
                 _ => ExtractState::ByColumn {
                     completed: BTreeSet::new(),
@@ -182,12 +223,23 @@ impl Wib {
             resident: 0,
             extract,
             stats: WibStats::default(),
+            scratch_entries: Vec::with_capacity(64),
+            scratch_kept: Vec::with_capacity(banks),
+            scratch_demoted: Vec::with_capacity(banks),
         }
     }
 
     /// Entries currently parked.
     pub fn resident(&self) -> usize {
         self.resident
+    }
+
+    /// True when no parked instruction is extractable: no column has
+    /// completed, so [`Wib::extract`] is a guaranteed no-op (it returns
+    /// before touching bank priority) and [`Wib::eligible_slot`] is false
+    /// for every slot. Lets the engine fast-forward stall cycles.
+    pub fn quiescent(&self) -> bool {
+        self.completed_cols == 0
     }
 
     /// Accumulated statistics.
@@ -276,10 +328,10 @@ impl Wib {
         if completed {
             match &mut self.extract {
                 ExtractState::Banked { sets, .. } => {
-                    sets[slot % self.banks].insert((seq, slot));
+                    sets[slot % self.banks].push(Reverse((seq, slot)));
                 }
                 ExtractState::Global { eligible } => {
-                    eligible.insert((seq, slot));
+                    eligible.push(Reverse((seq, slot)));
                 }
                 ExtractState::ByColumn { .. } => {
                     self.columns[column as usize].eligible.insert((seq, slot));
@@ -304,25 +356,28 @@ impl Wib {
             self.free_column(column);
             return;
         }
-        let entries: Vec<(Seq, usize)> = {
+        let mut entries = std::mem::take(&mut self.scratch_entries);
+        entries.clear();
+        {
             let col = &self.columns[column as usize];
-            col.slots().map(|s| (self.entry_seq[s], s)).collect()
-        };
+            entries.extend(col.slots().map(|s| (self.entry_seq[s], s)));
+        }
         match &mut self.extract {
             ExtractState::Banked { sets, .. } => {
-                for (seq, slot) in entries {
-                    sets[slot % self.banks].insert((seq, slot));
+                for &(seq, slot) in &entries {
+                    sets[slot % self.banks].push(Reverse((seq, slot)));
                 }
             }
             ExtractState::Global { eligible } => {
-                eligible.extend(entries);
+                eligible.extend(entries.iter().map(|&e| Reverse(e)));
             }
             ExtractState::ByColumn { completed, .. } => {
                 let col = &mut self.columns[column as usize];
-                col.eligible.extend(entries);
+                col.eligible.extend(entries.iter().copied());
                 completed.insert((col.load_seq, column));
             }
         }
+        self.scratch_entries = entries;
     }
 
     fn free_column(&mut self, column: ColumnId) {
@@ -354,16 +409,10 @@ impl Wib {
             col.completed
         };
         if completed {
-            match &mut self.extract {
-                ExtractState::Banked { sets, .. } => {
-                    sets[slot % self.banks].remove(&(seq, slot));
-                }
-                ExtractState::Global { eligible } => {
-                    eligible.remove(&(seq, slot));
-                }
-                ExtractState::ByColumn { .. } => {
-                    self.columns[column as usize].eligible.remove(&(seq, slot));
-                }
+            // Banked/Global queues use lazy deletion: the heap copy stays
+            // behind and is discarded by `peek_eligible` once it surfaces.
+            if let ExtractState::ByColumn { .. } = &self.extract {
+                self.columns[column as usize].eligible.remove(&(seq, slot));
             }
         }
         if completed && self.columns[column as usize].count == 0 {
@@ -440,20 +489,31 @@ impl Wib {
         accept: &mut F,
     ) -> usize {
         let parity = (now % 2) as usize;
-        let order = match &self.extract {
-            ExtractState::Banked { priority, .. } => priority[parity].clone(),
+        // Work on the priority order in place: take the vector out (its
+        // slot in `extract` stays allocated-but-empty for the duration)
+        // and rebuild it from the reusable kept/demoted scratch buffers.
+        let mut order = match &mut self.extract {
+            ExtractState::Banked { priority, .. } => std::mem::take(&mut priority[parity]),
             _ => unreachable!(),
         };
+        let mut demoted = std::mem::take(&mut self.scratch_demoted); // inserted or empty
+        let mut kept = std::mem::take(&mut self.scratch_kept); // stalled or not tried
+        demoted.clear();
+        kept.clear();
         let mut taken = 0;
-        let mut demoted = Vec::new(); // banks that inserted or were empty
-        let mut kept = Vec::new(); // banks that stalled or were not tried
         for (i, bank) in order.iter().copied().enumerate() {
             if taken >= budget {
                 kept.extend_from_slice(&order[i..]);
                 break;
             }
-            let candidate = match &self.extract {
-                ExtractState::Banked { sets, .. } => sets[bank].iter().next().copied(),
+            let candidate = match &mut self.extract {
+                ExtractState::Banked { sets, .. } => peek_eligible(
+                    &mut sets[bank],
+                    &self.entry_valid,
+                    &self.entry_seq,
+                    &self.entry_col,
+                    &self.columns,
+                ),
                 _ => unreachable!(),
             };
             match candidate {
@@ -472,10 +532,14 @@ impl Wib {
                 }
             }
         }
+        order.clear();
+        order.extend_from_slice(&kept);
+        order.extend_from_slice(&demoted);
         if let ExtractState::Banked { priority, .. } = &mut self.extract {
-            kept.extend(demoted);
-            priority[parity] = kept;
+            priority[parity] = order;
         }
+        self.scratch_kept = kept;
+        self.scratch_demoted = demoted;
         taken
     }
 
@@ -486,8 +550,14 @@ impl Wib {
     ) -> usize {
         let mut taken = 0;
         while taken < budget {
-            let Some((seq, slot)) = (match &self.extract {
-                ExtractState::Global { eligible } => eligible.iter().next().copied(),
+            let Some((seq, slot)) = (match &mut self.extract {
+                ExtractState::Global { eligible } => peek_eligible(
+                    eligible,
+                    &self.entry_valid,
+                    &self.entry_seq,
+                    &self.entry_col,
+                    &self.columns,
+                ),
                 _ => unreachable!(),
             }) else {
                 break;
@@ -508,30 +578,38 @@ impl Wib {
     ) -> usize {
         let mut taken = 0;
         while taken < budget {
-            let cols: Vec<ColumnId> = match &self.extract {
-                ExtractState::ByColumn { completed, .. } => {
-                    completed.iter().map(|&(_, c)| c).collect()
-                }
-                _ => unreachable!(),
-            };
-            // Columns whose entries all drained free themselves, so any
-            // listed column has at least one eligible entry.
-            if cols.is_empty() {
-                break;
-            }
+            // Pick straight out of the ordered `completed` set — no
+            // materialized column list. Columns whose entries all drained
+            // free themselves, so any listed column has at least one
+            // eligible entry. The set can shrink between iterations
+            // (extraction may drain a column), hence the re-read.
             let column = match self.policy {
-                SelectionPolicy::OldestLoadFirst | SelectionPolicy::ProgramOrder => cols[0],
-                SelectionPolicy::RoundRobinLoads => {
-                    let cursor = match &mut self.extract {
-                        ExtractState::ByColumn { rr_cursor, .. } => {
-                            let c = *rr_cursor % cols.len();
-                            *rr_cursor = (*rr_cursor + 1) % cols.len().max(1);
-                            c
-                        }
+                SelectionPolicy::OldestLoadFirst | SelectionPolicy::ProgramOrder => {
+                    match &self.extract {
+                        ExtractState::ByColumn { completed, .. } => match completed.iter().next() {
+                            Some(&(_, c)) => c,
+                            None => break,
+                        },
                         _ => unreachable!(),
-                    };
-                    cols[cursor]
+                    }
                 }
+                SelectionPolicy::RoundRobinLoads => match &mut self.extract {
+                    ExtractState::ByColumn {
+                        completed,
+                        rr_cursor,
+                    } => {
+                        if completed.is_empty() {
+                            break;
+                        }
+                        let cursor = *rr_cursor % completed.len();
+                        *rr_cursor = (*rr_cursor + 1) % completed.len().max(1);
+                        match completed.iter().nth(cursor) {
+                            Some(&(_, c)) => c,
+                            None => unreachable!("cursor bounded by len"),
+                        }
+                    }
+                    _ => unreachable!(),
+                },
             };
             let Some(&(seq, slot)) = self.columns[column as usize].eligible.iter().next() else {
                 break;

@@ -100,6 +100,15 @@ impl PoolWib {
         self.locations.len()
     }
 
+    /// True when no parked instruction is extractable: a completed chain
+    /// with live entries is always on `completed_chains` (and is freed the
+    /// moment it drains), so an empty drain list makes [`PoolWib::extract`]
+    /// a guaranteed no-op and [`PoolWib::eligible_slot`] false for every
+    /// slot. Lets the engine fast-forward stall cycles.
+    pub fn quiescent(&self) -> bool {
+        self.completed_chains.is_empty()
+    }
+
     /// Chains currently tracking an outstanding load.
     pub fn columns_in_use(&self) -> usize {
         self.chains.iter().filter(|c| c.in_use).count()

@@ -119,6 +119,15 @@ impl Window {
         }
     }
 
+    /// True when extraction is a guaranteed no-op (no completed column or
+    /// chain); the engine may fast-forward such cycles.
+    pub fn quiescent(&self) -> bool {
+        match self {
+            Window::BitVector(w) => w.quiescent(),
+            Window::Pool(p) => p.quiescent(),
+        }
+    }
+
     /// Bit-vector columns (or pool chains) tracking an outstanding load.
     pub fn columns_in_use(&self) -> usize {
         match self {

@@ -70,6 +70,14 @@ pub trait Memory {
             w => panic!("unsupported access width {w}"),
         }
     }
+
+    /// Write a contiguous block of bytes starting at `addr` (bulk image
+    /// loading).
+    fn write_block(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
 }
 
 const PAGE_SHIFT: u32 = 12;
@@ -123,6 +131,66 @@ impl Memory for PagedMemory {
             *b = self.read_u8(addr.wrapping_add(i as u32));
         }
         u32::from_le_bytes(bytes)
+    }
+
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        // One page-table lookup for the aligned in-page case instead of
+        // four (every committed store lands here via `write_bits`).
+        if addr & 3 == 0 {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            page[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    fn read_u64(&self, addr: u32) -> u64 {
+        if addr & 7 == 0 {
+            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                let off = (addr as usize) & (PAGE_SIZE - 1);
+                return u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+            }
+            return 0;
+        }
+        let lo = self.read_u32(addr) as u64;
+        let hi = self.read_u32(addr.wrapping_add(4)) as u64;
+        lo | (hi << 32)
+    }
+
+    fn write_u64(&mut self, addr: u32, value: u64) {
+        if addr & 7 == 0 {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            page[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
+        self.write_u32(addr, value as u32);
+        self.write_u32(addr.wrapping_add(4), (value >> 32) as u32);
+    }
+
+    fn write_block(&mut self, addr: u32, bytes: &[u8]) {
+        // One page-table lookup per touched 4 KB page.
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let a = addr.wrapping_add(off as u32);
+            let start = (a as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - start).min(bytes.len() - off);
+            let page = self
+                .pages
+                .entry(a >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[start..start + n].copy_from_slice(&bytes[off..off + n]);
+            off += n;
+        }
     }
 }
 

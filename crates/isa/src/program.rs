@@ -20,13 +20,13 @@ pub struct Program {
 impl Program {
     /// Load code and data into `mem`.
     pub fn load_into<M: Memory>(&self, mem: &mut M) {
-        for (i, word) in self.code.iter().enumerate() {
-            mem.write_u32(self.code_base.wrapping_add(4 * i as u32), *word);
+        let mut code_bytes = Vec::with_capacity(self.code.len() * 4);
+        for word in &self.code {
+            code_bytes.extend_from_slice(&word.to_le_bytes());
         }
+        mem.write_block(self.code_base, &code_bytes);
         for (base, bytes) in &self.data {
-            for (i, b) in bytes.iter().enumerate() {
-                mem.write_u8(base.wrapping_add(i as u32), *b);
-            }
+            mem.write_block(*base, bytes);
         }
     }
 

@@ -113,7 +113,15 @@ pub struct MemoryHierarchy {
     dtlb: Tlb,
     mem_latency: u64,
     /// Outstanding line fills: line address -> fill completion cycle.
+    ///
+    /// Cleaned **lazily**: completed fills linger until the periodic
+    /// [`MemoryHierarchy::maybe_drain`] sweep (or an exact-count query)
+    /// removes them, so the per-access path never scans the table. Every
+    /// read goes through [`MemoryHierarchy::live_fill`], which filters
+    /// stale entries by comparing against `now`.
     inflight: HashMap<u32, u64>,
+    /// Accesses since the last stale-fill sweep.
+    accesses_since_drain: u32,
     stats: HierStats,
 }
 
@@ -128,6 +136,7 @@ impl MemoryHierarchy {
             dtlb: Tlb::new(cfg.dtlb),
             mem_latency: cfg.mem_latency,
             inflight: HashMap::new(),
+            accesses_since_drain: 0,
             stats: HierStats::default(),
         }
     }
@@ -156,15 +165,37 @@ impl MemoryHierarchy {
         self.inflight.retain(|_, ready| *ready > now);
     }
 
-    /// If the line holding `addr` is still being filled, when it arrives.
-    pub fn inflight_ready(&self, addr: u32) -> Option<u64> {
-        self.inflight.get(&self.l1d.line_addr(addr)).copied()
+    /// Amortized stale-fill sweep: a full [`HashMap::retain`] scan per
+    /// access would dominate miss-heavy runs (the WIB keeps dozens of
+    /// fills in flight), so completed entries are only swept every 1024
+    /// accesses and ignored in between via [`MemoryHierarchy::live_fill`].
+    fn maybe_drain(&mut self, now: u64) {
+        self.accesses_since_drain += 1;
+        if self.accesses_since_drain >= 1024 {
+            self.accesses_since_drain = 0;
+            self.drain_completed(now);
+        }
+    }
+
+    /// The fill in flight for `line` at `now`, ignoring stale entries the
+    /// lazy sweep has not removed yet.
+    fn live_fill(&self, line: u32, now: u64) -> Option<u64> {
+        self.inflight
+            .get(&line)
+            .copied()
+            .filter(|&ready| ready > now)
+    }
+
+    /// If the line holding `addr` is still being filled at `now`, when it
+    /// arrives.
+    pub fn inflight_ready(&self, addr: u32, now: u64) -> Option<u64> {
+        self.live_fill(self.l1d.line_addr(addr), now)
     }
 
     /// Fetch the instruction at `pc`: returns the cycle the bytes are
     /// available.
     pub fn inst_fetch(&mut self, pc: u32, now: u64) -> u64 {
-        self.drain_completed(now);
+        self.maybe_drain(now);
         let tlb_extra = self.itlb.translate(pc);
         let line = self.l1i.line_addr(pc);
         let l1 = self.l1i.access(pc, AccessKind::Read);
@@ -178,11 +209,15 @@ impl MemoryHierarchy {
             } else {
                 self.stats.l2_misses += 1;
                 let ready = now + self.mem_latency;
-                self.inflight.entry(line).or_insert(ready);
+                if self.live_fill(line, now).is_none() {
+                    // Overwrites a stale (completed) fill, if any; a live
+                    // one is kept, matching the old `or_insert`.
+                    self.inflight.insert(line, ready);
+                }
                 ready
             }
         };
-        let merged = self.inflight.get(&line).copied().unwrap_or(0);
+        let merged = self.live_fill(line, now).unwrap_or(0);
         base_ready.max(merged) + tlb_extra
     }
 
@@ -191,7 +226,7 @@ impl MemoryHierarchy {
     /// Stores allocate and dirty the line but the caller decides whether
     /// their latency matters (committed stores retire into a write buffer).
     pub fn data_access(&mut self, addr: u32, kind: AccessKind, now: u64) -> DataAccess {
-        self.drain_completed(now);
+        self.maybe_drain(now);
         self.stats.data_accesses += 1;
         let tlb_extra = self.dtlb.translate(addr);
         let line = self.l1d.line_addr(addr);
@@ -208,14 +243,14 @@ impl MemoryHierarchy {
                 now + self.l2.config().hit_latency
             } else {
                 self.stats.l2_misses += 1;
-                match self.inflight.get(&line) {
+                match self.live_fill(line, now) {
                     Some(ready) => {
                         // A fill for this line is already on its way.
                         self.stats.mshr_merges += 1;
                         self.stats.l2_misses -= 1; // merged, not a new transaction
                         self.stats.l2_accesses -= 1;
                         mshr_merged = true;
-                        *ready
+                        ready
                     }
                     None => {
                         to_memory = true;
@@ -227,7 +262,7 @@ impl MemoryHierarchy {
             }
         };
         // Even an L1 "hit" on a line still in flight waits for the fill.
-        let merged = self.inflight.get(&line).copied().unwrap_or(0);
+        let merged = self.live_fill(line, now).unwrap_or(0);
         let ready_at = base_ready.max(merged) + tlb_extra;
         DataAccess {
             ready_at,

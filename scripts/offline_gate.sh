@@ -9,4 +9,31 @@ echo "== tests =="
 cargo test -q --workspace --offline
 echo "== formatting =="
 cargo fmt --all --check
+echo "== bench smoke (quick workload, vs committed baseline) =="
+# Reduced-workload throughput check: rerun bench_json in WIB_QUICK mode
+# and fail if aggregate simulator throughput fell below 0.6x the
+# committed results/BENCH_wib.json baseline. The loose factor is
+# deliberate: single-CPU CI boxes show +/-50% wall-clock noise run to
+# run, so this catches real (2x+) regressions, not drift. Noisy machines
+# can be waived entirely with WIB_SKIP_BENCH_SMOKE=1; re-bless the
+# baseline by copying the fresh file over the committed one after an
+# intentional change (use the *minimum* of a few runs).
+if [[ "${WIB_SKIP_BENCH_SMOKE:-0}" == "1" ]]; then
+    echo "  skipped (WIB_SKIP_BENCH_SMOKE=1)"
+else
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+    WIB_QUICK=1 WIB_THREADS=1 WIB_RESULTS_DIR="$smoke_dir" \
+        cargo run -q --release --offline -p wib-bench --bin bench_json
+    baseline=$(grep -m1 '"sim_minsts_per_s"' results/BENCH_wib.json | tr -dc '0-9.')
+    fresh=$(grep -m1 '"sim_minsts_per_s"' "$smoke_dir/BENCH_wib.json" | tr -dc '0-9.')
+    echo "  baseline ${baseline} Minsts/s, fresh ${fresh} Minsts/s"
+    awk -v b="$baseline" -v f="$fresh" 'BEGIN {
+        if (f < 0.6 * b) {
+            printf "  FAIL: throughput regressed (%.3f < 0.6 * %.3f)\n", f, b
+            exit 1
+        }
+        printf "  ok (%.1f%% of baseline)\n", 100 * f / b
+    }'
+fi
 echo "offline gate passed"
