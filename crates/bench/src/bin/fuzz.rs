@@ -1,0 +1,118 @@
+//! Differential fuzzer driver.
+//!
+//! ```text
+//! cargo run --release -p wib-bench --bin fuzz -- [--cases N] [--seed S]
+//!     [--out DIR] [--keep-going]
+//! ```
+//!
+//! Runs `N` cases (default 500) from consecutive seeds starting at `S`
+//! (default 1). Every case is a random program executed on 2–3 random
+//! machine configurations with co-simulation, per-cycle machine checks,
+//! the fast-forward on/off differential, and the cross-config commit
+//! differential all armed (see `wib_bench::fuzz`). A failing case is
+//! shrunk to a local minimum and written to `--out` (default
+//! `tests/repros/`), then the driver exits 1 (or keeps scanning with
+//! `--keep-going`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wib_bench::fuzz;
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    out: PathBuf,
+    keep_going: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cases: 500,
+        seed: 1,
+        out: PathBuf::from("tests/repros"),
+        keep_going: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--cases" => {
+                args.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--keep-going" => args.keep_going = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fuzz [--cases N] [--seed S] [--out DIR] [--keep-going]".to_string(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fuzz: {} cases from seed {} (repros -> {})",
+        args.cases,
+        args.seed,
+        args.out.display()
+    );
+    let mut failures = 0u64;
+    fuzz::with_quiet_panics(|| {
+        for i in 0..args.cases {
+            let seed = args.seed + i;
+            let case = fuzz::generate_case(seed);
+            match fuzz::run_case(&case) {
+                Ok(()) => {}
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("seed {seed}: FAIL: {e}");
+                    eprint!("seed {seed}: shrinking... ");
+                    let small = fuzz::shrink(&case);
+                    let failure = fuzz::run_case(&small)
+                        .err()
+                        .unwrap_or_else(|| "unreproducible after shrink".to_string());
+                    eprintln!(
+                        "{} lines x {} configs",
+                        small.text.lines().count(),
+                        small.specs.len()
+                    );
+                    match fuzz::write_repro(&args.out, &small, &failure) {
+                        Ok(p) => eprintln!("seed {seed}: wrote {}", p.display()),
+                        Err(e) => eprintln!("seed {seed}: could not write repro: {e}"),
+                    }
+                    if !args.keep_going {
+                        break;
+                    }
+                }
+            }
+            if (i + 1) % 50 == 0 {
+                eprintln!("fuzz: {}/{} cases clean", i + 1 - failures, i + 1);
+            }
+        }
+    });
+    if failures > 0 {
+        eprintln!("fuzz: {failures} failing case(s)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("fuzz: all {} cases clean", args.cases);
+        ExitCode::SUCCESS
+    }
+}

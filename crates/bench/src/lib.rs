@@ -20,6 +20,7 @@
 use wib_core::{Json, MachineConfig, Processor, RunLimit, RunResult};
 use wib_workloads::{Suite, Workload};
 
+pub mod fuzz;
 pub mod parallel;
 pub mod timer;
 
@@ -110,7 +111,10 @@ pub fn sweep(
         .enumerate()
         .flat_map(|(wi, _)| (0..configs.len()).map(move |ci| (wi, ci)))
         .collect();
-    let results = parallel::parallel_map(&points, |_, &(wi, ci)| {
+    let names = |_: usize, &(wi, ci): &(usize, usize)| {
+        format!("{}/{}", configs[ci].0, workloads[wi].name())
+    };
+    let results = parallel::parallel_map_named(&points, names, |_, &(wi, ci)| {
         let (cname, cfg) = &configs[ci];
         let w = &workloads[wi];
         let t = std::time::Instant::now();

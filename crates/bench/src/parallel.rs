@@ -10,7 +10,19 @@
 //! available parallelism. `WIB_THREADS=1` forces the serial path (used by
 //! tests that compare serial and parallel output).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Worker threads for a sweep: `WIB_THREADS` if set (minimum 1), else
 /// [`std::thread::available_parallelism`].
@@ -27,40 +39,90 @@ pub fn worker_threads() -> usize {
 }
 
 /// Apply `f` to every item on a pool of scoped worker threads and return
-/// the results in input order.
-///
-/// Items are claimed dynamically (an atomic cursor), so long and short
-/// simulations load-balance; determinism is unaffected because results
-/// are placed by input index, not completion order.
+/// the results in input order. Jobs are labeled by their index; sweeps
+/// with meaningful labels should use [`parallel_map_named`].
 ///
 /// # Panics
-/// Propagates a panic from any worker.
+/// Propagates the first (lowest-index) job panic; see
+/// [`parallel_map_named`].
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_named(items, |i, _| format!("#{i}"), f)
+}
+
+/// [`parallel_map`] with a caller-supplied job name for failure reports.
+///
+/// Items are claimed dynamically (an atomic cursor), so long and short
+/// simulations load-balance; determinism is unaffected because results
+/// are placed by input index, not completion order. `WIB_THREADS` larger
+/// than the job count is clamped — excess workers are never spawned.
+///
+/// # Panics
+/// If any job panics, every worker stops claiming new jobs and the
+/// lowest-index failure is re-raised as
+/// `sweep job '<name>' (point <i> of <n>) panicked: <message>` — a sweep
+/// never returns a truncated or reordered result set.
+pub fn parallel_map_named<T, R, N, F>(items: &[T], name: N, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    N: Fn(usize, &T) -> String + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let run = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(panic_text);
+    let fail = |i: usize, msg: &str| -> ! {
+        panic!(
+            "sweep job '{}' (point {i} of {}) panicked: {msg}",
+            name(i, &items[i]),
+            items.len()
+        )
+    };
     let threads = worker_threads().min(items.len()).max(1);
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut out = Vec::with_capacity(items.len());
+        for i in 0..items.len() {
+            match run(i) {
+                Ok(r) => out.push(r),
+                Err(msg) => fail(i, &msg),
+            }
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let first_failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
-                let f = &f;
+                let poisoned = &poisoned;
+                let first_failure = &first_failure;
+                let run = &run;
                 s.spawn(move || {
                     let mut got = Vec::new();
-                    loop {
+                    while !poisoned.load(Ordering::Relaxed) {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        got.push((i, f(i, &items[i])));
+                        match run(i) {
+                            Ok(r) => got.push((i, r)),
+                            Err(msg) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                let mut slot = first_failure.lock().unwrap();
+                                // Keep the lowest-index failure so the
+                                // report is deterministic.
+                                if slot.as_ref().map_or(true, |(j, _)| i < *j) {
+                                    *slot = Some((i, msg));
+                                }
+                            }
+                        }
                     }
                     got
                 })
@@ -72,6 +134,9 @@ where
             }
         }
     });
+    if let Some((i, msg)) = first_failure.into_inner().unwrap() {
+        fail(i, &msg);
+    }
     slots
         .into_iter()
         .map(|r| r.expect("every item computed"))
@@ -101,5 +166,62 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(&[7], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        // WIB_THREADS far above the job count must clamp, not wedge or
+        // drop results. The env var is set only here; any concurrent
+        // reader still behaves correctly at any thread count.
+        std::env::set_var("WIB_THREADS", "64");
+        let out = parallel_map(&[1u64, 2, 3], |_, &x| x * 10);
+        std::env::remove_var("WIB_THREADS");
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panic_carries_job_name() {
+        let items: Vec<usize> = (0..40).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map_named(
+                &items,
+                |_, &x| format!("job-{x}"),
+                |_, &x| {
+                    if x == 17 {
+                        panic!("boom {x}");
+                    }
+                    x
+                },
+            )
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic payload");
+        assert!(
+            msg.contains("sweep job 'job-17' (point 17 of 40) panicked: boom 17"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn lowest_index_failure_wins_and_nothing_truncates() {
+        // Two failing jobs: the report must name the lower index no
+        // matter which worker hit its failure first.
+        let items: Vec<usize> = (0..64).collect();
+        for _ in 0..4 {
+            let err = std::panic::catch_unwind(|| {
+                parallel_map(&items, |_, &x| {
+                    if x == 5 || x == 60 {
+                        panic!("bad point");
+                    }
+                    x
+                })
+            })
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap();
+            assert!(msg.contains("'#5' (point 5 of 64)"), "got: {msg}");
+        }
     }
 }

@@ -1,0 +1,70 @@
+//! Machine-check subsystem: per-structure invariant checkers plus the
+//! engine's cross-structure ownership census.
+//!
+//! Every micro-architectural structure exposes a
+//! `check_invariants(&self) -> Result<(), String>` method inside its own
+//! module (where private fields are reachable and the checker can be
+//! unit-tested against hand-built states):
+//!
+//! - [`crate::iq::IssueQueue`] — slot arena / free list / seq index
+//!   agreement, intrusive ready-list integrity, pending-count caches;
+//! - [`crate::wib::Wib`] — column bitmap vs. resident count, free-column
+//!   partition, eligible-heap coverage, banked priority liveness;
+//! - [`crate::wib_pool::PoolWib`] — block-chain linkage, location index
+//!   back-pointers, completed-chain drain list, free-block partition;
+//! - [`crate::rob::ActiveList`] — seq-ring monotonicity and slot layout;
+//! - [`crate::lsq::LoadStoreQueue`] — queue capacity and age ordering;
+//! - [`crate::regfile::RegFile`] — free-list conservation, wait-bit
+//!   hygiene, two-level L1 LRU intrusive-list integrity.
+//!
+//! The engine composes them once per simulated cycle — together with an
+//! ownership census asserting that every in-flight instruction is in
+//! exactly one residence state (issue queue / WIB / functional units) and
+//! that physical registers are conserved — when either the `checked`
+//! cargo feature is enabled (whole test suite) or
+//! `Processor::enable_machine_check` was called (fuzzer, repro replays).
+//! Without either, the release cycle loop pays one predictable branch.
+//!
+//! Checker failures are strings, not panics, so the differential fuzzer
+//! can record them, shrink the offending program, and write a minimal
+//! reproducer; the engine's per-cycle hook panics with cycle context.
+
+/// Prefix a component's failure with its name, leaving `Ok` untouched.
+///
+/// ```
+/// use wib_core::check::component;
+/// assert_eq!(
+///     component("iq.int", Err("free list torn".into())),
+///     Err("iq.int: free list torn".to_string()),
+/// );
+/// assert_eq!(component("iq.int", Ok(())), Ok(()));
+/// ```
+pub fn component(name: &str, r: Result<(), String>) -> Result<(), String> {
+    r.map_err(|e| format!("{name}: {e}"))
+}
+
+/// Format a machine-check failure with the cycle it was detected on.
+pub fn at_cycle(cycle: u64, e: &str) -> String {
+    format!("machine check failed at cycle {cycle}: {e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_prefixes_only_failures() {
+        assert_eq!(component("wib", Ok(())), Ok(()));
+        assert_eq!(
+            component("wib", Err("resident drift".into())),
+            Err("wib: resident drift".to_string())
+        );
+    }
+
+    #[test]
+    fn at_cycle_carries_context() {
+        let msg = at_cycle(1234, "census: seq 7 in 2 residence states");
+        assert!(msg.contains("cycle 1234"));
+        assert!(msg.contains("seq 7"));
+    }
+}

@@ -392,6 +392,174 @@ impl MachineConfig {
         self
     }
 
+    /// Serialize this configuration as a compact, human-readable spec
+    /// string: `base`, `conv:iq=256`, or `wib:w=2048` followed by
+    /// comma-separated overrides (`org=banked16` / `org=nonbanked4` /
+    /// `org=ideal` / `org=pool8x256`, `bv=64`, `policy=po|rrl|olf`,
+    /// `trigger=l1|l2`, `fpdivert`, `epoch=4096`, `memlat=100`).
+    ///
+    /// The encoding covers the preset-derived family the differential
+    /// fuzzer explores ([`MachineConfig::base_8way`],
+    /// [`MachineConfig::conventional`], [`MachineConfig::wib_sized`] plus
+    /// the overrides above); fields mutated outside that family are not
+    /// represented. [`MachineConfig::from_spec`] inverts it, which is what
+    /// lets a shrunk reproducer name its machine in one header line.
+    pub fn to_spec(&self) -> String {
+        let (mut out, reference) = if self.wib.is_some() {
+            (
+                format!("wib:w={}", self.active_list),
+                MachineConfig::wib_sized(self.active_list),
+            )
+        } else if (self.iq_int_size, self.active_list) != (32, 128) || self.regs_per_class != 128 {
+            (
+                format!("conv:iq={}", self.iq_int_size),
+                MachineConfig::conventional(self.iq_int_size),
+            )
+        } else {
+            ("base".to_string(), MachineConfig::base_8way())
+        };
+        let mut push = |tok: String| {
+            out.push(',');
+            out.push_str(&tok);
+        };
+        if let (Some(w), Some(rw)) = (&self.wib, &reference.wib) {
+            if w.organization != rw.organization {
+                let org = match w.organization {
+                    WibOrganization::Banked { banks } => format!("banked{banks}"),
+                    WibOrganization::NonBanked { latency } => format!("nonbanked{latency}"),
+                    WibOrganization::Ideal => "ideal".to_string(),
+                    WibOrganization::PoolOfBlocks {
+                        block_slots,
+                        blocks,
+                    } => format!("pool{block_slots}x{blocks}"),
+                };
+                push(format!("org={org}"));
+            }
+            if w.max_bit_vectors != rw.max_bit_vectors {
+                push(format!("bv={}", w.max_bit_vectors));
+            }
+            if w.policy != rw.policy {
+                let p = match w.policy {
+                    SelectionPolicy::ProgramOrder => "po",
+                    SelectionPolicy::RoundRobinLoads => "rrl",
+                    SelectionPolicy::OldestLoadFirst => "olf",
+                };
+                push(format!("policy={p}"));
+            }
+            if w.trigger != rw.trigger {
+                let t = match w.trigger {
+                    WibTrigger::L1Miss => "l1",
+                    WibTrigger::L2Miss => "l2",
+                };
+                push(format!("trigger={t}"));
+            }
+            if w.divert_long_fp_ops {
+                push("fpdivert".to_string());
+            }
+        }
+        if self.stats_epoch != reference.stats_epoch {
+            push(format!("epoch={}", self.stats_epoch));
+        }
+        if self.mem.mem_latency != reference.mem.mem_latency {
+            push(format!("memlat={}", self.mem.mem_latency));
+        }
+        out
+    }
+
+    /// Parse a spec string produced by [`MachineConfig::to_spec`] (or
+    /// written by hand at the top of a repro file).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed token, or the
+    /// [`MachineConfig::validate`] failure of the resulting machine.
+    pub fn from_spec(spec: &str) -> Result<MachineConfig, String> {
+        fn num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
+            tok.parse()
+                .map_err(|_| format!("spec: bad {what} in {tok:?}"))
+        }
+        let mut parts = spec.trim().split(',');
+        let head = parts.next().unwrap_or_default();
+        let mut cfg = match head.split_once(':') {
+            None if head == "base" => MachineConfig::base_8way(),
+            Some(("conv", arg)) => match arg.split_once('=') {
+                Some(("iq", n)) => MachineConfig::conventional(num(n, "issue queue size")?),
+                _ => return Err(format!("spec: expected conv:iq=N, got {head:?}")),
+            },
+            Some(("wib", arg)) => match arg.split_once('=') {
+                Some(("w", n)) => MachineConfig::wib_sized(num(n, "window size")?),
+                _ => return Err(format!("spec: expected wib:w=N, got {head:?}")),
+            },
+            _ => return Err(format!("spec: unknown machine {head:?}")),
+        };
+        for tok in parts {
+            let tok = tok.trim();
+            if tok == "fpdivert" {
+                cfg.wib
+                    .as_mut()
+                    .ok_or("spec: fpdivert needs a WIB machine")?
+                    .divert_long_fp_ops = true;
+                continue;
+            }
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("spec: malformed token {tok:?}"))?;
+            match key {
+                "epoch" => cfg.stats_epoch = num(val, "epoch")?,
+                "memlat" => cfg.mem.mem_latency = num(val, "memory latency")?,
+                "org" | "bv" | "policy" | "trigger" => {
+                    let wib = cfg
+                        .wib
+                        .as_mut()
+                        .ok_or_else(|| format!("spec: {key} needs a WIB machine"))?;
+                    match key {
+                        "bv" => wib.max_bit_vectors = num(val, "bit-vector budget")?,
+                        "policy" => {
+                            wib.policy = match val {
+                                "po" => SelectionPolicy::ProgramOrder,
+                                "rrl" => SelectionPolicy::RoundRobinLoads,
+                                "olf" => SelectionPolicy::OldestLoadFirst,
+                                _ => return Err(format!("spec: unknown policy {val:?}")),
+                            }
+                        }
+                        "trigger" => {
+                            wib.trigger = match val {
+                                "l1" => WibTrigger::L1Miss,
+                                "l2" => WibTrigger::L2Miss,
+                                _ => return Err(format!("spec: unknown trigger {val:?}")),
+                            }
+                        }
+                        _ => {
+                            wib.organization = if val == "ideal" {
+                                WibOrganization::Ideal
+                            } else if let Some(n) = val.strip_prefix("banked") {
+                                WibOrganization::Banked {
+                                    banks: num(n, "bank count")?,
+                                }
+                            } else if let Some(n) = val.strip_prefix("nonbanked") {
+                                WibOrganization::NonBanked {
+                                    latency: num(n, "access latency")?,
+                                }
+                            } else if let Some(geom) = val.strip_prefix("pool") {
+                                let (s, b) = geom.split_once('x').ok_or_else(|| {
+                                    format!("spec: expected poolSxB, got {val:?}")
+                                })?;
+                                WibOrganization::PoolOfBlocks {
+                                    block_slots: num(s, "block slots")?,
+                                    blocks: num(b, "block count")?,
+                                }
+                            } else {
+                                return Err(format!("spec: unknown organization {val:?}"));
+                            }
+                        }
+                    }
+                }
+                _ => return Err(format!("spec: unknown key {key:?}")),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     /// Validate internal consistency.
     ///
     /// # Errors
@@ -506,5 +674,75 @@ mod tests {
     fn memory_latency_override() {
         let cfg = MachineConfig::base_8way().with_memory_latency(100);
         assert_eq!(cfg.mem.mem_latency, 100);
+    }
+
+    #[test]
+    fn spec_round_trips_the_fuzzed_family() {
+        let samples = [
+            MachineConfig::base_8way(),
+            MachineConfig::conventional(256),
+            MachineConfig::conventional(2048),
+            MachineConfig::wib_2k(),
+            MachineConfig::wib_sized(512),
+            MachineConfig::wib_sized(256).with_bit_vectors(8),
+            MachineConfig::wib_2k()
+                .with_wib_organization(WibOrganization::NonBanked { latency: 4 }),
+            MachineConfig::wib_2k()
+                .with_wib_organization(WibOrganization::Ideal)
+                .with_wib_policy(SelectionPolicy::RoundRobinLoads),
+            MachineConfig::wib_2k()
+                .with_wib_organization(WibOrganization::Ideal)
+                .with_wib_policy(SelectionPolicy::OldestLoadFirst),
+            MachineConfig::wib_pool(8, 256),
+            MachineConfig::wib_2k().with_long_fp_divert(),
+            MachineConfig::wib_sized(1024)
+                .with_memory_latency(100)
+                .with_stats_epoch(4096),
+        ];
+        for cfg in samples {
+            let spec = cfg.to_spec();
+            let parsed = MachineConfig::from_spec(&spec).unwrap_or_else(|e| {
+                panic!("spec {spec:?} failed to parse: {e}");
+            });
+            assert_eq!(parsed, cfg, "round trip through {spec:?}");
+            // The canonical form is a fixed point.
+            assert_eq!(parsed.to_spec(), spec);
+        }
+    }
+
+    #[test]
+    fn spec_parses_handwritten_forms() {
+        let cfg = MachineConfig::from_spec("wib:w=256,org=pool4x64,bv=16").unwrap();
+        assert_eq!(cfg.active_list, 256);
+        assert_eq!(cfg.wib.as_ref().unwrap().max_bit_vectors, 16);
+        assert_eq!(
+            cfg.wib.as_ref().unwrap().organization,
+            WibOrganization::PoolOfBlocks {
+                block_slots: 4,
+                blocks: 64
+            }
+        );
+        // Whitespace around tokens is tolerated.
+        MachineConfig::from_spec(" wib:w=128, org=ideal, policy=rrl ").unwrap();
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        for bad in [
+            "",
+            "bogus",
+            "conv:iq=",
+            "wib:w=abc",
+            "base,org=banked16",       // org needs a WIB machine
+            "wib:w=2048,org=banked24", // banks must divide the window
+            "wib:w=2048,policy=zigzag",
+            "wib:w=2048,unknown=1",
+            "wib:w=100", // not a power of two
+        ] {
+            assert!(
+                MachineConfig::from_spec(bad).is_err(),
+                "spec {bad:?} should be rejected"
+            );
+        }
     }
 }

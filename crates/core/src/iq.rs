@@ -390,6 +390,158 @@ impl IssueQueue {
         v
     }
 
+    /// Machine-check: verify every structural invariant of the slot
+    /// arena, free list, seq index, and intrusive ready list. Returns a
+    /// description of the first violation found. Always compiled (it is
+    /// cheap to build and tests call it directly); the per-cycle hook in
+    /// the pipeline is gated behind the `checked` cargo feature.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("iq: {msg}"));
+        // Arena partition: `free` and occupied slots split the arena
+        // exactly, with no duplicates on the free list.
+        let occupied: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&i| self.slots[i as usize].occupied)
+            .collect();
+        if occupied.len() != self.len {
+            return fail(format!(
+                "len {} != occupied slot count {}",
+                self.len,
+                occupied.len()
+            ));
+        }
+        if self.len > self.capacity + 1 {
+            return fail(format!(
+                "len {} exceeds capacity {} + overflow slot",
+                self.len, self.capacity
+            ));
+        }
+        let mut seen = vec![false; self.slots.len()];
+        for &f in &self.free {
+            if f as usize >= self.slots.len() {
+                return fail(format!("free-list id {f} out of range"));
+            }
+            if seen[f as usize] {
+                return fail(format!("free-list id {f} duplicated"));
+            }
+            seen[f as usize] = true;
+            if self.slots[f as usize].occupied {
+                return fail(format!("slot {f} both free and occupied"));
+            }
+        }
+        if self.free.len() + self.len != self.slots.len() {
+            return fail(format!(
+                "free {} + occupied {} != arena {}",
+                self.free.len(),
+                self.len,
+                self.slots.len()
+            ));
+        }
+        // Index bijection: every occupied slot is findable by seq and maps
+        // back to itself; the table holds exactly `len` live cells; no
+        // duplicate seqs among occupied slots.
+        let mut seqs = std::collections::HashSet::new();
+        for &id in &occupied {
+            let s = &self.slots[id as usize];
+            if !seqs.insert(s.seq) {
+                return fail(format!("seq {} occupies two slots", s.seq));
+            }
+            match self.index.get(s.seq) {
+                Some(found) if found == id => {}
+                Some(found) => {
+                    return fail(format!(
+                        "index maps seq {} to slot {found}, expected {id}",
+                        s.seq
+                    ));
+                }
+                None => return fail(format!("occupied seq {} missing from index", s.seq)),
+            }
+        }
+        let live_cells = self.index.table.iter().filter(|(_, s)| *s != NIL).count();
+        if live_cells != self.len {
+            return fail(format!(
+                "index holds {live_cells} live cells, expected {}",
+                self.len
+            ));
+        }
+        // Ready list: walk head -> tail; links consistent, strictly
+        // age-sorted, members occupied + satisfied; `ready` flags agree
+        // with membership and satisfaction.
+        let mut cursor = self.ready_head;
+        let mut prev = NIL;
+        let mut last_seq: Option<Seq> = None;
+        let mut on_list = vec![false; self.slots.len()];
+        let mut walked = 0usize;
+        while cursor != NIL {
+            if walked > self.slots.len() {
+                return fail("ready list cycle".into());
+            }
+            let s = &self.slots[cursor as usize];
+            if !s.occupied {
+                return fail(format!("ready list holds vacant slot {cursor}"));
+            }
+            if !s.ready {
+                return fail(format!("slot {cursor} on ready list without ready flag"));
+            }
+            if s.ready_prev != prev {
+                return fail(format!(
+                    "slot {cursor} ready_prev {} != walk prev {prev}",
+                    s.ready_prev
+                ));
+            }
+            if !s.entry.is_satisfied() {
+                return fail(format!("unsatisfied seq {} on ready list", s.seq));
+            }
+            if let Some(last) = last_seq {
+                if s.seq <= last {
+                    return fail(format!("ready list out of age order at seq {}", s.seq));
+                }
+            }
+            last_seq = Some(s.seq);
+            on_list[cursor as usize] = true;
+            walked += 1;
+            prev = cursor;
+            cursor = s.ready_next;
+        }
+        if self.ready_tail != prev {
+            return fail(format!(
+                "ready_tail {} != last walked slot {prev}",
+                self.ready_tail
+            ));
+        }
+        for &id in &occupied {
+            let s = &self.slots[id as usize];
+            if s.ready != on_list[id as usize] {
+                return fail(format!(
+                    "slot {id} ready flag {} disagrees with list membership",
+                    s.ready
+                ));
+            }
+            if s.entry.is_satisfied() != s.ready {
+                return fail(format!(
+                    "seq {} satisfied={} but ready={}",
+                    s.seq,
+                    s.entry.is_satisfied(),
+                    s.ready
+                ));
+            }
+            // `pending` cache equals the recount.
+            let pending = s
+                .entry
+                .srcs
+                .iter()
+                .flatten()
+                .filter(|(_, st)| *st == SrcStatus::Pending)
+                .count() as u8;
+            if pending != s.entry.pending {
+                return fail(format!(
+                    "seq {} pending cache {} != recount {pending}",
+                    s.seq, s.entry.pending
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Demote an operand that validation found neither ready nor waiting
     /// (its producer was reinserted from the WIB and has not executed
     /// yet). The entry leaves the ready set; the caller must re-subscribe

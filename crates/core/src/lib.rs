@@ -41,6 +41,7 @@
 //! policy (section 4.4) — are all configurable through
 //! [`config::WibConfig`].
 
+pub mod check;
 pub mod config;
 pub mod cpi;
 pub mod events;

@@ -250,6 +250,36 @@ impl LoadStoreQueue {
     pub fn stores(&self) -> impl Iterator<Item = &StoreEntry> {
         self.stores.iter()
     }
+
+    /// Machine-check: both queues within capacity and in strict program
+    /// (age) order — forwarding's youngest-first scan and the commit-head
+    /// pops rely on it.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("lsq: {msg}"));
+        if self.loads.len() > self.lq_capacity {
+            return fail(format!("load queue over capacity: {}", self.loads.len()));
+        }
+        if self.stores.len() > self.sq_capacity {
+            return fail(format!("store queue over capacity: {}", self.stores.len()));
+        }
+        for w in 0..self.loads.len().saturating_sub(1) {
+            if self.loads[w].seq >= self.loads[w + 1].seq {
+                return fail(format!(
+                    "load queue out of age order at {}",
+                    self.loads[w].seq
+                ));
+            }
+        }
+        for w in 0..self.stores.len().saturating_sub(1) {
+            if self.stores[w].seq >= self.stores[w + 1].seq {
+                return fail(format!(
+                    "store queue out of age order at {}",
+                    self.stores[w].seq
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +331,79 @@ mod tests {
         q.set_store_addr(1, 0x102);
         q.set_store_data(1, 0xff);
         assert_eq!(q.forward_for_load(2, 0x100, 4), ForwardResult::BlockedOn(1));
+    }
+
+    #[test]
+    fn two_disjoint_partial_stores_block_not_forward() {
+        // A wide load covered only by the *union* of two disjoint older
+        // stores must not forward from either one alone: the youngest
+        // overlapping store partially covers, so the load blocks on it.
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4); // low half
+        q.push_store(2, 4); // high half
+        q.push_load(3, 8);
+        q.set_store_addr(1, 0x100);
+        q.set_store_data(1, 0x1111_1111);
+        q.set_store_addr(2, 0x104);
+        q.set_store_data(2, 0x2222_2222);
+        assert_eq!(q.forward_for_load(3, 0x100, 8), ForwardResult::BlockedOn(2));
+    }
+
+    #[test]
+    fn younger_partial_shadows_older_full_coverage() {
+        // An older store fully covers the load, but a younger (still
+        // older-than-load) store partially overwrites part of the range:
+        // forwarding from the full-coverage store would miss the younger
+        // bytes, so the load must block on the partial store.
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 8); // full coverage
+        q.push_store(2, 1); // one byte inside the range
+        q.push_load(3, 8);
+        q.set_store_addr(1, 0x100);
+        q.set_store_data(1, 0xffff_ffff_ffff_ffff);
+        q.set_store_addr(2, 0x103);
+        q.set_store_data(2, 0xab);
+        assert_eq!(q.forward_for_load(3, 0x100, 8), ForwardResult::BlockedOn(2));
+    }
+
+    #[test]
+    fn disjoint_younger_store_does_not_mask_older_coverage() {
+        // The youngest overlapping store is the covering one; a younger
+        // store to a disjoint address must not interfere.
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4);
+        q.push_store(2, 4);
+        q.push_load(3, 4);
+        q.set_store_addr(1, 0x100);
+        q.set_store_data(1, 0x5555_5555);
+        q.set_store_addr(2, 0x200); // disjoint
+        q.set_store_data(2, 0x9999_9999);
+        assert_eq!(
+            q.forward_for_load(3, 0x100, 4),
+            ForwardResult::Forward(1, 0x5555_5555)
+        );
+    }
+
+    #[test]
+    fn partial_store_without_data_still_blocks() {
+        // Data readiness must not matter for the block decision: an
+        // overlapping partial store with unresolved data blocks too.
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 2);
+        q.push_load(2, 8);
+        q.set_store_addr(1, 0x104); // partial, data never set
+        assert_eq!(q.forward_for_load(2, 0x100, 8), ForwardResult::BlockedOn(1));
+    }
+
+    #[test]
+    fn checker_validates_age_order() {
+        let mut q = LoadStoreQueue::new(8, 8);
+        q.push_store(1, 4);
+        q.push_load(2, 4);
+        q.push_load(4, 4);
+        q.check_invariants().unwrap();
+        q.loads[0].seq = 9; // simulate an ordering bug
+        assert!(q.check_invariants().is_err());
     }
 
     #[test]

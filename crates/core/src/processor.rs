@@ -92,6 +92,8 @@ impl RunResult {
 pub struct Processor {
     cfg: MachineConfig,
     cosim: bool,
+    machine_check: bool,
+    no_skip: bool,
 }
 
 impl Processor {
@@ -103,7 +105,12 @@ impl Processor {
         if let Err(e) = cfg.validate() {
             panic!("invalid machine configuration: {e}");
         }
-        Processor { cfg, cosim: false }
+        Processor {
+            cfg,
+            cosim: false,
+            machine_check: false,
+            no_skip: false,
+        }
     }
 
     /// The configuration this processor was built with.
@@ -122,9 +129,37 @@ impl Processor {
         self
     }
 
+    /// Run every machine-check invariant (see [`crate::check`]) once per
+    /// simulated cycle, regardless of the `checked` cargo feature. Used by
+    /// the differential fuzzer and repro replays.
+    ///
+    /// # Panics (during runs)
+    /// A run panics on the first cycle whose state violates an invariant —
+    /// that is a simulator bug, not a user error.
+    pub fn enable_machine_check(&mut self) -> &mut Self {
+        self.machine_check = true;
+        self
+    }
+
+    /// Disable the quiescent-cycle fast-forward optimization: simulate
+    /// every cycle individually. The result must be bit-identical to a
+    /// fast-forwarding run — the differential fuzzer exercises exactly
+    /// that equivalence.
+    pub fn disable_fast_forward(&mut self) -> &mut Self {
+        self.no_skip = true;
+        self
+    }
+
+    fn build_engine<'c>(&'c self, program: &Program) -> Engine<'c> {
+        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        engine.machine_check = self.machine_check;
+        engine.no_skip = self.no_skip;
+        engine
+    }
+
     /// Run `program` from reset until `halt` or the limit.
     pub fn run_program(&self, program: &Program, limit: RunLimit) -> RunResult {
-        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        let mut engine = self.build_engine(program);
         engine.run(limit)
     }
 
@@ -133,7 +168,7 @@ impl Processor {
     /// detailed simulation from that architectural state — the paper's
     /// skip-then-measure methodology.
     pub fn run_program_warmed(&self, program: &Program, warmup: u64, limit: RunLimit) -> RunResult {
-        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        let mut engine = self.build_engine(program);
         engine.warm_up(warmup);
         engine.run(limit)
     }
@@ -168,7 +203,7 @@ impl Processor {
         limit: RunLimit,
         trace: Trace,
     ) -> (RunResult, Trace) {
-        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        let mut engine = self.build_engine(program);
         engine.trace = Some(trace);
         let result = engine.run(limit);
         (result, engine.trace.take().expect("installed above"))
@@ -183,7 +218,7 @@ impl Processor {
         limit: RunLimit,
         sink: &mut dyn EventSink,
     ) -> RunResult {
-        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        let mut engine = self.build_engine(program);
         engine.sink = Some(sink);
         engine.run(limit)
     }
@@ -197,7 +232,7 @@ impl Processor {
         limit: RunLimit,
         sink: &mut dyn EventSink,
     ) -> RunResult {
-        let mut engine = Engine::new(&self.cfg, program, self.cosim);
+        let mut engine = self.build_engine(program);
         engine.warm_up(warmup);
         engine.sink = Some(sink);
         engine.run(limit)
@@ -308,6 +343,11 @@ struct Engine<'c> {
     /// never touches the environment (an `env::var` per cycle locks and
     /// allocates).
     debug_trace: bool,
+    /// Run the machine-check invariants every cycle (see [`crate::check`]).
+    /// Forced on by the `checked` cargo feature.
+    machine_check: bool,
+    /// Quiescent-cycle fast-forward disabled: simulate every cycle.
+    no_skip: bool,
     /// Reusable per-cycle scratch buffers (taken with `mem::take`, used,
     /// cleared and put back) so the steady-state cycle loop performs no
     /// heap allocation. The three wakeup buffers are distinct because the
@@ -393,6 +433,8 @@ impl<'c> Engine<'c> {
             interval_committed_mark: 0,
             last_commit_cycle: 0,
             debug_trace: std::env::var("WIB_TRACE").is_ok(),
+            machine_check: false,
+            no_skip: false,
             scratch_candidates: Vec::with_capacity(64),
             scratch_woken_wb: Vec::with_capacity(32),
             scratch_woken_wait: Vec::with_capacity(32),
@@ -1636,7 +1678,7 @@ impl<'c> Engine<'c> {
     /// watchdog deadline, the run limit (`budget`), or a stats-epoch
     /// boundary (the run loop samples an interval exactly there).
     fn try_skip(&mut self, budget: u64) -> u64 {
-        if self.debug_trace || self.halted {
+        if self.debug_trace || self.no_skip || self.halted {
             return 0;
         }
         // Commit is blocked on an incomplete head (which also means the
@@ -1787,10 +1829,164 @@ impl<'c> Engine<'c> {
                 .occupancy_wib
                 .record(self.wib.as_ref().map_or(0, |w| w.resident() as u64));
         }
+        if cfg!(feature = "checked") || self.machine_check {
+            if let Err(e) = self.machine_check() {
+                panic!("{}", crate::check::at_cycle(self.now, &e));
+            }
+        }
         self.now += 1;
         if self.now - self.last_commit_cycle > WATCHDOG_CYCLES {
             self.watchdog_panic();
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Machine check (see `crate::check`)
+    // ------------------------------------------------------------------
+
+    /// Run every structure's invariant checker plus the cross-structure
+    /// ownership census against the current cycle's settled state.
+    fn machine_check(&self) -> Result<(), String> {
+        use crate::check::component;
+        component("int", self.iq_int.check_invariants())?;
+        component("fp", self.iq_fp.check_invariants())?;
+        self.lsq.check_invariants()?;
+        self.rob.check_invariants()?;
+        component("int", self.rf_int.check_invariants())?;
+        component("fp", self.rf_fp.check_invariants())?;
+        if let Some(w) = &self.wib {
+            w.check_invariants()?;
+        }
+        self.ownership_census()
+    }
+
+    /// Cross-structure ownership census.
+    ///
+    /// - Every live, uncommitted instruction that needs an issue-queue
+    ///   entry is in **exactly one** residence state: its issue queue, the
+    ///   WIB, or issued (executing / waiting on an event).
+    /// - The `in_wib` active-list flag agrees with the window's own notion
+    ///   of which slots are parked, and the window's resident count equals
+    ///   the number of flagged entries (so the window holds no strays).
+    /// - Load/store-queue occupancy mirrors the `in_lq`/`in_sq` flags.
+    /// - A wait bit always names a column still tracking an outstanding
+    ///   load (wait bits are cleared at reinsertion and writeback, both of
+    ///   which happen before the column can be freed).
+    /// - Physical registers are conserved per class: the rename map plus
+    ///   the previous mappings recorded by in-flight destinations claim
+    ///   every non-free register exactly once.
+    fn ownership_census(&self) -> Result<(), String> {
+        let mut parked = 0usize;
+        for e in self.rob.iter() {
+            let in_iq = Engine::needs_iq(&e.inst) && self.iq_for_ref(&e.inst).contains(e.seq);
+            if e.in_wib {
+                parked += 1;
+            }
+            let slot_parked = self.wib.as_ref().is_some_and(|w| w.contains(e.slot));
+            if e.in_wib != slot_parked {
+                return Err(format!(
+                    "census: seq {} in_wib={} but window slot {} parked={}",
+                    e.seq, e.in_wib, e.slot, slot_parked
+                ));
+            }
+            if e.completed {
+                if in_iq || e.in_wib {
+                    return Err(format!(
+                        "census: completed seq {} still resident (iq={in_iq}, wib={})",
+                        e.seq, e.in_wib
+                    ));
+                }
+                continue;
+            }
+            if !Engine::needs_iq(&e.inst) {
+                return Err(format!(
+                    "census: seq {} ({}) completes in the front end yet is not completed",
+                    e.seq, e.inst
+                ));
+            }
+            let states = in_iq as u32 + e.in_wib as u32 + e.issued as u32;
+            if states != 1 {
+                return Err(format!(
+                    "census: seq {} ({}) in {states} residence states \
+                     (iq={in_iq}, wib={}, issued={})",
+                    e.seq, e.inst, e.in_wib, e.issued
+                ));
+            }
+        }
+        if let Some(w) = &self.wib {
+            if w.resident() != parked {
+                return Err(format!(
+                    "census: window resident {} != {parked} in_wib active-list entries",
+                    w.resident()
+                ));
+            }
+        } else if parked > 0 {
+            return Err(format!("census: {parked} in_wib entries without a WIB"));
+        }
+
+        let lq: Vec<Seq> = self.lsq.loads().map(|l| l.seq).collect();
+        let sq: Vec<Seq> = self.lsq.stores().map(|s| s.seq).collect();
+        let checks: [(&str, &[Seq], fn(&RobEntry) -> bool); 2] =
+            [("lq", &lq, |e| e.in_lq), ("sq", &sq, |e| e.in_sq)];
+        for (name, queue, flag) in checks {
+            for &seq in queue {
+                match self.rob.get(seq) {
+                    None => {
+                        return Err(format!("census: {name} holds dead seq {seq}"));
+                    }
+                    Some(e) if !flag(e) => {
+                        return Err(format!("census: {name} holds unflagged seq {seq}"));
+                    }
+                    Some(_) => {}
+                }
+            }
+            let flagged = self.rob.iter().filter(|e| flag(e)).count();
+            if flagged != queue.len() {
+                return Err(format!(
+                    "census: {flagged} {name}-flagged entries vs {} queued",
+                    queue.len()
+                ));
+            }
+        }
+
+        for (name, rf) in [("int", &self.rf_int), ("fp", &self.rf_fp)] {
+            for (r, col) in rf.waiting_regs() {
+                if !self.wib.as_ref().is_some_and(|w| w.column_live(col)) {
+                    return Err(format!("census: {name} {r} waits on dead column {col}"));
+                }
+            }
+        }
+
+        for class in [RegClass::Int, RegClass::Fp] {
+            let name = match class {
+                RegClass::Int => "int",
+                RegClass::Fp => "fp",
+            };
+            let rf = self.rf(class);
+            let mut claims = vec![0u32; rf.num_regs()];
+            for flat in 0..NUM_ARCH_REGS as u8 {
+                let a = ArchReg::from_flat(flat);
+                if a.class() == class {
+                    claims[self.rename.lookup(a).0 as usize] += 1;
+                }
+            }
+            for e in self.rob.iter() {
+                if let Some((arch, _, prev)) = e.dest {
+                    if arch.class() == class {
+                        claims[prev.0 as usize] += 1;
+                    }
+                }
+            }
+            for (i, &c) in claims.iter().enumerate() {
+                let free = rf.is_free(PhysReg(i as u16));
+                if (free && c != 0) || (!free && c != 1) {
+                    return Err(format!(
+                        "census: {name} p{i} claimed {c} times, free={free}"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Charge this cycle to exactly one CPI-stack category. Called once
@@ -2138,5 +2334,100 @@ mod tests {
     fn conventional_large_iq_runs() {
         let r = run_cosim(MachineConfig::conventional(256), &sum_loop(), 10_000);
         assert!(r.halted);
+    }
+
+    fn streaming_misses() -> Program {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 0x20_0000);
+        b.li(R4, 64);
+        b.li(R5, 0);
+        b.label("loop");
+        b.lw(R2, R1, 0); // miss
+        b.add(R3, R2, R2); // dependent
+        b.add(R5, R5, R3);
+        b.addi(R1, R1, 4096);
+        b.addi(R4, R4, -1);
+        b.bne(R4, R0, "loop");
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fast_forward_equivalence() {
+        // The quiescent-cycle skip must be invisible: identical cycle
+        // counts, commit counts, stall attribution and WIB traffic.
+        let prog = streaming_misses();
+        for cfg in [
+            MachineConfig::base_8way(),
+            MachineConfig::wib_2k(),
+            MachineConfig::wib_pool(8, 256),
+            // A tiny epoch places interval boundaries inside fast-forward
+            // stretches: the skip must stop exactly on each boundary so
+            // per-interval attribution matches the stepped run.
+            MachineConfig::wib_2k().with_stats_epoch(64),
+        ] {
+            let epoch = cfg.stats_epoch;
+            let mut fast = Processor::new(cfg.clone());
+            fast.enable_cosim();
+            let mut slow = Processor::new(cfg);
+            slow.enable_cosim().disable_fast_forward();
+            let limit = RunLimit::instructions(10_000);
+            let a = fast.run_program(&prog, limit);
+            let b = slow.run_program(&prog, limit);
+            let key = |r: &RunResult| {
+                (
+                    r.stats.cycles,
+                    r.stats.committed,
+                    r.stats.dispatched,
+                    r.stats.issued,
+                    r.stats.wib_insertions,
+                    r.stats.wib_extractions,
+                    r.stats.stall_active_list,
+                    r.stats.stall_issue_queue,
+                    r.stats.stall_lsq,
+                    r.stats.stall_regs,
+                )
+            };
+            assert_eq!(key(&a), key(&b));
+            assert_eq!(a.stats.cpi.total(), b.stats.cpi.total());
+            let intervals = |r: &RunResult| {
+                r.stats
+                    .intervals
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.cycle,
+                            s.committed,
+                            s.window_occupancy,
+                            s.iq_occupancy,
+                            s.wib_resident,
+                            s.wib_columns_in_use,
+                            s.outstanding_misses,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            if epoch == 64 {
+                assert!(!intervals(&a).is_empty());
+            }
+            assert_eq!(intervals(&a), intervals(&b));
+        }
+    }
+
+    #[test]
+    fn machine_check_clean_on_runtime_flag() {
+        // The per-cycle machine check (census + every structure checker)
+        // holds on a WIB-engaging workload without the `checked` feature.
+        let prog = streaming_misses();
+        for cfg in [
+            MachineConfig::base_8way(),
+            MachineConfig::wib_2k(),
+            MachineConfig::wib_pool(8, 256),
+        ] {
+            let mut p = Processor::new(cfg);
+            p.enable_cosim().enable_machine_check();
+            let r = p.run_program(&prog, RunLimit::instructions(10_000));
+            assert!(r.halted);
+        }
     }
 }

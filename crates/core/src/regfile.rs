@@ -350,6 +350,96 @@ impl RegFile {
             _ => false,
         }
     }
+
+    /// Machine-check helper: total physical registers in the file.
+    pub fn num_regs(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Machine-check helper: true if `r` is on the free list.
+    pub fn is_free(&self, r: PhysReg) -> bool {
+        self.free.contains(&r.0)
+    }
+
+    /// Machine-check helper: every register currently carrying a wait bit,
+    /// with the column it hangs off.
+    pub fn waiting_regs(&self) -> impl Iterator<Item = (PhysReg, ColumnId)> + '_ {
+        self.wait
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.map(|c| (PhysReg(i as u16), c)))
+    }
+
+    /// Machine-check: free-list conservation (every id in range, no
+    /// duplicates, freed registers carry no residual wait bits or
+    /// subscriptions) and, for the two-level organization, full L1-LRU
+    /// intrusive-list integrity.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("regfile: {msg}"));
+        let size = self.values.len();
+        let mut freed = vec![false; size];
+        for &r in &self.free {
+            let Some(cell) = freed.get_mut(r as usize) else {
+                return fail(format!("free register {r} out of range"));
+            };
+            if *cell {
+                return fail(format!("register {r} on the free list twice"));
+            }
+            *cell = true;
+            if self.wait[r as usize].is_some() {
+                return fail(format!("free register {r} retains a wait bit"));
+            }
+            if !self.consumers[r as usize].is_empty() {
+                return fail(format!("free register {r} retains subscribers"));
+            }
+        }
+        for (r, w) in self.wait.iter().enumerate() {
+            if w.is_some() && self.ready[r] {
+                return fail(format!("register {r} both ready and waiting"));
+            }
+        }
+        if let Timing::TwoLevel { l1, .. } = &self.timing {
+            // Walk head -> tail: link symmetry, membership flags, length.
+            let mut cursor = l1.head;
+            let mut prev = LRU_NIL;
+            let mut walked = 0usize;
+            while cursor != LRU_NIL {
+                if walked > size {
+                    return fail("L1 LRU list cycle".into());
+                }
+                let i = cursor as usize;
+                if !l1.in_l1[i] {
+                    return fail(format!("register {cursor} linked but not flagged in L1"));
+                }
+                if l1.prev[i] != prev {
+                    return fail(format!(
+                        "register {cursor} prev link {} != walk prev {prev}",
+                        l1.prev[i]
+                    ));
+                }
+                prev = cursor;
+                cursor = l1.next[i];
+                walked += 1;
+            }
+            if l1.tail != prev {
+                return fail(format!("L1 tail {} != last walked {prev}", l1.tail));
+            }
+            if walked != l1.len {
+                return fail(format!("L1 len {} != walked {walked}", l1.len));
+            }
+            if l1.len > l1.capacity {
+                return fail(format!(
+                    "L1 len {} exceeds capacity {}",
+                    l1.len, l1.capacity
+                ));
+            }
+            let flagged = l1.in_l1.iter().filter(|f| **f).count();
+            if flagged != l1.len {
+                return fail(format!("L1 membership flags {flagged} != len {}", l1.len));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +584,33 @@ mod tests {
         };
         let rf = RegFile::new(64, 32, timing);
         assert!(!rf.needs_l2_read(PhysReg(50)));
+    }
+
+    #[test]
+    fn checker_covers_lru_list() {
+        let mut rf = RegFile::new(
+            64,
+            32,
+            RegTiming::TwoLevel {
+                l1_regs: 4,
+                l2_latency: 4,
+            },
+        );
+        rf.check_invariants().unwrap();
+        for r in [40u16, 41, 42, 40, 43, 44] {
+            rf.read_penalty(PhysReg(r));
+            rf.check_invariants().unwrap();
+        }
+        let r = rf.alloc().unwrap();
+        rf.write(r, 1);
+        rf.release(r);
+        rf.check_invariants().unwrap();
+        // Simulate a corrupted link and expect the walk to object.
+        if let Timing::TwoLevel { l1, .. } = &mut rf.timing {
+            let head = l1.head as usize;
+            l1.prev[head] = 3;
+        }
+        assert!(rf.check_invariants().is_err());
     }
 
     #[test]

@@ -232,6 +232,56 @@ impl ActiveList {
     pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
         self.entries.iter()
     }
+
+    /// Machine-check: verify the seq ring mirrors the entries, sequence
+    /// numbers are strictly increasing (the binary-search lookup and the
+    /// dense-offset fast path both depend on it), and slots advance
+    /// circularly from the head.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("active-list: {msg}"));
+        if self.seqs.len() != self.entries.len() {
+            return fail(format!(
+                "seq ring len {} != entries {}",
+                self.seqs.len(),
+                self.entries.len()
+            ));
+        }
+        if self.entries.len() > self.size {
+            return fail(format!(
+                "len {} exceeds size {}",
+                self.entries.len(),
+                self.size
+            ));
+        }
+        let mut prev: Option<Seq> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.seqs[i] != e.seq {
+                return fail(format!(
+                    "seq ring [{i}] = {} != entry {}",
+                    self.seqs[i], e.seq
+                ));
+            }
+            if let Some(p) = prev {
+                if e.seq <= p {
+                    return fail(format!("seqs not strictly increasing at {}", e.seq));
+                }
+            }
+            prev = Some(e.seq);
+            let expect = (self.head_slot + i) % self.size;
+            if e.slot != expect {
+                return fail(format!(
+                    "seq {} slot {} != circular position {expect}",
+                    e.seq, e.slot
+                ));
+            }
+        }
+        if let Some(&back) = self.seqs.back() {
+            if self.next_seq <= back {
+                return fail(format!("next_seq {} not past tail {back}", self.next_seq));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -345,6 +345,12 @@ impl Wib {
         self.entry_valid[slot]
     }
 
+    /// Machine-check helper: true while `column` tracks an outstanding
+    /// load (allocated and not yet freed).
+    pub fn column_live(&self, column: ColumnId) -> bool {
+        self.columns.get(column as usize).is_some_and(|c| c.in_use)
+    }
+
     /// The load miss completed: its dependents become eligible for
     /// reinsertion.
     pub fn column_completed(&mut self, column: ColumnId) {
@@ -480,6 +486,164 @@ impl Wib {
         };
         self.stats.extractions += taken as u64;
         taken
+    }
+
+    /// Machine-check: verify column bitmaps, the resident count, the
+    /// free-column list, completed-column bookkeeping, eligible-queue
+    /// coverage, and the banked priority permutation (the refused-bank
+    /// liveness rule depends on every bank staying in its parity's order).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("wib: {msg}"));
+        // Resident count vs the valid-entry map.
+        let valid = self.entry_valid.iter().filter(|v| **v).count();
+        if valid != self.resident {
+            return fail(format!(
+                "resident {} != valid entries {valid}",
+                self.resident
+            ));
+        }
+        // Per-column: count == popcount, bits agree with the entry map.
+        for (c, col) in self.columns.iter().enumerate() {
+            let pop: usize = col.bits.iter().map(|w| w.count_ones() as usize).sum();
+            if pop != col.count {
+                return fail(format!("column {c} count {} != popcount {pop}", col.count));
+            }
+            if !col.in_use {
+                if col.count != 0 || col.completed {
+                    return fail(format!(
+                        "free column {c} has count {} completed {}",
+                        col.count, col.completed
+                    ));
+                }
+                continue;
+            }
+            if col.completed && col.count == 0 {
+                return fail(format!("empty completed column {c} was not freed"));
+            }
+            for slot in col.slots() {
+                if !self.entry_valid[slot] {
+                    return fail(format!("column {c} bit set for vacant slot {slot}"));
+                }
+                if self.entry_col[slot] as usize != c {
+                    return fail(format!(
+                        "slot {slot} bit in column {c} but entry_col says {}",
+                        self.entry_col[slot]
+                    ));
+                }
+            }
+        }
+        // Every valid entry's column bit is set (set_bit/clear_bit
+        // debug-assert the transitions; this re-checks the steady state).
+        for slot in 0..self.size {
+            if !self.entry_valid[slot] {
+                continue;
+            }
+            let col = &self.columns[self.entry_col[slot] as usize];
+            if !col.in_use {
+                return fail(format!("slot {slot} waits on free column"));
+            }
+            let (w, b) = (slot / 64, slot % 64);
+            if col.bits[w] & (1 << b) == 0 {
+                return fail(format!("slot {slot} valid but column bit clear"));
+            }
+        }
+        // Column accounting: completed_cols cache and free list.
+        let completed = self
+            .columns
+            .iter()
+            .filter(|c| c.in_use && c.completed)
+            .count();
+        if completed != self.completed_cols {
+            return fail(format!(
+                "completed_cols {} != recount {completed}",
+                self.completed_cols
+            ));
+        }
+        let mut free_seen = vec![false; self.columns.len()];
+        for &f in &self.free_cols {
+            let Some(slot) = free_seen.get_mut(f as usize) else {
+                return fail(format!("free column id {f} out of range"));
+            };
+            if *slot {
+                return fail(format!("free column {f} duplicated"));
+            }
+            *slot = true;
+            if self.columns[f as usize].in_use {
+                return fail(format!("column {f} both free and in use"));
+            }
+        }
+        let in_use = self.columns.iter().filter(|c| c.in_use).count();
+        if self.free_cols.len() + in_use != self.columns.len() {
+            return fail(format!(
+                "free {} + in-use {in_use} != allocated {}",
+                self.free_cols.len(),
+                self.columns.len()
+            ));
+        }
+        // Eligible coverage: every parked entry whose column completed
+        // must be reachable by extraction (lazy heaps may hold stale
+        // extras, but never miss a live eligible entry).
+        for slot in 0..self.size {
+            if !self.eligible_slot(slot) {
+                continue;
+            }
+            let seq = self.entry_seq[slot];
+            let present = match &self.extract {
+                ExtractState::Banked { sets, .. } => sets[slot % self.banks]
+                    .iter()
+                    .any(|&Reverse(e)| e == (seq, slot)),
+                ExtractState::Global { eligible } => {
+                    eligible.iter().any(|&Reverse(e)| e == (seq, slot))
+                }
+                ExtractState::ByColumn { .. } => self.columns[self.entry_col[slot] as usize]
+                    .eligible
+                    .contains(&(seq, slot)),
+            };
+            if !present {
+                return fail(format!(
+                    "eligible seq {seq} slot {slot} missing from its extraction queue"
+                ));
+            }
+        }
+        match &self.extract {
+            // Priority liveness: each parity's order is a permutation of
+            // that parity's banks — a dropped bank would starve forever.
+            ExtractState::Banked { priority, .. } => {
+                for (parity, order) in priority.iter().enumerate() {
+                    let mut expect: Vec<usize> =
+                        (0..self.banks).filter(|b| b % 2 == parity).collect();
+                    let mut got = order.clone();
+                    got.sort_unstable();
+                    expect.sort_unstable();
+                    if got != expect {
+                        return fail(format!(
+                            "parity-{parity} priority {order:?} is not a permutation of its banks"
+                        ));
+                    }
+                }
+            }
+            ExtractState::Global { .. } => {}
+            // ByColumn's completed set must list exactly the live
+            // completed columns under their current owner seq.
+            ExtractState::ByColumn { completed, .. } => {
+                for &(load_seq, c) in completed {
+                    let col = &self.columns[c as usize];
+                    if !col.in_use || !col.completed || col.load_seq != load_seq {
+                        return fail(format!(
+                            "completed set lists ({load_seq}, {c}) but column state disagrees"
+                        ));
+                    }
+                }
+                if completed.len() != self.completed_cols {
+                    return fail(format!(
+                        "completed set len {} != completed_cols {}",
+                        completed.len(),
+                        self.completed_cols
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn extract_banked<F: FnMut(Seq, usize) -> bool>(
@@ -830,6 +994,67 @@ mod tests {
         w.column_completed(col);
         let col2 = w.allocate_column(4).unwrap();
         assert_eq!(col, col2);
+    }
+
+    #[test]
+    fn refused_priority_survives_same_cycle_squash() {
+        // The section 3.3.1 livelock rule: a bank that had a candidate but
+        // could not reinsert keeps highest priority. A squash of that very
+        // candidate (and its column) in the same cycle must not reset the
+        // bank's position — the next eligible entry in the bank still goes
+        // first.
+        let mut w = banked(128);
+        let c1 = w.allocate_column(1).unwrap();
+        let c2 = w.allocate_column(2).unwrap();
+        w.insert(0, 100, c1); // bank 0, dependent of load 1
+        w.insert(16, 116, c2); // bank 0, dependent of load 2
+        w.insert(2, 102, c2); // bank 2
+        w.column_completed(c1);
+        // Refuse bank 0's candidate: it keeps priority ahead of bank 2.
+        let n = w.extract(0, 8, |_, _| false);
+        assert_eq!(n, 0);
+        w.check_invariants().unwrap();
+        // Same cycle: the refused candidate's path is squashed.
+        w.squash_slot(0);
+        w.squash_column(c1, 1);
+        w.check_invariants().unwrap();
+        // Load 2 completes; with budget 1, bank 0 (still highest
+        // priority) extracts before bank 2 even though bank 2's entry is
+        // older in no sense and bank 0's original candidate is gone.
+        w.column_completed(c2);
+        let got = drain(&mut w, 2, 1);
+        assert_eq!(got, vec![(116, 16)]);
+        w.check_invariants().unwrap();
+        // Bank 0 extracted, so it rotates behind bank 2 now.
+        assert_eq!(drain(&mut w, 4, 1), vec![(102, 2)]);
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn checker_passes_through_lifecycle() {
+        let mut w = banked(128);
+        w.check_invariants().unwrap();
+        let col = w.allocate_column(10).unwrap();
+        w.insert(11, 11, col);
+        w.insert(12, 12, col);
+        w.check_invariants().unwrap();
+        w.column_completed(col);
+        w.check_invariants().unwrap();
+        for cycle in 0..4 {
+            drain(&mut w, cycle, 8);
+            w.check_invariants().unwrap();
+        }
+        assert_eq!(w.resident(), 0);
+    }
+
+    #[test]
+    fn checker_catches_resident_drift() {
+        let mut w = banked(128);
+        let col = w.allocate_column(1).unwrap();
+        w.insert(2, 2, col);
+        w.resident = 0; // simulate a bookkeeping bug
+        let err = w.check_invariants().unwrap_err();
+        assert!(err.contains("resident"), "{err}");
     }
 
     #[test]

@@ -190,6 +190,12 @@ impl PoolWib {
         self.locations.contains_key(&slot)
     }
 
+    /// Machine-check helper: true while `chain` tracks an outstanding
+    /// load (allocated and not yet freed).
+    pub fn column_live(&self, chain: ColumnId) -> bool {
+        self.chains.get(chain as usize).is_some_and(|c| c.in_use)
+    }
+
     /// The load completed: its chain becomes drainable.
     pub fn column_completed(&mut self, chain: ColumnId) {
         let c = &mut self.chains[chain as usize];
@@ -300,6 +306,131 @@ impl PoolWib {
     /// Free blocks remaining.
     pub fn free_blocks(&self) -> usize {
         self.free_blocks.len()
+    }
+
+    /// Machine-check: verify the location index, per-block and per-chain
+    /// live counts, the block partition (chain-linked vs free), and the
+    /// completed-chain drain list.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("pool-wib: {msg}"));
+        // Location index: every entry points at a matching live cell.
+        for (&slot, &(chain, block, index)) in &self.locations {
+            let c = self
+                .chains
+                .get(chain as usize)
+                .ok_or_else(|| format!("pool-wib: slot {slot} references chain {chain} OOB"))?;
+            if !c.in_use {
+                return fail(format!("slot {slot} parked in free chain {chain}"));
+            }
+            let blk = self
+                .blocks
+                .get(block as usize)
+                .ok_or_else(|| format!("pool-wib: slot {slot} references block {block} OOB"))?;
+            match blk.entries.get(index) {
+                Some(Some((_, s))) if *s == slot => {}
+                other => {
+                    return fail(format!(
+                        "slot {slot} location ({chain}, {block}, {index}) holds {other:?}"
+                    ));
+                }
+            }
+        }
+        // Per-chain walk: block live counts, chain live sum, tail
+        // reachability, and the block partition.
+        let mut linked = vec![false; self.blocks.len()];
+        for (id, c) in self.chains.iter().enumerate() {
+            if !c.in_use {
+                if c.head.is_some() || c.tail.is_some() || c.live != 0 {
+                    return fail(format!("free chain {id} retains blocks or live count"));
+                }
+                continue;
+            }
+            let mut live = 0usize;
+            let mut b = c.head;
+            let mut last = None;
+            while let Some(bid) = b {
+                if linked[bid as usize] {
+                    return fail(format!("block {bid} linked twice"));
+                }
+                linked[bid as usize] = true;
+                let blk = &self.blocks[bid as usize];
+                let count = blk.entries.iter().filter(|e| e.is_some()).count();
+                if count != blk.live {
+                    return fail(format!("block {bid} live {} != recount {count}", blk.live));
+                }
+                if blk.entries.len() > self.cfg.block_slots as usize {
+                    return fail(format!("block {bid} overfilled"));
+                }
+                // Every live cell must be indexed back to this position.
+                for (i, e) in blk.entries.iter().enumerate() {
+                    if let Some((_, slot)) = e {
+                        if self.locations.get(slot) != Some(&(id as ColumnId, bid, i)) {
+                            return fail(format!("slot {slot} missing from location index"));
+                        }
+                    }
+                }
+                live += blk.live;
+                last = Some(bid);
+                b = blk.next;
+            }
+            if last != c.tail {
+                return fail(format!("chain {id} tail {:?} unreachable", c.tail));
+            }
+            if live != c.live {
+                return fail(format!("chain {id} live {} != block sum {live}", c.live));
+            }
+            // A completed chain with live entries must be drainable.
+            let listed = self
+                .completed_chains
+                .iter()
+                .filter(|&&x| x == id as ColumnId)
+                .count();
+            if c.completed && c.live > 0 && listed != 1 {
+                return fail(format!(
+                    "completed chain {id} listed {listed} times on the drain list"
+                ));
+            }
+            if !c.completed && listed != 0 {
+                return fail(format!("incomplete chain {id} on the drain list"));
+            }
+        }
+        // Blocks are either chain-linked or free, exactly once.
+        let mut free_seen = vec![false; self.blocks.len()];
+        for &f in &self.free_blocks {
+            let Some(cell) = free_seen.get_mut(f as usize) else {
+                return fail(format!("free block id {f} out of range"));
+            };
+            if *cell {
+                return fail(format!("free block {f} duplicated"));
+            }
+            *cell = true;
+            if linked[f as usize] {
+                return fail(format!("block {f} both linked and free"));
+            }
+        }
+        let linked_count = linked.iter().filter(|l| **l).count();
+        if linked_count + self.free_blocks.len() != self.blocks.len() {
+            return fail(format!(
+                "linked {linked_count} + free {} != pool {}",
+                self.free_blocks.len(),
+                self.blocks.len()
+            ));
+        }
+        // Resident count is the index size by definition; cross-check the
+        // chain sums instead.
+        let chain_live: usize = self
+            .chains
+            .iter()
+            .filter(|c| c.in_use)
+            .map(|c| c.live)
+            .sum();
+        if chain_live != self.locations.len() {
+            return fail(format!(
+                "chain live sum {chain_live} != location index {}",
+                self.locations.len()
+            ));
+        }
+        Ok(())
     }
 
     /// True if the instruction at `slot` is parked and its chain's load
@@ -436,6 +567,32 @@ mod tests {
         let c2 = p.allocate_column(2).unwrap();
         assert_eq!(c, c2);
         assert_eq!(p.free_blocks(), 2);
+    }
+
+    #[test]
+    fn checker_passes_through_lifecycle() {
+        let mut p = pool(4, 2);
+        p.check_invariants().unwrap();
+        let c = p.allocate_column(1).unwrap();
+        p.insert(10, 100, c);
+        p.insert(11, 101, c);
+        p.insert(12, 102, c);
+        p.check_invariants().unwrap();
+        p.squash_slot(11);
+        p.check_invariants().unwrap();
+        p.column_completed(c);
+        p.check_invariants().unwrap();
+        drain(&mut p, 8);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn checker_catches_live_drift() {
+        let mut p = pool(4, 2);
+        let c = p.allocate_column(1).unwrap();
+        p.insert(0, 10, c);
+        p.chains[c as usize].live = 0; // simulate a bookkeeping bug
+        assert!(p.check_invariants().is_err());
     }
 
     #[test]

@@ -151,6 +151,31 @@ impl Window {
             Window::Pool(p) => p.insert_failures,
         }
     }
+
+    /// True if `slot` currently holds a parked instruction.
+    pub fn contains(&self, slot: usize) -> bool {
+        match self {
+            Window::BitVector(w) => w.contains(slot),
+            Window::Pool(p) => p.contains(slot),
+        }
+    }
+
+    /// Machine-check helper: true while `column` tracks an outstanding
+    /// load (allocated and not yet freed).
+    pub fn column_live(&self, column: ColumnId) -> bool {
+        match self {
+            Window::BitVector(w) => w.column_live(column),
+            Window::Pool(p) => p.column_live(column),
+        }
+    }
+
+    /// Machine-check: run the active organization's invariant checker.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            Window::BitVector(w) => w.check_invariants(),
+            Window::Pool(p) => p.check_invariants(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,17 @@ echo "== tests =="
 cargo test -q --workspace --offline
 echo "== formatting =="
 cargo fmt --all --check
+echo "== machine-check tests (release, checked feature) =="
+# The per-cycle invariant checkers and ownership census run on every test
+# in the suite. Release mode keeps the checked run's wall clock sane (the
+# checkers cost ~an order of magnitude in debug).
+cargo test -q --release --workspace --offline --features checked
+echo "== fuzz smoke (fixed seeds, differential oracles) =="
+# A fixed-seed slice of the differential fuzzer: random programs x random
+# configs under co-sim + machine checks + fast-forward and cross-config
+# differentials. Failures are shrunk and land in tests/repros/ (commit
+# them with the fix). ~30 s.
+cargo run -q --release --offline -p wib-bench --bin fuzz -- --cases 120 --seed 1
 echo "== bench smoke (quick workload, vs committed baseline) =="
 # Reduced-workload throughput check: rerun bench_json in WIB_QUICK mode
 # and fail if aggregate simulator throughput fell below 0.6x the

@@ -42,6 +42,14 @@ fn configs() -> Vec<(&'static str, MachineConfig)> {
                 .with_wib_policy(SelectionPolicy::RoundRobinLoads),
         ),
         ("pool4x64", MachineConfig::wib_pool(4, 64)),
+        // Tiny stats epoch: quiescent fast-forwards cross interval
+        // boundaries constantly, so this golden pins the skip's
+        // per-interval attribution (each interval's committed count and
+        // occupancy samples), not just end-of-run totals.
+        (
+            "wib2k_epoch64",
+            MachineConfig::wib_2k().with_stats_epoch(64),
+        ),
     ]
 }
 

@@ -1,0 +1,54 @@
+//! Replay every fuzzer reproducer in `tests/repros/` (tier-1).
+//!
+//! Each `.s` file is a minimized case the differential fuzzer
+//! (`wib-bench --bin fuzz`) either found failing during development or
+//! that was curated as a stress fixture. The header's `# config:` lines
+//! name the machine specs; the replay arms the same oracles the fuzzer
+//! used — co-simulation, per-cycle machine checks, the fast-forward
+//! on/off differential and the cross-config commit differential — so a
+//! regression of any fixed bug (or a new one in these scenarios) fails
+//! this test with the oracle's description.
+
+use std::path::PathBuf;
+
+use wib_bench::fuzz::{repro_specs, run_case_text, with_quiet_panics};
+
+#[test]
+fn all_repros_replay_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let p = entry.expect("read repro dir entry").path();
+            (p.extension().is_some_and(|x| x == "s")).then_some(p)
+        })
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no reproducers in {} — the directory must hold at least the \
+         curated stress fixtures",
+        dir.display()
+    );
+    let mut failures = Vec::new();
+    with_quiet_panics(|| {
+        for path in &files {
+            let text = std::fs::read_to_string(path).expect("read repro");
+            let specs = repro_specs(&text);
+            assert!(
+                !specs.is_empty(),
+                "{} has no `# config:` header lines",
+                path.display()
+            );
+            if let Err(e) = run_case_text(&text, &specs) {
+                failures.push(format!("{}: {e}", path.display()));
+            }
+        }
+    });
+    assert!(
+        failures.is_empty(),
+        "{} reproducer(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,31 @@
+# fuzz reproducer: curated stress fixture (column exhaustion)
+# config: wib:w=256,bv=1
+# config: wib:w=256,org=pool2x8
+# config: base
+# failure: none — pins dependent-miss chains under a one-column bit-vector
+# budget (constant refusal/reuse) and a tiny pool (dispatch stalls on
+# block exhaustion).
+    li r15, 24
+    li r13, 0x40000
+loop:
+    lw r13, 0(r13)
+    lw r1, 4(r13)
+    add r2, r1, r13
+    lw r3, 0(r13)
+    xor r4, r3, r2
+    slt r5, r4, r2
+    addi r15, r15, -1
+    bne r15, r0, loop
+    halt
+    .data 0x40000
+    .u32 0x41040
+    .u32 17
+    .data 0x41040
+    .u32 0x42080
+    .u32 29
+    .data 0x42080
+    .u32 0x430c0
+    .u32 43
+    .data 0x430c0
+    .u32 0x40000
+    .u32 57

@@ -1,0 +1,22 @@
+# fuzz reproducer: curated stress fixture (epoch-boundary fast-forward)
+# config: wib:w=2048,epoch=64,memlat=100
+# config: wib:w=512,org=nonbanked4,epoch=64
+# config: conv:iq=64
+# failure: none — pins quiescent fast-forwards that cross tiny interval
+# epochs under long memory latency; the replay's ff-on/off differential
+# compares the whole interval series, not just end-of-run totals.
+    li r15, 16
+    li r14, 0x20000
+loop:
+    lw r1, 0(r14)
+    add r2, r1, r2
+    lw r3, 4(r14)
+    mul r4, r3, r2
+    sw r4, 8(r14)
+    addi r14, r14, 4096
+    addi r15, r15, -1
+    bne r15, r0, loop
+    halt
+    .data 0x20000
+    .u32 7
+    .u32 11

@@ -1,0 +1,28 @@
+# fuzz reproducer: curated stress fixture (subword forwarding)
+# config: base
+# config: wib:w=2048
+# failure: none — pins mixed-width overlapping store-to-load traffic:
+# byte stores punching holes in word coverage, doubleword loads spanning
+# a word store plus byte stores, and partial-coverage conflicts.
+    li r15, 12
+    li r14, 0x20000
+loop:
+    sw r15, 0(r14)
+    sb r15, 1(r14)
+    sb r15, 6(r14)
+    lw r1, 0(r14)
+    lw r2, 4(r14)
+    fsd f1, 8(r14)
+    lbu r3, 9(r14)
+    lw r4, 8(r14)
+    fld f2, 0(r14)
+    add r5, r1, r2
+    add r6, r3, r4
+    fadd f3, f1, f2
+    addi r14, r14, 64
+    addi r15, r15, -1
+    bne r15, r0, loop
+    halt
+    .data 0x20000
+    .u32 0x12345678
+    .u32 0x9abcdef0
