@@ -590,7 +590,14 @@ pub fn write_repro(dir: &Path, case: &FuzzCase, failure: &str) -> std::io::Resul
     let path = dir.join(format!("fuzz_seed_{}.s", case.seed));
     let mut head = format!("# fuzz reproducer: seed {}\n", case.seed);
     for spec in &case.specs {
-        head.push_str(&format!("# config: {spec}\n"));
+        // The digest is the same spec_digest the serving layer's result
+        // cache uses, so a repro header names the exact cache identity of
+        // the configuration it ran on.
+        let digest = match MachineConfig::from_spec(spec) {
+            Ok(cfg) => cfg.spec_digest(),
+            Err(_) => wib_core::fnv1a64_hex(spec.as_bytes()),
+        };
+        head.push_str(&format!("# config: {spec}  [digest {digest}]\n"));
     }
     let first_line = failure.lines().next().unwrap_or("unknown");
     head.push_str(&format!("# failure: {first_line}\n"));
@@ -598,11 +605,14 @@ pub fn write_repro(dir: &Path, case: &FuzzCase, failure: &str) -> std::io::Resul
     Ok(path)
 }
 
-/// Parse the `# config:` header lines of a reproducer file.
+/// Parse the `# config:` header lines of a reproducer file. A trailing
+/// `[digest ...]` annotation (written by [`write_repro`] since the
+/// serving layer introduced spec digests) is ignored; headers without
+/// one still parse.
 pub fn repro_specs(text: &str) -> Vec<String> {
     text.lines()
         .filter_map(|l| l.strip_prefix("# config:"))
-        .map(|s| s.trim().to_string())
+        .map(|s| s.split("[digest").next().unwrap_or(s).trim().to_string())
         .collect()
 }
 
@@ -699,6 +709,11 @@ spin:
         let path = write_repro(&dir, &case, "synthetic failure\nsecond line").unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(repro_specs(&text), case.specs);
+        // Each config line carries the cache-identity digest of its spec.
+        let digest = MachineConfig::from_spec("base").unwrap().spec_digest();
+        assert!(text.contains(&format!("# config: base  [digest {digest}]")));
+        // Headers written before digests existed still parse.
+        assert_eq!(repro_specs("# config: wib:w=256\n"), vec!["wib:w=256"]);
         assert!(text.contains("# failure: synthetic failure"));
         assert!(!text.contains("second line"));
         // The body still parses with the header comments in place.

@@ -240,12 +240,18 @@ pub fn rows_to_json(experiment: &str, runner: &Runner, names: &[&str], rows: &[R
 
 /// Write an experiment's sweep as `$WIB_RESULTS_DIR/<experiment>.json`.
 /// A silent no-op when `WIB_RESULTS_DIR` is unset, so the text harnesses
-/// behave exactly as before unless the experiment driver opts in.
+/// behave exactly as before unless the experiment driver opts in. The
+/// directory (and any missing parents) is created on first write, so
+/// pointing the variable at a fresh path just works.
 pub fn emit_results_json(experiment: &str, runner: &Runner, names: &[&str], rows: &[Row]) {
     let Ok(dir) = std::env::var("WIB_RESULTS_DIR") else {
         return;
     };
     let doc = rows_to_json(experiment, runner, names, rows);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("  warning: cannot create {dir}: {e}");
+        return;
+    }
     let path = format!("{dir}/{experiment}.json");
     match std::fs::write(&path, doc.pretty()) {
         Ok(()) => eprintln!("  wrote {path}"),

@@ -1,0 +1,49 @@
+//! `WIB_RESULTS_DIR` handling: a results path that does not exist yet is
+//! created (recursively) on first write instead of failing.
+//!
+//! This is the only test in this binary on purpose: it mutates the
+//! process-global `WIB_RESULTS_DIR` environment variable, and integration
+//! test binaries run in their own process, so nothing else can observe
+//! the change.
+
+use wib_bench::{emit_results_json, sweep, Runner};
+use wib_core::MachineConfig;
+use wib_workloads::test_suite;
+
+#[test]
+fn emit_results_json_creates_missing_directories() {
+    let runner = Runner {
+        warmup: 200,
+        insts: 2_000,
+    };
+    let workloads: Vec<_> = test_suite()
+        .into_iter()
+        .filter(|w| w.name() == "gzip")
+        .collect();
+    let configs = [("base", MachineConfig::base_8way())];
+    let rows = sweep(&runner, &configs, &workloads);
+
+    // Two levels of nonexistent directory below a fresh temp root.
+    let root = std::env::temp_dir().join(format!("wib_results_dir_{}", std::process::id()));
+    let nested = root.join("deep").join("results");
+    let _ = std::fs::remove_dir_all(&root);
+    assert!(!nested.exists());
+
+    std::env::set_var("WIB_RESULTS_DIR", &nested);
+    emit_results_json("fresh_dir_smoke", &runner, &["base"], &rows);
+    std::env::remove_var("WIB_RESULTS_DIR");
+
+    let path = nested.join("fresh_dir_smoke.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("expected {} to be written: {e}", path.display()));
+    let doc = wib_core::Json::parse(&text).expect("emitted document parses");
+    assert_eq!(
+        doc.get("schema").and_then(wib_core::Json::as_str),
+        Some("wib-sim/experiment-v1")
+    );
+    assert_eq!(
+        doc.get("experiment").and_then(wib_core::Json::as_str),
+        Some("fresh_dir_smoke")
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -32,7 +32,17 @@ pub struct Args {
     flags: Vec<String>,
 }
 
-const FLAGS: &[&str] = &["tiny", "cosim", "stats", "cpi-stack", "tail"];
+const FLAGS: &[&str] = &[
+    "tiny",
+    "cosim",
+    "stats",
+    "cpi-stack",
+    "tail",
+    "local",
+    "now",
+    "quiet",
+    "progress",
+];
 const OPTIONS: &[&str] = &[
     "config",
     "insts",
@@ -41,6 +51,12 @@ const OPTIONS: &[&str] = &[
     "stats-json",
     "events",
     "epoch",
+    "addr",
+    "workers",
+    "queue",
+    "port-file",
+    "out",
+    "results-dir",
 ];
 
 impl Args {
@@ -78,6 +94,11 @@ impl Args {
             .get(i)
             .cloned()
             .ok_or_else(|| ParseError::new(format!("missing {what}")))
+    }
+
+    /// All positionals from index `from` on (may be empty).
+    pub fn rest(&self, from: usize) -> &[String] {
+        self.positionals.get(from..).unwrap_or(&[])
     }
 
     /// `--key value` option.

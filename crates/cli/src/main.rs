@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! wib-sim list                          benchmarks and machine specs
+//! wib-sim workloads                     suite table with instruction counts
 //! wib-sim run <bench> [options]         simulate one benchmark
 //! wib-sim compare <bench> [options]     base vs WIB side by side
 //! wib-sim disasm <bench> [--limit N]    disassemble a kernel
+//! wib-sim serve [options]               run the simulation daemon
+//! wib-sim submit <bench[:spec]>...      send jobs to a daemon (or --local)
+//! wib-sim watch / stats / shutdown      observe and control a daemon
 //! ```
 
 use std::process::ExitCode;
@@ -35,12 +39,22 @@ fn main() -> ExitCode {
 fn usage() -> &'static str {
     "usage:
   wib-sim list
+  wib-sim workloads [--tiny]
   wib-sim run <bench> [--config <spec>] [--insts N] [--warmup N] [--tiny] [--cosim] [--stats]
                       [--cpi-stack] [--stats-json <path>] [--events <path>] [--epoch N]
   wib-sim compare <bench> [--insts N] [--warmup N] [--tiny]
   wib-sim disasm <bench> [--limit N] [--tiny]
   wib-sim trace <bench> [--config <spec>] [--limit N] [--tail] [--tiny]
   wib-sim exec <file.s> [--config <spec>] [--insts N] [--cosim] [--stats] [--cpi-stack]
+
+simulation service (see docs/serve.md):
+  wib-sim serve [--addr H:P] [--workers N] [--queue N] [--tiny] [--results-dir D]
+                [--port-file F] [--insts N] [--warmup N] [--quiet]
+  wib-sim submit <bench[:spec]>... [--addr H:P | --local] [--config <spec>] [--insts N]
+                 [--warmup N] [--out DIR] [--tiny] [--progress]
+  wib-sim watch [--addr H:P]
+  wib-sim stats [--addr H:P]
+  wib-sim shutdown [--addr H:P] [--now]
 
 observability:
   --cpi-stack          print the commit-slot CPI stack (categories sum to cycles)
@@ -61,11 +75,17 @@ fn run(argv: &[String]) -> Result<(), ParseError> {
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "list" => cmd_list(),
+        "workloads" => cmd_workloads(&args),
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "disasm" => cmd_disasm(&args),
         "trace" => cmd_trace(&args),
         "exec" => cmd_exec(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
+        "watch" => cmd_watch(&args),
+        "stats" => cmd_serve_stats(&args),
+        "shutdown" => cmd_shutdown(&args),
         other => Err(ParseError::new(format!("unknown command `{other}`"))),
     }
 }
@@ -114,6 +134,156 @@ fn cmd_list() -> Result<(), ParseError> {
         println!("  {:<10} [{}]", w.name(), w.suite());
     }
     println!("\nmachine specs: base, wib2k, wib:<N>, conv:<N>, pool:<S>x<B>, nonbanked:<L>");
+    Ok(())
+}
+
+fn cmd_workloads(args: &Args) -> Result<(), ParseError> {
+    let suite = if args.flag("tiny") {
+        test_suite()
+    } else {
+        eval_suite()
+    };
+    print!("{}", wib_workloads::table(&suite));
+    Ok(())
+}
+
+/// Default daemon address for `serve`/`submit`/`watch`/`stats`/`shutdown`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7431";
+
+fn addr_of(args: &Args) -> String {
+    args.option("addr").unwrap_or_else(|| DEFAULT_ADDR.into())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), ParseError> {
+    let mut opts = wib_serve::ServerOptions::default();
+    opts.addr = addr_of(args);
+    opts.workers = args.number("workers", 0)? as usize;
+    opts.queue_capacity = args.number("queue", opts.queue_capacity as u64)? as usize;
+    opts.tiny = args.flag("tiny");
+    if let Some(dir) = args.option("results-dir") {
+        opts.results_dir = Some(dir.into());
+    }
+    opts.default_insts = args.number("insts", opts.default_insts)?;
+    opts.default_warmup = args.number("warmup", opts.default_warmup)?;
+    opts.quiet = args.flag("quiet");
+    if let Some(path) = args.option("port-file") {
+        opts.port_file = Some(path.into());
+    }
+    wib_serve::server::run(opts).map_err(|e| ParseError::new(format!("serve: {e}")))
+}
+
+/// `--insts` / `--warmup` as optional overrides (absent means "let the
+/// daemon's defaults decide").
+fn optional_number(args: &Args, key: &str) -> Result<Option<u64>, ParseError> {
+    match args.option(key) {
+        None => Ok(None),
+        Some(_) => Ok(Some(args.number(key, 0)?)),
+    }
+}
+
+fn cmd_submit(args: &Args) -> Result<(), ParseError> {
+    let default_spec = args.option("config").unwrap_or_else(|| "base".into());
+    let jobs: Vec<wib_serve::JobRequest> = args
+        .rest(1)
+        .iter()
+        .map(|item| {
+            // `bench:spec` — the spec itself may contain `:` (wib:w=256),
+            // so split at the first colon only.
+            let (bench, spec) = match item.split_once(':') {
+                Some((b, s)) => (b.to_string(), s.to_string()),
+                None => (item.clone(), default_spec.clone()),
+            };
+            wib_serve::JobRequest {
+                workload: bench,
+                spec,
+                insts: None,
+                warmup: None,
+            }
+        })
+        .collect();
+    if jobs.is_empty() {
+        return Err(ParseError::new(
+            "submit needs at least one <bench[:spec]> job",
+        ));
+    }
+    let insts = optional_number(args, "insts")?;
+    let warmup = optional_number(args, "warmup")?;
+    let out = args.option("out").map(std::path::PathBuf::from);
+    let progress = args.flag("progress");
+    let outcomes = if args.flag("local") {
+        wib_serve::client::run_local(
+            &jobs,
+            insts,
+            warmup,
+            args.flag("tiny"),
+            out.as_deref(),
+            progress,
+        )
+    } else {
+        wib_serve::client::submit(
+            &addr_of(args),
+            &jobs,
+            insts,
+            warmup,
+            out.as_deref(),
+            progress,
+        )
+    }
+    .map_err(ParseError::new)?;
+    let mut failures = 0;
+    for o in &outcomes {
+        match &o.status {
+            wib_serve::JobStatus::Done { cached, result } => {
+                let ipc = result
+                    .get("ipc")
+                    .map(|j| j.to_string())
+                    .unwrap_or_else(|| "?".into());
+                println!(
+                    "{:<12} {:<24} done{}  ipc={ipc}  [{}]",
+                    o.workload,
+                    o.spec,
+                    if *cached { " (cached)" } else { "" },
+                    o.digest
+                );
+            }
+            wib_serve::JobStatus::Error(msg) => {
+                failures += 1;
+                println!("{:<12} {:<24} ERROR: {msg}", o.workload, o.spec);
+            }
+            wib_serve::JobStatus::Cancelled => {
+                failures += 1;
+                println!("{:<12} {:<24} cancelled", o.workload, o.spec);
+            }
+            wib_serve::JobStatus::Rejected(reason) => {
+                failures += 1;
+                println!("{:<12} {:<24} rejected: {reason}", o.workload, o.spec);
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(ParseError::new(format!(
+            "{failures} of {} job(s) did not complete",
+            outcomes.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: &Args) -> Result<(), ParseError> {
+    let mut stdout = std::io::stdout();
+    wib_serve::client::watch(&addr_of(args), &mut stdout).map_err(ParseError::new)
+}
+
+fn cmd_serve_stats(args: &Args) -> Result<(), ParseError> {
+    let doc = wib_serve::client::stats(&addr_of(args)).map_err(ParseError::new)?;
+    print!("{}", doc.pretty());
+    Ok(())
+}
+
+fn cmd_shutdown(args: &Args) -> Result<(), ParseError> {
+    let reply =
+        wib_serve::client::shutdown(&addr_of(args), !args.flag("now")).map_err(ParseError::new)?;
+    println!("{reply}");
     Ok(())
 }
 

@@ -466,6 +466,19 @@ impl MachineConfig {
         out
     }
 
+    /// Stable 64-bit digest of this machine's canonical spec string,
+    /// rendered as 16 lower-case hex digits.
+    ///
+    /// This is FNV-1a over [`MachineConfig::to_spec`] output, so two
+    /// configurations share a digest exactly when they serialize to the
+    /// same spec. The serving layer's content-addressed result cache and
+    /// the fuzzer's reproducer headers both use it as the config half of
+    /// their identity; the constants are fixed forever (see
+    /// [`crate::digest`]).
+    pub fn spec_digest(&self) -> String {
+        crate::digest::fnv1a64_hex(self.to_spec().as_bytes())
+    }
+
     /// Parse a spec string produced by [`MachineConfig::to_spec`] (or
     /// written by hand at the top of a repro file).
     ///
@@ -724,6 +737,28 @@ mod tests {
         );
         // Whitespace around tokens is tolerated.
         MachineConfig::from_spec(" wib:w=128, org=ideal, policy=rrl ").unwrap();
+    }
+
+    #[test]
+    fn spec_digest_is_stable_and_round_trips() {
+        // The digest is FNV-1a of the canonical spec, so it must survive
+        // a serialize/parse round trip and differ across configs.
+        let wib = MachineConfig::wib_2k();
+        let reparsed = MachineConfig::from_spec(&wib.to_spec()).unwrap();
+        assert_eq!(wib.spec_digest(), reparsed.spec_digest());
+        assert_ne!(wib.spec_digest(), MachineConfig::base_8way().spec_digest());
+        assert_ne!(
+            MachineConfig::wib_sized(512).spec_digest(),
+            MachineConfig::wib_sized(1024).spec_digest()
+        );
+        // Pinned values: these digests name on-disk cache entries, so a
+        // change here is a cache-format break, not a refactor.
+        assert_eq!(wib.spec_digest(), crate::digest::fnv1a64_hex(b"wib:w=2048"));
+        assert_eq!(
+            MachineConfig::base_8way().spec_digest(),
+            crate::digest::fnv1a64_hex(b"base")
+        );
+        assert_eq!(wib.spec_digest().len(), 16);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Stable content digests for configurations and results.
+//!
+//! The serving layer's result cache, the reproducer headers written by
+//! the fuzzer, and any future artifact that needs a *stable identity for
+//! a piece of text* all share one hash: 64-bit FNV-1a. It is tiny,
+//! dependency-free, endian-independent, and — critically — **fixed
+//! forever**: the constants below are part of the on-disk cache format,
+//! so a cached result written by one build is found by every later
+//! build. (FNV-1a is not collision-resistant against adversaries; cache
+//! keys here always ride alongside the full human-readable spec, so a
+//! collision can be detected, never silently served.)
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// [`fnv1a64`] rendered as the canonical 16-digit lower-case hex string
+/// used in cache file names and repro headers.
+pub fn fnv1a64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification (Fowler/Noll/Vo).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_form_is_16_lowercase_digits() {
+        let h = fnv1a64_hex(b"wib:w=2048");
+        assert_eq!(h.len(), 16);
+        assert!(h
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        // Stability: this exact value is baked into on-disk cache names.
+        assert_eq!(h, fnv1a64_hex(b"wib:w=2048"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(fnv1a64(b"base"), fnv1a64(b"wib:w=2048"));
+        assert_ne!(fnv1a64(b"gcc\nbase"), fnv1a64(b"gzip\nbase"));
+    }
+}

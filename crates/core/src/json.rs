@@ -1,11 +1,12 @@
-//! A tiny, dependency-free JSON document builder.
+//! A tiny, dependency-free JSON document builder and parser.
 //!
 //! The workspace builds fully offline, so there is no serde; this module
-//! provides the small subset the observability layer needs: a [`Json`]
-//! value type with **insertion-ordered object keys** (so exported
+//! provides the small subset the observability and serving layers need: a
+//! [`Json`] value type with **insertion-ordered object keys** (so exported
 //! documents have a stable, golden-testable schema), correct string
-//! escaping, and compact or pretty rendering. Non-finite floats render as
-//! `null` (JSON has no NaN/inf).
+//! escaping, compact or pretty rendering, and a strict recursive-descent
+//! parser ([`Json::parse`]) for the NDJSON wire protocol. Non-finite
+//! floats render as `null` (JSON has no NaN/inf).
 
 use std::fmt;
 
@@ -69,6 +70,63 @@ impl Json {
         match self {
             Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
             _ => Vec::new(),
+        }
+    }
+
+    /// Parse one JSON document from `text` (surrounding whitespace
+    /// allowed, trailing garbage rejected). Integers without a fraction
+    /// or exponent parse as [`Json::U64`] / [`Json::I64`]; everything
+    /// else numeric parses as [`Json::F64`]. Duplicate object keys are
+    /// kept in order (lookups see the first), matching the writer.
+    ///
+    /// # Errors
+    /// Returns `json: <what> at byte <offset>` for the first violation.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Borrow a string value (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `u64` (`None` for non-numbers, negative
+    /// numbers, and non-integral floats).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(n) => Some(n),
+            Json::I64(n) if n >= 0 => Some(n as u64),
+            Json::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array's items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
         }
     }
 
@@ -173,6 +231,234 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Nesting depth cap for [`Json::parse`]: deep enough for any document
+/// this workspace produces, shallow enough that hostile input cannot
+/// overflow the stack.
+const MAX_PARSE_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("json: {what} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must
+                                // follow immediately.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')
+                                    .map_err(|_| self.err("unpaired high surrogate"))?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("unpaired low surrogate"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so the
+                    // boundary math is always valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("json: bad number {text:?} at byte {start}"))
+    }
+}
+
 impl fmt::Display for Json {
     /// Compact (single-line) rendering.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -265,6 +551,137 @@ mod tests {
     #[test]
     fn control_characters_are_escaped() {
         assert_eq!(Json::Str("a\nb\u{1}".into()).to_string(), r#""a\nb\u0001""#);
+    }
+
+    #[test]
+    fn string_escaping_covers_the_wire_cases() {
+        // Client-supplied job names travel over the NDJSON wire, so the
+        // writer must escape everything that could break a one-line
+        // protocol frame or a JSON consumer.
+        let cases: &[(&str, &str)] = &[
+            // Quotes and backslashes.
+            (r#"say "hi""#, r#""say \"hi\"""#),
+            (r"back\slash", r#""back\\slash""#),
+            (r"\\", r#""\\\\""#),
+            // Newlines must never produce a literal line break.
+            ("a\nb", r#""a\nb""#),
+            ("a\rb", r#""a\rb""#),
+            ("a\tb", r#""a\tb""#),
+            // Other C0 control characters use \uXXXX.
+            ("\u{0}", "\"\\u0000\""),
+            ("\u{1b}[31m", "\"\\u001b[31m\""),
+            ("\u{7}\u{8}\u{c}", "\"\\u0007\\u0008\\u000c\""),
+            // Non-ASCII passes through as UTF-8, unescaped.
+            ("héllo", "\"héllo\""),
+            ("日本語", "\"日本語\""),
+            ("emoji \u{1f600}", "\"emoji \u{1f600}\""),
+            // DEL (0x7f) is not a C0 control; JSON allows it raw.
+            ("\u{7f}", "\"\u{7f}\""),
+        ];
+        for (input, expected) in cases {
+            let rendered = Json::Str((*input).to_string()).to_string();
+            assert_eq!(&rendered, expected, "escaping {input:?}");
+            assert!(
+                !rendered.contains('\n') && !rendered.contains('\r'),
+                "rendered frame must stay on one line: {input:?}"
+            );
+            // And the parser inverts it exactly.
+            assert_eq!(
+                Json::parse(&rendered).unwrap(),
+                Json::Str((*input).to_string()),
+                "round trip of {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_every_boundary_codepoint() {
+        // One string holding every C0 control, the quote/backslash pair,
+        // the BMP boundary and an astral plane character.
+        let mut s = String::new();
+        for c in 0u32..0x20 {
+            s.push(char::from_u32(c).unwrap());
+        }
+        s.push_str("\"\\ \u{80} \u{7ff} \u{800} \u{fffd} \u{10348}");
+        let doc = Json::obj().field("name", s.as_str());
+        let round = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(round.get("name").unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn parser_accepts_documents_and_scalars() {
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::F64(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(
+            Json::parse(r#"{"a":[1,{"b":null}],"c":"d"}"#).unwrap(),
+            Json::obj()
+                .field("a", vec![Json::U64(1), Json::obj().field("b", Json::Null)])
+                .field("c", "d")
+        );
+        // \u escapes, including a surrogate pair.
+        assert_eq!(
+            Json::parse(r#""A𝄞""#).unwrap(),
+            Json::Str("A\u{1d11e}".into())
+        );
+        // Keys keep insertion order through a parse.
+        let doc = Json::parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(doc.keys(), vec!["z", "a"]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "0x10",
+            "1 2",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\u{1}\"",         // raw control character
+            "\"\\ud800 alone\"", // unpaired surrogate
+            "--1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+        // Depth bomb: fails cleanly instead of overflowing the stack.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_parser() {
+        let doc = Json::obj()
+            .field("u", u64::MAX)
+            .field("i", -42i64)
+            .field("f", 0.125)
+            .field("s", "line\nbreak \"q\" \\ \u{1f680}")
+            .field("arr", vec![Json::Bool(false), Json::Null])
+            .field("nested", Json::obj().field("k", "v"));
+        assert_eq!(Json::parse(&doc.to_string()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn accessor_helpers() {
+        assert_eq!(Json::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Json::U64(3).as_str(), None);
+        assert_eq!(Json::U64(3).as_u64(), Some(3));
+        assert_eq!(Json::I64(-1).as_u64(), None);
+        assert_eq!(Json::F64(4.0).as_u64(), Some(4));
+        assert_eq!(Json::F64(4.5).as_u64(), None);
+        assert_eq!(
+            Json::Arr(vec![Json::Null]).as_arr().map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(Json::Null.as_arr(), None);
     }
 
     #[test]

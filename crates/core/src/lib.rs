@@ -44,6 +44,7 @@
 pub mod check;
 pub mod config;
 pub mod cpi;
+pub mod digest;
 pub mod events;
 pub mod fu;
 pub mod hist;
@@ -65,6 +66,7 @@ pub use config::{
     MachineConfig, RegFileConfig, SelectionPolicy, WibConfig, WibOrganization, WibTrigger,
 };
 pub use cpi::{CpiCategory, CpiStack, CPI_CATEGORIES};
+pub use digest::{fnv1a64, fnv1a64_hex};
 pub use events::{
     format_event, BoundedSink, CountingSink, EventKind, EventSink, PipeEvent, TextSink, EVENT_KINDS,
 };

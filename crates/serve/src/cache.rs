@@ -1,0 +1,225 @@
+//! Content-addressed result cache.
+//!
+//! A job's identity is the FNV-1a digest of everything that determines
+//! its (deterministic) output: the schema version, the workload name,
+//! the suite scale (eval vs. tiny), the machine's canonical
+//! [`spec_digest`], and the measurement protocol (warm-up and measured
+//! instruction counts). Two submissions with the same digest *must*
+//! produce byte-identical result documents — the simulator is
+//! deterministic — so the cache can hand back the stored rendering
+//! verbatim, and a resubmitted sweep point is free.
+//!
+//! Entries live in memory and, when a results directory is configured
+//! (`WIB_RESULTS_DIR`), persist as `<dir>/cache/<digest>.json` so a
+//! restarted daemon keeps its history. The directory is created
+//! recursively on first use; persistence failures degrade to
+//! memory-only operation rather than failing the job.
+//!
+//! [`spec_digest`]: MachineConfig::spec_digest
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use wib_core::{Json, MachineConfig};
+
+/// Schema tag mixed into every cache key; bump on any result-format
+/// change so stale on-disk entries miss instead of serving old shapes.
+const KEY_SCHEMA: &str = "wib-serve/result-v1";
+
+/// Introspection counters (see [`ResultCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries resident in memory.
+    pub entries: usize,
+    /// Lookups served from memory or disk.
+    pub hits: u64,
+    /// Lookups that fell through to a simulation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The `cache` object of the daemon's introspection document.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("entries", self.entries)
+            .field("hits", self.hits)
+            .field("misses", self.misses)
+            .field("hit_rate", self.hit_rate())
+    }
+}
+
+struct Inner {
+    map: HashMap<String, Arc<String>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Thread-safe content-addressed store of rendered result documents.
+pub struct ResultCache {
+    /// `<results>/cache`, when persistence is enabled.
+    dir: Option<PathBuf>,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// A cache rooted at `results_dir` (persistence under
+    /// `<results_dir>/cache/`), or memory-only when `None`.
+    pub fn new(results_dir: Option<PathBuf>) -> ResultCache {
+        ResultCache {
+            dir: results_dir.map(|d| d.join("cache")),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The content address of one job: 16 hex digits over the canonical
+    /// job description. Shares [`MachineConfig::spec_digest`] with the
+    /// fuzzer's repro headers, so a repro names the cache identity of
+    /// the config it ran on.
+    pub fn key(
+        workload: &str,
+        cfg: &MachineConfig,
+        insts: u64,
+        warmup: u64,
+        scale: &str,
+    ) -> String {
+        let canonical = format!(
+            "{KEY_SCHEMA}\n{workload}\n{scale}\n{}\n{insts}\n{warmup}",
+            cfg.spec_digest()
+        );
+        wib_core::fnv1a64_hex(canonical.as_bytes())
+    }
+
+    /// Look up a digest, falling back to the on-disk entry (which is
+    /// loaded into memory). Counts a hit or miss either way.
+    pub fn get(&self, key: &str) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(doc) = inner.map.get(key).cloned() {
+            inner.hits += 1;
+            return Some(doc);
+        }
+        if let Some(dir) = &self.dir {
+            if let Ok(text) = std::fs::read_to_string(dir.join(format!("{key}.json"))) {
+                // Guard against truncated/corrupt files: a cache entry
+                // must parse, or we recompute.
+                if Json::parse(text.trim_end()).is_ok() {
+                    let doc = Arc::new(text.trim_end().to_string());
+                    inner.map.insert(key.to_string(), Arc::clone(&doc));
+                    inner.hits += 1;
+                    return Some(doc);
+                }
+            }
+        }
+        inner.misses += 1;
+        None
+    }
+
+    /// Store a rendered result document under `key` (memory, and disk
+    /// when persistence is on). Returns the shared rendering. Lost
+    /// store races are benign: determinism makes both renderings equal.
+    pub fn put(&self, key: &str, doc: String) -> Arc<String> {
+        let doc = Arc::new(doc);
+        if let Some(dir) = &self.dir {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(format!("{key}.json")), format!("{doc}\n")))
+            {
+                eprintln!("wib-serve: cache persistence disabled for {key}: {e}");
+            }
+        }
+        self.inner
+            .lock()
+            .unwrap()
+            .map
+            .insert(key.to_string(), Arc::clone(&doc));
+        doc
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            entries: inner.map.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("wib_cache_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn keys_are_content_addresses() {
+        let base = MachineConfig::base_8way();
+        let wib = MachineConfig::wib_2k();
+        let k = ResultCache::key("gcc", &base, 1000, 100, "eval");
+        assert_eq!(k, ResultCache::key("gcc", &base, 1000, 100, "eval"));
+        assert_ne!(k, ResultCache::key("gzip", &base, 1000, 100, "eval"));
+        assert_ne!(k, ResultCache::key("gcc", &wib, 1000, 100, "eval"));
+        assert_ne!(k, ResultCache::key("gcc", &base, 2000, 100, "eval"));
+        assert_ne!(k, ResultCache::key("gcc", &base, 1000, 200, "eval"));
+        assert_ne!(k, ResultCache::key("gcc", &base, 1000, 100, "tiny"));
+        assert_eq!(k.len(), 16);
+    }
+
+    #[test]
+    fn memory_hits_and_misses_are_counted() {
+        let c = ResultCache::new(None);
+        let key = "00112233deadbeef";
+        assert!(c.get(key).is_none());
+        c.put(key, "{\"x\":1}".into());
+        assert_eq!(c.get(key).as_deref().map(String::as_str), Some("{\"x\":1}"));
+        let s = c.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persists_across_instances() {
+        let dir = tmp("persist");
+        let c1 = ResultCache::new(Some(dir.clone()));
+        c1.put("aaaa000011112222", "{\"doc\":true}".into());
+        // A fresh cache over the same directory finds the entry on disk.
+        let c2 = ResultCache::new(Some(dir.clone()));
+        assert_eq!(
+            c2.get("aaaa000011112222").as_deref().map(String::as_str),
+            Some("{\"doc\":true}")
+        );
+        assert_eq!(c2.stats().hits, 1);
+        // Corrupt entries are ignored, not served.
+        std::fs::write(dir.join("cache/bad0bad0bad0bad0.json"), "{truncated").unwrap();
+        let c3 = ResultCache::new(Some(dir.clone()));
+        assert!(c3.get("bad0bad0bad0bad0").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_directory_means_memory_only() {
+        let c = ResultCache::new(None);
+        c.put("ffff0000ffff0000", "{}".into());
+        // Nothing written anywhere; a second memory-only cache misses.
+        let c2 = ResultCache::new(None);
+        assert!(c2.get("ffff0000ffff0000").is_none());
+        assert_eq!(c.stats().entries, 1);
+    }
+}

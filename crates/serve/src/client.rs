@@ -1,0 +1,410 @@
+//! Client helpers for talking to a `wib-serve` daemon — and for doing
+//! the same work in-process (`--local`) so the two paths can be
+//! byte-compared.
+//!
+//! [`submit`] connects, sends one `submit` batch, and streams events
+//! until every job has reached a terminal state, writing each result
+//! document to `<out>/<workload>-<digest>.json`. [`run_local`] resolves
+//! and runs the identical batch with no daemon involved and writes files
+//! through the same code path; `offline_gate.sh` diffs the two trees to
+//! prove the daemon changes nothing about the simulation.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+use wib_core::Json;
+
+use crate::protocol::JobRequest;
+use crate::server::{build_catalog, compute_result, resolve_job};
+
+/// Terminal state of one submitted job.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Completed; `cached` says whether the daemon served it from the
+    /// result cache.
+    Done { cached: bool, result: Json },
+    /// The simulation failed (panicked) server-side.
+    Error(String),
+    /// Cancelled before it ran.
+    Cancelled,
+    /// Never accepted (unknown workload, bad spec, oversized protocol).
+    Rejected(String),
+}
+
+/// What became of one job in a batch.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Daemon job id (0 for rejected jobs, which never get one).
+    pub job: u64,
+    pub workload: String,
+    /// Canonical spec (as echoed by the daemon), or the submitted text
+    /// for rejected jobs.
+    pub spec: String,
+    /// Content-address digest (empty for rejected jobs).
+    pub digest: String,
+    pub status: JobStatus,
+}
+
+impl JobOutcome {
+    /// True for `Done` in any form.
+    pub fn succeeded(&self) -> bool {
+        matches!(self.status, JobStatus::Done { .. })
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn send_line(stream: &TcpStream, line: &str) -> Result<(), String> {
+    let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    w.write_all(line.as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("send: {e}"))
+}
+
+fn submit_request(jobs: &[JobRequest], insts: Option<u64>, warmup: Option<u64>) -> Json {
+    let mut arr = Vec::new();
+    for j in jobs {
+        let mut o = Json::obj()
+            .field("workload", j.workload.as_str())
+            .field("spec", j.spec.as_str());
+        if let Some(n) = j.insts {
+            o = o.field("insts", n);
+        }
+        if let Some(n) = j.warmup {
+            o = o.field("warmup", n);
+        }
+        arr.push(o);
+    }
+    let mut req = Json::obj().field("op", "submit").field("jobs", arr);
+    if let Some(n) = insts {
+        req = req.field("insts", n);
+    }
+    if let Some(n) = warmup {
+        req = req.field("warmup", n);
+    }
+    req
+}
+
+/// Write one finished job's result document under `out`, named by its
+/// content address: `<workload>-<digest>.json` (pretty-printed, one
+/// trailing newline). Numbers round-trip through the shortest-repr
+/// float writer, so a parsed-and-rewritten document is byte-stable.
+///
+/// # Errors
+/// Filesystem errors, as strings.
+pub fn write_result_file(
+    out: &Path,
+    workload: &str,
+    digest: &str,
+    result: &Json,
+) -> Result<std::path::PathBuf, String> {
+    std::fs::create_dir_all(out).map_err(|e| format!("create {}: {e}", out.display()))?;
+    let path = out.join(format!("{workload}-{digest}.json"));
+    std::fs::write(&path, result.pretty()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Submit a batch to the daemon at `addr` and stream events until every
+/// job is terminal. Results land in `out` when given; `progress` echoes
+/// lifecycle events to stderr.
+///
+/// # Errors
+/// Connection/protocol failures. Per-job failures are *not* errors —
+/// they come back as [`JobStatus`] variants.
+pub fn submit(
+    addr: &str,
+    jobs: &[JobRequest],
+    insts: Option<u64>,
+    warmup: Option<u64>,
+    out: Option<&Path>,
+    progress: bool,
+) -> Result<Vec<JobOutcome>, String> {
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let stream = connect(addr)?;
+    send_line(&stream, &submit_request(jobs, insts, warmup).to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    // job id -> (workload, spec, digest) for in-flight jobs.
+    let mut pending: HashMap<u64, (String, String, String)> = HashMap::new();
+    let mut accounted = 0usize; // queued + rejected seen so far
+    let mut line = String::new();
+    while accounted < jobs.len() || !pending.is_empty() {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err(format!(
+                "server closed the connection with {} job(s) outstanding",
+                jobs.len() - accounted + pending.len()
+            ));
+        }
+        let ev = Json::parse(line.trim()).map_err(|e| format!("bad event line: {e}"))?;
+        let kind = ev
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let job_id = ev.get("job").and_then(Json::as_u64).unwrap_or(0);
+        match kind.as_str() {
+            "queued" => {
+                let workload = ev
+                    .get("workload")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let spec = ev
+                    .get("spec")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let digest = ev
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                if progress {
+                    eprintln!("job {job_id} queued: {workload} [{spec}]");
+                }
+                pending.insert(job_id, (workload, spec, digest));
+                accounted += 1;
+            }
+            "rejected" => {
+                let index = ev.get("index").and_then(Json::as_u64).unwrap_or(0) as usize;
+                let reason = ev
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("rejected")
+                    .to_string();
+                let (workload, spec) = jobs
+                    .get(index)
+                    .map(|j| (j.workload.clone(), j.spec.clone()))
+                    .unwrap_or_else(|| ("?".to_string(), String::new()));
+                if progress {
+                    eprintln!("job rejected ({workload}): {reason}");
+                }
+                outcomes.push(JobOutcome {
+                    job: 0,
+                    workload,
+                    spec,
+                    digest: String::new(),
+                    status: JobStatus::Rejected(reason),
+                });
+                accounted += 1;
+            }
+            "running" => {
+                if progress {
+                    eprintln!("job {job_id} running");
+                }
+            }
+            "interval" => {
+                if progress {
+                    let sample = ev.get("sample");
+                    let field = |k: &str| {
+                        sample
+                            .and_then(|s| s.get(k))
+                            .map(Json::to_string)
+                            .unwrap_or_else(|| "?".into())
+                    };
+                    eprintln!(
+                        "job {job_id} interval @cycle {} ipc={}",
+                        field("cycle"),
+                        field("ipc")
+                    );
+                }
+            }
+            "done" | "error" | "cancelled" => {
+                let Some((workload, spec, digest)) = pending.remove(&job_id) else {
+                    continue; // stray event for a job we do not own
+                };
+                let status = match kind.as_str() {
+                    "done" => {
+                        let cached = ev.get("cached").and_then(Json::as_bool).unwrap_or(false);
+                        let result = ev.get("result").cloned().unwrap_or_else(Json::obj);
+                        if let Some(dir) = out {
+                            write_result_file(dir, &workload, &digest, &result)?;
+                        }
+                        if progress {
+                            eprintln!("job {job_id} done{}", if cached { " (cached)" } else { "" });
+                        }
+                        JobStatus::Done { cached, result }
+                    }
+                    "error" => {
+                        let msg = ev
+                            .get("message")
+                            .and_then(Json::as_str)
+                            .unwrap_or("error")
+                            .to_string();
+                        if progress {
+                            eprintln!("job {job_id} failed: {msg}");
+                        }
+                        JobStatus::Error(msg)
+                    }
+                    _ => {
+                        if progress {
+                            eprintln!("job {job_id} cancelled");
+                        }
+                        JobStatus::Cancelled
+                    }
+                };
+                outcomes.push(JobOutcome {
+                    job: job_id,
+                    workload,
+                    spec,
+                    digest,
+                    status,
+                });
+            }
+            "protocol-error" => {
+                let msg = ev
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("protocol error");
+                return Err(format!("server rejected the request: {msg}"));
+            }
+            "shutdown" => {
+                return Err("server shut down mid-batch".to_string());
+            }
+            _ => {} // pong/stats/watching: not expected here, harmless
+        }
+    }
+    Ok(outcomes)
+}
+
+/// Run the same batch entirely in-process (no daemon): identical
+/// validation, identical simulation, identical result files. Used by
+/// `submit --local` and the gate's byte-identity check.
+///
+/// # Errors
+/// Filesystem errors only; per-job rejections come back as outcomes.
+pub fn run_local(
+    jobs: &[JobRequest],
+    insts: Option<u64>,
+    warmup: Option<u64>,
+    tiny: bool,
+    out: Option<&Path>,
+    progress: bool,
+) -> Result<Vec<JobOutcome>, String> {
+    let catalog = build_catalog(tiny);
+    let scale = if tiny { "tiny" } else { "eval" };
+    let defaults = crate::server::ServerOptions::default();
+    let mut outcomes = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let resolved = resolve_job(
+            &catalog,
+            job,
+            insts,
+            warmup,
+            defaults.default_insts,
+            defaults.default_warmup,
+        );
+        let (name, cfg, insts, warmup) = match resolved {
+            Ok(r) => r,
+            Err(reason) => {
+                if progress {
+                    eprintln!("job rejected ({}): {reason}", job.workload);
+                }
+                outcomes.push(JobOutcome {
+                    job: 0,
+                    workload: job.workload.clone(),
+                    spec: job.spec.clone(),
+                    digest: String::new(),
+                    status: JobStatus::Rejected(reason),
+                });
+                continue;
+            }
+        };
+        let workload = &catalog[&name];
+        let digest = crate::cache::ResultCache::key(&name, &cfg, insts, warmup, scale);
+        if progress {
+            eprintln!("job {} running locally: {name} [{}]", i + 1, cfg.to_spec());
+        }
+        let result = compute_result(workload, &cfg, insts, warmup, scale);
+        if let Some(dir) = out {
+            write_result_file(dir, &name, &digest, &result)?;
+        }
+        outcomes.push(JobOutcome {
+            job: (i + 1) as u64,
+            workload: name,
+            spec: cfg.to_spec(),
+            digest,
+            status: JobStatus::Done {
+                cached: false,
+                result,
+            },
+        });
+    }
+    Ok(outcomes)
+}
+
+/// One-shot request/response helper: send `req`, return the first event
+/// line parsed as JSON.
+fn round_trip(addr: &str, req: &Json) -> Result<Json, String> {
+    let stream = connect(addr)?;
+    send_line(&stream, &req.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection without replying".to_string());
+    }
+    Json::parse(line.trim())
+}
+
+/// Fetch the daemon's introspection document (`{"op":"stats"}`).
+///
+/// # Errors
+/// Connection/protocol failures.
+pub fn stats(addr: &str) -> Result<Json, String> {
+    round_trip(addr, &Json::obj().field("op", "stats"))
+}
+
+/// Liveness probe; returns once the daemon answers `pong`.
+///
+/// # Errors
+/// Connection/protocol failures, or a non-pong reply.
+pub fn ping(addr: &str) -> Result<(), String> {
+    let reply = round_trip(addr, &Json::obj().field("op", "ping"))?;
+    match reply.get("event").and_then(Json::as_str) {
+        Some("pong") => Ok(()),
+        other => Err(format!("unexpected ping reply: {other:?}")),
+    }
+}
+
+/// Ask the daemon to shut down (`drain`: finish queued work first) and
+/// wait for its confirmation event, which is returned.
+///
+/// # Errors
+/// Connection/protocol failures.
+pub fn shutdown(addr: &str, drain: bool) -> Result<Json, String> {
+    let req = Json::obj()
+        .field("op", "shutdown")
+        .field("mode", if drain { "drain" } else { "now" });
+    round_trip(addr, &req)
+}
+
+/// Attach as a watcher and stream every event line to `sink` until the
+/// daemon shuts down (connection closes).
+///
+/// # Errors
+/// Connection failures.
+pub fn watch(addr: &str, sink: &mut dyn Write) -> Result<(), String> {
+    let stream = connect(addr)?;
+    send_line(&stream, &Json::obj().field("op", "watch").to_string())?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read: {e}"))?;
+        writeln!(sink, "{line}").map_err(|e| format!("write: {e}"))?;
+        let _ = sink.flush();
+    }
+    Ok(())
+}

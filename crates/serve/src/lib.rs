@@ -1,0 +1,40 @@
+//! `wib-serve`: a std-only simulation service.
+//!
+//! Sweeping the WIB design space means re-running the same cycle-level
+//! simulations over and over — and because the simulator is fully
+//! deterministic, most of that work is redundant. This crate turns the
+//! simulator into a long-running daemon: clients submit jobs over a
+//! plain TCP socket as newline-delimited JSON, a bounded queue feeds a
+//! persistent worker pool, and every result is stored in a
+//! content-addressed cache so a repeated sweep point costs one hash
+//! lookup instead of minutes of simulation.
+//!
+//! The moving parts, each in its own module:
+//!
+//! * [`queue`] — bounded MPMC job queue; a full queue blocks the
+//!   submitting connection (backpressure by TCP flow control).
+//! * [`cache`] — content-addressed result store keyed by the FNV-1a
+//!   digest of (workload, canonical machine spec, protocol), persisted
+//!   under `WIB_RESULTS_DIR`.
+//! * [`protocol`] — the NDJSON wire format: request parsing and event
+//!   construction. See `docs/serve.md` for the grammar.
+//! * [`server`] — the daemon: accept loop, connection reader/writer
+//!   threads, worker pool, graceful drain-and-shutdown.
+//! * [`client`] — submit/stats/watch/shutdown helpers plus a `--local`
+//!   mode that computes byte-identical result files with no daemon,
+//!   which is how the offline gate proves the service changes nothing.
+//!
+//! Everything is `std` — no async runtime, no serde — matching the
+//! repository's offline-build constraint.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::{JobOutcome, JobStatus};
+pub use protocol::JobRequest;
+pub use queue::BoundedQueue;
+pub use server::{compute_result, ServerHandle, ServerOptions};

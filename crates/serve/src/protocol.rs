@@ -1,0 +1,343 @@
+//! The NDJSON wire protocol.
+//!
+//! Every frame — request or event — is one JSON object on one line
+//! (`\n`-terminated, no raw newlines inside thanks to the writer's
+//! escaping). Requests carry an `"op"` discriminator, events an
+//! `"event"` discriminator. See `docs/serve.md` for the full grammar.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"submit","jobs":[{"workload":"gcc","spec":"wib:w=2048"},...],
+//!  "insts":200000,"warmup":200000}          batch defaults optional;
+//!                                           per-job insts/warmup override
+//! {"op":"stats"}                            introspection snapshot
+//! {"op":"cancel","job":7}                   cancel a *queued* job
+//! {"op":"watch"}                            subscribe to all job events
+//! {"op":"shutdown","mode":"drain"|"now"}    graceful stop (default drain)
+//! {"op":"ping"}                             liveness probe
+//! ```
+//!
+//! Machine specs accept both the canonical [`MachineConfig::to_spec`]
+//! grammar (`base`, `conv:iq=256`, `wib:w=2048,org=ideal,...`) and the
+//! CLI shorthands (`wib2k`, `wib:512`, `conv:256`, `pool:8x256`,
+//! `nonbanked:4`); either way the job is canonicalized through
+//! `to_spec()` before hashing, so equivalent spellings share one cache
+//! entry.
+
+use wib_core::{Json, MachineConfig, WibOrganization};
+
+/// Hard ceiling on per-job instruction counts (warm-up and measured
+/// each): a submitted job may be expensive, but never unbounded.
+pub const MAX_INSTS: u64 = 1_000_000_000;
+
+/// One requested simulation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Benchmark name (validated against the daemon's workload catalog).
+    pub workload: String,
+    /// Machine spec (canonical or CLI shorthand).
+    pub spec: String,
+    /// Measured instructions (falls back to the batch, then the server
+    /// default).
+    pub insts: Option<u64>,
+    /// Warm-up instructions (same fallback chain).
+    pub warmup: Option<u64>,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a batch of jobs.
+    Submit {
+        /// The sweep points, in submission order.
+        jobs: Vec<JobRequest>,
+        /// Batch-level default for measured instructions.
+        insts: Option<u64>,
+        /// Batch-level default for warm-up instructions.
+        warmup: Option<u64>,
+    },
+    /// Introspection snapshot.
+    Stats,
+    /// Cancel a queued job by id.
+    Cancel {
+        /// The id from the job's `queued` event.
+        job: u64,
+    },
+    /// Subscribe this connection to every job's lifecycle events.
+    Watch,
+    /// Stop the daemon; `drain` finishes queued work first.
+    Shutdown {
+        /// `true` = drain queue, `false` = cancel queued jobs.
+        drain: bool,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    /// A human-readable description of the first problem; the server
+    /// reports it as a `protocol_error` event and keeps the connection.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line)?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `op` field")?;
+        match op {
+            "stats" => Ok(Request::Stats),
+            "watch" => Ok(Request::Watch),
+            "ping" => Ok(Request::Ping),
+            "cancel" => {
+                let job = doc
+                    .get("job")
+                    .and_then(Json::as_u64)
+                    .ok_or("cancel needs a numeric `job` field")?;
+                Ok(Request::Cancel { job })
+            }
+            "shutdown" => {
+                let drain = match doc.get("mode").and_then(Json::as_str) {
+                    None | Some("drain") => true,
+                    Some("now") => false,
+                    Some(other) => return Err(format!("unknown shutdown mode {other:?}")),
+                };
+                Ok(Request::Shutdown { drain })
+            }
+            "submit" => {
+                let jobs_json = doc
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or("submit needs a `jobs` array")?;
+                if jobs_json.is_empty() {
+                    return Err("submit needs at least one job".to_string());
+                }
+                let mut jobs = Vec::with_capacity(jobs_json.len());
+                for (i, j) in jobs_json.iter().enumerate() {
+                    let field = |k: &str| j.get(k).and_then(Json::as_str).map(str::to_string);
+                    let workload =
+                        field("workload").ok_or(format!("job {i} needs a string `workload`"))?;
+                    let spec = field("spec").ok_or(format!("job {i} needs a string `spec`"))?;
+                    jobs.push(JobRequest {
+                        workload,
+                        spec,
+                        insts: j.get("insts").and_then(Json::as_u64),
+                        warmup: j.get("warmup").and_then(Json::as_u64),
+                    });
+                }
+                Ok(Request::Submit {
+                    jobs,
+                    insts: doc.get("insts").and_then(Json::as_u64),
+                    warmup: doc.get("warmup").and_then(Json::as_u64),
+                })
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Parse a machine spec in either grammar (see module docs) and return
+/// the configuration; callers canonicalize via `to_spec()`.
+///
+/// # Errors
+/// The canonical grammar's error when neither grammar matches.
+pub fn parse_machine_spec(spec: &str) -> Result<MachineConfig, String> {
+    let spec = spec.trim();
+    // CLI shorthands first: `wib:512` would otherwise die in `from_spec`
+    // (which wants `wib:w=512`), and every shorthand is unambiguous.
+    if spec == "wib2k" {
+        return Ok(MachineConfig::wib_2k());
+    }
+    if let Some(n) = spec.strip_prefix("wib:").and_then(|n| n.parse().ok()) {
+        return Ok(MachineConfig::wib_sized(n));
+    }
+    if let Some(n) = spec.strip_prefix("conv:").and_then(|n| n.parse().ok()) {
+        return Ok(MachineConfig::conventional(n));
+    }
+    if let Some((s, b)) = spec.strip_prefix("pool:").and_then(|g| g.split_once('x')) {
+        if let (Ok(slots), Ok(blocks)) = (s.parse(), b.parse()) {
+            return Ok(MachineConfig::wib_pool(slots, blocks));
+        }
+    }
+    if let Some(l) = spec.strip_prefix("nonbanked:").and_then(|l| l.parse().ok()) {
+        return Ok(MachineConfig::wib_2k()
+            .with_wib_organization(WibOrganization::NonBanked { latency: l }));
+    }
+    MachineConfig::from_spec(spec)
+}
+
+// ---------------------------------------------------------------------
+// Event frames (server -> client)
+// ---------------------------------------------------------------------
+
+/// `queued`: the job was validated and entered the queue.
+pub fn ev_queued(job: u64, workload: &str, spec: &str, digest: &str) -> Json {
+    Json::obj()
+        .field("event", "queued")
+        .field("job", job)
+        .field("workload", workload)
+        .field("spec", spec)
+        .field("digest", digest)
+}
+
+/// `rejected`: a submitted job failed validation (never queued).
+pub fn ev_rejected(index: usize, workload: &str, reason: &str) -> Json {
+    Json::obj()
+        .field("event", "rejected")
+        .field("index", index)
+        .field("workload", workload)
+        .field("reason", reason)
+}
+
+/// `running`: a worker started simulating the job.
+pub fn ev_running(job: u64) -> Json {
+    Json::obj().field("event", "running").field("job", job)
+}
+
+/// `interval`: one epoch of the job's interval time-series.
+pub fn ev_interval(job: u64, sample: &wib_core::IntervalSample) -> Json {
+    Json::obj()
+        .field("event", "interval")
+        .field("job", job)
+        .field("sample", sample.to_json())
+}
+
+/// `done`: terminal success; `result` is the full result document.
+pub fn ev_done(job: u64, cached: bool, result: Json) -> Json {
+    Json::obj()
+        .field("event", "done")
+        .field("job", job)
+        .field("cached", cached)
+        .field("result", result)
+}
+
+/// `error`: terminal failure (the simulation itself failed).
+pub fn ev_error(job: u64, message: &str) -> Json {
+    Json::obj()
+        .field("event", "error")
+        .field("job", job)
+        .field("message", message)
+}
+
+/// `cancelled`: terminal; the job was cancelled while queued.
+pub fn ev_cancelled(job: u64) -> Json {
+    Json::obj().field("event", "cancelled").field("job", job)
+}
+
+/// `protocol_error`: the request line could not be honored.
+pub fn ev_protocol_error(message: &str) -> Json {
+    Json::obj()
+        .field("event", "protocol_error")
+        .field("message", message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(Request::parse(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(Request::parse(r#"{"op":"watch"}"#).unwrap(), Request::Watch);
+        assert_eq!(
+            Request::parse(r#"{"op":"cancel","job":12}"#).unwrap(),
+            Request::Cancel { job: 12 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown { drain: true }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"shutdown","mode":"now"}"#).unwrap(),
+            Request::Shutdown { drain: false }
+        );
+        let r = Request::parse(
+            r#"{"op":"submit","insts":5000,
+               "jobs":[{"workload":"gcc","spec":"base"},
+                       {"workload":"em3d","spec":"wib2k","insts":100,"warmup":7}]}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit {
+                jobs,
+                insts,
+                warmup,
+            } => {
+                assert_eq!((insts, warmup), (Some(5000), None));
+                assert_eq!(jobs.len(), 2);
+                assert_eq!(jobs[0].workload, "gcc");
+                assert_eq!(jobs[0].insts, None);
+                assert_eq!(jobs[1].spec, "wib2k");
+                assert_eq!((jobs[1].insts, jobs[1].warmup), (Some(100), Some(7)));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"no_op":1}"#,
+            r#"{"op":"fly"}"#,
+            r#"{"op":"cancel"}"#,
+            r#"{"op":"submit"}"#,
+            r#"{"op":"submit","jobs":[]}"#,
+            r#"{"op":"submit","jobs":[{"workload":"gcc"}]}"#,
+            r#"{"op":"submit","jobs":[{"spec":"base"}]}"#,
+            r#"{"op":"shutdown","mode":"eventually"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn spec_grammars_canonicalize_identically() {
+        // Shorthand and canonical spellings land on the same machine,
+        // hence the same cache identity.
+        let a = parse_machine_spec("wib2k").unwrap();
+        let b = parse_machine_spec("wib:w=2048").unwrap();
+        let c = parse_machine_spec("wib:2048").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.spec_digest(), c.spec_digest());
+        assert_eq!(
+            parse_machine_spec("conv:256").unwrap(),
+            parse_machine_spec("conv:iq=256").unwrap()
+        );
+        assert_eq!(
+            parse_machine_spec("pool:8x256").unwrap(),
+            parse_machine_spec("wib:w=2048,org=pool8x256").unwrap()
+        );
+        assert_eq!(
+            parse_machine_spec("nonbanked:4").unwrap(),
+            parse_machine_spec("wib:w=2048,org=nonbanked4").unwrap()
+        );
+        // Full canonical grammar passes through.
+        let full = parse_machine_spec("wib:w=512,org=ideal,policy=rrl").unwrap();
+        assert_eq!(full.to_spec(), "wib:w=512,org=ideal,policy=rrl");
+        assert!(parse_machine_spec("warp-drive").is_err());
+    }
+
+    #[test]
+    fn event_frames_are_single_lines_with_discriminators() {
+        let evs = [
+            ev_queued(1, "gcc", "base", "abcd"),
+            ev_rejected(0, "bad\nname", "unknown workload"),
+            ev_running(1),
+            ev_done(1, true, Json::obj().field("ok", true)),
+            ev_error(1, "boom"),
+            ev_cancelled(1),
+            ev_protocol_error("bad line"),
+        ];
+        for ev in evs {
+            let line = ev.to_string();
+            assert!(!line.contains('\n'), "frame must be one line: {line}");
+            assert!(ev.get("event").and_then(Json::as_str).is_some());
+        }
+    }
+}

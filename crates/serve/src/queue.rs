@@ -1,0 +1,215 @@
+//! A bounded multi-producer / multi-consumer job queue with blocking
+//! backpressure, built on `Mutex` + `Condvar` (std only).
+//!
+//! Producers (connection threads) block in [`BoundedQueue::push`] while
+//! the queue is full — that *is* the daemon's backpressure: a client
+//! submitting faster than the worker pool drains simply stops being read
+//! from, and TCP flow control propagates the stall all the way back.
+//! Consumers (pool workers) block in [`BoundedQueue::pop`] while empty.
+//!
+//! [`BoundedQueue::close`] starts a drain: further pushes fail, pops
+//! keep returning queued items until the queue is empty and then return
+//! `None`, which is each worker's signal to exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`BoundedQueue::push`] after [`BoundedQueue::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded blocking FIFO. See the module docs for the protocol.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    /// Signaled when an item arrives or the queue closes (wakes `pop`).
+    not_empty: Condvar,
+    /// Signaled when space frees up or the queue closes (wakes `push`).
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    /// Returns [`Closed`] (with the item dropped) once the queue has been
+    /// closed — including while blocked waiting for space.
+    pub fn push(&self, item: T) -> Result<(), Closed> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(Closed);
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: pushes (including blocked ones) fail from now on,
+    /// pops drain the remaining items and then return `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for introspection only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; introspection only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_blocks_until_a_pop_frees_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer is now blocked on the full queue; a pop releases
+        // it. (If push did not block, this test would still pass, but the
+        // capacity assertion below would fail.)
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "second push must wait for space");
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        q.close();
+        assert_eq!(q.push('c'), Err(Closed));
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer_and_consumer() {
+        let q = Arc::new(BoundedQueue::<u8>::new(1));
+        q.push(9).unwrap();
+        let blocked_push = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(10))
+        };
+        let empty = Arc::new(BoundedQueue::<u8>::new(1));
+        let blocked_pop = {
+            let e = Arc::clone(&empty);
+            std::thread::spawn(move || e.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        empty.close();
+        assert_eq!(blocked_push.join().unwrap(), Err(Closed));
+        assert_eq!(blocked_pop.join().unwrap(), None);
+        // The item queued before close still drains.
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,732 @@
+//! The simulation daemon.
+//!
+//! One listener thread accepts TCP connections; each connection gets a
+//! reader thread (parsing NDJSON requests) and a writer thread (draining
+//! an mpsc channel of event lines to the socket, so workers can stream
+//! into any number of connections without contending on I/O). Jobs flow
+//! through a [`BoundedQueue`] into a persistent worker pool sized like
+//! the sweep harnesses' pool (`WIB_THREADS` /
+//! [`wib_bench::parallel::worker_threads`]); every worker owns its
+//! `Processor` per job, exactly as in `parallel_map_named`, so results
+//! are bit-identical to in-process runs.
+//!
+//! Shutdown (`{"op":"shutdown"}`) is a drain: the queue closes, workers
+//! finish what is queued (or skip it, in `"now"` mode), the accept loop
+//! is woken and exits, every connection thread is joined, and only then
+//! does the requesting client receive its `shutdown` event — the daemon
+//! leaks no threads.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use wib_bench::parallel::worker_threads;
+use wib_bench::Runner;
+use wib_core::{Json, MachineConfig, RunResult};
+use wib_workloads::{eval_suite, test_suite, Workload};
+
+use crate::cache::ResultCache;
+use crate::protocol::{self, JobRequest, Request, MAX_INSTS};
+use crate::queue::BoundedQueue;
+
+/// How often a blocked connection reader wakes to check for shutdown.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Interval events streamed per job before truncation (the full series
+/// is always in the result document; streaming is a progress feed).
+const MAX_STREAMED_INTERVALS: usize = 64;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker pool size (0 = the sweep pool default, `WIB_THREADS`).
+    pub workers: usize,
+    /// Bounded job-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Serve the miniature test suite instead of the eval suite.
+    pub tiny: bool,
+    /// Root for result-cache persistence (`<dir>/cache/*.json`).
+    pub results_dir: Option<PathBuf>,
+    /// Default measured instructions when a job names none.
+    pub default_insts: u64,
+    /// Default warm-up instructions when a job names none.
+    pub default_warmup: u64,
+    /// Suppress stderr logging.
+    pub quiet: bool,
+    /// File to write the bound address into once listening (for
+    /// scripts driving an ephemeral port).
+    pub port_file: Option<PathBuf>,
+}
+
+impl Default for ServerOptions {
+    /// Loopback ephemeral port, pool-sized workers, protocol defaults
+    /// from the environment (`WIB_INSTS`/`WIB_WARMUP`/`WIB_QUICK`),
+    /// persistence from `WIB_RESULTS_DIR`.
+    fn default() -> ServerOptions {
+        let runner = Runner::from_env();
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 1024,
+            tiny: false,
+            results_dir: std::env::var_os("WIB_RESULTS_DIR").map(PathBuf::from),
+            default_insts: runner.insts,
+            default_warmup: runner.warmup,
+            quiet: false,
+            port_file: None,
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "error",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+struct Job {
+    workload: String,
+    key: String,
+    cfg: MachineConfig,
+    insts: u64,
+    warmup: u64,
+    state: JobState,
+    cancelled: bool,
+    /// Event channel back to the submitting connection; dropped at the
+    /// terminal event so writer threads can exit.
+    sender: Option<Sender<String>>,
+}
+
+struct Shared {
+    opts: ServerOptions,
+    catalog: HashMap<String, Workload>,
+    scale: &'static str,
+    cache: ResultCache,
+    queue: BoundedQueue<u64>,
+    jobs: Mutex<HashMap<u64, Job>>,
+    next_job: AtomicU64,
+    busy: AtomicUsize,
+    workers: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    cancelled: AtomicU64,
+    watchers: Mutex<Vec<Sender<String>>>,
+    shutting_down: AtomicBool,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+    bound: SocketAddr,
+}
+
+impl Shared {
+    fn log(&self, msg: &str) {
+        if !self.opts.quiet {
+            eprintln!("wib-serve: {msg}");
+        }
+    }
+
+    /// Send `ev` to the job's own connection (if still attached) and to
+    /// every watcher. Dead channels are pruned lazily.
+    fn publish(&self, own: Option<&Sender<String>>, ev: &Json) {
+        let line = ev.to_string();
+        if let Some(tx) = own {
+            let _ = tx.send(line.clone());
+        }
+        let mut watchers = self.watchers.lock().unwrap();
+        watchers.retain(|w| w.send(line.clone()).is_ok());
+    }
+
+    fn is_finished(&self) -> bool {
+        *self.finished.lock().unwrap()
+    }
+
+    fn mark_finished(&self) {
+        *self.finished.lock().unwrap() = true;
+        self.finished_cv.notify_all();
+    }
+
+    fn wait_finished(&self) {
+        let mut done = self.finished.lock().unwrap();
+        while !*done {
+            done = self.finished_cv.wait(done).unwrap();
+        }
+    }
+
+    /// The introspection snapshot (`{"op":"stats"}`).
+    fn stats_json(&self) -> Json {
+        Json::obj()
+            .field("event", "stats")
+            .field("schema", "wib-serve/stats-v1")
+            .field("addr", self.bound.to_string())
+            .field("scale", self.scale)
+            .field("workers", self.workers)
+            .field("busy_workers", self.busy.load(Ordering::Relaxed))
+            .field("queue_depth", self.queue.len())
+            .field("queue_capacity", self.opts.queue_capacity)
+            .field("draining", self.shutting_down.load(Ordering::Relaxed))
+            .field("submitted", self.submitted.load(Ordering::Relaxed))
+            .field("completed", self.completed.load(Ordering::Relaxed))
+            .field("errors", self.errors.load(Ordering::Relaxed))
+            .field("cancelled", self.cancelled.load(Ordering::Relaxed))
+            .field("cache", self.cache.stats().to_json())
+    }
+
+    /// Flip into shutdown: in non-drain mode flag every queued job
+    /// cancelled first, then close the queue and wake the accept loop.
+    fn begin_shutdown(&self, drain: bool) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return; // second shutdown request: idempotent
+        }
+        self.log(if drain {
+            "shutdown requested (drain)"
+        } else {
+            "shutdown requested (now)"
+        });
+        if !drain {
+            let mut jobs = self.jobs.lock().unwrap();
+            for job in jobs.values_mut() {
+                if job.state == JobState::Queued {
+                    job.cancelled = true;
+                }
+            }
+        }
+        self.queue.close();
+        // Unblock the accept loop so it can observe the flag.
+        let _ = TcpStream::connect(self.bound);
+    }
+}
+
+/// A running daemon spawned with [`spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<()>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown locally (equivalent to the `shutdown` op).
+    pub fn shutdown(&self, drain: bool) {
+        self.shared.begin_shutdown(drain);
+    }
+
+    /// Block until the daemon has fully stopped (all threads joined).
+    pub fn join(self) {
+        self.thread.join().expect("server thread panicked");
+    }
+}
+
+/// Build the deterministic result document for one completed run.
+///
+/// Everything in here is a pure function of the job identity — no wall
+/// clock, no hostname — which is what makes daemon results byte-
+/// comparable with local runs and cacheable by content address.
+pub fn result_doc(
+    workload: &Workload,
+    cfg: &MachineConfig,
+    insts: u64,
+    warmup: u64,
+    scale: &str,
+    r: &RunResult,
+) -> Json {
+    Json::obj()
+        .field("schema", "wib-serve/result-v1")
+        .field("workload", workload.name())
+        .field("suite", workload.suite().to_string())
+        .field("scale", scale)
+        .field("spec", cfg.to_spec())
+        .field(
+            "digest",
+            ResultCache::key(workload.name(), cfg, insts, warmup, scale),
+        )
+        .field("insts", insts)
+        .field("warmup", warmup)
+        .field("halted", r.halted)
+        .field("ipc", r.ipc())
+        .field("stats", r.stats.to_json())
+}
+
+/// Run one job in-process and return its result document — the exact
+/// computation a daemon worker performs on a cache miss. The `submit
+/// --local` client path uses this for byte-identical comparisons.
+pub fn compute_result(
+    workload: &Workload,
+    cfg: &MachineConfig,
+    insts: u64,
+    warmup: u64,
+    scale: &str,
+) -> Json {
+    let runner = Runner { warmup, insts };
+    let r = runner.run(cfg, workload);
+    result_doc(workload, cfg, insts, warmup, scale, &r)
+}
+
+/// Validate one submitted job against a workload catalog and resolve its
+/// protocol parameters. Returns `(workload name, config, insts, warmup)`.
+///
+/// # Errors
+/// A reason string suitable for a `rejected` event.
+pub fn resolve_job(
+    catalog: &HashMap<String, Workload>,
+    job: &JobRequest,
+    batch_insts: Option<u64>,
+    batch_warmup: Option<u64>,
+    default_insts: u64,
+    default_warmup: u64,
+) -> Result<(String, MachineConfig, u64, u64), String> {
+    if !catalog.contains_key(&job.workload) {
+        return Err(format!(
+            "unknown workload {:?} (see `wib-sim workloads`)",
+            job.workload
+        ));
+    }
+    let cfg = protocol::parse_machine_spec(&job.spec)?;
+    let insts = job.insts.or(batch_insts).unwrap_or(default_insts);
+    let warmup = job.warmup.or(batch_warmup).unwrap_or(default_warmup);
+    if insts == 0 {
+        return Err("insts must be at least 1".to_string());
+    }
+    if insts > MAX_INSTS || warmup > MAX_INSTS {
+        return Err(format!("insts/warmup capped at {MAX_INSTS}"));
+    }
+    Ok((job.workload.clone(), cfg, insts, warmup))
+}
+
+/// The workload catalog a daemon serves (name -> built program).
+pub fn build_catalog(tiny: bool) -> HashMap<String, Workload> {
+    let suite = if tiny { test_suite() } else { eval_suite() };
+    suite
+        .into_iter()
+        .map(|w| (w.name().to_string(), w))
+        .collect()
+}
+
+/// Bind and start a daemon in background threads.
+///
+/// # Errors
+/// Socket binding / port-file errors.
+pub fn spawn(opts: ServerOptions) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let bound = listener.local_addr()?;
+    if let Some(path) = &opts.port_file {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, format!("{bound}\n"))?;
+    }
+    let workers = if opts.workers == 0 {
+        worker_threads()
+    } else {
+        opts.workers
+    };
+    let shared = Arc::new(Shared {
+        catalog: build_catalog(opts.tiny),
+        scale: if opts.tiny { "tiny" } else { "eval" },
+        cache: ResultCache::new(opts.results_dir.clone()),
+        queue: BoundedQueue::new(opts.queue_capacity),
+        jobs: Mutex::new(HashMap::new()),
+        next_job: AtomicU64::new(1),
+        busy: AtomicUsize::new(0),
+        workers,
+        submitted: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        cancelled: AtomicU64::new(0),
+        watchers: Mutex::new(Vec::new()),
+        shutting_down: AtomicBool::new(false),
+        finished: Mutex::new(false),
+        finished_cv: Condvar::new(),
+        bound,
+        opts,
+    });
+    shared.log(&format!(
+        "listening on {bound} ({} workers, {} catalog programs, {} suite)",
+        workers,
+        shared.catalog.len(),
+        shared.scale
+    ));
+    let run_shared = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("wib-serve-accept".to_string())
+        .spawn(move || run_loop(run_shared, listener))?;
+    Ok(ServerHandle {
+        addr: bound,
+        thread,
+        shared,
+    })
+}
+
+/// Bind and run a daemon on the calling thread (the CLI `serve` path).
+/// Prints the listening address to stdout so callers on ephemeral ports
+/// can find it. Returns after a client-requested shutdown completes.
+///
+/// # Errors
+/// Socket binding / port-file errors.
+pub fn run(opts: ServerOptions) -> std::io::Result<()> {
+    let handle = spawn(opts)?;
+    println!("wib-serve listening on {}", handle.addr());
+    // Line-buffered stdout under a pipe would hold this back forever.
+    std::io::stdout().flush()?;
+    handle.join();
+    Ok(())
+}
+
+fn run_loop(shared: Arc<Shared>, listener: TcpListener) {
+    let worker_handles: Vec<_> = (0..shared.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("wib-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+    let mut conn_handles = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let shared = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name("wib-serve-conn".to_string())
+                    .spawn(move || handle_conn(shared, stream))
+                    .expect("spawn connection thread");
+                conn_handles.push(h);
+            }
+            Err(e) => {
+                shared.log(&format!("accept error: {e}"));
+            }
+        }
+    }
+    drop(listener);
+    for h in worker_handles {
+        h.join().expect("worker thread panicked");
+    }
+    // Tell watchers the daemon is gone, then drop their channels so
+    // connection writer threads can exit.
+    let farewell = Json::obj()
+        .field("event", "shutdown")
+        .field("completed", shared.completed.load(Ordering::Relaxed))
+        .field("errors", shared.errors.load(Ordering::Relaxed))
+        .field("cancelled", shared.cancelled.load(Ordering::Relaxed));
+    shared.publish(None, &farewell);
+    shared.watchers.lock().unwrap().clear();
+    // Unblock any connection reader (including the one that requested
+    // the shutdown, waiting in `wait_finished`).
+    shared.mark_finished();
+    for h in conn_handles {
+        h.join().expect("connection thread panicked");
+    }
+    shared.log("stopped");
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(id) = shared.queue.pop() {
+        let (tx, workload_name, cfg, insts, warmup, key, was_cancelled) = {
+            let mut jobs = shared.jobs.lock().unwrap();
+            let job = jobs.get_mut(&id).expect("queued job exists");
+            if job.cancelled {
+                job.state = JobState::Cancelled;
+                let tx = job.sender.take();
+                (tx, String::new(), None, 0, 0, String::new(), true)
+            } else {
+                job.state = JobState::Running;
+                (
+                    job.sender.clone(),
+                    job.workload.clone(),
+                    Some(job.cfg.clone()),
+                    job.insts,
+                    job.warmup,
+                    job.key.clone(),
+                    false,
+                )
+            }
+        };
+        if was_cancelled {
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.publish(tx.as_ref(), &protocol::ev_cancelled(id));
+            continue;
+        }
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        shared.publish(tx.as_ref(), &protocol::ev_running(id));
+        let cfg = cfg.expect("running job has a config");
+        let workload = shared
+            .catalog
+            .get(&workload_name)
+            .expect("validated workload exists");
+        let outcome = if let Some(doc) = shared.cache.get(&key) {
+            Ok((Json::parse(&doc).expect("cached documents parse"), true))
+        } else {
+            let computed = catch_unwind(AssertUnwindSafe(|| {
+                let runner = Runner { warmup, insts };
+                let r = runner.run(&cfg, workload);
+                let doc = result_doc(workload, &cfg, insts, warmup, shared.scale, &r);
+                (doc, r)
+            }));
+            match computed {
+                Ok((doc, r)) => {
+                    for sample in r.stats.intervals.iter().take(MAX_STREAMED_INTERVALS) {
+                        shared.publish(tx.as_ref(), &protocol::ev_interval(id, sample));
+                    }
+                    shared.cache.put(&key, doc.to_string());
+                    Ok((doc, false))
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(format!("simulation panicked: {msg}"))
+                }
+            }
+        };
+        let terminal = {
+            let mut jobs = shared.jobs.lock().unwrap();
+            let job = jobs.get_mut(&id).expect("running job exists");
+            job.sender = None;
+            match &outcome {
+                Ok(_) => job.state = JobState::Done,
+                Err(_) => job.state = JobState::Failed,
+            }
+            job.state
+        };
+        match outcome {
+            Ok((doc, cached)) => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared.log(&format!(
+                    "job {id} {workload_name} done{}",
+                    if cached { " (cached)" } else { "" }
+                ));
+                shared.publish(tx.as_ref(), &protocol::ev_done(id, cached, doc));
+            }
+            Err(msg) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.log(&format!("job {id} {workload_name} failed: {msg}"));
+                shared.publish(tx.as_ref(), &protocol::ev_error(id, &msg));
+            }
+        }
+        debug_assert_ne!(terminal, JobState::Queued);
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("wib-serve-writer".to_string())
+        .spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            while let Ok(line) = rx.recv() {
+                if out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })
+        .expect("spawn writer thread");
+    let mut reader = BufReader::new(stream);
+    let mut acc = String::new();
+    loop {
+        if shared.is_finished() {
+            break;
+        }
+        match reader.read_line(&mut acc) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !acc.ends_with('\n') {
+                    continue; // partial line before EOF; next read returns 0
+                }
+                let line = acc.trim().to_string();
+                acc.clear();
+                if line.is_empty() {
+                    continue;
+                }
+                if dispatch(&shared, &tx, &line) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    shared.log(&format!("connection {peer} closed"));
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Handle one request line; returns `true` when the connection should
+/// close (after a shutdown request completes).
+fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, line: &str) -> bool {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = tx.send(protocol::ev_protocol_error(&e).to_string());
+            return false;
+        }
+    };
+    match request {
+        Request::Ping => {
+            let _ = tx.send(Json::obj().field("event", "pong").to_string());
+        }
+        Request::Stats => {
+            let _ = tx.send(shared.stats_json().to_string());
+        }
+        Request::Watch => {
+            shared.watchers.lock().unwrap().push(tx.clone());
+            let _ = tx.send(Json::obj().field("event", "watching").to_string());
+        }
+        Request::Cancel { job } => {
+            let mut jobs = shared.jobs.lock().unwrap();
+            let (ok, state) = match jobs.get_mut(&job) {
+                Some(j) if j.state == JobState::Queued && !j.cancelled => {
+                    j.cancelled = true;
+                    (true, "queued")
+                }
+                Some(j) => (false, j.state.name()),
+                None => (false, "unknown"),
+            };
+            let _ = tx.send(
+                Json::obj()
+                    .field("event", "cancel")
+                    .field("job", job)
+                    .field("ok", ok)
+                    .field("state", state)
+                    .to_string(),
+            );
+        }
+        Request::Submit {
+            jobs,
+            insts,
+            warmup,
+        } => {
+            submit_batch(shared, tx, &jobs, insts, warmup);
+        }
+        Request::Shutdown { drain } => {
+            shared.begin_shutdown(drain);
+            // Wait for the full drain-and-join, then confirm and close.
+            shared.wait_finished();
+            let _ = tx.send(
+                Json::obj()
+                    .field("event", "shutdown")
+                    .field("completed", shared.completed.load(Ordering::Relaxed))
+                    .field("errors", shared.errors.load(Ordering::Relaxed))
+                    .field("cancelled", shared.cancelled.load(Ordering::Relaxed))
+                    .to_string(),
+            );
+            return true;
+        }
+    }
+    false
+}
+
+fn submit_batch(
+    shared: &Arc<Shared>,
+    tx: &Sender<String>,
+    jobs: &[JobRequest],
+    batch_insts: Option<u64>,
+    batch_warmup: Option<u64>,
+) {
+    for (index, job) in jobs.iter().enumerate() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = tx.send(
+                protocol::ev_rejected(index, &job.workload, "server is shutting down").to_string(),
+            );
+            continue;
+        }
+        let resolved = resolve_job(
+            &shared.catalog,
+            job,
+            batch_insts,
+            batch_warmup,
+            shared.opts.default_insts,
+            shared.opts.default_warmup,
+        );
+        let (workload, cfg, insts, warmup) = match resolved {
+            Ok(r) => r,
+            Err(reason) => {
+                let _ = tx.send(protocol::ev_rejected(index, &job.workload, &reason).to_string());
+                continue;
+            }
+        };
+        let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+        let spec = cfg.to_spec();
+        let key = ResultCache::key(&workload, &cfg, insts, warmup, shared.scale);
+        shared.jobs.lock().unwrap().insert(
+            id,
+            Job {
+                workload: workload.clone(),
+                key: key.clone(),
+                cfg,
+                insts,
+                warmup,
+                state: JobState::Queued,
+                cancelled: false,
+                sender: Some(tx.clone()),
+            },
+        );
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.publish(Some(tx), &protocol::ev_queued(id, &workload, &spec, &key));
+        // This is the backpressure point: a full queue blocks this
+        // connection's reader until workers catch up.
+        if shared.queue.push(id).is_err() {
+            let mut jobs_map = shared.jobs.lock().unwrap();
+            if let Some(j) = jobs_map.get_mut(&id) {
+                j.state = JobState::Cancelled;
+                j.sender = None;
+            }
+            drop(jobs_map);
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.publish(Some(tx), &protocol::ev_cancelled(id));
+        }
+    }
+}

@@ -106,6 +106,42 @@ pub fn test_suite() -> Vec<Workload> {
     v
 }
 
+/// Aligned text table describing `workloads`: name, suite, static
+/// instruction count, and initialized data bytes, with a totals row.
+///
+/// This is what `wib-sim workloads` prints and what the serving daemon
+/// uses to validate submitted job names; the format is snapshot-tested
+/// (`tests/goldens/workloads_table.txt`), so treat changes as
+/// golden-file updates, not free-form tweaks.
+pub fn table(workloads: &[Workload]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>14} {:>12}\n",
+        "benchmark", "suite", "instructions", "data bytes"
+    ));
+    let (mut insts, mut data) = (0u64, 0u64);
+    for w in workloads {
+        let p = w.program();
+        insts += p.len() as u64;
+        data += p.data_bytes() as u64;
+        out.push_str(&format!(
+            "{:<12} {:<10} {:>14} {:>12}\n",
+            w.name(),
+            w.suite().to_string(),
+            p.len(),
+            p.data_bytes()
+        ));
+    }
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>14} {:>12}\n",
+        format!("total ({})", workloads.len()),
+        "",
+        insts,
+        data
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +187,24 @@ mod tests {
             assert_eq!(t.name(), f.name());
             assert_eq!(t.suite(), f.suite());
         }
+    }
+
+    #[test]
+    fn table_lists_every_kernel_with_counts() {
+        let suite = test_suite();
+        let t = table(&suite);
+        let lines: Vec<&str> = t.lines().collect();
+        // Header + one row per kernel + totals.
+        assert_eq!(lines.len(), suite.len() + 2);
+        for w in &suite {
+            assert!(
+                lines.iter().any(|l| l.starts_with(w.name())),
+                "missing row for {}",
+                w.name()
+            );
+        }
+        assert!(lines[0].contains("instructions"));
+        assert!(lines.last().unwrap().starts_with("total (18)"));
     }
 
     #[test]

@@ -20,6 +20,44 @@ echo "== fuzz smoke (fixed seeds, differential oracles) =="
 # differentials. Failures are shrunk and land in tests/repros/ (commit
 # them with the fix). ~30 s.
 cargo run -q --release --offline -p wib-bench --bin fuzz -- --cases 120 --seed 1
+echo "== serve smoke (loopback daemon, byte-identity vs local run) =="
+# Start a daemon on an ephemeral loopback port, push a 3-point mini-sweep
+# through it, and require the streamed results to be byte-identical to
+# the same jobs run in-process (--local). Also checks the second
+# submission is served entirely from the content-addressed cache and
+# that a drain shutdown exits cleanly (no leaked threads would mean no
+# exit at all).
+serve_dir=$(mktemp -d)
+port_file="$serve_dir/port"
+WIB_RESULTS_DIR="$serve_dir/cachedir" \
+    cargo run -q --release --offline -p wib-cli --bin wib-sim -- serve \
+    --addr 127.0.0.1:0 --port-file "$port_file" --tiny --workers 2 --quiet &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.1
+done
+[[ -s "$port_file" ]] || { echo "  FAIL: daemon never wrote its port file"; exit 1; }
+addr=$(cat "$port_file")
+sweep=(gzip:base em3d:wib:w=256 mst:conv:iq=64)
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${sweep[@]}" \
+    --addr "$addr" --insts 20000 --warmup 2000 --out "$serve_dir/remote"
+resubmit=$(cargo run -q --release --offline -p wib-cli --bin wib-sim -- \
+    submit "${sweep[@]}" --addr "$addr" --insts 20000 --warmup 2000)
+hits=$(grep -c '(cached)' <<<"$resubmit" || true)
+if [[ "$hits" -ne 3 ]]; then
+    echo "  FAIL: resubmitted sweep expected 3 cache hits, saw $hits"
+    echo "$resubmit"
+    exit 1
+fi
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- shutdown --addr "$addr" > /dev/null
+wait "$serve_pid"
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${sweep[@]}" \
+    --local --tiny --insts 20000 --warmup 2000 --out "$serve_dir/local"
+diff -r "$serve_dir/remote" "$serve_dir/local"
+echo "  ok (3-point sweep byte-identical, cache served the resubmit, clean drain)"
+rm -rf "$serve_dir"
+
 echo "== bench smoke (quick workload, vs committed baseline) =="
 # Reduced-workload throughput check: rerun bench_json in WIB_QUICK mode
 # and fail if aggregate simulator throughput fell below 0.6x the

@@ -6,6 +6,12 @@
 # results/<experiment>.json is emitted (WIB_RESULTS_DIR routes the JSON
 # output), and bench_json writes the top-level results/BENCH_wib.json
 # summary (per-workload IPC + simulator throughput).
+#
+# WIB_VIA_DAEMON=1 additionally runs the headline per-workload sweep
+# through a local wib-serve daemon (see docs/serve.md): results land in
+# results/serve/ as content-addressed JSON, and repeated invocations are
+# served from the persistent cache under results/cache/ instead of
+# re-simulating.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
@@ -19,4 +25,27 @@ for b in "${bins[@]}"; do
 done
 echo "== bench_json =="
 cargo run --release -p wib-bench --bin bench_json
+
+if [[ "${WIB_VIA_DAEMON:-0}" == "1" ]]; then
+    echo "== daemon sweep (wib-serve) =="
+    port_file=$(mktemp)
+    cargo run -q --release -p wib-cli --bin wib-sim -- serve \
+        --addr 127.0.0.1:0 --port-file "$port_file" --quiet &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        sleep 0.1
+    done
+    addr=$(cat "$port_file")
+    jobs=()
+    for w in gcc gzip vpr bzip2 art swim em3d mst treeadd; do
+        jobs+=("$w:base" "$w:wib2k" "$w:conv:iq=64")
+    done
+    cargo run -q --release -p wib-cli --bin wib-sim -- submit "${jobs[@]}" \
+        --addr "$addr" --out results/serve
+    cargo run -q --release -p wib-cli --bin wib-sim -- stats --addr "$addr"
+    cargo run -q --release -p wib-cli --bin wib-sim -- shutdown --addr "$addr" > /dev/null
+    wait "$serve_pid"
+    rm -f "$port_file"
+fi
 echo "done; outputs in results/ (text tables + *.json)"

@@ -1,0 +1,42 @@
+//! Snapshot test of the `wib-sim workloads` listing.
+//!
+//! The table names every suite program with its static instruction count
+//! — the serving daemon validates submitted job names against this
+//! catalog, so the listing is part of the protocol surface and must not
+//! drift silently.
+//!
+//! To re-bless after an intentional suite change:
+//!
+//! ```sh
+//! WIB_BLESS=1 cargo test --test workloads_table
+//! ```
+
+use std::path::PathBuf;
+use wib_workloads::{eval_suite, table, test_suite};
+
+#[test]
+fn workloads_table_matches_golden() {
+    let rendered = format!(
+        "== eval suite ==\n{}\n== tiny suite ==\n{}",
+        table(&eval_suite()),
+        table(&test_suite())
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/workloads_table.txt");
+    if std::env::var("WIB_BLESS").is_ok() {
+        std::fs::write(&path, &rendered).expect("bless workloads table golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run WIB_BLESS=1 cargo test --test workloads_table",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "workloads table drifted from {}; if intentional, re-bless with \
+         WIB_BLESS=1 cargo test --test workloads_table",
+        path.display()
+    );
+}
