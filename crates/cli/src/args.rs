@@ -3,20 +3,41 @@
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parse failure, reported with usage.
+/// A command failure. Argument mistakes are reported with the usage
+/// text; runtime failures (daemon unreachable, jobs failed) are not —
+/// the user's invocation was fine.
 #[derive(Debug)]
-pub struct ParseError(String);
+pub struct ParseError {
+    msg: String,
+    show_usage: bool,
+}
 
 impl ParseError {
-    /// Wrap a message.
+    /// An argument-level mistake (prints usage).
     pub fn new(msg: impl Into<String>) -> ParseError {
-        ParseError(msg.into())
+        ParseError {
+            msg: msg.into(),
+            show_usage: true,
+        }
+    }
+
+    /// A failure of the requested operation itself (no usage text).
+    pub fn runtime(msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            show_usage: false,
+        }
+    }
+
+    /// Whether the error should be followed by the usage text.
+    pub fn wants_usage(&self) -> bool {
+        self.show_usage
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.msg)
     }
 }
 
@@ -57,6 +78,8 @@ const OPTIONS: &[&str] = &[
     "port-file",
     "out",
     "results-dir",
+    "deadline-ms",
+    "retry",
 ];
 
 impl Args {

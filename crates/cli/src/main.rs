@@ -29,8 +29,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", usage());
+            if e.wants_usage() {
+                eprintln!();
+                eprintln!("{}", usage());
+            }
             ExitCode::FAILURE
         }
     }
@@ -51,7 +53,7 @@ simulation service (see docs/serve.md):
   wib-sim serve [--addr H:P] [--workers N] [--queue N] [--tiny] [--results-dir D]
                 [--port-file F] [--insts N] [--warmup N] [--quiet]
   wib-sim submit <bench[:spec]>... [--addr H:P | --local] [--config <spec>] [--insts N]
-                 [--warmup N] [--out DIR] [--tiny] [--progress]
+                 [--warmup N] [--deadline-ms N] [--retry N] [--out DIR] [--tiny] [--progress]
   wib-sim watch [--addr H:P]
   wib-sim stats [--addr H:P]
   wib-sim shutdown [--addr H:P] [--now]
@@ -169,7 +171,7 @@ fn cmd_serve(args: &Args) -> Result<(), ParseError> {
     if let Some(path) = args.option("port-file") {
         opts.port_file = Some(path.into());
     }
-    wib_serve::server::run(opts).map_err(|e| ParseError::new(format!("serve: {e}")))
+    wib_serve::server::run(opts).map_err(|e| ParseError::runtime(format!("serve: {e}")))
 }
 
 /// `--insts` / `--warmup` as optional overrides (absent means "let the
@@ -198,6 +200,7 @@ fn cmd_submit(args: &Args) -> Result<(), ParseError> {
                 spec,
                 insts: None,
                 warmup: None,
+                deadline_ms: None,
             }
         })
         .collect();
@@ -219,17 +222,20 @@ fn cmd_submit(args: &Args) -> Result<(), ParseError> {
             out.as_deref(),
             progress,
         )
+        .map_err(String::from)
     } else {
-        wib_serve::client::submit(
-            &addr_of(args),
-            &jobs,
+        let opts = wib_serve::SubmitOptions {
             insts,
             warmup,
-            out.as_deref(),
+            deadline_ms: optional_number(args, "deadline-ms")?,
+            out,
             progress,
-        )
+            retries: args.number("retry", 8)? as u32,
+            ..wib_serve::SubmitOptions::default()
+        };
+        wib_serve::client::submit_with(&addr_of(args), &jobs, &opts).map_err(String::from)
     }
-    .map_err(ParseError::new)?;
+    .map_err(ParseError::runtime)?;
     let mut failures = 0;
     for o in &outcomes {
         match &o.status {
@@ -258,10 +264,18 @@ fn cmd_submit(args: &Args) -> Result<(), ParseError> {
                 failures += 1;
                 println!("{:<12} {:<24} rejected: {reason}", o.workload, o.spec);
             }
+            wib_serve::JobStatus::Shed { retry_after_ms } => {
+                failures += 1;
+                println!(
+                    "{:<12} {:<24} shed by overloaded server (retry budget exhausted; \
+                     last hint {retry_after_ms}ms)",
+                    o.workload, o.spec
+                );
+            }
         }
     }
     if failures > 0 {
-        return Err(ParseError::new(format!(
+        return Err(ParseError::runtime(format!(
             "{failures} of {} job(s) did not complete",
             outcomes.len()
         )));
@@ -271,18 +285,18 @@ fn cmd_submit(args: &Args) -> Result<(), ParseError> {
 
 fn cmd_watch(args: &Args) -> Result<(), ParseError> {
     let mut stdout = std::io::stdout();
-    wib_serve::client::watch(&addr_of(args), &mut stdout).map_err(ParseError::new)
+    wib_serve::client::watch(&addr_of(args), &mut stdout).map_err(ParseError::runtime)
 }
 
 fn cmd_serve_stats(args: &Args) -> Result<(), ParseError> {
-    let doc = wib_serve::client::stats(&addr_of(args)).map_err(ParseError::new)?;
+    let doc = wib_serve::client::stats(&addr_of(args)).map_err(ParseError::runtime)?;
     print!("{}", doc.pretty());
     Ok(())
 }
 
 fn cmd_shutdown(args: &Args) -> Result<(), ParseError> {
-    let reply =
-        wib_serve::client::shutdown(&addr_of(args), !args.flag("now")).map_err(ParseError::new)?;
+    let reply = wib_serve::client::shutdown(&addr_of(args), !args.flag("now"))
+        .map_err(ParseError::runtime)?;
     println!("{reply}");
     Ok(())
 }

@@ -1,0 +1,103 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the
+//! party that wants a run stopped (a serving daemon, a harness with a
+//! wall-clock budget) and the engine executing it. The engine polls the
+//! token **once per stats epoch** — the same boundary at which it
+//! samples the interval time-series — so the per-cycle hot path gains
+//! no atomic traffic, no allocation, and no wall-clock reads. Warm-up
+//! (the reference-interpreter fast-forward) polls every 4096
+//! instructions, the same order of granularity.
+//!
+//! Two things can trip a token:
+//!
+//! * an explicit [`CancelToken::cancel`] call (a client's `cancel`
+//!   request on a running job), observable via
+//!   [`CancelToken::is_cancelled`];
+//! * an optional deadline fixed at construction
+//!   ([`CancelToken::with_deadline`]), observable via
+//!   [`CancelToken::deadline_expired`].
+//!
+//! Callers that need to distinguish "cancelled" from "timed out" check
+//! the two predicates after the run returns with
+//! [`RunResult::cancelled`] set.
+//!
+//! Cancellation is *cooperative and best-effort*: a run that finishes
+//! between two polls completes normally, and statistics of a cancelled
+//! run cover only the cycles actually simulated — they must never be
+//! cached or compared against a full run.
+//!
+//! [`RunResult::cancelled`]: crate::processor::RunResult::cancelled
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared stop-request handle polled by the engine at epoch boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; only [`CancelToken::cancel`] trips it.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that additionally trips once `budget` wall-clock time has
+    /// elapsed from *now* (token construction).
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called (deadline
+    /// expiry does *not* set this — see
+    /// [`CancelToken::deadline_expired`]).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// True once the construction-time deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The engine's poll: stop if cancelled *or* past the deadline.
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.deadline_expired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.should_stop() && !c.should_stop());
+        c.cancel();
+        assert!(t.is_cancelled() && t.should_stop());
+        assert!(!t.deadline_expired(), "no deadline was set");
+    }
+
+    #[test]
+    fn deadline_trips_without_explicit_cancel() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.deadline_expired() && t.should_stop());
+        assert!(!t.is_cancelled(), "expiry is not an explicit cancel");
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.should_stop());
+    }
+}

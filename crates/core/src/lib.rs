@@ -41,6 +41,7 @@
 //! policy (section 4.4) — are all configurable through
 //! [`config::WibConfig`].
 
+pub mod cancel;
 pub mod check;
 pub mod config;
 pub mod cpi;
@@ -62,6 +63,7 @@ pub mod wib;
 pub mod wib_pool;
 pub mod window;
 
+pub use cancel::CancelToken;
 pub use config::{
     MachineConfig, RegFileConfig, SelectionPolicy, WibConfig, WibOrganization, WibTrigger,
 };

@@ -13,6 +13,7 @@
 //! lockstep with commit and cross-checks every PC and destination value —
 //! the integration test suite runs every configuration with it enabled.
 
+use crate::cancel::CancelToken;
 use crate::config::{MachineConfig, RegFileConfig, WibOrganization, WibTrigger};
 use crate::cpi::CpiCategory;
 use crate::events::{EventSink, PipeEvent};
@@ -75,6 +76,11 @@ pub struct RunResult {
     pub stats: SimStats,
     /// True if the program executed `halt`.
     pub halted: bool,
+    /// True if the run was stopped early by a [`CancelToken`] (explicit
+    /// cancel or deadline expiry). Statistics then cover only the cycles
+    /// simulated before the epoch-boundary poll noticed, and must not be
+    /// compared against — or cached as — a completed run.
+    pub cancelled: bool,
 }
 
 impl RunResult {
@@ -94,6 +100,7 @@ pub struct Processor {
     cosim: bool,
     machine_check: bool,
     no_skip: bool,
+    cancel: Option<CancelToken>,
 }
 
 impl Processor {
@@ -110,6 +117,7 @@ impl Processor {
             cosim: false,
             machine_check: false,
             no_skip: false,
+            cancel: None,
         }
     }
 
@@ -150,10 +158,21 @@ impl Processor {
         self
     }
 
+    /// Attach a cooperative [`CancelToken`]: runs stop at the next
+    /// stats-epoch boundary once the token trips (explicit cancel or
+    /// deadline), returning with [`RunResult::cancelled`] set. The token
+    /// is polled once per epoch (and every 4096 warm-up instructions),
+    /// so the cycle loop stays allocation- and syscall-free.
+    pub fn set_cancel_token(&mut self, token: CancelToken) -> &mut Self {
+        self.cancel = Some(token);
+        self
+    }
+
     fn build_engine<'c>(&'c self, program: &Program) -> Engine<'c> {
         let mut engine = Engine::new(&self.cfg, program, self.cosim);
         engine.machine_check = self.machine_check;
         engine.no_skip = self.no_skip;
+        engine.cancel = self.cancel.clone();
         engine
     }
 
@@ -348,6 +367,10 @@ struct Engine<'c> {
     machine_check: bool,
     /// Quiescent-cycle fast-forward disabled: simulate every cycle.
     no_skip: bool,
+    /// Cooperative stop request, polled at stats-epoch boundaries only.
+    cancel: Option<CancelToken>,
+    /// Set once the token is observed tripped; the run unwinds cleanly.
+    cancelled: bool,
     /// Reusable per-cycle scratch buffers (taken with `mem::take`, used,
     /// cleared and put back) so the steady-state cycle loop performs no
     /// heap allocation. The three wakeup buffers are distinct because the
@@ -435,6 +458,8 @@ impl<'c> Engine<'c> {
             debug_trace: std::env::var("WIB_TRACE").is_ok(),
             machine_check: false,
             no_skip: false,
+            cancel: None,
+            cancelled: false,
             scratch_candidates: Vec::with_capacity(64),
             scratch_woken_wb: Vec::with_capacity(32),
             scratch_woken_wait: Vec::with_capacity(32),
@@ -479,8 +504,15 @@ impl<'c> Engine<'c> {
                 i
             }
         };
-        for _ in 0..instructions {
+        for done in 0..instructions {
             if interp.is_halted() {
+                break;
+            }
+            // Same spirit as the epoch poll in the cycle loop: warm-up can
+            // dominate a job's wall clock, so it honors the token too, at a
+            // granularity that keeps the interpreter loop branch-predictable.
+            if done % 4096 == 0 && self.cancel.as_ref().is_some_and(CancelToken::should_stop) {
+                self.cancelled = true;
                 break;
             }
             let info = interp.step().expect("warm-up hit an invalid instruction");
@@ -2071,6 +2103,7 @@ impl<'c> Engine<'c> {
         self.last_commit_cycle = self.now;
         let epoch = self.cfg.stats_epoch.max(1);
         while !self.halted
+            && !self.cancelled
             && self.stats.committed < limit.max_insts
             && self.stats.cycles < limit.max_cycles
         {
@@ -2081,6 +2114,11 @@ impl<'c> Engine<'c> {
             self.stats.cycles += skipped.max(1);
             if self.stats.cycles.is_multiple_of(epoch) {
                 self.sample_interval();
+                // Cancellation poll rides the epoch boundary (fast-forward
+                // never skips past one), so the per-cycle path is untouched.
+                if self.cancel.as_ref().is_some_and(CancelToken::should_stop) {
+                    self.cancelled = true;
+                }
             }
         }
         self.stats.mem = self.hier.stats();
@@ -2093,6 +2131,7 @@ impl<'c> Engine<'c> {
         RunResult {
             stats: self.stats.clone(),
             halted: self.halted,
+            cancelled: self.cancelled,
         }
     }
 }
@@ -2317,6 +2356,54 @@ mod tests {
         assert!(r.stats.committed >= 5_000);
         let r = p.run_program(&prog, RunLimit::cycles(1_000));
         assert_eq!(r.stats.cycles, 1_000);
+    }
+
+    #[test]
+    fn cancel_token_stops_a_run_within_one_epoch() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.label("spin");
+        b.addi(R1, R1, 1);
+        b.j("spin");
+        let prog = b.finish().unwrap();
+        let cfg = MachineConfig::base_8way().with_stats_epoch(1_000);
+        // A token tripped before the run starts: the engine notices at the
+        // first epoch boundary and unwinds, well short of the cycle limit.
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let mut p = Processor::new(cfg.clone());
+        p.set_cancel_token(token);
+        let r = p.run_program(&prog, RunLimit::cycles(1_000_000));
+        assert!(r.cancelled && !r.halted);
+        assert_eq!(r.stats.cycles, 1_000, "stop lands on the epoch boundary");
+        // An untripped token changes nothing, and `cancelled` stays false.
+        let mut p = Processor::new(cfg);
+        p.set_cancel_token(crate::cancel::CancelToken::new());
+        let r = p.run_program(&prog, RunLimit::instructions(5_000));
+        assert!(!r.cancelled && r.stats.committed >= 5_000);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_warmup_and_run() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(R1, 1_000_000);
+        b.label("loop");
+        b.addi(R1, R1, -1);
+        b.bne(R1, R0, "loop");
+        b.halt();
+        let prog = b.finish().unwrap();
+        let token = crate::cancel::CancelToken::with_deadline(std::time::Duration::ZERO);
+        let mut p = Processor::new(MachineConfig::base_8way());
+        p.set_cancel_token(token.clone());
+        let r = p.run_program_warmed(&prog, 500_000, RunLimit::instructions(1_000_000));
+        assert!(r.cancelled && !r.halted);
+        assert!(
+            !token.is_cancelled(),
+            "deadline expiry is not an explicit cancel"
+        );
+        assert!(
+            r.stats.committed < 1_000_000,
+            "warm-up poll must have aborted the run early"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Content-addressed result cache.
+//! Content-addressed result cache with crash-safe persistence.
 //!
 //! A job's identity is the FNV-1a digest of everything that determines
 //! its (deterministic) output: the schema version, the workload name,
@@ -10,21 +10,49 @@
 //! verbatim, and a resubmitted sweep point is free.
 //!
 //! Entries live in memory and, when a results directory is configured
-//! (`WIB_RESULTS_DIR`), persist as `<dir>/cache/<digest>.json` so a
-//! restarted daemon keeps its history. The directory is created
-//! recursively on first use; persistence failures degrade to
-//! memory-only operation rather than failing the job.
+//! (`WIB_RESULTS_DIR`), persist as `<dir>/cache/<digest>.json`.
+//!
+//! # Crash safety
+//!
+//! A daemon can be `kill -9`ed (or lose power) at any byte of a cache
+//! write, and the cache must never serve a torn entry afterwards. Every
+//! persist therefore goes through the classic atomic-publish sequence:
+//!
+//! 1. write the full entry to `<digest>.json.tmp`,
+//! 2. `fsync` the temp file,
+//! 3. atomically `rename` it over `<digest>.json`,
+//! 4. `fsync` the directory so the rename itself is durable.
+//!
+//! An entry file starts with a one-line generation header
+//! (`wib-serve-cache/v2 <digest>`) followed by the document. Loads
+//! reject anything whose header generation or digest does not match, or
+//! whose document does not parse — truncation can only ever produce one
+//! of those, so "parses with the right header" is the integrity check.
+//! Orphaned `.tmp` files (a crash between steps 1 and 3) are scavenged
+//! on startup and counted in [`CacheStats::scavenged`].
+//!
+//! Persistence failures degrade to memory-only operation rather than
+//! failing the job; a [`FaultPlan`] can tear a write on purpose to prove
+//! all of the above under test.
 //!
 //! [`spec_digest`]: MachineConfig::spec_digest
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use wib_core::{Json, MachineConfig};
+
+use crate::fault::FaultPlan;
 
 /// Schema tag mixed into every cache key; bump on any result-format
 /// change so stale on-disk entries miss instead of serving old shapes.
 const KEY_SCHEMA: &str = "wib-serve/result-v1";
+
+/// On-disk entry generation header. Bump the generation on any change to
+/// the entry *file* format; older files then fail the header check and
+/// are recomputed (their keys still match, so one recomputation each).
+const GENERATION: &str = "wib-serve-cache/v2";
 
 /// Introspection counters (see [`ResultCache::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +63,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to a simulation.
     pub misses: u64,
+    /// Orphaned `.tmp` files removed at startup (crash mid-publish).
+    pub scavenged: u64,
+    /// On-disk entries rejected at load time (bad header, torn document).
+    pub rejected: u64,
+    /// Persists that failed (I/O error or injected tear); the entry
+    /// stayed memory-only.
+    pub persist_failures: u64,
 }
 
 impl CacheStats {
@@ -55,6 +90,9 @@ impl CacheStats {
             .field("hits", self.hits)
             .field("misses", self.misses)
             .field("hit_rate", self.hit_rate())
+            .field("scavenged", self.scavenged)
+            .field("rejected", self.rejected)
+            .field("persist_failures", self.persist_failures)
     }
 }
 
@@ -62,27 +100,63 @@ struct Inner {
     map: HashMap<String, Arc<String>>,
     hits: u64,
     misses: u64,
+    scavenged: u64,
+    rejected: u64,
+    persist_failures: u64,
 }
 
 /// Thread-safe content-addressed store of rendered result documents.
 pub struct ResultCache {
     /// `<results>/cache`, when persistence is enabled.
     dir: Option<PathBuf>,
+    faults: Arc<FaultPlan>,
     inner: Mutex<Inner>,
 }
 
 impl ResultCache {
     /// A cache rooted at `results_dir` (persistence under
-    /// `<results_dir>/cache/`), or memory-only when `None`.
+    /// `<results_dir>/cache/`), or memory-only when `None`. Scavenges
+    /// temp files orphaned by a crashed predecessor.
     pub fn new(results_dir: Option<PathBuf>) -> ResultCache {
+        ResultCache::with_faults(results_dir, Arc::new(FaultPlan::none()))
+    }
+
+    /// [`ResultCache::new`] with a fault-injection plan attached (the
+    /// daemon shares one plan across all its subsystems).
+    pub fn with_faults(results_dir: Option<PathBuf>, faults: Arc<FaultPlan>) -> ResultCache {
+        let dir = results_dir.map(|d| d.join("cache"));
+        let scavenged = dir.as_deref().map_or(0, Self::scavenge_temps);
         ResultCache {
-            dir: results_dir.map(|d| d.join("cache")),
+            dir,
+            faults,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 hits: 0,
                 misses: 0,
+                scavenged,
+                rejected: 0,
+                persist_failures: 0,
             }),
         }
+    }
+
+    /// Remove `*.tmp` leftovers from a crash between temp-write and
+    /// rename. They are unpublished by construction — the rename never
+    /// happened — so deleting them can never lose a committed entry.
+    fn scavenge_temps(dir: &Path) -> u64 {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0; // no directory yet: nothing orphaned
+        };
+        let mut scavenged = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(".tmp")
+                && std::fs::remove_file(entry.path()).is_ok()
+            {
+                scavenged += 1;
+            }
+        }
+        scavenged
     }
 
     /// The content address of one job: 16 hex digits over the canonical
@@ -103,8 +177,22 @@ impl ResultCache {
         wib_core::fnv1a64_hex(canonical.as_bytes())
     }
 
+    /// Validate one on-disk entry: generation header naming this key,
+    /// then a parseable document. Returns the document text.
+    fn validate_entry(key: &str, text: &str) -> Option<String> {
+        let (header, doc) = text.split_once('\n')?;
+        let expected = format!("{GENERATION} {key}");
+        if header.trim_end() != expected {
+            return None;
+        }
+        let doc = doc.trim_end();
+        Json::parse(doc).ok()?;
+        Some(doc.to_string())
+    }
+
     /// Look up a digest, falling back to the on-disk entry (which is
-    /// loaded into memory). Counts a hit or miss either way.
+    /// loaded into memory). Counts a hit or miss either way; entries
+    /// that fail the integrity check count as `rejected` misses.
     pub fn get(&self, key: &str) -> Option<Arc<String>> {
         let mut inner = self.inner.lock().unwrap();
         if let Some(doc) = inner.map.get(key).cloned() {
@@ -112,14 +200,16 @@ impl ResultCache {
             return Some(doc);
         }
         if let Some(dir) = &self.dir {
-            if let Ok(text) = std::fs::read_to_string(dir.join(format!("{key}.json"))) {
-                // Guard against truncated/corrupt files: a cache entry
-                // must parse, or we recompute.
-                if Json::parse(text.trim_end()).is_ok() {
-                    let doc = Arc::new(text.trim_end().to_string());
-                    inner.map.insert(key.to_string(), Arc::clone(&doc));
-                    inner.hits += 1;
-                    return Some(doc);
+            let path = dir.join(format!("{key}.json"));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                match Self::validate_entry(key, &text) {
+                    Some(doc) => {
+                        let doc = Arc::new(doc);
+                        inner.map.insert(key.to_string(), Arc::clone(&doc));
+                        inner.hits += 1;
+                        return Some(doc);
+                    }
+                    None => inner.rejected += 1,
                 }
             }
         }
@@ -127,23 +217,53 @@ impl ResultCache {
         None
     }
 
+    /// The atomic-publish sequence (see the module docs). The injected
+    /// `tear` fault simulates a crash between steps 1 and 3: a partial
+    /// temp file is left behind and the rename never happens.
+    fn persist(&self, dir: &Path, key: &str, doc: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{key}.json.tmp"));
+        let path = dir.join(format!("{key}.json"));
+        let payload = format!("{GENERATION} {key}\n{doc}\n");
+        if self.faults.next_cache_write_tears() {
+            // Crash mid-write: half the bytes, no fsync, no publish.
+            let _ = std::fs::write(&tmp, &payload.as_bytes()[..payload.len() / 2]);
+            return Err(std::io::Error::other("injected fault: torn cache write"));
+        }
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(payload.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &path)?;
+        // Make the rename itself durable. Failure here is acceptable —
+        // worst case the entry vanishes on power loss and is recomputed.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
     /// Store a rendered result document under `key` (memory, and disk
     /// when persistence is on). Returns the shared rendering. Lost
     /// store races are benign: determinism makes both renderings equal.
     pub fn put(&self, key: &str, doc: String) -> Arc<String> {
         let doc = Arc::new(doc);
-        if let Some(dir) = &self.dir {
-            if let Err(e) = std::fs::create_dir_all(dir)
-                .and_then(|()| std::fs::write(dir.join(format!("{key}.json")), format!("{doc}\n")))
-            {
-                eprintln!("wib-serve: cache persistence disabled for {key}: {e}");
+        let persist_failed = if let Some(dir) = &self.dir {
+            match self.persist(dir, key, &doc) {
+                Ok(()) => false,
+                Err(e) => {
+                    eprintln!("wib-serve: cache persistence failed for {key}: {e}");
+                    true
+                }
             }
+        } else {
+            false
+        };
+        let mut inner = self.inner.lock().unwrap();
+        if persist_failed {
+            inner.persist_failures += 1;
         }
-        self.inner
-            .lock()
-            .unwrap()
-            .map
-            .insert(key.to_string(), Arc::clone(&doc));
+        inner.map.insert(key.to_string(), Arc::clone(&doc));
         doc
     }
 
@@ -154,6 +274,9 @@ impl ResultCache {
             entries: inner.map.len(),
             hits: inner.hits,
             misses: inner.misses,
+            scavenged: inner.scavenged,
+            rejected: inner.rejected,
+            persist_failures: inner.persist_failures,
         }
     }
 }
@@ -199,6 +322,8 @@ mod tests {
         let dir = tmp("persist");
         let c1 = ResultCache::new(Some(dir.clone()));
         c1.put("aaaa000011112222", "{\"doc\":true}".into());
+        // No temp file survives a successful publish.
+        assert!(!dir.join("cache/aaaa000011112222.json.tmp").exists());
         // A fresh cache over the same directory finds the entry on disk.
         let c2 = ResultCache::new(Some(dir.clone()));
         assert_eq!(
@@ -207,9 +332,14 @@ mod tests {
         );
         assert_eq!(c2.stats().hits, 1);
         // Corrupt entries are ignored, not served.
-        std::fs::write(dir.join("cache/bad0bad0bad0bad0.json"), "{truncated").unwrap();
+        std::fs::write(
+            dir.join("cache/bad0bad0bad0bad0.json"),
+            format!("{GENERATION} bad0bad0bad0bad0\n{{truncated"),
+        )
+        .unwrap();
         let c3 = ResultCache::new(Some(dir.clone()));
         assert!(c3.get("bad0bad0bad0bad0").is_none());
+        assert_eq!(c3.stats().rejected, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

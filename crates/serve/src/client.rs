@@ -2,22 +2,45 @@
 //! the same work in-process (`--local`) so the two paths can be
 //! byte-compared.
 //!
-//! [`submit`] connects, sends one `submit` batch, and streams events
-//! until every job has reached a terminal state, writing each result
-//! document to `<out>/<workload>-<digest>.json`. [`run_local`] resolves
-//! and runs the identical batch with no daemon involved and writes files
-//! through the same code path; `offline_gate.sh` diffs the two trees to
-//! prove the daemon changes nothing about the simulation.
+//! [`submit`] (and its configurable form, [`submit_with`]) connects,
+//! sends a `submit` batch, and streams events until every job has
+//! reached a terminal state, writing each result document to
+//! `<out>/<workload>-<digest>.json`. Jobs the daemon **sheds** under
+//! overload are resubmitted on the same connection after the server's
+//! `retry_after_ms` hint, up to [`SubmitOptions::retries`] times —
+//! resubmission is idempotent because a job's identity is its content
+//! digest, so a retry that races a completed duplicate simply hits the
+//! cache. [`run_local`] resolves and runs the identical batch with no
+//! daemon involved and writes files through the same code path;
+//! `offline_gate.sh` diffs the two trees to prove the daemon changes
+//! nothing about the simulation.
+//!
+//! Every helper returns [`ServeError`] instead of a bare string, and
+//! every socket carries read/write timeouts so a wedged daemon surfaces
+//! as [`ServeError::Stalled`] rather than a hung client.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use wib_core::Json;
 
+use crate::error::ServeError;
 use crate::protocol::JobRequest;
 use crate::server::{build_catalog, compute_result, resolve_job};
+
+/// How often the event loop wakes to check timers while waiting for the
+/// daemon (also the granularity of shed-retry sleeps).
+const EVENT_TICK: Duration = Duration::from_millis(200);
+
+/// Read budget for one-shot request/response ops (`ping`, `stats`).
+const RPC_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Read budget for `shutdown` — a drain legitimately takes as long as
+/// the queued work.
+const SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// Terminal state of one submitted job.
 #[derive(Debug, Clone)]
@@ -25,12 +48,16 @@ pub enum JobStatus {
     /// Completed; `cached` says whether the daemon served it from the
     /// result cache.
     Done { cached: bool, result: Json },
-    /// The simulation failed (panicked) server-side.
+    /// The simulation failed server-side (panicked, or its deadline
+    /// expired).
     Error(String),
-    /// Cancelled before it ran.
+    /// Cancelled (while queued, or mid-run via its cancel token).
     Cancelled,
     /// Never accepted (unknown workload, bad spec, oversized protocol).
     Rejected(String),
+    /// Refused by an overloaded daemon more times than the retry
+    /// budget allowed; `retry_after_ms` is the server's last hint.
+    Shed { retry_after_ms: u64 },
 }
 
 /// What became of one job in a batch.
@@ -54,21 +81,67 @@ impl JobOutcome {
     }
 }
 
-fn connect(addr: &str) -> Result<TcpStream, String> {
-    TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+/// Knobs for [`submit_with`]. The [`Default`] matches what [`submit`]
+/// uses: no protocol overrides, 8 shed-retries, 10-minute idle budget.
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Batch-level measured-instruction override.
+    pub insts: Option<u64>,
+    /// Batch-level warm-up override.
+    pub warmup: Option<u64>,
+    /// Batch-level per-job deadline (milliseconds of run wall-clock).
+    pub deadline_ms: Option<u64>,
+    /// Directory for result files (one per completed job).
+    pub out: Option<PathBuf>,
+    /// Echo lifecycle events to stderr.
+    pub progress: bool,
+    /// How many times one job may be resubmitted after a `shed` before
+    /// it is reported as [`JobStatus::Shed`]. 0 disables retry.
+    pub retries: u32,
+    /// Give up ([`ServeError::Stalled`]) after this long with no bytes
+    /// from the daemon while work is outstanding.
+    pub idle_timeout: Duration,
 }
 
-fn send_line(stream: &TcpStream, line: &str) -> Result<(), String> {
-    let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+impl Default for SubmitOptions {
+    fn default() -> SubmitOptions {
+        SubmitOptions {
+            insts: None,
+            warmup: None,
+            deadline_ms: None,
+            out: None,
+            progress: false,
+            retries: 8,
+            idle_timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream, ServeError> {
+    TcpStream::connect(addr).map_err(|e| ServeError::Connect {
+        addr: addr.to_string(),
+        source: e,
+    })
+}
+
+fn send_line(stream: &TcpStream, line: &str) -> Result<(), ServeError> {
+    let mut w = BufWriter::new(
+        stream
+            .try_clone()
+            .map_err(|e| ServeError::io("clone socket", e))?,
+    );
     w.write_all(line.as_bytes())
         .and_then(|()| w.write_all(b"\n"))
         .and_then(|()| w.flush())
-        .map_err(|e| format!("send: {e}"))
+        .map_err(|e| ServeError::io("send request", e))
 }
 
-fn submit_request(jobs: &[JobRequest], insts: Option<u64>, warmup: Option<u64>) -> Json {
+/// Build one `submit` frame for the given subset of `jobs` (identified
+/// by index so retries resend the original per-job parameters).
+fn submit_request(jobs: &[JobRequest], subset: &[usize], opts: &SubmitOptions) -> Json {
     let mut arr = Vec::new();
-    for j in jobs {
+    for &i in subset {
+        let j = &jobs[i];
         let mut o = Json::obj()
             .field("workload", j.workload.as_str())
             .field("spec", j.spec.as_str());
@@ -78,14 +151,20 @@ fn submit_request(jobs: &[JobRequest], insts: Option<u64>, warmup: Option<u64>) 
         if let Some(n) = j.warmup {
             o = o.field("warmup", n);
         }
+        if let Some(n) = j.deadline_ms {
+            o = o.field("deadline_ms", n);
+        }
         arr.push(o);
     }
     let mut req = Json::obj().field("op", "submit").field("jobs", arr);
-    if let Some(n) = insts {
+    if let Some(n) = opts.insts {
         req = req.field("insts", n);
     }
-    if let Some(n) = warmup {
+    if let Some(n) = opts.warmup {
         req = req.field("warmup", n);
+    }
+    if let Some(n) = opts.deadline_ms {
+        req = req.field("deadline_ms", n);
     }
     req
 }
@@ -96,22 +175,30 @@ fn submit_request(jobs: &[JobRequest], insts: Option<u64>, warmup: Option<u64>) 
 /// float writer, so a parsed-and-rewritten document is byte-stable.
 ///
 /// # Errors
-/// Filesystem errors, as strings.
+/// Filesystem errors.
 pub fn write_result_file(
     out: &Path,
     workload: &str,
     digest: &str,
     result: &Json,
-) -> Result<std::path::PathBuf, String> {
-    std::fs::create_dir_all(out).map_err(|e| format!("create {}: {e}", out.display()))?;
+) -> Result<PathBuf, ServeError> {
+    std::fs::create_dir_all(out).map_err(|e| ServeError::io("create output directory", e))?;
     let path = out.join(format!("{workload}-{digest}.json"));
-    std::fs::write(&path, result.pretty()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    std::fs::write(&path, result.pretty()).map_err(|e| ServeError::io("write result file", e))?;
     Ok(path)
 }
 
-/// Submit a batch to the daemon at `addr` and stream events until every
-/// job is terminal. Results land in `out` when given; `progress` echoes
-/// lifecycle events to stderr.
+/// A job the client has submitted and not yet seen a terminal event
+/// for: original batch index plus the daemon's echo of its identity.
+struct InFlight {
+    orig: usize,
+    workload: String,
+    spec: String,
+    digest: String,
+}
+
+/// [`submit_with`] using the default [`SubmitOptions`] (plus the given
+/// overrides) — the signature the CLI and tests use for simple batches.
 ///
 /// # Errors
 /// Connection/protocol failures. Per-job failures are *not* errors —
@@ -123,89 +210,193 @@ pub fn submit(
     warmup: Option<u64>,
     out: Option<&Path>,
     progress: bool,
-) -> Result<Vec<JobOutcome>, String> {
+) -> Result<Vec<JobOutcome>, ServeError> {
+    submit_with(
+        addr,
+        jobs,
+        &SubmitOptions {
+            insts,
+            warmup,
+            out: out.map(Path::to_path_buf),
+            progress,
+            ..SubmitOptions::default()
+        },
+    )
+}
+
+/// Submit a batch to the daemon at `addr` and stream events until every
+/// job is terminal, resubmitting shed jobs on the same connection after
+/// the server's backoff hint. Outcomes are returned in submission
+/// order.
+///
+/// # Errors
+/// Connection/protocol failures (including [`ServeError::Stalled`] when
+/// the daemon goes silent). Per-job failures come back as [`JobStatus`]
+/// variants, not errors.
+pub fn submit_with(
+    addr: &str,
+    jobs: &[JobRequest],
+    opts: &SubmitOptions,
+) -> Result<Vec<JobOutcome>, ServeError> {
     if jobs.is_empty() {
         return Ok(Vec::new());
     }
     let stream = connect(addr)?;
-    send_line(&stream, &submit_request(jobs, insts, warmup).to_string())?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut outcomes: Vec<JobOutcome> = Vec::new();
-    // job id -> (workload, spec, digest) for in-flight jobs.
-    let mut pending: HashMap<u64, (String, String, String)> = HashMap::new();
-    let mut accounted = 0usize; // queued + rejected seen so far
+    stream
+        .set_read_timeout(Some(EVENT_TICK))
+        .map_err(|e| ServeError::io("set read timeout", e))?;
+    let _ = stream.set_write_timeout(Some(RPC_TIMEOUT));
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| ServeError::io("clone socket", e))?,
+    );
+
+    let mut slots: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
+    let mut attempts = vec![0u32; jobs.len()];
+    // Jobs waiting to go out in the next frame (initially: all of them).
+    let mut to_send: Vec<usize> = (0..jobs.len()).collect();
+    let mut retry_at = Instant::now();
+    // The frame currently on the wire: original indices (for mapping the
+    // daemon's frame-relative `index` fields back), jobs not yet
+    // acknowledged as queued/rejected, and queued jobs not yet terminal.
+    let mut frame: Vec<usize> = Vec::new();
+    let mut awaiting_ack = 0usize;
+    let mut pending: HashMap<u64, InFlight> = HashMap::new();
+    let mut last_heard = Instant::now();
     let mut line = String::new();
-    while accounted < jobs.len() || !pending.is_empty() {
-        line.clear();
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read: {e}"))?;
-        if n == 0 {
-            return Err(format!(
-                "server closed the connection with {} job(s) outstanding",
-                jobs.len() - accounted + pending.len()
-            ));
+
+    while slots.iter().any(Option::is_none) {
+        // Between frames: dispatch the next batch once its backoff is up.
+        if awaiting_ack == 0 && pending.is_empty() {
+            if to_send.is_empty() {
+                // Defensive: nothing in flight, nothing to send, yet a
+                // slot is open — a server accounting bug, not a hang.
+                return Err(ServeError::Protocol(
+                    "event stream ended with unaccounted jobs".to_string(),
+                ));
+            }
+            let now = Instant::now();
+            if now < retry_at {
+                std::thread::sleep((retry_at - now).min(EVENT_TICK));
+                continue;
+            }
+            frame = std::mem::take(&mut to_send);
+            send_line(&stream, &submit_request(jobs, &frame, opts).to_string())?;
+            awaiting_ack = frame.len();
+            last_heard = Instant::now();
         }
-        let ev = Json::parse(line.trim()).map_err(|e| format!("bad event line: {e}"))?;
-        let kind = ev
-            .get("event")
-            .and_then(Json::as_str)
-            .unwrap_or("")
-            .to_string();
-        let job_id = ev.get("job").and_then(Json::as_u64).unwrap_or(0);
-        match kind.as_str() {
-            "queued" => {
-                let workload = ev
-                    .get("workload")
-                    .and_then(Json::as_str)
-                    .unwrap_or("?")
-                    .to_string();
-                let spec = ev
-                    .get("spec")
-                    .and_then(Json::as_str)
-                    .unwrap_or("")
-                    .to_string();
-                let digest = ev
-                    .get("digest")
-                    .and_then(Json::as_str)
-                    .unwrap_or("")
-                    .to_string();
-                if progress {
-                    eprintln!("job {job_id} queued: {workload} [{spec}]");
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                let outstanding = awaiting_ack + pending.len();
+                return Err(ServeError::Server(format!(
+                    "server closed the connection with {outstanding} job(s) outstanding"
+                )));
+            }
+            Ok(_) => last_heard = Instant::now(),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let idle = last_heard.elapsed();
+                if idle >= opts.idle_timeout {
+                    return Err(ServeError::Stalled { idle });
                 }
-                pending.insert(job_id, (workload, spec, digest));
-                accounted += 1;
+                continue;
+            }
+            Err(e) => return Err(ServeError::io("read event", e)),
+        }
+        let ev = Json::parse(line.trim())
+            .map_err(|e| ServeError::Protocol(format!("bad event line: {e}")))?;
+        let kind = ev.get("event").and_then(Json::as_str).unwrap_or("");
+        let job_id = ev.get("job").and_then(Json::as_u64).unwrap_or(0);
+        let text = |k: &str| {
+            ev.get(k)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        match kind {
+            "queued" => {
+                let index = ev.get("index").and_then(Json::as_u64).unwrap_or(0) as usize;
+                let Some(&orig) = frame.get(index) else {
+                    continue; // stray echo from a frame we do not own
+                };
+                let inflight = InFlight {
+                    orig,
+                    workload: text("workload"),
+                    spec: text("spec"),
+                    digest: text("digest"),
+                };
+                if opts.progress {
+                    eprintln!(
+                        "job {job_id} queued: {} [{}]",
+                        inflight.workload, inflight.spec
+                    );
+                }
+                pending.insert(job_id, inflight);
+                awaiting_ack = awaiting_ack.saturating_sub(1);
             }
             "rejected" => {
                 let index = ev.get("index").and_then(Json::as_u64).unwrap_or(0) as usize;
-                let reason = ev
-                    .get("reason")
-                    .and_then(Json::as_str)
-                    .unwrap_or("rejected")
-                    .to_string();
-                let (workload, spec) = jobs
-                    .get(index)
-                    .map(|j| (j.workload.clone(), j.spec.clone()))
-                    .unwrap_or_else(|| ("?".to_string(), String::new()));
-                if progress {
-                    eprintln!("job rejected ({workload}): {reason}");
+                let Some(&orig) = frame.get(index) else {
+                    continue;
+                };
+                let reason = text("reason");
+                if opts.progress {
+                    eprintln!("job rejected ({}): {reason}", jobs[orig].workload);
                 }
-                outcomes.push(JobOutcome {
+                slots[orig] = Some(JobOutcome {
                     job: 0,
-                    workload,
-                    spec,
+                    workload: jobs[orig].workload.clone(),
+                    spec: jobs[orig].spec.clone(),
                     digest: String::new(),
                     status: JobStatus::Rejected(reason),
                 });
-                accounted += 1;
+                awaiting_ack = awaiting_ack.saturating_sub(1);
+            }
+            "shed" => {
+                let Some(inflight) = pending.remove(&job_id) else {
+                    continue;
+                };
+                let hint = ev.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0);
+                if attempts[inflight.orig] < opts.retries {
+                    attempts[inflight.orig] += 1;
+                    if opts.progress {
+                        eprintln!(
+                            "job {job_id} shed ({}): retrying in {hint}ms (attempt {})",
+                            inflight.workload, attempts[inflight.orig]
+                        );
+                    }
+                    to_send.push(inflight.orig);
+                    let when = Instant::now() + Duration::from_millis(hint);
+                    retry_at = retry_at.max(when);
+                } else {
+                    if opts.progress {
+                        eprintln!(
+                            "job {job_id} shed ({}): retry budget exhausted",
+                            inflight.workload
+                        );
+                    }
+                    slots[inflight.orig] = Some(JobOutcome {
+                        job: job_id,
+                        workload: inflight.workload,
+                        spec: inflight.spec,
+                        digest: inflight.digest,
+                        status: JobStatus::Shed {
+                            retry_after_ms: hint,
+                        },
+                    });
+                }
             }
             "running" => {
-                if progress {
+                if opts.progress {
                     eprintln!("job {job_id} running");
                 }
             }
             "interval" => {
-                if progress {
+                if opts.progress {
                     let sample = ev.get("sample");
                     let field = |k: &str| {
                         sample
@@ -221,61 +412,56 @@ pub fn submit(
                 }
             }
             "done" | "error" | "cancelled" => {
-                let Some((workload, spec, digest)) = pending.remove(&job_id) else {
+                let Some(inflight) = pending.remove(&job_id) else {
                     continue; // stray event for a job we do not own
                 };
-                let status = match kind.as_str() {
+                let status = match kind {
                     "done" => {
                         let cached = ev.get("cached").and_then(Json::as_bool).unwrap_or(false);
                         let result = ev.get("result").cloned().unwrap_or_else(Json::obj);
-                        if let Some(dir) = out {
-                            write_result_file(dir, &workload, &digest, &result)?;
+                        if let Some(dir) = &opts.out {
+                            write_result_file(dir, &inflight.workload, &inflight.digest, &result)?;
                         }
-                        if progress {
+                        if opts.progress {
                             eprintln!("job {job_id} done{}", if cached { " (cached)" } else { "" });
                         }
                         JobStatus::Done { cached, result }
                     }
                     "error" => {
-                        let msg = ev
-                            .get("message")
-                            .and_then(Json::as_str)
-                            .unwrap_or("error")
-                            .to_string();
-                        if progress {
+                        let msg = text("message");
+                        if opts.progress {
                             eprintln!("job {job_id} failed: {msg}");
                         }
                         JobStatus::Error(msg)
                     }
                     _ => {
-                        if progress {
+                        if opts.progress {
                             eprintln!("job {job_id} cancelled");
                         }
                         JobStatus::Cancelled
                     }
                 };
-                outcomes.push(JobOutcome {
+                slots[inflight.orig] = Some(JobOutcome {
                     job: job_id,
-                    workload,
-                    spec,
-                    digest,
+                    workload: inflight.workload,
+                    spec: inflight.spec,
+                    digest: inflight.digest,
                     status,
                 });
             }
-            "protocol-error" => {
-                let msg = ev
-                    .get("message")
-                    .and_then(Json::as_str)
-                    .unwrap_or("protocol error");
-                return Err(format!("server rejected the request: {msg}"));
+            "protocol_error" => {
+                return Err(ServeError::Protocol(format!(
+                    "server rejected the request: {}",
+                    text("message")
+                )));
             }
             "shutdown" => {
-                return Err("server shut down mid-batch".to_string());
+                return Err(ServeError::Server("server shut down mid-batch".to_string()));
             }
-            _ => {} // pong/stats/watching: not expected here, harmless
+            _ => {} // pong/stats/watching/cancel: not expected here, harmless
         }
     }
-    Ok(outcomes)
+    Ok(slots.into_iter().flatten().collect())
 }
 
 /// Run the same batch entirely in-process (no daemon): identical
@@ -291,7 +477,7 @@ pub fn run_local(
     tiny: bool,
     out: Option<&Path>,
     progress: bool,
-) -> Result<Vec<JobOutcome>, String> {
+) -> Result<Vec<JobOutcome>, ServeError> {
     let catalog = build_catalog(tiny);
     let scale = if tiny { "tiny" } else { "eval" };
     let defaults = crate::server::ServerOptions::default();
@@ -345,65 +531,91 @@ pub fn run_local(
 }
 
 /// One-shot request/response helper: send `req`, return the first event
-/// line parsed as JSON.
-fn round_trip(addr: &str, req: &Json) -> Result<Json, String> {
+/// line parsed as JSON. Gives up ([`ServeError::Stalled`]) after
+/// `budget` with no reply.
+fn round_trip(addr: &str, req: &Json, budget: Duration) -> Result<Json, ServeError> {
     let stream = connect(addr)?;
+    stream
+        .set_read_timeout(Some(EVENT_TICK))
+        .map_err(|e| ServeError::io("set read timeout", e))?;
+    let _ = stream.set_write_timeout(Some(RPC_TIMEOUT));
     send_line(&stream, &req.to_string())?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    let n = reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read: {e}"))?;
-    if n == 0 {
-        return Err("server closed the connection without replying".to_string());
+    let start = Instant::now();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                return Err(ServeError::Server(
+                    "server closed the connection without replying".to_string(),
+                ))
+            }
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if start.elapsed() >= budget {
+                    return Err(ServeError::Stalled {
+                        idle: start.elapsed(),
+                    });
+                }
+            }
+            Err(e) => return Err(ServeError::io("read reply", e)),
+        }
     }
-    Json::parse(line.trim())
+    Json::parse(line.trim()).map_err(ServeError::Protocol)
 }
 
 /// Fetch the daemon's introspection document (`{"op":"stats"}`).
 ///
 /// # Errors
 /// Connection/protocol failures.
-pub fn stats(addr: &str) -> Result<Json, String> {
-    round_trip(addr, &Json::obj().field("op", "stats"))
+pub fn stats(addr: &str) -> Result<Json, ServeError> {
+    round_trip(addr, &Json::obj().field("op", "stats"), RPC_TIMEOUT)
 }
 
 /// Liveness probe; returns once the daemon answers `pong`.
 ///
 /// # Errors
 /// Connection/protocol failures, or a non-pong reply.
-pub fn ping(addr: &str) -> Result<(), String> {
-    let reply = round_trip(addr, &Json::obj().field("op", "ping"))?;
+pub fn ping(addr: &str) -> Result<(), ServeError> {
+    let reply = round_trip(addr, &Json::obj().field("op", "ping"), RPC_TIMEOUT)?;
     match reply.get("event").and_then(Json::as_str) {
         Some("pong") => Ok(()),
-        other => Err(format!("unexpected ping reply: {other:?}")),
+        other => Err(ServeError::Protocol(format!(
+            "unexpected ping reply: {other:?}"
+        ))),
     }
 }
 
 /// Ask the daemon to shut down (`drain`: finish queued work first) and
-/// wait for its confirmation event, which is returned.
+/// wait for its confirmation event, which is returned. The read budget
+/// is generous ([`SHUTDOWN_TIMEOUT`]) because a drain legitimately
+/// takes as long as the work still queued.
 ///
 /// # Errors
 /// Connection/protocol failures.
-pub fn shutdown(addr: &str, drain: bool) -> Result<Json, String> {
+pub fn shutdown(addr: &str, drain: bool) -> Result<Json, ServeError> {
     let req = Json::obj()
         .field("op", "shutdown")
         .field("mode", if drain { "drain" } else { "now" });
-    round_trip(addr, &req)
+    round_trip(addr, &req, SHUTDOWN_TIMEOUT)
 }
 
 /// Attach as a watcher and stream every event line to `sink` until the
-/// daemon shuts down (connection closes).
+/// daemon shuts down (connection closes). No read timeout: silence is
+/// normal for an idle daemon.
 ///
 /// # Errors
 /// Connection failures.
-pub fn watch(addr: &str, sink: &mut dyn Write) -> Result<(), String> {
+pub fn watch(addr: &str, sink: &mut dyn Write) -> Result<(), ServeError> {
     let stream = connect(addr)?;
     send_line(&stream, &Json::obj().field("op", "watch").to_string())?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
-        let line = line.map_err(|e| format!("read: {e}"))?;
-        writeln!(sink, "{line}").map_err(|e| format!("write: {e}"))?;
+        let line = line.map_err(|e| ServeError::io("read event", e))?;
+        writeln!(sink, "{line}").map_err(|e| ServeError::io("write to sink", e))?;
         let _ = sink.flush();
     }
     Ok(())

@@ -1,0 +1,103 @@
+//! Typed errors for the serving stack.
+//!
+//! Client helpers and connection paths used to surface failures as bare
+//! `String`s (and, in a few places, `unwrap()` on socket I/O). Every
+//! fallible path now returns a [`ServeError`], which keeps the failing
+//! operation and the underlying `io::Error` together so callers can
+//! distinguish "the daemon is not there" from "the daemon is there but
+//! wedged" from "the daemon rejected the request".
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a client/daemon interaction failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// TCP connect to the daemon failed.
+    Connect {
+        /// The address dialed.
+        addr: String,
+        /// The socket error.
+        source: std::io::Error,
+    },
+    /// A socket or file operation failed mid-conversation.
+    Io {
+        /// What was being attempted (e.g. `"send request"`).
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The peer spoke, but not the protocol (bad JSON, missing fields,
+    /// or an explicit `protocol_error` event).
+    Protocol(String),
+    /// The daemon reported a server-side condition that aborts the whole
+    /// interaction (e.g. it shut down mid-batch).
+    Server(String),
+    /// The peer went silent: no bytes for the connection's idle budget.
+    /// Per-connection read/write timeouts turn a wedged or half-open
+    /// peer into this error instead of a thread pinned forever.
+    Stalled {
+        /// How long the connection sat idle before giving up.
+        idle: Duration,
+    },
+}
+
+impl ServeError {
+    /// Wrap an I/O error with the operation that hit it.
+    pub fn io(context: &'static str, source: std::io::Error) -> ServeError {
+        ServeError::Io { context, source }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Connect { addr, source } => write!(f, "connect {addr}: {source}"),
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ServeError::Server(msg) => write!(f, "server: {msg}"),
+            ServeError::Stalled { idle } => {
+                write!(
+                    f,
+                    "peer sent nothing for {:.1}s; giving up",
+                    idle.as_secs_f64()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Connect { source, .. } | ServeError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for String {
+    fn from(e: ServeError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failing_operation() {
+        let e = ServeError::io(
+            "send request",
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"),
+        );
+        assert!(e.to_string().contains("send request"));
+        assert!(std::error::Error::source(&e).is_some());
+        let s = ServeError::Stalled {
+            idle: Duration::from_secs(5),
+        };
+        assert!(s.to_string().contains("5.0s"));
+        assert!(std::error::Error::source(&s).is_none());
+    }
+}

@@ -11,30 +11,41 @@
 //!
 //! The moving parts, each in its own module:
 //!
-//! * [`queue`] — bounded MPMC job queue; a full queue blocks the
-//!   submitting connection (backpressure by TCP flow control).
+//! * [`queue`] — bounded MPMC job queue; a full queue sheds the
+//!   submission with a `retry_after_ms` hint instead of blocking.
 //! * [`cache`] — content-addressed result store keyed by the FNV-1a
 //!   digest of (workload, canonical machine spec, protocol), persisted
-//!   under `WIB_RESULTS_DIR`.
+//!   crash-safely (temp + fsync + atomic rename) under
+//!   `WIB_RESULTS_DIR`.
 //! * [`protocol`] — the NDJSON wire format: request parsing and event
 //!   construction. See `docs/serve.md` for the grammar.
 //! * [`server`] — the daemon: accept loop, connection reader/writer
-//!   threads, worker pool, graceful drain-and-shutdown.
+//!   threads, panic-isolated worker pool, deadlines and cancellation of
+//!   running jobs, graceful drain-and-shutdown.
 //! * [`client`] — submit/stats/watch/shutdown helpers plus a `--local`
 //!   mode that computes byte-identical result files with no daemon,
 //!   which is how the offline gate proves the service changes nothing.
+//! * [`fault`] — deterministic fault injection (`WIB_FAULTS`): seeded
+//!   worker panics, torn cache writes, forced sheds, slow/truncated
+//!   client writes — how the failure paths above stay tested.
+//! * [`error`] — [`ServeError`], the typed failure vocabulary of the
+//!   client-side helpers.
 //!
 //! Everything is `std` — no async runtime, no serde — matching the
 //! repository's offline-build constraint.
 
 pub mod cache;
 pub mod client;
+pub mod error;
+pub mod fault;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use cache::{CacheStats, ResultCache};
-pub use client::{JobOutcome, JobStatus};
+pub use client::{JobOutcome, JobStatus, SubmitOptions};
+pub use error::ServeError;
+pub use fault::{FaultPlan, WriteFault};
 pub use protocol::JobRequest;
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, TryPushError};
 pub use server::{compute_result, ServerHandle, ServerOptions};

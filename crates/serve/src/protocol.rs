@@ -9,10 +9,10 @@
 //!
 //! ```text
 //! {"op":"submit","jobs":[{"workload":"gcc","spec":"wib:w=2048"},...],
-//!  "insts":200000,"warmup":200000}          batch defaults optional;
-//!                                           per-job insts/warmup override
+//!  "insts":200000,"warmup":200000,          batch defaults optional;
+//!  "deadline_ms":60000}                     per-job fields override
 //! {"op":"stats"}                            introspection snapshot
-//! {"op":"cancel","job":7}                   cancel a *queued* job
+//! {"op":"cancel","job":7}                   cancel a queued or running job
 //! {"op":"watch"}                            subscribe to all job events
 //! {"op":"shutdown","mode":"drain"|"now"}    graceful stop (default drain)
 //! {"op":"ping"}                             liveness probe
@@ -31,6 +31,10 @@ use wib_core::{Json, MachineConfig, WibOrganization};
 /// each): a submitted job may be expensive, but never unbounded.
 pub const MAX_INSTS: u64 = 1_000_000_000;
 
+/// Hard ceiling on per-job deadlines (24 h): a deadline exists to bound
+/// a job's wall-clock cost, so an effectively-infinite one is a typo.
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
+
 /// One requested simulation point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRequest {
@@ -43,6 +47,10 @@ pub struct JobRequest {
     pub insts: Option<u64>,
     /// Warm-up instructions (same fallback chain).
     pub warmup: Option<u64>,
+    /// Wall-clock budget from the moment a worker picks the job up;
+    /// expiry aborts the run within one stats epoch. Falls back to the
+    /// batch default; `None` means unbounded.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A parsed request frame.
@@ -56,10 +64,12 @@ pub enum Request {
         insts: Option<u64>,
         /// Batch-level default for warm-up instructions.
         warmup: Option<u64>,
+        /// Batch-level default deadline (milliseconds of run time).
+        deadline_ms: Option<u64>,
     },
     /// Introspection snapshot.
     Stats,
-    /// Cancel a queued job by id.
+    /// Cancel a queued or running job by id.
     Cancel {
         /// The id from the job's `queued` event.
         job: u64,
@@ -114,6 +124,16 @@ impl Request {
                 if jobs_json.is_empty() {
                     return Err("submit needs at least one job".to_string());
                 }
+                let deadline = |j: &Json, who: &str| -> Result<Option<u64>, String> {
+                    match j.get("deadline_ms").and_then(Json::as_u64) {
+                        None => Ok(None),
+                        Some(0) => Err(format!("{who}: deadline_ms must be >= 1")),
+                        Some(ms) if ms > MAX_DEADLINE_MS => {
+                            Err(format!("{who}: deadline_ms exceeds {MAX_DEADLINE_MS}"))
+                        }
+                        Some(ms) => Ok(Some(ms)),
+                    }
+                };
                 let mut jobs = Vec::with_capacity(jobs_json.len());
                 for (i, j) in jobs_json.iter().enumerate() {
                     let field = |k: &str| j.get(k).and_then(Json::as_str).map(str::to_string);
@@ -125,12 +145,14 @@ impl Request {
                         spec,
                         insts: j.get("insts").and_then(Json::as_u64),
                         warmup: j.get("warmup").and_then(Json::as_u64),
+                        deadline_ms: deadline(j, &format!("job {i}"))?,
                     });
                 }
                 Ok(Request::Submit {
                     jobs,
                     insts: doc.get("insts").and_then(Json::as_u64),
                     warmup: doc.get("warmup").and_then(Json::as_u64),
+                    deadline_ms: deadline(&doc, "batch")?,
                 })
             }
             other => Err(format!("unknown op {other:?}")),
@@ -172,11 +194,14 @@ pub fn parse_machine_spec(spec: &str) -> Result<MachineConfig, String> {
 // Event frames (server -> client)
 // ---------------------------------------------------------------------
 
-/// `queued`: the job was validated and entered the queue.
-pub fn ev_queued(job: u64, workload: &str, spec: &str, digest: &str) -> Json {
+/// `queued`: the job was validated and entered the queue. `index` is
+/// the job's position in *this* submit frame, which is what lets a
+/// retrying client map freshly assigned ids back to its own jobs.
+pub fn ev_queued(job: u64, index: usize, workload: &str, spec: &str, digest: &str) -> Json {
     Json::obj()
         .field("event", "queued")
         .field("job", job)
+        .field("index", index)
         .field("workload", workload)
         .field("spec", spec)
         .field("digest", digest)
@@ -213,15 +238,29 @@ pub fn ev_done(job: u64, cached: bool, result: Json) -> Json {
         .field("result", result)
 }
 
-/// `error`: terminal failure (the simulation itself failed).
-pub fn ev_error(job: u64, message: &str) -> Json {
+/// `error`: terminal failure — the simulation panicked, or its deadline
+/// expired. `digest` is the job's cache key so a crash report names the
+/// exact configuration that died.
+pub fn ev_error(job: u64, digest: &str, message: &str) -> Json {
     Json::obj()
         .field("event", "error")
         .field("job", job)
+        .field("digest", digest)
         .field("message", message)
 }
 
-/// `cancelled`: terminal; the job was cancelled while queued.
+/// `shed`: terminal for this submission attempt; the queue was full and
+/// the job was *not* accepted. The client should wait `retry_after_ms`
+/// (jittered, grows with consecutive sheds) and resubmit.
+pub fn ev_shed(job: u64, workload: &str, retry_after_ms: u64) -> Json {
+    Json::obj()
+        .field("event", "shed")
+        .field("job", job)
+        .field("workload", workload)
+        .field("retry_after_ms", retry_after_ms)
+}
+
+/// `cancelled`: terminal; the job was cancelled while queued or running.
 pub fn ev_cancelled(job: u64) -> Json {
     Json::obj().field("event", "cancelled").field("job", job)
 }
@@ -255,9 +294,10 @@ mod tests {
             Request::Shutdown { drain: false }
         );
         let r = Request::parse(
-            r#"{"op":"submit","insts":5000,
+            r#"{"op":"submit","insts":5000,"deadline_ms":60000,
                "jobs":[{"workload":"gcc","spec":"base"},
-                       {"workload":"em3d","spec":"wib2k","insts":100,"warmup":7}]}"#,
+                       {"workload":"em3d","spec":"wib2k","insts":100,"warmup":7,
+                        "deadline_ms":250}]}"#,
         )
         .unwrap();
         match r {
@@ -265,13 +305,17 @@ mod tests {
                 jobs,
                 insts,
                 warmup,
+                deadline_ms,
             } => {
                 assert_eq!((insts, warmup), (Some(5000), None));
+                assert_eq!(deadline_ms, Some(60000));
                 assert_eq!(jobs.len(), 2);
                 assert_eq!(jobs[0].workload, "gcc");
                 assert_eq!(jobs[0].insts, None);
+                assert_eq!(jobs[0].deadline_ms, None);
                 assert_eq!(jobs[1].spec, "wib2k");
                 assert_eq!((jobs[1].insts, jobs[1].warmup), (Some(100), Some(7)));
+                assert_eq!(jobs[1].deadline_ms, Some(250));
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -290,6 +334,9 @@ mod tests {
             r#"{"op":"submit","jobs":[{"workload":"gcc"}]}"#,
             r#"{"op":"submit","jobs":[{"spec":"base"}]}"#,
             r#"{"op":"shutdown","mode":"eventually"}"#,
+            r#"{"op":"submit","deadline_ms":0,"jobs":[{"workload":"gcc","spec":"base"}]}"#,
+            r#"{"op":"submit","jobs":[{"workload":"gcc","spec":"base","deadline_ms":0}]}"#,
+            r#"{"op":"submit","deadline_ms":99999999999,"jobs":[{"workload":"gcc","spec":"base"}]}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "should reject {bad}");
         }
@@ -326,11 +373,12 @@ mod tests {
     #[test]
     fn event_frames_are_single_lines_with_discriminators() {
         let evs = [
-            ev_queued(1, "gcc", "base", "abcd"),
+            ev_queued(1, 0, "gcc", "base", "abcd"),
             ev_rejected(0, "bad\nname", "unknown workload"),
             ev_running(1),
             ev_done(1, true, Json::obj().field("ok", true)),
-            ev_error(1, "boom"),
+            ev_error(1, "abcd", "boom"),
+            ev_shed(1, "gcc", 150),
             ev_cancelled(1),
             ev_protocol_error("bad line"),
         ];

@@ -1,11 +1,14 @@
-//! A bounded multi-producer / multi-consumer job queue with blocking
-//! backpressure, built on `Mutex` + `Condvar` (std only).
+//! A bounded multi-producer / multi-consumer job queue, built on
+//! `Mutex` + `Condvar` (std only).
 //!
-//! Producers (connection threads) block in [`BoundedQueue::push`] while
-//! the queue is full — that *is* the daemon's backpressure: a client
-//! submitting faster than the worker pool drains simply stops being read
-//! from, and TCP flow control propagates the stall all the way back.
-//! Consumers (pool workers) block in [`BoundedQueue::pop`] while empty.
+//! Producers have two entry points. [`BoundedQueue::push`] blocks while
+//! the queue is full — backpressure by TCP flow control, since a stalled
+//! connection thread stops reading its socket. [`BoundedQueue::try_push`]
+//! never blocks: a full queue returns [`TryPushError::Full`] immediately,
+//! which is what the daemon's overload shedding is built on (the
+//! submission is refused with a `retry_after_ms` hint instead of pinning
+//! a connection thread). Consumers (pool workers) block in
+//! [`BoundedQueue::pop`] while empty.
 //!
 //! [`BoundedQueue::close`] starts a drain: further pushes fail, pops
 //! keep returning queued items until the queue is empty and then return
@@ -17,6 +20,15 @@ use std::sync::{Condvar, Mutex};
 /// Error returned by [`BoundedQueue::push`] after [`BoundedQueue::close`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Closed;
+
+/// Why a [`BoundedQueue::try_push`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPushError {
+    /// The queue is at capacity right now; retrying later may succeed.
+    Full,
+    /// The queue has been closed; retrying can never succeed.
+    Closed,
+}
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -59,6 +71,25 @@ impl<T> BoundedQueue<T> {
         }
         if inner.closed {
             return Err(Closed);
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue `item` only if there is space right now; never blocks.
+    ///
+    /// # Errors
+    /// [`TryPushError::Full`] when at capacity (item returned to caller
+    /// conceptually — it is dropped here, so pass ids, not payloads),
+    /// [`TryPushError::Closed`] after [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(TryPushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(TryPushError::Full);
         }
         inner.items.push_back(item);
         self.not_empty.notify_one();
@@ -134,6 +165,21 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         assert!(producer.join().unwrap());
         assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn try_push_refuses_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(TryPushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(4), Err(TryPushError::Closed));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

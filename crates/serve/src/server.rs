@@ -10,11 +10,31 @@
 //! `Processor` per job, exactly as in `parallel_map_named`, so results
 //! are bit-identical to in-process runs.
 //!
+//! # Failure containment
+//!
+//! The daemon assumes any individual job, connection, or disk write can
+//! fail and none of them may take the service down:
+//!
+//! * every simulation runs under `catch_unwind`; a panic becomes a
+//!   terminal `error` event carrying the job's spec digest, and the
+//!   worker moves on to the next job. A panic *outside* that shield
+//!   (bookkeeping bugs) recycles the whole worker thread, up to
+//!   [`MAX_WORKER_RESTARTS`] times.
+//! * jobs may carry a `deadline_ms`; the engine polls a cooperative
+//!   [`CancelToken`] once per stats epoch, so an expired or cancelled
+//!   *running* job terminates within one epoch.
+//! * a full queue **sheds** the submission (terminal `shed` event with a
+//!   jittered, escalating `retry_after_ms`) instead of blocking the
+//!   connection thread.
+//! * all of the above injection points are drivable deterministically
+//!   via `WIB_FAULTS` (see [`crate::fault`]).
+//!
 //! Shutdown (`{"op":"shutdown"}`) is a drain: the queue closes, workers
-//! finish what is queued (or skip it, in `"now"` mode), the accept loop
-//! is woken and exits, every connection thread is joined, and only then
-//! does the requesting client receive its `shutdown` event — the daemon
-//! leaks no threads.
+//! finish what is queued (or skip it, in `"now"` mode — which also trips
+//! the cancel token of every running job), the accept loop is woken and
+//! exits, every connection thread is joined, and only then does the
+//! requesting client receive its `shutdown` event — the daemon leaks no
+//! threads.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -23,17 +43,18 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use wib_bench::parallel::worker_threads;
 use wib_bench::Runner;
-use wib_core::{Json, MachineConfig, RunResult};
+use wib_core::{CancelToken, Json, MachineConfig, Processor, RunLimit, RunResult};
 use wib_workloads::{eval_suite, test_suite, Workload};
 
 use crate::cache::ResultCache;
+use crate::fault::{FaultPlan, WriteFault};
 use crate::protocol::{self, JobRequest, Request, MAX_INSTS};
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, TryPushError};
 
 /// How often a blocked connection reader wakes to check for shutdown.
 const READ_TICK: Duration = Duration::from_millis(100);
@@ -42,6 +63,22 @@ const READ_TICK: Duration = Duration::from_millis(100);
 /// is always in the result document; streaming is a progress feed).
 const MAX_STREAMED_INTERVALS: usize = 64;
 
+/// Per-connection socket write budget: a peer that accepts no bytes for
+/// this long is treated as gone and its writer thread exits.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How many times a worker thread is restarted after a panic that
+/// escaped per-job isolation before the daemon gives up on that slot.
+/// High enough to never matter in practice, low enough to stop a
+/// pathological panic loop from spinning forever.
+const MAX_WORKER_RESTARTS: u64 = 1000;
+
+/// Shed-backoff shape: base delay, doubling per consecutive shed, cap,
+/// plus jitter in `[0, SHED_JITTER_MS]`.
+const SHED_BASE_MS: u64 = 25;
+const SHED_CAP_MS: u64 = 2000;
+const SHED_JITTER_MS: u64 = 25;
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -49,7 +86,7 @@ pub struct ServerOptions {
     pub addr: String,
     /// Worker pool size (0 = the sweep pool default, `WIB_THREADS`).
     pub workers: usize,
-    /// Bounded job-queue capacity (backpressure threshold).
+    /// Bounded job-queue capacity (the overload-shedding threshold).
     pub queue_capacity: usize,
     /// Serve the miniature test suite instead of the eval suite.
     pub tiny: bool,
@@ -64,12 +101,15 @@ pub struct ServerOptions {
     /// File to write the bound address into once listening (for
     /// scripts driving an ephemeral port).
     pub port_file: Option<PathBuf>,
+    /// Fault-injection spec (see [`crate::fault`]); falls back to the
+    /// `WIB_FAULTS` environment variable when `None`.
+    pub faults: Option<String>,
 }
 
 impl Default for ServerOptions {
     /// Loopback ephemeral port, pool-sized workers, protocol defaults
     /// from the environment (`WIB_INSTS`/`WIB_WARMUP`/`WIB_QUICK`),
-    /// persistence from `WIB_RESULTS_DIR`.
+    /// persistence from `WIB_RESULTS_DIR`, faults from `WIB_FAULTS`.
     fn default() -> ServerOptions {
         let runner = Runner::from_env();
         ServerOptions {
@@ -82,6 +122,7 @@ impl Default for ServerOptions {
             default_warmup: runner.warmup,
             quiet: false,
             port_file: None,
+            faults: None,
         }
     }
 }
@@ -114,11 +155,34 @@ struct Job {
     cfg: MachineConfig,
     insts: u64,
     warmup: u64,
+    /// Wall-clock budget, armed when a worker picks the job up.
+    deadline_ms: Option<u64>,
     state: JobState,
     cancelled: bool,
+    /// Present while the job is running: tripping it stops the engine at
+    /// the next epoch boundary. Created under the jobs lock at pickup,
+    /// so a cancel request can never race past it.
+    token: Option<CancelToken>,
     /// Event channel back to the submitting connection; dropped at the
     /// terminal event so writer threads can exit.
     sender: Option<Sender<String>>,
+}
+
+/// RAII decrement of the busy-worker gauge; `Drop` keeps it accurate
+/// even if job bookkeeping panics.
+struct BusyGuard<'a>(&'a AtomicUsize);
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// How one job attempt ended (internal to the worker).
+enum Outcome {
+    Done { doc: Json, cached: bool },
+    Cancelled,
+    Failed(String),
 }
 
 struct Shared {
@@ -126,6 +190,7 @@ struct Shared {
     catalog: HashMap<String, Workload>,
     scale: &'static str,
     cache: ResultCache,
+    faults: Arc<FaultPlan>,
     queue: BoundedQueue<u64>,
     jobs: Mutex<HashMap<u64, Job>>,
     next_job: AtomicU64,
@@ -135,7 +200,15 @@ struct Shared {
     completed: AtomicU64,
     errors: AtomicU64,
     cancelled: AtomicU64,
-    watchers: Mutex<Vec<Sender<String>>>,
+    panicked: AtomicU64,
+    deadline_expired: AtomicU64,
+    shed: AtomicU64,
+    /// Consecutive sheds with no accepted enqueue in between; drives the
+    /// escalating `retry_after_ms` hint.
+    shed_streak: AtomicU64,
+    worker_restarts: AtomicU64,
+    watchers: Mutex<HashMap<u64, Sender<String>>>,
+    next_watcher: AtomicU64,
     shutting_down: AtomicBool,
     finished: Mutex<bool>,
     finished_cv: Condvar,
@@ -149,30 +222,47 @@ impl Shared {
         }
     }
 
+    /// Jobs-map lock, tolerant of poisoning: a panicking worker must
+    /// not wedge every other worker and connection forever. Panics in
+    /// this file never happen while the map is mid-mutation (single
+    /// field writes), so the recovered state is consistent.
+    fn lock_jobs(&self) -> MutexGuard<'_, HashMap<u64, Job>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_watchers(&self) -> MutexGuard<'_, HashMap<u64, Sender<String>>> {
+        self.watchers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Send `ev` to the job's own connection (if still attached) and to
-    /// every watcher. Dead channels are pruned lazily.
+    /// every watcher. A watcher whose connection died (its writer hit a
+    /// broken pipe and hung up the channel) fails the send and is
+    /// unregistered here, its buffered events dropped with it.
     fn publish(&self, own: Option<&Sender<String>>, ev: &Json) {
         let line = ev.to_string();
         if let Some(tx) = own {
             let _ = tx.send(line.clone());
         }
-        let mut watchers = self.watchers.lock().unwrap();
-        watchers.retain(|w| w.send(line.clone()).is_ok());
+        let mut watchers = self.lock_watchers();
+        watchers.retain(|_, w| w.send(line.clone()).is_ok());
     }
 
     fn is_finished(&self) -> bool {
-        *self.finished.lock().unwrap()
+        *self.finished.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn mark_finished(&self) {
-        *self.finished.lock().unwrap() = true;
+        *self.finished.lock().unwrap_or_else(PoisonError::into_inner) = true;
         self.finished_cv.notify_all();
     }
 
     fn wait_finished(&self) {
-        let mut done = self.finished.lock().unwrap();
+        let mut done = self.finished.lock().unwrap_or_else(PoisonError::into_inner);
         while !*done {
-            done = self.finished_cv.wait(done).unwrap();
+            done = self
+                .finished_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -192,11 +282,32 @@ impl Shared {
             .field("completed", self.completed.load(Ordering::Relaxed))
             .field("errors", self.errors.load(Ordering::Relaxed))
             .field("cancelled", self.cancelled.load(Ordering::Relaxed))
+            .field("panicked", self.panicked.load(Ordering::Relaxed))
+            .field(
+                "deadline_expired",
+                self.deadline_expired.load(Ordering::Relaxed),
+            )
+            .field("shed", self.shed.load(Ordering::Relaxed))
+            .field(
+                "worker_restarts",
+                self.worker_restarts.load(Ordering::Relaxed),
+            )
+            .field("watchers", self.lock_watchers().len())
             .field("cache", self.cache.stats().to_json())
     }
 
+    /// The `retry_after_ms` hint for the `n`-th consecutive shed:
+    /// exponential from [`SHED_BASE_MS`], capped at [`SHED_CAP_MS`],
+    /// plus deterministic jitter so a herd of shed clients does not
+    /// retry in lockstep.
+    fn retry_after_ms(&self, streak: u64) -> u64 {
+        let base = (SHED_BASE_MS << streak.saturating_sub(1).min(6)).min(SHED_CAP_MS);
+        base + self.faults.jitter_ms(streak, SHED_JITTER_MS)
+    }
+
     /// Flip into shutdown: in non-drain mode flag every queued job
-    /// cancelled first, then close the queue and wake the accept loop.
+    /// cancelled and trip every running job's token first, then close
+    /// the queue and wake the accept loop.
     fn begin_shutdown(&self, drain: bool) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return; // second shutdown request: idempotent
@@ -207,10 +318,16 @@ impl Shared {
             "shutdown requested (now)"
         });
         if !drain {
-            let mut jobs = self.jobs.lock().unwrap();
+            let mut jobs = self.lock_jobs();
             for job in jobs.values_mut() {
-                if job.state == JobState::Queued {
-                    job.cancelled = true;
+                match job.state {
+                    JobState::Queued => job.cancelled = true,
+                    JobState::Running => {
+                        if let Some(t) = &job.token {
+                            t.cancel();
+                        }
+                    }
+                    _ => {}
                 }
             }
         }
@@ -332,8 +449,20 @@ pub fn build_catalog(tiny: bool) -> HashMap<String, Workload> {
 /// Bind and start a daemon in background threads.
 ///
 /// # Errors
-/// Socket binding / port-file errors.
+/// Socket binding / port-file errors, or a malformed fault spec
+/// (`InvalidInput` naming the bad clause).
 pub fn spawn(opts: ServerOptions) -> std::io::Result<ServerHandle> {
+    let fault_spec = opts
+        .faults
+        .clone()
+        .or_else(|| std::env::var("WIB_FAULTS").ok());
+    let faults = match &fault_spec {
+        Some(spec) => Arc::new(
+            FaultPlan::parse(spec)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+        ),
+        None => Arc::new(FaultPlan::none()),
+    };
     let listener = TcpListener::bind(&opts.addr)?;
     let bound = listener.local_addr()?;
     if let Some(path) = &opts.port_file {
@@ -350,7 +479,8 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         catalog: build_catalog(opts.tiny),
         scale: if opts.tiny { "tiny" } else { "eval" },
-        cache: ResultCache::new(opts.results_dir.clone()),
+        cache: ResultCache::with_faults(opts.results_dir.clone(), Arc::clone(&faults)),
+        faults,
         queue: BoundedQueue::new(opts.queue_capacity),
         jobs: Mutex::new(HashMap::new()),
         next_job: AtomicU64::new(1),
@@ -360,7 +490,13 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<ServerHandle> {
         completed: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         cancelled: AtomicU64::new(0),
-        watchers: Mutex::new(Vec::new()),
+        panicked: AtomicU64::new(0),
+        deadline_expired: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        shed_streak: AtomicU64::new(0),
+        worker_restarts: AtomicU64::new(0),
+        watchers: Mutex::new(HashMap::new()),
+        next_watcher: AtomicU64::new(1),
         shutting_down: AtomicBool::new(false),
         finished: Mutex::new(false),
         finished_cv: Condvar::new(),
@@ -373,6 +509,12 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<ServerHandle> {
         shared.catalog.len(),
         shared.scale
     ));
+    if shared.faults.is_active() {
+        shared.log(&format!(
+            "fault injection ARMED: {}",
+            fault_spec.as_deref().unwrap_or("")
+        ));
+    }
     let run_shared = Arc::clone(&shared);
     let thread = std::thread::Builder::new()
         .name("wib-serve-accept".to_string())
@@ -405,7 +547,25 @@ fn run_loop(shared: Arc<Shared>, listener: TcpListener) {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("wib-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || {
+                    // Recycle loop: per-job panics are absorbed inside
+                    // `worker_loop`; anything that still escapes (a
+                    // bookkeeping bug) restarts the slot instead of
+                    // silently shrinking the pool.
+                    loop {
+                        if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).is_ok() {
+                            break; // queue drained: normal exit
+                        }
+                        let n = shared.worker_restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                        shared.log(&format!(
+                            "worker {i} panicked outside job isolation; recycling (restart {n})"
+                        ));
+                        if n >= MAX_WORKER_RESTARTS {
+                            shared.log(&format!("worker {i} exceeded restart budget; retiring"));
+                            break;
+                        }
+                    }
+                })
                 .expect("spawn worker")
         })
         .collect();
@@ -440,7 +600,7 @@ fn run_loop(shared: Arc<Shared>, listener: TcpListener) {
         .field("errors", shared.errors.load(Ordering::Relaxed))
         .field("cancelled", shared.cancelled.load(Ordering::Relaxed));
     shared.publish(None, &farewell);
-    shared.watchers.lock().unwrap().clear();
+    shared.lock_watchers().clear();
     // Unblock any connection reader (including the one that requested
     // the shutdown, waiting in `wait_finished`).
     shared.mark_finished();
@@ -452,93 +612,135 @@ fn run_loop(shared: Arc<Shared>, listener: TcpListener) {
 
 fn worker_loop(shared: &Shared) {
     while let Some(id) = shared.queue.pop() {
-        let (tx, workload_name, cfg, insts, warmup, key, was_cancelled) = {
-            let mut jobs = shared.jobs.lock().unwrap();
-            let job = jobs.get_mut(&id).expect("queued job exists");
-            if job.cancelled {
-                job.state = JobState::Cancelled;
-                let tx = job.sender.take();
-                (tx, String::new(), None, 0, 0, String::new(), true)
-            } else {
-                job.state = JobState::Running;
-                (
-                    job.sender.clone(),
-                    job.workload.clone(),
-                    Some(job.cfg.clone()),
-                    job.insts,
-                    job.warmup,
-                    job.key.clone(),
-                    false,
-                )
-            }
+        run_one_job(shared, id);
+    }
+}
+
+/// Execute one dequeued job end to end: pickup (arming its cancel
+/// token), panic-shielded simulation, terminal bookkeeping, event.
+fn run_one_job(shared: &Shared, id: u64) {
+    let picked = {
+        let mut jobs = shared.lock_jobs();
+        let Some(job) = jobs.get_mut(&id) else {
+            return; // unknown id: nothing to do
         };
-        if was_cancelled {
+        if job.cancelled {
+            job.state = JobState::Cancelled;
+            Err(job.sender.take())
+        } else {
+            job.state = JobState::Running;
+            let token = match job.deadline_ms {
+                Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+                None => CancelToken::new(),
+            };
+            job.token = Some(token.clone());
+            Ok((
+                job.sender.clone(),
+                job.workload.clone(),
+                job.cfg.clone(),
+                job.insts,
+                job.warmup,
+                job.key.clone(),
+                token,
+            ))
+        }
+    };
+    let (tx, workload_name, cfg, insts, warmup, key, token) = match picked {
+        Err(tx) => {
             shared.cancelled.fetch_add(1, Ordering::Relaxed);
             shared.publish(tx.as_ref(), &protocol::ev_cancelled(id));
-            continue;
+            return;
         }
-        shared.busy.fetch_add(1, Ordering::Relaxed);
-        shared.publish(tx.as_ref(), &protocol::ev_running(id));
-        let cfg = cfg.expect("running job has a config");
-        let workload = shared
-            .catalog
-            .get(&workload_name)
-            .expect("validated workload exists");
-        let outcome = if let Some(doc) = shared.cache.get(&key) {
-            Ok((Json::parse(&doc).expect("cached documents parse"), true))
-        } else {
-            let computed = catch_unwind(AssertUnwindSafe(|| {
-                let runner = Runner { warmup, insts };
-                let r = runner.run(&cfg, workload);
-                let doc = result_doc(workload, &cfg, insts, warmup, shared.scale, &r);
-                (doc, r)
-            }));
-            match computed {
-                Ok((doc, r)) => {
-                    for sample in r.stats.intervals.iter().take(MAX_STREAMED_INTERVALS) {
-                        shared.publish(tx.as_ref(), &protocol::ev_interval(id, sample));
-                    }
-                    shared.cache.put(&key, doc.to_string());
-                    Ok((doc, false))
-                }
-                Err(panic) => {
-                    let msg = panic
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    Err(format!("simulation panicked: {msg}"))
-                }
+        Ok(p) => p,
+    };
+    shared.busy.fetch_add(1, Ordering::Relaxed);
+    let _busy = BusyGuard(&shared.busy);
+    shared.publish(tx.as_ref(), &protocol::ev_running(id));
+    let outcome = if let Some(doc) = shared.cache.get(&key) {
+        Outcome::Done {
+            doc: Json::parse(&doc).expect("cached documents parse"),
+            cached: true,
+        }
+    } else if let Some(workload) = shared.catalog.get(&workload_name) {
+        let sim = catch_unwind(AssertUnwindSafe(|| {
+            if shared.faults.next_sim_panics() {
+                panic!("injected fault: worker panic");
             }
-        };
-        let terminal = {
-            let mut jobs = shared.jobs.lock().unwrap();
-            let job = jobs.get_mut(&id).expect("running job exists");
+            let mut proc = Processor::new(cfg.clone());
+            proc.set_cancel_token(token.clone());
+            let r =
+                proc.run_program_warmed(workload.program(), warmup, RunLimit::instructions(insts));
+            let doc = result_doc(workload, &cfg, insts, warmup, shared.scale, &r);
+            (doc, r)
+        }));
+        match sim {
+            // A cancelled run carries partial statistics: never cache
+            // or publish its document.
+            Ok((_, r)) if r.cancelled && token.is_cancelled() => Outcome::Cancelled,
+            Ok((_, r)) if r.cancelled => {
+                shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                let ms = shared.lock_jobs().get(&id).and_then(|j| j.deadline_ms);
+                Outcome::Failed(format!("deadline of {}ms expired mid-run", ms.unwrap_or(0)))
+            }
+            Ok((doc, r)) => {
+                for sample in r.stats.intervals.iter().take(MAX_STREAMED_INTERVALS) {
+                    shared.publish(tx.as_ref(), &protocol::ev_interval(id, sample));
+                }
+                shared.cache.put(&key, doc.to_string());
+                Outcome::Done { doc, cached: false }
+            }
+            Err(panic) => {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Outcome::Failed(format!("simulation panicked: {msg}"))
+            }
+        }
+    } else {
+        Outcome::Failed(format!("workload {workload_name:?} vanished from catalog"))
+    };
+    {
+        let mut jobs = shared.lock_jobs();
+        if let Some(job) = jobs.get_mut(&id) {
             job.sender = None;
-            match &outcome {
-                Ok(_) => job.state = JobState::Done,
-                Err(_) => job.state = JobState::Failed,
-            }
-            job.state
-        };
-        match outcome {
-            Ok((doc, cached)) => {
-                shared.completed.fetch_add(1, Ordering::Relaxed);
-                shared.log(&format!(
-                    "job {id} {workload_name} done{}",
-                    if cached { " (cached)" } else { "" }
-                ));
-                shared.publish(tx.as_ref(), &protocol::ev_done(id, cached, doc));
-            }
-            Err(msg) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                shared.log(&format!("job {id} {workload_name} failed: {msg}"));
-                shared.publish(tx.as_ref(), &protocol::ev_error(id, &msg));
-            }
+            job.token = None;
+            job.state = match outcome {
+                Outcome::Done { .. } => JobState::Done,
+                Outcome::Cancelled => JobState::Cancelled,
+                Outcome::Failed(_) => JobState::Failed,
+            };
         }
-        debug_assert_ne!(terminal, JobState::Queued);
-        shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
+    match outcome {
+        Outcome::Done { doc, cached } => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.log(&format!(
+                "job {id} {workload_name} done{}",
+                if cached { " (cached)" } else { "" }
+            ));
+            shared.publish(tx.as_ref(), &protocol::ev_done(id, cached, doc));
+        }
+        Outcome::Cancelled => {
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.log(&format!("job {id} {workload_name} cancelled mid-run"));
+            shared.publish(tx.as_ref(), &protocol::ev_cancelled(id));
+        }
+        Outcome::Failed(msg) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.log(&format!("job {id} {workload_name} failed: {msg}"));
+            shared.publish(tx.as_ref(), &protocol::ev_error(id, &key, &msg));
+        }
+    }
+}
+
+/// Per-connection dispatch state (what the reader must undo on close).
+#[derive(Default)]
+struct ConnState {
+    /// This connection's watcher registration, if it sent `watch`.
+    watcher_id: Option<u64>,
 }
 
 fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
@@ -552,12 +754,28 @@ fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    // A peer that stops draining its socket must not pin this thread:
+    // bound every write, and treat timeout like any other write error.
+    let _ = write_half.set_write_timeout(Some(WRITE_TIMEOUT));
     let (tx, rx) = channel::<String>();
+    let writer_faults = Arc::clone(&shared.faults);
     let writer = std::thread::Builder::new()
         .name("wib-serve-writer".to_string())
         .spawn(move || {
             let mut out = BufWriter::new(write_half);
             while let Ok(line) = rx.recv() {
+                match writer_faults.next_client_write() {
+                    WriteFault::None => {}
+                    WriteFault::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                    WriteFault::Truncate => {
+                        // A peer that vanished mid-line: half the frame,
+                        // then the writer dies.
+                        let _ = out
+                            .write_all(&line.as_bytes()[..line.len() / 2])
+                            .and_then(|()| out.flush());
+                        break;
+                    }
+                }
                 if out
                     .write_all(line.as_bytes())
                     .and_then(|()| out.write_all(b"\n"))
@@ -571,6 +789,7 @@ fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
         .expect("spawn writer thread");
     let mut reader = BufReader::new(stream);
     let mut acc = String::new();
+    let mut conn = ConnState::default();
     loop {
         if shared.is_finished() {
             break;
@@ -586,7 +805,7 @@ fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
                 if line.is_empty() {
                     continue;
                 }
-                if dispatch(&shared, &tx, &line) {
+                if dispatch(&shared, &tx, &mut conn, &line) {
                     break;
                 }
             }
@@ -599,6 +818,11 @@ fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
             Err(_) => break,
         }
     }
+    // Undo this connection's watcher registration so workers stop
+    // buffering events for a peer that is gone.
+    if let Some(wid) = conn.watcher_id {
+        shared.lock_watchers().remove(&wid);
+    }
     shared.log(&format!("connection {peer} closed"));
     drop(tx);
     let _ = writer.join();
@@ -606,7 +830,7 @@ fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
 
 /// Handle one request line; returns `true` when the connection should
 /// close (after a shutdown request completes).
-fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, line: &str) -> bool {
+fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, conn: &mut ConnState, line: &str) -> bool {
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err(e) => {
@@ -622,18 +846,32 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, line: &str) -> bool {
             let _ = tx.send(shared.stats_json().to_string());
         }
         Request::Watch => {
-            shared.watchers.lock().unwrap().push(tx.clone());
+            let wid = shared.next_watcher.fetch_add(1, Ordering::Relaxed);
+            shared.lock_watchers().insert(wid, tx.clone());
+            conn.watcher_id = Some(wid);
             let _ = tx.send(Json::obj().field("event", "watching").to_string());
         }
         Request::Cancel { job } => {
-            let mut jobs = shared.jobs.lock().unwrap();
-            let (ok, state) = match jobs.get_mut(&job) {
-                Some(j) if j.state == JobState::Queued && !j.cancelled => {
-                    j.cancelled = true;
-                    (true, "queued")
+            let (ok, state) = {
+                let mut jobs = shared.lock_jobs();
+                match jobs.get_mut(&job) {
+                    Some(j) if j.state == JobState::Queued && !j.cancelled => {
+                        j.cancelled = true;
+                        (true, "queued")
+                    }
+                    Some(j) if j.state == JobState::Running => match &j.token {
+                        Some(t) => {
+                            // The engine observes this at its next epoch
+                            // boundary; the worker then publishes the
+                            // terminal `cancelled` event.
+                            t.cancel();
+                            (true, "running")
+                        }
+                        None => (false, "running"),
+                    },
+                    Some(j) => (false, j.state.name()),
+                    None => (false, "unknown"),
                 }
-                Some(j) => (false, j.state.name()),
-                None => (false, "unknown"),
             };
             let _ = tx.send(
                 Json::obj()
@@ -648,8 +886,9 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, line: &str) -> bool {
             jobs,
             insts,
             warmup,
+            deadline_ms,
         } => {
-            submit_batch(shared, tx, &jobs, insts, warmup);
+            submit_batch(shared, tx, &jobs, insts, warmup, deadline_ms);
         }
         Request::Shutdown { drain } => {
             shared.begin_shutdown(drain);
@@ -675,6 +914,7 @@ fn submit_batch(
     jobs: &[JobRequest],
     batch_insts: Option<u64>,
     batch_warmup: Option<u64>,
+    batch_deadline: Option<u64>,
 ) {
     for (index, job) in jobs.iter().enumerate() {
         if shared.shutting_down.load(Ordering::SeqCst) {
@@ -701,7 +941,7 @@ fn submit_batch(
         let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
         let spec = cfg.to_spec();
         let key = ResultCache::key(&workload, &cfg, insts, warmup, shared.scale);
-        shared.jobs.lock().unwrap().insert(
+        shared.lock_jobs().insert(
             id,
             Job {
                 workload: workload.clone(),
@@ -709,24 +949,46 @@ fn submit_batch(
                 cfg,
                 insts,
                 warmup,
+                deadline_ms: job.deadline_ms.or(batch_deadline),
                 state: JobState::Queued,
                 cancelled: false,
+                token: None,
                 sender: Some(tx.clone()),
             },
         );
-        shared.submitted.fetch_add(1, Ordering::Relaxed);
-        shared.publish(Some(tx), &protocol::ev_queued(id, &workload, &spec, &key));
-        // This is the backpressure point: a full queue blocks this
-        // connection's reader until workers catch up.
-        if shared.queue.push(id).is_err() {
-            let mut jobs_map = shared.jobs.lock().unwrap();
-            if let Some(j) = jobs_map.get_mut(&id) {
-                j.state = JobState::Cancelled;
-                j.sender = None;
+        // `queued` goes out before the enqueue so no worker can emit
+        // `running` first; if the push is then refused, the terminal
+        // `shed` event (same job id) retracts it.
+        shared.publish(
+            Some(tx),
+            &protocol::ev_queued(id, index, &workload, &spec, &key),
+        );
+        let refused = if shared.faults.next_enqueue_sheds() {
+            Err(TryPushError::Full) // injected overload
+        } else {
+            shared.queue.try_push(id)
+        };
+        match refused {
+            Ok(()) => {
+                shared.submitted.fetch_add(1, Ordering::Relaxed);
+                shared.shed_streak.store(0, Ordering::Relaxed);
             }
-            drop(jobs_map);
-            shared.cancelled.fetch_add(1, Ordering::Relaxed);
-            shared.publish(Some(tx), &protocol::ev_cancelled(id));
+            Err(TryPushError::Full) => {
+                shared.lock_jobs().remove(&id);
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                let streak = shared.shed_streak.fetch_add(1, Ordering::Relaxed) + 1;
+                let retry_after = shared.retry_after_ms(streak);
+                shared.log(&format!(
+                    "queue full: shed job {id} {workload} (retry in {retry_after}ms)"
+                ));
+                shared.publish(Some(tx), &protocol::ev_shed(id, &workload, retry_after));
+            }
+            Err(TryPushError::Closed) => {
+                shared.lock_jobs().remove(&id);
+                let _ = tx.send(
+                    protocol::ev_rejected(index, &workload, "server is shutting down").to_string(),
+                );
+            }
         }
     }
 }

@@ -1,0 +1,147 @@
+//! Crash-safety tests for the persistent result cache.
+//!
+//! Each test stages an on-disk state a crashed or corrupted daemon
+//! could leave behind — a truncated entry, a stale generation header,
+//! an orphaned temp file, a torn write over an older committed entry —
+//! and asserts that a fresh [`ResultCache`] either serves a valid
+//! document or cleanly treats the damage as a miss. At no point may
+//! corruption be served back to a client.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use wib_serve::{FaultPlan, ResultCache};
+
+/// Fresh scratch directory (results root; the cache nests under
+/// `<root>/cache/`).
+fn scratch(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("wib_cache_crash_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn entry_path(root: &PathBuf, key: &str) -> PathBuf {
+    root.join("cache").join(format!("{key}.json"))
+}
+
+const KEY: &str = "00000000deadbeef";
+const DOC: &str = "{\"ipc\": 1.5}";
+
+#[test]
+fn a_committed_entry_survives_a_process_restart() {
+    let root = scratch("restart");
+    ResultCache::new(Some(root.clone())).put(KEY, DOC.to_string());
+
+    // A second cache on the same directory models the restarted daemon.
+    let revived = ResultCache::new(Some(root.clone()));
+    let doc = revived.get(KEY).expect("committed entry must survive");
+    assert_eq!(doc.as_str(), DOC);
+    let s = revived.stats();
+    assert_eq!((s.hits, s.misses, s.rejected), (1, 0, 0));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_truncated_entry_is_a_miss_not_garbage() {
+    let root = scratch("truncated");
+    ResultCache::new(Some(root.clone())).put(KEY, DOC.to_string());
+
+    // Chop the committed file mid-document, as a dying filesystem might.
+    let path = entry_path(&root, KEY);
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &text.as_bytes()[..text.len() - 5]).unwrap();
+
+    let revived = ResultCache::new(Some(root.clone()));
+    assert!(revived.get(KEY).is_none(), "truncated entry must not hit");
+    let s = revived.stats();
+    assert_eq!((s.hits, s.misses, s.rejected), (0, 1, 1));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_stale_generation_header_is_a_miss() {
+    let root = scratch("generation");
+    std::fs::create_dir_all(root.join("cache")).unwrap();
+
+    // A valid document under an older cache generation: readable, but
+    // the format contract has moved on, so it must be recomputed.
+    std::fs::write(
+        entry_path(&root, KEY),
+        format!("wib-serve-cache/v1 {KEY}\n{DOC}\n"),
+    )
+    .unwrap();
+
+    let cache = ResultCache::new(Some(root.clone()));
+    assert!(cache.get(KEY).is_none(), "old generation must not hit");
+    assert_eq!(cache.stats().rejected, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_header_naming_another_key_is_a_miss() {
+    let root = scratch("wrong_key");
+    std::fs::create_dir_all(root.join("cache")).unwrap();
+
+    // Right generation, wrong identity — e.g. a file renamed by hand.
+    std::fs::write(
+        entry_path(&root, KEY),
+        format!("wib-serve-cache/v2 ffffffff00000000\n{DOC}\n"),
+    )
+    .unwrap();
+
+    let cache = ResultCache::new(Some(root.clone()));
+    assert!(cache.get(KEY).is_none(), "mismatched key must not hit");
+    assert_eq!(cache.stats().rejected, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn orphaned_temps_are_scavenged_and_committed_entries_are_not() {
+    let root = scratch("scavenge");
+    ResultCache::new(Some(root.clone())).put(KEY, DOC.to_string());
+
+    // Two temp files orphaned by a crash between write and rename.
+    let cache_dir = root.join("cache");
+    std::fs::write(cache_dir.join("1111222233334444.json.tmp"), "partial").unwrap();
+    std::fs::write(cache_dir.join("5555666677778888.json.tmp"), "").unwrap();
+
+    let revived = ResultCache::new(Some(root.clone()));
+    assert_eq!(revived.stats().scavenged, 2);
+    let leftover: Vec<_> = std::fs::read_dir(&cache_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        leftover,
+        vec![format!("{KEY}.json")],
+        "temps removed, committed entry kept"
+    );
+    assert!(revived.get(KEY).is_some(), "scavenging must not touch data");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_torn_write_never_clobbers_the_committed_entry() {
+    let root = scratch("torn");
+    ResultCache::new(Some(root.clone())).put(KEY, DOC.to_string());
+
+    // A later write of the same key tears mid-temp-file (simulated
+    // crash). The rename never happens, so the committed entry must be
+    // untouched on disk.
+    let faulty = ResultCache::with_faults(
+        Some(root.clone()),
+        Arc::new(FaultPlan::parse("seed=3,tear=1").unwrap()),
+    );
+    faulty.put(KEY, "{\"ipc\": 9.9}".to_string());
+    assert_eq!(faulty.stats().persist_failures, 1);
+
+    // The restarted daemon scavenges the torn temp and still serves the
+    // original committed document.
+    let revived = ResultCache::new(Some(root.clone()));
+    assert_eq!(revived.stats().scavenged, 1, "torn temp left behind");
+    let doc = revived.get(KEY).expect("committed entry survives the tear");
+    assert_eq!(doc.as_str(), DOC);
+    let _ = std::fs::remove_dir_all(&root);
+}

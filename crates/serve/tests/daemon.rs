@@ -41,6 +41,7 @@ fn job(workload: &str, spec: &str) -> JobRequest {
         spec: spec.to_string(),
         insts: None,
         warmup: None,
+        deadline_ms: None,
     }
 }
 
@@ -168,7 +169,7 @@ fn rejections_name_the_reason_and_leave_the_daemon_healthy() {
 }
 
 #[test]
-fn queued_jobs_can_be_cancelled_but_running_ones_cannot() {
+fn queued_jobs_can_be_cancelled_and_unknown_ids_are_refused() {
     use std::io::{BufRead, BufReader, BufWriter, Write};
     use std::net::TcpStream;
     // One worker, so jobs after the first are definitely queued.
@@ -244,8 +245,8 @@ fn queued_jobs_can_be_cancelled_but_running_ones_cannot() {
 
 #[test]
 fn a_tiny_queue_still_completes_a_big_batch() {
-    // Capacity 1 with 1 worker forces the submit path through the
-    // backpressure branch repeatedly; every job must still complete.
+    // Capacity 1 with 1 worker forces repeated overload sheds; the
+    // client's retry-with-backoff loop must still land every job.
     let handle = tiny_server(1, 1);
     let addr = handle.addr().to_string();
     let jobs: Vec<JobRequest> = ["gzip", "em3d", "mst", "gzip", "em3d", "mst"]

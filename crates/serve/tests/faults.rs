@@ -1,0 +1,361 @@
+//! Fault-tolerance tests over a real loopback daemon.
+//!
+//! Each test arms a deterministic [`FaultPlan`] (via
+//! `ServerOptions::faults`) or exercises a failure path directly —
+//! panicking workers, deadlines on running jobs, cancellation mid-run,
+//! overload shedding, watcher disconnects — and then proves the daemon
+//! is still healthy: later jobs complete, counters account for what
+//! happened, and `ServerHandle::join` returning shows no thread leaked.
+//!
+//! [`FaultPlan`]: wib_serve::FaultPlan
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use wib_core::Json;
+use wib_serve::client::{self, SubmitOptions};
+use wib_serve::server::{self};
+use wib_serve::{JobRequest, JobStatus, ServerOptions};
+
+const INSTS: u64 = 20_000;
+const WARMUP: u64 = 2_000;
+
+fn opts(workers: usize, queue_capacity: usize, faults: &str) -> ServerOptions {
+    ServerOptions {
+        workers,
+        queue_capacity,
+        tiny: true,
+        results_dir: None,
+        default_insts: INSTS,
+        default_warmup: WARMUP,
+        quiet: true,
+        faults: if faults.is_empty() {
+            None
+        } else {
+            Some(faults.to_string())
+        },
+        ..ServerOptions::default()
+    }
+}
+
+fn job(workload: &str, spec: &str) -> JobRequest {
+    JobRequest {
+        workload: workload.to_string(),
+        spec: spec.to_string(),
+        insts: None,
+        warmup: None,
+        deadline_ms: None,
+    }
+}
+
+fn stat(doc: &Json, key: &str) -> u64 {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats doc lacks {key}: {doc}"))
+}
+
+#[test]
+fn a_bad_fault_spec_refuses_to_spawn() {
+    let err = match server::spawn(opts(1, 4, "warp=1")) {
+        Ok(_) => panic!("unknown fault kind must fail to spawn"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("warp"), "error names the clause");
+}
+
+#[test]
+fn a_worker_panic_is_isolated_and_the_pool_survives() {
+    // One worker; the first simulation attempt panics. The job must come
+    // back as a structured `error` carrying the spec digest, and the
+    // same worker must then complete both remaining jobs.
+    let handle = server::spawn(opts(1, 8, "seed=1,panic=1")).unwrap();
+    let addr = handle.addr().to_string();
+    let jobs = vec![job("gzip", "base"), job("em3d", "base"), job("mst", "base")];
+    let outcomes = client::submit(&addr, &jobs, None, None, None, false).expect("submit");
+    assert_eq!(outcomes.len(), 3);
+    let failed: Vec<_> = outcomes.iter().filter(|o| !o.succeeded()).collect();
+    assert_eq!(failed.len(), 1, "exactly the injected panic fails");
+    let JobStatus::Error(msg) = &failed[0].status else {
+        panic!(
+            "panicked job must be an Error outcome: {:?}",
+            failed[0].status
+        );
+    };
+    assert!(msg.contains("panicked"), "message names the panic: {msg}");
+    assert!(
+        !failed[0].digest.is_empty(),
+        "error outcome keeps its digest"
+    );
+
+    // The daemon is healthy: a resubmission of the failed job succeeds
+    // (the fault ordinal has passed) and the counters add up.
+    let retry = client::submit(
+        &addr,
+        &[job(&failed[0].workload, "base")],
+        None,
+        None,
+        None,
+        false,
+    )
+    .expect("resubmit");
+    assert!(retry[0].succeeded(), "resubmitted job completes");
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(stat(&stats, "panicked"), 1);
+    assert_eq!(stat(&stats, "errors"), 1);
+    assert_eq!(stat(&stats, "completed"), 3);
+    assert_eq!(
+        stat(&stats, "worker_restarts"),
+        0,
+        "panic stayed inside job isolation"
+    );
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn a_running_job_can_be_cancelled_within_one_epoch() {
+    // A very long job on one worker; cancel it *after* it starts
+    // running. The engine polls its token at epoch boundaries, so the
+    // terminal `cancelled` event must arrive promptly.
+    let handle = server::spawn(opts(1, 4, "")).unwrap();
+    let addr = handle.addr().to_string();
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut w = BufWriter::new(stream.try_clone().unwrap());
+    let mut r = BufReader::new(stream);
+    // ~2e8 instructions: minutes of simulation if not cancelled.
+    w.write_all(
+        b"{\"op\":\"submit\",\"jobs\":[{\"workload\":\"gzip\",\"spec\":\"base\",\
+          \"insts\":200000000,\"warmup\":0}]}\n",
+    )
+    .unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    let mut job_id = 0;
+    // Wait for the job to be *running*, then cancel it.
+    loop {
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        let ev = Json::parse(line.trim()).unwrap();
+        match ev.get("event").and_then(Json::as_str) {
+            Some("queued") => job_id = ev.get("job").and_then(Json::as_u64).unwrap(),
+            Some("running") => break,
+            other => panic!("unexpected event before running: {other:?}"),
+        }
+    }
+    let started = std::time::Instant::now();
+    w.write_all(format!("{{\"op\":\"cancel\",\"job\":{job_id}}}\n").as_bytes())
+        .unwrap();
+    w.flush().unwrap();
+    let mut saw_ack = false;
+    let mut saw_terminal = false;
+    while !(saw_ack && saw_terminal) {
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        let ev = Json::parse(line.trim()).unwrap();
+        match ev.get("event").and_then(Json::as_str) {
+            Some("cancel") => {
+                assert_eq!(ev.get("ok").and_then(Json::as_bool), Some(true));
+                assert_eq!(
+                    ev.get("state").and_then(Json::as_str),
+                    Some("running"),
+                    "ack must say the job was cancelled while running"
+                );
+                saw_ack = true;
+            }
+            Some("cancelled") => {
+                assert_eq!(ev.get("job").and_then(Json::as_u64), Some(job_id));
+                saw_terminal = true;
+            }
+            Some("interval") => {}
+            other => panic!("unexpected event after cancel: {other:?}"),
+        }
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "cancellation must not wait for the full run"
+    );
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(stat(&stats, "cancelled"), 1);
+    drop((w, r));
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn an_expired_deadline_fails_the_job_with_a_named_error() {
+    // The same long job, but with a 1ms deadline (expired long before
+    // the run's first epoch boundary): the run must abort there and come
+    // back as a deadline error, while a deadline-free sibling completes
+    // untouched.
+    let handle = server::spawn(opts(1, 4, "")).unwrap();
+    let addr = handle.addr().to_string();
+    let mut doomed = job("gzip", "base");
+    doomed.insts = Some(200_000_000);
+    doomed.warmup = Some(0);
+    doomed.deadline_ms = Some(1);
+    let jobs = vec![doomed, job("em3d", "base")];
+    let started = std::time::Instant::now();
+    let outcomes = client::submit(&addr, &jobs, None, None, None, false).expect("submit");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(60),
+        "deadline must bound the batch wall-clock"
+    );
+    let JobStatus::Error(msg) = &outcomes[0].status else {
+        panic!("deadline job must error: {:?}", outcomes[0].status);
+    };
+    assert!(msg.contains("deadline"), "error names the deadline: {msg}");
+    assert!(msg.contains("1ms"), "error names the budget: {msg}");
+    assert!(
+        outcomes[1].succeeded(),
+        "sibling without deadline completes"
+    );
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(stat(&stats, "deadline_expired"), 1);
+    assert_eq!(stat(&stats, "errors"), 1);
+    assert_eq!(stat(&stats, "panicked"), 0);
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn forced_sheds_report_backoff_and_retries_succeed() {
+    // Inject queue-full on the first two enqueue attempts. The client's
+    // retry loop must wait out the hint and land both jobs anyway.
+    let handle = server::spawn(opts(1, 8, "seed=5,shed=1+2")).unwrap();
+    let addr = handle.addr().to_string();
+    let jobs = vec![job("gzip", "base"), job("em3d", "base")];
+    let outcomes = client::submit(&addr, &jobs, None, None, None, false).expect("submit");
+    assert!(outcomes.iter().all(client::JobOutcome::succeeded));
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(stat(&stats, "shed"), 2);
+    assert_eq!(stat(&stats, "completed"), 2);
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn with_no_retry_budget_a_shed_is_a_terminal_outcome() {
+    let handle = server::spawn(opts(1, 8, "shed=1")).unwrap();
+    let addr = handle.addr().to_string();
+    let outcomes = client::submit_with(
+        &addr,
+        &[job("gzip", "base")],
+        &SubmitOptions {
+            retries: 0,
+            ..SubmitOptions::default()
+        },
+    )
+    .expect("submit");
+    let JobStatus::Shed { retry_after_ms } = outcomes[0].status else {
+        panic!("expected a shed outcome: {:?}", outcomes[0].status);
+    };
+    assert!(
+        retry_after_ms >= 25,
+        "hint carries the backoff: {retry_after_ms}"
+    );
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn a_vanished_watcher_is_unregistered() {
+    let handle = server::spawn(opts(1, 8, "")).unwrap();
+    let addr = handle.addr().to_string();
+    // Attach a watcher, confirm registration, then slam the connection.
+    {
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        w.write_all(b"{\"op\":\"watch\"}\n").unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(stream);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(line.contains("watching"));
+        let stats = client::stats(&addr).expect("stats");
+        assert_eq!(stat(&stats, "watchers"), 1);
+        // Drop both halves: the peer is gone without a goodbye.
+    }
+    // The reader notices the close on its next tick and unregisters.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let stats = client::stats(&addr).expect("stats");
+        if stat(&stats, "watchers") == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never unregistered"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // Jobs still complete with no watcher attached.
+    let outcomes = client::submit(&addr, &[job("gzip", "base")], None, None, None, false).unwrap();
+    assert!(outcomes[0].succeeded());
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn torn_cache_writes_and_scavenging_show_up_in_stats() {
+    let dir = std::env::temp_dir().join(format!("wib_faults_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Plant an orphaned temp file from a "crashed predecessor".
+    std::fs::create_dir_all(dir.join("cache")).unwrap();
+    std::fs::write(dir.join("cache/deadbeef00000000.json.tmp"), b"half a doc").unwrap();
+    let mut o = opts(1, 8, "tear=1");
+    o.results_dir = Some(dir.clone());
+    let handle = server::spawn(o).unwrap();
+    let addr = handle.addr().to_string();
+    // First job: its cache persist is torn (counted, memory-only), but
+    // the client still gets a full result.
+    let outcomes = client::submit(&addr, &[job("gzip", "base")], None, None, None, false).unwrap();
+    assert!(outcomes[0].succeeded());
+    let stats = client::stats(&addr).expect("stats");
+    let cache = stats.get("cache").expect("cache stats");
+    assert_eq!(stat(cache, "scavenged"), 1, "orphan temp was scavenged");
+    assert_eq!(stat(cache, "persist_failures"), 1, "torn write was counted");
+    assert!(
+        !dir.join("cache/deadbeef00000000.json.tmp").exists(),
+        "orphan temp must be deleted"
+    );
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_now_cancels_running_jobs_quickly() {
+    let handle = server::spawn(opts(1, 4, "")).unwrap();
+    let addr = handle.addr().to_string();
+    // Park a very long job on the single worker over a raw socket (the
+    // helper client would block until terminal).
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut w = BufWriter::new(stream.try_clone().unwrap());
+    let mut r = BufReader::new(stream);
+    w.write_all(
+        b"{\"op\":\"submit\",\"jobs\":[{\"workload\":\"gzip\",\"spec\":\"base\",\
+          \"insts\":200000000,\"warmup\":0}]}\n",
+    )
+    .unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        if line.contains("\"running\"") {
+            break;
+        }
+    }
+    // `shutdown now` must trip the running job's token and return far
+    // sooner than the run would have taken.
+    let started = std::time::Instant::now();
+    let reply = client::shutdown(&addr, false).expect("shutdown now");
+    assert_eq!(reply.get("event").and_then(Json::as_str), Some("shutdown"));
+    handle.join();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "shutdown now must not wait for a 2e8-instruction run"
+    );
+    drop((w, r));
+}

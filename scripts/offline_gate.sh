@@ -58,6 +58,92 @@ diff -r "$serve_dir/remote" "$serve_dir/local"
 echo "  ok (3-point sweep byte-identical, cache served the resubmit, clean drain)"
 rm -rf "$serve_dir"
 
+echo "== chaos smoke (injected worker panic, forced shed, torn cache write) =="
+# Same 3-point sweep, but against a daemon with a fixed fault plan armed:
+# the first enqueue is force-shed (client must retry after the backoff
+# hint), the first simulation panics (that one job must come back as a
+# structured error, pool intact), and the first cache persist tears
+# mid-temp-file (job still succeeds; the torn temp must be scavenged on
+# restart). After a clean retry pass the results must still be
+# byte-identical to --local.
+chaos_stat() { grep -oE "\"$1\": [0-9]+" <<<"$2" | head -1 | tr -dc '0-9'; }
+chaos_dir=$(mktemp -d)
+chaos_port="$chaos_dir/port"
+WIB_FAULTS="seed=7,panic=1,tear=1,shed=1" WIB_RESULTS_DIR="$chaos_dir/results" \
+    cargo run -q --release --offline -p wib-cli --bin wib-sim -- serve \
+    --addr 127.0.0.1:0 --port-file "$chaos_port" --tiny --workers 2 --quiet &
+chaos_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$chaos_port" ]] && break
+    sleep 0.1
+done
+[[ -s "$chaos_port" ]] || { echo "  FAIL: chaos daemon never wrote its port file"; exit 1; }
+caddr=$(cat "$chaos_port")
+# Pass 1 absorbs the faults: exactly one job errors out with the
+# injected panic (nonzero exit is expected), the shed is retried
+# transparently, the tear is invisible to the client.
+first=$(cargo run -q --release --offline -p wib-cli --bin wib-sim -- \
+    submit "${sweep[@]}" --addr "$caddr" --insts 20000 --warmup 2000 || true)
+if [[ "$(grep -c 'ERROR: .*panic' <<<"$first" || true)" -ne 1 ]]; then
+    echo "  FAIL: expected exactly one panicked job in pass 1"
+    echo "$first"
+    exit 1
+fi
+stats=$(cargo run -q --release --offline -p wib-cli --bin wib-sim -- stats --addr "$caddr")
+for want in panicked:1 shed:1 persist_failures:1 worker_restarts:0; do
+    key=${want%:*} expect=${want#*:}
+    got=$(chaos_stat "$key" "$stats")
+    if [[ "$got" != "$expect" ]]; then
+        echo "  FAIL: stats $key = $got, expected $expect"
+        echo "$stats"
+        exit 1
+    fi
+done
+# Pass 2 runs fault-free (the plan is exhausted): every job completes,
+# and the stream must be byte-identical to the same sweep in-process.
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${sweep[@]}" \
+    --addr "$caddr" --insts 20000 --warmup 2000 --out "$chaos_dir/remote"
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- shutdown --addr "$caddr" > /dev/null
+wait "$chaos_pid"
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${sweep[@]}" \
+    --local --tiny --insts 20000 --warmup 2000 --out "$chaos_dir/local"
+diff -r "$chaos_dir/remote" "$chaos_dir/local"
+# Restart on the same results dir: the torn temp from pass 1 must be
+# scavenged, no temp files may remain, and the two entries that were
+# committed cleanly must be served from disk.
+: > "$chaos_port"
+WIB_RESULTS_DIR="$chaos_dir/results" \
+    cargo run -q --release --offline -p wib-cli --bin wib-sim -- serve \
+    --addr 127.0.0.1:0 --port-file "$chaos_port" --tiny --workers 2 --quiet &
+chaos_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$chaos_port" ]] && break
+    sleep 0.1
+done
+[[ -s "$chaos_port" ]] || { echo "  FAIL: restarted daemon never wrote its port file"; exit 1; }
+caddr=$(cat "$chaos_port")
+stats=$(cargo run -q --release --offline -p wib-cli --bin wib-sim -- stats --addr "$caddr")
+if [[ "$(chaos_stat scavenged "$stats")" != "1" ]]; then
+    echo "  FAIL: restart expected to scavenge exactly the one torn temp"
+    echo "$stats"
+    exit 1
+fi
+if compgen -G "$chaos_dir/results/cache/*.tmp" > /dev/null; then
+    echo "  FAIL: temp files survived the restart scavenge"
+    exit 1
+fi
+third=$(cargo run -q --release --offline -p wib-cli --bin wib-sim -- \
+    submit "${sweep[@]}" --addr "$caddr" --insts 20000 --warmup 2000)
+if [[ "$(grep -c '(cached)' <<<"$third" || true)" -ne 2 ]]; then
+    echo "  FAIL: expected the 2 cleanly-committed entries to hit from disk"
+    echo "$third"
+    exit 1
+fi
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- shutdown --addr "$caddr" > /dev/null
+wait "$chaos_pid"
+echo "  ok (panic isolated, shed retried, torn write scavenged, bytes identical)"
+rm -rf "$chaos_dir"
+
 echo "== bench smoke (quick workload, vs committed baseline) =="
 # Reduced-workload throughput check: rerun bench_json in WIB_QUICK mode
 # and fail if aggregate simulator throughput fell below 0.6x the
