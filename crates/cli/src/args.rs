@@ -63,6 +63,7 @@ const FLAGS: &[&str] = &[
     "now",
     "quiet",
     "progress",
+    "plain",
 ];
 const OPTIONS: &[&str] = &[
     "config",
@@ -80,6 +81,8 @@ const OPTIONS: &[&str] = &[
     "results-dir",
     "deadline-ms",
     "retry",
+    "interval-ms",
+    "iters",
 ];
 
 impl Args {

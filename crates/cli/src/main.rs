@@ -9,6 +9,7 @@
 //! wib-sim serve [options]               run the simulation daemon
 //! wib-sim submit <bench[:spec]>...      send jobs to a daemon (or --local)
 //! wib-sim watch / stats / shutdown      observe and control a daemon
+//! wib-sim metrics / top                 scrape or live-view daemon telemetry
 //! ```
 
 use std::process::ExitCode;
@@ -20,6 +21,7 @@ const EVENT_LOG_MAX_LINES: u64 = 1_000_000;
 
 mod args;
 mod report;
+mod top;
 
 use args::{Args, ParseError};
 
@@ -56,6 +58,8 @@ simulation service (see docs/serve.md):
                  [--warmup N] [--deadline-ms N] [--retry N] [--out DIR] [--tiny] [--progress]
   wib-sim watch [--addr H:P]
   wib-sim stats [--addr H:P]
+  wib-sim metrics [--addr H:P]
+  wib-sim top [--addr H:P] [--interval-ms N] [--iters N] [--plain]
   wib-sim shutdown [--addr H:P] [--now]
 
 observability:
@@ -87,6 +91,8 @@ fn run(argv: &[String]) -> Result<(), ParseError> {
         "submit" => cmd_submit(&args),
         "watch" => cmd_watch(&args),
         "stats" => cmd_serve_stats(&args),
+        "metrics" => cmd_metrics(&args),
+        "top" => cmd_top(&args),
         "shutdown" => cmd_shutdown(&args),
         other => Err(ParseError::new(format!("unknown command `{other}`"))),
     }
@@ -292,6 +298,18 @@ fn cmd_serve_stats(args: &Args) -> Result<(), ParseError> {
     let doc = wib_serve::client::stats(&addr_of(args)).map_err(ParseError::runtime)?;
     print!("{}", doc.pretty());
     Ok(())
+}
+
+fn cmd_metrics(args: &Args) -> Result<(), ParseError> {
+    let text = wib_serve::client::metrics(&addr_of(args)).map_err(ParseError::runtime)?;
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_top(args: &Args) -> Result<(), ParseError> {
+    let interval_ms = args.number("interval-ms", 1000)?;
+    let iters = optional_number(args, "iters")?;
+    top::run(&addr_of(args), interval_ms, iters, args.flag("plain")).map_err(ParseError::runtime)
 }
 
 fn cmd_shutdown(args: &Args) -> Result<(), ParseError> {

@@ -1,0 +1,211 @@
+//! `wib-sim top` — a live terminal view of a running daemon.
+//!
+//! Polls the daemon's `metrics` op, parses the Prometheus text
+//! exposition with [`wib_core::Exposition`], and renders a compact
+//! dashboard: queue pressure, worker occupancy, job outcome counters,
+//! cache effectiveness, latency percentiles, and the engine's
+//! per-stage cycle attribution. `--plain` suppresses the ANSI
+//! clear-screen so output can be piped or captured in tests, and
+//! `--iters N` bounds the loop (the default is to poll forever).
+//!
+//! Latency percentiles come from log2-bucket histograms, so every
+//! quantile is an upper bound ("p95 ≤ 4.1ms"), never an interpolated
+//! guess. See `docs/observability.md`.
+
+use wib_core::{Exposition, STAGE_NAMES};
+use wib_serve::client;
+
+/// Poll `addr` every `interval_ms` and render the dashboard; `iters`
+/// bounds the number of frames (None = until interrupted).
+///
+/// # Errors
+/// A scrape failure (daemon unreachable, protocol error) ends the loop
+/// with a message; a daemon restart mid-loop surfaces the same way.
+pub fn run(addr: &str, interval_ms: u64, iters: Option<u64>, plain: bool) -> Result<(), String> {
+    let mut frame = 0u64;
+    loop {
+        let text = client::metrics(addr).map_err(|e| format!("metrics scrape failed: {e}"))?;
+        let exp = Exposition::parse(&text);
+        let view = render(addr, &exp);
+        if plain {
+            print!("{view}");
+        } else {
+            // Clear screen + home, then the frame.
+            print!("\x1b[2J\x1b[H{view}");
+        }
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        frame += 1;
+        if let Some(max) = iters {
+            if frame >= max {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+    }
+}
+
+/// One dashboard frame from a parsed exposition.
+fn render(addr: &str, exp: &Exposition) -> String {
+    let v = |name: &str| exp.value(name).unwrap_or(0.0);
+    let mut out = String::new();
+    let uptime_s = v("wib_serve_uptime_ms") / 1000.0;
+    out.push_str(&format!("wib-serve @ {addr}   up {uptime_s:.1}s\n\n"));
+
+    // Queue and workers.
+    let depth = v("wib_serve_queue_depth");
+    let cap = v("wib_serve_queue_capacity");
+    let busy = v("wib_serve_busy_workers");
+    let workers = v("wib_serve_workers");
+    out.push_str(&format!(
+        "queue   {depth:>6.0} / {cap:.0}{}\n",
+        bar(depth, cap)
+    ));
+    out.push_str(&format!(
+        "workers {busy:>6.0} / {workers:.0} busy{}   watchers {:.0}   restarts {:.0}\n\n",
+        bar(busy, workers),
+        v("wib_serve_watchers"),
+        v("wib_serve_worker_restarts_total"),
+    ));
+
+    // Job outcome counters.
+    out.push_str(&format!(
+        "jobs    submitted {:.0}  done {:.0}  failed {:.0}  cancelled {:.0}  \
+         shed {:.0}  panics {:.0}  deadline {:.0}\n",
+        v("wib_serve_jobs_submitted_total"),
+        v("wib_serve_jobs_completed_total"),
+        v("wib_serve_jobs_failed_total"),
+        v("wib_serve_jobs_cancelled_total"),
+        v("wib_serve_jobs_shed_total"),
+        v("wib_serve_job_panics_total"),
+        v("wib_serve_deadline_expirations_total"),
+    ));
+
+    // Cache effectiveness.
+    let hits = v("wib_serve_cache_hits_total");
+    let misses = v("wib_serve_cache_misses_total");
+    let lookups = hits + misses;
+    let rate = if lookups > 0.0 {
+        100.0 * hits / lookups
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "cache   {rate:.1}% hit ({hits:.0}/{lookups:.0})  entries {:.0}  \
+         scavenged {:.0}  rejected {:.0}  persist-failures {:.0}\n\n",
+        v("wib_serve_cache_entries"),
+        v("wib_serve_cache_scavenged_total"),
+        v("wib_serve_cache_rejected_total"),
+        v("wib_serve_cache_persist_failures_total"),
+    ));
+
+    // Latency percentiles (log2 buckets: quantiles are upper bounds).
+    out.push_str("latency            p50        p95        p99      count\n");
+    for (label, name) in [
+        ("queue wait", "wib_serve_queue_wait_us"),
+        ("run time  ", "wib_serve_run_us"),
+        ("cache hit ", "wib_serve_cache_hit_us"),
+        ("end-to-end", "wib_serve_job_us"),
+    ] {
+        match exp.histogram(name) {
+            Some(h) if h.count > 0 => out.push_str(&format!(
+                "  {label}  {:>9} {:>10} {:>10} {:>10}\n",
+                fmt_us(h.quantile(0.50)),
+                fmt_us(h.quantile(0.95)),
+                fmt_us(h.quantile(0.99)),
+                h.count,
+            )),
+            _ => out.push_str(&format!(
+                "  {label}          -          -          -          0\n"
+            )),
+        }
+    }
+
+    out.push_str(&render_stages(exp));
+    out
+}
+
+/// Engine per-stage cycle attribution (sampled; shares of sampled time).
+fn render_stages(exp: &Exposition) -> String {
+    let total: f64 = STAGE_NAMES
+        .iter()
+        .filter_map(|s| exp.value_labeled("wib_engine_stage_ns_total", &[("stage", s)]))
+        .sum();
+    if total <= 0.0 {
+        return String::new();
+    }
+    let mut out = String::from("\nengine  ");
+    for stage in STAGE_NAMES {
+        let ns = exp
+            .value_labeled("wib_engine_stage_ns_total", &[("stage", stage)])
+            .unwrap_or(0.0);
+        out.push_str(&format!("{stage} {:.0}%  ", 100.0 * ns / total));
+    }
+    out.push_str(&format!(
+        "({:.0} cycles sampled)\n",
+        exp.value("wib_engine_profiled_cycles_total").unwrap_or(0.0)
+    ));
+    out
+}
+
+/// A microsecond value scaled to a readable unit.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("≤{:.1}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("≤{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("≤{us}us")
+    }
+}
+
+/// A 10-cell occupancy bar, or nothing when the denominator is zero.
+fn bar(n: f64, of: f64) -> String {
+    if of <= 0.0 {
+        return String::new();
+    }
+    let filled = ((n / of) * 10.0).round().min(10.0) as usize;
+    format!("  [{}{}]", "#".repeat(filled), ".".repeat(10 - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A frame renders from a registry-produced exposition without
+    /// touching the network.
+    #[test]
+    fn renders_a_frame_from_a_registry() {
+        let reg = wib_core::Registry::new();
+        reg.gauge("wib_serve_queue_depth", "d").set(3);
+        reg.gauge("wib_serve_queue_capacity", "c").set(8);
+        reg.gauge("wib_serve_busy_workers", "b").set(1);
+        reg.gauge("wib_serve_workers", "w").set(2);
+        reg.counter("wib_serve_cache_hits_total", "h").add(3);
+        reg.counter("wib_serve_cache_misses_total", "m").inc();
+        let h = reg.histogram("wib_serve_run_us", "r");
+        h.observe(100);
+        h.observe(3_000);
+        let exp = Exposition::parse(&reg.render());
+        let frame = render("127.0.0.1:0", &exp);
+        assert!(frame.contains("queue        3 / 8"), "queue line: {frame}");
+        assert!(frame.contains("75.0% hit (3/4)"), "cache line: {frame}");
+        assert!(frame.contains("run time"), "latency table: {frame}");
+        // 3000us lands in the ≤4096us bucket → p95 renders in ms.
+        assert!(frame.contains("≤4.1ms"), "p95 bound: {frame}");
+    }
+
+    #[test]
+    fn empty_exposition_renders_dashes() {
+        let frame = render("x", &Exposition::parse(""));
+        assert!(frame.contains("-          -"), "{frame}");
+        assert!(!frame.contains("engine"), "no stage line without data");
+    }
+
+    #[test]
+    fn formats_microseconds_across_units() {
+        assert_eq!(fmt_us(512), "≤512us");
+        assert_eq!(fmt_us(4_096), "≤4.1ms");
+        assert_eq!(fmt_us(2_000_000), "≤2.0s");
+    }
+}

@@ -107,6 +107,101 @@ impl Histogram {
     }
 }
 
+/// Number of power-of-two buckets in a [`Log2Snapshot`]: bucket `i` holds
+/// values `<= 2^i` (bucket 0 covers 0 and 1), and the last bucket is
+/// `+Inf`. 40 buckets span a trillion microseconds — plenty for latencies.
+pub const LOG2_BUCKETS: usize = 40;
+
+/// The bucket index a value lands in: smallest `i` with `value <= 2^i`,
+/// clamped into the final overflow bucket.
+pub fn log2_bucket(value: u64) -> usize {
+    ((u64::BITS - value.saturating_sub(1).leading_zeros()) as usize).min(LOG2_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket — rendered as `+Inf` in exposition).
+pub fn log2_bucket_bound(i: usize) -> u64 {
+    if i >= LOG2_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A plain-value snapshot of a log2-bucket histogram: what a
+/// [`crate::metrics::HistogramMetric`] looks like once read, and the unit
+/// of merging when registries from several daemons are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Snapshot {
+    /// Per-bucket sample counts (non-cumulative).
+    pub buckets: [u64; LOG2_BUCKETS],
+    /// Saturating sum of all observed values.
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Default for Log2Snapshot {
+    fn default() -> Log2Snapshot {
+        Log2Snapshot {
+            buckets: [0; LOG2_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl Log2Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Log2Snapshot {
+        Log2Snapshot::default()
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[log2_bucket(value)] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.count += 1;
+    }
+
+    /// Fold another snapshot into this one (saturating sums, so merging
+    /// many long-lived registries cannot wrap).
+    pub fn merge(&mut self, other: &Log2Snapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count = self.count.saturating_add(other.count);
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample: the
+    /// smallest bucket bound `v` with at least `q` of the samples `<= v`.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= threshold && seen > 0 {
+                return log2_bucket_bound(i);
+            }
+        }
+        log2_bucket_bound(LOG2_BUCKETS - 1)
+    }
+}
+
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -153,5 +248,77 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0);
         assert!(h.to_string().contains("n=0"));
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 2);
+        assert_eq!(log2_bucket(5), 3);
+        assert_eq!(log2_bucket(8), 3);
+        assert_eq!(log2_bucket(9), 4);
+        // Every bucket's inclusive bound maps back into that bucket, and
+        // bound+1 spills into the next.
+        for i in 0..LOG2_BUCKETS - 1 {
+            assert_eq!(log2_bucket(log2_bucket_bound(i)), i);
+        }
+        assert_eq!(log2_bucket(u64::MAX), LOG2_BUCKETS - 1);
+    }
+
+    #[test]
+    fn log2_snapshot_with_zero_observations() {
+        let s = Log2Snapshot::new();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn log2_snapshot_with_a_single_observation() {
+        let mut s = Log2Snapshot::new();
+        s.observe(100);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 100);
+        // 100 lands in the bucket bounded by 128: every quantile reports
+        // that bound.
+        assert_eq!(s.quantile(0.0), 128);
+        assert_eq!(s.quantile(0.5), 128);
+        assert_eq!(s.quantile(1.0), 128);
+    }
+
+    #[test]
+    fn log2_snapshot_clamps_values_above_the_top_bucket() {
+        let mut s = Log2Snapshot::new();
+        let huge = 1u64 << 63;
+        s.observe(huge);
+        s.observe(u64::MAX);
+        assert_eq!(s.buckets[LOG2_BUCKETS - 1], 2);
+        assert_eq!(s.count, 2);
+        // The saturating sum cannot wrap.
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn log2_snapshot_merge_is_commutative() {
+        let mut a = Log2Snapshot::new();
+        let mut b = Log2Snapshot::new();
+        for v in [1u64, 7, 500, 4096] {
+            a.observe(v);
+        }
+        for v in [2u64, 500, 1 << 40] {
+            b.observe(v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 7);
+        assert_eq!(ab.sum, a.sum + b.sum);
     }
 }

@@ -52,7 +52,9 @@ pub mod hist;
 pub mod iq;
 pub mod json;
 pub mod lsq;
+pub mod metrics;
 pub mod processor;
+pub mod profile;
 pub mod regfile;
 pub mod rename;
 pub mod rob;
@@ -72,7 +74,10 @@ pub use digest::{fnv1a64, fnv1a64_hex};
 pub use events::{
     format_event, BoundedSink, CountingSink, EventKind, EventSink, PipeEvent, TextSink, EVENT_KINDS,
 };
+pub use hist::{Log2Snapshot, LOG2_BUCKETS};
 pub use json::Json;
+pub use metrics::{Counter, Exposition, Gauge, HistogramMetric, Registry};
 pub use processor::{Processor, RunLimit, RunResult};
+pub use profile::{StageProfile, PROFILE_SAMPLE_PERIOD, STAGE_COUNT, STAGE_NAMES};
 pub use rob::MissKind;
 pub use stats::{IntervalSample, SimStats};

@@ -1,0 +1,704 @@
+//! A std-only metrics plane: named counters, gauges, and log2-bucket
+//! histograms behind a process-wide [`Registry`], rendered in the
+//! Prometheus text exposition format.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`HistogramMetric`]) are cheap clones
+//! of shared atomics: the code that owns a counter updates it lock-free on
+//! its hot path, and the registry only takes its lock to register new
+//! series or to render. Registering the same name + label set twice
+//! returns the *same* underlying cells, so a metric can be read both
+//! through a stats snapshot and through exposition without a second code
+//! path. [`Registry::merge_from`] folds one registry into another — the
+//! primitive the distributed sweep fabric will use to aggregate
+//! per-daemon planes — and [`Exposition`] parses the text format back
+//! into samples (used by `wib-sim top` and the gate's metrics smoke).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{log2_bucket, log2_bucket_bound, Log2Snapshot, LOG2_BUCKETS};
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one and return the new value (for "n-th occurrence"
+    /// bookkeeping like restart budgets).
+    pub fn inc_and_get(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways (queue depth, busy
+/// workers). `add`/`sub` must be paired by the caller — RAII guards at the
+/// call sites keep that honest.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increase by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n` (callers pair this with a prior `add`).
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared cells behind a histogram handle: per-bucket counts plus the
+/// running sum and count, all updated lock-free.
+struct HistogramCells {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> HistogramCells {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucket histogram handle.
+#[derive(Clone)]
+pub struct HistogramMetric(Arc<HistogramCells>);
+
+impl HistogramMetric {
+    /// Record one sample.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[log2_bucket(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough plain-value copy (buckets are read
+    /// individually; a sample landing mid-read skews a bucket by at most
+    /// one, which quantile consumers tolerate).
+    pub fn snapshot(&self) -> Log2Snapshot {
+        let mut s = Log2Snapshot::new();
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            s.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        s.sum = self.0.sum.load(Ordering::Relaxed);
+        s.count = self.0.count.load(Ordering::Relaxed);
+        s
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramMetric),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One metric family: a help string, a kind, and every label combination
+/// registered under the name.
+struct Family {
+    help: String,
+    kind: &'static str,
+    /// Keyed by the rendered label block (`{k="v",…}` or empty), which is
+    /// deterministic because labels are sorted at registration.
+    series: BTreeMap<String, Metric>,
+}
+
+/// The registry: a named, labeled set of metric families. Cloning shares
+/// the underlying map, so the daemon, its cache, and the engine rollup can
+/// all hold the same registry.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+/// Render a label set as the canonical block: sorted by key, values
+/// escaped per the exposition format.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort();
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        block: String,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut map = self.inner.lock().unwrap();
+        let family = map.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind: "",
+            series: BTreeMap::new(),
+        });
+        let metric = family.series.entry(block).or_insert_with(make).clone();
+        if family.kind.is_empty() {
+            family.kind = metric.kind();
+        } else {
+            assert_eq!(
+                family.kind,
+                metric.kind(),
+                "metric {name} registered as both {} and {}",
+                family.kind,
+                metric.kind()
+            );
+        }
+        if family.help.is_empty() {
+            family.help = help.to_string();
+        }
+        metric
+    }
+
+    /// Register (or fetch) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, label_block(labels), || {
+            Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Counter(c) => c,
+            m => panic!("metric {name} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, label_block(labels), || {
+            Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric {name} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> HistogramMetric {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> HistogramMetric {
+        match self.register(name, help, label_block(labels), || {
+            Metric::Histogram(HistogramMetric(Arc::new(HistogramCells::new())))
+        }) {
+            Metric::Histogram(h) => h,
+            m => panic!("metric {name} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Fold another registry's current values into this one: counters and
+    /// gauges add, histograms merge bucket-wise. Families and series
+    /// missing here are created. The other registry is snapshotted before
+    /// this registry's lock is taken, so two registries can merge each
+    /// other concurrently without deadlock.
+    pub fn merge_from(&self, other: &Registry) {
+        // Snapshot phase: copy names, metadata, and plain values out of
+        // `other` while holding only its lock.
+        enum Snap {
+            Counter(u64),
+            Gauge(u64),
+            Histogram(Log2Snapshot),
+        }
+        let mut snaps: Vec<(String, String, String, Snap)> = Vec::new();
+        {
+            let map = other.inner.lock().unwrap();
+            for (name, family) in map.iter() {
+                for (block, metric) in family.series.iter() {
+                    let snap = match metric {
+                        Metric::Counter(c) => Snap::Counter(c.get()),
+                        Metric::Gauge(g) => Snap::Gauge(g.get()),
+                        Metric::Histogram(h) => Snap::Histogram(h.snapshot()),
+                    };
+                    snaps.push((name.clone(), family.help.clone(), block.clone(), snap));
+                }
+            }
+        }
+        // Apply phase: register-or-fetch each series here and add.
+        for (name, help, block, snap) in snaps {
+            match snap {
+                Snap::Counter(v) => {
+                    match self.register(&name, &help, block, || {
+                        Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+                    }) {
+                        Metric::Counter(c) => c.add(v),
+                        m => panic!("metric {name} already registered as a {}", m.kind()),
+                    }
+                }
+                Snap::Gauge(v) => {
+                    match self.register(&name, &help, block, || {
+                        Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0))))
+                    }) {
+                        Metric::Gauge(g) => g.add(v),
+                        m => panic!("metric {name} already registered as a {}", m.kind()),
+                    }
+                }
+                Snap::Histogram(s) => {
+                    match self.register(&name, &help, block, || {
+                        Metric::Histogram(HistogramMetric(Arc::new(HistogramCells::new())))
+                    }) {
+                        Metric::Histogram(h) => {
+                            for (i, &n) in s.buckets.iter().enumerate() {
+                                if n > 0 {
+                                    h.0.buckets[i].fetch_add(n, Ordering::Relaxed);
+                                }
+                            }
+                            h.0.sum.fetch_add(s.sum, Ordering::Relaxed);
+                            h.0.count.fetch_add(s.count, Ordering::Relaxed);
+                        }
+                        m => panic!("metric {name} already registered as a {}", m.kind()),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render every family in the Prometheus text exposition format.
+    /// Output is deterministic: families sort by name, series by label
+    /// block, histogram buckets by bound.
+    pub fn render(&self) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, family) in map.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+            for (block, metric) in family.series.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name}{block} {}", c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{block} {}", g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let s = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for (i, &n) in s.buckets.iter().enumerate() {
+                            cumulative = cumulative.saturating_add(n);
+                            // Elide empty interior buckets to keep the
+                            // exposition compact; always emit +Inf.
+                            if n == 0 && i != LOG2_BUCKETS - 1 {
+                                continue;
+                            }
+                            let le = if i == LOG2_BUCKETS - 1 {
+                                "+Inf".to_string()
+                            } else {
+                                log2_bucket_bound(i).to_string()
+                            };
+                            let lb = if block.is_empty() {
+                                format!("{{le=\"{le}\"}}")
+                            } else {
+                                format!("{},le=\"{le}\"}}", &block[..block.len() - 1])
+                            };
+                            let _ = writeln!(out, "{name}_bucket{lb} {cumulative}");
+                        }
+                        let _ = writeln!(out, "{name}_sum{block} {}", s.sum);
+                        let _ = writeln!(out, "{name}_count{block} {}", s.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One parsed exposition sample: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of a label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed Prometheus text exposition — the read side of [`Registry::render`],
+/// used by `wib-sim top` and by tests so the format is continuously
+/// round-tripped.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Parse exposition text. Unparseable lines are skipped (a scraper
+    /// must tolerate families it does not know).
+    pub fn parse(text: &str) -> Exposition {
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(s) = parse_sample(line) {
+                samples.push(s);
+            }
+        }
+        Exposition { samples }
+    }
+
+    /// All samples for a family name.
+    pub fn series<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Sample> + 'a {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// The value of the first sample with this name (any labels).
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.series(name).next().map(|s| s.value)
+    }
+
+    /// The value of the sample carrying every given label.
+    pub fn value_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.series(name)
+            .find(|s| labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+            .map(|s| s.value)
+    }
+
+    /// Sum across every series of a family.
+    pub fn sum(&self, name: &str) -> f64 {
+        self.series(name).map(|s| s.value).sum()
+    }
+
+    /// Reconstruct a histogram family (all label sets merged) from its
+    /// `_bucket`/`_sum`/`_count` samples. Returns `None` if no `_count`
+    /// sample exists.
+    pub fn histogram(&self, name: &str) -> Option<Log2Snapshot> {
+        let bucket_name = format!("{name}_bucket");
+        let mut snap = Log2Snapshot::new();
+        let mut found = false;
+        // De-cumulate per label group: group buckets by their non-`le`
+        // labels, sort each group by bound, and take adjacent differences.
+        let mut groups: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+        for s in self.series(&bucket_name) {
+            let le = match s.label("le") {
+                Some(le) => le,
+                None => continue,
+            };
+            let bound = if le == "+Inf" {
+                u64::MAX
+            } else {
+                le.parse::<u64>().ok()?
+            };
+            let key: String = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v};"))
+                .collect();
+            groups.entry(key).or_default().push((bound, s.value as u64));
+        }
+        for (_, mut buckets) in groups {
+            buckets.sort();
+            let mut prev = 0u64;
+            for (bound, cumulative) in buckets {
+                let n = cumulative.saturating_sub(prev);
+                prev = cumulative;
+                if n > 0 {
+                    snap.buckets[log2_bucket(bound.min(u64::MAX - 1))] += n;
+                }
+            }
+        }
+        for s in self.series(&format!("{name}_sum")) {
+            snap.sum = snap.sum.saturating_add(s.value as u64);
+        }
+        for s in self.series(&format!("{name}_count")) {
+            snap.count = snap.count.saturating_add(s.value as u64);
+            found = true;
+        }
+        if found {
+            Some(snap)
+        } else {
+            None
+        }
+    }
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    // `name{k="v",…} value` or `name value`.
+    let (head, value) = match line.find('{') {
+        Some(_) => {
+            let close = line.rfind('}')?;
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let sp = line.find(char::is_whitespace)?;
+            (&line[..sp], line[sp..].trim())
+        }
+    };
+    let value: f64 = value.split_whitespace().next()?.parse().ok()?;
+    let (name, labels) = match head.find('{') {
+        Some(open) => {
+            let name = &head[..open];
+            let body = &head[open + 1..head.len() - 1];
+            (name, parse_labels(body)?)
+        }
+        None => (head, Vec::new()),
+    };
+    if name.is_empty() {
+        return None;
+    }
+    Some(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return None;
+        }
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return None,
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end?;
+        labels.push((key, value));
+        rest = rest[1 + end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Some(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_deterministically() {
+        let r = Registry::new();
+        let c = r.counter("wib_jobs_total", "Jobs accepted.");
+        c.add(3);
+        let g = r.gauge("wib_queue_depth", "Jobs waiting.");
+        g.set(2);
+        g.sub(1);
+        let text = r.render();
+        assert!(text.contains("# HELP wib_jobs_total Jobs accepted.\n"));
+        assert!(text.contains("# TYPE wib_jobs_total counter\n"));
+        assert!(text.contains("\nwib_jobs_total 3\n"));
+        assert!(text.contains("wib_queue_depth 1\n"));
+        // Re-registering returns the same cells, not a fresh series.
+        let c2 = r.counter("wib_jobs_total", "Jobs accepted.");
+        c2.inc();
+        assert_eq!(c.get(), 4);
+        assert_eq!(r.render(), r.render());
+    }
+
+    #[test]
+    fn labeled_series_sort_and_escape() {
+        let r = Registry::new();
+        r.counter_with(
+            "jobs",
+            "By workload.",
+            &[("workload", "mst"), ("outcome", "done")],
+        )
+        .inc();
+        r.counter_with(
+            "jobs",
+            "By workload.",
+            &[("outcome", "done"), ("workload", "em3d")],
+        )
+        .add(2);
+        r.counter_with("jobs", "By workload.", &[("workload", "we\"ird\\x")])
+            .inc();
+        let text = r.render();
+        // Labels are sorted by key regardless of registration order.
+        assert!(text.contains("jobs{outcome=\"done\",workload=\"em3d\"} 2\n"));
+        assert!(text.contains("jobs{outcome=\"done\",workload=\"mst\"} 1\n"));
+        assert!(text.contains("jobs{workload=\"we\\\"ird\\\\x\"} 1\n"));
+        // And the parser round-trips the escapes.
+        let exp = Exposition::parse(&text);
+        assert_eq!(
+            exp.value_labeled("jobs", &[("workload", "we\"ird\\x")]),
+            Some(1.0)
+        );
+        assert_eq!(exp.sum("jobs"), 4.0);
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_round_trips() {
+        let r = Registry::new();
+        let h = r.histogram("latency_us", "Job latency.");
+        for v in [1u64, 3, 3, 100, 5000] {
+            h.observe(v);
+        }
+        let text = r.render();
+        // Bucket lines are cumulative and end with +Inf == count.
+        assert!(text.contains("latency_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("latency_us_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("latency_us_bucket{le=\"128\"} 4\n"));
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("latency_us_sum 5107\n"));
+        assert!(text.contains("latency_us_count 5\n"));
+        let parsed = Exposition::parse(&text).histogram("latency_us").unwrap();
+        assert_eq!(parsed, h.snapshot());
+        assert_eq!(parsed.quantile(0.5), 4);
+    }
+
+    #[test]
+    fn merge_of_two_registries_is_deterministic() {
+        let build_a = |r: &Registry| {
+            r.counter("jobs_total", "Jobs.").add(5);
+            r.gauge("depth", "Depth.").set(2);
+            let h = r.histogram("lat", "Latency.");
+            h.observe(10);
+            h.observe(999);
+        };
+        let build_b = |r: &Registry| {
+            r.counter("jobs_total", "Jobs.").add(7);
+            r.counter("panics_total", "Panics.").inc();
+            let h = r.histogram("lat", "Latency.");
+            h.observe(10);
+        };
+        let a1 = Registry::new();
+        build_a(&a1);
+        let b1 = Registry::new();
+        build_b(&b1);
+        let merged_ab = Registry::new();
+        merged_ab.merge_from(&a1);
+        merged_ab.merge_from(&b1);
+        let merged_ba = Registry::new();
+        merged_ba.merge_from(&b1);
+        merged_ba.merge_from(&a1);
+        // Merge order must not matter: same families, same values, same text.
+        assert_eq!(merged_ab.render(), merged_ba.render());
+        let exp = Exposition::parse(&merged_ab.render());
+        assert_eq!(exp.value("jobs_total"), Some(12.0));
+        assert_eq!(exp.value("panics_total"), Some(1.0));
+        assert_eq!(exp.value("depth"), Some(2.0));
+        assert_eq!(exp.histogram("lat").unwrap().count, 3);
+        // Sources are untouched by the merge.
+        assert_eq!(
+            Exposition::parse(&a1.render()).value("jobs_total"),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("thing", "A thing.");
+        r.gauge("thing", "A thing.");
+    }
+
+    #[test]
+    fn parser_skips_junk_lines() {
+        let exp = Exposition::parse("# a comment\n\ngarbage\nok 1.5\nbad{x=1} 2\n");
+        assert_eq!(exp.samples.len(), 1);
+        assert_eq!(exp.value("ok"), Some(1.5));
+    }
+}

@@ -20,6 +20,7 @@ use crate::events::{EventSink, PipeEvent};
 use crate::fu::FuPool;
 use crate::iq::{IqEntry, IssueQueue, SrcStatus};
 use crate::lsq::{ForwardResult, LoadStoreQueue};
+use crate::profile::{StageProfile, PROFILE_SAMPLE_PERIOD, STAGE_COUNT};
 use crate::regfile::{RegFile, RegTiming};
 use crate::rename::RenameMap;
 use crate::rob::{ActiveList, BranchInfo, MissKind, RobEntry};
@@ -42,7 +43,6 @@ use wib_isa::reg::{ArchReg, RegClass, NUM_ARCH_REGS};
 use wib_mem::cache::AccessKind;
 use wib_mem::hier::MemoryHierarchy;
 
-// TEMPORARY profiling scaffolding (removed before commit).
 /// How long to run the detailed simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLimit {
@@ -81,6 +81,11 @@ pub struct RunResult {
     /// simulated before the epoch-boundary poll noticed, and must not be
     /// compared against — or cached as — a completed run.
     pub cancelled: bool,
+    /// Sampled wall-clock attribution of engine time to pipeline stages
+    /// (one cycle in [`PROFILE_SAMPLE_PERIOD`] is timed). Host-machine
+    /// telemetry, *not* simulated state: two identical runs produce
+    /// identical `stats` but different profiles.
+    pub profile: StageProfile,
 }
 
 impl RunResult {
@@ -371,6 +376,8 @@ struct Engine<'c> {
     cancel: Option<CancelToken>,
     /// Set once the token is observed tripped; the run unwinds cleanly.
     cancelled: bool,
+    /// Sampled per-stage wall-clock attribution (see [`crate::profile`]).
+    profile: StageProfile,
     /// Reusable per-cycle scratch buffers (taken with `mem::take`, used,
     /// cleared and put back) so the steady-state cycle loop performs no
     /// heap allocation. The three wakeup buffers are distinct because the
@@ -383,6 +390,17 @@ struct Engine<'c> {
     scratch_unblocked: Vec<Seq>,
     scratch_undo: Vec<RobEntry>,
     scratch_cols: Vec<(crate::types::ColumnId, Seq)>,
+}
+
+/// One profiling lap: charge the time since the previous lap to `slot`
+/// and restart the clock. A no-op on unprofiled cycles (`at` is `None`).
+#[inline]
+fn profile_lap(at: &mut Option<std::time::Instant>, slot: &mut u64) {
+    if let Some(t) = at {
+        let now = std::time::Instant::now();
+        *slot += now.duration_since(*t).as_nanos() as u64;
+        *t = now;
+    }
 }
 
 impl<'c> Engine<'c> {
@@ -460,6 +478,7 @@ impl<'c> Engine<'c> {
             no_skip: false,
             cancel: None,
             cancelled: false,
+            profile: StageProfile::default(),
             scratch_candidates: Vec::with_capacity(64),
             scratch_woken_wb: Vec::with_capacity(32),
             scratch_woken_wait: Vec::with_capacity(32),
@@ -1804,6 +1823,18 @@ impl<'c> Engine<'c> {
         k
     }
 
+    /// Fold one profiled cycle's stage laps into the run profile (no-op
+    /// when the cycle was not sampled).
+    fn record_profile_laps(&mut self, profiled: bool, lap_ns: &[u64; STAGE_COUNT]) {
+        if !profiled {
+            return;
+        }
+        self.profile.sampled_cycles += 1;
+        for (total, lap) in self.profile.stage_ns.iter_mut().zip(lap_ns.iter()) {
+            *total += lap;
+        }
+    }
+
     fn step(&mut self) {
         if self.debug_trace && self.now == 20_000 {
             eprintln!(
@@ -1835,19 +1866,35 @@ impl<'c> Engine<'c> {
                 }
             }
         }
+        // Stage profiling samples one cycle in PROFILE_SAMPLE_PERIOD: a
+        // monotonic-clock lap after each stage, nothing on the other 1023
+        // cycles (the mask test and a dead branch). No allocation either
+        // way — the alloc-gate covers this path.
+        let mut lap_at = if (self.now & (PROFILE_SAMPLE_PERIOD - 1)) == 0 {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let mut lap_ns = [0u64; STAGE_COUNT];
         let committed_before = self.stats.committed;
         self.storewait.tick(self.now);
         self.do_commit();
+        profile_lap(&mut lap_at, &mut lap_ns[0]);
         if self.halted {
             // The halt itself retired this cycle: useful work.
             self.stats.cpi.add(CpiCategory::Base);
+            self.record_profile_laps(lap_at.is_some(), &lap_ns);
             return;
         }
         self.drain_events();
+        profile_lap(&mut lap_at, &mut lap_ns[1]);
         self.dispatch_block = None;
         self.do_dispatch();
+        profile_lap(&mut lap_at, &mut lap_ns[2]);
         self.do_issue();
+        profile_lap(&mut lap_at, &mut lap_ns[3]);
         self.do_fetch();
+        profile_lap(&mut lap_at, &mut lap_ns[4]);
         self.attribute_cycle(committed_before);
         if self
             .now
@@ -1866,6 +1913,8 @@ impl<'c> Engine<'c> {
                 panic!("{}", crate::check::at_cycle(self.now, &e));
             }
         }
+        profile_lap(&mut lap_at, &mut lap_ns[5]);
+        self.record_profile_laps(lap_at.is_some(), &lap_ns);
         self.now += 1;
         if self.now - self.last_commit_cycle > WATCHDOG_CYCLES {
             self.watchdog_panic();
@@ -2132,6 +2181,7 @@ impl<'c> Engine<'c> {
             stats: self.stats.clone(),
             halted: self.halted,
             cancelled: self.cancelled,
+            profile: self.profile,
         }
     }
 }

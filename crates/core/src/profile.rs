@@ -1,0 +1,111 @@
+//! Cheap, sampled self-profiling of the engine's pipeline stages.
+//!
+//! The docs/perf.md rule is "profile first": before the bit-parallel loop
+//! work the engine must be able to say where a simulated cycle's wall
+//! clock goes. Timing every stage of every cycle would double the cost of
+//! the thing being measured, so [`StageProfile`] samples: one cycle in
+//! every [`PROFILE_SAMPLE_PERIOD`] is timed stage by stage with monotonic
+//! clock laps, everything else runs untouched. The sampled shares are
+//! unbiased as long as stage costs do not correlate with `cycle %
+//! PROFILE_SAMPLE_PERIOD`, which nothing in the engine does. The hot path
+//! stays allocation-free (the profile is a fixed array on the engine) and
+//! the alloc-gate test keeps that honest.
+
+use crate::json::Json;
+
+/// Pipeline stages attributed by the profiler, in `step()` order. `other`
+/// absorbs bookkeeping outside the four named stages (stats sampling,
+/// machine checks, the watchdog).
+pub const STAGE_NAMES: [&str; STAGE_COUNT] =
+    ["commit", "events", "dispatch", "issue", "fetch", "other"];
+
+/// Number of profiled stages.
+pub const STAGE_COUNT: usize = 6;
+
+/// One cycle in this many is stage-timed (power of two, tested below, so
+/// the sampling decision is a mask, not a division).
+pub const PROFILE_SAMPLE_PERIOD: u64 = 1024;
+
+/// Sampled wall-clock attribution of engine time to pipeline stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// How many cycles were stage-timed.
+    pub sampled_cycles: u64,
+    /// Nanoseconds attributed to each stage across the sampled cycles,
+    /// indexed like [`STAGE_NAMES`].
+    pub stage_ns: [u64; STAGE_COUNT],
+}
+
+impl StageProfile {
+    /// Fold another profile into this one (e.g. across a sweep's runs).
+    pub fn merge(&mut self, other: &StageProfile) {
+        self.sampled_cycles += other.sampled_cycles;
+        for (a, b) in self.stage_ns.iter_mut().zip(other.stage_ns.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total sampled nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+
+    /// Fraction of sampled time spent in stage `i` (0 when nothing was
+    /// sampled).
+    pub fn share(&self, i: usize) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.stage_ns[i] as f64 / total as f64
+        }
+    }
+
+    /// JSON summary: sampled cycle count plus per-stage nanoseconds.
+    pub fn to_json(&self) -> Json {
+        let mut stages = Json::obj();
+        for (name, &ns) in STAGE_NAMES.iter().zip(self.stage_ns.iter()) {
+            stages = stages.field(*name, ns);
+        }
+        Json::obj()
+            .field("sampled_cycles", self.sampled_cycles)
+            .field("stage_ns", stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_period_is_a_power_of_two() {
+        assert!(PROFILE_SAMPLE_PERIOD.is_power_of_two());
+    }
+
+    #[test]
+    fn merge_adds_and_shares_normalize() {
+        let mut a = StageProfile {
+            sampled_cycles: 2,
+            stage_ns: [10, 0, 20, 30, 40, 0],
+        };
+        let b = StageProfile {
+            sampled_cycles: 1,
+            stage_ns: [0, 5, 0, 0, 0, 95],
+        };
+        a.merge(&b);
+        assert_eq!(a.sampled_cycles, 3);
+        assert_eq!(a.total_ns(), 200);
+        assert!((a.share(5) - 0.475).abs() < 1e-12);
+        let total: f64 = (0..STAGE_COUNT).map(|i| a.share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_well_behaved() {
+        let p = StageProfile::default();
+        assert_eq!(p.total_ns(), 0);
+        assert_eq!(p.share(0), 0.0);
+        let j = p.to_json();
+        assert_eq!(j.keys(), vec!["sampled_cycles", "stage_ns"]);
+    }
+}

@@ -41,7 +41,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use wib_core::{Json, MachineConfig};
+use wib_core::{Counter, Gauge, Json, MachineConfig, Registry};
 
 use crate::fault::FaultPlan;
 
@@ -96,21 +96,22 @@ impl CacheStats {
     }
 }
 
-struct Inner {
-    map: HashMap<String, Arc<String>>,
-    hits: u64,
-    misses: u64,
-    scavenged: u64,
-    rejected: u64,
-    persist_failures: u64,
-}
-
 /// Thread-safe content-addressed store of rendered result documents.
+///
+/// Counters are registry-backed [`Counter`]/[`Gauge`] handles: the same
+/// cells feed both [`ResultCache::stats`] (the `stats` snapshot) and the
+/// Prometheus exposition — one code path, two read surfaces.
 pub struct ResultCache {
     /// `<results>/cache`, when persistence is enabled.
     dir: Option<PathBuf>,
     faults: Arc<FaultPlan>,
-    inner: Mutex<Inner>,
+    inner: Mutex<HashMap<String, Arc<String>>>,
+    entries: Gauge,
+    hits: Counter,
+    misses: Counter,
+    scavenged: Counter,
+    rejected: Counter,
+    persist_failures: Counter,
 }
 
 impl ResultCache {
@@ -124,19 +125,47 @@ impl ResultCache {
     /// [`ResultCache::new`] with a fault-injection plan attached (the
     /// daemon shares one plan across all its subsystems).
     pub fn with_faults(results_dir: Option<PathBuf>, faults: Arc<FaultPlan>) -> ResultCache {
+        ResultCache::with_metrics(results_dir, faults, &Registry::new())
+    }
+
+    /// [`ResultCache::with_faults`] with the cache's counters registered
+    /// in `registry` (a throwaway registry when the caller has none).
+    pub fn with_metrics(
+        results_dir: Option<PathBuf>,
+        faults: Arc<FaultPlan>,
+        registry: &Registry,
+    ) -> ResultCache {
         let dir = results_dir.map(|d| d.join("cache"));
-        let scavenged = dir.as_deref().map_or(0, Self::scavenge_temps);
+        let scavenged = registry.counter(
+            "wib_serve_cache_scavenged_total",
+            "Orphaned cache temp files removed at startup.",
+        );
+        scavenged.add(dir.as_deref().map_or(0, Self::scavenge_temps));
         ResultCache {
             dir,
             faults,
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                hits: 0,
-                misses: 0,
-                scavenged,
-                rejected: 0,
-                persist_failures: 0,
-            }),
+            inner: Mutex::new(HashMap::new()),
+            entries: registry.gauge(
+                "wib_serve_cache_entries",
+                "Result-cache entries resident in memory.",
+            ),
+            hits: registry.counter(
+                "wib_serve_cache_hits_total",
+                "Result-cache lookups served from memory or disk.",
+            ),
+            misses: registry.counter(
+                "wib_serve_cache_misses_total",
+                "Result-cache lookups that fell through to a simulation.",
+            ),
+            scavenged,
+            rejected: registry.counter(
+                "wib_serve_cache_rejected_total",
+                "On-disk cache entries that failed the integrity check.",
+            ),
+            persist_failures: registry.counter(
+                "wib_serve_cache_persist_failures_total",
+                "Cache persists that failed; the entry stayed memory-only.",
+            ),
         }
     }
 
@@ -195,8 +224,8 @@ impl ResultCache {
     /// that fail the integrity check count as `rejected` misses.
     pub fn get(&self, key: &str) -> Option<Arc<String>> {
         let mut inner = self.inner.lock().unwrap();
-        if let Some(doc) = inner.map.get(key).cloned() {
-            inner.hits += 1;
+        if let Some(doc) = inner.get(key).cloned() {
+            self.hits.inc();
             return Some(doc);
         }
         if let Some(dir) = &self.dir {
@@ -205,15 +234,16 @@ impl ResultCache {
                 match Self::validate_entry(key, &text) {
                     Some(doc) => {
                         let doc = Arc::new(doc);
-                        inner.map.insert(key.to_string(), Arc::clone(&doc));
-                        inner.hits += 1;
+                        inner.insert(key.to_string(), Arc::clone(&doc));
+                        self.entries.set(inner.len() as u64);
+                        self.hits.inc();
                         return Some(doc);
                     }
-                    None => inner.rejected += 1,
+                    None => self.rejected.inc(),
                 }
             }
         }
-        inner.misses += 1;
+        self.misses.inc();
         None
     }
 
@@ -261,22 +291,22 @@ impl ResultCache {
         };
         let mut inner = self.inner.lock().unwrap();
         if persist_failed {
-            inner.persist_failures += 1;
+            self.persist_failures.inc();
         }
-        inner.map.insert(key.to_string(), Arc::clone(&doc));
+        inner.insert(key.to_string(), Arc::clone(&doc));
+        self.entries.set(inner.len() as u64);
         doc
     }
 
     /// Snapshot the counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
         CacheStats {
-            entries: inner.map.len(),
-            hits: inner.hits,
-            misses: inner.misses,
-            scavenged: inner.scavenged,
-            rejected: inner.rejected,
-            persist_failures: inner.persist_failures,
+            entries: self.inner.lock().unwrap().len(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            scavenged: self.scavenged.get(),
+            rejected: self.rejected.get(),
+            persist_failures: self.persist_failures.get(),
         }
     }
 }
@@ -341,6 +371,24 @@ mod tests {
         assert!(c3.get("bad0bad0bad0bad0").is_none());
         assert_eq!(c3.stats().rejected, 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn counters_surface_in_a_shared_registry() {
+        // The same cells back `stats()` and the exposition: no second
+        // code path to drift.
+        let r = Registry::new();
+        let c = ResultCache::with_metrics(None, Arc::new(FaultPlan::none()), &r);
+        assert!(c.get("0123456789abcdef").is_none());
+        c.put("0123456789abcdef", "{}".into());
+        assert!(c.get("0123456789abcdef").is_some());
+        let exp = wib_core::Exposition::parse(&r.render());
+        assert_eq!(exp.value("wib_serve_cache_hits_total"), Some(1.0));
+        assert_eq!(exp.value("wib_serve_cache_misses_total"), Some(1.0));
+        assert_eq!(exp.value("wib_serve_cache_entries"), Some(1.0));
+        assert_eq!(exp.value("wib_serve_cache_scavenged_total"), Some(0.0));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }
 
     #[test]

@@ -395,6 +395,33 @@ pub fn submit_with(
                     eprintln!("job {job_id} running");
                 }
             }
+            "span" => {
+                // Tracing record (precedes the terminal event): surface
+                // under --progress, otherwise informational only.
+                if opts.progress {
+                    let stages = ev
+                        .get("stages")
+                        .and_then(Json::as_arr)
+                        .map(|arr| {
+                            arr.iter()
+                                .map(|s| {
+                                    format!(
+                                        "{}={}us",
+                                        s.get("stage").and_then(Json::as_str).unwrap_or("?"),
+                                        s.get("us").and_then(Json::as_u64).unwrap_or(0)
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        })
+                        .unwrap_or_default();
+                    eprintln!(
+                        "job {job_id} span {}: {stages} total={}us",
+                        text("span"),
+                        ev.get("total_us").and_then(Json::as_u64).unwrap_or(0)
+                    );
+                }
+            }
             "interval" => {
                 if opts.progress {
                     let sample = ev.get("sample");
@@ -573,6 +600,26 @@ fn round_trip(addr: &str, req: &Json, budget: Duration) -> Result<Json, ServeErr
 /// Connection/protocol failures.
 pub fn stats(addr: &str) -> Result<Json, ServeError> {
     round_trip(addr, &Json::obj().field("op", "stats"), RPC_TIMEOUT)
+}
+
+/// Scrape the daemon's metrics registry (`{"op":"metrics"}`) and return
+/// the Prometheus text exposition.
+///
+/// # Errors
+/// Connection/protocol failures, or a reply that is not a `metrics`
+/// event.
+pub fn metrics(addr: &str) -> Result<String, ServeError> {
+    let reply = round_trip(addr, &Json::obj().field("op", "metrics"), RPC_TIMEOUT)?;
+    match reply.get("event").and_then(Json::as_str) {
+        Some("metrics") => Ok(reply
+            .get("text")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string()),
+        other => Err(ServeError::Protocol(format!(
+            "unexpected metrics reply: {other:?}"
+        ))),
+    }
 }
 
 /// Liveness probe; returns once the daemon answers `pong`.

@@ -25,6 +25,8 @@
 //! * [`client`] — submit/stats/watch/shutdown helpers plus a `--local`
 //!   mode that computes byte-identical result files with no daemon,
 //!   which is how the offline gate proves the service changes nothing.
+//!   `client::metrics` scrapes the daemon's Prometheus-format
+//!   exposition (see `docs/observability.md`).
 //! * [`fault`] — deterministic fault injection (`WIB_FAULTS`): seeded
 //!   worker panics, torn cache writes, forced sheds, slow/truncated
 //!   client writes — how the failure paths above stay tested.

@@ -12,6 +12,7 @@
 //!  "insts":200000,"warmup":200000,          batch defaults optional;
 //!  "deadline_ms":60000}                     per-job fields override
 //! {"op":"stats"}                            introspection snapshot
+//! {"op":"metrics"}                          Prometheus text exposition
 //! {"op":"cancel","job":7}                   cancel a queued or running job
 //! {"op":"watch"}                            subscribe to all job events
 //! {"op":"shutdown","mode":"drain"|"now"}    graceful stop (default drain)
@@ -69,6 +70,8 @@ pub enum Request {
     },
     /// Introspection snapshot.
     Stats,
+    /// Scrape the metrics registry (Prometheus text exposition).
+    Metrics,
     /// Cancel a queued or running job by id.
     Cancel {
         /// The id from the job's `queued` event.
@@ -99,6 +102,7 @@ impl Request {
             .ok_or("request needs a string `op` field")?;
         match op {
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "watch" => Ok(Request::Watch),
             "ping" => Ok(Request::Ping),
             "cancel" => {
@@ -197,7 +201,16 @@ pub fn parse_machine_spec(spec: &str) -> Result<MachineConfig, String> {
 /// `queued`: the job was validated and entered the queue. `index` is
 /// the job's position in *this* submit frame, which is what lets a
 /// retrying client map freshly assigned ids back to its own jobs.
-pub fn ev_queued(job: u64, index: usize, workload: &str, spec: &str, digest: &str) -> Json {
+/// `span` is the tracing span id minted at submit; the job's later
+/// `span` event carries the same id.
+pub fn ev_queued(
+    job: u64,
+    index: usize,
+    workload: &str,
+    spec: &str,
+    digest: &str,
+    span: &str,
+) -> Json {
     Json::obj()
         .field("event", "queued")
         .field("job", job)
@@ -205,6 +218,7 @@ pub fn ev_queued(job: u64, index: usize, workload: &str, spec: &str, digest: &st
         .field("workload", workload)
         .field("spec", spec)
         .field("digest", digest)
+        .field("span", span)
 }
 
 /// `rejected`: a submitted job failed validation (never queued).
@@ -265,6 +279,39 @@ pub fn ev_cancelled(job: u64) -> Json {
     Json::obj().field("event", "cancelled").field("job", job)
 }
 
+/// `span`: the job's tracing record, emitted once just before its
+/// terminal event. `stages` holds `{stage, us}` pairs in wall-clock
+/// order; the durations are measured back-to-back from one clock, so
+/// they sum exactly to `total_us` (the job's end-to-end latency from
+/// queue entry to the terminal event).
+pub fn ev_span(
+    job: u64,
+    span: &str,
+    workload: &str,
+    outcome: &str,
+    stages: &[(&'static str, u64)],
+    total_us: u64,
+) -> Json {
+    let stages: Vec<Json> = stages
+        .iter()
+        .map(|&(name, us)| Json::obj().field("stage", name).field("us", us))
+        .collect();
+    Json::obj()
+        .field("event", "span")
+        .field("job", job)
+        .field("span", span)
+        .field("workload", workload)
+        .field("outcome", outcome)
+        .field("stages", Json::Arr(stages))
+        .field("total_us", total_us)
+}
+
+/// `metrics`: the full Prometheus text exposition, as one frame (the
+/// newlines inside `text` are escaped by the JSON writer).
+pub fn ev_metrics(text: &str) -> Json {
+    Json::obj().field("event", "metrics").field("text", text)
+}
+
 /// `protocol_error`: the request line could not be honored.
 pub fn ev_protocol_error(message: &str) -> Json {
     Json::obj()
@@ -280,6 +327,10 @@ mod tests {
     fn parses_every_op() {
         assert_eq!(Request::parse(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
         assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
         assert_eq!(Request::parse(r#"{"op":"watch"}"#).unwrap(), Request::Watch);
         assert_eq!(
             Request::parse(r#"{"op":"cancel","job":12}"#).unwrap(),
@@ -373,13 +424,15 @@ mod tests {
     #[test]
     fn event_frames_are_single_lines_with_discriminators() {
         let evs = [
-            ev_queued(1, 0, "gcc", "base", "abcd"),
+            ev_queued(1, 0, "gcc", "base", "abcd", "s-1"),
             ev_rejected(0, "bad\nname", "unknown workload"),
             ev_running(1),
             ev_done(1, true, Json::obj().field("ok", true)),
             ev_error(1, "abcd", "boom"),
             ev_shed(1, "gcc", 150),
             ev_cancelled(1),
+            ev_span(1, "s-1", "gcc", "done", &[("queue", 10), ("run", 20)], 30),
+            ev_metrics("# HELP x y\n# TYPE x counter\nx 1\n"),
             ev_protocol_error("bad line"),
         ];
         for ev in evs {

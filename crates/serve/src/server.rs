@@ -44,11 +44,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wib_bench::parallel::worker_threads;
 use wib_bench::Runner;
-use wib_core::{CancelToken, Json, MachineConfig, Processor, RunLimit, RunResult};
+use wib_core::{
+    CancelToken, Counter, Gauge, HistogramMetric, Json, MachineConfig, Processor, Registry,
+    RunLimit, RunResult, StageProfile, STAGE_COUNT, STAGE_NAMES,
+};
 use wib_workloads::{eval_suite, test_suite, Workload};
 
 use crate::cache::ResultCache;
@@ -155,6 +158,11 @@ struct Job {
     cfg: MachineConfig,
     insts: u64,
     warmup: u64,
+    /// Tracing span id minted at submit; every event of this job's
+    /// `span` record carries it.
+    span: String,
+    /// Queue-entry timestamp: the zero point of the span's stage marks.
+    queued_at: Instant,
     /// Wall-clock budget, armed when a worker picks the job up.
     deadline_ms: Option<u64>,
     state: JobState,
@@ -185,6 +193,111 @@ enum Outcome {
     Failed(String),
 }
 
+/// Registry-backed telemetry: scrape-time gauges, the job latency
+/// histograms, and the engine self-profiling rollup. The job outcome
+/// counters live directly on [`Shared`] as [`Counter`] handles — the
+/// same cells feed `stats_json` and the exposition.
+struct Telemetry {
+    registry: Registry,
+    started: Instant,
+    queue_depth: Gauge,
+    queue_capacity: Gauge,
+    busy_workers: Gauge,
+    worker_count: Gauge,
+    watcher_count: Gauge,
+    uptime_ms: Gauge,
+    /// Microseconds from queue entry to worker pickup.
+    queue_wait_us: HistogramMetric,
+    /// Microseconds simulating (cache misses only).
+    run_us: HistogramMetric,
+    /// Microseconds spent in the cache lookup on a hit.
+    cache_hit_us: HistogramMetric,
+    /// Engine stage-profile rollup across every simulated job.
+    profiled_cycles: Counter,
+    stage_ns: [Counter; STAGE_COUNT],
+}
+
+impl Telemetry {
+    fn new(registry: Registry) -> Telemetry {
+        Telemetry {
+            started: Instant::now(),
+            queue_depth: registry.gauge(
+                "wib_serve_queue_depth",
+                "Jobs waiting in the bounded queue.",
+            ),
+            queue_capacity: registry.gauge(
+                "wib_serve_queue_capacity",
+                "Bounded queue capacity (the shed threshold).",
+            ),
+            busy_workers: registry.gauge(
+                "wib_serve_busy_workers",
+                "Workers currently executing a job.",
+            ),
+            worker_count: registry.gauge("wib_serve_workers", "Worker pool size."),
+            watcher_count: registry.gauge(
+                "wib_serve_watchers",
+                "Connections subscribed to all job events.",
+            ),
+            uptime_ms: registry.gauge(
+                "wib_serve_uptime_ms",
+                "Milliseconds since the daemon started.",
+            ),
+            queue_wait_us: registry.histogram(
+                "wib_serve_queue_wait_us",
+                "Microseconds from queue entry to worker pickup.",
+            ),
+            run_us: registry.histogram(
+                "wib_serve_run_us",
+                "Microseconds spent simulating (cache misses only).",
+            ),
+            cache_hit_us: registry.histogram(
+                "wib_serve_cache_hit_us",
+                "Microseconds spent in the result-cache lookup on a hit.",
+            ),
+            profiled_cycles: registry.counter(
+                "wib_engine_profiled_cycles_total",
+                "Engine cycles stage-timed by the sampling profiler.",
+            ),
+            stage_ns: std::array::from_fn(|i| {
+                registry.counter_with(
+                    "wib_engine_stage_ns_total",
+                    "Sampled engine wall-clock nanoseconds by pipeline stage.",
+                    &[("stage", STAGE_NAMES[i])],
+                )
+            }),
+            registry,
+        }
+    }
+
+    /// The per-(workload, outcome) end-to-end latency histogram,
+    /// registered on first use (terminal events only — never hot).
+    fn job_us(&self, workload: &str, outcome: &'static str) -> HistogramMetric {
+        self.registry.histogram_with(
+            "wib_serve_job_us",
+            "End-to-end job latency in microseconds (queue entry to terminal event).",
+            &[("workload", workload), ("outcome", outcome)],
+        )
+    }
+
+    /// Fold one run's engine stage profile into the daemon-wide rollup.
+    fn record_engine_profile(&self, p: &StageProfile) {
+        if p.sampled_cycles == 0 {
+            return;
+        }
+        self.profiled_cycles.add(p.sampled_cycles);
+        for (counter, &ns) in self.stage_ns.iter().zip(p.stage_ns.iter()) {
+            counter.add(ns);
+        }
+    }
+}
+
+/// Microseconds elapsed since `t`. Span stage marks all come from this
+/// one clock, so adjacent-mark differences telescope exactly to the
+/// final mark.
+fn us_since(t: Instant) -> u64 {
+    t.elapsed().as_micros() as u64
+}
+
 struct Shared {
     opts: ServerOptions,
     catalog: HashMap<String, Workload>,
@@ -196,17 +309,18 @@ struct Shared {
     next_job: AtomicU64,
     busy: AtomicUsize,
     workers: usize,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    errors: AtomicU64,
-    cancelled: AtomicU64,
-    panicked: AtomicU64,
-    deadline_expired: AtomicU64,
-    shed: AtomicU64,
+    telemetry: Telemetry,
+    submitted: Counter,
+    completed: Counter,
+    errors: Counter,
+    cancelled: Counter,
+    panicked: Counter,
+    deadline_expired: Counter,
+    shed: Counter,
     /// Consecutive sheds with no accepted enqueue in between; drives the
-    /// escalating `retry_after_ms` hint.
+    /// escalating `retry_after_ms` hint (backoff state, not a metric).
     shed_streak: AtomicU64,
-    worker_restarts: AtomicU64,
+    worker_restarts: Counter,
     watchers: Mutex<HashMap<u64, Sender<String>>>,
     next_watcher: AtomicU64,
     shutting_down: AtomicBool,
@@ -272,28 +386,40 @@ impl Shared {
             .field("event", "stats")
             .field("schema", "wib-serve/stats-v1")
             .field("addr", self.bound.to_string())
+            .field("version", env!("CARGO_PKG_VERSION"))
+            .field(
+                "uptime_ms",
+                self.telemetry.started.elapsed().as_millis() as u64,
+            )
             .field("scale", self.scale)
             .field("workers", self.workers)
             .field("busy_workers", self.busy.load(Ordering::Relaxed))
             .field("queue_depth", self.queue.len())
             .field("queue_capacity", self.opts.queue_capacity)
             .field("draining", self.shutting_down.load(Ordering::Relaxed))
-            .field("submitted", self.submitted.load(Ordering::Relaxed))
-            .field("completed", self.completed.load(Ordering::Relaxed))
-            .field("errors", self.errors.load(Ordering::Relaxed))
-            .field("cancelled", self.cancelled.load(Ordering::Relaxed))
-            .field("panicked", self.panicked.load(Ordering::Relaxed))
-            .field(
-                "deadline_expired",
-                self.deadline_expired.load(Ordering::Relaxed),
-            )
-            .field("shed", self.shed.load(Ordering::Relaxed))
-            .field(
-                "worker_restarts",
-                self.worker_restarts.load(Ordering::Relaxed),
-            )
+            .field("submitted", self.submitted.get())
+            .field("completed", self.completed.get())
+            .field("errors", self.errors.get())
+            .field("cancelled", self.cancelled.get())
+            .field("panicked", self.panicked.get())
+            .field("deadline_expired", self.deadline_expired.get())
+            .field("shed", self.shed.get())
+            .field("worker_restarts", self.worker_restarts.get())
             .field("watchers", self.lock_watchers().len())
             .field("cache", self.cache.stats().to_json())
+    }
+
+    /// The Prometheus text exposition (`{"op":"metrics"}`): refresh the
+    /// scrape-time gauges, then render the registry.
+    fn metrics_text(&self) -> String {
+        let t = &self.telemetry;
+        t.queue_depth.set(self.queue.len() as u64);
+        t.queue_capacity.set(self.opts.queue_capacity as u64);
+        t.busy_workers.set(self.busy.load(Ordering::Relaxed) as u64);
+        t.worker_count.set(self.workers as u64);
+        t.watcher_count.set(self.lock_watchers().len() as u64);
+        t.uptime_ms.set(t.started.elapsed().as_millis() as u64);
+        t.registry.render()
     }
 
     /// The `retry_after_ms` hint for the `n`-th consecutive shed:
@@ -348,6 +474,12 @@ impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The daemon's metrics registry (shared handles — a coordinator can
+    /// merge it into a fleet-wide registry).
+    pub fn registry(&self) -> Registry {
+        self.shared.telemetry.registry.clone()
     }
 
     /// Request shutdown locally (equivalent to the `shutdown` op).
@@ -476,25 +608,51 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<ServerHandle> {
     } else {
         opts.workers
     };
+    let registry = Registry::new();
     let shared = Arc::new(Shared {
         catalog: build_catalog(opts.tiny),
         scale: if opts.tiny { "tiny" } else { "eval" },
-        cache: ResultCache::with_faults(opts.results_dir.clone(), Arc::clone(&faults)),
+        cache: ResultCache::with_metrics(opts.results_dir.clone(), Arc::clone(&faults), &registry),
         faults,
         queue: BoundedQueue::new(opts.queue_capacity),
         jobs: Mutex::new(HashMap::new()),
         next_job: AtomicU64::new(1),
         busy: AtomicUsize::new(0),
         workers,
-        submitted: AtomicU64::new(0),
-        completed: AtomicU64::new(0),
-        errors: AtomicU64::new(0),
-        cancelled: AtomicU64::new(0),
-        panicked: AtomicU64::new(0),
-        deadline_expired: AtomicU64::new(0),
-        shed: AtomicU64::new(0),
+        submitted: registry.counter(
+            "wib_serve_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+        ),
+        completed: registry.counter(
+            "wib_serve_jobs_completed_total",
+            "Jobs finished successfully (including cache hits).",
+        ),
+        errors: registry.counter(
+            "wib_serve_jobs_failed_total",
+            "Jobs that ended in a terminal error.",
+        ),
+        cancelled: registry.counter(
+            "wib_serve_jobs_cancelled_total",
+            "Jobs cancelled while queued or running.",
+        ),
+        panicked: registry.counter(
+            "wib_serve_job_panics_total",
+            "Simulations that panicked inside per-job isolation.",
+        ),
+        deadline_expired: registry.counter(
+            "wib_serve_deadline_expirations_total",
+            "Jobs whose wall-clock deadline expired mid-run.",
+        ),
+        shed: registry.counter(
+            "wib_serve_jobs_shed_total",
+            "Submissions refused because the queue was full.",
+        ),
         shed_streak: AtomicU64::new(0),
-        worker_restarts: AtomicU64::new(0),
+        worker_restarts: registry.counter(
+            "wib_serve_worker_restarts_total",
+            "Worker threads recycled after an escaped panic.",
+        ),
+        telemetry: Telemetry::new(registry),
         watchers: Mutex::new(HashMap::new()),
         next_watcher: AtomicU64::new(1),
         shutting_down: AtomicBool::new(false),
@@ -556,7 +714,7 @@ fn run_loop(shared: Arc<Shared>, listener: TcpListener) {
                         if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).is_ok() {
                             break; // queue drained: normal exit
                         }
-                        let n = shared.worker_restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                        let n = shared.worker_restarts.inc_and_get();
                         shared.log(&format!(
                             "worker {i} panicked outside job isolation; recycling (restart {n})"
                         ));
@@ -596,9 +754,9 @@ fn run_loop(shared: Arc<Shared>, listener: TcpListener) {
     // connection writer threads can exit.
     let farewell = Json::obj()
         .field("event", "shutdown")
-        .field("completed", shared.completed.load(Ordering::Relaxed))
-        .field("errors", shared.errors.load(Ordering::Relaxed))
-        .field("cancelled", shared.cancelled.load(Ordering::Relaxed));
+        .field("completed", shared.completed.get())
+        .field("errors", shared.errors.get())
+        .field("cancelled", shared.cancelled.get());
     shared.publish(None, &farewell);
     shared.lock_watchers().clear();
     // Unblock any connection reader (including the one that requested
@@ -617,7 +775,14 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Execute one dequeued job end to end: pickup (arming its cancel
-/// token), panic-shielded simulation, terminal bookkeeping, event.
+/// token), panic-shielded simulation, terminal bookkeeping, span record,
+/// terminal event.
+///
+/// Span stage marks are µs offsets from the job's queue entry, all read
+/// from one monotonic clock: `queue` ends at pickup, `cache` at the
+/// cache lookup, `run` at simulation end (misses only), `finish` at the
+/// span's emission. Adjacent-mark differences therefore sum *exactly*
+/// to `total_us`.
 fn run_one_job(shared: &Shared, id: u64) {
     let picked = {
         let mut jobs = shared.lock_jobs();
@@ -626,7 +791,12 @@ fn run_one_job(shared: &Shared, id: u64) {
         };
         if job.cancelled {
             job.state = JobState::Cancelled;
-            Err(job.sender.take())
+            Err((
+                job.sender.take(),
+                job.span.clone(),
+                job.queued_at,
+                job.workload.clone(),
+            ))
         } else {
             job.state = JobState::Running;
             let token = match job.deadline_ms {
@@ -642,12 +812,32 @@ fn run_one_job(shared: &Shared, id: u64) {
                 job.warmup,
                 job.key.clone(),
                 token,
+                job.span.clone(),
+                job.queued_at,
             ))
         }
     };
-    let (tx, workload_name, cfg, insts, warmup, key, token) = match picked {
-        Err(tx) => {
-            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+    let (tx, workload_name, cfg, insts, warmup, key, token, span, queued_at) = match picked {
+        Err((tx, span, queued_at, workload)) => {
+            // Cancelled while queued: the whole life was the queue wait.
+            let queue_us = us_since(queued_at);
+            shared.cancelled.inc();
+            shared.telemetry.queue_wait_us.observe(queue_us);
+            shared
+                .telemetry
+                .job_us(&workload, "cancelled")
+                .observe(queue_us);
+            shared.publish(
+                tx.as_ref(),
+                &protocol::ev_span(
+                    id,
+                    &span,
+                    &workload,
+                    "cancelled",
+                    &[("queue", queue_us)],
+                    queue_us,
+                ),
+            );
             shared.publish(tx.as_ref(), &protocol::ev_cancelled(id));
             return;
         }
@@ -656,12 +846,21 @@ fn run_one_job(shared: &Shared, id: u64) {
     shared.busy.fetch_add(1, Ordering::Relaxed);
     let _busy = BusyGuard(&shared.busy);
     shared.publish(tx.as_ref(), &protocol::ev_running(id));
-    let outcome = if let Some(doc) = shared.cache.get(&key) {
+    let queue_mark = us_since(queued_at);
+    let cached_doc = shared.cache.get(&key);
+    let lookup_mark = us_since(queued_at);
+    let mut ran = false;
+    let outcome = if let Some(doc) = cached_doc {
+        shared
+            .telemetry
+            .cache_hit_us
+            .observe(lookup_mark - queue_mark);
         Outcome::Done {
             doc: Json::parse(&doc).expect("cached documents parse"),
             cached: true,
         }
     } else if let Some(workload) = shared.catalog.get(&workload_name) {
+        ran = true;
         let sim = catch_unwind(AssertUnwindSafe(|| {
             if shared.faults.next_sim_panics() {
                 panic!("injected fault: worker panic");
@@ -673,12 +872,17 @@ fn run_one_job(shared: &Shared, id: u64) {
             let doc = result_doc(workload, &cfg, insts, warmup, shared.scale, &r);
             (doc, r)
         }));
+        // Engine self-profiling rides every completed simulation,
+        // cancelled or not (host telemetry, never part of the result).
+        if let Ok((_, r)) = &sim {
+            shared.telemetry.record_engine_profile(&r.profile);
+        }
         match sim {
             // A cancelled run carries partial statistics: never cache
             // or publish its document.
             Ok((_, r)) if r.cancelled && token.is_cancelled() => Outcome::Cancelled,
             Ok((_, r)) if r.cancelled => {
-                shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                shared.deadline_expired.inc();
                 let ms = shared.lock_jobs().get(&id).and_then(|j| j.deadline_ms);
                 Outcome::Failed(format!("deadline of {}ms expired mid-run", ms.unwrap_or(0)))
             }
@@ -690,7 +894,7 @@ fn run_one_job(shared: &Shared, id: u64) {
                 Outcome::Done { doc, cached: false }
             }
             Err(panic) => {
-                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                shared.panicked.inc();
                 let msg = panic
                     .downcast_ref::<String>()
                     .cloned()
@@ -702,6 +906,7 @@ fn run_one_job(shared: &Shared, id: u64) {
     } else {
         Outcome::Failed(format!("workload {workload_name:?} vanished from catalog"))
     };
+    let run_mark = us_since(queued_at);
     {
         let mut jobs = shared.lock_jobs();
         if let Some(job) = jobs.get_mut(&id) {
@@ -714,9 +919,44 @@ fn run_one_job(shared: &Shared, id: u64) {
             };
         }
     }
+    // Latency rollups and the span record, just before the terminal
+    // event (a client sees the span first, then the outcome it explains).
+    let outcome_name = match &outcome {
+        Outcome::Done { .. } => "done",
+        Outcome::Cancelled => "cancelled",
+        Outcome::Failed(_) => "error",
+    };
+    let finish_mark = us_since(queued_at);
+    let mut stages: Vec<(&'static str, u64)> =
+        vec![("queue", queue_mark), ("cache", lookup_mark - queue_mark)];
+    if ran {
+        stages.push(("run", run_mark - lookup_mark));
+        stages.push(("finish", finish_mark - run_mark));
+    } else {
+        stages.push(("finish", finish_mark - lookup_mark));
+    }
+    shared.telemetry.queue_wait_us.observe(queue_mark);
+    if ran {
+        shared.telemetry.run_us.observe(run_mark - lookup_mark);
+    }
+    shared
+        .telemetry
+        .job_us(&workload_name, outcome_name)
+        .observe(finish_mark);
+    shared.publish(
+        tx.as_ref(),
+        &protocol::ev_span(
+            id,
+            &span,
+            &workload_name,
+            outcome_name,
+            &stages,
+            finish_mark,
+        ),
+    );
     match outcome {
         Outcome::Done { doc, cached } => {
-            shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.completed.inc();
             shared.log(&format!(
                 "job {id} {workload_name} done{}",
                 if cached { " (cached)" } else { "" }
@@ -724,12 +964,12 @@ fn run_one_job(shared: &Shared, id: u64) {
             shared.publish(tx.as_ref(), &protocol::ev_done(id, cached, doc));
         }
         Outcome::Cancelled => {
-            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.cancelled.inc();
             shared.log(&format!("job {id} {workload_name} cancelled mid-run"));
             shared.publish(tx.as_ref(), &protocol::ev_cancelled(id));
         }
         Outcome::Failed(msg) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.errors.inc();
             shared.log(&format!("job {id} {workload_name} failed: {msg}"));
             shared.publish(tx.as_ref(), &protocol::ev_error(id, &key, &msg));
         }
@@ -845,6 +1085,9 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, conn: &mut ConnState, lin
         Request::Stats => {
             let _ = tx.send(shared.stats_json().to_string());
         }
+        Request::Metrics => {
+            let _ = tx.send(protocol::ev_metrics(&shared.metrics_text()).to_string());
+        }
         Request::Watch => {
             let wid = shared.next_watcher.fetch_add(1, Ordering::Relaxed);
             shared.lock_watchers().insert(wid, tx.clone());
@@ -897,9 +1140,9 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, conn: &mut ConnState, lin
             let _ = tx.send(
                 Json::obj()
                     .field("event", "shutdown")
-                    .field("completed", shared.completed.load(Ordering::Relaxed))
-                    .field("errors", shared.errors.load(Ordering::Relaxed))
-                    .field("cancelled", shared.cancelled.load(Ordering::Relaxed))
+                    .field("completed", shared.completed.get())
+                    .field("errors", shared.errors.get())
+                    .field("cancelled", shared.cancelled.get())
                     .to_string(),
             );
             return true;
@@ -941,6 +1184,10 @@ fn submit_batch(
         let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
         let spec = cfg.to_spec();
         let key = ResultCache::key(&workload, &cfg, insts, warmup, shared.scale);
+        // The span id is unique per submission *attempt* (a resubmit of
+        // the same job identity gets a fresh span): job id plus the
+        // daemon's monotonic clock. Never part of the result document.
+        let span = format!("{id:x}.{:x}", shared.telemetry.started.elapsed().as_nanos());
         shared.lock_jobs().insert(
             id,
             Job {
@@ -949,6 +1196,8 @@ fn submit_batch(
                 cfg,
                 insts,
                 warmup,
+                span: span.clone(),
+                queued_at: Instant::now(),
                 deadline_ms: job.deadline_ms.or(batch_deadline),
                 state: JobState::Queued,
                 cancelled: false,
@@ -961,7 +1210,7 @@ fn submit_batch(
         // `shed` event (same job id) retracts it.
         shared.publish(
             Some(tx),
-            &protocol::ev_queued(id, index, &workload, &spec, &key),
+            &protocol::ev_queued(id, index, &workload, &spec, &key, &span),
         );
         let refused = if shared.faults.next_enqueue_sheds() {
             Err(TryPushError::Full) // injected overload
@@ -970,12 +1219,12 @@ fn submit_batch(
         };
         match refused {
             Ok(()) => {
-                shared.submitted.fetch_add(1, Ordering::Relaxed);
+                shared.submitted.inc();
                 shared.shed_streak.store(0, Ordering::Relaxed);
             }
             Err(TryPushError::Full) => {
                 shared.lock_jobs().remove(&id);
-                shared.shed.fetch_add(1, Ordering::Relaxed);
+                shared.shed.inc();
                 let streak = shared.shed_streak.fetch_add(1, Ordering::Relaxed) + 1;
                 let retry_after = shared.retry_after_ms(streak);
                 shared.log(&format!(

@@ -412,3 +412,155 @@ fn cache_persists_across_daemon_restarts() {
     second.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn stats_report_version_and_monotonic_uptime() {
+    let handle = tiny_server(1, 8);
+    let addr = handle.addr().to_string();
+    let first = client::stats(&addr).expect("stats");
+    assert_eq!(
+        first.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION")),
+        "stats must carry the crate version"
+    );
+    let t0 = first
+        .get("uptime_ms")
+        .and_then(Json::as_u64)
+        .expect("uptime_ms");
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let second = client::stats(&addr).expect("stats again");
+    let t1 = second.get("uptime_ms").and_then(Json::as_u64).unwrap();
+    assert!(t1 >= t0 + 10, "uptime must advance: {t0} -> {t1}");
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn span_stage_durations_telescope_to_the_total() {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
+
+    let handle = tiny_server(1, 8);
+    let addr = handle.addr().to_string();
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut w = BufWriter::new(stream.try_clone().unwrap());
+    let mut r = BufReader::new(stream);
+    w.write_all(b"{\"op\":\"submit\",\"jobs\":[{\"workload\":\"gzip\",\"spec\":\"base\"}]}\n")
+        .unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    let mut span_id = String::new();
+    let mut saw_span = false;
+    loop {
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        let ev = Json::parse(line.trim()).unwrap();
+        match ev.get("event").and_then(Json::as_str) {
+            Some("queued") => {
+                span_id = ev
+                    .get("span")
+                    .and_then(Json::as_str)
+                    .expect("queued event carries the span id")
+                    .to_string();
+                assert!(!span_id.is_empty());
+            }
+            Some("running") | Some("interval") => {}
+            Some("span") => {
+                saw_span = true;
+                assert_eq!(
+                    ev.get("span").and_then(Json::as_str),
+                    Some(span_id.as_str()),
+                    "span id must match the one minted at submit"
+                );
+                assert_eq!(ev.get("workload").and_then(Json::as_str), Some("gzip"));
+                assert_eq!(ev.get("outcome").and_then(Json::as_str), Some("done"));
+                let total = ev.get("total_us").and_then(Json::as_u64).unwrap();
+                let stages = ev.get("stages").and_then(Json::as_arr).unwrap();
+                let names: Vec<&str> = stages
+                    .iter()
+                    .map(|s| s.get("stage").and_then(Json::as_str).unwrap())
+                    .collect();
+                assert_eq!(
+                    names,
+                    ["queue", "cache", "run", "finish"],
+                    "a simulated job passes through every stage"
+                );
+                // The acceptance criterion: back-to-back stage marks
+                // from one monotonic clock sum *exactly* to the
+                // end-to-end latency — no drift, no double-counting.
+                let sum: u64 = stages
+                    .iter()
+                    .map(|s| s.get("us").and_then(Json::as_u64).unwrap())
+                    .sum();
+                assert_eq!(sum, total, "stage durations must telescope");
+            }
+            Some("done") => break,
+            other => panic!("unexpected event: {other:?}"),
+        }
+    }
+    assert!(saw_span, "span record must precede the terminal event");
+
+    // The same latencies roll into the scraped histograms.
+    let text = client::metrics(&addr).expect("metrics");
+    let exp = wib_core::Exposition::parse(&text);
+    let wait = exp
+        .histogram("wib_serve_queue_wait_us")
+        .expect("queue-wait family");
+    assert_eq!(wait.count, 1, "one job -> one queue-wait observation");
+    let run = exp.histogram("wib_serve_run_us").expect("run-time family");
+    assert_eq!(run.count, 1, "one job -> one run-time observation");
+    assert_eq!(
+        exp.value_labeled(
+            "wib_serve_job_us_count",
+            &[("workload", "gzip"), ("outcome", "done")]
+        ),
+        Some(1.0),
+        "end-to-end histogram is labelled by workload and outcome"
+    );
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn metrics_exposition_tracks_jobs_and_cache_hits() {
+    let handle = tiny_server(2, 16);
+    let addr = handle.addr().to_string();
+    let jobs = vec![job("gzip", "base"), job("mst", "base")];
+    client::submit(&addr, &jobs, None, None, None, false).expect("submit");
+    client::submit(&addr, &jobs, None, None, None, false).expect("resubmit");
+
+    let text = client::metrics(&addr).expect("metrics");
+    assert!(
+        text.contains("# TYPE wib_serve_jobs_completed_total counter"),
+        "exposition carries TYPE lines:\n{text}"
+    );
+    assert!(
+        text.contains("# HELP wib_serve_queue_wait_us"),
+        "exposition carries HELP lines:\n{text}"
+    );
+    let exp = wib_core::Exposition::parse(&text);
+    assert_eq!(exp.value("wib_serve_jobs_submitted_total"), Some(4.0));
+    assert_eq!(exp.value("wib_serve_jobs_completed_total"), Some(4.0));
+    assert_eq!(exp.value("wib_serve_cache_misses_total"), Some(2.0));
+    assert_eq!(
+        exp.value("wib_serve_cache_hits_total"),
+        Some(2.0),
+        "resubmitted batch is served from cache"
+    );
+    assert_eq!(exp.value("wib_serve_workers"), Some(2.0));
+    assert_eq!(exp.value("wib_serve_job_panics_total"), Some(0.0));
+    // Cache hits skip simulation: the run-time histogram saw only the
+    // two real runs, the hit-latency histogram only the two hits.
+    assert_eq!(exp.histogram("wib_serve_run_us").map(|h| h.count), Some(2));
+    assert_eq!(
+        exp.histogram("wib_serve_cache_hit_us").map(|h| h.count),
+        Some(2)
+    );
+    // The engine self-profile surfaced through the same registry.
+    assert!(
+        exp.value("wib_engine_profiled_cycles_total").unwrap_or(0.0) > 0.0,
+        "sampled engine profiling must record cycles:\n{text}"
+    );
+    client::shutdown(&addr, true).expect("shutdown");
+    handle.join();
+}

@@ -168,6 +168,7 @@ fn a_running_job_can_be_cancelled_within_one_epoch() {
                 saw_terminal = true;
             }
             Some("interval") => {}
+            Some("span") => {} // tracing record precedes the terminal event
             other => panic!("unexpected event after cancel: {other:?}"),
         }
     }

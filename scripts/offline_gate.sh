@@ -58,6 +58,64 @@ diff -r "$serve_dir/remote" "$serve_dir/local"
 echo "  ok (3-point sweep byte-identical, cache served the resubmit, clean drain)"
 rm -rf "$serve_dir"
 
+echo "== metrics smoke (scrape exposition, assert families and sane values) =="
+# Telemetry end to end: a daemon, a 2-point sweep submitted twice (so the
+# cache sees hits), then a `metrics` scrape. The Prometheus exposition
+# must carry the core families with values that match what just
+# happened, and the live `top --plain` view must render from the same
+# scrape without a terminal.
+met_val() { grep -E "^$1 " <<<"$2" | head -1 | awk '{print $2}'; }
+metrics_dir=$(mktemp -d)
+metrics_port="$metrics_dir/port"
+WIB_RESULTS_DIR="$metrics_dir/results" \
+    cargo run -q --release --offline -p wib-cli --bin wib-sim -- serve \
+    --addr 127.0.0.1:0 --port-file "$metrics_port" --tiny --workers 2 --quiet &
+metrics_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$metrics_port" ]] && break
+    sleep 0.1
+done
+[[ -s "$metrics_port" ]] || { echo "  FAIL: metrics daemon never wrote its port file"; exit 1; }
+maddr=$(cat "$metrics_port")
+pair=(gzip:base mst:base)
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${pair[@]}" \
+    --addr "$maddr" --insts 20000 --warmup 2000 > /dev/null
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${pair[@]}" \
+    --addr "$maddr" --insts 20000 --warmup 2000 > /dev/null
+scrape=$(cargo run -q --release --offline -p wib-cli --bin wib-sim -- metrics --addr "$maddr")
+for family in wib_serve_queue_depth wib_serve_jobs_completed_total \
+    wib_serve_cache_hits_total wib_serve_job_panics_total \
+    wib_serve_queue_wait_us wib_serve_run_us wib_engine_stage_ns_total; do
+    if ! grep -q "^# TYPE $family " <<<"$scrape"; then
+        echo "  FAIL: exposition is missing family $family"
+        echo "$scrape"
+        exit 1
+    fi
+done
+for want in wib_serve_jobs_submitted_total:4 wib_serve_jobs_completed_total:4 \
+    wib_serve_cache_hits_total:2 wib_serve_cache_misses_total:2 \
+    wib_serve_job_panics_total:0 wib_serve_queue_wait_us_count:4 \
+    wib_serve_run_us_count:2 wib_serve_queue_depth:0; do
+    name=${want%:*} expect=${want#*:}
+    got=$(met_val "$name" "$scrape")
+    if [[ "$got" != "$expect" ]]; then
+        echo "  FAIL: metric $name = '$got', expected $expect"
+        echo "$scrape"
+        exit 1
+    fi
+done
+topview=$(cargo run -q --release --offline -p wib-cli --bin wib-sim -- top \
+    --addr "$maddr" --plain --iters 1)
+grep -q "cache   50.0% hit (2/4)" <<<"$topview" || {
+    echo "  FAIL: top view did not show the 50% cache hit rate"
+    echo "$topview"
+    exit 1
+}
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- shutdown --addr "$maddr" > /dev/null
+wait "$metrics_pid"
+echo "  ok (7 families present, counters exact, top rendered the scrape)"
+rm -rf "$metrics_dir"
+
 echo "== chaos smoke (injected worker panic, forced shed, torn cache write) =="
 # Same 3-point sweep, but against a daemon with a fixed fault plan armed:
 # the first enqueue is force-shed (client must retry after the backoff
