@@ -83,6 +83,10 @@ const OPTIONS: &[&str] = &[
     "retry",
     "interval-ms",
     "iters",
+    "coord",
+    "backends",
+    "replicas",
+    "vnodes",
 ];
 
 impl Args {

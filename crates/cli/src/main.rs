@@ -7,10 +7,14 @@
 //! wib-sim compare <bench> [options]     base vs WIB side by side
 //! wib-sim disasm <bench> [--limit N]    disassemble a kernel
 //! wib-sim serve [options]               run the simulation daemon
+//! wib-sim coord --backends a,b,...      run the sweep coordinator
 //! wib-sim submit <bench[:spec]>...      send jobs to a daemon (or --local)
 //! wib-sim watch / stats / shutdown      observe and control a daemon
 //! wib-sim metrics / top                 scrape or live-view daemon telemetry
 //! ```
+//!
+//! Every client command accepts `--coord H:P` to talk to a coordinator
+//! instead of a single daemon — same protocol, cluster-wide semantics.
 
 use std::process::ExitCode;
 use wib_core::{Json, MachineConfig, Processor, RunLimit, RunResult, TextSink, WibOrganization};
@@ -54,13 +58,16 @@ fn usage() -> &'static str {
 simulation service (see docs/serve.md):
   wib-sim serve [--addr H:P] [--workers N] [--queue N] [--tiny] [--results-dir D]
                 [--port-file F] [--insts N] [--warmup N] [--quiet]
-  wib-sim submit <bench[:spec]>... [--addr H:P | --local] [--config <spec>] [--insts N]
-                 [--warmup N] [--deadline-ms N] [--retry N] [--out DIR] [--tiny] [--progress]
-  wib-sim watch [--addr H:P]
-  wib-sim stats [--addr H:P]
-  wib-sim metrics [--addr H:P]
-  wib-sim top [--addr H:P] [--interval-ms N] [--iters N] [--plain]
-  wib-sim shutdown [--addr H:P] [--now]
+  wib-sim coord --backends H:P,H:P,... [--addr H:P] [--replicas N] [--vnodes N]
+                [--tiny] [--insts N] [--warmup N] [--port-file F] [--quiet]
+  wib-sim submit <bench[:spec]>... [--addr H:P | --coord H:P | --local] [--config <spec>]
+                 [--insts N] [--warmup N] [--deadline-ms N] [--retry N] [--out DIR]
+                 [--tiny] [--progress]
+  wib-sim watch [--addr H:P | --coord H:P]
+  wib-sim stats [--addr H:P | --coord H:P]        (--coord prints the cluster view)
+  wib-sim metrics [--addr H:P | --coord H:P]      (--coord merges every node)
+  wib-sim top [--addr H:P | --coord H:P] [--interval-ms N] [--iters N] [--plain]
+  wib-sim shutdown [--addr H:P | --coord H:P] [--now]
 
 observability:
   --cpi-stack          print the commit-slot CPI stack (categories sum to cycles)
@@ -88,6 +95,7 @@ fn run(argv: &[String]) -> Result<(), ParseError> {
         "trace" => cmd_trace(&args),
         "exec" => cmd_exec(&args),
         "serve" => cmd_serve(&args),
+        "coord" => cmd_coord(&args),
         "submit" => cmd_submit(&args),
         "watch" => cmd_watch(&args),
         "stats" => cmd_serve_stats(&args),
@@ -158,8 +166,19 @@ fn cmd_workloads(args: &Args) -> Result<(), ParseError> {
 /// Default daemon address for `serve`/`submit`/`watch`/`stats`/`shutdown`.
 const DEFAULT_ADDR: &str = "127.0.0.1:7431";
 
+/// Default bind address for the coordinator (one below the daemon's, so
+/// both run side by side on one host out of the box).
+const DEFAULT_COORD_ADDR: &str = "127.0.0.1:7430";
+
 fn addr_of(args: &Args) -> String {
     args.option("addr").unwrap_or_else(|| DEFAULT_ADDR.into())
+}
+
+/// Where a client command should connect: `--coord H:P` wins over
+/// `--addr H:P` — the coordinator speaks the same protocol, so every
+/// client path works against either.
+fn target_addr(args: &Args) -> String {
+    args.option("coord").unwrap_or_else(|| addr_of(args))
 }
 
 fn cmd_serve(args: &Args) -> Result<(), ParseError> {
@@ -178,6 +197,39 @@ fn cmd_serve(args: &Args) -> Result<(), ParseError> {
         opts.port_file = Some(path.into());
     }
     wib_serve::server::run(opts).map_err(|e| ParseError::runtime(format!("serve: {e}")))
+}
+
+fn cmd_coord(args: &Args) -> Result<(), ParseError> {
+    let backends: Vec<String> = args
+        .option("backends")
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|b| !b.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    if backends.is_empty() {
+        return Err(ParseError::new(
+            "coord needs --backends H:P,H:P,... (at least one backend daemon)",
+        ));
+    }
+    let mut opts = wib_serve::CoordOptions::default();
+    opts.addr = args
+        .option("addr")
+        .unwrap_or_else(|| DEFAULT_COORD_ADDR.into());
+    opts.backends = backends;
+    opts.replicas = args.number("replicas", opts.replicas as u64)? as usize;
+    opts.vnodes = args.number("vnodes", opts.vnodes as u64)? as usize;
+    opts.tiny = args.flag("tiny");
+    opts.default_insts = args.number("insts", opts.default_insts)?;
+    opts.default_warmup = args.number("warmup", opts.default_warmup)?;
+    opts.quiet = args.flag("quiet");
+    if let Some(path) = args.option("port-file") {
+        opts.port_file = Some(path.into());
+    }
+    wib_serve::coord::run(opts).map_err(|e| ParseError::runtime(format!("coord: {e}")))
 }
 
 /// `--insts` / `--warmup` as optional overrides (absent means "let the
@@ -239,7 +291,7 @@ fn cmd_submit(args: &Args) -> Result<(), ParseError> {
             retries: args.number("retry", 8)? as u32,
             ..wib_serve::SubmitOptions::default()
         };
-        wib_serve::client::submit_with(&addr_of(args), &jobs, &opts).map_err(String::from)
+        wib_serve::client::submit_with(&target_addr(args), &jobs, &opts).map_err(String::from)
     }
     .map_err(ParseError::runtime)?;
     let mut failures = 0;
@@ -291,17 +343,23 @@ fn cmd_submit(args: &Args) -> Result<(), ParseError> {
 
 fn cmd_watch(args: &Args) -> Result<(), ParseError> {
     let mut stdout = std::io::stdout();
-    wib_serve::client::watch(&addr_of(args), &mut stdout).map_err(ParseError::runtime)
+    wib_serve::client::watch(&target_addr(args), &mut stdout).map_err(ParseError::runtime)
 }
 
 fn cmd_serve_stats(args: &Args) -> Result<(), ParseError> {
-    let doc = wib_serve::client::stats(&addr_of(args)).map_err(ParseError::runtime)?;
+    // Against a coordinator, show the cluster-wide aggregated view;
+    // against a daemon, its own snapshot.
+    let doc = if args.option("coord").is_some() {
+        wib_serve::client::cluster_stats(&target_addr(args)).map_err(ParseError::runtime)?
+    } else {
+        wib_serve::client::stats(&addr_of(args)).map_err(ParseError::runtime)?
+    };
     print!("{}", doc.pretty());
     Ok(())
 }
 
 fn cmd_metrics(args: &Args) -> Result<(), ParseError> {
-    let text = wib_serve::client::metrics(&addr_of(args)).map_err(ParseError::runtime)?;
+    let text = wib_serve::client::metrics(&target_addr(args)).map_err(ParseError::runtime)?;
     print!("{text}");
     Ok(())
 }
@@ -309,11 +367,12 @@ fn cmd_metrics(args: &Args) -> Result<(), ParseError> {
 fn cmd_top(args: &Args) -> Result<(), ParseError> {
     let interval_ms = args.number("interval-ms", 1000)?;
     let iters = optional_number(args, "iters")?;
-    top::run(&addr_of(args), interval_ms, iters, args.flag("plain")).map_err(ParseError::runtime)
+    top::run(&target_addr(args), interval_ms, iters, args.flag("plain"))
+        .map_err(ParseError::runtime)
 }
 
 fn cmd_shutdown(args: &Args) -> Result<(), ParseError> {
-    let reply = wib_serve::client::shutdown(&addr_of(args), !args.flag("now"))
+    let reply = wib_serve::client::shutdown(&target_addr(args), !args.flag("now"))
         .map_err(ParseError::runtime)?;
     println!("{reply}");
     Ok(())

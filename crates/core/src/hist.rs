@@ -70,10 +70,11 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
-        let mut seen = 0;
+        let threshold =
+            ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
         for (v, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            seen = seen.saturating_add(n);
             if seen >= threshold {
                 return v as u64;
             }
@@ -190,15 +191,26 @@ impl Log2Snapshot {
         if self.count == 0 {
             return 0;
         }
-        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
-        let mut seen = 0;
+        // Clamp the rank into `1..=count`: for huge (saturating-merged)
+        // counts the f64 round-trip can overshoot `count`, and an
+        // overshot rank would fall off the end of the scan and report
+        // the +Inf bucket for a histogram that never touched it.
+        let threshold =
+            ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        let mut last_nonzero = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= threshold && seen > 0 {
+            if n > 0 {
+                last_nonzero = i;
+            }
+            seen = seen.saturating_add(n);
+            if seen >= threshold {
                 return log2_bucket_bound(i);
             }
         }
-        log2_bucket_bound(LOG2_BUCKETS - 1)
+        // Inconsistent snapshot (bucket sum lags a saturated count):
+        // answer from the highest populated bucket rather than +Inf.
+        log2_bucket_bound(last_nonzero)
     }
 }
 
@@ -301,6 +313,51 @@ mod tests {
         // The saturating sum cannot wrap.
         assert_eq!(s.sum, u64::MAX);
         assert_eq!(s.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn log2_snapshot_q1_reports_the_highest_populated_bucket() {
+        let mut s = Log2Snapshot::new();
+        for v in [1u64, 3, 1000] {
+            s.observe(v);
+        }
+        // q=1.0 is the highest populated bucket's bound, never +Inf.
+        assert_eq!(s.quantile(1.0), 1024);
+        // q=0.0 clamps to rank 1: the lowest populated bucket.
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn log2_snapshot_quantile_survives_saturated_merges() {
+        // Two snapshots whose counts saturate when merged: the old
+        // unsaturated rank scan overflowed (debug) or wrapped past the
+        // threshold (release) and reported the +Inf bound as "p99".
+        let mut a = Log2Snapshot::new();
+        a.buckets[7] = u64::MAX - 3;
+        a.count = u64::MAX - 3;
+        a.sum = u64::MAX;
+        let mut b = Log2Snapshot::new();
+        b.buckets[7] = 10;
+        b.count = 10;
+        b.sum = 100;
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.count, u64::MAX);
+        assert_eq!(m.quantile(0.99), 128);
+        assert_eq!(m.quantile(1.0), 128);
+    }
+
+    #[test]
+    fn log2_snapshot_quantile_with_inconsistent_saturated_count() {
+        // A pathological snapshot whose bucket sum lags its saturated
+        // count (possible after many saturating merges): quantiles must
+        // still come from a populated bucket, not the +Inf overflow.
+        let mut s = Log2Snapshot::new();
+        s.buckets[3] = 1000;
+        s.count = u64::MAX;
+        s.sum = u64::MAX;
+        assert_eq!(s.quantile(0.99), 8);
+        assert_eq!(s.quantile(1.0), 8);
     }
 
     #[test]

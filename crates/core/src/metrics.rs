@@ -412,23 +412,49 @@ impl Sample {
 #[derive(Debug, Clone, Default)]
 pub struct Exposition {
     pub samples: Vec<Sample>,
+    /// Family kinds from `# TYPE` lines (name → counter/gauge/histogram).
+    pub types: BTreeMap<String, String>,
+    /// Family help strings from `# HELP` lines.
+    pub helps: BTreeMap<String, String>,
 }
 
 impl Exposition {
     /// Parse exposition text. Unparseable lines are skipped (a scraper
-    /// must tolerate families it does not know).
+    /// must tolerate families it does not know); `# TYPE` and `# HELP`
+    /// comments are captured so [`Exposition::to_registry`] can rebuild
+    /// families with their original kinds.
     pub fn parse(text: &str) -> Exposition {
-        let mut samples = Vec::new();
+        let mut exp = Exposition::default();
         for line in text.lines() {
             let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                if let Some((name, kind)) = rest.trim().split_once(char::is_whitespace) {
+                    exp.types.insert(name.to_string(), kind.trim().to_string());
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                match rest.trim().split_once(char::is_whitespace) {
+                    Some((name, help)) => {
+                        exp.helps.insert(name.to_string(), help.trim().to_string());
+                    }
+                    None => {
+                        exp.helps.insert(rest.trim().to_string(), String::new());
+                    }
+                }
+                continue;
+            }
+            if line.starts_with('#') {
                 continue;
             }
             if let Some(s) = parse_sample(line) {
-                samples.push(s);
+                exp.samples.push(s);
             }
         }
-        Exposition { samples }
+        exp
     }
 
     /// All samples for a family name.
@@ -504,6 +530,114 @@ impl Exposition {
         } else {
             None
         }
+    }
+
+    /// Reconstruct a [`Registry`] from the parsed samples — the write
+    /// side of [`Exposition::parse`]. This is how a scraped remote
+    /// exposition becomes mergeable: the coordinator parses each
+    /// backend's text, rebuilds it as a registry, and folds it into one
+    /// cluster view with [`Registry::merge_from`].
+    ///
+    /// Family kinds come from the captured `# TYPE` lines; samples with
+    /// no type fall back to counter when the name ends in `_total` and
+    /// gauge otherwise. Histograms are rebuilt per label set from their
+    /// `_bucket`/`_sum`/`_count` components: cumulative buckets are
+    /// de-cumulated and bounds snap back onto the log2 bucket grid.
+    pub fn to_registry(&self) -> Registry {
+        let reg = Registry::new();
+        let hist_names: Vec<&str> = self
+            .types
+            .iter()
+            .filter(|(_, k)| k.as_str() == "histogram")
+            .map(|(n, _)| n.as_str())
+            .collect();
+        // Scalar samples owned by a histogram family must not
+        // double-register as counters or gauges.
+        let is_component = |name: &str| {
+            hist_names.iter().any(|h| {
+                name.strip_prefix(h)
+                    .is_some_and(|rest| matches!(rest, "_bucket" | "_sum" | "_count"))
+            })
+        };
+        for s in &self.samples {
+            if is_component(&s.name) {
+                continue;
+            }
+            let labels: Vec<(&str, &str)> = s
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let help = self.helps.get(&s.name).map(String::as_str).unwrap_or("");
+            let kind = self.types.get(&s.name).map(String::as_str).unwrap_or("");
+            let counter = kind == "counter" || (kind.is_empty() && s.name.ends_with("_total"));
+            if counter {
+                reg.counter_with(&s.name, help, &labels).add(s.value as u64);
+            } else {
+                reg.gauge_with(&s.name, help, &labels).add(s.value as u64);
+            }
+        }
+        for name in hist_names {
+            let help = self.helps.get(name).map(String::as_str).unwrap_or("");
+            // Group `_bucket` samples by their non-`le` label set. The
+            // remaining labels stay sorted (render sorts them), so the
+            // joined key is canonical and matches `_sum`/`_count` label
+            // sets exactly.
+            type Group = (Vec<(String, String)>, Vec<(u64, u64)>);
+            let mut groups: BTreeMap<String, Group> = BTreeMap::new();
+            for s in self.series(&format!("{name}_bucket")) {
+                let Some(le) = s.label("le") else { continue };
+                let bound = if le == "+Inf" {
+                    u64::MAX
+                } else {
+                    match le.parse::<u64>() {
+                        Ok(b) => b,
+                        Err(_) => continue,
+                    }
+                };
+                let rest: Vec<(String, String)> = s
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                let key: String = rest.iter().map(|(k, v)| format!("{k}={v};")).collect();
+                groups
+                    .entry(key)
+                    .or_insert_with(|| (rest, Vec::new()))
+                    .1
+                    .push((bound, s.value as u64));
+            }
+            for (_, (owned, mut buckets)) in groups {
+                buckets.sort_unstable();
+                let labels: Vec<(&str, &str)> = owned
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let h = reg.histogram_with(name, help, &labels);
+                let mut prev = 0u64;
+                for (bound, cumulative) in buckets {
+                    let n = cumulative.saturating_sub(prev);
+                    prev = cumulative;
+                    if n > 0 {
+                        let idx = if bound == u64::MAX {
+                            LOG2_BUCKETS - 1
+                        } else {
+                            log2_bucket(bound)
+                        };
+                        h.0.buckets[idx].fetch_add(n, Ordering::Relaxed);
+                    }
+                }
+                let scalar = |suffix: &str| {
+                    self.series(&format!("{name}{suffix}"))
+                        .find(|s| s.labels == owned)
+                        .map_or(0, |s| s.value as u64)
+                };
+                h.0.sum.fetch_add(scalar("_sum"), Ordering::Relaxed);
+                h.0.count.fetch_add(scalar("_count"), Ordering::Relaxed);
+            }
+        }
+        reg
     }
 }
 
@@ -693,6 +827,44 @@ mod tests {
         let r = Registry::new();
         r.counter("thing", "A thing.");
         r.gauge("thing", "A thing.");
+    }
+
+    #[test]
+    fn exposition_round_trips_to_an_identical_registry() {
+        let r = Registry::new();
+        r.counter("wib_jobs_total", "Jobs accepted.").add(42);
+        r.gauge("wib_queue_depth", "Jobs waiting.").set(3);
+        r.counter_with("jobs", "By workload.", &[("workload", "mst")])
+            .add(2);
+        r.counter_with("jobs", "By workload.", &[("workload", "em3d")])
+            .inc();
+        let h = r.histogram("latency_us", "Job latency.");
+        for v in [1u64, 3, 3, 100, 5000] {
+            h.observe(v);
+        }
+        r.histogram_with("node_us", "Per node.", &[("node", "a")])
+            .observe(7);
+        let text = r.render();
+        let rebuilt = Exposition::parse(&text).to_registry();
+        // The reconstruction is exact: same families, kinds, helps,
+        // label sets, values, and bucket cells — so re-rendering is
+        // byte-identical.
+        assert_eq!(rebuilt.render(), text);
+        // And the rebuilt registry merges like any other.
+        let merged = Registry::new();
+        merged.merge_from(&r);
+        merged.merge_from(&rebuilt);
+        let exp = Exposition::parse(&merged.render());
+        assert_eq!(exp.value("wib_jobs_total"), Some(84.0));
+        assert_eq!(exp.histogram("latency_us").unwrap().count, 10);
+    }
+
+    #[test]
+    fn to_registry_falls_back_to_name_heuristics_without_type_lines() {
+        let exp = Exposition::parse("foo_total 5\nbar 2\n");
+        let text = exp.to_registry().render();
+        assert!(text.contains("# TYPE foo_total counter\n"));
+        assert!(text.contains("# TYPE bar gauge\n"));
     }
 
     #[test]

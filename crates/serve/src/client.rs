@@ -42,6 +42,28 @@ const RPC_TIMEOUT: Duration = Duration::from_secs(10);
 /// the queued work.
 const SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(600);
 
+/// Read budget for `cluster_stats` — the coordinator probes every
+/// backend (each at its own RPC budget) before it can answer.
+const CLUSTER_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Minimum backoff before resubmitting a shed job. A shed event with a
+/// missing or zero `retry_after_ms` hint must not let the client
+/// hot-loop a server that is telling it to go away.
+const SHED_RETRY_FLOOR_MS: u64 = 25;
+
+/// Deterministic jitter (`0..=this`) added on top of every shed backoff
+/// so a fleet of clients shed together does not re-arrive in lockstep.
+const SHED_RETRY_JITTER_MS: u64 = 25;
+
+/// Backoff before resubmitting a shed job: the server's hint floored at
+/// [`SHED_RETRY_FLOOR_MS`], plus per-(job, attempt) jitter seeded from
+/// those values so the schedule is reproducible.
+fn shed_backoff_ms(hint: u64, job_id: u64, attempt: u32) -> u64 {
+    let mut rng =
+        wib_rng::StdRng::seed_from_u64(job_id ^ u64::from(attempt).wrapping_mul(0x9e37_79b9));
+    hint.max(SHED_RETRY_FLOOR_MS) + rng.random_range(0..=SHED_RETRY_JITTER_MS)
+}
+
 /// Terminal state of one submitted job.
 #[derive(Debug, Clone)]
 pub enum JobStatus {
@@ -122,6 +144,27 @@ fn connect(addr: &str) -> Result<TcpStream, ServeError> {
         addr: addr.to_string(),
         source: e,
     })
+}
+
+/// Connect with a hard deadline. The OS default connect timeout can run
+/// to minutes; a peer-cache probe to a dead node must fail in
+/// milliseconds so the miss path stays cheap.
+fn connect_within(addr: &str, timeout: Duration) -> Result<TcpStream, ServeError> {
+    use std::net::ToSocketAddrs;
+    let fail = |source| ServeError::Connect {
+        addr: addr.to_string(),
+        source,
+    };
+    let mut last = None;
+    for sa in addr.to_socket_addrs().map_err(fail)? {
+        match TcpStream::connect_timeout(&sa, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(fail(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
+    })))
 }
 
 fn send_line(stream: &TcpStream, line: &str) -> Result<(), ServeError> {
@@ -319,8 +362,15 @@ pub fn submit_with(
         };
         match kind {
             "queued" => {
-                let index = ev.get("index").and_then(Json::as_u64).unwrap_or(0) as usize;
-                let Some(&orig) = frame.get(index) else {
+                // A missing index cannot be defaulted: attributing the
+                // event to frame slot 0 would cross job identities on
+                // retry. Fail loudly instead.
+                let Some(index) = ev.get("index").and_then(Json::as_u64) else {
+                    return Err(ServeError::Protocol(
+                        "queued event is missing its `index` field".to_string(),
+                    ));
+                };
+                let Some(&orig) = frame.get(index as usize) else {
                     continue; // stray echo from a frame we do not own
                 };
                 let inflight = InFlight {
@@ -339,8 +389,12 @@ pub fn submit_with(
                 awaiting_ack = awaiting_ack.saturating_sub(1);
             }
             "rejected" => {
-                let index = ev.get("index").and_then(Json::as_u64).unwrap_or(0) as usize;
-                let Some(&orig) = frame.get(index) else {
+                let Some(index) = ev.get("index").and_then(Json::as_u64) else {
+                    return Err(ServeError::Protocol(
+                        "rejected event is missing its `index` field".to_string(),
+                    ));
+                };
+                let Some(&orig) = frame.get(index as usize) else {
                     continue;
                 };
                 let reason = text("reason");
@@ -363,14 +417,15 @@ pub fn submit_with(
                 let hint = ev.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0);
                 if attempts[inflight.orig] < opts.retries {
                     attempts[inflight.orig] += 1;
+                    let wait = shed_backoff_ms(hint, job_id, attempts[inflight.orig]);
                     if opts.progress {
                         eprintln!(
-                            "job {job_id} shed ({}): retrying in {hint}ms (attempt {})",
+                            "job {job_id} shed ({}): retrying in {wait}ms (attempt {})",
                             inflight.workload, attempts[inflight.orig]
                         );
                     }
                     to_send.push(inflight.orig);
-                    let when = Instant::now() + Duration::from_millis(hint);
+                    let when = Instant::now() + Duration::from_millis(wait);
                     retry_at = retry_at.max(when);
                 } else {
                     if opts.progress {
@@ -561,7 +616,12 @@ pub fn run_local(
 /// line parsed as JSON. Gives up ([`ServeError::Stalled`]) after
 /// `budget` with no reply.
 fn round_trip(addr: &str, req: &Json, budget: Duration) -> Result<Json, ServeError> {
-    let stream = connect(addr)?;
+    round_trip_on(connect(addr)?, req, budget)
+}
+
+/// [`round_trip`] over an already-connected socket (so callers can pick
+/// their own connect strategy, e.g. [`connect_within`] for peer probes).
+fn round_trip_on(stream: TcpStream, req: &Json, budget: Duration) -> Result<Json, ServeError> {
     stream
         .set_read_timeout(Some(EVENT_TICK))
         .map_err(|e| ServeError::io("set read timeout", e))?;
@@ -620,6 +680,76 @@ pub fn metrics(addr: &str) -> Result<String, ServeError> {
             "unexpected metrics reply: {other:?}"
         ))),
     }
+}
+
+/// Probe a peer daemon's result cache for `digest`
+/// (`{"op":"cache_get"}`) — the cache-peering fast path: a node that
+/// misses locally asks its ring neighbors before paying for a
+/// simulation. Both the connect and the reply share `budget`, so a dead
+/// peer costs milliseconds, not the OS connect timeout.
+///
+/// Returns the cached result document on a hit, `None` on a miss.
+///
+/// # Errors
+/// Connection/protocol failures.
+pub fn cache_fetch(addr: &str, digest: &str, budget: Duration) -> Result<Option<Json>, ServeError> {
+    let stream = connect_within(addr, budget)?;
+    let req = Json::obj().field("op", "cache_get").field("digest", digest);
+    let reply = round_trip_on(stream, &req, budget)?;
+    match reply.get("event").and_then(Json::as_str) {
+        Some("cache_entry") => {
+            if reply.get("found").and_then(Json::as_bool).unwrap_or(false) {
+                Ok(reply.get("result").cloned())
+            } else {
+                Ok(None)
+            }
+        }
+        other => Err(ServeError::Protocol(format!(
+            "unexpected cache_get reply: {other:?}"
+        ))),
+    }
+}
+
+/// Install the cache-peering neighbor list on a backend
+/// (`{"op":"peers"}`): the addresses it will probe, in order, on a
+/// local cache miss before simulating. Replaces any previous list.
+///
+/// # Errors
+/// Connection/protocol failures, or a non-`peers` reply.
+pub fn set_peers(addr: &str, peers: &[String]) -> Result<(), ServeError> {
+    let arr: Vec<Json> = peers.iter().map(|p| Json::from(p.as_str())).collect();
+    let req = Json::obj().field("op", "peers").field("addrs", arr);
+    let reply = round_trip(addr, &req, RPC_TIMEOUT)?;
+    match reply.get("event").and_then(Json::as_str) {
+        Some("peers") => Ok(()),
+        other => Err(ServeError::Protocol(format!(
+            "unexpected peers reply: {other:?}"
+        ))),
+    }
+}
+
+/// Fetch the coordinator's cluster-wide view (`{"op":"cluster_stats"}`):
+/// per-node liveness and stats plus counters aggregated through one
+/// merged metrics registry.
+///
+/// # Errors
+/// Connection/protocol failures.
+pub fn cluster_stats(addr: &str) -> Result<Json, ServeError> {
+    round_trip(
+        addr,
+        &Json::obj().field("op", "cluster_stats"),
+        CLUSTER_TIMEOUT,
+    )
+}
+
+/// Ask the coordinator at `addr` to add `backend` to its hash ring
+/// (`{"op":"join"}`). Returns the coordinator's confirmation event.
+///
+/// # Errors
+/// Connection/protocol failures.
+pub fn join(addr: &str, backend: &str) -> Result<Json, ServeError> {
+    let req = Json::obj().field("op", "join").field("addr", backend);
+    round_trip(addr, &req, RPC_TIMEOUT)
 }
 
 /// Liveness probe; returns once the daemon answers `pong`.

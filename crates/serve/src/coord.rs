@@ -1,0 +1,908 @@
+//! The sweep coordinator: one front door for a fleet of `wib-serve`
+//! backends.
+//!
+//! `wib-coord` speaks the *same* NDJSON protocol as a single daemon, so
+//! every existing client — `wib-sim submit/watch/stats/top` — works
+//! unchanged by pointing at the coordinator instead of a backend. Under
+//! the hood each submitted job is routed by consistent-hashing its
+//! content digest (the exact `spec_digest`-derived key the result cache
+//! uses, see [`ResultCache::key`]) onto a [`HashRing`] of backend
+//! nodes:
+//!
+//! * **Sharding** — a job's digest has one owner, so repeated sweeps of
+//!   the same points land on the nodes that already cached them, and
+//!   the fleet's aggregate cache behaves like one big cache.
+//! * **Cache peering** — the coordinator installs each node's ring
+//!   successors as its peer list (`{"op":"peers"}`); a node that misses
+//!   locally probes those neighbors (`{"op":"cache_get"}`) before
+//!   paying for a simulation, which is what makes re-routed work cheap
+//!   after membership changes.
+//! * **Node-death retry** — a backend that dies mid-batch surfaces as a
+//!   failed per-node submission; the coordinator removes it from the
+//!   ring (remapping only its keys), bumps `node_deaths`, and re-routes
+//!   the orphaned jobs to their new owners. Re-execution is safe
+//!   because results are deterministic and content-addressed — the
+//!   identical idempotency argument behind the client's shed-retry
+//!   machinery.
+//!
+//! The coordinator resolves and validates jobs itself (same catalog,
+//! same [`resolve_job`]), mints its own job ids, and forwards backend
+//! results verbatim — so a sweep through the coordinator produces
+//! byte-identical result files to `--local`, which the offline gate
+//! checks while killing a backend mid-sweep.
+//!
+//! Coordinator and backends must agree on `--tiny`: the digest is
+//! computed against the coordinator's catalog/scale and must match what
+//! the backend computes.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use wib_bench::Runner;
+use wib_core::{Counter, Exposition, Gauge, Json, Registry};
+use wib_workloads::Workload;
+
+use crate::cache::ResultCache;
+use crate::client::{self, JobStatus, SubmitOptions};
+use crate::protocol::{self, JobRequest, Request};
+use crate::ring::HashRing;
+use crate::server::{build_catalog, resolve_job};
+
+/// How often a blocked connection reader wakes to check for shutdown.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Per-connection socket write budget (mirrors the daemon's).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordOptions {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend daemon addresses to seed the ring with. Unreachable ones
+    /// start on the dead list; more can join later (`{"op":"join"}`).
+    pub backends: Vec<String>,
+    /// Ring successors per node used for the cache-peering list (and
+    /// the natural replica count of a key).
+    pub replicas: usize,
+    /// Virtual-node points per backend on the hash ring.
+    pub vnodes: usize,
+    /// Resolve jobs against the miniature test suite (must match the
+    /// backends' `--tiny`).
+    pub tiny: bool,
+    /// Default measured instructions when a job names none.
+    pub default_insts: u64,
+    /// Default warm-up instructions when a job names none.
+    pub default_warmup: u64,
+    /// Suppress stderr logging.
+    pub quiet: bool,
+    /// File to write the bound address into once listening.
+    pub port_file: Option<PathBuf>,
+}
+
+impl Default for CoordOptions {
+    /// Loopback ephemeral port, 2 replicas, 64 vnodes, protocol
+    /// defaults from the environment — the same defaulting chain as
+    /// [`crate::server::ServerOptions`].
+    fn default() -> CoordOptions {
+        let runner = Runner::from_env();
+        CoordOptions {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            replicas: 2,
+            vnodes: 64,
+            tiny: false,
+            default_insts: runner.insts,
+            default_warmup: runner.warmup,
+            quiet: false,
+            port_file: None,
+        }
+    }
+}
+
+/// One accepted job on its way through the ring (already validated and
+/// announced as `queued` to the client).
+#[derive(Debug, Clone)]
+struct Routed {
+    id: u64,
+    workload: String,
+    digest: String,
+    /// The fully resolved request forwarded to backends: explicit
+    /// insts/warmup so backend defaults can never change the digest.
+    request: JobRequest,
+}
+
+struct CoordShared {
+    opts: CoordOptions,
+    catalog: HashMap<String, Workload>,
+    scale: &'static str,
+    ring: Mutex<HashRing>,
+    /// Nodes that were configured or joined but are currently believed
+    /// dead (unreachable at startup, or failed mid-batch / mid-probe).
+    dead: Mutex<Vec<String>>,
+    registry: Registry,
+    started: Instant,
+    submitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    cancelled: Counter,
+    rerouted: Counter,
+    node_deaths: Counter,
+    nodes_gauge: Gauge,
+    uptime_ms: Gauge,
+    next_job: AtomicU64,
+    watchers: Mutex<HashMap<u64, Sender<String>>>,
+    next_watcher: AtomicU64,
+    shutting_down: AtomicBool,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+    bound: SocketAddr,
+}
+
+impl CoordShared {
+    fn log(&self, msg: &str) {
+        if !self.opts.quiet {
+            eprintln!("wib-coord: {msg}");
+        }
+    }
+
+    fn lock_ring(&self) -> MutexGuard<'_, HashRing> {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_dead(&self) -> MutexGuard<'_, Vec<String>> {
+        self.dead.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_watchers(&self) -> MutexGuard<'_, HashMap<u64, Sender<String>>> {
+        self.watchers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Send `ev` to the owning connection and every watcher (same
+    /// fan-out contract as the daemon's `publish`).
+    fn publish(&self, own: Option<&Sender<String>>, ev: &Json) {
+        let line = ev.to_string();
+        if let Some(tx) = own {
+            let _ = tx.send(line.clone());
+        }
+        let mut watchers = self.lock_watchers();
+        watchers.retain(|_, w| w.send(line.clone()).is_ok());
+    }
+
+    fn mark_finished(&self) {
+        *self.finished.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.finished_cv.notify_all();
+    }
+
+    fn wait_finished(&self) {
+        let mut done = self.finished.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*done {
+            done = self
+                .finished_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Per-node routing counter, registered on first use.
+    fn routed_counter(&self, node: &str) -> Counter {
+        self.registry.counter_with(
+            "wib_coord_jobs_routed_total",
+            "Jobs routed to each backend node.",
+            &[("node", node)],
+        )
+    }
+
+    fn refresh_gauges(&self) {
+        self.nodes_gauge.set(self.lock_ring().len() as u64);
+        self.uptime_ms
+            .set(self.started.elapsed().as_millis() as u64);
+    }
+
+    /// Declare `node` dead: drop it from the ring (remapping only its
+    /// keys), record the death, and re-push peer lists so the survivors'
+    /// cache peering reflects the new ring. Idempotent.
+    fn mark_dead(&self, node: &str, why: &str) {
+        let peer_map = {
+            let mut ring = self.lock_ring();
+            if !ring.remove(node) {
+                return; // already dead (two routers can race here)
+            }
+            self.node_deaths.inc();
+            self.nodes_gauge.set(ring.len() as u64);
+            peer_lists(&ring, self.opts.replicas)
+        };
+        self.lock_dead().push(node.to_string());
+        self.log(&format!("node {node} marked dead: {why}"));
+        self.push_peers(peer_map);
+    }
+
+    /// Add `node` to the ring (reviving it off the dead list if it was
+    /// there) and re-push peer lists. Returns the new live-node count.
+    fn add_node(&self, node: &str) -> usize {
+        let (count, peer_map) = {
+            let mut ring = self.lock_ring();
+            ring.add(node);
+            self.nodes_gauge.set(ring.len() as u64);
+            (ring.len(), peer_lists(&ring, self.opts.replicas))
+        };
+        self.lock_dead().retain(|d| d != node);
+        self.push_peers(peer_map);
+        count
+    }
+
+    /// Install the given peer lists on their nodes, best-effort: a node
+    /// that cannot take its list still serves, just without peering.
+    fn push_peers(&self, map: Vec<(String, Vec<String>)>) {
+        for (node, peers) in map {
+            if let Err(e) = client::set_peers(&node, &peers) {
+                self.log(&format!("failed to install peer list on {node}: {e}"));
+            }
+        }
+    }
+
+    /// The coordinator's own introspection snapshot (`{"op":"stats"}`).
+    fn stats_json(&self) -> Json {
+        let ring = self.lock_ring();
+        let nodes: Vec<Json> = ring
+            .nodes()
+            .iter()
+            .map(|n| Json::from(n.as_str()))
+            .collect();
+        let dead: Vec<Json> = self
+            .lock_dead()
+            .iter()
+            .map(|n| Json::from(n.as_str()))
+            .collect();
+        Json::obj()
+            .field("event", "stats")
+            .field("schema", "wib-coord/stats-v1")
+            .field("addr", self.bound.to_string())
+            .field("version", env!("CARGO_PKG_VERSION"))
+            .field("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .field("scale", self.scale)
+            .field("replicas", self.opts.replicas)
+            .field("vnodes", self.opts.vnodes)
+            .field("nodes", Json::Arr(nodes))
+            .field("dead", Json::Arr(dead))
+            .field("submitted", self.submitted.get())
+            .field("completed", self.completed.get())
+            .field("failed", self.failed.get())
+            .field("cancelled", self.cancelled.get())
+            .field("rerouted", self.rerouted.get())
+            .field("node_deaths", self.node_deaths.get())
+            .field("watchers", self.lock_watchers().len())
+    }
+
+    /// One merged registry: the coordinator's own metrics plus every
+    /// live backend's scraped exposition, folded in through the
+    /// deadlock-free `merge_from`. A node that fails its scrape is
+    /// marked dead on the spot.
+    fn merged_registry(&self) -> Registry {
+        self.refresh_gauges();
+        let merged = Registry::new();
+        merged.merge_from(&self.registry);
+        let nodes: Vec<String> = self.lock_ring().nodes().to_vec();
+        for node in nodes {
+            match client::metrics(&node) {
+                Ok(text) => merged.merge_from(&Exposition::parse(&text).to_registry()),
+                Err(e) => self.mark_dead(&node, &format!("metrics scrape failed: {e}")),
+            }
+        }
+        merged
+    }
+
+    /// The cluster-wide view (`{"op":"cluster_stats"}`): per-node
+    /// liveness and stats documents, plus fleet counters aggregated
+    /// through [`CoordShared::merged_registry`].
+    fn cluster_stats_json(&self) -> Json {
+        // Snapshot the dead list first so nodes that die *during* the
+        // probe below are reported exactly once (inline, alive:false).
+        let dead_before: Vec<String> = self.lock_dead().clone();
+        let nodes: Vec<String> = self.lock_ring().nodes().to_vec();
+        let mut node_docs = Vec::new();
+        for node in nodes {
+            match client::stats(&node) {
+                Ok(doc) => node_docs.push(
+                    Json::obj()
+                        .field("addr", node.as_str())
+                        .field("alive", true)
+                        .field("stats", doc),
+                ),
+                Err(e) => {
+                    self.mark_dead(&node, &format!("stats probe failed: {e}"));
+                    node_docs.push(
+                        Json::obj()
+                            .field("addr", node.as_str())
+                            .field("alive", false)
+                            .field("error", format!("{e}")),
+                    );
+                }
+            }
+        }
+        for node in dead_before {
+            node_docs.push(
+                Json::obj()
+                    .field("addr", node.as_str())
+                    .field("alive", false),
+            );
+        }
+        let exp = Exposition::parse(&self.merged_registry().render());
+        let sum = |name: &str| exp.sum(name) as u64;
+        let cluster = Json::obj()
+            .field("jobs_submitted", sum("wib_serve_jobs_submitted_total"))
+            .field("jobs_completed", sum("wib_serve_jobs_completed_total"))
+            .field("jobs_failed", sum("wib_serve_jobs_failed_total"))
+            .field("jobs_shed", sum("wib_serve_jobs_shed_total"))
+            .field("cache_hits", sum("wib_serve_cache_hits_total"))
+            .field("cache_misses", sum("wib_serve_cache_misses_total"))
+            .field("cache_entries", sum("wib_serve_cache_entries"))
+            .field("queue_depth", sum("wib_serve_queue_depth"))
+            .field("peer_probes", sum("wib_serve_peer_probes_total"))
+            .field("peer_hits", sum("wib_serve_peer_hits_total"));
+        Json::obj()
+            .field("event", "cluster_stats")
+            .field("schema", "wib-coord/cluster-stats-v1")
+            .field("addr", self.bound.to_string())
+            .field("nodes", Json::Arr(node_docs))
+            .field("submitted", self.submitted.get())
+            .field("completed", self.completed.get())
+            .field("failed", self.failed.get())
+            .field("rerouted", self.rerouted.get())
+            .field("node_deaths", self.node_deaths.get())
+            .field("cluster", cluster)
+    }
+
+    /// Flip into shutdown and wake the accept loop.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.log("shutdown requested");
+        let _ = TcpStream::connect(self.bound);
+    }
+}
+
+/// Every node's cache-peering list under the current ring: its
+/// `replicas` clockwise successors, excluding itself.
+fn peer_lists(ring: &HashRing, replicas: usize) -> Vec<(String, Vec<String>)> {
+    ring.nodes()
+        .iter()
+        .map(|n| {
+            let peers = ring
+                .peers_of(n, replicas)
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            (n.clone(), peers)
+        })
+        .collect()
+}
+
+/// A running coordinator spawned with [`spawn`].
+pub struct CoordHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<()>,
+    shared: Arc<CoordShared>,
+}
+
+impl CoordHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown locally (does not touch the backends).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until the coordinator has fully stopped.
+    pub fn join(self) {
+        self.thread.join().expect("coordinator thread panicked");
+    }
+}
+
+/// Bind and start a coordinator in background threads. Backends from
+/// [`CoordOptions::backends`] are pinged; reachable ones seed the ring
+/// (and get their peer lists installed), unreachable ones start dead.
+///
+/// # Errors
+/// Socket binding / port-file errors.
+pub fn spawn(opts: CoordOptions) -> std::io::Result<CoordHandle> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let bound = listener.local_addr()?;
+    if let Some(path) = &opts.port_file {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, format!("{bound}\n"))?;
+    }
+    let registry = Registry::new();
+    let mut ring = HashRing::new(opts.vnodes);
+    let mut dead = Vec::new();
+    for b in &opts.backends {
+        match client::ping(b) {
+            Ok(()) => {
+                ring.add(b);
+            }
+            Err(e) => {
+                if !opts.quiet {
+                    eprintln!("wib-coord: backend {b} unreachable at startup: {e}");
+                }
+                dead.push(b.clone());
+            }
+        }
+    }
+    let shared = Arc::new(CoordShared {
+        catalog: build_catalog(opts.tiny),
+        scale: if opts.tiny { "tiny" } else { "eval" },
+        ring: Mutex::new(ring),
+        dead: Mutex::new(dead),
+        started: Instant::now(),
+        submitted: registry.counter(
+            "wib_coord_jobs_submitted_total",
+            "Jobs accepted and routed by the coordinator.",
+        ),
+        completed: registry.counter(
+            "wib_coord_jobs_completed_total",
+            "Jobs that came back done from a backend.",
+        ),
+        failed: registry.counter(
+            "wib_coord_jobs_failed_total",
+            "Jobs that ended in a terminal error at the coordinator.",
+        ),
+        cancelled: registry.counter(
+            "wib_coord_jobs_cancelled_total",
+            "Jobs a backend reported cancelled.",
+        ),
+        rerouted: registry.counter(
+            "wib_coord_reroutes_total",
+            "Jobs re-routed to a new owner after a node death.",
+        ),
+        node_deaths: registry.counter(
+            "wib_coord_node_deaths_total",
+            "Backend nodes declared dead and removed from the ring.",
+        ),
+        nodes_gauge: registry.gauge("wib_coord_nodes", "Live backend nodes in the ring."),
+        uptime_ms: registry.gauge(
+            "wib_coord_uptime_ms",
+            "Milliseconds since the coordinator started.",
+        ),
+        registry,
+        next_job: AtomicU64::new(1),
+        watchers: Mutex::new(HashMap::new()),
+        next_watcher: AtomicU64::new(1),
+        shutting_down: AtomicBool::new(false),
+        finished: Mutex::new(false),
+        finished_cv: Condvar::new(),
+        bound,
+        opts,
+    });
+    shared.refresh_gauges();
+    shared.push_peers(peer_lists(&shared.lock_ring(), shared.opts.replicas));
+    shared.log(&format!(
+        "listening on {bound} ({} live node(s), {} dead, {} replicas, {} vnodes, {} suite)",
+        shared.lock_ring().len(),
+        shared.lock_dead().len(),
+        shared.opts.replicas,
+        shared.opts.vnodes,
+        shared.scale
+    ));
+    let run_shared = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("wib-coord-accept".to_string())
+        .spawn(move || run_loop(run_shared, listener))?;
+    Ok(CoordHandle {
+        addr: bound,
+        thread,
+        shared,
+    })
+}
+
+/// Bind and run a coordinator on the calling thread (the CLI `coord`
+/// path). Prints the listening address to stdout.
+///
+/// # Errors
+/// Socket binding / port-file errors.
+pub fn run(opts: CoordOptions) -> std::io::Result<()> {
+    let handle = spawn(opts)?;
+    println!("wib-coord listening on {}", handle.addr());
+    std::io::stdout().flush()?;
+    handle.join();
+    Ok(())
+}
+
+fn run_loop(shared: Arc<CoordShared>, listener: TcpListener) {
+    let mut conn_handles = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let shared = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name("wib-coord-conn".to_string())
+                    .spawn(move || handle_conn(shared, stream))
+                    .expect("spawn connection thread");
+                conn_handles.push(h);
+            }
+            Err(_) => continue,
+        }
+    }
+    drop(listener);
+    // Tell watchers the coordinator is gone, then drop their channels so
+    // connection writer threads can exit.
+    let farewell = Json::obj()
+        .field("event", "shutdown")
+        .field("completed", shared.completed.get())
+        .field("errors", shared.failed.get())
+        .field("cancelled", shared.cancelled.get());
+    shared.publish(None, &farewell);
+    shared.lock_watchers().clear();
+    // Unblock any connection reader (including the one that requested
+    // the shutdown, waiting in `wait_finished`) *before* joining them.
+    shared.mark_finished();
+    for h in conn_handles {
+        let _ = h.join();
+    }
+    shared.log("stopped");
+}
+
+#[derive(Default)]
+struct ConnState {
+    watcher_id: Option<u64>,
+}
+
+fn handle_conn(shared: Arc<CoordShared>, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let Ok(writer_stream) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("wib-coord-writer".to_string())
+        .spawn(move || {
+            let mut w = BufWriter::new(writer_stream);
+            while let Ok(line) = rx.recv() {
+                let sent = w
+                    .write_all(line.as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                    .and_then(|()| w.flush());
+                if sent.is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn writer thread");
+    let mut conn = ConnState::default();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if dispatch(&shared, &tx, &mut conn, trimmed) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    if let Some(wid) = conn.watcher_id {
+        shared.lock_watchers().remove(&wid);
+    }
+    shared.log(&format!("connection {peer} closed"));
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Handle one request line; returns `true` when the connection should
+/// close (after a shutdown request completes).
+fn dispatch(
+    shared: &Arc<CoordShared>,
+    tx: &Sender<String>,
+    conn: &mut ConnState,
+    line: &str,
+) -> bool {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = tx.send(protocol::ev_protocol_error(&e).to_string());
+            return false;
+        }
+    };
+    match request {
+        Request::Ping => {
+            let _ = tx.send(Json::obj().field("event", "pong").to_string());
+        }
+        Request::Stats => {
+            let _ = tx.send(shared.stats_json().to_string());
+        }
+        Request::ClusterStats => {
+            let _ = tx.send(shared.cluster_stats_json().to_string());
+        }
+        Request::Metrics => {
+            let text = shared.merged_registry().render();
+            let _ = tx.send(protocol::ev_metrics(&text).to_string());
+        }
+        Request::Watch => {
+            let wid = shared.next_watcher.fetch_add(1, Ordering::Relaxed);
+            shared.lock_watchers().insert(wid, tx.clone());
+            conn.watcher_id = Some(wid);
+            let _ = tx.send(Json::obj().field("event", "watching").to_string());
+        }
+        Request::Join { addr } => match client::ping(&addr) {
+            Ok(()) => {
+                let nodes = shared.add_node(&addr);
+                shared.log(&format!("node {addr} joined the ring ({nodes} live)"));
+                let _ = tx.send(protocol::ev_joined(&addr, nodes).to_string());
+            }
+            Err(e) => {
+                let _ = tx.send(
+                    protocol::ev_protocol_error(&format!("join: backend {addr} unreachable: {e}"))
+                        .to_string(),
+                );
+            }
+        },
+        Request::Submit {
+            jobs,
+            insts,
+            warmup,
+            deadline_ms,
+        } => {
+            route_batch(shared, tx, &jobs, insts, warmup, deadline_ms);
+        }
+        Request::Cancel { .. } => {
+            let _ = tx.send(
+                protocol::ev_protocol_error(
+                    "cancel is not routed through the coordinator; cancel at the owning backend",
+                )
+                .to_string(),
+            );
+        }
+        Request::CacheGet { .. } | Request::Peers { .. } => {
+            let _ = tx.send(
+                protocol::ev_protocol_error("backend-only op: this is the coordinator").to_string(),
+            );
+        }
+        Request::Shutdown { drain } => {
+            // Drain the whole cluster: ask every live backend to stop
+            // first (their drains finish queued work), then stop here.
+            let nodes: Vec<String> = shared.lock_ring().nodes().to_vec();
+            for node in nodes {
+                match client::shutdown(&node, drain) {
+                    Ok(_) => shared.log(&format!("backend {node} shut down")),
+                    Err(e) => shared.log(&format!("backend {node} shutdown failed: {e}")),
+                }
+            }
+            shared.begin_shutdown();
+            shared.wait_finished();
+            let _ = tx.send(
+                Json::obj()
+                    .field("event", "shutdown")
+                    .field("completed", shared.completed.get())
+                    .field("errors", shared.failed.get())
+                    .field("cancelled", shared.cancelled.get())
+                    .to_string(),
+            );
+            return true;
+        }
+    }
+    false
+}
+
+/// Validate, announce, route, and (re-)route one submitted batch until
+/// every job is terminal. Each pass of the loop either finishes jobs or
+/// removes a dead node from the ring, so it terminates.
+fn route_batch(
+    shared: &Arc<CoordShared>,
+    tx: &Sender<String>,
+    jobs: &[JobRequest],
+    batch_insts: Option<u64>,
+    batch_warmup: Option<u64>,
+    batch_deadline: Option<u64>,
+) {
+    let mut pending: Vec<Routed> = Vec::new();
+    for (index, job) in jobs.iter().enumerate() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            shared.publish(
+                Some(tx),
+                &protocol::ev_rejected(index, &job.workload, "coordinator is shutting down"),
+            );
+            continue;
+        }
+        let resolved = resolve_job(
+            &shared.catalog,
+            job,
+            batch_insts,
+            batch_warmup,
+            shared.opts.default_insts,
+            shared.opts.default_warmup,
+        );
+        match resolved {
+            Err(reason) => {
+                shared.publish(
+                    Some(tx),
+                    &protocol::ev_rejected(index, &job.workload, &reason),
+                );
+            }
+            Ok((name, cfg, insts, warmup)) => {
+                let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+                let digest = ResultCache::key(&name, &cfg, insts, warmup, shared.scale);
+                let spec = cfg.to_spec();
+                let span = format!("coord-{id}");
+                shared.submitted.inc();
+                shared.publish(
+                    Some(tx),
+                    &protocol::ev_queued(id, index, &name, &spec, &digest, &span),
+                );
+                pending.push(Routed {
+                    id,
+                    workload: name.clone(),
+                    digest,
+                    request: JobRequest {
+                        workload: name,
+                        spec,
+                        insts: Some(insts),
+                        warmup: Some(warmup),
+                        deadline_ms: job.deadline_ms.or(batch_deadline),
+                    },
+                });
+            }
+        }
+    }
+    while !pending.is_empty() {
+        // Group by ring owner. An empty ring fails everything loudly.
+        let mut groups: Vec<(String, Vec<Routed>)> = Vec::new();
+        {
+            let ring = shared.lock_ring();
+            if ring.is_empty() {
+                drop(ring);
+                for r in pending.drain(..) {
+                    shared.failed.inc();
+                    shared.publish(
+                        Some(tx),
+                        &protocol::ev_error(r.id, &r.digest, "no live backend nodes in the ring"),
+                    );
+                }
+                break;
+            }
+            for r in pending.drain(..) {
+                let owner = ring
+                    .primary(&r.digest)
+                    .expect("non-empty ring has an owner")
+                    .to_string();
+                match groups.iter_mut().find(|(n, _)| *n == owner) {
+                    Some((_, g)) => g.push(r),
+                    None => groups.push((owner, vec![r])),
+                }
+            }
+        }
+        for (node, group) in &groups {
+            shared.routed_counter(node).add(group.len() as u64);
+            for r in group {
+                shared.publish(Some(tx), &protocol::ev_running(r.id));
+            }
+        }
+        // Fan out: one forwarding client per owner, concurrently. The
+        // per-node submission reuses the full shed-retry client, so an
+        // overloaded backend is retried there; only a *dead* one fails
+        // the group and comes back here for re-routing.
+        let results: Vec<Result<Vec<client::JobOutcome>, crate::ServeError>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|(node, group)| {
+                        s.spawn(move || {
+                            let reqs: Vec<JobRequest> =
+                                group.iter().map(|r| r.request.clone()).collect();
+                            client::submit_with(node, &reqs, &SubmitOptions::default())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(crate::ServeError::Protocol(
+                                "router thread panicked".to_string(),
+                            ))
+                        })
+                    })
+                    .collect()
+            });
+        for ((node, group), result) in groups.into_iter().zip(results) {
+            match result {
+                Ok(outcomes) => {
+                    for (r, out) in group.into_iter().zip(outcomes) {
+                        finish(shared, tx, r, out.status);
+                    }
+                }
+                Err(e) => {
+                    // The node died mid-batch. Completed-but-unreported
+                    // work in the group is safe to re-run: results are
+                    // deterministic and content-addressed, and the new
+                    // owner peer-probes before simulating.
+                    shared.mark_dead(&node, &format!("submit failed: {e}"));
+                    shared.rerouted.add(group.len() as u64);
+                    shared.log(&format!(
+                        "re-routing {} job(s) after losing {node}",
+                        group.len()
+                    ));
+                    pending.extend(group);
+                }
+            }
+        }
+    }
+}
+
+/// Publish one job's terminal event and bump the matching counter.
+/// Backend results are forwarded verbatim — byte identity end to end.
+fn finish(shared: &Arc<CoordShared>, tx: &Sender<String>, r: Routed, status: JobStatus) {
+    match status {
+        JobStatus::Done { cached, result } => {
+            shared.completed.inc();
+            shared.publish(Some(tx), &protocol::ev_done(r.id, cached, result));
+        }
+        JobStatus::Error(msg) => {
+            shared.failed.inc();
+            shared.publish(Some(tx), &protocol::ev_error(r.id, &r.digest, &msg));
+        }
+        JobStatus::Cancelled => {
+            shared.cancelled.inc();
+            shared.publish(Some(tx), &protocol::ev_cancelled(r.id));
+        }
+        JobStatus::Rejected(reason) => {
+            // The client already saw this job `queued` (the coordinator
+            // validated it), so a backend rejection must terminate it as
+            // an error, never as a second `rejected` index.
+            shared.failed.inc();
+            shared.publish(
+                Some(tx),
+                &protocol::ev_error(
+                    r.id,
+                    &r.digest,
+                    &format!("backend rejected the job: {reason}"),
+                ),
+            );
+        }
+        JobStatus::Shed { retry_after_ms } => {
+            // The per-node client exhausted its own retry budget; hand
+            // the backoff decision back to the submitting client, whose
+            // shed machinery will resubmit the job to us.
+            shared.publish(
+                Some(tx),
+                &protocol::ev_shed(r.id, &r.workload, retry_after_ms),
+            );
+        }
+    }
+}

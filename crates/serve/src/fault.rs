@@ -20,7 +20,14 @@
 //!   shed=L    force queue-full on these enqueue attempts
 //!   slow=N    delay every client event write by a jittered 0..N ms
 //!   drop=L    truncate these client event writes and kill the writer
+//!   die=L     abort() the whole process on these job executions
 //! ```
+//!
+//! `die` is the node-death fault for the distributed sweep fabric: the
+//! L-th job a worker picks up `abort()`s the entire daemon (no unwind,
+//! no drain — the coordinator sees a dead TCP peer). It only makes
+//! sense for a daemon running as its own process; in-process test
+//! servers must not arm it.
 //!
 //! The `seed` feeds [`wib_rng::StdRng`] *statelessly* — each jitter draw
 //! seeds a fresh generator from `(seed, ordinal)` — so concurrent
@@ -53,11 +60,13 @@ pub struct FaultPlan {
     tear_at: Vec<u64>,
     shed_at: Vec<u64>,
     drop_at: Vec<u64>,
+    die_at: Vec<u64>,
     slow_write_ms: u64,
     sims: AtomicU64,
     cache_writes: AtomicU64,
     enqueues: AtomicU64,
     client_writes: AtomicU64,
+    executions: AtomicU64,
 }
 
 impl FaultPlan {
@@ -99,6 +108,7 @@ impl FaultPlan {
                 "tear" => plan.tear_at = ordinals()?,
                 "shed" => plan.shed_at = ordinals()?,
                 "drop" => plan.drop_at = ordinals()?,
+                "die" => plan.die_at = ordinals()?,
                 "slow" => {
                     plan.slow_write_ms = value
                         .trim()
@@ -117,6 +127,7 @@ impl FaultPlan {
             || !self.tear_at.is_empty()
             || !self.shed_at.is_empty()
             || !self.drop_at.is_empty()
+            || !self.die_at.is_empty()
             || self.slow_write_ms > 0
     }
 
@@ -124,6 +135,15 @@ impl FaultPlan {
     pub fn next_sim_panics(&self) -> bool {
         let n = self.sims.fetch_add(1, Ordering::Relaxed) + 1;
         self.panic_at.contains(&n)
+    }
+
+    /// Count one job execution; true if the whole process should
+    /// `abort()` — node death, distinct from the per-job `panic` stream
+    /// so the two compose. The caller does the aborting (and must be a
+    /// real daemon process, never an in-process test server).
+    pub fn next_execution_dies(&self) -> bool {
+        let n = self.executions.fetch_add(1, Ordering::Relaxed) + 1;
+        self.die_at.contains(&n)
     }
 
     /// Count one cache persist; true if it should crash mid-write.
@@ -191,9 +211,23 @@ mod tests {
     fn empty_spec_is_inert_and_bad_specs_are_named() {
         assert!(!FaultPlan::parse("").unwrap().is_active());
         assert!(!FaultPlan::none().is_active());
-        for bad in ["panic", "panic=0", "panic=x", "seed=z", "warp=1", "slow=ms"] {
+        for bad in [
+            "panic", "panic=0", "panic=x", "seed=z", "warp=1", "slow=ms", "die=0", "die=x",
+        ] {
             assert!(FaultPlan::parse(bad).is_err(), "should reject {bad}");
         }
+    }
+
+    #[test]
+    fn die_ordinals_count_executions_independently_of_panics() {
+        let p = FaultPlan::parse("die=2").unwrap();
+        assert!(p.is_active());
+        // The execution stream is its own counter: a panic on attempt 1
+        // does not consume the die ordinal.
+        assert!(!p.next_execution_dies());
+        assert!(p.next_execution_dies());
+        assert!(!p.next_execution_dies());
+        assert!(!p.next_sim_panics());
     }
 
     #[test]

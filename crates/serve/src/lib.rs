@@ -29,25 +29,35 @@
 //!   exposition (see `docs/observability.md`).
 //! * [`fault`] — deterministic fault injection (`WIB_FAULTS`): seeded
 //!   worker panics, torn cache writes, forced sheds, slow/truncated
-//!   client writes — how the failure paths above stay tested.
+//!   client writes, whole-node death — how the failure paths above
+//!   stay tested.
 //! * [`error`] — [`ServeError`], the typed failure vocabulary of the
 //!   client-side helpers.
+//! * [`ring`] — the consistent-hash ring that shards sweep jobs across
+//!   backend nodes by their result-cache digest.
+//! * [`coord`] — the sweep coordinator: speaks the same NDJSON protocol
+//!   to clients, routes each job to its ring owner, re-routes on node
+//!   death, and merges per-node metrics into one cluster exposition.
 //!
 //! Everything is `std` — no async runtime, no serde — matching the
 //! repository's offline-build constraint.
 
 pub mod cache;
 pub mod client;
+pub mod coord;
 pub mod error;
 pub mod fault;
 pub mod protocol;
 pub mod queue;
+pub mod ring;
 pub mod server;
 
 pub use cache::{CacheStats, ResultCache};
 pub use client::{JobOutcome, JobStatus, SubmitOptions};
+pub use coord::{CoordHandle, CoordOptions};
 pub use error::ServeError;
 pub use fault::{FaultPlan, WriteFault};
 pub use protocol::JobRequest;
 pub use queue::{BoundedQueue, TryPushError};
+pub use ring::HashRing;
 pub use server::{compute_result, ServerHandle, ServerOptions};

@@ -82,6 +82,11 @@ const SHED_BASE_MS: u64 = 25;
 const SHED_CAP_MS: u64 = 2000;
 const SHED_JITTER_MS: u64 = 25;
 
+/// Connect-plus-reply budget for one peer-cache probe. Small on
+/// purpose: the probe races a simulation worth seconds-to-minutes, but
+/// a dead peer must not stall the miss path.
+const PEER_BUDGET: Duration = Duration::from_millis(1500);
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -321,6 +326,13 @@ struct Shared {
     /// escalating `retry_after_ms` hint (backoff state, not a metric).
     shed_streak: AtomicU64,
     worker_restarts: Counter,
+    /// Cache-peering neighbor list (ring successors, installed by the
+    /// coordinator's `peers` op). Probed in order on a local miss.
+    peers: Mutex<Vec<String>>,
+    /// Peer-cache probes sent (one per peer tried on a miss).
+    peer_probes: Counter,
+    /// Local misses served from a peer's cache instead of simulating.
+    peer_hits: Counter,
     watchers: Mutex<HashMap<u64, Sender<String>>>,
     next_watcher: AtomicU64,
     shutting_down: AtomicBool,
@@ -346,6 +358,10 @@ impl Shared {
 
     fn lock_watchers(&self) -> MutexGuard<'_, HashMap<u64, Sender<String>>> {
         self.watchers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_peers(&self) -> MutexGuard<'_, Vec<String>> {
+        self.peers.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Send `ev` to the job's own connection (if still attached) and to
@@ -406,6 +422,9 @@ impl Shared {
             .field("shed", self.shed.get())
             .field("worker_restarts", self.worker_restarts.get())
             .field("watchers", self.lock_watchers().len())
+            .field("peers", self.lock_peers().len())
+            .field("peer_probes", self.peer_probes.get())
+            .field("peer_hits", self.peer_hits.get())
             .field("cache", self.cache.stats().to_json())
     }
 
@@ -652,6 +671,15 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<ServerHandle> {
             "wib_serve_worker_restarts_total",
             "Worker threads recycled after an escaped panic.",
         ),
+        peers: Mutex::new(Vec::new()),
+        peer_probes: registry.counter(
+            "wib_serve_peer_probes_total",
+            "Peer-cache probes sent on local misses.",
+        ),
+        peer_hits: registry.counter(
+            "wib_serve_peer_hits_total",
+            "Local cache misses served from a peer's cache.",
+        ),
         telemetry: Telemetry::new(registry),
         watchers: Mutex::new(HashMap::new()),
         next_watcher: AtomicU64::new(1),
@@ -846,15 +874,38 @@ fn run_one_job(shared: &Shared, id: u64) {
     shared.busy.fetch_add(1, Ordering::Relaxed);
     let _busy = BusyGuard(&shared.busy);
     shared.publish(tx.as_ref(), &protocol::ev_running(id));
+    if shared.faults.next_execution_dies() {
+        // Node-death fault: take the whole process down — no unwind, no
+        // drain, no farewell. The coordinator sees exactly what a
+        // kill -9 or kernel panic looks like: a dead TCP peer mid-job.
+        // Only ever armed on daemons running as their own process.
+        eprintln!("wib-serve: injected fault: node death on job {id}");
+        std::process::abort();
+    }
     let queue_mark = us_since(queued_at);
-    let cached_doc = shared.cache.get(&key);
+    let mut cached_doc = shared.cache.get(&key);
+    let mut peer_sourced = false;
+    if cached_doc.is_none() {
+        if let Some(doc) = fetch_from_peers(&shared, &key) {
+            // Adopt the peer's document as a local entry so the next
+            // hit is local; byte-identity of results across nodes makes
+            // the copy indistinguishable from having simulated here.
+            shared.cache.put(&key, doc.to_string());
+            cached_doc = Some(Arc::new(doc.to_string()));
+            peer_sourced = true;
+        }
+    }
     let lookup_mark = us_since(queued_at);
     let mut ran = false;
     let outcome = if let Some(doc) = cached_doc {
-        shared
-            .telemetry
-            .cache_hit_us
-            .observe(lookup_mark - queue_mark);
+        if !peer_sourced {
+            // Peer serves stay out of the local-hit latency histogram:
+            // they include a network round trip and would skew it.
+            shared
+                .telemetry
+                .cache_hit_us
+                .observe(lookup_mark - queue_mark);
+        }
         Outcome::Done {
             doc: Json::parse(&doc).expect("cached documents parse"),
             cached: true,
@@ -974,6 +1025,27 @@ fn run_one_job(shared: &Shared, id: u64) {
             shared.publish(tx.as_ref(), &protocol::ev_error(id, &key, &msg));
         }
     }
+}
+
+/// On a local cache miss, probe the peering list (ring successors
+/// installed by the coordinator) for the digest. First hit wins; a
+/// dead or empty peer just falls through — the worst case is a short
+/// bounded delay before simulating locally.
+fn fetch_from_peers(shared: &Shared, key: &str) -> Option<Json> {
+    let peers: Vec<String> = shared.lock_peers().clone();
+    for addr in peers {
+        shared.peer_probes.inc();
+        match crate::client::cache_fetch(&addr, key, PEER_BUDGET) {
+            Ok(Some(doc)) => {
+                shared.peer_hits.inc();
+                shared.log(&format!("cache miss for {key} served by peer {addr}"));
+                return Some(doc);
+            }
+            Ok(None) => {}
+            Err(e) => shared.log(&format!("peer {addr} probe failed: {e}")),
+        }
+    }
+    None
 }
 
 /// Per-connection dispatch state (what the reader must undo on close).
@@ -1132,6 +1204,30 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, conn: &mut ConnState, lin
             deadline_ms,
         } => {
             submit_batch(shared, tx, &jobs, insts, warmup, deadline_ms);
+        }
+        Request::CacheGet { digest } => {
+            // Peer-cache probe: serve our cache read-only, without
+            // touching hit/miss telemetry (the probing node owns the
+            // miss; counting it here too would double-book it).
+            let result = shared
+                .cache
+                .peek(&digest)
+                .and_then(|doc| Json::parse(&doc).ok());
+            let _ = tx.send(protocol::ev_cache_entry(&digest, result).to_string());
+        }
+        Request::Peers { addrs } => {
+            let count = addrs.len();
+            *shared.lock_peers() = addrs;
+            shared.log(&format!("peer list updated: {count} neighbor(s)"));
+            let _ = tx.send(protocol::ev_peers(count).to_string());
+        }
+        Request::Join { .. } | Request::ClusterStats => {
+            let _ = tx.send(
+                protocol::ev_protocol_error(
+                    "coordinator-only op: this is a backend daemon, not a coordinator",
+                )
+                .to_string(),
+            );
         }
         Request::Shutdown { drain } => {
             shared.begin_shutdown(drain);

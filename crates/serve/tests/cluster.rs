@@ -1,0 +1,257 @@
+//! End-to-end cluster tests: a real coordinator fronting real backend
+//! daemons over loopback sockets.
+//!
+//! The invariants mirror the offline gate's cluster smoke stage:
+//!
+//! * a sweep submitted through the coordinator is byte-identical to the
+//!   same sweep computed in-process;
+//! * killing a backend re-routes its jobs to the survivor and the sweep
+//!   still completes byte-identically;
+//! * a node that misses locally serves its neighbor's cached result
+//!   through cache peering instead of re-simulating;
+//! * `cluster_stats` aggregates per-node counters through one merged
+//!   registry.
+
+use wib_core::Json;
+use wib_serve::client;
+use wib_serve::coord::{self, CoordOptions};
+use wib_serve::protocol::parse_machine_spec;
+use wib_serve::server::{self, build_catalog, compute_result};
+use wib_serve::{HashRing, JobRequest, JobStatus, ResultCache, ServerOptions};
+
+const INSTS: u64 = 20_000;
+const WARMUP: u64 = 2_000;
+
+fn tiny_server() -> server::ServerHandle {
+    server::spawn(ServerOptions {
+        workers: 2,
+        queue_capacity: 16,
+        tiny: true,
+        results_dir: None,
+        default_insts: INSTS,
+        default_warmup: WARMUP,
+        quiet: true,
+        ..ServerOptions::default()
+    })
+    .expect("bind backend")
+}
+
+fn tiny_coord(backends: Vec<String>) -> coord::CoordHandle {
+    coord::spawn(CoordOptions {
+        backends,
+        tiny: true,
+        default_insts: INSTS,
+        default_warmup: WARMUP,
+        quiet: true,
+        ..CoordOptions::default()
+    })
+    .expect("bind coordinator")
+}
+
+fn job(workload: &str, spec: &str) -> JobRequest {
+    JobRequest {
+        workload: workload.to_string(),
+        spec: spec.to_string(),
+        insts: None,
+        warmup: None,
+        deadline_ms: None,
+    }
+}
+
+/// Assert every outcome is `Done` and byte-identical to the in-process
+/// computation of the same point.
+fn assert_byte_identical(outcomes: &[client::JobOutcome]) {
+    let catalog = build_catalog(true);
+    for o in outcomes {
+        let JobStatus::Done { result, .. } = &o.status else {
+            panic!("job {} did not finish: {:?}", o.workload, o.status);
+        };
+        let spec = result.get("spec").and_then(Json::as_str).unwrap();
+        let cfg = wib_core::MachineConfig::from_spec(spec).unwrap();
+        let local = compute_result(&catalog[&o.workload], &cfg, INSTS, WARMUP, "tiny");
+        assert_eq!(
+            result.to_string(),
+            local.to_string(),
+            "coordinator and in-process results diverge for {}",
+            o.workload
+        );
+    }
+}
+
+#[test]
+fn coordinator_sweep_is_byte_identical_to_local() {
+    let b1 = tiny_server();
+    let b2 = tiny_server();
+    let (a1, a2) = (b1.addr().to_string(), b2.addr().to_string());
+    let ch = tiny_coord(vec![a1, a2]);
+    let coord_addr = ch.addr().to_string();
+
+    let jobs = vec![
+        job("gzip", "base"),
+        job("em3d", "wib:w=256"),
+        job("mst", "conv:iq=64"),
+    ];
+    let outcomes = client::submit(&coord_addr, &jobs, None, None, None, false).expect("submit");
+    assert_eq!(outcomes.len(), 3);
+    assert_byte_identical(&outcomes);
+
+    // A cluster-wide drain: the coordinator shuts its backends down
+    // first, then itself — all three joins returning is the leak proof.
+    client::shutdown(&coord_addr, true).expect("cluster shutdown");
+    b1.join();
+    b2.join();
+    ch.join();
+}
+
+#[test]
+fn node_death_reroutes_jobs_to_the_survivor() {
+    let b1 = tiny_server();
+    let b2 = tiny_server();
+    let (a1, a2) = (b1.addr().to_string(), b2.addr().to_string());
+
+    // Rebuild the coordinator's ring to pick a job the victim (b2)
+    // owns, so the death is guaranteed to be on the routed path.
+    let mut ring = HashRing::new(64);
+    ring.add(&a1);
+    ring.add(&a2);
+    let mut victim_job = None;
+    'search: for workload in ["gzip", "em3d", "mst"] {
+        for w in [16u32, 32, 64, 128, 256, 512, 1024, 2048] {
+            let spec = format!("wib:w={w}");
+            let cfg = parse_machine_spec(&spec).unwrap();
+            let digest = ResultCache::key(workload, &cfg, INSTS, WARMUP, "tiny");
+            if ring.primary(&digest) == Some(a2.as_str()) {
+                victim_job = Some(job(workload, &spec));
+                break 'search;
+            }
+        }
+    }
+    let victim_job = victim_job.expect("some candidate maps to the victim node");
+
+    let ch = tiny_coord(vec![a1, a2]);
+    let coord_addr = ch.addr().to_string();
+
+    // Kill the victim *after* the coordinator seeded its ring, exactly
+    // like a node dying mid-sweep.
+    b2.shutdown(false);
+    b2.join();
+
+    let outcomes =
+        client::submit(&coord_addr, &[victim_job], None, None, None, false).expect("submit");
+    assert_eq!(outcomes.len(), 1);
+    assert_byte_identical(&outcomes);
+
+    let cs = client::cluster_stats(&coord_addr).expect("cluster_stats");
+    assert_eq!(
+        cs.get("node_deaths").and_then(Json::as_u64),
+        Some(1),
+        "the dead node must be detected exactly once: {cs}"
+    );
+    assert_eq!(cs.get("rerouted").and_then(Json::as_u64), Some(1));
+    let alive = cs
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .map(|nodes| {
+            nodes
+                .iter()
+                .filter(|n| n.get("alive").and_then(Json::as_bool) == Some(true))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(alive, 1, "exactly one node should survive: {cs}");
+
+    client::shutdown(&coord_addr, true).expect("cluster shutdown");
+    b1.join();
+    ch.join();
+}
+
+#[test]
+fn cache_peering_serves_a_neighbors_result_without_resimulating() {
+    let b1 = tiny_server();
+    let b2 = tiny_server();
+    let (a1, a2) = (b1.addr().to_string(), b2.addr().to_string());
+
+    // Warm node 1's cache directly.
+    let jobs = [job("gzip", "base")];
+    let first = client::submit(&a1, &jobs, None, None, None, false).expect("warm b1");
+    let JobStatus::Done { cached, result } = &first[0].status else {
+        panic!("warm-up job failed: {:?}", first[0].status);
+    };
+    assert!(!cached);
+
+    // Tell node 2 that node 1 is its cache peer, then submit the same
+    // point to node 2: it must come back cached (peer-served), with the
+    // identical bytes, and node 2's stats must show the peer hit.
+    client::set_peers(&a2, std::slice::from_ref(&a1)).expect("install peers");
+    let second = client::submit(&a2, &jobs, None, None, None, false).expect("submit to b2");
+    let JobStatus::Done {
+        cached,
+        result: peer_result,
+    } = &second[0].status
+    else {
+        panic!("peered job failed: {:?}", second[0].status);
+    };
+    assert!(*cached, "a peer-served miss must be reported as cached");
+    assert_eq!(result.to_string(), peer_result.to_string());
+
+    let stats = client::stats(&a2).expect("stats");
+    assert_eq!(stats.get("peer_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("peer_probes").and_then(Json::as_u64), Some(1));
+    // The peer serve must not have distorted node 2's hit/miss counts:
+    // the lookup was a miss, served remotely.
+    let cache = stats.get("cache").expect("cache stats");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(0));
+
+    b1.shutdown(true);
+    b2.shutdown(true);
+    b1.join();
+    b2.join();
+}
+
+#[test]
+fn cluster_stats_aggregates_counters_across_nodes() {
+    let b1 = tiny_server();
+    let b2 = tiny_server();
+    let (a1, a2) = (b1.addr().to_string(), b2.addr().to_string());
+    let ch = tiny_coord(vec![a1, a2]);
+    let coord_addr = ch.addr().to_string();
+
+    let jobs = vec![
+        job("gzip", "base"),
+        job("em3d", "wib:w=256"),
+        job("mst", "conv:iq=64"),
+    ];
+    let outcomes = client::submit(&coord_addr, &jobs, None, None, None, false).expect("submit");
+    assert!(outcomes.iter().all(client::JobOutcome::succeeded));
+
+    let cs = client::cluster_stats(&coord_addr).expect("cluster_stats");
+    let cluster = cs.get("cluster").expect("aggregated cluster block");
+    let val = |k: &str| cluster.get(k).and_then(Json::as_u64).unwrap_or(0);
+    // Every per-node counter flows through the one merged registry: the
+    // fleet executed exactly this batch, whichever nodes it landed on.
+    assert_eq!(val("jobs_submitted"), 3, "merged submit count: {cluster}");
+    assert_eq!(
+        val("jobs_completed"),
+        3,
+        "merged completion count: {cluster}"
+    );
+    assert_eq!(val("cache_entries"), 3, "merged cache entries: {cluster}");
+    assert_eq!(cs.get("completed").and_then(Json::as_u64), Some(3));
+
+    // The merged exposition serves both fleets' families side by side.
+    let text = client::metrics(&coord_addr).expect("merged metrics");
+    assert!(
+        text.contains("wib_coord_nodes"),
+        "coordinator family missing"
+    );
+    assert!(
+        text.contains("wib_serve_jobs_completed_total"),
+        "backend family missing from merged exposition"
+    );
+    assert!(text.contains("wib_coord_jobs_routed_total"));
+
+    client::shutdown(&coord_addr, true).expect("cluster shutdown");
+    b1.join();
+    b2.join();
+    ch.join();
+}

@@ -1,0 +1,107 @@
+//! Client hardening against malformed daemon event streams.
+//!
+//! These tests play the *server's* role with a hand-rolled loopback
+//! listener so they can emit frames a healthy daemon never would, and
+//! pin the two client-side bugfixes:
+//!
+//! * a `queued`/`rejected` event with no `index` must be a protocol
+//!   error, not a silent attribution to frame slot 0 (which would cross
+//!   job identities on retry);
+//! * a `shed` event with no `retry_after_ms` hint must still back off
+//!   at least the client's floor, never hot-loop at 0 ms.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use wib_serve::client;
+use wib_serve::{JobRequest, ServeError};
+
+fn job() -> JobRequest {
+    JobRequest {
+        workload: "gzip".to_string(),
+        spec: "base".to_string(),
+        insts: None,
+        warmup: None,
+        deadline_ms: None,
+    }
+}
+
+#[test]
+fn queued_event_without_index_is_a_protocol_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read submit frame");
+        let mut w = stream;
+        // A queued event with every identity field but no `index`.
+        writeln!(
+            w,
+            r#"{{"event":"queued","job":1,"workload":"gzip","spec":"base","digest":"d1"}}"#
+        )
+        .unwrap();
+        w.flush().unwrap();
+    });
+
+    let err = client::submit(&addr, &[job()], None, None, None, false)
+        .expect_err("a frame with no index must fail the submission");
+    assert!(
+        matches!(err, ServeError::Protocol(_)),
+        "expected a protocol error, got {err:?}"
+    );
+    assert!(
+        format!("{err}").contains("index"),
+        "the error must name the missing field: {err}"
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn shed_without_retry_hint_still_backs_off_at_least_the_floor() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read first submit");
+        writeln!(
+            w,
+            r#"{{"event":"queued","job":1,"index":0,"workload":"gzip","spec":"base","digest":"d1"}}"#
+        )
+        .unwrap();
+        // Shed with no retry_after_ms at all: the buggy client would
+        // resubmit after 0 ms.
+        writeln!(w, r#"{{"event":"shed","job":1}}"#).unwrap();
+        w.flush().unwrap();
+        let shed_at = Instant::now();
+        line.clear();
+        reader.read_line(&mut line).expect("read the retry submit");
+        let waited = shed_at.elapsed();
+        writeln!(
+            w,
+            r#"{{"event":"queued","job":2,"index":0,"workload":"gzip","spec":"base","digest":"d1"}}"#
+        )
+        .unwrap();
+        writeln!(
+            w,
+            r#"{{"event":"done","job":2,"cached":false,"result":{{"ok":true}}}}"#
+        )
+        .unwrap();
+        w.flush().unwrap();
+        waited
+    });
+
+    let outcomes =
+        client::submit(&addr, &[job()], None, None, None, false).expect("submit with one shed");
+    assert!(outcomes[0].succeeded(), "retry must complete the job");
+    let waited = server.join().unwrap();
+    assert!(
+        waited >= Duration::from_millis(25),
+        "client resubmitted after only {waited:?}; the backoff floor is 25ms"
+    );
+}

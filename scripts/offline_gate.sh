@@ -202,6 +202,103 @@ wait "$chaos_pid"
 echo "  ok (panic isolated, shed retried, torn write scavenged, bytes identical)"
 rm -rf "$chaos_dir"
 
+echo "== cluster smoke (coordinator, 2 backends, node death mid-sweep) =="
+# The distributed path end to end: two backend daemons behind a
+# coordinator, a 3-point sweep routed by consistent hash, then one
+# backend is killed outright and the same sweep must still complete —
+# the coordinator marks the node dead, shrinks the ring, and re-routes
+# its jobs to the survivor. Both passes must be byte-identical to
+# --local, and cluster_stats must record exactly one node death.
+cluster_dir=$(mktemp -d)
+b1_port="$cluster_dir/b1.port"; b2_port="$cluster_dir/b2.port"
+coord_port="$cluster_dir/coord.port"
+WIB_RESULTS_DIR="$cluster_dir/r1" \
+    cargo run -q --release --offline -p wib-cli --bin wib-sim -- serve \
+    --addr 127.0.0.1:0 --port-file "$b1_port" --tiny --workers 2 --quiet &
+b1_pid=$!
+WIB_RESULTS_DIR="$cluster_dir/r2" \
+    cargo run -q --release --offline -p wib-cli --bin wib-sim -- serve \
+    --addr 127.0.0.1:0 --port-file "$b2_port" --tiny --workers 2 --quiet &
+b2_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$b1_port" && -s "$b2_port" ]] && break
+    sleep 0.1
+done
+[[ -s "$b1_port" && -s "$b2_port" ]] || { echo "  FAIL: backends never wrote port files"; exit 1; }
+b1=$(cat "$b1_port"); b2=$(cat "$b2_port")
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- coord \
+    --backends "$b1,$b2" --tiny --addr 127.0.0.1:0 --port-file "$coord_port" --quiet &
+coord_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$coord_port" ]] && break
+    sleep 0.1
+done
+[[ -s "$coord_port" ]] || { echo "  FAIL: coordinator never wrote its port file"; exit 1; }
+coord=$(cat "$coord_port")
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${sweep[@]}" \
+    --coord "$coord" --insts 20000 --warmup 2000 --out "$cluster_dir/remote1"
+# Kill whichever backend actually computed something (its cache is
+# non-empty), so the re-routed pass genuinely changes owners.
+if compgen -G "$cluster_dir/r2/cache/*.json" > /dev/null; then
+    victim_pid=$b2_pid
+else
+    victim_pid=$b1_pid
+fi
+kill -9 "$victim_pid"
+wait "$victim_pid" || true
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${sweep[@]}" \
+    --coord "$coord" --insts 20000 --warmup 2000 --out "$cluster_dir/remote2"
+cstats=$(cargo run -q --release --offline -p wib-cli --bin wib-sim -- stats --coord "$coord")
+if [[ "$(chaos_stat node_deaths "$cstats")" != "1" ]]; then
+    echo "  FAIL: cluster_stats expected exactly one node death"
+    echo "$cstats"
+    exit 1
+fi
+alive=$(grep -c '"alive": true' <<<"$cstats" || true)
+if [[ "$alive" -ne 1 ]]; then
+    echo "  FAIL: expected exactly one live backend after the kill, saw $alive"
+    echo "$cstats"
+    exit 1
+fi
+# Draining the coordinator drains the surviving backend too.
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- shutdown --coord "$coord" > /dev/null
+wait "$coord_pid"
+if [[ "$victim_pid" == "$b1_pid" ]]; then wait "$b2_pid"; else wait "$b1_pid"; fi
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${sweep[@]}" \
+    --local --tiny --insts 20000 --warmup 2000 --out "$cluster_dir/local"
+diff -r "$cluster_dir/remote1" "$cluster_dir/local"
+diff -r "$cluster_dir/remote2" "$cluster_dir/local"
+echo "  ok (routed sweep byte-identical, node death re-routed, clean cluster drain)"
+rm -rf "$cluster_dir"
+
+echo "== die-fault smoke (WIB_FAULTS=die kills the daemon process) =="
+# The whole-node death fault used by the cluster tests: a daemon armed
+# with die=1 must abort on its first simulation execution, failing the
+# client and exiting with a crash status.
+die_dir=$(mktemp -d)
+die_port="$die_dir/port"
+WIB_FAULTS="die=1" WIB_RESULTS_DIR="$die_dir/results" \
+    cargo run -q --release --offline -p wib-cli --bin wib-sim -- serve \
+    --addr 127.0.0.1:0 --port-file "$die_port" --tiny --workers 2 --quiet &
+die_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$die_port" ]] && break
+    sleep 0.1
+done
+[[ -s "$die_port" ]] || { echo "  FAIL: die-fault daemon never wrote its port file"; exit 1; }
+daddr=$(cat "$die_port")
+if cargo run -q --release --offline -p wib-cli --bin wib-sim -- \
+    submit gzip:base --addr "$daddr" --insts 20000 --warmup 2000 > /dev/null 2>&1; then
+    echo "  FAIL: submit against a dying daemon should not succeed"
+    exit 1
+fi
+if wait "$die_pid"; then
+    echo "  FAIL: die=1 daemon exited cleanly instead of aborting"
+    exit 1
+fi
+echo "  ok (daemon aborted on the armed execution, client saw the failure)"
+rm -rf "$die_dir"
+
 echo "== bench smoke (quick workload, vs committed baseline) =="
 # Reduced-workload throughput check: rerun bench_json in WIB_QUICK mode
 # and fail if aggregate simulator throughput fell below 0.6x the
