@@ -299,9 +299,45 @@ pub fn generate_program(rng: &mut StdRng) -> String {
 
 /// Sample one machine spec from the [`MachineConfig::from_spec`] family.
 pub fn sample_spec(rng: &mut StdRng) -> String {
-    match rng.random_range(0..10u32) {
+    match rng.random_range(0..12u32) {
         0 => "base".to_string(),
         1 => format!("conv:iq={}", pick_u64(rng, &[64, 256])),
+        2 => {
+            // Runahead backend over a base or scaled-conventional head.
+            let mut s = if chance(rng, 50) {
+                "base".to_string()
+            } else {
+                format!("conv:iq={}", pick_u64(rng, &[64, 256]))
+            };
+            s.push_str(",backend=runahead");
+            if chance(rng, 40) {
+                // A tiny entry threshold forces frequent short episodes.
+                s.push_str(&format!(",rathresh={}", pick_u64(rng, &[4, 16, 96])));
+            }
+            if chance(rng, 30) {
+                s.push_str(&format!(",epoch={}", pick_u64(rng, &[64, 512, 4096])));
+            }
+            if chance(rng, 30) {
+                s.push_str(",memlat=100");
+            }
+            s
+        }
+        3 => {
+            // Delay-tracking backend (borrows the WIB's window sizing).
+            let w = pick_u64(rng, &[128, 512, 2048]);
+            let mut s = format!("wib:w={w},backend=delay_track");
+            if chance(rng, 40) {
+                // A small parking threshold parks even L2-hit chains.
+                s.push_str(&format!(",dtthresh={}", pick_u64(rng, &[4, 16, 48])));
+            }
+            if chance(rng, 30) {
+                s.push_str(&format!(",epoch={}", pick_u64(rng, &[64, 512, 4096])));
+            }
+            if chance(rng, 20) {
+                s.push_str(",memlat=100");
+            }
+            s
+        }
         _ => {
             let w = pick_u64(rng, &[128, 256, 512, 1024, 2048]);
             let mut s = format!("wib:w={w}");

@@ -81,7 +81,10 @@ machine specs for --config:
   wib:<N>         WIB machine with an N-entry window (128..2048)
   conv:<N>        conventional machine with an N-entry issue queue
   pool:<S>x<B>    pool-of-blocks WIB, B blocks of S slots
-  nonbanked:<L>   non-banked WIB with an L-cycle access"
+  nonbanked:<L>   non-banked WIB with an L-cycle access
+plus the full canonical grammar, including the backend axis:
+  base,backend=runahead[,rathresh=N]
+  wib:w=<N>,backend=delay_track[,dtthresh=N]"
 }
 
 fn run(argv: &[String]) -> Result<(), ParseError> {
@@ -114,34 +117,36 @@ fn find_workload(name: &str, tiny: bool) -> Result<Workload, ParseError> {
 }
 
 fn parse_config(spec: &str) -> Result<MachineConfig, ParseError> {
-    let bad = |s: &str| ParseError::new(format!("bad machine spec `{s}`"));
+    // Shorthands first; anything they don't fully match falls through to
+    // the canonical grammar (`wib:w=2048,backend=delay_track` starts with
+    // `wib:` but is not a shorthand).
     if spec == "base" {
         return Ok(MachineConfig::base_8way());
     }
     if spec == "wib2k" {
         return Ok(MachineConfig::wib_2k());
     }
-    if let Some(n) = spec.strip_prefix("wib:") {
-        let n: u32 = n.parse().map_err(|_| bad(spec))?;
+    if let Some(n) = spec.strip_prefix("wib:").and_then(|n| n.parse().ok()) {
         return Ok(MachineConfig::wib_sized(n));
     }
-    if let Some(n) = spec.strip_prefix("conv:") {
-        let n: u32 = n.parse().map_err(|_| bad(spec))?;
+    if let Some(n) = spec.strip_prefix("conv:").and_then(|n| n.parse().ok()) {
         return Ok(MachineConfig::conventional(n));
     }
-    if let Some(rest) = spec.strip_prefix("pool:") {
-        let (s, b) = rest.split_once('x').ok_or_else(|| bad(spec))?;
-        let slots: u32 = s.parse().map_err(|_| bad(spec))?;
-        let blocks: u32 = b.parse().map_err(|_| bad(spec))?;
+    if let Some((slots, blocks)) = spec
+        .strip_prefix("pool:")
+        .and_then(|rest| rest.split_once('x'))
+        .and_then(|(s, b)| Some((s.parse().ok()?, b.parse().ok()?)))
+    {
         return Ok(MachineConfig::wib_pool(slots, blocks));
     }
-    if let Some(l) = spec.strip_prefix("nonbanked:") {
-        let latency: u64 = l.parse().map_err(|_| bad(spec))?;
+    if let Some(latency) = spec.strip_prefix("nonbanked:").and_then(|l| l.parse().ok()) {
         return Ok(
             MachineConfig::wib_2k().with_wib_organization(WibOrganization::NonBanked { latency })
         );
     }
-    Err(bad(spec))
+    // Canonical grammar last: full specs like `base,backend=runahead` or
+    // `wib:w=512,backend=delay_track,dtthresh=24`.
+    MachineConfig::from_spec(spec).map_err(ParseError::new)
 }
 
 fn cmd_list() -> Result<(), ParseError> {
@@ -149,7 +154,11 @@ fn cmd_list() -> Result<(), ParseError> {
     for w in eval_suite() {
         println!("  {:<10} [{}]", w.name(), w.suite());
     }
-    println!("\nmachine specs: base, wib2k, wib:<N>, conv:<N>, pool:<S>x<B>, nonbanked:<L>");
+    println!(
+        "\nmachine specs: base, wib2k, wib:<N>, conv:<N>, pool:<S>x<B>, nonbanked:<L>, \
+         or any canonical spec (e.g. base,backend=runahead; \
+         wib:w=2048,backend=delay_track)"
+    );
     Ok(())
 }
 

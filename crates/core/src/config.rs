@@ -162,6 +162,64 @@ pub enum SelectionPolicy {
     OldestLoadFirst,
 }
 
+/// Which latency-tolerance engine the processor runs behind the shared
+/// fetch/rename/commit spine. The paper's comparison is WIB vs. a
+/// conventional window; the two classic competitors from the literature
+/// ride the same config grammar so every sweep can be a head-to-head:
+/// runahead execution (Mutlu et al. / Hashemi) and real-time
+/// load-delay tracking (Diavastos & Carlson).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Conventional out-of-order core (no WIB, no pre-execution).
+    Base,
+    /// The paper's waiting-instruction-buffer machine (requires
+    /// [`MachineConfig::wib`] to be set).
+    Wib,
+    /// Runahead execution: when a DRAM-latency load blocks the head of
+    /// the window, checkpoint the architectural state and pre-execute
+    /// speculatively — with an invalid-bit poison file and a runahead
+    /// store cache — to prefetch into the real memory hierarchy, then
+    /// restore and replay.
+    Runahead {
+        /// Only enter runahead if the blocking miss still has at least
+        /// this many cycles of latency left (entering costs a full
+        /// pipeline restart).
+        min_remaining: u64,
+    },
+    /// Load-delay-tracking scheduler: loads with a known miss latency
+    /// stamp their dependence chain with predicted-arrival counters;
+    /// dependents park in a time-indexed delay queue (freeing their
+    /// issue-queue slots) and are reinserted when the counter expires,
+    /// in place of the WIB's wait-bit chasing.
+    DelayTrack {
+        /// Minimum predicted remaining latency (cycles) before a
+        /// dependent is worth parking; shorter waits stay in the issue
+        /// queue.
+        park_threshold: u64,
+    },
+}
+
+impl Backend {
+    /// The canonical spec-token value (`backend=<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Base => "base",
+            Backend::Wib => "wib",
+            Backend::Runahead { .. } => "runahead",
+            Backend::DelayTrack { .. } => "delay_track",
+        }
+    }
+}
+
+/// The accepted `backend=` spec values, for error messages.
+pub const BACKEND_VALUES: &str = "base, wib, runahead, delay_track";
+
+/// Default runahead entry threshold (cycles of miss latency remaining).
+pub const DEFAULT_RUNAHEAD_MIN_REMAINING: u64 = 32;
+
+/// Default delay-tracking park threshold (cycles; roughly an L2 hit).
+pub const DEFAULT_DELAY_PARK_THRESHOLD: u64 = 8;
+
 /// Waiting-instruction-buffer configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WibConfig {
@@ -251,6 +309,10 @@ pub struct MachineConfig {
     pub btb_miss_penalty_other: u64,
     /// The WIB, if this machine has one.
     pub wib: Option<WibConfig>,
+    /// Which latency-tolerance engine runs behind the shared spine.
+    /// Must agree with [`MachineConfig::wib`]: exactly
+    /// [`Backend::Wib`] machines carry a [`WibConfig`].
+    pub backend: Backend,
     /// Epoch length (cycles) of the interval time-series in
     /// [`crate::SimStats::intervals`].
     pub stats_epoch: u64,
@@ -284,6 +346,7 @@ impl MachineConfig {
             btb_miss_penalty_direct: 2,
             btb_miss_penalty_other: 9,
             wib: None,
+            backend: Backend::Base,
             stats_epoch: crate::stats::DEFAULT_INTERVAL_EPOCH,
         }
     }
@@ -324,7 +387,37 @@ impl MachineConfig {
         cfg.store_queue = (window / 2).max(64);
         cfg.regfile = RegFileConfig::two_level_128();
         cfg.wib = Some(WibConfig::isca2002(cfg.load_queue));
+        cfg.backend = Backend::Wib;
         cfg
+    }
+
+    /// The base machine driven by runahead execution: same Table 1
+    /// resources, but a DRAM miss at the head of the window triggers a
+    /// checkpointed pre-execution episode instead of a stall.
+    pub fn runahead_8way() -> MachineConfig {
+        let mut cfg = MachineConfig::base_8way();
+        cfg.backend = Backend::Runahead {
+            min_remaining: DEFAULT_RUNAHEAD_MIN_REMAINING,
+        };
+        cfg
+    }
+
+    /// A load-delay-tracking machine with the given active-list capacity:
+    /// the WIB machine's sizing (large active list, scaled registers
+    /// behind a two-level file, half-sized LSQ) but dependents of known
+    /// misses park in a time-indexed delay queue instead of a WIB.
+    pub fn delay_track_sized(window: u32) -> MachineConfig {
+        let mut cfg = MachineConfig::wib_sized(window);
+        cfg.wib = None;
+        cfg.backend = Backend::DelayTrack {
+            park_threshold: DEFAULT_DELAY_PARK_THRESHOLD,
+        };
+        cfg
+    }
+
+    /// The delay-tracking counterpart of [`MachineConfig::wib_2k`].
+    pub fn delay_track_2k() -> MachineConfig {
+        MachineConfig::delay_track_sized(2048)
     }
 
     /// The section 3.5 alternative: the WIB machine with a pool-of-blocks
@@ -394,9 +487,17 @@ impl MachineConfig {
 
     /// Serialize this configuration as a compact, human-readable spec
     /// string: `base`, `conv:iq=256`, or `wib:w=2048` followed by
-    /// comma-separated overrides (`org=banked16` / `org=nonbanked4` /
+    /// comma-separated overrides (`backend=runahead|delay_track`,
+    /// `rathresh=N`, `dtthresh=N`, `org=banked16` / `org=nonbanked4` /
     /// `org=ideal` / `org=pool8x256`, `bv=64`, `policy=po|rrl|olf`,
     /// `trigger=l1|l2`, `fpdivert`, `epoch=4096`, `memlat=100`).
+    ///
+    /// The `base` and `wib:w=N` heads imply their backends, so those
+    /// machines serialize exactly as before the backend axis existed (the
+    /// content-addressed cache digests are pinned). A delay-tracking
+    /// machine uses the `wib:w=N` head (it shares that sizing) plus
+    /// `backend=delay_track`; a runahead machine is its base/conv head
+    /// plus `backend=runahead`.
     ///
     /// The encoding covers the preset-derived family the differential
     /// fuzzer explores ([`MachineConfig::base_8way`],
@@ -405,7 +506,12 @@ impl MachineConfig {
     /// represented. [`MachineConfig::from_spec`] inverts it, which is what
     /// lets a shrunk reproducer name its machine in one header line.
     pub fn to_spec(&self) -> String {
-        let (mut out, reference) = if self.wib.is_some() {
+        let (mut out, reference) = if let Backend::DelayTrack { .. } = self.backend {
+            (
+                format!("wib:w={}", self.active_list),
+                MachineConfig::delay_track_sized(self.active_list),
+            )
+        } else if self.wib.is_some() {
             (
                 format!("wib:w={}", self.active_list),
                 MachineConfig::wib_sized(self.active_list),
@@ -422,6 +528,23 @@ impl MachineConfig {
             out.push(',');
             out.push_str(&tok);
         };
+        match self.backend {
+            // Implied by the head: emitting nothing keeps the pre-backend
+            // spec (and its pinned digests) byte-identical.
+            Backend::Base | Backend::Wib => {}
+            Backend::Runahead { min_remaining } => {
+                push("backend=runahead".to_string());
+                if min_remaining != DEFAULT_RUNAHEAD_MIN_REMAINING {
+                    push(format!("rathresh={min_remaining}"));
+                }
+            }
+            Backend::DelayTrack { park_threshold } => {
+                push("backend=delay_track".to_string());
+                if park_threshold != DEFAULT_DELAY_PARK_THRESHOLD {
+                    push(format!("dtthresh={park_threshold}"));
+                }
+            }
+        }
         if let (Some(w), Some(rw)) = (&self.wib, &reference.wib) {
             if w.organization != rw.organization {
                 let org = match w.organization {
@@ -504,8 +627,60 @@ impl MachineConfig {
             },
             _ => return Err(format!("spec: unknown machine {head:?}")),
         };
-        for tok in parts {
-            let tok = tok.trim();
+        // The backend token reshapes the machine the head built (e.g.
+        // delay_track strips the WIB but keeps its sizing), so resolve it
+        // before the remaining overrides apply.
+        let rest: Vec<&str> = parts.map(str::trim).collect();
+        let mut backend_seen = false;
+        for tok in &rest {
+            let Some(val) = tok.strip_prefix("backend=") else {
+                continue;
+            };
+            if backend_seen {
+                return Err("spec: duplicate backend key".to_string());
+            }
+            backend_seen = true;
+            match val {
+                "base" if cfg.wib.is_none() => {}
+                "wib" if cfg.wib.is_some() => {}
+                "base" => {
+                    return Err("spec: backend=base needs a base or conv machine".to_string());
+                }
+                "wib" => return Err("spec: backend=wib needs a wib:w=N machine".to_string()),
+                "runahead" => {
+                    if cfg.wib.is_some() {
+                        return Err(
+                            "spec: backend=runahead needs a base or conv machine".to_string()
+                        );
+                    }
+                    cfg.backend = Backend::Runahead {
+                        min_remaining: DEFAULT_RUNAHEAD_MIN_REMAINING,
+                    };
+                }
+                "delay_track" => {
+                    if cfg.wib.is_none() {
+                        return Err(
+                            "spec: backend=delay_track needs a wib:w=N machine (it borrows \
+                             that sizing)"
+                                .to_string(),
+                        );
+                    }
+                    cfg.wib = None;
+                    cfg.backend = Backend::DelayTrack {
+                        park_threshold: DEFAULT_DELAY_PARK_THRESHOLD,
+                    };
+                }
+                _ => {
+                    return Err(format!(
+                        "spec: unknown backend {val:?} (accepted: {BACKEND_VALUES})"
+                    ));
+                }
+            }
+        }
+        for tok in rest {
+            if tok.starts_with("backend=") {
+                continue;
+            }
             if tok == "fpdivert" {
                 cfg.wib
                     .as_mut()
@@ -519,6 +694,18 @@ impl MachineConfig {
             match key {
                 "epoch" => cfg.stats_epoch = num(val, "epoch")?,
                 "memlat" => cfg.mem.mem_latency = num(val, "memory latency")?,
+                "rathresh" => match &mut cfg.backend {
+                    Backend::Runahead { min_remaining } => {
+                        *min_remaining = num(val, "runahead threshold")?;
+                    }
+                    _ => return Err("spec: rathresh needs backend=runahead".to_string()),
+                },
+                "dtthresh" => match &mut cfg.backend {
+                    Backend::DelayTrack { park_threshold } => {
+                        *park_threshold = num(val, "park threshold")?;
+                    }
+                    _ => return Err("spec: dtthresh needs backend=delay_track".to_string()),
+                },
                 "org" | "bv" | "policy" | "trigger" => {
                     let wib = cfg
                         .wib
@@ -586,6 +773,25 @@ impl MachineConfig {
         }
         if self.regs_per_class < 64 {
             return Err("need at least 64 physical registers per class".to_string());
+        }
+        match self.backend {
+            Backend::Wib if self.wib.is_none() => {
+                return Err("backend=wib requires a WIB configuration".to_string());
+            }
+            Backend::Base | Backend::Runahead { .. } | Backend::DelayTrack { .. }
+                if self.wib.is_some() =>
+            {
+                return Err(format!(
+                    "backend={} cannot carry a WIB configuration",
+                    self.backend.name()
+                ));
+            }
+            _ => {}
+        }
+        if let Backend::Runahead { min_remaining } = self.backend {
+            if min_remaining == 0 {
+                return Err("runahead threshold must be at least one cycle".to_string());
+            }
         }
         if self.stats_epoch == 0 {
             return Err("stats_epoch must be at least one cycle".to_string());
@@ -759,6 +965,128 @@ mod tests {
             crate::digest::fnv1a64_hex(b"base")
         );
         assert_eq!(wib.spec_digest().len(), 16);
+    }
+
+    #[test]
+    fn backend_presets_are_valid_and_round_trip() {
+        let samples = [
+            MachineConfig::runahead_8way(),
+            MachineConfig::delay_track_2k(),
+            MachineConfig::delay_track_sized(512),
+            {
+                let mut cfg = MachineConfig::runahead_8way().with_memory_latency(500);
+                cfg.backend = Backend::Runahead { min_remaining: 64 };
+                cfg
+            },
+            {
+                let mut cfg = MachineConfig::conventional(256);
+                cfg.backend = Backend::Runahead {
+                    min_remaining: DEFAULT_RUNAHEAD_MIN_REMAINING,
+                };
+                cfg
+            },
+            {
+                let mut cfg = MachineConfig::delay_track_sized(1024).with_stats_epoch(4096);
+                cfg.backend = Backend::DelayTrack { park_threshold: 20 };
+                cfg
+            },
+        ];
+        for cfg in samples {
+            cfg.validate().unwrap();
+            let spec = cfg.to_spec();
+            let parsed = MachineConfig::from_spec(&spec).unwrap_or_else(|e| {
+                panic!("spec {spec:?} failed to parse: {e}");
+            });
+            assert_eq!(parsed, cfg, "round trip through {spec:?}");
+            assert_eq!(parsed.to_spec(), spec);
+        }
+        assert_eq!(
+            MachineConfig::runahead_8way().to_spec(),
+            "base,backend=runahead"
+        );
+        assert_eq!(
+            MachineConfig::delay_track_2k().to_spec(),
+            "wib:w=2048,backend=delay_track"
+        );
+    }
+
+    #[test]
+    fn spec_digest_differs_when_only_the_backend_differs() {
+        // The content-addressed result cache keys on spec_digest(), so a
+        // runahead result must never be served for a WIB job (and so on):
+        // machines identical except for the backend need distinct digests.
+        let base = MachineConfig::base_8way();
+        let runahead = MachineConfig::runahead_8way();
+        assert_eq!(
+            (base.active_list, base.iq_int_size, base.mem.mem_latency),
+            (
+                runahead.active_list,
+                runahead.iq_int_size,
+                runahead.mem.mem_latency
+            )
+        );
+        let wib = MachineConfig::wib_2k();
+        let delay = MachineConfig::delay_track_2k();
+        assert_eq!(
+            (wib.active_list, wib.load_queue, wib.regs_per_class),
+            (delay.active_list, delay.load_queue, delay.regs_per_class)
+        );
+        let digests = [
+            base.spec_digest(),
+            runahead.spec_digest(),
+            wib.spec_digest(),
+            delay.spec_digest(),
+        ];
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b, "backend change must change the digest");
+            }
+        }
+        // Threshold knobs are part of the identity too.
+        let mut tuned = MachineConfig::runahead_8way();
+        tuned.backend = Backend::Runahead { min_remaining: 64 };
+        assert_ne!(tuned.spec_digest(), runahead.spec_digest());
+        // And the legacy machines still digest exactly as before the
+        // backend axis existed (pinned cache format).
+        assert_eq!(base.spec_digest(), crate::digest::fnv1a64_hex(b"base"));
+        assert_eq!(wib.spec_digest(), crate::digest::fnv1a64_hex(b"wib:w=2048"));
+    }
+
+    #[test]
+    fn unknown_backend_names_the_accepted_values() {
+        let err = MachineConfig::from_spec("base,backend=turbo").unwrap_err();
+        assert!(
+            err.contains("accepted: base, wib, runahead, delay_track"),
+            "error should name the accepted backends, got: {err}"
+        );
+    }
+
+    #[test]
+    fn backend_spec_rejects_inconsistent_forms() {
+        for bad in [
+            "base,backend=wib",                       // wib backend needs a wib head
+            "wib:w=2048,backend=base",                // and vice versa
+            "wib:w=2048,backend=runahead",            // runahead is a base/conv machine
+            "base,backend=delay_track",               // delay_track borrows wib sizing
+            "base,backend=runahead,backend=runahead", // duplicate key
+            "base,rathresh=16",                       // threshold without its backend
+            "wib:w=2048,dtthresh=4",
+            "base,backend=runahead,dtthresh=4",
+            "wib:w=2048,backend=delay_track,org=ideal", // org needs a live WIB
+            "base,backend=runahead,rathresh=0",         // validate(): zero threshold
+        ] {
+            assert!(
+                MachineConfig::from_spec(bad).is_err(),
+                "spec {bad:?} should be rejected"
+            );
+        }
+        // backend=base / backend=wib are accepted as explicit no-ops on
+        // matching heads (they normalize away in the canonical form).
+        let cfg = MachineConfig::from_spec("base,backend=base").unwrap();
+        assert_eq!(cfg, MachineConfig::base_8way());
+        assert_eq!(cfg.to_spec(), "base");
+        let cfg = MachineConfig::from_spec("wib:w=2048,backend=wib").unwrap();
+        assert_eq!(cfg, MachineConfig::wib_2k());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Time-indexed parking structure for the load-delay-tracking backend.
+//!
+//! Instead of the WIB's wait-bit chasing, the delay-tracking scheduler
+//! (after Diavastos & Carlson) exploits that a load miss's service
+//! latency is *known* the cycle the hierarchy accepts the access: every
+//! dependent of the miss is stamped with the predicted arrival cycle and
+//! parked here, freeing its issue-queue slot. A min-heap keyed by wake
+//! cycle reinserts each instruction exactly when its operands are
+//! predicted ready, sharing dispatch bandwidth like WIB reinsertion does.
+//!
+//! Entries are addressed by their active-list **slot** (like the WIB), so
+//! squash is O(1) per entry via lazy heap deletion: the slot table is
+//! authoritative and stale heap nodes are skipped on pop.
+
+use crate::types::Seq;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The delay queue: one slot per active-list entry plus a wake-time heap.
+#[derive(Debug, Clone)]
+pub struct DelayQueue {
+    /// `slots[s]` holds `(seq, wake_cycle)` for the instruction parked at
+    /// active-list slot `s`.
+    slots: Vec<Option<(Seq, u64)>>,
+    /// Min-heap of `(wake_cycle, seq, slot)`. May contain stale entries
+    /// for squashed or force-taken slots; `slots` disambiguates.
+    heap: BinaryHeap<Reverse<(u64, Seq, usize)>>,
+    resident: usize,
+    /// Total instructions ever parked.
+    pub insertions: u64,
+}
+
+impl DelayQueue {
+    /// An empty delay queue covering `size` active-list slots.
+    pub fn new(size: usize) -> DelayQueue {
+        DelayQueue {
+            slots: vec![None; size],
+            heap: BinaryHeap::with_capacity(size),
+            resident: 0,
+            insertions: 0,
+        }
+    }
+
+    /// Park `(slot, seq)` until `wake_at`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is already occupied (the engine parks an
+    /// instruction at most once at a time).
+    pub fn insert(&mut self, slot: usize, seq: Seq, wake_at: u64) {
+        assert!(self.slots[slot].is_none(), "delay slot {slot} occupied");
+        self.slots[slot] = Some((seq, wake_at));
+        self.heap.push(Reverse((wake_at, seq, slot)));
+        self.resident += 1;
+        self.insertions += 1;
+    }
+
+    /// Squash the instruction at `slot`, if parked. The heap node is
+    /// abandoned and skipped lazily.
+    pub fn squash_slot(&mut self, slot: usize) {
+        if self.slots[slot].take().is_some() {
+            self.resident -= 1;
+        }
+    }
+
+    /// True if `slot` currently holds a parked instruction.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.slots[slot].is_some()
+    }
+
+    /// True if `slot` is parked and its wake cycle has arrived. Used for
+    /// the forced head reinsert (a due head may claim the issue queue's
+    /// overflow slot so commit can always make progress).
+    pub fn due_slot(&self, slot: usize, now: u64) -> bool {
+        self.slots[slot].is_some_and(|(_, wake)| wake <= now)
+    }
+
+    /// Forcibly extract `slot` (caller checked [`DelayQueue::due_slot`]
+    /// and has already reinserted the instruction).
+    pub fn take_slot(&mut self, slot: usize) {
+        assert!(self.slots[slot].take().is_some(), "take of empty slot");
+        self.resident -= 1;
+    }
+
+    /// Reinsert up to `budget` due instructions in wake order, oldest
+    /// wake first. `accept(seq, slot)` performs the actual issue-queue
+    /// insertion and may refuse (queue full); refused instructions retry
+    /// next cycle. Returns the number accepted.
+    pub fn extract<F: FnMut(Seq, usize) -> bool>(
+        &mut self,
+        now: u64,
+        budget: usize,
+        mut accept: F,
+    ) -> usize {
+        let mut taken = 0;
+        let mut retry: Vec<Reverse<(u64, Seq, usize)>> = Vec::new();
+        while taken < budget {
+            let Some(&Reverse((wake, seq, slot))) = self.heap.peek() else {
+                break;
+            };
+            if wake > now {
+                break;
+            }
+            self.heap.pop();
+            if self.slots[slot].map(|(s, _)| s) != Some(seq) {
+                continue; // stale node: squashed or force-taken
+            }
+            if accept(seq, slot) {
+                self.slots[slot] = None;
+                self.resident -= 1;
+                taken += 1;
+            } else {
+                // Refused (no issue-queue slot): stay parked, retry next
+                // cycle. Buffer the node so this loop cannot spin on it.
+                self.slots[slot] = Some((seq, now + 1));
+                retry.push(Reverse((now + 1, seq, slot)));
+            }
+        }
+        self.heap.extend(retry);
+        taken
+    }
+
+    /// Parked instructions.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// The earliest wake cycle among parked instructions, purging stale
+    /// heap nodes on the way. `None` when empty — the fast-forward path
+    /// uses this to cap a skip at the next reinsertion.
+    pub fn next_wake(&mut self) -> Option<u64> {
+        while let Some(&Reverse((wake, seq, slot))) = self.heap.peek() {
+            if self.slots[slot].map(|(s, _)| s) == Some(seq) {
+                return Some(wake);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Machine-check: the slot table and resident count agree, every
+    /// parked slot has a live heap node no later than its recorded wake
+    /// (else it would never wake), and heap nodes only ever lag behind
+    /// the slot table, never lead it.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("delay-queue: {msg}"));
+        let live = self.slots.iter().filter(|s| s.is_some()).count();
+        if live != self.resident {
+            return fail(format!("resident {} != live slots {live}", self.resident));
+        }
+        // Earliest live heap node per slot; a slot may transiently carry
+        // several nodes (the refused-retry path re-pushes).
+        for (slot, parked) in self.slots.iter().enumerate() {
+            let Some((seq, wake)) = parked else { continue };
+            let earliest = self
+                .heap
+                .iter()
+                .filter(|Reverse((_, s, sl))| sl == &slot && s == seq)
+                .map(|Reverse((w, _, _))| *w)
+                .min();
+            match earliest {
+                None => return fail(format!("slot {slot} (seq {seq}) has no heap node")),
+                Some(w) if w > *wake => {
+                    return fail(format!(
+                        "slot {slot} (seq {seq}) wakes at {wake} but earliest node is {w}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakes_in_time_order() {
+        let mut dq = DelayQueue::new(8);
+        dq.insert(0, 10, 100);
+        dq.insert(1, 11, 50);
+        dq.insert(2, 12, 50);
+        assert_eq!(dq.resident(), 3);
+        let mut got = Vec::new();
+        dq.extract(49, 8, |seq, _| {
+            got.push(seq);
+            true
+        });
+        assert!(got.is_empty(), "nothing due before its wake cycle");
+        dq.extract(50, 8, |seq, _| {
+            got.push(seq);
+            true
+        });
+        assert_eq!(got, vec![11, 12], "due entries in (wake, seq) order");
+        dq.extract(100, 8, |seq, _| {
+            got.push(seq);
+            true
+        });
+        assert_eq!(got, vec![11, 12, 10]);
+        assert_eq!(dq.resident(), 0);
+        dq.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn refused_entries_retry_next_cycle() {
+        let mut dq = DelayQueue::new(4);
+        dq.insert(3, 7, 10);
+        let n = dq.extract(10, 8, |_, _| false);
+        assert_eq!(n, 0);
+        assert_eq!(dq.resident(), 1);
+        dq.check_invariants().unwrap();
+        // Not retried the same cycle even with budget left, but due again
+        // the next cycle.
+        assert_eq!(dq.next_wake(), Some(11));
+        assert!(!dq.due_slot(3, 10));
+        assert!(dq.due_slot(3, 11));
+        let n = dq.extract(11, 8, |seq, slot| {
+            assert_eq!((seq, slot), (7, 3));
+            true
+        });
+        assert_eq!(n, 1);
+        assert_eq!(dq.resident(), 0);
+    }
+
+    #[test]
+    fn squash_is_lazy_but_invisible() {
+        let mut dq = DelayQueue::new(4);
+        dq.insert(0, 1, 5);
+        dq.insert(1, 2, 6);
+        dq.squash_slot(1);
+        assert_eq!(dq.resident(), 1);
+        assert!(!dq.contains(1));
+        assert!(dq.contains(0));
+        let mut got = Vec::new();
+        dq.extract(100, 8, |seq, _| {
+            got.push(seq);
+            true
+        });
+        assert_eq!(got, vec![1], "squashed entry never re-emerges");
+        // Slot reuse after squash works (fresh seq, same slot).
+        dq.insert(1, 9, 7);
+        assert_eq!(dq.next_wake(), Some(7));
+        dq.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn budget_limits_extraction() {
+        let mut dq = DelayQueue::new(8);
+        for i in 0..5 {
+            dq.insert(i, i as Seq, 1);
+        }
+        let mut got = Vec::new();
+        let n = dq.extract(1, 2, |seq, _| {
+            got.push(seq);
+            true
+        });
+        assert_eq!((n, got.len()), (2, 2));
+        assert_eq!(dq.resident(), 3);
+    }
+
+    #[test]
+    fn forced_take_of_due_head() {
+        let mut dq = DelayQueue::new(4);
+        dq.insert(2, 5, 20);
+        assert!(!dq.due_slot(2, 19));
+        assert!(dq.due_slot(2, 20));
+        dq.take_slot(2);
+        assert_eq!(dq.resident(), 0);
+        // The abandoned heap node is skipped silently.
+        let n = dq.extract(30, 8, |_, _| true);
+        assert_eq!(n, 0);
+        dq.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn head_due_uses_its_own_wake_not_the_global_minimum() {
+        let mut dq = DelayQueue::new(4);
+        dq.insert(0, 1, 500); // the head: long miss
+        dq.insert(1, 2, 100); // younger dependent of a faster miss
+        assert!(dq.due_slot(1, 100));
+        assert!(!dq.due_slot(0, 100), "head not due until its own wake");
+        assert!(dq.due_slot(0, 500));
+    }
+}

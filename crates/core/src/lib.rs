@@ -45,6 +45,7 @@ pub mod cancel;
 pub mod check;
 pub mod config;
 pub mod cpi;
+pub mod delay;
 pub mod digest;
 pub mod events;
 pub mod fu;
@@ -58,6 +59,7 @@ pub mod profile;
 pub mod regfile;
 pub mod rename;
 pub mod rob;
+pub mod runahead;
 pub mod stats;
 pub mod trace;
 pub mod types;
@@ -67,7 +69,8 @@ pub mod window;
 
 pub use cancel::CancelToken;
 pub use config::{
-    MachineConfig, RegFileConfig, SelectionPolicy, WibConfig, WibOrganization, WibTrigger,
+    Backend, MachineConfig, RegFileConfig, SelectionPolicy, WibConfig, WibOrganization, WibTrigger,
+    BACKEND_VALUES,
 };
 pub use cpi::{CpiCategory, CpiStack, CPI_CATEGORIES};
 pub use digest::{fnv1a64, fnv1a64_hex};

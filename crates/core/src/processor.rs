@@ -14,8 +14,9 @@
 //! the integration test suite runs every configuration with it enabled.
 
 use crate::cancel::CancelToken;
-use crate::config::{MachineConfig, RegFileConfig, WibOrganization, WibTrigger};
+use crate::config::{Backend, MachineConfig, RegFileConfig, WibOrganization, WibTrigger};
 use crate::cpi::CpiCategory;
+use crate::delay::DelayQueue;
 use crate::events::{EventSink, PipeEvent};
 use crate::fu::FuPool;
 use crate::iq::{IqEntry, IssueQueue, SrcStatus};
@@ -24,6 +25,7 @@ use crate::profile::{StageProfile, PROFILE_SAMPLE_PERIOD, STAGE_COUNT};
 use crate::regfile::{RegFile, RegTiming};
 use crate::rename::RenameMap;
 use crate::rob::{ActiveList, BranchInfo, MissKind, RobEntry};
+use crate::runahead::RunaheadState;
 use crate::stats::{IntervalSample, SimStats};
 use crate::trace::{InstTrace, Trace};
 use crate::types::{PhysReg, Seq, SrcRef};
@@ -340,6 +342,20 @@ struct Engine<'c> {
     rob: ActiveList,
     fu: FuPool,
     wib: Option<Window>,
+    /// Runahead backend: `Some` while a pre-execution episode is in
+    /// flight (see [`crate::runahead`]).
+    ra: Option<RunaheadState>,
+    /// Runahead: two-level register-file L2 reads accumulated before
+    /// episode exits rebuilt the register files (their counters restart;
+    /// the end-of-run total adds this back).
+    ra_lost_l2_reads: u64,
+    /// Delay-tracking backend's parking structure (`Some` iff
+    /// `backend = delay_track`; see [`crate::delay`]).
+    delayq: Option<DelayQueue>,
+    /// Delay-tracking: predicted absolute data-ready cycle per physical
+    /// register (0 = no prediction). Sized only for the delay backend.
+    delay_hint_int: Vec<u64>,
+    delay_hint_fp: Vec<u64>,
     events: BinaryHeap<Reverse<Scheduled>>,
     event_order: u64,
     fetch_pc: u32,
@@ -392,6 +408,31 @@ struct Engine<'c> {
     scratch_cols: Vec<(crate::types::ColumnId, Seq)>,
 }
 
+/// Register-file timing model for `cfg` (shared between engine
+/// construction and the runahead episode-exit rebuild).
+fn rf_timing(cfg: &MachineConfig) -> RegTiming {
+    match cfg.regfile {
+        RegFileConfig::SingleLevel => RegTiming::Flat,
+        RegFileConfig::TwoLevel {
+            l1_regs,
+            l2_latency,
+            ..
+        } => RegTiming::TwoLevel {
+            l1_regs: l1_regs as usize,
+            l2_latency,
+        },
+        RegFileConfig::MultiBanked {
+            banks,
+            ports_per_bank,
+            conflict_penalty,
+        } => RegTiming::Banked {
+            banks: banks as usize,
+            ports: ports_per_bank,
+            conflict_penalty,
+        },
+    }
+}
+
 /// One profiling lap: charge the time since the previous lap to `slot`
 /// and restart the clock. A no-op on unprofiled cycles (`at` is `None`).
 #[inline]
@@ -407,25 +448,13 @@ impl<'c> Engine<'c> {
     fn new(cfg: &'c MachineConfig, program: &Program, cosim: bool) -> Engine<'c> {
         let mut mem = PagedMemory::new();
         program.load_into(&mut mem);
-        let rf_timing = match cfg.regfile {
-            RegFileConfig::SingleLevel => RegTiming::Flat,
-            RegFileConfig::TwoLevel {
-                l1_regs,
-                l2_latency,
-                ..
-            } => RegTiming::TwoLevel {
-                l1_regs: l1_regs as usize,
-                l2_latency,
-            },
-            RegFileConfig::MultiBanked {
-                banks,
-                ports_per_bank,
-                conflict_penalty,
-            } => RegTiming::Banked {
-                banks: banks as usize,
-                ports: ports_per_bank,
-                conflict_penalty,
-            },
+        let rf_timing = rf_timing(cfg);
+        let delayq = matches!(cfg.backend, Backend::DelayTrack { .. })
+            .then(|| DelayQueue::new(cfg.active_list as usize));
+        let delay_hints = if delayq.is_some() {
+            vec![0u64; cfg.regs_per_class as usize]
+        } else {
+            Vec::new()
         };
         let wib = cfg.wib.as_ref().map(|w| {
             Window::new(
@@ -453,6 +482,11 @@ impl<'c> Engine<'c> {
             rob: ActiveList::new(cfg.active_list as usize),
             fu: FuPool::new(cfg.fu.clone()),
             wib,
+            ra: None,
+            ra_lost_l2_reads: 0,
+            delayq,
+            delay_hint_int: delay_hints.clone(),
+            delay_hint_fp: delay_hints,
             events: BinaryHeap::with_capacity(256),
             event_order: 0,
             fetch_pc: program.entry,
@@ -464,6 +498,11 @@ impl<'c> Engine<'c> {
             halted: false,
             stats: SimStats {
                 interval_epoch: cfg.stats_epoch,
+                backend: match cfg.backend {
+                    Backend::Runahead { .. } => "runahead".to_string(),
+                    Backend::DelayTrack { .. } => "delay_track".to_string(),
+                    Backend::Base | Backend::Wib => String::new(),
+                },
                 ..SimStats::default()
             },
             checker: cosim.then(|| Interpreter::new(program)),
@@ -595,6 +634,13 @@ impl<'c> Engine<'c> {
         } else {
             &self.iq_int
         }
+    }
+
+    /// Instructions parked outside the issue queues: in the WIB or the
+    /// delay queue (at most one exists per configuration).
+    fn parked_resident(&self) -> usize {
+        self.wib.as_ref().map_or(0, Window::resident)
+            + self.delayq.as_ref().map_or(0, DelayQueue::resident)
     }
 
     fn schedule(&mut self, at: u64, ev: Event) {
@@ -820,6 +866,202 @@ impl<'c> Engine<'c> {
         true
     }
 
+    /// Reinsert a delay-parked instruction into its issue queue; false if
+    /// full. Mirrors [`Engine::try_reinsert`] (the issue queue's overflow
+    /// slot is reserved for the window head) but with no wait bits to
+    /// clear — delay tracking never sets them.
+    fn try_reinsert_delayed(&mut self, seq: Seq) -> bool {
+        let Some(e) = self.rob.get(seq) else {
+            debug_assert!(false, "delay queue held a dead instruction");
+            return false;
+        };
+        let inst = e.inst;
+        let srcs = e.srcs;
+        let overflow = self.iq_for(&inst).free_slots() == 0;
+        if overflow && self.rob.head().map(|h| h.seq) != Some(seq) {
+            return false;
+        }
+        let tracked = Engine::tracked_srcs(&inst, &srcs);
+        let entry = IqEntry::new(self.evaluate_srcs(seq, &tracked));
+        if overflow {
+            self.iq_for(&inst).insert_overflow(seq, entry);
+        } else {
+            self.iq_for(&inst).insert(seq, entry);
+        }
+        self.rob.get_mut(seq).expect("checked above").in_wib = false;
+        self.stats.delay_reinserted += 1;
+        true
+    }
+
+    /// Reinsert due delay-parked instructions: a due window head first
+    /// (it may claim the overflow slot so commit always makes progress),
+    /// then the regular wake-order extraction. Returns the dispatch
+    /// bandwidth consumed.
+    fn do_delay_reinsert(&mut self, mut budget: usize) -> usize {
+        let mut used = 0;
+        let head_parked = self
+            .rob
+            .head()
+            .filter(|h| h.in_wib)
+            .map(|h| (h.seq, h.slot));
+        if let Some((hseq, hslot)) = head_parked {
+            let due = self
+                .delayq
+                .as_ref()
+                .is_some_and(|dq| dq.due_slot(hslot, self.now));
+            if due && budget > 0 && self.try_reinsert_delayed(hseq) {
+                self.delayq
+                    .as_mut()
+                    .expect("checked above")
+                    .take_slot(hslot);
+                budget -= 1;
+                used += 1;
+            }
+        }
+        if budget > 0 {
+            if let Some(mut dq) = self.delayq.take() {
+                used += dq.extract(self.now, budget, |seq, _slot| {
+                    self.try_reinsert_delayed(seq)
+                });
+                self.delayq = Some(dq);
+            }
+        }
+        used
+    }
+
+    // ------------------------------------------------------------------
+    // Delay-tracking backend (see `crate::delay`)
+    // ------------------------------------------------------------------
+
+    /// Predicted absolute data-ready cycle for `(class, p)`; 0 = none.
+    fn delay_hint(&self, class: RegClass, p: PhysReg) -> u64 {
+        match class {
+            RegClass::Int => self.delay_hint_int[p.0 as usize],
+            RegClass::Fp => self.delay_hint_fp[p.0 as usize],
+        }
+    }
+
+    fn set_delay_hint_raw(&mut self, class: RegClass, p: PhysReg, at: u64) {
+        let plane = match class {
+            RegClass::Int => &mut self.delay_hint_int,
+            RegClass::Fp => &mut self.delay_hint_fp,
+        };
+        plane[p.0 as usize] = at;
+    }
+
+    /// Issue-to-writeback latency for `inst` once its operands are ready:
+    /// one register-read cycle, one wakeup/select cycle, then the
+    /// functional-unit (or L1D-hit) latency. The delay-chain stamp a
+    /// parked consumer hands its own dependents.
+    fn delay_estimate(&self, inst: &Inst) -> u64 {
+        use wib_isa::inst::FuKind;
+        let fu = &self.cfg.fu;
+        2 + match inst.fu_kind() {
+            FuKind::IntAlu => 1,
+            FuKind::IntMul => fu.int_mul_latency,
+            FuKind::FpAdd => fu.fp_add_latency,
+            FuKind::FpMul => fu.fp_mul_latency,
+            FuKind::FpDiv => fu.fp_div_latency,
+            FuKind::FpSqrt => fu.fp_sqrt_latency,
+            FuKind::Mem => 1 + self.cfg.mem.l1d.hit_latency,
+        }
+    }
+
+    /// A load's data-arrival cycle became known. If the remaining latency
+    /// exceeds the parking threshold, stamp the destination and park the
+    /// waiting dependence chain in the delay queue.
+    fn delay_note_arrival(&mut self, seq: Seq, arrive: u64) {
+        let Backend::DelayTrack { park_threshold } = self.cfg.backend else {
+            return;
+        };
+        if arrive.saturating_sub(self.now) <= park_threshold {
+            return;
+        }
+        let Some((arch, p, _)) = self.rob.get(seq).and_then(|e| e.dest) else {
+            return;
+        };
+        self.propagate_delay(arch.class(), p, arrive);
+    }
+
+    /// Stamp `(class, p)` with predicted-ready cycle `at` and cascade:
+    /// subscribers whose operands all carry predictions park in the delay
+    /// queue and stamp their own destinations one estimate later.
+    fn propagate_delay(&mut self, class: RegClass, p: PhysReg, at: u64) {
+        let mut work = vec![(class, p, at)];
+        let mut woken = Vec::new();
+        while let Some((class, p, at)) = work.pop() {
+            if self.rf(class).is_ready(p) {
+                continue; // raced with the writeback; nothing to predict
+            }
+            self.set_delay_hint_raw(class, p, at);
+            woken.clear();
+            self.rf_mut(class).take_waiters_into(p, &mut woken);
+            for i in 0..woken.len() {
+                if let Some(next) = self.try_park(woken[i], class, p) {
+                    work.push(next);
+                }
+            }
+        }
+    }
+
+    /// Try to park subscriber `seq` of `(class, p)`. Non-parkable
+    /// subscribers (already issued, store-data waiters, operands without
+    /// predictions, predictions already due) are re-subscribed so the real
+    /// writeback still reaches them. Returns the parked instruction's
+    /// destination stamp for cascading.
+    fn try_park(
+        &mut self,
+        seq: Seq,
+        class: RegClass,
+        p: PhysReg,
+    ) -> Option<(RegClass, PhysReg, u64)> {
+        let Some(e) = self.rob.get(seq) else {
+            return None; // squashed since subscribing
+        };
+        if e.completed || e.in_wib {
+            return None;
+        }
+        let inst = e.inst;
+        let slot = e.slot;
+        let dest = e.dest;
+        let srcs = Engine::tracked_srcs(&inst, &e.srcs);
+        if e.issued || !Engine::needs_iq(&inst) || !self.iq_for_ref(&inst).contains(seq) {
+            // A store waiting for its data operand, or an issued load whose
+            // producer re-subscribed it: needs the value, not a prediction.
+            self.rf_mut(class).subscribe(p, seq);
+            return None;
+        }
+        let mut wake = 0u64;
+        for s in srcs.iter().flatten() {
+            if self.rf(s.class).is_ready(s.preg) {
+                continue;
+            }
+            let hint = self.delay_hint(s.class, s.preg);
+            if hint == 0 {
+                // An operand with no prediction: cannot park safely.
+                self.rf_mut(class).subscribe(p, seq);
+                return None;
+            }
+            wake = wake.max(hint);
+        }
+        if wake <= self.now {
+            self.rf_mut(class).subscribe(p, seq);
+            return None;
+        }
+        self.iq_for(&inst).remove(seq);
+        {
+            let e = self.rob.get_mut(seq).expect("live");
+            e.in_wib = true; // "parked outside the issue queue"
+            e.wib_trips += 1;
+        }
+        self.delayq
+            .as_mut()
+            .expect("delay backend")
+            .insert(slot, seq, wake);
+        self.stats.delay_parked += 1;
+        dest.map(|(arch, dp, _)| (arch.class(), dp, wake + self.delay_estimate(&inst)))
+    }
+
     /// Would dispatching `inst` (the IFQ front) stall, and on which full
     /// resource? `None` means dispatch can proceed. Shared between
     /// [`Engine::do_dispatch`] and the quiescence check in
@@ -829,15 +1071,13 @@ impl<'c> Engine<'c> {
         if self.rob.free_slots() == 0 {
             return Some(CpiCategory::ActiveListFull);
         }
-        // While instructions are parked in the WIB, hold one issue queue
-        // slot in reserve for reinsertion: if newly fetched instructions
-        // (necessarily younger, possibly dependent on the parked chain)
-        // could fill the queue completely, the oldest parked instruction
-        // might never get back in.
-        let reserve = match &self.wib {
-            Some(w) if w.resident() > 0 => 1,
-            _ => 0,
-        };
+        // While instructions are parked outside the issue queues (WIB or
+        // delay queue), hold one issue queue slot in reserve for
+        // reinsertion: if newly fetched instructions (necessarily
+        // younger, possibly dependent on the parked chain) could fill the
+        // queue completely, the oldest parked instruction might never get
+        // back in.
+        let reserve = if self.parked_resident() > 0 { 1 } else { 0 };
         if Engine::needs_iq(inst) && self.iq_for_ref(inst).free_slots() <= reserve {
             return Some(CpiCategory::IqFull);
         }
@@ -894,6 +1134,10 @@ impl<'c> Engine<'c> {
             self.wib = Some(wib);
             budget -= n;
         }
+        // Delay-queue reinsertion shares dispatch bandwidth the same way.
+        if self.delayq.is_some() && budget > 0 {
+            budget -= self.do_delay_reinsert(budget);
+        }
 
         while budget > 0 {
             let Some(front) = self.ifq.front() else { break };
@@ -925,6 +1169,16 @@ impl<'c> Engine<'c> {
                 let prev = self.rename.rename(arch, p);
                 (arch, p, prev)
             });
+            // A freshly allocated register carries no stale prediction or
+            // poison from its previous life.
+            if let Some((arch, p, _)) = dest {
+                if self.delayq.is_some() {
+                    self.set_delay_hint_raw(arch.class(), p, 0);
+                }
+                if let Some(ra) = self.ra.as_mut() {
+                    ra.poison.set(arch.class(), p, false);
+                }
+            }
             let mut entry = RobEntry {
                 seq,
                 slot,
@@ -938,6 +1192,7 @@ impl<'c> Engine<'c> {
                 wib_trips: 0,
                 miss_column: None,
                 miss_kind: None,
+                data_ready_at: 0,
                 in_lq: f.inst.is_load(),
                 in_sq: f.inst.is_store(),
                 dir_wrong: false,
@@ -991,6 +1246,10 @@ impl<'c> Engine<'c> {
     /// entries are stores waiting for their data operand (agen done, data
     /// outstanding).
     fn writeback(&mut self, class: RegClass, p: PhysReg, value: u64) {
+        if self.delayq.is_some() {
+            // The value is real now; any outstanding prediction is dead.
+            self.set_delay_hint_raw(class, p, 0);
+        }
         let mut woken = std::mem::take(&mut self.scratch_woken_wb);
         debug_assert!(woken.is_empty());
         self.rf_mut(class).write_into(p, value, &mut woken);
@@ -1017,6 +1276,11 @@ impl<'c> Engine<'c> {
             return;
         }
         self.lsq.set_store_data(seq, value);
+        if let Some(ra) = self.ra.as_mut() {
+            if ra.poison.get(class, p) {
+                ra.poisoned_stores.insert(seq);
+            }
+        }
         {
             let e = self.rob.get_mut(seq).expect("live");
             e.completed = true;
@@ -1318,8 +1582,25 @@ impl<'c> Engine<'c> {
         let branch = e.branch;
         let a = self.src_value(srcs[0]);
         let b = self.src_value(srcs[1]);
+        // Runahead episode: operand poison (false outside episodes).
+        let poisoned = |s: Option<SrcRef>| {
+            self.ra
+                .as_ref()
+                .zip(s)
+                .is_some_and(|(ra, s)| ra.poison.get(s.class, s.preg))
+        };
+        let (inv_a, inv_b) = (poisoned(srcs[0]), poisoned(srcs[1]));
 
         if inst.is_cond_branch() {
+            if inv_a || inv_b {
+                // A branch on garbage: keep the predicted path rather than
+                // resolving on an invalid value (Mutlu: predict and go).
+                let e = self.rob.get_mut(seq).expect("live");
+                e.completed = true;
+                e.cycle_complete = self.now;
+                self.emit(PipeEvent::Complete { seq });
+                return;
+            }
             let taken = exec::branch_taken(&inst, a, b);
             let actual_next = if taken {
                 exec::control_target(&inst, pc, a)
@@ -1344,6 +1625,18 @@ impl<'c> Engine<'c> {
                 self.squash_redirect(seq, actual_next, &bi, dir_wrong);
             }
         } else if inst.is_jump_indirect() {
+            if inv_a {
+                // Target computed from garbage: trust the BTB/RAS path.
+                if let Some((arch, p, _)) = dest {
+                    let link = exec::alu_result(&inst, a, b, pc).expect("jalr links");
+                    self.writeback(arch.class(), p, link);
+                }
+                let e = self.rob.get_mut(seq).expect("live");
+                e.completed = true;
+                e.cycle_complete = self.now;
+                self.emit(PipeEvent::Complete { seq });
+                return;
+            }
             let actual_next = exec::control_target(&inst, pc, a);
             if let Some((arch, p, _)) = dest {
                 let link = exec::alu_result(&inst, a, b, pc).expect("jalr links");
@@ -1367,6 +1660,15 @@ impl<'c> Engine<'c> {
             // ready, otherwise subscribe and complete on its writeback.
             let addr = exec::effective_address(&inst, a);
             let violation = self.lsq.set_store_addr(seq, addr);
+            if inv_a || inv_b {
+                // Garbage address or data: the pseudo-retired store must
+                // not enter the runahead store cache.
+                self.ra
+                    .as_mut()
+                    .expect("poison implies an episode")
+                    .poisoned_stores
+                    .insert(seq);
+            }
             match srcs[1] {
                 None => {
                     self.lsq.set_store_data(seq, 0); // r0 data
@@ -1387,9 +1689,24 @@ impl<'c> Engine<'c> {
                 }
             }
             if let Some(load_seq) = violation {
-                self.handle_order_violation(load_seq);
+                // Runahead never replays on ordering: the affected load's
+                // value is speculative garbage anyway and the episode's
+                // whole pipeline state is discarded at exit.
+                if self.ra.is_none() {
+                    self.handle_order_violation(load_seq);
+                }
             }
         } else {
+            if (inv_a || inv_b) && dest.is_some() {
+                let (arch, p, _) = dest.expect("checked");
+                // Propagate before the writeback below wakes consumers, so
+                // a store-data waiter sees its operand already poisoned.
+                self.ra
+                    .as_mut()
+                    .expect("poison implies an episode")
+                    .poison
+                    .set(arch.class(), p, true);
+            }
             let result = exec::alu_result(&inst, a, b, pc);
             let e = self.rob.get_mut(seq).expect("live");
             e.completed = true;
@@ -1418,6 +1735,9 @@ impl<'c> Engine<'c> {
     }
 
     fn try_load_data(&mut self, seq: Seq, addr: u32, width: u32) {
+        if self.ra.is_some() {
+            return self.ra_load_data(seq, addr, width);
+        }
         match self.lsq.forward_for_load(seq, addr, width) {
             ForwardResult::Forward(_, bits) => {
                 self.pending_load_values.insert(seq, bits);
@@ -1437,7 +1757,11 @@ impl<'c> Engine<'c> {
                 let access = self.hier.data_access(addr, AccessKind::Read, self.now);
                 let value = self.mem.read_bits(addr, width);
                 self.pending_load_values.insert(seq, value);
-                self.schedule(access.ready_at.max(self.now + 1), Event::LoadData(seq));
+                let arrive = access.ready_at.max(self.now + 1);
+                self.schedule(arrive, Event::LoadData(seq));
+                if let Some(e) = self.rob.get_mut(seq) {
+                    e.data_ready_at = arrive;
+                }
                 // The "load miss" signal is latency-based, like the
                 // 21264's: any load whose data will not arrive within the
                 // trigger level's hit time diverts its dependence chain to
@@ -1475,8 +1799,82 @@ impl<'c> Engine<'c> {
                 if missed {
                     self.divert_chain_to_wib(seq);
                 }
+                self.delay_note_arrival(seq, arrive);
             }
         }
+    }
+
+    /// Runahead-episode load: no order-violation machinery, no
+    /// blocked-load parking, no miss accounting — just prefetch and keep
+    /// the dataflow moving or poison it.
+    fn ra_load_data(&mut self, seq: Seq, addr: u32, width: u32) {
+        let base_poisoned = self.rob.get(seq).is_some_and(|e| {
+            e.srcs[0].is_some_and(|s| {
+                self.ra
+                    .as_ref()
+                    .expect("in an episode")
+                    .poison
+                    .get(s.class, s.preg)
+            })
+        });
+        if base_poisoned {
+            // Garbage address: do not pollute the cache with it.
+            return self.ra_inv_load(seq);
+        }
+        match self.lsq.forward_for_load(seq, addr, width) {
+            ForwardResult::Forward(store_seq, bits) => {
+                if self
+                    .ra
+                    .as_ref()
+                    .expect("in an episode")
+                    .poisoned_stores
+                    .contains(&store_seq)
+                {
+                    return self.ra_inv_load(seq);
+                }
+                self.pending_load_values.insert(seq, bits);
+                self.schedule(self.now + FORWARD_LATENCY, Event::LoadData(seq));
+            }
+            ForwardResult::BlockedOn(_) => {
+                // Waiting out the store could outlive the episode; give up
+                // on this value.
+                self.ra_inv_load(seq);
+            }
+            ForwardResult::FromMemory => {
+                // THE point of runahead: a real hierarchy access starts
+                // the fill early and trains the MSHRs/LRU state that the
+                // post-episode replay will hit.
+                let access = self.hier.data_access(addr, AccessKind::Read, self.now);
+                let exit_at = self.ra.as_ref().expect("in an episode").exit_at;
+                if access.to_memory || access.mshr_merged || access.ready_at >= exit_at {
+                    // The data cannot arrive before the episode exits. The
+                    // `ready_at` check matters for the blocking load's own
+                    // refetch: its line is already allocated (an L1 "hit")
+                    // but still waits out the in-flight fill, which lands
+                    // exactly at `exit_at`. INV now lets dependents keep
+                    // prefetching instead of clogging the episode window.
+                    return self.ra_inv_load(seq);
+                }
+                let ra = self.ra.as_ref().expect("in an episode");
+                let value = ra.overlay_read(&self.mem, addr, width);
+                self.pending_load_values.insert(seq, value);
+                self.schedule(access.ready_at.max(self.now + 1), Event::LoadData(seq));
+            }
+        }
+    }
+
+    /// Complete load `seq` with an invalid (poisoned) result next cycle.
+    fn ra_inv_load(&mut self, seq: Seq) {
+        self.stats.runahead_inv_loads += 1;
+        if let Some((arch, p, _)) = self.rob.get(seq).and_then(|e| e.dest) {
+            self.ra
+                .as_mut()
+                .expect("in an episode")
+                .poison
+                .set(arch.class(), p, true);
+        }
+        self.pending_load_values.insert(seq, 0);
+        self.schedule(self.now + 1, Event::LoadData(seq));
     }
 
     /// Allocate a bit-vector column for load `seq` and set the wait bit on
@@ -1573,10 +1971,13 @@ impl<'c> Engine<'c> {
                 self.iq_fp.remove(e.seq);
             }
             if e.in_wib {
-                self.wib
-                    .as_mut()
-                    .expect("WIB entry implies WIB")
-                    .squash_slot(e.slot);
+                if let Some(w) = self.wib.as_mut() {
+                    w.squash_slot(e.slot);
+                } else if let Some(dq) = self.delayq.as_mut() {
+                    dq.squash_slot(e.slot);
+                } else {
+                    unreachable!("parked entry without a parking structure");
+                }
             }
             if let Some(col) = e.miss_column {
                 squashed_cols.push((col, e.seq));
@@ -1597,6 +1998,9 @@ impl<'c> Engine<'c> {
         self.lsq.squash_from(from);
         self.pending_load_values.retain(|&s, _| s < from);
         self.blocked_loads.retain(|&(l, _)| l < from);
+        if let Some(ra) = self.ra.as_mut() {
+            ra.poisoned_stores.retain(|&s| s < from);
+        }
         self.ifq.clear();
         self.fetch_halted = false;
         self.fetch_pc = new_pc;
@@ -1704,6 +2108,144 @@ impl<'c> Engine<'c> {
     }
 
     // ------------------------------------------------------------------
+    // Runahead backend (see `crate::runahead`)
+    // ------------------------------------------------------------------
+
+    /// Enter a runahead episode if the window head is a load stalled on a
+    /// DRAM-latency miss with enough service time left to be worth the
+    /// checkpoint/restore round trip. The whole pipeline is flushed (the
+    /// fill stays in flight in the MSHRs), architectural state is
+    /// checkpointed, and fetch restarts at the blocking load — this time
+    /// pre-executing for prefetch value only.
+    fn maybe_enter_runahead(&mut self) {
+        let Backend::Runahead { min_remaining } = self.cfg.backend else {
+            return;
+        };
+        // Entry condition: the machine must actually be stalled behind the
+        // miss — the window is full, or dispatch spent last cycle blocked
+        // on some other full back-end resource (issue queue, LSQ, physical
+        // registers: the miss's dependence chain clogs those well before a
+        // large active list fills). Entering while the front end still has
+        // headroom would squash useful in-flight work for nothing.
+        if self.rob.free_slots() > 0 && self.dispatch_block.is_none() {
+            return;
+        }
+        let Some(head) = self.rob.head() else { return };
+        if head.completed || head.miss_kind != Some(MissKind::Dram) {
+            return;
+        }
+        // Entry costs a full squash and exit a pipeline rebuild; demand at
+        // least a couple of cycles of covered latency beyond that.
+        if head.data_ready_at <= self.now + min_remaining.max(2) {
+            return;
+        }
+        let head_seq = head.seq;
+        let resume_pc = head.pc;
+        let exit_at = head.data_ready_at;
+        let hist = head.hist_before;
+        let ras = head.ras_before;
+        self.stats.runahead_episodes += 1;
+        self.squash_from(head_seq, resume_pc, 0);
+        self.dir.set_history(hist);
+        self.ras.restore(&ras);
+        // The squash restored the rename map to the committed state, so
+        // the current mappings *are* the architectural values.
+        let mut arch = [0u64; NUM_ARCH_REGS];
+        for flat in 0..NUM_ARCH_REGS as u8 {
+            let r = ArchReg::from_flat(flat);
+            arch[flat as usize] = self.rf(r.class()).value(self.rename.lookup(r));
+        }
+        self.ra = Some(RunaheadState::new(
+            resume_pc,
+            exit_at,
+            arch,
+            hist,
+            ras,
+            self.cfg.regs_per_class as usize,
+        ));
+    }
+
+    /// The blocking load's data arrived: discard every trace of the
+    /// episode, restore the checkpoint and replay from the blocking load
+    /// against the now-warmed hierarchy.
+    fn exit_runahead(&mut self) {
+        let ra = self.ra.take().expect("exit without an episode");
+        // Pseudo-retired instructions' undo records are gone, so the
+        // pipeline structures are rebuilt rather than unwound. Sequence
+        // numbers continue where they left off (stale events must keep
+        // failing their lookups); the memory hierarchy and predictors
+        // keep their runahead training — that is the whole benefit.
+        self.events.clear();
+        self.ifq.clear();
+        self.pending_load_values.clear();
+        self.blocked_loads.clear();
+        self.lsq = LoadStoreQueue::new(self.cfg.load_queue as usize, self.cfg.store_queue as usize);
+        self.rob = ActiveList::new_resuming(self.cfg.active_list as usize, self.rob.next_seq());
+        self.iq_int = IssueQueue::new(self.cfg.iq_int_size as usize);
+        self.iq_fp = IssueQueue::new(self.cfg.iq_fp_size as usize);
+        self.fu = FuPool::new(self.cfg.fu.clone());
+        self.ra_lost_l2_reads += self.rf_int.l2_reads + self.rf_fp.l2_reads;
+        let timing = rf_timing(self.cfg);
+        self.rename = RenameMap::new();
+        self.rf_int = RegFile::new(self.cfg.regs_per_class as usize, 32, timing);
+        self.rf_fp = RegFile::new(self.cfg.regs_per_class as usize, 32, timing);
+        for flat in 0..NUM_ARCH_REGS as u8 {
+            let r = ArchReg::from_flat(flat);
+            let p = self.rename.lookup(r);
+            match r.class() {
+                RegClass::Int => self.rf_int.poke(p, ra.arch[flat as usize]),
+                RegClass::Fp => self.rf_fp.poke(p, ra.arch[flat as usize]),
+            }
+        }
+        self.dir.set_history(ra.hist);
+        self.ras.restore(&ra.ras);
+        self.fetch_halted = false;
+        self.fetch_pc = ra.resume_pc;
+        self.fetch_resume_at = self.now + 1;
+        self.recovery_until = self.fetch_resume_at + self.cfg.front_end_delay;
+        self.dispatch_block = None;
+        self.last_commit_cycle = self.now;
+    }
+
+    /// Commit-stage stand-in during an episode: completed instructions
+    /// leave the window and free their resources, but nothing becomes
+    /// architectural — no checker step, no commit counters, no memory
+    /// writes (non-poisoned store data lands in the episode's store cache
+    /// so later runahead loads stay accurate).
+    fn do_pseudo_retire(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.head() else { break };
+            if !head.completed {
+                break;
+            }
+            let e = self.rob.pop_head();
+            self.last_commit_cycle = self.now;
+            self.stats.runahead_pseudo_retired += 1;
+            if e.inst.is_store() {
+                let s = self.lsq.pop_store(e.seq);
+                let addr = s.addr.expect("pseudo-retired store has an address");
+                let ra = self.ra.as_mut().expect("in an episode");
+                if !ra.poisoned_stores.remove(&e.seq) {
+                    ra.store_bytes(addr, s.width, s.data);
+                    // Write prefetch: train the hierarchy like a committed
+                    // store would, without touching memory contents.
+                    self.hier.data_access(addr, AccessKind::Write, self.now);
+                }
+            } else if e.inst.is_load() {
+                self.lsq.pop_load(e.seq);
+            }
+            if let Some((arch, _, prev)) = e.dest {
+                self.rf_mut(arch.class()).release(prev);
+            }
+            if e.inst.is_halt() {
+                // Speculative program end: idle out the episode, then the
+                // replay retires the halt architecturally.
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Main loop
     // ------------------------------------------------------------------
 
@@ -1732,6 +2274,11 @@ impl<'c> Engine<'c> {
         if self.debug_trace || self.no_skip || self.halted {
             return 0;
         }
+        // Runahead is never quiescent under a miss — the stall is exactly
+        // when it enters an episode and keeps executing.
+        if matches!(self.cfg.backend, Backend::Runahead { .. }) {
+            return 0;
+        }
         // Commit is blocked on an incomplete head (which also means the
         // window is nonempty and no halt can retire mid-skip).
         let Some(head) = self.rob.head() else {
@@ -1756,6 +2303,15 @@ impl<'c> Engine<'c> {
         }
         if self.wib.as_ref().is_some_and(|w| !w.quiescent()) {
             return 0;
+        }
+        // The delay queue reinserts at exact cycles: skip at most up to
+        // its next wake.
+        if let Some(dq) = self.delayq.as_mut() {
+            match dq.next_wake() {
+                Some(w) if w <= self.now => return 0,
+                Some(w) => cap = cap.min(w - self.now),
+                None => {}
+            }
         }
         // Fetch idle: halted, IFQ full, or waiting out an I-miss/redirect
         // bubble (then skip at most up to the resume cycle).
@@ -1815,7 +2371,7 @@ impl<'c> Engine<'c> {
                 .record_n((self.iq_int.len() + self.iq_fp.len()) as u64, n);
             self.stats
                 .occupancy_wib
-                .record_n(self.wib.as_ref().map_or(0, |w| w.resident() as u64), n);
+                .record_n(self.parked_resident() as u64, n);
         }
         // `storewait.tick` needs no catch-up: it clears in whole intervals
         // on its next call, and no store-order marks can land mid-skip.
@@ -1878,13 +2434,23 @@ impl<'c> Engine<'c> {
         let mut lap_ns = [0u64; STAGE_COUNT];
         let committed_before = self.stats.committed;
         self.storewait.tick(self.now);
-        self.do_commit();
+        if self.ra.as_ref().is_some_and(|ra| self.now >= ra.exit_at) {
+            self.exit_runahead();
+        }
+        if self.ra.is_some() {
+            self.do_pseudo_retire();
+        } else {
+            self.do_commit();
+        }
         profile_lap(&mut lap_at, &mut lap_ns[0]);
         if self.halted {
             // The halt itself retired this cycle: useful work.
             self.stats.cpi.add(CpiCategory::Base);
             self.record_profile_laps(lap_at.is_some(), &lap_ns);
             return;
+        }
+        if self.ra.is_none() {
+            self.maybe_enter_runahead();
         }
         self.drain_events();
         profile_lap(&mut lap_at, &mut lap_ns[1]);
@@ -1906,7 +2472,7 @@ impl<'c> Engine<'c> {
                 .record((self.iq_int.len() + self.iq_fp.len()) as u64);
             self.stats
                 .occupancy_wib
-                .record(self.wib.as_ref().map_or(0, |w| w.resident() as u64));
+                .record(self.parked_resident() as u64);
         }
         if cfg!(feature = "checked") || self.machine_check {
             if let Err(e) = self.machine_check() {
@@ -1938,6 +2504,9 @@ impl<'c> Engine<'c> {
         if let Some(w) = &self.wib {
             w.check_invariants()?;
         }
+        if let Some(dq) = &self.delayq {
+            dq.check_invariants()?;
+        }
         self.ownership_census()
     }
 
@@ -1963,7 +2532,8 @@ impl<'c> Engine<'c> {
             if e.in_wib {
                 parked += 1;
             }
-            let slot_parked = self.wib.as_ref().is_some_and(|w| w.contains(e.slot));
+            let slot_parked = self.wib.as_ref().is_some_and(|w| w.contains(e.slot))
+                || self.delayq.as_ref().is_some_and(|dq| dq.contains(e.slot));
             if e.in_wib != slot_parked {
                 return Err(format!(
                     "census: seq {} in_wib={} but window slot {} parked={}",
@@ -2001,8 +2571,17 @@ impl<'c> Engine<'c> {
                     w.resident()
                 ));
             }
+        } else if let Some(dq) = &self.delayq {
+            if dq.resident() != parked {
+                return Err(format!(
+                    "census: delay-queue resident {} != {parked} parked active-list entries",
+                    dq.resident()
+                ));
+            }
         } else if parked > 0 {
-            return Err(format!("census: {parked} in_wib entries without a WIB"));
+            return Err(format!(
+                "census: {parked} parked entries without a parking structure"
+            ));
         }
 
         let lq: Vec<Seq> = self.lsq.loads().map(|l| l.seq).collect();
@@ -2120,7 +2699,7 @@ impl<'c> Engine<'c> {
             ipc: committed as f64 / epoch as f64,
             window_occupancy: self.rob.len() as u64,
             iq_occupancy: (self.iq_int.len() + self.iq_fp.len()) as u64,
-            wib_resident: self.wib.as_ref().map_or(0, |w| w.resident() as u64),
+            wib_resident: self.parked_resident() as u64,
             wib_columns_in_use: self.wib.as_ref().map_or(0, |w| w.columns_in_use() as u64),
             outstanding_misses: self.hier.inflight_fills(self.now) as u64,
         };
@@ -2171,7 +2750,7 @@ impl<'c> Engine<'c> {
             }
         }
         self.stats.mem = self.hier.stats();
-        self.stats.rf_l2_reads = self.rf_int.l2_reads + self.rf_fp.l2_reads;
+        self.stats.rf_l2_reads = self.ra_lost_l2_reads + self.rf_int.l2_reads + self.rf_fp.l2_reads;
         if let Some(w) = &self.wib {
             let ws = w.stats();
             self.stats.wib_insertions = ws.insertions;

@@ -307,6 +307,14 @@ impl RegFile {
         self.consumers[r.0 as usize].push(seq);
     }
 
+    /// Drain `r`'s subscribers without touching its readiness or wait
+    /// state. The delay-tracking backend uses this to reroute consumers of
+    /// a known-latency miss into its delay queue; consumers it cannot park
+    /// must be re-[`RegFile::subscribe`]d.
+    pub fn take_waiters_into(&mut self, r: PhysReg, woken: &mut Vec<Seq>) {
+        woken.append(&mut self.consumers[r.0 as usize]);
+    }
+
     /// Extra cycles to read `r`: a two-level file promotes the register
     /// into the first level; a banked file consumes one of the bank's
     /// per-cycle ports. Call once per operand actually issued.

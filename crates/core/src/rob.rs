@@ -67,6 +67,10 @@ pub struct RobEntry {
     /// (set when the access outlasted the L1D hit latency; fuels the CPI
     /// stack's memory categories).
     pub miss_kind: Option<MissKind>,
+    /// For loads serviced by the memory hierarchy: the absolute cycle the
+    /// data arrives (0 until known). Runahead uses the head load's value
+    /// to decide whether an episode is worth the pipeline restart.
+    pub data_ready_at: u64,
     /// Occupies a load-queue entry.
     pub in_lq: bool,
     /// Occupies a store-queue entry.
@@ -114,6 +118,17 @@ impl ActiveList {
             size,
             head_slot: 0,
             next_seq: 0,
+        }
+    }
+
+    /// An empty active list that continues an interrupted sequence-number
+    /// stream (runahead episode exit rebuilds the window this way: seqs
+    /// stay globally unique so stale scheduled events keep missing their
+    /// lookups, exactly as after a squash).
+    pub fn new_resuming(size: usize, next_seq: Seq) -> ActiveList {
+        ActiveList {
+            next_seq,
+            ..ActiveList::new(size)
         }
     }
 
@@ -303,6 +318,7 @@ mod tests {
             wib_trips: 0,
             miss_column: None,
             miss_kind: None,
+            data_ready_at: 0,
             in_lq: false,
             in_sq: false,
             dir_wrong: false,

@@ -1,0 +1,189 @@
+//! Speculative pre-execution state for the runahead backend.
+//!
+//! When a DRAM-latency load blocks the head of the window, the engine
+//! checkpoints the committed architectural state here and keeps executing
+//! *runahead*: results are garbage the moment they depend on the missing
+//! data, but every independent load still reaches the real memory
+//! hierarchy and starts its fill early (Mutlu et al.). Correctness is
+//! maintained by never touching architectural state — the poison file
+//! marks invalid registers so garbage cannot steer stores or branches
+//! silently, and pseudo-retired stores land in a byte-granular store
+//! cache overlaying memory instead of memory itself. At the blocking
+//! load's arrival cycle the engine throws everything away, restores the
+//! checkpoint and replays from the load — now hitting warmed caches.
+
+use crate::types::{PhysReg, Seq};
+use std::collections::{HashMap, HashSet};
+use wib_bpred::ras::RasCheckpoint;
+use wib_isa::mem::{Memory, PagedMemory};
+use wib_isa::reg::{RegClass, NUM_ARCH_REGS};
+
+/// Per-physical-register invalid bits, one plane per class. A poisoned
+/// register holds a value derived (directly or transitively) from the
+/// blocking miss or another unavailable load; consumers propagate the
+/// bit instead of trusting the value.
+#[derive(Debug, Clone)]
+pub struct PoisonFile {
+    int: Vec<bool>,
+    fp: Vec<bool>,
+}
+
+impl PoisonFile {
+    /// A clean poison file for `regs` physical registers per class.
+    pub fn new(regs: usize) -> PoisonFile {
+        PoisonFile {
+            int: vec![false; regs],
+            fp: vec![false; regs],
+        }
+    }
+
+    fn plane(&self, class: RegClass) -> &[bool] {
+        match class {
+            RegClass::Int => &self.int,
+            RegClass::Fp => &self.fp,
+        }
+    }
+
+    /// True if `r` currently carries poison.
+    pub fn get(&self, class: RegClass, r: PhysReg) -> bool {
+        self.plane(class)[r.0 as usize]
+    }
+
+    /// Set or clear `r`'s poison bit (cleared on every fresh allocation,
+    /// set by invalid loads and poisoned producers).
+    pub fn set(&mut self, class: RegClass, r: PhysReg, poisoned: bool) {
+        let plane = match class {
+            RegClass::Int => &mut self.int,
+            RegClass::Fp => &mut self.fp,
+        };
+        plane[r.0 as usize] = poisoned;
+    }
+
+    /// Poisoned registers (diagnostics).
+    pub fn count(&self) -> usize {
+        self.int.iter().chain(&self.fp).filter(|p| **p).count()
+    }
+}
+
+/// Everything a runahead episode needs to vanish without a trace.
+#[derive(Debug, Clone)]
+pub struct RunaheadState {
+    /// PC of the blocking load; fetch restarts here on exit.
+    pub resume_pc: u32,
+    /// The blocking load's data-arrival cycle: the episode ends here and
+    /// the replay's demand access hits the completed fill.
+    pub exit_at: u64,
+    /// Committed architectural register values, indexed by flat arch
+    /// register number.
+    pub arch: [u64; NUM_ARCH_REGS],
+    /// Branch-predictor global history at the blocking load.
+    pub hist: u32,
+    /// Return-address stack at the blocking load.
+    pub ras: RasCheckpoint,
+    /// Invalid bits over the physical registers.
+    pub poison: PoisonFile,
+    /// Byte-granular overlay of pseudo-retired (non-poisoned) store data;
+    /// later runahead loads read through it so dependence chains keep
+    /// prefetching accurately.
+    pub store_cache: HashMap<u32, u8>,
+    /// In-flight stores whose address or data operand was poisoned; they
+    /// pseudo-retire without entering the store cache.
+    pub poisoned_stores: HashSet<Seq>,
+}
+
+impl RunaheadState {
+    /// Open an episode: checkpointed state plus clean speculative state.
+    pub fn new(
+        resume_pc: u32,
+        exit_at: u64,
+        arch: [u64; NUM_ARCH_REGS],
+        hist: u32,
+        ras: RasCheckpoint,
+        regs_per_class: usize,
+    ) -> RunaheadState {
+        RunaheadState {
+            resume_pc,
+            exit_at,
+            arch,
+            hist,
+            ras,
+            poison: PoisonFile::new(regs_per_class),
+            store_cache: HashMap::new(),
+            poisoned_stores: HashSet::new(),
+        }
+    }
+
+    /// Record a pseudo-retired store's bytes in the overlay.
+    pub fn store_bytes(&mut self, addr: u32, width: u32, data: u64) {
+        for i in 0..width {
+            self.store_cache
+                .insert(addr.wrapping_add(i), (data >> (8 * i)) as u8);
+        }
+    }
+
+    /// Read `width` bytes at `addr`, overlay bytes taking precedence over
+    /// real memory. Widths and byte order match [`Memory::read_bits`]
+    /// (raw little-endian, zero-extended).
+    pub fn overlay_read(&self, mem: &PagedMemory, addr: u32, width: u32) -> u64 {
+        let mut value = mem.read_bits(addr, width);
+        for i in 0..width {
+            if let Some(&b) = self.store_cache.get(&addr.wrapping_add(i)) {
+                value &= !(0xffu64 << (8 * i));
+                value |= (b as u64) << (8 * i);
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wib_bpred::ras::Ras;
+
+    fn state() -> RunaheadState {
+        RunaheadState::new(
+            0x1000,
+            500,
+            [0; NUM_ARCH_REGS],
+            0,
+            Ras::new(4).checkpoint(),
+            8,
+        )
+    }
+
+    #[test]
+    fn poison_planes_are_independent() {
+        let mut p = PoisonFile::new(4);
+        p.set(RegClass::Int, PhysReg(2), true);
+        assert!(p.get(RegClass::Int, PhysReg(2)));
+        assert!(!p.get(RegClass::Fp, PhysReg(2)));
+        assert_eq!(p.count(), 1);
+        p.set(RegClass::Int, PhysReg(2), false);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn store_cache_overlays_memory_per_byte() {
+        let mut mem = PagedMemory::new();
+        mem.write_bits(0x100, 8, 0x1122_3344_5566_7788);
+        let mut ra = state();
+        // A 4-byte store overlays the middle of the word.
+        ra.store_bytes(0x102, 4, 0xaabb_ccdd);
+        assert_eq!(ra.overlay_read(&mem, 0x100, 8), 0x1122_aabb_ccdd_7788);
+        // Bytes outside the overlay come from memory.
+        assert_eq!(ra.overlay_read(&mem, 0x100, 1), 0x88);
+        assert_eq!(ra.overlay_read(&mem, 0x104, 1), 0xbb);
+        // Memory itself is untouched.
+        assert_eq!(mem.read_bits(0x100, 8), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn newer_store_bytes_win() {
+        let mem = PagedMemory::new();
+        let mut ra = state();
+        ra.store_bytes(0x200, 4, 0x1111_1111);
+        ra.store_bytes(0x201, 1, 0xff);
+        assert_eq!(ra.overlay_read(&mem, 0x200, 4), 0x1111_ff11);
+    }
+}

@@ -87,6 +87,23 @@ pub struct SimStats {
     /// found the pool full and wasted the issue slot (paper section 3.5's
     /// hazard).
     pub wib_pool_stalls: u64,
+    /// The non-default latency-tolerance backend this run used, or empty
+    /// for the base/WIB machines. Gates the `backend` JSON section so
+    /// legacy output stays byte-identical.
+    pub backend: String,
+    /// Runahead: episodes entered (checkpoint + pre-execute + restore).
+    pub runahead_episodes: u64,
+    /// Runahead: instructions pseudo-retired inside episodes (they do not
+    /// count toward [`SimStats::committed`]).
+    pub runahead_pseudo_retired: u64,
+    /// Runahead: loads completed invalid (poisoned address, blocked
+    /// forwarding, or data that cannot arrive inside the episode).
+    pub runahead_inv_loads: u64,
+    /// Delay-tracking: instructions parked in the delay queue.
+    pub delay_parked: u64,
+    /// Delay-tracking: parked instructions reinserted at their predicted
+    /// wake cycle.
+    pub delay_reinserted: u64,
     /// Cycles dispatch was blocked because the active list was full.
     pub stall_active_list: u64,
     /// Cycles dispatch was blocked because an issue queue was full.
@@ -143,6 +160,12 @@ impl Default for SimStats {
             wib_insertions_committed: 0,
             wib_column_exhausted: 0,
             wib_pool_stalls: 0,
+            backend: String::new(),
+            runahead_episodes: 0,
+            runahead_pseudo_retired: 0,
+            runahead_inv_loads: 0,
+            delay_parked: 0,
+            delay_reinserted: 0,
             stall_active_list: 0,
             stall_issue_queue: 0,
             stall_lsq: 0,
@@ -221,7 +244,7 @@ impl SimStats {
             .field("window", self.occupancy_window.to_json())
             .field("issue_queues", self.occupancy_iq.to_json())
             .field("wib", self.occupancy_wib.to_json());
-        Json::obj()
+        let mut out = Json::obj()
             .field("cycles", self.cycles)
             .field("committed", self.committed)
             .field("ipc", self.ipc())
@@ -239,8 +262,20 @@ impl SimStats {
             .field("rf_l2_reads", self.rf_l2_reads)
             .field("mem", mem)
             .field("stalls", stalls)
-            .field("wib", wib)
-            .field("occupancy", occupancy)
+            .field("wib", wib);
+        // Only the new backends emit this section: base/WIB documents
+        // (and the 90 cycle-identity goldens pinning them) are unchanged.
+        if !self.backend.is_empty() {
+            let backend = Json::obj()
+                .field("name", self.backend.as_str())
+                .field("runahead_episodes", self.runahead_episodes)
+                .field("runahead_pseudo_retired", self.runahead_pseudo_retired)
+                .field("runahead_inv_loads", self.runahead_inv_loads)
+                .field("delay_parked", self.delay_parked)
+                .field("delay_reinserted", self.delay_reinserted);
+            out = out.field("backend", backend);
+        }
+        out.field("occupancy", occupancy)
             .field("cpi_stack", self.cpi.to_json())
             .field("interval_epoch", self.interval_epoch)
             .field(

@@ -58,6 +58,40 @@ diff -r "$serve_dir/remote" "$serve_dir/local"
 echo "  ok (3-point sweep byte-identical, cache served the resubmit, clean drain)"
 rm -rf "$serve_dir"
 
+echo "== backend matrix smoke (all four backend= machines through one daemon) =="
+# One sweep requesting every latency-tolerance backend (docs/backends.md)
+# on two miss-heavy workloads, pushed through a daemon and required to be
+# byte-identical to the same jobs run in-process: the backend axis must
+# survive the spec round trip through the serve protocol, the result
+# cache, and the JSON stream.
+matrix_dir=$(mktemp -d)
+matrix_port="$matrix_dir/port"
+WIB_RESULTS_DIR="$matrix_dir/cachedir" \
+    cargo run -q --release --offline -p wib-cli --bin wib-sim -- serve \
+    --addr 127.0.0.1:0 --port-file "$matrix_port" --tiny --workers 2 --quiet &
+matrix_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$matrix_port" ]] && break
+    sleep 0.1
+done
+[[ -s "$matrix_port" ]] || { echo "  FAIL: backend-matrix daemon never wrote its port file"; exit 1; }
+matrix_addr=$(cat "$matrix_port")
+matrix=()
+for bench in em3d mst; do
+    for spec in base "wib:w=256" "base,backend=runahead" "wib:w=256,backend=delay_track"; do
+        matrix+=("$bench:$spec")
+    done
+done
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${matrix[@]}" \
+    --addr "$matrix_addr" --insts 20000 --warmup 2000 --out "$matrix_dir/remote"
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- shutdown --addr "$matrix_addr" > /dev/null
+wait "$matrix_pid"
+cargo run -q --release --offline -p wib-cli --bin wib-sim -- submit "${matrix[@]}" \
+    --local --tiny --insts 20000 --warmup 2000 --out "$matrix_dir/local"
+diff -r "$matrix_dir/remote" "$matrix_dir/local"
+echo "  ok (4 backends x 2 workloads, daemon bytes identical to --local)"
+rm -rf "$matrix_dir"
+
 echo "== metrics smoke (scrape exposition, assert families and sane values) =="
 # Telemetry end to end: a daemon, a 2-point sweep submitted twice (so the
 # cache sees hits), then a `metrics` scrape. The Prometheus exposition

@@ -1,0 +1,26 @@
+# fuzz reproducer: curated stress fixture (latency-tolerance backends)
+# config: base
+# config: base,backend=runahead,rathresh=8
+# config: wib:w=256,backend=delay_track,dtthresh=4
+# failure: none — pins the backend arena under every oracle: streaming
+# DRAM misses trigger runahead episodes (the store of a possibly-poisoned
+# value exercises the runahead store cache and the poisoned-store set;
+# the reload behind it exercises overlay forwarding), while the same
+# dependence chains park and reinsert through the delay queue. The
+# cross-config differential holds all three to the same commit stream.
+    li r15, 32
+    li r13, 0x40000
+    li r12, 0x80000
+    li r14, 0
+loop:
+    lw r1, 0(r13)
+    add r2, r1, r1
+    add r14, r14, r2
+    sw r2, 0(r12)
+    lw r3, 0(r12)
+    add r14, r14, r3
+    addi r13, r13, 4096
+    addi r12, r12, 8
+    addi r15, r15, -1
+    bne r15, r0, loop
+    halt
